@@ -1,0 +1,1 @@
+bench/bench_util.ml: Core Expr Float List Printf Relalg Rkutil Storage String Workload

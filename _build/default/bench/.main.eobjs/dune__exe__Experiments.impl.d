@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bench_util Core Exec Expr Format Hashtbl List Option Relalg Rkutil Schema Storage String Value Workload

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Bench_util Benchmark Core Float Hashtbl Instance List Measure Printf Ranking Relalg Rkutil Scoring Staged Storage Test Time Toolkit Tuple Value

@@ -1,0 +1,570 @@
+(* One function per table/figure of the paper's evaluation. Each prints the
+   same rows/series the paper plots; EXPERIMENTS.md records the comparison
+   against the paper's reported shapes. *)
+
+open Relalg
+open Bench_util
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: estimated I/O cost of the sort plan vs the rank-join plan
+   as join selectivity varies (k fixed). Measured I/O is printed next to
+   the estimates as a sanity column (not part of the paper's figure). *)
+
+let fig1 () =
+  section
+    "Figure 1 - Estimated I/O cost for two ranking plans vs join selectivity\n\
+     (n = 5000 per input, k = 50; sort plan = hash-join + external sort,\n\
+     rank-join plan = HRJN over descending score indexes)";
+  let k = 50 in
+  row "%12s  %14s  %14s  %10s  %12s  %12s\n" "selectivity" "sort est." "rank est."
+    "winner" "sort meas." "rank meas.";
+  List.iter
+    (fun domain ->
+      let s = Workload.Generator.selectivity_of_domain domain in
+      let cat = two_table_catalog ~n:5000 ~domain ~seed:11 () in
+      let query = topk_query ~k [ "A"; "B" ] in
+      let env = Core.Cost_model.default_env ~k_min:k cat query in
+      let rank = hrjn_plan cat and sort = sort_plan cat in
+      let rank_est = Core.Cost_model.estimate env rank in
+      let sort_est = Core.Cost_model.estimate env sort in
+      let rank_cost = rank_est.Core.Cost_model.cost_at (float_of_int k) in
+      let sort_cost = sort_est.Core.Cost_model.total_cost in
+      let measure plan =
+        Storage.Catalog.reset_io cat;
+        let r = Core.Executor.run cat (Core.Plan.Top_k { k; input = plan }) in
+        Storage.Io_stats.total_io r.Core.Executor.io
+      in
+      let sort_meas = measure sort and rank_meas = measure rank in
+      row "%12.5f  %14.1f  %14.1f  %10s  %12d  %12d\n" s sort_cost rank_cost
+        (if rank_cost < sort_cost then "rank-join" else "sort")
+        sort_meas rank_meas)
+    [ 1000000; 200000; 50000; 10000; 5000; 2000; 1000; 500; 200; 100 ];
+  row
+    "\nExpected shape (paper): sort plan cheaper at low selectivity, rank-join\n\
+     cheaper at high selectivity, with one crossover.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: number of retained plans for the 3-way join query without
+   and with an ORDER BY, under the traditional optimizer. *)
+
+let fig2_query cat ~order_by =
+  ignore cat;
+  let base t =
+    if order_by && String.equal t "A" then
+      (* ORDER BY A.score: single ranked relation *)
+      Core.Logical.base ~score:(score_of t) ~weight:1.0 t
+    else Core.Logical.base t
+  in
+  Core.Logical.make
+    ~relations:[ base "A"; base "B"; base "C" ]
+    ~joins:
+      [ Core.Logical.equijoin ("A", "key") ("B", "key");
+        Core.Logical.equijoin ("B", "key") ("C", "key") ]
+    ?k:(if order_by then Some 1000000 else None)
+    ()
+
+let count_plans cat query config k_min =
+  let env = Core.Cost_model.default_env ~k_min cat query in
+  let result = Core.Enumerator.run ~config env in
+  result.Core.Enumerator.stats.Core.Enumerator.retained
+
+let fig2 () =
+  section
+    "Figure 2 - Number of retained plans: 3-way join query without vs with\n\
+     ORDER BY (traditional optimizer; paper reports 12 vs 15)";
+  let cat = three_table_catalog ~n:1000 ~domain:50 ~seed:21 () in
+  let traditional = { Core.Enumerator.rank_aware = false; first_rows = false } in
+  let without = count_plans cat (fig2_query cat ~order_by:false) traditional 1 in
+  let with_ob = count_plans cat (fig2_query cat ~order_by:true) traditional 1 in
+  row "%-34s %10s %10s\n" "" "no ORDER BY" "ORDER BY";
+  row "%-34s %10d %10d\n" "retained plans (ours)" without with_ob;
+  row "%-34s %10d %10d\n" "retained plans (paper)" 12 15;
+  row
+    "\nExpected shape: adding ORDER BY strictly increases retained plans,\n\
+     because plans carrying the new interesting order survive pruning.\n\
+     got: %d -> %d (%s)\n"
+    without with_ob
+    (if with_ob > without then "OK" else "MISMATCH")
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 + Table 1: Q2 under traditional vs rank-aware enumeration. *)
+
+let q2_catalog () =
+  let cat = Storage.Catalog.create () in
+  let prng = Rkutil.Prng.create 7 in
+  let schema =
+    Schema.of_columns
+      [ Schema.column "c1" Value.Tfloat; Schema.column "c2" Value.Tint ]
+  in
+  List.iter
+    (fun name ->
+      let tuples =
+        List.init 1000 (fun _ ->
+            [| Value.Float (float_of_int (Rkutil.Prng.int prng 50));
+               Value.Int (Rkutil.Prng.int prng 50) |])
+      in
+      ignore (Storage.Catalog.create_table cat name schema tuples);
+      ignore
+        (Storage.Catalog.create_index cat ~name:(name ^ "_c1") ~table:name
+           ~key:(Expr.col ~relation:name "c1") ());
+      ignore
+        (Storage.Catalog.create_index cat ~name:(name ^ "_c2") ~table:name
+           ~key:(Expr.col ~relation:name "c2") ()))
+    [ "A"; "B"; "C" ];
+  cat
+
+let q2 () =
+  Core.Logical.make
+    ~relations:
+      [
+        Core.Logical.base ~score:(Expr.col ~relation:"A" "c1") ~weight:0.3 "A";
+        Core.Logical.base ~score:(Expr.col ~relation:"B" "c1") ~weight:0.3 "B";
+        Core.Logical.base ~score:(Expr.col ~relation:"C" "c1") ~weight:0.3 "C";
+      ]
+    ~joins:
+      [ Core.Logical.equijoin ("A", "c2") ("B", "c1");
+        Core.Logical.equijoin ("B", "c2") ("C", "c2") ]
+    ~k:5 ()
+
+let fig3 () =
+  section
+    "Figure 3 - Number of retained plans for Q2: traditional vs rank-aware\n\
+     enumeration (paper reports 12 vs 17)";
+  let cat = q2_catalog () in
+  let query = q2 () in
+  let t = count_plans cat query { Core.Enumerator.rank_aware = false; first_rows = false } 5 in
+  let r = count_plans cat query Core.Enumerator.default_config 5 in
+  row "%-34s %10s %10s\n" "" "traditional" "rank-aware";
+  row "%-34s %10d %10d\n" "retained plans (ours)" t r;
+  row "%-34s %10d %10d\n" "retained plans (paper)" 12 17;
+  row
+    "\nExpected shape: rank-awareness strictly increases retained plans.\n\
+     got: %d -> %d (%s)\n"
+    t r
+    (if r > t then "OK" else "MISMATCH")
+
+let table1 () =
+  section "Table 1 - Interesting order expressions in Query Q2";
+  let query = q2 () in
+  row "%-44s %s\n" "Interesting Order Expression" "Reason";
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Core.Interesting_orders.interesting_order) ->
+      let text = Expr.to_string o.Core.Interesting_orders.expr in
+      if not (Hashtbl.mem seen text) then begin
+        Hashtbl.add seen text ();
+        row "%-44s %s\n" text
+          (Core.Interesting_orders.reason_name o.Core.Interesting_orders.reason)
+      end)
+    (Core.Interesting_orders.derive query)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: depth propagation through a rank-join pipeline. *)
+
+let fig4 () =
+  section
+    "Figure 4 - Propagation of k through a pipeline of rank-joins\n\
+     (k = 100 at the top; the paper's example propagates 100 -> 580 -> 783)";
+  let cat = three_table_catalog ~n:10000 ~domain:1000 ~seed:31 () in
+  let query = topk_query ~k:100 [ "A"; "B"; "C" ] in
+  let env = Core.Cost_model.default_env ~k_min:100 cat query in
+  let plan = Core.Plan.Top_k { k = 100; input = plan_p cat } in
+  let ann = Core.Propagate.run env ~k:100 plan in
+  print_string (Format.asprintf "%a" Core.Propagate.pp ann);
+  (* Execute and report the actual depths for comparison. *)
+  let result = Core.Executor.run ~hints:ann cat plan in
+  row "\nMeasured depths after execution:\n";
+  List.iter
+    (fun rn ->
+      row "  %-40s dL=%d dR=%d\n" rn.Core.Executor.label
+        rn.Core.Executor.stats.Exec.Rank_join.left_depth
+        rn.Core.Executor.stats.Exec.Rank_join.right_depth)
+    result.Core.Executor.rank_nodes
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: effect of k on the rank-join plan cost; crossover k*. *)
+
+let fig6 () =
+  section
+    "Figure 6 - Effect of k on rank-join plan cost vs (k-independent)\n\
+     sort plan cost; crossover k*";
+  let cat = two_table_catalog ~n:5000 ~domain:2000 ~seed:41 () in
+  let query = topk_query ~k:1 [ "A"; "B" ] in
+  let env = Core.Cost_model.default_env ~k_min:1 cat query in
+  let rank = hrjn_plan cat and sort = sort_plan cat in
+  let rank_est = Core.Cost_model.estimate env rank in
+  let sort_est = Core.Cost_model.estimate env sort in
+  row "%10s  %14s  %14s\n" "k" "rank-join est." "sort est.";
+  List.iter
+    (fun k ->
+      row "%10d  %14.1f  %14.1f\n" k
+        (rank_est.Core.Cost_model.cost_at (float_of_int k))
+        sort_est.Core.Cost_model.total_cost)
+    [ 1; 5; 10; 25; 50; 100; 200; 400; 800; 1600; 3200; 6400; 12800 ];
+  (match Core.Cost_model.k_star env ~rank_plan:rank ~sort_plan:sort with
+  | Some k_star -> row "\nCrossover k* = %.0f (paper's example: k* = 176)\n" k_star
+  | None -> row "\nRank plan cheaper for every feasible k (k* > n_a)\n");
+  row
+    "Expected shape: rank-join cost grows with k; the sort plan is flat;\n\
+     they cross at one k*.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 13/14 plumbing: execute Plan P and compare estimated depths
+   with measured ones at both rank-join nodes. *)
+
+type depth_obs = {
+  k : int;
+  s : float;
+  (* top operator (joins (A⋈B) with C): d1/d2 in the paper's notation *)
+  top_actual : float * float;
+  top_anyk : float * float;
+  top_topk : float * float;
+  (* child operator (joins A with B): d5/d6 *)
+  child_actual : float * float;
+  child_anyk : float * float;
+  child_topk : float * float;
+  child_buffer_actual : int;
+  child_buffer_bound_measured : float;
+  child_buffer_bound_estimated : float;
+}
+
+let observe_plan_p ?(depth_mode = `Worst) cat ~k =
+  let query = topk_query ~k [ "A"; "B"; "C" ] in
+  let env = Core.Cost_model.default_env ~depth_mode ~k_min:k cat query in
+  let p = plan_p cat in
+  let plan = Core.Plan.Top_k { k; input = p } in
+  (* Estimates: top-k depths via Propagate (which recursively assigns k),
+     any-k depths with the same required counts. *)
+  let ann = Core.Propagate.run env ~k plan in
+  let nodes = Core.Propagate.rank_join_annotations ann in
+  let top_node, top_req, top_d, child_node, child_req, child_d =
+    match nodes with
+    | [ (n1, r1, d1); (n2, r2, d2) ] -> (n1, r1, d1, n2, r2, d2)
+    | _ -> failwith "expected two rank-join nodes"
+  in
+  let anyk node req =
+    match node with
+    | Core.Plan.Join { cond; left; right; _ } ->
+        let d = Core.Cost_model.any_k_depths_for env ~k:req ~cond ~left ~right in
+        (d.Core.Depth_model.d_left, d.Core.Depth_model.d_right)
+    | _ -> failwith "not a join"
+  in
+  let s =
+    match top_node with
+    | Core.Plan.Join { cond; _ } -> Core.Cost_model.join_selectivity env cond
+    | _ -> 0.0
+  in
+  (* Execute and measure; the operator polls in the model's estimated depth
+     ratio, as the optimizer-integrated executor does. *)
+  let result = Core.Executor.run ~hints:ann cat plan in
+  let child_stats, top_stats =
+    match result.Core.Executor.rank_nodes with
+    | [ a; b ] ->
+        (* compile pushes the deeper node first *)
+        (a.Core.Executor.stats, b.Core.Executor.stats)
+    | _ -> failwith "expected two rank nodes in execution"
+  in
+  let child_dl = float_of_int child_stats.Exec.Rank_join.left_depth in
+  let child_dr = float_of_int child_stats.Exec.Rank_join.right_depth in
+  {
+    k;
+    s;
+    top_actual =
+      ( float_of_int top_stats.Exec.Rank_join.left_depth,
+        float_of_int top_stats.Exec.Rank_join.right_depth );
+    top_anyk = anyk top_node top_req;
+    top_topk = (top_d.Core.Depth_model.d_left, top_d.Core.Depth_model.d_right);
+    child_actual = (child_dl, child_dr);
+    child_anyk = anyk child_node child_req;
+    child_topk = (child_d.Core.Depth_model.d_left, child_d.Core.Depth_model.d_right);
+    child_buffer_actual = child_stats.Exec.Rank_join.buffer_max;
+    child_buffer_bound_measured = child_dl *. child_dr *. s;
+    child_buffer_bound_estimated =
+      child_d.Core.Depth_model.d_left *. child_d.Core.Depth_model.d_right *. s;
+  }
+
+let print_depth_table label obs pick =
+  row "\n%s\n" label;
+  row "%8s  %10s %10s  %10s %10s  %10s %10s  %7s\n" "k" "actual dL" "actual dR"
+    "anyk dL" "anyk dR" "topk dL" "topk dR" "err%%";
+  List.iter
+    (fun o ->
+      let (al, ar), (cl, cr), (tl, tr) = pick o in
+      let err =
+        0.5 *. (pct_error ~actual:al ~estimate:tl +. pct_error ~actual:ar ~estimate:tr)
+      in
+      row "%8d  %10.0f %10.0f  %10.0f %10.0f  %10.0f %10.0f  %6.1f%%\n" o.k al ar
+        cl cr tl tr err)
+    obs
+
+let fig13 () =
+  section
+    "Figure 13 - Actual vs estimated input cardinality (depth) of the two\n\
+     rank-join operators in Plan P, for different values of k\n\
+     (3 inputs, n = 10000, selectivity = 1/1000)";
+  let cat = three_table_catalog ~n:10000 ~domain:1000 ~seed:51 () in
+  let obs = List.map (fun k -> observe_plan_p cat ~k) [ 5; 10; 20; 50; 100; 200; 400 ] in
+  print_depth_table
+    "(a) top rank-join operator: d1, d2 (paper: estimation error < 25-30%)" obs
+    (fun o -> (o.top_actual, o.top_anyk, o.top_topk));
+  print_depth_table
+    "(b) child rank-join operator: d5, d6" obs
+    (fun o -> (o.child_actual, o.child_anyk, o.child_topk));
+  row
+    "\nExpected shape: Any-k estimate is a lower bound; measured depth lies\n\
+     between Any-k and Top-k estimates; error bounded (~30%%).\n"
+
+let fig14 () =
+  section
+    "Figure 14 - Actual vs estimated depths of Plan P for different join\n\
+     selectivities (k = 50, n = 10000)";
+  let obs =
+    List.map
+      (fun domain ->
+        let cat = three_table_catalog ~n:10000 ~domain ~seed:61 () in
+        observe_plan_p cat ~k:50)
+      [ 5000; 2000; 1000; 500; 200; 100 ]
+  in
+  row "\n(a) top rank-join operator: d1, d2\n";
+  row "%12s  %10s %10s  %10s %10s  %10s %10s\n" "selectivity" "actual dL"
+    "actual dR" "anyk dL" "anyk dR" "topk dL" "topk dR";
+  List.iter
+    (fun o ->
+      let al, ar = o.top_actual and cl, cr = o.top_anyk and tl, tr = o.top_topk in
+      row "%12.5f  %10.0f %10.0f  %10.0f %10.0f  %10.0f %10.0f\n" o.s al ar cl cr
+        tl tr)
+    obs;
+  row "\n(b) child rank-join operator: d5, d6\n";
+  row "%12s  %10s %10s  %10s %10s  %10s %10s\n" "selectivity" "actual dL"
+    "actual dR" "anyk dL" "anyk dR" "topk dL" "topk dR";
+  List.iter
+    (fun o ->
+      let al, ar = o.child_actual and cl, cr = o.child_anyk and tl, tr = o.child_topk in
+      row "%12.5f  %10.0f %10.0f  %10.0f %10.0f  %10.0f %10.0f\n" o.s al ar cl cr
+        tl tr)
+    obs;
+  row
+    "\nExpected shape: lower selectivity requires deeper inputs; estimates\n\
+     track the measurement within ~30%%.\n"
+
+let fig15 () =
+  section
+    "Figure 15 - Rank-join buffer size: measured vs upper bounds\n\
+     (child rank-join of Plan P; bound = dL * dR * s)";
+  let cat = three_table_catalog ~n:10000 ~domain:1000 ~seed:71 () in
+  let obs = List.map (fun k -> observe_plan_p cat ~k) [ 5; 10; 20; 50; 100; 200; 400 ] in
+  row "%8s  %14s  %18s  %18s\n" "k" "measured" "bound (meas. d)" "bound (est. d)";
+  List.iter
+    (fun o ->
+      row "%8d  %14d  %18.0f  %18.0f\n" o.k o.child_buffer_actual
+        o.child_buffer_bound_measured o.child_buffer_bound_estimated)
+    obs;
+  row
+    "\nExpected shape: measured buffer below both upper bounds; the gap grows\n\
+     with k (results are reported progressively before the join completes).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices DESIGN.md calls out, and the filter/restart
+   baseline from the paper's related work. *)
+
+let ablate_polling () =
+  section
+    "Ablation - HRJN polling strategy (Plan P, k = 50, n = 10000, s = 1e-3)\n\
+     total input tuples consumed under each strategy";
+  let cat = three_table_catalog ~n:10000 ~domain:1000 ~seed:91 () in
+  let k = 50 in
+  let query = topk_query ~k [ "A"; "B"; "C" ] in
+  let env = Core.Cost_model.default_env ~k_min:k cat query in
+  let p = plan_p cat in
+  let plan = Core.Plan.Top_k { k; input = p } in
+  let ann = Core.Propagate.run env ~k plan in
+  row "%-28s %12s %12s %14s\n" "strategy" "top dL+dR" "child dL+dR" "grand total";
+  let total stats =
+    stats.Exec.Rank_join.left_depth + stats.Exec.Rank_join.right_depth
+  in
+  let report name result =
+    match result.Core.Executor.rank_nodes with
+    | [ child; top ] ->
+        let t = total top.Core.Executor.stats
+        and c = total child.Core.Executor.stats in
+        row "%-28s %12d %12d %14d\n" name t c (t + c)
+    | _ -> row "%-28s (unexpected plan shape)\n" name
+  in
+  (* Alternate / adaptive via a bare run (no hints); ratio via hints. *)
+  report "alternate (no hints)" (Core.Executor.run cat plan);
+  report "model-ratio (hints)" (Core.Executor.run ~hints:ann cat plan);
+  row
+    "\nFinding: ratio polling steers the top operator onto the model's\n\
+     asymmetric trajectory (making depths predictable within Fig. 13's error\n\
+     band) at the cost of slightly more total consumption than alternation.\n"
+
+let ablate_depth_mode () =
+  section
+    "Ablation - depth model closed form: average-case vs worst-case vs actual\n\
+     (child rank-join of Plan P, n = 10000, s = 1e-3)";
+  let cat = three_table_catalog ~n:10000 ~domain:1000 ~seed:92 () in
+  row "%8s  %10s  %12s  %12s\n" "k" "actual" "average est." "worst est.";
+  List.iter
+    (fun k ->
+      let worst = observe_plan_p ~depth_mode:`Worst cat ~k in
+      let avg = observe_plan_p ~depth_mode:`Average cat ~k in
+      let actual = fst worst.child_actual in
+      row "%8d  %10.0f  %12.0f  %12.0f\n" k actual (fst avg.child_topk)
+        (fst worst.child_topk))
+    [ 5; 20; 50; 200 ];
+  row
+    "\nExpected: the worst-case form tracks the measured depth (the operator\n\
+     stops on a certification bound); the average-case form undershoots.\n"
+
+let ablate_rank_awareness () =
+  section
+    "Ablation - measured execution I/O of the optimizer's chosen plan:\n\
+     traditional vs rank-aware optimizer (n = 5000, k = 10)";
+  row "%12s  %16s  %16s  %24s\n" "selectivity" "traditional I/O" "rank-aware I/O"
+    "rank-aware plan";
+  List.iter
+    (fun domain ->
+      let run config =
+        let cat = two_table_catalog ~n:5000 ~domain ~seed:93 () in
+        let query = topk_query ~k:10 [ "A"; "B" ] in
+        let planned = Core.Optimizer.optimize ~config cat query in
+        Storage.Catalog.reset_io cat;
+        let result = Core.Optimizer.execute cat planned in
+        (Storage.Io_stats.total_io result.Core.Executor.io, planned)
+      in
+      let t_io, _ = run { Core.Enumerator.rank_aware = false; first_rows = false } in
+      let r_io, r_planned = run Core.Enumerator.default_config in
+      row "%12.5f  %16d  %16d  %24s\n"
+        (Workload.Generator.selectivity_of_domain domain)
+        t_io r_io
+        (Core.Plan.describe r_planned.Core.Optimizer.plan))
+    [ 100000; 2000; 500; 100 ];
+  row
+    "\nExpected: at very low selectivity both optimizers pick (near-)sort\n\
+     plans; at moderate-to-high selectivity the rank-aware optimizer's plan\n\
+     does orders of magnitude less I/O.\n"
+
+let baseline_filter_restart () =
+  section
+    "Baseline - filter/restart (related work, Section 6) vs the rank-join\n\
+     plan: measured I/O and restarts (n = 5000, s = 1/200)";
+  let k_values = [ 1; 5; 10; 50; 100 ] in
+  row "%8s  %14s  %10s  %14s\n" "k" "f/r I/O" "restarts" "rank-join I/O";
+  List.iter
+    (fun k ->
+      let cat = two_table_catalog ~n:5000 ~domain:200 ~seed:94 () in
+      let query = topk_query ~k [ "A"; "B" ] in
+      match Core.Filter_restart.top_k cat query with
+      | Error e -> row "%8d  filter/restart failed: %s\n" k e
+      | Ok (_, stats) ->
+          let fr_io = List.fold_left ( + ) 0 stats.Core.Filter_restart.attempts_io in
+          let cat2 = two_table_catalog ~n:5000 ~domain:200 ~seed:94 () in
+          let planned = Core.Optimizer.optimize cat2 query in
+          Storage.Catalog.reset_io cat2;
+          let result = Core.Optimizer.execute cat2 planned in
+          let rj_io = Storage.Io_stats.total_io result.Core.Executor.io in
+          row "%8d  %14d  %10d  %14d\n" k fr_io stats.Core.Filter_restart.restarts rj_io)
+    k_values;
+  row
+    "\nExpected: filter/restart pays full scans per attempt (plus wasted\n\
+     restarts); the rank-join plan's I/O scales with the needed depth only.\n"
+
+(* N-ary flat rank-join vs the binary HRJN pipeline (extension beyond the
+   paper: the direction its operator line later explored). *)
+let ablate_nary () =
+  section
+    "Ablation - flat N-ary HRJN vs binary HRJN pipeline\n\
+     (3 inputs joined on a shared key, n = 10000, s = 1e-3)";
+  let cat = three_table_catalog ~n:10000 ~domain:1000 ~seed:95 () in
+  let scored t =
+    let ix =
+      Option.get
+        (Storage.Catalog.find_index_on_expr cat ~table:t (score_of t))
+    in
+    Exec.Scan.index_desc_scored cat ix
+  in
+  let key_of t =
+    let info = Storage.Catalog.table cat t in
+    let idx =
+      Relalg.Schema.index_of_exn info.Storage.Catalog.tb_schema ~relation:t "key"
+    in
+    fun tu -> Relalg.Tuple.get tu idx
+  in
+  row "%8s  %16s  %16s\n" "k" "nary total depth" "pipeline total";
+  List.iter
+    (fun k ->
+      (* Flat. *)
+      let stream, nstats =
+        Exec.Rank_join_nary.hrjn_nary
+          ~inputs:
+            (List.map
+               (fun t -> { Exec.Rank_join_nary.stream = scored t; key = key_of t })
+               [ "A"; "B"; "C" ])
+          ()
+      in
+      ignore (Exec.Operator.scored_take stream k);
+      let nary_total =
+        Array.fold_left ( + ) 0 (Exec.Exec_stats.depths nstats)
+      in
+      (* Binary pipeline via the executor (alternate polling). *)
+      let plan = Core.Plan.Top_k { k; input = plan_p cat } in
+      let result = Core.Executor.run cat plan in
+      let pipe_total =
+        List.fold_left
+          (fun acc rn ->
+            acc
+            + rn.Core.Executor.stats.Exec.Rank_join.left_depth
+            + rn.Core.Executor.stats.Exec.Rank_join.right_depth)
+          0 result.Core.Executor.rank_nodes
+      in
+      row "%8d  %16d  %16d\n" k nary_total pipe_total)
+    [ 5; 20; 50; 200 ];
+  row
+    "\nExpected: the flat operator consumes fewer base tuples overall (no\n\
+     intermediate-k inflation through the pipeline), at the price of larger\n\
+     in-flight combination state.\n"
+
+(* Histogram-slab (weight-aware) depth estimation vs execution, for a
+   weighted two-way ranking (extension validation). *)
+let ablate_slabs () =
+  section
+    "Ablation - weight-aware (histogram-slab) depth estimation\n\
+     (2 inputs, n = 4000, s = 1/400, k = 10; weights swept)";
+  row "%14s  %10s %10s  %12s %12s\n" "weights" "est dL" "est dR" "actual dL" "actual dR";
+  List.iter
+    (fun (wa, wb) ->
+      let cat = two_table_catalog ~n:4000 ~domain:400 ~seed:96 ~pool_frames:512 () in
+      let query = topk_query ~weights:[ ("A", wa); ("B", wb) ] ~k:10 [ "A"; "B" ] in
+      let env = Core.Cost_model.default_env ~k_min:10 cat query in
+      let plan =
+        Core.Plan.Join
+          {
+            algo = Core.Plan.Hrjn;
+            cond = cond ~left:"A" ~right:"B";
+            left = index_scan_desc cat "A";
+            right = index_scan_desc cat "B";
+            left_score = Some (Relalg.Expr.Mul (Relalg.Expr.cfloat wa, score_of "A"));
+            right_score = Some (Relalg.Expr.Mul (Relalg.Expr.cfloat wb, score_of "B"));
+          }
+      in
+      let d =
+        match plan with
+        | Core.Plan.Join { cond; left; right; _ } ->
+            Core.Cost_model.rank_join_depths env plan ~k:10.0 ~cond ~left ~right
+        | _ -> assert false
+      in
+      let topk = Core.Plan.Top_k { k = 10; input = plan } in
+      let ann = Core.Propagate.run env ~k:10 topk in
+      let result = Core.Executor.run ~hints:ann cat topk in
+      match result.Core.Executor.rank_nodes with
+      | [ rn ] ->
+          row "%6.1f / %5.1f  %10.0f %10.0f  %12d %12d\n" wa wb
+            d.Core.Depth_model.d_left d.Core.Depth_model.d_right
+            rn.Core.Executor.stats.Exec.Rank_join.left_depth
+            rn.Core.Executor.stats.Exec.Rank_join.right_depth
+      | _ -> row "unexpected plan shape\n")
+    [ (0.5, 0.5); (0.7, 0.3); (0.9, 0.1) ];
+  row
+    "\nExpected: skewed weights skew both the estimated and the executed\n\
+     consumption toward the low-weight input (finer discrimination needed\n\
+     there), which a weight-blind uniform model cannot predict.\n"

@@ -1,0 +1,97 @@
+(* Wall-clock micro-benchmarks (Bechamel): operator and data-structure
+   throughput. These complement the figure reproductions, which use the
+   simulated I/O cost model rather than wall time. *)
+
+open Relalg
+open Bechamel
+open Toolkit
+
+let make_inputs () =
+  let cat = Bench_util.two_table_catalog ~n:2000 ~domain:200 ~seed:81 () in
+  cat
+
+let topk_via cat config =
+  let query = Bench_util.topk_query ~k:10 [ "A"; "B" ] in
+  let planned = Core.Optimizer.optimize ~config cat query in
+  fun () -> ignore (Core.Optimizer.execute cat planned)
+
+let hrjn_once cat =
+  let plan = Core.Plan.Top_k { k = 10; input = Bench_util.hrjn_plan cat } in
+  fun () -> ignore (Core.Executor.run cat plan)
+
+let sort_once cat =
+  let plan = Core.Plan.Top_k { k = 10; input = Bench_util.sort_plan cat } in
+  fun () -> ignore (Core.Executor.run cat plan)
+
+let btree_bulk () =
+  let prng = Rkutil.Prng.create 91 in
+  let entries =
+    List.init 2000 (fun i ->
+        (Value.Float (Rkutil.Prng.uniform prng), Tuple.make [ Value.Int i ]))
+  in
+  fun () -> ignore (Storage.Btree.bulk_load (Storage.Io_stats.create ()) entries)
+
+let btree_probe () =
+  let prng = Rkutil.Prng.create 92 in
+  let io = Storage.Io_stats.create () in
+  let t = Storage.Btree.create io () in
+  for i = 0 to 1999 do
+    Storage.Btree.insert t
+      (Value.Float (float_of_int (i mod 500)))
+      (Tuple.make [ Value.Int i ])
+  done;
+  fun () ->
+    ignore (Storage.Btree.lookup t (Value.Float (Rkutil.Prng.float prng 500.0)))
+
+let heap_churn () =
+  let prng = Rkutil.Prng.create 93 in
+  fun () ->
+    let h = Rkutil.Heap.create ~cmp:Float.compare in
+    for _ = 1 to 500 do
+      Rkutil.Heap.push h (Rkutil.Prng.uniform prng)
+    done;
+    ignore (Rkutil.Heap.drain h)
+
+let ta_topk () =
+  let prng = Rkutil.Prng.create 94 in
+  let sources =
+    Array.init 3 (fun _ ->
+        Ranking.Source.of_scores
+          (List.init 2000 (fun oid -> (oid, Rkutil.Prng.uniform prng))))
+  in
+  fun () -> ignore (Ranking.Aggregate.ta ~combine:Scoring.Sum ~k:10 sources)
+
+let tests () =
+  let cat = make_inputs () in
+  [
+    Test.make ~name:"hrjn-top10-2x2000" (Staged.stage (hrjn_once cat));
+    Test.make ~name:"sortplan-top10-2x2000" (Staged.stage (sort_once cat));
+    Test.make ~name:"optimizer-plan+exec"
+      (Staged.stage (topk_via cat Core.Enumerator.default_config));
+    Test.make ~name:"btree-bulkload-2000" (Staged.stage (btree_bulk ()));
+    Test.make ~name:"btree-probe" (Staged.stage (btree_probe ()));
+    Test.make ~name:"heap-push/drain-500" (Staged.stage (heap_churn ()));
+    Test.make ~name:"ta-top10-3x2000" (Staged.stage (ta_topk ()));
+  ]
+
+let run () =
+  Bench_util.section "Micro-benchmarks (Bechamel, wall clock per run)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~stabilize:false ~quota:(Time.second 0.25) ()
+  in
+  let grouped = Test.make_grouped ~name:"micro" ~fmt:"%s %s" (tests ()) in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns_per_run ] ->
+          Printf.printf "  %-34s %12.1f ns/run (%8.3f ms)\n" name ns_per_run
+            (ns_per_run /. 1e6)
+      | _ -> Printf.printf "  %-34s (no estimate)\n" name)
+    (List.sort compare rows)

@@ -1,0 +1,200 @@
+(* rankopt: command-line front end for the rank-aware query engine.
+
+   Generate a synthetic catalog and run top-k SQL against it:
+
+     dune exec bin/rankopt.exe -- query \
+       --table A:5000:200 --table B:5000:200 \
+       "SELECT A.id, B.id FROM A, B WHERE A.key = B.key \
+        ORDER BY 0.3*A.score + 0.7*B.score DESC LIMIT 5"
+
+   Other commands: explain (plan only), repl (interactive). *)
+
+open Cmdliner
+
+type table_spec = { tname : string; rows : int; domain : int }
+
+let parse_table_spec s =
+  match String.split_on_char ':' s with
+  | [ tname; rows; domain ] -> (
+      match int_of_string_opt rows, int_of_string_opt domain with
+      | Some rows, Some domain when rows > 0 && domain > 0 ->
+          Ok { tname; rows; domain }
+      | _ -> Error (`Msg "expected NAME:ROWS:KEYDOMAIN with positive integers"))
+  | _ -> Error (`Msg "expected NAME:ROWS:KEYDOMAIN")
+
+let table_spec_conv =
+  Arg.conv
+    ( parse_table_spec,
+      fun fmt t -> Format.fprintf fmt "%s:%d:%d" t.tname t.rows t.domain )
+
+let tables_arg =
+  let doc =
+    "Synthetic table to create, as NAME:ROWS:KEYDOMAIN. Columns are (id, \
+     key, score) with a descending score index and a key index; the join \
+     selectivity between two tables is 1/KEYDOMAIN. Repeatable."
+  in
+  Arg.(
+    value
+    & opt_all table_spec_conv
+        [
+          { tname = "A"; rows = 5000; domain = 200 };
+          { tname = "B"; rows = 5000; domain = 200 };
+        ]
+    & info [ "table"; "t" ] ~docv:"SPEC" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for data generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let pool_arg =
+  let doc = "Buffer pool size in pages." in
+  Arg.(value & opt int 256 & info [ "pool" ] ~docv:"FRAMES" ~doc)
+
+let verbose_arg =
+  let doc = "Enable optimizer debug logging." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let traditional_arg =
+  let doc = "Disable rank-aware optimization (join-then-sort plans only)." in
+  Arg.(value & flag & info [ "traditional" ] ~doc)
+
+let from_arg =
+  let doc = "Load the catalog from a directory saved with --save instead of generating tables." in
+  Arg.(value & opt (some dir) None & info [ "from" ] ~docv:"DIR" ~doc)
+
+let save_arg =
+  let doc = "After building the catalog, persist it to this directory." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~docv:"DIR" ~doc)
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let build_catalog ?from_dir ?save_dir specs seed pool_frames =
+  let catalog =
+    match from_dir with
+    | Some dir -> Storage.Persist.load ~pool_frames ~dir ()
+    | None ->
+        let catalog = Storage.Catalog.create ~pool_frames () in
+        List.iteri
+          (fun i spec ->
+            ignore
+              (Workload.Generator.load_scored_table catalog
+                 (Rkutil.Prng.create (seed + (97 * i)))
+                 ~name:spec.tname ~n:spec.rows ~key_domain:spec.domain ()))
+          specs;
+        catalog
+  in
+  (match save_dir with
+  | Some dir -> Storage.Persist.save catalog ~dir
+  | None -> ());
+  catalog
+
+let config_of traditional =
+  if traditional then { Core.Enumerator.rank_aware = false; first_rows = false }
+  else Core.Enumerator.default_config
+
+let print_answer (ans : Sqlfront.Sql.answer) =
+  Printf.printf "%s\n" (String.concat " | " ans.Sqlfront.Sql.columns);
+  List.iteri
+    (fun i row ->
+      let score =
+        match List.nth_opt ans.Sqlfront.Sql.scores i with
+        | Some s -> Printf.sprintf "   [score %.6f]" s
+        | None -> ""
+      in
+      Printf.printf "%s%s\n" (Relalg.Tuple.to_string row) score)
+    ans.Sqlfront.Sql.rows;
+  Printf.printf "(%d rows; plan: %s)\n"
+    (List.length ans.Sqlfront.Sql.rows)
+    (Core.Plan.describe ans.Sqlfront.Sql.planned.Core.Optimizer.plan)
+
+let run_sql catalog config sql =
+  match Sqlfront.Sql.query ~config catalog sql with
+  | Ok ans ->
+      print_answer ans;
+      `Ok ()
+  | Error e -> `Error (false, e)
+
+let query_cmd =
+  let run verbose tables seed pool traditional from_dir save_dir sql =
+    setup_logs verbose;
+    let catalog = build_catalog ?from_dir ?save_dir tables seed pool in
+    run_sql catalog (config_of traditional) sql
+  in
+  let doc = "Generate synthetic tables (or --from a saved catalog) and execute a top-k SQL query." in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      ret
+        (const run $ verbose_arg $ tables_arg $ seed_arg $ pool_arg
+       $ traditional_arg $ from_arg $ save_arg $ sql_arg))
+
+let explain_cmd =
+  let run tables seed pool traditional from_dir sql =
+    let catalog = build_catalog ?from_dir tables seed pool in
+    match Sqlfront.Sql.explain ~config:(config_of traditional) catalog sql with
+    | Ok text ->
+        print_string text;
+        `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  let doc = "Show the optimizer's chosen plan for a query without running it." in
+  Cmd.v
+    (Cmd.info "explain" ~doc)
+    Term.(
+      ret
+        (const run $ tables_arg $ seed_arg $ pool_arg $ traditional_arg
+       $ from_arg $ sql_arg))
+
+let repl_cmd =
+  let run tables seed pool traditional from_dir =
+    let catalog = build_catalog ?from_dir tables seed pool in
+    let config = config_of traditional in
+    Printf.printf
+      "rankopt repl — %s loaded; terminate statements with a newline, \\q quits.\n"
+      (String.concat ", "
+         (List.map (fun t -> Printf.sprintf "%s(%d)" t.tname t.rows) tables));
+    let rec loop () =
+      print_string "sql> ";
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line when String.trim line = "\\q" -> ()
+      | Some line when String.trim line = "" -> loop ()
+      | Some line ->
+          (match String.trim line with
+          | l
+            when String.length l >= 8
+                 && String.uppercase_ascii (String.sub l 0 8) = "EXPLAIN " -> (
+              let sql = String.sub l 8 (String.length l - 8) in
+              match Sqlfront.Sql.explain ~config catalog sql with
+              | Ok text -> print_string text
+              | Error e -> Printf.printf "error: %s\n" e)
+          | sql -> (
+              match Sqlfront.Sql.execute ~config catalog sql with
+              | Ok (Sqlfront.Sql.Rows ans) -> print_answer ans
+              | Ok (Sqlfront.Sql.Affected n) -> Printf.printf "%d row(s) affected\n" n
+              | Error e -> Printf.printf "error: %s\n" e));
+          loop ()
+    in
+    loop ();
+    `Ok ()
+  in
+  let doc =
+    "Interactive SQL prompt over generated tables: SELECT/WITH queries, \
+     INSERT INTO ... VALUES, DELETE FROM, and an EXPLAIN prefix."
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc)
+    Term.(
+      ret (const run $ tables_arg $ seed_arg $ pool_arg $ traditional_arg $ from_arg))
+
+let main_cmd =
+  let doc = "rank-aware top-k query engine (SIGMOD 2004 reproduction)" in
+  let info = Cmd.info "rankopt" ~version:"1.0.0" ~doc in
+  Cmd.group info [ query_cmd; explain_cmd; repl_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/materialized_views.ml: Core Expr Float List Printf Relalg Rkutil Storage Unix Workload

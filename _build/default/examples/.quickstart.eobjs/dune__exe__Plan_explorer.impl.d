@@ -1,0 +1,1 @@
+examples/plan_explorer.ml: Core Expr Format Hashtbl List Printf Relalg Rkutil Schema Storage String Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Core Exec Expr Format List Printf Relalg Rkutil Storage Tuple Workload

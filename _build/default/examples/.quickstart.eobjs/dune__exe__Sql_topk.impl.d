@@ -1,0 +1,1 @@
+examples/sql_topk.ml: Core List Printf Relalg Rkutil Sqlfront Storage String Workload

@@ -1,0 +1,1 @@
+examples/strategies.ml: Core Float List Printf Ranking Relalg Unix Workload

@@ -1,0 +1,1 @@
+examples/video_similarity.ml: Array Core Exec Float Format List Printf Relalg Storage String Unix Workload

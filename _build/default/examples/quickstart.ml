@@ -1,0 +1,62 @@
+(* Quickstart: load two scored tables, ask for the top-5 join results by
+   combined score, and look at what the rank-aware optimizer did.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Relalg
+
+let () =
+  (* 1. A catalog owns storage, statistics and I/O accounting. *)
+  let catalog = Storage.Catalog.create () in
+
+  (* 2. Load two synthetic tables: columns (id, key, score). Each gets a
+     B+-tree on [score] (ranked access path) and one on [key]. The join key
+     domain controls join selectivity: s = 1/500. *)
+  let prng = Rkutil.Prng.create 42 in
+  ignore
+    (Workload.Generator.load_scored_table catalog prng ~name:"Restaurants"
+       ~n:5_000 ~key_domain:500 ());
+  ignore
+    (Workload.Generator.load_scored_table catalog prng ~name:"Hotels" ~n:5_000
+       ~key_domain:500 ());
+
+  (* 3. Describe the top-k join query: restaurants and hotels in the same
+     area (key = key), ranked by 0.4*restaurant score + 0.6*hotel score. *)
+  let query =
+    Core.Logical.make
+      ~relations:
+        [
+          Core.Logical.base
+            ~score:(Expr.col ~relation:"Restaurants" "score")
+            ~weight:0.4 "Restaurants";
+          Core.Logical.base
+            ~score:(Expr.col ~relation:"Hotels" "score")
+            ~weight:0.6 "Hotels";
+        ]
+      ~joins:[ Core.Logical.equijoin ("Restaurants", "key") ("Hotels", "key") ]
+      ~k:5 ()
+  in
+
+  (* 4. Optimize and execute. *)
+  let planned, result = Core.Optimizer.run_query catalog query in
+  print_string (Core.Optimizer.explain planned);
+  print_newline ();
+
+  (* 5. Results arrive ranked; the engine consumed only a prefix of each
+     input ("early out"), which the instrumentation shows. *)
+  Printf.printf "Top %d results:\n" (List.length result.Core.Executor.rows);
+  List.iteri
+    (fun i (tuple, score) ->
+      Printf.printf "  #%d  score=%.4f  %s\n" (i + 1) score (Tuple.to_string tuple))
+    result.Core.Executor.rows;
+  print_newline ();
+  List.iter
+    (fun rn ->
+      Printf.printf
+        "%s consumed %d left + %d right tuples (of 5000 each), buffered <= %d\n"
+        rn.Core.Executor.label rn.Core.Executor.stats.Exec.Rank_join.left_depth
+        rn.Core.Executor.stats.Exec.Rank_join.right_depth
+        rn.Core.Executor.stats.Exec.Rank_join.buffer_max)
+    result.Core.Executor.rank_nodes;
+  Printf.printf "Measured I/O: %s\n"
+    (Format.asprintf "%a" Storage.Io_stats.pp result.Core.Executor.io)

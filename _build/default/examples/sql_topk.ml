@@ -1,0 +1,79 @@
+(* Top-k queries through the SQL front end.
+
+   Demonstrates the surface syntax corresponding to the paper's Q1/Q2
+   (expressed in ORDER BY ... DESC LIMIT k form), EXPLAIN output, and error
+   reporting.
+
+   Run with: dune exec examples/sql_topk.exe *)
+
+let show_answer (ans : Sqlfront.Sql.answer) =
+  Printf.printf "  %s\n" (String.concat " | " ans.Sqlfront.Sql.columns);
+  List.iteri
+    (fun i row ->
+      let score =
+        match List.nth_opt ans.Sqlfront.Sql.scores i with
+        | Some s -> Printf.sprintf "  [score %.4f]" s
+        | None -> ""
+      in
+      Printf.printf "  %s%s\n" (Relalg.Tuple.to_string row) score)
+    ans.Sqlfront.Sql.rows
+
+let run catalog sql =
+  Printf.printf "SQL> %s\n" sql;
+  (match Sqlfront.Sql.query catalog sql with
+  | Ok ans ->
+      show_answer ans;
+      Printf.printf "  (plan: %s)\n"
+        (Core.Plan.describe ans.Sqlfront.Sql.planned.Core.Optimizer.plan)
+  | Error e -> Printf.printf "  ERROR: %s\n" e);
+  print_newline ()
+
+let () =
+  let catalog = Storage.Catalog.create () in
+  let prng = Rkutil.Prng.create 123 in
+  List.iter
+    (fun name ->
+      ignore
+        (Workload.Generator.load_scored_table catalog prng ~name ~n:3000
+           ~key_domain:150 ()))
+    [ "A"; "B"; "C" ];
+
+  run catalog
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key \
+     ORDER BY 0.3*A.score + 0.7*B.score DESC LIMIT 5";
+
+  run catalog
+    "SELECT A.id, B.id, C.id FROM A, B, C \
+     WHERE A.key = B.key AND B.key = C.key \
+     ORDER BY A.score + B.score + C.score DESC LIMIT 3";
+
+  run catalog
+    "SELECT id, score FROM A WHERE A.score >= 0.9 ORDER BY A.score DESC LIMIT 4";
+
+  run catalog "SELECT A.id FROM A LIMIT 3";
+
+  (* EXPLAIN. *)
+  Printf.printf "EXPLAIN> top-5 two-way rank query\n";
+  (match
+     Sqlfront.Sql.explain catalog
+       "SELECT * FROM A, B WHERE A.key = B.key \
+        ORDER BY A.score + B.score DESC LIMIT 5"
+   with
+  | Ok text -> print_string text
+  | Error e -> Printf.printf "ERROR: %s\n" e);
+  print_newline ();
+
+  (* The paper's Query Q1, verbatim (SQL99 windowed form, desugared by the
+     parser to the equivalent top-k join). *)
+  run catalog
+    "WITH RankedABC AS ( \
+       SELECT A.id AS x, B.id AS y, \
+              rank() OVER (ORDER BY 0.3*A.score + 0.7*B.score) AS rank \
+       FROM A, B, C \
+       WHERE A.key = B.key AND B.key = C.key) \
+     SELECT x, y, rank FROM RankedABC WHERE rank <= 5";
+
+  (* Error reporting. *)
+  run catalog "SELECT * FROM Nowhere";
+  run catalog
+    "SELECT * FROM A, B WHERE A.key = B.key ORDER BY A.score * B.score DESC LIMIT 2"

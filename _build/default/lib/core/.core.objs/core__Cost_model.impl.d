@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Depth_model Expr Float List Logical Option Plan Relalg Rkutil Storage String Value

@@ -1,0 +1,1 @@
+lib/core/depth_model.ml: Float Rkutil

@@ -1,0 +1,1 @@
+lib/core/enumerator.ml: Array Cost_model Expr Interesting_orders List Logical Memo Option Plan Relalg Storage String

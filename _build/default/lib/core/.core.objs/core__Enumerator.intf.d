@@ -1,0 +1,1 @@
+lib/core/enumerator.mli: Cost_model Interesting_orders Memo

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Depth_model Exec Expr Interesting_orders List Logical Plan Propagate Relalg Schema Storage String Tuple

@@ -1,0 +1,1 @@
+lib/core/executor.mli: Exec Plan Propagate Relalg Schema Storage Tuple

@@ -1,0 +1,1 @@
+lib/core/filter_restart.ml: Exec Expr Float Hashtbl List Logical Relalg Rkutil Storage

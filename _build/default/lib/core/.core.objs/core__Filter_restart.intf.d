@@ -1,0 +1,1 @@
+lib/core/filter_restart.mli: Logical Relalg Storage Tuple

@@ -1,0 +1,1 @@
+lib/core/interesting_orders.ml: Array Expr Format List Logical Relalg

@@ -1,0 +1,1 @@
+lib/core/interesting_orders.mli: Expr Format Logical Relalg

@@ -1,0 +1,1 @@
+lib/core/logical.ml: Expr Format Hashtbl List Option Relalg String

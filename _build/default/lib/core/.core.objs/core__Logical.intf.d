@@ -1,0 +1,1 @@
+lib/core/logical.mli: Expr Format Relalg

@@ -1,0 +1,1 @@
+lib/core/memo.ml: Cost_model Float Format Hashtbl Interesting_orders List Plan Relalg

@@ -1,0 +1,1 @@
+lib/core/memo.mli: Cost_model Format Plan

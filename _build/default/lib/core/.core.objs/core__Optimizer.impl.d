@@ -1,0 +1,1 @@
+lib/core/optimizer.ml: Buffer Cost_model Enumerator Executor Format Interesting_orders Logical Logs Memo Option Plan Propagate

@@ -1,0 +1,1 @@
+lib/core/optimizer.mli: Cost_model Enumerator Executor Interesting_orders Logical Plan Storage

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Expr Format Interesting_orders List Logical Option Printf Relalg Schema Storage String

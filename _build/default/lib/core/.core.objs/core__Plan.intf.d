@@ -1,0 +1,1 @@
+lib/core/plan.mli: Expr Format Interesting_orders Logical Relalg Schema Storage

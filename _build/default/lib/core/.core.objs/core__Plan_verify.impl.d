@@ -1,0 +1,1 @@
+lib/core/plan_verify.ml: Expr Interesting_orders List Logical Plan Printf Relalg Result Storage String

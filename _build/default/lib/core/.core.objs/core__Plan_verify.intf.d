@@ -1,0 +1,1 @@
+lib/core/plan_verify.mli: Plan Storage

@@ -1,0 +1,1 @@
+lib/core/propagate.ml: Cost_model Depth_model Float Format List Plan Printf Rkutil Storage String

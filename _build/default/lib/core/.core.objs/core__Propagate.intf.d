@@ -1,0 +1,1 @@
+lib/core/propagate.mli: Cost_model Depth_model Format Plan

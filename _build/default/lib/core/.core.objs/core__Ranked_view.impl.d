@@ -1,0 +1,1 @@
+lib/core/ranked_view.ml: Executor Expr Float List Logical Optimizer Option Relalg Schema Storage Tuple

@@ -1,0 +1,1 @@
+lib/core/ranked_view.mli: Enumerator Logical Relalg Schema Storage Tuple

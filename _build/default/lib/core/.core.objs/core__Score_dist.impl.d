@@ -1,0 +1,1 @@
+lib/core/score_dist.ml: Rkutil

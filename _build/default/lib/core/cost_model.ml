@@ -1,0 +1,447 @@
+open Relalg
+
+type env = {
+  catalog : Storage.Catalog.t;
+  query : Logical.t;
+  k_min : int;
+  cpu_factor : float;
+  memory_tuples : int;
+  sort_fan_in : int;
+  nl_block_tuples : int;
+  depth_mode : [ `Average | `Worst ];
+}
+
+let default_env ?(k_min = 1) ?(cpu_factor = 0.002) ?(memory_tuples = 10_000)
+    ?(sort_fan_in = 8) ?(nl_block_tuples = 1000) ?(depth_mode = `Worst)
+    catalog query =
+  {
+    catalog;
+    query;
+    k_min = max 1 k_min;
+    cpu_factor;
+    memory_tuples = max 2 memory_tuples;
+    sort_fan_in = max 2 sort_fan_in;
+    nl_block_tuples = max 1 nl_block_tuples;
+    depth_mode;
+  }
+
+type estimate = {
+  rows : float;
+  total_cost : float;
+  cost_at : float -> float;
+  k_dependent : bool;
+}
+
+let table_info env name = Storage.Catalog.table env.catalog name
+
+let tuples_per_page env = float_of_int (Storage.Catalog.tuples_per_page env.catalog)
+
+let base_cardinality env name =
+  float_of_int (table_info env name).Storage.Catalog.tb_stats.Storage.Catalog.ts_cardinality
+
+let filter_selectivity env schema pred =
+  ignore schema;
+  let default = 1.0 /. 3.0 in
+  let column_const op r c =
+    match (r : Expr.column_ref).relation with
+    | None -> default
+    | Some table -> (
+        match Storage.Catalog.column_stats env.catalog ~table ~column:r.name with
+        | None -> default
+        | Some cs -> (
+            let x = Value.to_float c in
+            let h = cs.Storage.Catalog.cs_histogram in
+            match op with
+            | Expr.Eq -> Storage.Histogram.selectivity_eq h x
+            | Expr.Ne -> 1.0 -. Storage.Histogram.selectivity_eq h x
+            | Expr.Lt | Expr.Le -> Storage.Histogram.selectivity_le h x
+            | Expr.Gt | Expr.Ge -> 1.0 -. Storage.Histogram.selectivity_le h x))
+  in
+  let rec go = function
+    | Expr.Cmp (op, Expr.Col r, Expr.Const c)
+      when not (Value.is_null c) ->
+        column_const op r c
+    | Expr.Cmp (op, Expr.Const c, Expr.Col r) when not (Value.is_null c) ->
+        let flip = function
+          | Expr.Lt -> Expr.Gt
+          | Expr.Le -> Expr.Ge
+          | Expr.Gt -> Expr.Lt
+          | Expr.Ge -> Expr.Le
+          | (Expr.Eq | Expr.Ne) as o -> o
+        in
+        column_const (flip op) r c
+    | Expr.And (a, b) -> go a *. go b
+    | Expr.Or (a, b) ->
+        let sa = go a and sb = go b in
+        Rkutil.Mathx.clamp ~lo:0.0 ~hi:1.0 (sa +. sb -. (sa *. sb))
+    | Expr.Not a -> 1.0 -. go a
+    | _ -> default
+  in
+  Rkutil.Mathx.clamp ~lo:1e-9 ~hi:1.0 (go pred)
+
+let join_selectivity env (j : Logical.join_pred) =
+  Storage.Catalog.estimate_join_selectivity env.catalog
+    ~left:(j.Logical.left_table, j.Logical.left_column)
+    ~right:(j.Logical.right_table, j.Logical.right_column)
+
+(* Number of ranked base relations under a plan (the model's l and r). *)
+let ranked_fan env plan =
+  let names = Plan.relations plan in
+  List.length
+    (List.filter
+       (fun n ->
+         match Logical.find_relation env.query n with
+         | b -> b.Logical.weight > 0.0 && Option.is_some b.Logical.score
+         | exception Not_found -> false)
+       names)
+
+let depth_params env ~k ~cond ~left ~right ~left_rows ~right_rows =
+  let s = Rkutil.Mathx.clamp ~lo:1e-12 ~hi:1.0 (join_selectivity env cond) in
+  let fan p = max 1 (ranked_fan env p) in
+  let n =
+    let names = Plan.relations left @ Plan.relations right in
+    let logs = List.map (fun m -> log (Float.max 1.0 (base_cardinality env m))) names in
+    exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (max 1 (List.length logs)))
+  in
+  {
+    Depth_model.k = Float.max 1.0 k;
+    s;
+    n = Float.max 1.0 n;
+    left = { Depth_model.fan = fan left; card = Float.max 1.0 left_rows };
+    right = { Depth_model.fan = fan right; card = Float.max 1.0 right_rows };
+  }
+
+(* Mean score-decrement slab of a side's (weighted, linear) score
+   expression, from column statistics: the "x"/"y" of the any-k formulas.
+   [None] when the expression is not linear over columns with stats. *)
+let side_slab env score_expr ~rows =
+  if rows < 2.0 then None
+  else
+    match score_expr with
+    | None -> None
+    | Some e -> (
+        match Expr.as_linear e with
+        | None -> None
+        | Some lin ->
+            let range =
+              List.fold_left
+                (fun acc ((w, r) : float * Expr.column_ref) ->
+                  match acc, r.Expr.relation with
+                  | None, _ | _, None -> None
+                  | Some total, Some table -> (
+                      match
+                        Storage.Catalog.column_stats env.catalog ~table
+                          ~column:r.Expr.name
+                      with
+                      | Some cs ->
+                          Some
+                            (total
+                            +. Float.abs w
+                               *. (cs.Storage.Catalog.cs_max -. cs.Storage.Catalog.cs_min))
+                      | None -> None))
+                (Some 0.0) lin.Expr.terms
+            in
+            match range with
+            | Some r when r > 0.0 -> Some (r /. (rows -. 1.0))
+            | _ -> None)
+
+let frac rows x = if rows <= 0.0 then 1.0 else Rkutil.Mathx.clamp ~lo:0.0 ~hi:1.0 (x /. rows)
+
+let rec estimate env plan =
+  match plan with
+  | Plan.Table_scan { table } ->
+      let info = table_info env table in
+      let rows = float_of_int info.Storage.Catalog.tb_stats.Storage.Catalog.ts_cardinality in
+      let pages = float_of_int info.Storage.Catalog.tb_stats.Storage.Catalog.ts_pages in
+      let cost_at x =
+        let x = Float.min x rows in
+        (pages *. frac rows x) +. (env.cpu_factor *. x)
+      in
+      { rows; total_cost = cost_at rows; cost_at; k_dependent = false }
+  | Plan.Index_scan { table; index; _ } ->
+      let info = table_info env table in
+      let rows = float_of_int info.Storage.Catalog.tb_stats.Storage.Catalog.ts_cardinality in
+      let pages = float_of_int info.Storage.Catalog.tb_stats.Storage.Catalog.ts_pages in
+      let leaf_cap = tuples_per_page env in
+      let height = Float.max 1.0 (log (Float.max 2.0 rows) /. log leaf_cap) in
+      let clustered =
+        match
+          List.find_opt
+            (fun ix -> String.equal ix.Storage.Catalog.ix_name index)
+            info.Storage.Catalog.tb_indexes
+        with
+        | Some ix -> ix.Storage.Catalog.ix_clustered
+        | None -> true
+      in
+      let frames = float_of_int (Storage.Buffer_pool.frames (Storage.Catalog.pool env.catalog)) in
+      let cost_at x =
+        let x = Float.min x rows in
+        if clustered then height +. (x /. leaf_cap) +. (env.cpu_factor *. x)
+        else begin
+          (* Unclustered: each entry fetches a heap page at random. With a
+             pool that holds the whole table the cost is the distinct pages
+             touched (Cardenas); with a smaller pool most fetches miss. *)
+          let touched =
+            if pages <= 0.0 then 0.0 else pages *. (1.0 -. exp (-.x /. pages))
+          in
+          let io =
+            if frames >= pages then touched
+            else Float.max touched (x *. (1.0 -. (frames /. Float.max 1.0 pages)))
+          in
+          height +. (x /. leaf_cap) +. io +. (env.cpu_factor *. x)
+        end
+      in
+      { rows; total_cost = cost_at rows; cost_at; k_dependent = false }
+  | Plan.Filter { pred; input } ->
+      let i = estimate env input in
+      let schema = Plan.schema_of env.catalog input in
+      let sel = filter_selectivity env schema pred in
+      let rows = i.rows *. sel in
+      let cost_at x =
+        let x = Float.min x rows in
+        let need = if sel <= 0.0 then i.rows else Float.min i.rows (x /. sel) in
+        i.cost_at need +. (env.cpu_factor *. need)
+      in
+      { rows; total_cost = cost_at rows; cost_at; k_dependent = i.k_dependent }
+  | Plan.Sort { input; _ } ->
+      let i = estimate env input in
+      let rows = i.rows in
+      let pages = rows /. tuples_per_page env in
+      let extra_io =
+        if rows <= float_of_int env.memory_tuples then 0.0
+        else begin
+          let runs = Float.ceil (rows /. float_of_int env.memory_tuples) in
+          let passes =
+            Float.ceil (log (Float.max 2.0 runs) /. log (float_of_int env.sort_fan_in))
+          in
+          2.0 *. pages *. Float.max 1.0 passes
+        end
+      in
+      let cpu = env.cpu_factor *. rows *. log (Float.max 2.0 rows) /. log 2.0 in
+      let total = i.total_cost +. extra_io +. cpu in
+      { rows; total_cost = total; cost_at = (fun _ -> total); k_dependent = false }
+  | Plan.Top_k { k; input } ->
+      let i = estimate env input in
+      let kf = float_of_int k in
+      let rows = Float.min kf i.rows in
+      let cost_at x = i.cost_at (Float.min x rows) in
+      { rows; total_cost = cost_at rows; cost_at; k_dependent = i.k_dependent }
+  | Plan.Join { algo; cond; left; right; _ } -> estimate_join env plan algo cond left right
+  | Plan.Nary_rank_join { inputs; key; tables; _ } ->
+      let ests = List.map (estimate env) inputs in
+      let m = List.length inputs in
+      (* Pairwise selectivity from the first adjacent pair (shared key, so
+         all pairs estimate alike). *)
+      let s =
+        match tables with
+        | a :: b :: _ ->
+            Rkutil.Mathx.clamp ~lo:1e-12 ~hi:1.0
+              (Storage.Catalog.estimate_join_selectivity env.catalog
+                 ~left:(a, key) ~right:(b, key))
+        | _ -> 1.0
+      in
+      let rows =
+        List.fold_left (fun acc e -> acc *. e.rows) 1.0 ests
+        *. (s ** float_of_int (m - 1))
+      in
+      let cpu = env.cpu_factor in
+      let cost_at x =
+        let x = Float.max 1.0 (Float.min x (Float.max 1.0 rows)) in
+        let d = Depth_model.nary_uniform_depth ~m ~k:x ~s in
+        List.fold_left
+          (fun acc e ->
+            let di = Float.min d e.rows in
+            acc +. e.cost_at di +. (cpu *. di))
+          (cpu *. x) ests
+      in
+      { rows; total_cost = cost_at rows; cost_at; k_dependent = true }
+
+and estimate_join env plan algo cond left right =
+  let l = estimate env left and r = estimate env right in
+  let s = Rkutil.Mathx.clamp ~lo:1e-12 ~hi:1.0 (join_selectivity env cond) in
+  let rows = l.rows *. r.rows *. s in
+  let cpu = env.cpu_factor in
+  match algo with
+  | Plan.Nested_loops ->
+      let blocks = Float.max 1.0 (Float.ceil (l.rows /. float_of_int env.nl_block_tuples)) in
+      let total =
+        l.total_cost +. (blocks *. r.total_cost) +. (cpu *. l.rows *. r.rows)
+      in
+      let cost_at x =
+        let f = frac rows x in
+        r.total_cost +. (f *. (total -. r.total_cost))
+      in
+      { rows; total_cost = total; cost_at; k_dependent = false }
+  | Plan.Index_nl ->
+      (* Right side must be a single base relation probed via an index. *)
+      let right_distinct =
+        match
+          Storage.Catalog.column_stats env.catalog ~table:cond.Logical.right_table
+            ~column:cond.Logical.right_column
+        with
+        | Some cs when cs.Storage.Catalog.cs_distinct > 0 ->
+            float_of_int cs.Storage.Catalog.cs_distinct
+        | _ -> Float.max 1.0 r.rows
+      in
+      let leaf_cap = tuples_per_page env in
+      let height = Float.max 1.0 (log (Float.max 2.0 r.rows) /. log leaf_cap) in
+      let matches_per_probe = r.rows /. right_distinct in
+      let per_probe = height +. (matches_per_probe /. leaf_cap) in
+      let total =
+        l.total_cost +. (l.rows *. per_probe) +. (cpu *. (l.rows +. rows))
+      in
+      let cost_at x =
+        let f = frac rows x in
+        l.cost_at (f *. l.rows)
+        +. (f *. l.rows *. per_probe)
+        +. (cpu *. f *. (l.rows +. rows))
+      in
+      { rows; total_cost = total; cost_at; k_dependent = l.k_dependent }
+  | Plan.Hash ->
+      (* The executor's hash join spills Grace partitions when the build
+         side exceeds memory: both inputs are then written and re-read. *)
+      let spill_io =
+        if r.rows <= float_of_int env.memory_tuples then 0.0
+        else 2.0 *. ((l.rows +. r.rows) /. tuples_per_page env)
+      in
+      let total =
+        l.total_cost +. r.total_cost +. spill_io
+        +. (cpu *. (l.rows +. r.rows +. rows))
+      in
+      let cost_at x =
+        let f = frac rows x in
+        r.total_cost +. spill_io
+        +. l.cost_at (f *. l.rows)
+        +. (cpu *. ((f *. l.rows) +. r.rows +. (f *. rows)))
+      in
+      { rows; total_cost = total; cost_at; k_dependent = l.k_dependent }
+  | Plan.Sort_merge ->
+      let total = l.total_cost +. r.total_cost +. (cpu *. (l.rows +. r.rows)) in
+      let cost_at x =
+        let f = frac rows x in
+        l.cost_at (f *. l.rows) +. r.cost_at (f *. r.rows)
+        +. (cpu *. f *. (l.rows +. r.rows))
+      in
+      {
+        rows;
+        total_cost = total;
+        cost_at;
+        k_dependent = l.k_dependent || r.k_dependent;
+      }
+  | Plan.Hrjn ->
+      let left_score, right_score =
+        match plan with
+        | Plan.Join { left_score; right_score; _ } -> (left_score, right_score)
+        | _ -> (None, None)
+      in
+      let slabs =
+        (* Histogram-derived slabs refine the uniform assumption for 2-way
+           joins of base ranked inputs (e.g. asymmetric score weights). *)
+        if ranked_fan env left = 1 && ranked_fan env right = 1 then
+          match
+            ( side_slab env left_score ~rows:l.rows,
+              side_slab env right_score ~rows:r.rows )
+          with
+          | Some x, Some y -> Some (x, y)
+          | _ -> None
+        else None
+      in
+      let depths k =
+        let p =
+          depth_params env ~k ~cond ~left ~right ~left_rows:l.rows
+            ~right_rows:r.rows
+        in
+        let d =
+          match slabs with
+          | Some (x, y) ->
+              Depth_model.top_k_depths_slabs ~k:p.Depth_model.k ~s:p.Depth_model.s ~x ~y
+          | None -> (
+              match env.depth_mode with
+              | `Average -> Depth_model.average_case_depths p
+              | `Worst -> Depth_model.worst_case_depths p)
+        in
+        Depth_model.clamped p d
+      in
+      let cost_at x =
+        let x = Float.max 1.0 (Float.min x (Float.max 1.0 rows)) in
+        let d = depths x in
+        l.cost_at d.Depth_model.d_left
+        +. r.cost_at d.Depth_model.d_right
+        +. (cpu
+           *. (d.Depth_model.d_left +. d.Depth_model.d_right +. x
+              +. Depth_model.buffer_upper_bound d ~s))
+      in
+      { rows; total_cost = cost_at rows; cost_at; k_dependent = true }
+  | Plan.Nrjn ->
+      (* Outer depth from the model; the inner input is fully re-scanned for
+         every outer tuple. *)
+      let depths k =
+        let p =
+          depth_params env ~k ~cond ~left ~right ~left_rows:l.rows
+            ~right_rows:r.rows
+        in
+        let d =
+          match env.depth_mode with
+          | `Average -> Depth_model.average_case_depths p
+          | `Worst -> Depth_model.worst_case_depths p
+        in
+        Depth_model.clamped p d
+      in
+      let cost_at x =
+        let x = Float.max 1.0 (Float.min x (Float.max 1.0 rows)) in
+        let d = depths x in
+        let outer = d.Depth_model.d_left in
+        l.cost_at outer
+        +. (outer *. r.total_cost)
+        +. (cpu *. ((outer *. r.rows) +. x))
+      in
+      { rows; total_cost = cost_at rows; cost_at; k_dependent = true }
+  [@@warning "-27"]
+
+let rank_join_depths env plan ~k ~cond ~left ~right =
+  let l = estimate env left and r = estimate env right in
+  let p = depth_params env ~k ~cond ~left ~right ~left_rows:l.rows ~right_rows:r.rows in
+  let left_score, right_score =
+    match plan with
+    | Plan.Join { left_score; right_score; _ } -> (left_score, right_score)
+    | _ -> (None, None)
+  in
+  let slabs =
+    if ranked_fan env left = 1 && ranked_fan env right = 1 then
+      match
+        ( side_slab env left_score ~rows:l.rows,
+          side_slab env right_score ~rows:r.rows )
+      with
+      | Some x, Some y -> Some (x, y)
+      | _ -> None
+    else None
+  in
+  let d =
+    match slabs with
+    | Some (x, y) ->
+        Depth_model.top_k_depths_slabs ~k:p.Depth_model.k ~s:p.Depth_model.s ~x ~y
+    | None -> (
+        match env.depth_mode with
+        | `Average -> Depth_model.average_case_depths p
+        | `Worst -> Depth_model.worst_case_depths p)
+  in
+  Depth_model.clamped p d
+
+let any_k_depths_for env ~k ~cond ~left ~right =
+  let l = estimate env left and r = estimate env right in
+  let p = depth_params env ~k ~cond ~left ~right ~left_rows:l.rows ~right_rows:r.rows in
+  (* Use the slab formulation with equal slabs scaled by n/card: for the
+     model's uniform-[0,n] convention the slab is n/card per input. *)
+  let x = p.Depth_model.n /. p.Depth_model.left.Depth_model.card in
+  let y = p.Depth_model.n /. p.Depth_model.right.Depth_model.card in
+  let c_l, c_r = Depth_model.any_k_depths ~k:p.Depth_model.k ~s:p.Depth_model.s ~x ~y in
+  Depth_model.clamped p { Depth_model.d_left = c_l; d_right = c_r }
+
+let k_star env ~rank_plan ~sort_plan =
+  let rank = estimate env rank_plan in
+  let sort = estimate env sort_plan in
+  let na = Float.max 1.0 rank.rows in
+  let f k = rank.cost_at k -. sort.total_cost in
+  if f na <= 0.0 then None (* rank plan cheaper everywhere: k* > na *)
+  else if f 1.0 >= 0.0 then Some 1.0
+  else Some (Rkutil.Mathx.bisect ~f ~lo:1.0 ~hi:na ())

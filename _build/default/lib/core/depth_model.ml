@@ -1,0 +1,108 @@
+type side = {
+  fan : int;
+  card : float;
+}
+
+type params = {
+  k : float;
+  s : float;
+  n : float;
+  left : side;
+  right : side;
+}
+
+type depths = { d_left : float; d_right : float }
+
+let check_ks k s =
+  if k < 1.0 then invalid_arg "Depth_model: k < 1";
+  if s <= 0.0 || s > 1.0 then invalid_arg "Depth_model: selectivity outside (0,1]"
+
+let any_k_depths ~k ~s ~x ~y =
+  check_ks k s;
+  if x <= 0.0 || y <= 0.0 then invalid_arg "Depth_model.any_k_depths: slab <= 0";
+  let c_l = sqrt (y *. k /. (x *. s)) in
+  let c_r = sqrt (x *. k /. (y *. s)) in
+  (c_l, c_r)
+
+let top_k_depths_slabs ~k ~s ~x ~y =
+  let c_l, c_r = any_k_depths ~k ~s ~x ~y in
+  { d_left = c_l +. (y /. x *. c_r); d_right = c_r +. (x /. y *. c_l) }
+
+let uniform_depth ~k ~s =
+  check_ks k s;
+  2.0 *. sqrt (k /. s)
+
+let nary_uniform_depth ~m ~k ~s =
+  check_ks k s;
+  if m < 2 then invalid_arg "Depth_model.nary_uniform_depth: m < 2";
+  let mf = float_of_int m in
+  mf *. exp ((log k -. ((mf -. 1.0) *. log s)) /. mf)
+
+let check_params p =
+  check_ks p.k p.s;
+  if p.n < 1.0 then invalid_arg "Depth_model: n < 1";
+  if p.left.fan < 1 || p.right.fan < 1 then invalid_arg "Depth_model: fan < 1"
+
+(* Equations 2-5. Everything is assembled in log space because the
+   factorial powers overflow floats for modest l, r. *)
+let worst_case_depths p =
+  check_params p;
+  let l = float_of_int p.left.fan and r = float_of_int p.right.fan in
+  let logfact = Rkutil.Mathx.log_factorial in
+  let log_k = log p.k and log_n = log p.n and log_s = log p.s in
+  (* cL^(r+l) = (r!)^l k^l n^(r-l) l^(rl) / ( s^l (l!)^r r^(rl) ) *)
+  let log_cl =
+    ((l *. logfact p.right.fan)
+    +. (l *. log_k)
+    +. ((r -. l) *. log_n)
+    +. (r *. l *. log l)
+    -. (l *. log_s)
+    -. (r *. logfact p.left.fan)
+    -. (r *. l *. log r))
+    /. (r +. l)
+  in
+  let log_cr =
+    ((r *. logfact p.left.fan)
+    +. (r *. log_k)
+    +. ((l -. r) *. log_n)
+    +. (r *. l *. log r)
+    -. (r *. log_s)
+    -. (l *. logfact p.right.fan)
+    -. (r *. l *. log l))
+    /. (r +. l)
+  in
+  let d_left = exp (log_cl +. (l *. log1p (r /. l))) in
+  let d_right = exp (log_cr +. (r *. log1p (l /. r))) in
+  { d_left; d_right }
+
+(* dL^(l+r) = ((l+r)!)^l k^l n^(r-l) / ( (l!)^(l+r) s^l ), and symmetrically
+   for dR. *)
+let average_case_depths p =
+  check_params p;
+  let l = float_of_int p.left.fan and r = float_of_int p.right.fan in
+  let logfact = Rkutil.Mathx.log_factorial in
+  let log_joint = logfact (p.left.fan + p.right.fan) in
+  let log_k = log p.k and log_n = log p.n and log_s = log p.s in
+  let log_dl =
+    ((l *. log_joint)
+    +. (l *. log_k)
+    +. ((r -. l) *. log_n)
+    -. ((l +. r) *. logfact p.left.fan)
+    -. (l *. log_s))
+    /. (l +. r)
+  in
+  let log_dr =
+    ((r *. log_joint)
+    +. (r *. log_k)
+    +. ((l -. r) *. log_n)
+    -. ((l +. r) *. logfact p.right.fan)
+    -. (r *. log_s))
+    /. (l +. r)
+  in
+  { d_left = exp log_dl; d_right = exp log_dr }
+
+let clamped p d =
+  let clamp card v = Rkutil.Mathx.clamp ~lo:1.0 ~hi:(Float.max 1.0 card) v in
+  { d_left = clamp p.left.card d.d_left; d_right = clamp p.right.card d.d_right }
+
+let buffer_upper_bound d ~s = d.d_left *. d.d_right *. s

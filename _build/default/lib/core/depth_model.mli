@@ -1,0 +1,63 @@
+(** Probabilistic estimation of rank-join input cardinality — Section 4.
+
+    The {e depth} of a rank-join operator is the number of tuples it must
+    consume from an input to produce the top [k] join results. The model
+    proceeds in three steps (Figure 7):
+
+    + {e Any-k depths} [cL, cR]: enough tuples that ~k valid join results
+      exist among them (Theorem 1: [s·cL·cR ≥ k]).
+    + {e Top-k depths} [dL, dR]: deep enough that those k results are
+      guaranteed to be the global top-k (Theorem 2, via score-difference
+      slabs).
+    + Choose [cL, cR] to minimise [dL, dR].
+
+    Closed forms are provided for uniform base scores (slab form), for the
+    worst case over sum-of-uniform (u{_j}) inputs (Equations 2-5), and for
+    the average case. All are computed in log space. *)
+
+type side = {
+  fan : int;  (** Number of base ranked relations feeding this input (l or r). *)
+  card : float;  (** Cardinality of this input stream. *)
+}
+
+type params = {
+  k : float;  (** Required number of ranked join results (≥ 1). *)
+  s : float;  (** Join selectivity (0 < s ≤ 1). *)
+  n : float;  (** Per-base-relation cardinality (the paper's n). *)
+  left : side;
+  right : side;
+}
+
+type depths = { d_left : float; d_right : float }
+
+val any_k_depths : k:float -> s:float -> x:float -> y:float -> float * float
+(** Slab form of step 1: [cL = sqrt(y·k / (x·s))], [cR = sqrt(x·k / (y·s))],
+    where [x]/[y] are the mean score decrements per rank position of the
+    left/right input. These minimise [δ = x·cL + y·cR] under [s·cL·cR ≥ k]. *)
+
+val top_k_depths_slabs : k:float -> s:float -> x:float -> y:float -> depths
+(** Steps 2+3 in slab form: [dL = cL + (y/x)·cR], [dR = cR + (x/y)·cL]. For
+    equal slabs both collapse to [2·sqrt(k/s)]. *)
+
+val uniform_depth : k:float -> s:float -> float
+(** The symmetric special case [2·sqrt(k/s)]. *)
+
+val nary_uniform_depth : m:int -> k:float -> s:float -> float
+(** Symmetric per-input depth for a flat m-way rank join on one shared key
+    with pairwise selectivity [s]: any-k needs [s^(m-1)·c^m ≥ k] and the
+    Theorem-2 slack multiplies by m, giving
+    [d = m·(k / s^(m-1))^(1/m)]. Reduces to [2·sqrt(k/s)] at m = 2. *)
+
+val worst_case_depths : params -> depths
+(** Equations 2-5: strict upper bounds for a join of a u{_l}-distributed
+    input with a u{_r}-distributed input. *)
+
+val average_case_depths : params -> depths
+(** The average-case closed form (end of Section 4.3). *)
+
+val clamped : params -> depths -> depths
+(** Clamp each depth into [\[1, side.card\]] — an operator can never read
+    more tuples than its input holds. *)
+
+val buffer_upper_bound : depths -> s:float -> float
+(** Worst-case rank-join buffer size [dL·dR·s] (Section 5.3). *)

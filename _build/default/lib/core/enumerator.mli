@@ -1,0 +1,42 @@
+(** Bottom-up System R dynamic-programming enumeration, extended with
+    rank-aware plan generation (Section 3.2).
+
+    Access paths: table scans, index scans in the direction an interesting
+    order asks for, plus eagerly enforced sorts. Join level: for every
+    connected partition (L, R) of a connected subset, traditional join
+    choices (block NL, index NL, hash, sort-merge over ordered inputs) and —
+    when rank-aware — the rank-join choices:
+
+    - HRJN when both sides have plans ordered on their partial score
+      expressions;
+    - NRJN when the outer side has such a plan (the inner may be any
+      restartable plan, scored or not).
+
+    Enforcer sorts glue every still-interesting order expression onto the
+    cheapest plan of each entry, so ranked inputs exist at the next level. *)
+
+type config = {
+  rank_aware : bool;  (** Generate rank-join plans and score orders. *)
+  first_rows : bool;  (** Protect pipelined plans from pruning. *)
+}
+
+val default_config : config
+
+type stats = {
+  entries : int;  (** Populated MEMO entries. *)
+  retained : int;  (** Plans kept after pruning (Figures 2-3 metric). *)
+  generated : int;  (** Plans offered to the MEMO. *)
+}
+
+type result = {
+  memo : Memo.t;
+  best : Memo.subplan option;  (** Best full plan (Top-k applied if ranking). *)
+  stats : stats;
+  interesting : Interesting_orders.interesting_order list;
+}
+
+val run : ?config:config -> Cost_model.env -> result
+(** Enumerate plans for [env.query] over [env.catalog]. *)
+
+val relation_mask : Cost_model.env -> string list -> int
+(** Bitmask of the given relations (useful to inspect MEMO entries). *)

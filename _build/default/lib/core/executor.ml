@@ -1,0 +1,204 @@
+open Relalg
+
+type rank_node_stats = {
+  label : string;
+  algo : Plan.join_algo;
+  stats : Exec.Rank_join.stats;
+}
+
+type nary_node_stats = {
+  nary_label : string;
+  nary_stats : Exec.Exec_stats.t;
+}
+
+type run_result = {
+  rows : (Tuple.t * float) list;
+  io : Storage.Io_stats.snapshot;
+  rank_nodes : rank_node_stats list;
+  nary_nodes : nary_node_stats list;
+  schema : Schema.t;
+}
+
+let find_index catalog table name =
+  match
+    List.find_opt
+      (fun ix -> String.equal ix.Storage.Catalog.ix_name name)
+      (Storage.Catalog.indexes_on catalog table)
+  with
+  | Some ix -> ix
+  | None -> invalid_arg ("Executor: unknown index " ^ name)
+
+let key_extractor schema ~table ~column =
+  let f = Expr.compile schema (Expr.col ~relation:table column) in
+  f
+
+let score_fn schema = function
+  | Some e -> Expr.compile_float schema e
+  | None -> fun _ -> 0.0
+
+let sort_budget catalog =
+  Exec.Sort.budget
+    ~tuples_per_page:(Storage.Catalog.tuples_per_page catalog)
+    (Storage.Catalog.pool catalog)
+
+let compile ?hints catalog plan =
+  let rank_nodes = ref [] in
+  let nary_nodes = ref [] in
+  (* [ann] mirrors the plan subtree currently being compiled, when hints were
+     provided for the whole plan. *)
+  let child_ann ann i =
+    match ann with
+    | None -> None
+    | Some a -> List.nth_opt a.Propagate.children i
+  in
+  let rec go ann plan : Exec.Operator.t =
+    match plan with
+    | Plan.Table_scan { table } ->
+        Exec.Scan.heap (Storage.Catalog.table catalog table)
+    | Plan.Index_scan { table; index; desc; _ } ->
+        let ix = find_index catalog table index in
+        if desc then Exec.Scan.index_desc catalog ix
+        else Exec.Scan.index_asc catalog ix
+    | Plan.Filter { pred; input } ->
+        Exec.Basic_ops.filter pred (go (child_ann ann 0) input)
+    | Plan.Sort { order; input } ->
+        let desc = order.Plan.direction = Interesting_orders.Desc in
+        Exec.Sort.by_expr (sort_budget catalog) ~desc order.Plan.expr
+          (go (child_ann ann 0) input)
+    | Plan.Top_k { k; input } ->
+        Exec.Basic_ops.limit k (go (child_ann ann 0) input)
+    | Plan.Nary_rank_join { inputs; scores; key; tables } ->
+        let compiled =
+          List.mapi (fun i input -> go (child_ann ann i) input) inputs
+        in
+        let nary_inputs =
+          List.map2
+            (fun (op, score) table ->
+              let schema = op.Exec.Operator.schema in
+              {
+                Exec.Rank_join_nary.stream =
+                  Exec.Operator.with_score (Expr.compile_float schema score) op;
+                key = key_extractor schema ~table ~column:key;
+              })
+            (List.combine compiled scores)
+            tables
+        in
+        let stream, stats = Exec.Rank_join_nary.hrjn_nary ~inputs:nary_inputs () in
+        nary_nodes :=
+          { nary_label = Plan.describe plan; nary_stats = stats } :: !nary_nodes;
+        Exec.Operator.scored_to_plain stream
+    | Plan.Join { algo; cond; left; right; left_score; right_score } -> (
+        let lt = cond.Logical.left_table and lc = cond.Logical.left_column in
+        let rt = cond.Logical.right_table and rc = cond.Logical.right_column in
+        let pred = Expr.(col ~relation:lt lc = col ~relation:rt rc) in
+        match algo with
+        | Plan.Nested_loops ->
+            Exec.Join.nested_loops ~pred (go (child_ann ann 0) left)
+              (go (child_ann ann 1) right)
+        | Plan.Hash ->
+            (* Memory-adaptive: degenerates to an in-memory hash join when
+               the build side fits, spills Grace partitions otherwise. *)
+            Exec.Join.grace_hash
+              ~left_key:(Expr.col ~relation:lt lc)
+              ~right_key:(Expr.col ~relation:rt rc)
+              (sort_budget catalog)
+              (go (child_ann ann 0) left)
+              (go (child_ann ann 1) right)
+        | Plan.Sort_merge ->
+            Exec.Join.merge_only
+              ~left_key:(Expr.col ~relation:lt lc)
+              ~right_key:(Expr.col ~relation:rt rc)
+              (go (child_ann ann 0) left)
+              (go (child_ann ann 1) right)
+        | Plan.Index_nl ->
+            let info = Storage.Catalog.table catalog rt in
+            let ix =
+              match
+                Storage.Catalog.find_index_on_expr catalog ~table:rt
+                  (Expr.col ~relation:rt rc)
+              with
+              | Some ix -> ix
+              | None -> invalid_arg "Executor: INL join without index"
+            in
+            Exec.Join.index_nested_loops
+              ~left_key:(Expr.col ~relation:lt lc)
+              ~right_schema:info.Storage.Catalog.tb_schema
+              ~lookup:(Exec.Scan.index_probe catalog ix)
+              (go (child_ann ann 0) left)
+        | Plan.Hrjn ->
+            let lop = go (child_ann ann 0) left
+            and rop = go (child_ann ann 1) right in
+            let lschema = lop.Exec.Operator.schema
+            and rschema = rop.Exec.Operator.schema in
+            let left_input =
+              {
+                Exec.Rank_join.stream =
+                  Exec.Operator.with_score (score_fn lschema left_score) lop;
+                key = key_extractor lschema ~table:lt ~column:lc;
+              }
+            in
+            let right_input =
+              {
+                Exec.Rank_join.stream =
+                  Exec.Operator.with_score (score_fn rschema right_score) rop;
+                key = key_extractor rschema ~table:rt ~column:rc;
+              }
+            in
+            let polling =
+              match ann with
+              | Some { Propagate.depths = Some d; _ }
+                when d.Depth_model.d_right > 0.0 ->
+                  Exec.Rank_join.Ratio
+                    (d.Depth_model.d_left /. d.Depth_model.d_right)
+              | _ -> Exec.Rank_join.Alternate
+            in
+            let stream, stats =
+              Exec.Rank_join.hrjn ~polling ~combine:( +. ) ~left:left_input
+                ~right:right_input ()
+            in
+            rank_nodes :=
+              { label = Plan.describe plan; algo; stats } :: !rank_nodes;
+            Exec.Operator.scored_to_plain stream
+        | Plan.Nrjn ->
+            let lop = go (child_ann ann 0) left
+            and rop = go (child_ann ann 1) right in
+            let lschema = lop.Exec.Operator.schema
+            and rschema = rop.Exec.Operator.schema in
+            let outer =
+              Exec.Operator.with_score (score_fn lschema left_score) lop
+            in
+            let stream, stats =
+              Exec.Rank_join.nrjn ~combine:( +. ) ~pred ~outer ~inner:rop
+                ~inner_score:(score_fn rschema right_score) ()
+            in
+            rank_nodes :=
+              { label = Plan.describe plan; algo; stats } :: !rank_nodes;
+            Exec.Operator.scored_to_plain stream)
+  in
+  let op = go hints plan in
+  (op, List.rev !rank_nodes, List.rev !nary_nodes)
+
+let run ?hints ?fetch_limit catalog plan =
+  let op, rank_nodes, nary_nodes = compile ?hints catalog plan in
+  let schema = op.Exec.Operator.schema in
+  let score =
+    match Plan.order_of plan with
+    | Some { Plan.expr; _ } when Expr.bound_by schema expr ->
+        Expr.compile_float schema expr
+    | _ -> fun _ -> 0.0
+  in
+  let io = Storage.Catalog.io catalog in
+  let before = Storage.Io_stats.snapshot io in
+  let tuples =
+    match fetch_limit with
+    | None -> Exec.Operator.to_list op
+    | Some n -> Exec.Operator.take op n
+  in
+  let after = Storage.Io_stats.snapshot io in
+  {
+    rows = List.map (fun tu -> (tu, score tu)) tuples;
+    io = Storage.Io_stats.diff after before;
+    rank_nodes;
+    nary_nodes;
+    schema;
+  }

@@ -1,0 +1,47 @@
+(** Compile physical plans to [exec] operator trees and run them.
+
+    Execution is instrumented: measured I/O (through the catalog's counters)
+    and, for every rank-join node, the actual input depths and buffer
+    high-water mark — the quantities the estimation model of Section 4
+    predicts and Section 5 validates. *)
+
+open Relalg
+
+type rank_node_stats = {
+  label : string;  (** One-line description of the rank-join node. *)
+  algo : Plan.join_algo;
+  stats : Exec.Rank_join.stats;
+}
+
+type nary_node_stats = {
+  nary_label : string;
+  nary_stats : Exec.Exec_stats.t;  (** Per-input depths + buffer. *)
+}
+
+type run_result = {
+  rows : (Tuple.t * float) list;
+      (** Output tuples with their ranking score (0.0 for unranked plans). *)
+  io : Storage.Io_stats.snapshot;  (** I/O charged during this run. *)
+  rank_nodes : rank_node_stats list;  (** Binary rank joins, pre-order. *)
+  nary_nodes : nary_node_stats list;  (** N-ary rank joins, pre-order. *)
+  schema : Schema.t;
+}
+
+val compile :
+  ?hints:Propagate.annotation ->
+  Storage.Catalog.t ->
+  Plan.t ->
+  Exec.Operator.t * rank_node_stats list * nary_node_stats list
+(** Build the operator tree; rank-join statistics are filled during
+    execution. When a depth-propagation annotation is supplied (from
+    {!Propagate.run} on the same plan), HRJN nodes poll their inputs in the
+    estimated optimal depth ratio instead of alternating. *)
+
+val run :
+  ?hints:Propagate.annotation ->
+  ?fetch_limit:int ->
+  Storage.Catalog.t ->
+  Plan.t ->
+  run_result
+(** Open, pull (up to [fetch_limit] rows, default everything), close. I/O is
+    measured as a diff of the catalog's counters around the run. *)

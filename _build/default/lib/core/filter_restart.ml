@@ -1,0 +1,212 @@
+open Relalg
+
+type stats = {
+  restarts : int;
+  attempts_io : int list;
+  final_cutoff : float;
+}
+
+(* Per-relation score characteristics under a uniform-per-column
+   independence assumption: mean, variance, min, max of the (weighted)
+   score expression. *)
+type score_profile = {
+  sp_mean : float;
+  sp_var : float;
+  sp_min : float;
+  sp_max : float;
+}
+
+let column_profile catalog table column =
+  match Storage.Catalog.column_stats catalog ~table ~column with
+  | Some cs ->
+      let range = cs.Storage.Catalog.cs_max -. cs.Storage.Catalog.cs_min in
+      {
+        sp_mean = (cs.Storage.Catalog.cs_min +. cs.Storage.Catalog.cs_max) /. 2.0;
+        sp_var = range *. range /. 12.0;
+        sp_min = cs.Storage.Catalog.cs_min;
+        sp_max = cs.Storage.Catalog.cs_max;
+      }
+  | None -> { sp_mean = 0.0; sp_var = 0.0; sp_min = 0.0; sp_max = 0.0 }
+
+let scale w p =
+  {
+    sp_mean = w *. p.sp_mean;
+    sp_var = w *. w *. p.sp_var;
+    sp_min = (if w >= 0.0 then w *. p.sp_min else w *. p.sp_max);
+    sp_max = (if w >= 0.0 then w *. p.sp_max else w *. p.sp_min);
+  }
+
+let combine a b =
+  {
+    sp_mean = a.sp_mean +. b.sp_mean;
+    sp_var = a.sp_var +. b.sp_var;
+    sp_min = a.sp_min +. b.sp_min;
+    sp_max = a.sp_max +. b.sp_max;
+  }
+
+let zero_profile = { sp_mean = 0.0; sp_var = 0.0; sp_min = 0.0; sp_max = 0.0 }
+
+(* Profile of a relation's weighted score expression (linear form over its
+   own columns). *)
+let relation_profile catalog (b : Logical.base) =
+  match b.Logical.score with
+  | None -> None
+  | Some e -> (
+      match Expr.as_linear e with
+      | None -> None
+      | Some lin ->
+          let terms =
+            List.map
+              (fun ((w, r) : float * Expr.column_ref) ->
+                match r.Expr.relation with
+                | Some tbl -> scale (w *. b.Logical.weight) (column_profile catalog tbl r.Expr.name)
+                | None -> zero_profile)
+              lin.Expr.terms
+          in
+          Some (List.fold_left combine zero_profile terms))
+
+let query_profiles catalog (q : Logical.t) =
+  List.map
+    (fun b ->
+      match relation_profile catalog b with
+      | Some p -> (b, p)
+      | None -> failwith "Filter_restart: every relation needs a linear score")
+    q.Logical.relations
+
+let expected_join_size catalog (q : Logical.t) =
+  let card name =
+    float_of_int
+      (Storage.Catalog.table catalog name).Storage.Catalog.tb_stats
+        .Storage.Catalog.ts_cardinality
+  in
+  let base = List.fold_left (fun acc b -> acc *. card b.Logical.name) 1.0 q.Logical.relations in
+  List.fold_left
+    (fun acc j ->
+      acc
+      *. Storage.Catalog.estimate_join_selectivity catalog
+           ~left:(j.Logical.left_table, j.Logical.left_column)
+           ~right:(j.Logical.right_table, j.Logical.right_column))
+    base q.Logical.joins
+
+let initial_cutoff catalog q ~k ~safety =
+  let profiles = List.map snd (query_profiles catalog q) in
+  let total = List.fold_left combine zero_profile profiles in
+  let n = Float.max 1.0 (expected_join_size catalog q) in
+  let p = Rkutil.Mathx.clamp ~lo:1e-9 ~hi:0.999 (safety *. float_of_int k /. n) in
+  let sigma = sqrt (Float.max 1e-12 total.sp_var) in
+  let z = Rkutil.Mathx.normal_quantile (1.0 -. p) in
+  Rkutil.Mathx.clamp ~lo:total.sp_min ~hi:total.sp_max
+    (total.sp_mean +. (z *. sigma))
+
+(* One evaluation attempt: scans with pushed-down per-relation cutoffs,
+   left-deep hash joins in the query's join order, then the combined-score
+   filter. Returns all qualifying (tuple, score). *)
+let attempt catalog (q : Logical.t) profiles cutoff =
+  let total = List.fold_left combine zero_profile (List.map snd profiles) in
+  let scan (b : Logical.base) =
+    let info = Storage.Catalog.table catalog b.Logical.name in
+    let base = Exec.Scan.heap info in
+    let filtered =
+      match b.Logical.filter with
+      | None -> base
+      | Some pred -> Exec.Basic_ops.filter pred base
+    in
+    (* Pushdown: a result can only reach [cutoff] if this relation's score
+       is at least cutoff - (sum of the other relations' maxima). *)
+    match b.Logical.score, List.assoc_opt b (profiles :> (Logical.base * score_profile) list) with
+    | Some score_expr, Some p ->
+        let bound = cutoff -. (total.sp_max -. p.sp_max) in
+        if bound > p.sp_min then
+          Exec.Basic_ops.filter
+            (Expr.Cmp
+               ( Expr.Ge,
+                 Expr.Mul (Expr.cfloat b.Logical.weight, score_expr),
+                 Expr.cfloat bound ))
+            filtered
+        else filtered
+    | _ -> filtered
+  in
+  let ops = Hashtbl.create 8 in
+  List.iter (fun b -> Hashtbl.replace ops b.Logical.name (scan b)) q.Logical.relations;
+  let joined = Hashtbl.create 8 in
+  let acc = ref None in
+  List.iter
+    (fun (j : Logical.join_pred) ->
+      let lkey = Expr.col ~relation:j.Logical.left_table j.Logical.left_column in
+      let rkey = Expr.col ~relation:j.Logical.right_table j.Logical.right_column in
+      match !acc with
+      | None ->
+          Hashtbl.replace joined j.Logical.left_table ();
+          Hashtbl.replace joined j.Logical.right_table ();
+          acc :=
+            Some
+              (Exec.Join.hash ~left_key:lkey ~right_key:rkey
+                 (Hashtbl.find ops j.Logical.left_table)
+                 (Hashtbl.find ops j.Logical.right_table))
+      | Some a ->
+          let fresh =
+            if Hashtbl.mem joined j.Logical.right_table then j.Logical.left_table
+            else j.Logical.right_table
+          in
+          Hashtbl.replace joined fresh ();
+          acc := Some (Exec.Join.hash ~left_key:lkey ~right_key:rkey a (Hashtbl.find ops fresh)))
+    q.Logical.joins;
+  let plan_op =
+    match !acc with
+    | Some op -> op
+    | None -> (
+        match q.Logical.relations with
+        | [ b ] -> Hashtbl.find ops b.Logical.name
+        | _ -> failwith "Filter_restart: no joins for a multi-relation query")
+  in
+  let scoring =
+    match Logical.scoring_expr q with
+    | Some e -> e
+    | None -> failwith "Filter_restart: not a ranking query"
+  in
+  let schema = plan_op.Exec.Operator.schema in
+  let scoref = Expr.compile_float schema scoring in
+  let out = Exec.Operator.to_list plan_op in
+  List.filter_map
+    (fun tu ->
+      let s = scoref tu in
+      if s >= cutoff then Some (tu, s) else None)
+    out
+
+let top_k ?(safety = 2.0) ?(relax = 0.5) catalog (q : Logical.t) =
+  match q.Logical.k with
+  | None -> Error "Filter_restart: query has no k"
+  | Some k -> (
+      match query_profiles catalog q with
+      | exception Failure msg -> Error msg
+      | profiles ->
+          let total = List.fold_left combine zero_profile (List.map snd profiles) in
+          let io = Storage.Catalog.io catalog in
+          let rec go cutoff attempts ios =
+            let before = Storage.Io_stats.snapshot io in
+            let results = attempt catalog q profiles cutoff in
+            let after = Storage.Io_stats.snapshot io in
+            let spent = Storage.Io_stats.total_io (Storage.Io_stats.diff after before) in
+            let ios = spent :: ios in
+            let enough = List.length results >= k in
+            let exhausted = cutoff <= total.sp_min +. 1e-12 in
+            if enough || exhausted || attempts >= 20 then begin
+              let sorted =
+                List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) results
+              in
+              let topk = List.filteri (fun i _ -> i < k) sorted in
+              Ok
+                ( topk,
+                  {
+                    restarts = attempts;
+                    attempts_io = List.rev ios;
+                    final_cutoff = cutoff;
+                  } )
+            end
+            else begin
+              (* Relax toward the minimum possible combined score. *)
+              let cutoff' = total.sp_min +. (relax *. (cutoff -. total.sp_min)) in
+              go cutoff' (attempts + 1) ios
+            end
+          in
+          go (initial_cutoff catalog q ~k ~safety) 0 [])

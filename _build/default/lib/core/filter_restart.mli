@@ -1,0 +1,36 @@
+(** The filter/restart baseline for top-k queries (Section 6 related work:
+    Carey & Kossmann; Donjerkovic & Ramakrishnan).
+
+    Ranking is mapped to a selection: guess a cutoff score, evaluate the
+    query keeping only results whose combined score reaches the cutoff, and
+    {e restart} with a relaxed cutoff whenever fewer than [k] results
+    qualify. A probabilistic estimate over the score histograms picks the
+    initial cutoff. Implemented here as a baseline to quantify what the
+    rank-join approach saves (restart work is wasted work). *)
+
+open Relalg
+
+type stats = {
+  restarts : int;  (** Number of extra attempts after the first. *)
+  attempts_io : int list;  (** Measured I/O per attempt, first attempt first. *)
+  final_cutoff : float;
+}
+
+val initial_cutoff :
+  Storage.Catalog.t -> Logical.t -> k:int -> safety:float -> float
+(** Cutoff such that the expected number of qualifying join results is
+    [safety · k], assuming independent per-relation scores (normal
+    approximation to the sum via mean/variance from the histograms). *)
+
+val top_k :
+  ?safety:float ->
+  ?relax:float ->
+  Storage.Catalog.t ->
+  Logical.t ->
+  ((Tuple.t * float) list * stats, string) result
+(** Evaluate the ranking query by filter/restart: hash-join the inputs with
+    the cutoff pushed into per-relation filters, keep results above the
+    cutoff, sort, and return the top k; on a miss relax the cutoff by
+    [relax] (default 0.5: halve the distance to the minimum) and restart.
+    [safety] (default 2.0) over-provisions the initial cutoff. Requires a
+    ranking query whose relations all carry score expressions. *)

@@ -1,0 +1,144 @@
+open Relalg
+
+type base = {
+  name : string;
+  filter : Expr.t option;
+  score : Expr.t option;
+  weight : float;
+}
+
+type join_pred = {
+  left_table : string;
+  left_column : string;
+  right_table : string;
+  right_column : string;
+}
+
+type t = {
+  relations : base list;
+  joins : join_pred list;
+  k : int option;
+}
+
+let base ?filter ?score ?weight name =
+  let weight =
+    match weight, score with
+    | Some w, _ -> w
+    | None, Some _ -> 1.0
+    | None, None -> 0.0
+  in
+  { name; filter; score; weight }
+
+let equijoin (lt, lc) (rt, rc) =
+  { left_table = lt; left_column = lc; right_table = rt; right_column = rc }
+
+let relation_names t = List.map (fun b -> b.name) t.relations
+
+let connected_set relations joins names =
+  match names with
+  | [] | [ _ ] -> true
+  | first :: _ ->
+      ignore relations;
+      let member n = List.mem n names in
+      let visited = Hashtbl.create 8 in
+      let rec visit n =
+        if not (Hashtbl.mem visited n) then begin
+          Hashtbl.add visited n ();
+          List.iter
+            (fun j ->
+              if String.equal j.left_table n && member j.right_table then
+                visit j.right_table
+              else if String.equal j.right_table n && member j.left_table then
+                visit j.left_table)
+            joins
+        end
+      in
+      visit first;
+      List.for_all (Hashtbl.mem visited) names
+
+let make ~relations ~joins ?k () =
+  let names = List.map (fun b -> b.name) relations in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg ("Logical.make: duplicate relation " ^ n);
+      Hashtbl.add seen n ())
+    names;
+  List.iter
+    (fun j ->
+      if not (Hashtbl.mem seen j.left_table) then
+        invalid_arg ("Logical.make: join references unknown relation " ^ j.left_table);
+      if not (Hashtbl.mem seen j.right_table) then
+        invalid_arg ("Logical.make: join references unknown relation " ^ j.right_table))
+    joins;
+  if not (connected_set relations joins names) then
+    invalid_arg "Logical.make: disconnected join graph";
+  { relations; joins; k }
+
+let find_relation t name =
+  match List.find_opt (fun b -> String.equal b.name name) t.relations with
+  | Some b -> b
+  | None -> raise Not_found
+
+let ranked_relations t =
+  List.filter (fun b -> b.weight > 0.0 && Option.is_some b.score) t.relations
+
+let is_ranking t = Option.is_some t.k && ranked_relations t <> []
+
+let weighted_terms bases =
+  List.filter_map
+    (fun b ->
+      match b.score with
+      | Some e when b.weight > 0.0 -> Some (b.weight, e)
+      | _ -> None)
+    bases
+
+let scoring_expr t =
+  match weighted_terms t.relations with
+  | [] -> None
+  | terms -> Some (Expr.weighted_sum terms)
+
+let partial_scoring_expr t names =
+  let bases = List.filter (fun b -> List.mem b.name names) t.relations in
+  match weighted_terms bases with
+  | [] -> None
+  | terms -> Some (Expr.weighted_sum terms)
+
+let joins_between t left_names right_names =
+  List.filter_map
+    (fun j ->
+      if List.mem j.left_table left_names && List.mem j.right_table right_names
+      then Some j
+      else if
+        List.mem j.right_table left_names && List.mem j.left_table right_names
+      then
+        Some
+          {
+            left_table = j.right_table;
+            left_column = j.right_column;
+            right_table = j.left_table;
+            right_column = j.left_column;
+          }
+      else None)
+    t.joins
+
+let connected t names = connected_set t.relations t.joins names
+
+let pp fmt t =
+  let pp_join fmt j =
+    Format.fprintf fmt "%s.%s = %s.%s" j.left_table j.left_column j.right_table
+      j.right_column
+  in
+  Format.fprintf fmt "SELECT ... FROM %s WHERE %a"
+    (String.concat ", " (relation_names t))
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " AND ")
+       pp_join)
+    t.joins;
+  (match scoring_expr t with
+  | Some e -> Format.fprintf fmt " ORDER BY %a DESC" Expr.pp e
+  | None -> ());
+  match t.k with
+  | Some k -> Format.fprintf fmt " LIMIT %d" k
+  | None -> ()

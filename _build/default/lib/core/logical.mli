@@ -1,0 +1,67 @@
+(** Logical description of a top-k join query.
+
+    The shape the optimizer works on: a set of base relations (each possibly
+    carrying a selection and a score expression), a conjunction of binary
+    equi-join predicates, a weighted-sum ranking function over the
+    per-relation scores, and the number of required answers [k]. Queries Q1
+    and Q2 of the paper are instances. *)
+
+open Relalg
+
+type base = {
+  name : string;  (** Catalog table name (also the alias). *)
+  filter : Expr.t option;  (** Single-table selection predicate. *)
+  score : Expr.t option;  (** Per-relation score expression, e.g. [A.c1]. *)
+  weight : float;  (** Weight of this relation's score in the ranking
+                       function; 0 when the relation is unranked. *)
+}
+
+type join_pred = {
+  left_table : string;
+  left_column : string;
+  right_table : string;
+  right_column : string;
+}
+
+type t = {
+  relations : base list;
+  joins : join_pred list;
+  k : int option;  (** [None] for a plain (unranked) join query. *)
+}
+
+val base : ?filter:Expr.t -> ?score:Expr.t -> ?weight:float -> string -> base
+(** Weight defaults to 1.0 when a score is given, 0.0 otherwise. *)
+
+val equijoin : string * string -> string * string -> join_pred
+
+val make : relations:base list -> joins:join_pred list -> ?k:int -> unit -> t
+(** @raise Invalid_argument on duplicate relation names, joins over unknown
+    relations, or a disconnected join graph with ≥ 2 relations. *)
+
+val find_relation : t -> string -> base
+(** @raise Not_found for unknown names. *)
+
+val ranked_relations : t -> base list
+(** Relations contributing to the ranking function (weight > 0, score set). *)
+
+val is_ranking : t -> bool
+(** The query has a ranking function and a [k]. *)
+
+val scoring_expr : t -> Expr.t option
+(** The full ranking expression [Σ wᵢ·scoreᵢ]; [None] when unranked. *)
+
+val partial_scoring_expr : t -> string list -> Expr.t option
+(** The ranking expression restricted to a subset of relations — the score
+    a rank-join subplan over that subset produces. [None] if no relation in
+    the subset is ranked. *)
+
+val joins_between : t -> string list -> string list -> join_pred list
+(** Join predicates connecting a relation in the first set to one in the
+    second (normalised so the left side names a relation of the first set). *)
+
+val connected : t -> string list -> bool
+(** Whether the join graph restricted to the given relations is connected. *)
+
+val relation_names : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+type subplan = {
+  plan : Plan.t;
+  est : Cost_model.estimate;
+  order : Plan.order option;
+  pipelined : bool;
+}
+
+let subplan_of env plan =
+  {
+    plan;
+    est = Cost_model.estimate env plan;
+    order = Plan.order_of plan;
+    pipelined = Plan.pipelined plan;
+  }
+
+type t = {
+  entries : (int, subplan list ref) Hashtbl.t;
+  mutable generated : int;
+}
+
+let create () = { entries = Hashtbl.create 64; generated = 0 }
+
+let decision_cost env sp = sp.est.Cost_model.cost_at (float_of_int env.Cost_model.k_min)
+
+(* Does [a] win the cost comparison against [b] decisively — i.e. for every
+   number of results that could be requested from this memo entry? *)
+let cost_dominates env a b =
+  let open Cost_model in
+  match a.est.k_dependent, b.est.k_dependent with
+  | false, false -> a.est.total_cost <= b.est.total_cost
+  | true, true ->
+      (* Same k propagates to both: compare at the minimum (costs of rank
+         plans only grow with k at the same rate family). *)
+      decision_cost env a <= decision_cost env b
+      && a.est.total_cost <= b.est.total_cost
+  | true, false ->
+      (* Rank plan vs blocking plan: decisive only when the rank plan wins
+         even at full output (k* > na). *)
+      let na = Float.max 1.0 a.est.rows in
+      a.est.cost_at na <= b.est.total_cost
+  | false, true ->
+      (* Blocking plan vs rank plan: decisive when it wins already at k_min
+         (k* <= k_min; larger k only makes the rank plan dearer). *)
+      a.est.total_cost <= decision_cost env b
+
+let dominates env ~first_rows a b =
+  Plan.order_satisfies ~have:a.order ~want:b.order
+  && ((not first_rows) || a.pipelined || not b.pipelined)
+  && cost_dominates env a b
+
+let add t env ~first_rows ~key sp =
+  t.generated <- t.generated + 1;
+  let entry =
+    match Hashtbl.find_opt t.entries key with
+    | Some e -> e
+    | None ->
+        let e = ref [] in
+        Hashtbl.add t.entries key e;
+        e
+  in
+  if List.exists (fun q -> dominates env ~first_rows q sp) !entry then false
+  else begin
+    entry := sp :: List.filter (fun q -> not (dominates env ~first_rows sp q)) !entry;
+    true
+  end
+
+let plans t key =
+  match Hashtbl.find_opt t.entries key with Some e -> !e | None -> []
+
+let entry_keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [])
+
+let retained t = Hashtbl.fold (fun _ e acc -> acc + List.length !e) t.entries 0
+
+let generated t = t.generated
+
+let best t env ?order key =
+  let candidates =
+    match order with
+    | None -> plans t key
+    | Some o ->
+        List.filter
+          (fun sp -> Plan.order_satisfies ~have:sp.order ~want:(Some o))
+          (plans t key)
+  in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+      Some
+        (List.fold_left
+           (fun acc sp ->
+             if decision_cost env sp < decision_cost env acc then sp else acc)
+           first rest)
+
+let pp_entry fmt plans =
+  List.iter
+    (fun sp ->
+      Format.fprintf fmt "  %-40s cost=%-10.1f %s %s@."
+        (Plan.describe sp.plan) sp.est.Cost_model.total_cost
+        (match sp.order with
+        | None -> "order=DC"
+        | Some o ->
+            Format.asprintf "order=%a %s" Relalg.Expr.pp o.Plan.expr
+              (match o.Plan.direction with
+              | Interesting_orders.Asc -> "ASC"
+              | Interesting_orders.Desc -> "DESC"))
+        (if sp.pipelined then "pipelined" else "blocking"))
+    plans

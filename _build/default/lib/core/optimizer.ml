@@ -1,0 +1,75 @@
+let log_src = Logs.Src.create "rankopt.optimizer" ~doc:"Rank-aware optimizer tracing"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type planned = {
+  query : Logical.t;
+  plan : Plan.t;
+  est : Cost_model.estimate;
+  stats : Enumerator.stats;
+  interesting : Interesting_orders.interesting_order list;
+  env : Cost_model.env;
+}
+
+let optimize ?(config = Enumerator.default_config) ?env catalog query =
+  let env =
+    match env with
+    | Some e -> e
+    | None ->
+        Cost_model.default_env
+          ~k_min:(Option.value ~default:1 query.Logical.k)
+          catalog query
+  in
+  let result = Enumerator.run ~config env in
+  Log.debug (fun m ->
+      m "enumerated %s: %d generated, %d retained over %d MEMO entries"
+        (Format.asprintf "%a" Logical.pp query)
+        result.Enumerator.stats.Enumerator.generated
+        result.Enumerator.stats.Enumerator.retained
+        result.Enumerator.stats.Enumerator.entries);
+  match result.Enumerator.best with
+  | None -> failwith "Optimizer.optimize: no plan found"
+  | Some sp ->
+      Log.info (fun m ->
+          m "chose %s (cost %.1f, %s)" (Plan.describe sp.Memo.plan)
+            sp.Memo.est.Cost_model.total_cost
+            (if Plan.has_rank_join sp.Memo.plan then "rank-aware" else "traditional"));
+      {
+        query;
+        plan = sp.Memo.plan;
+        est = sp.Memo.est;
+        stats = result.Enumerator.stats;
+        interesting = result.Enumerator.interesting;
+        env;
+      }
+
+let execute ?fetch_limit catalog planned =
+  let hints =
+    match planned.query.Logical.k with
+    | Some k when Plan.has_rank_join planned.plan ->
+        Some (Propagate.run planned.env ~k planned.plan)
+    | _ -> None
+  in
+  Executor.run ?hints ?fetch_limit catalog planned.plan
+
+let run_query ?config catalog query =
+  let planned = optimize ?config catalog query in
+  (planned, execute catalog planned)
+
+let explain planned =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  Format.fprintf fmt "Query: %a@." Logical.pp planned.query;
+  Format.fprintf fmt "Estimated cost: %.1f I/O units, %.0f rows@."
+    planned.est.Cost_model.total_cost planned.est.Cost_model.rows;
+  Format.fprintf fmt "Plans: %d generated, %d retained, %d MEMO entries@."
+    planned.stats.Enumerator.generated planned.stats.Enumerator.retained
+    planned.stats.Enumerator.entries;
+  Format.fprintf fmt "Plan:@.%a" Plan.pp planned.plan;
+  (match planned.query.Logical.k with
+  | Some k when Plan.has_rank_join planned.plan ->
+      Format.fprintf fmt "Depth propagation:@.%a" Propagate.pp
+        (Propagate.run planned.env ~k planned.plan)
+  | _ -> ());
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf

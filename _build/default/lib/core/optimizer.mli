@@ -1,0 +1,37 @@
+(** Top-level facade: optimize a logical query and execute the chosen plan.
+
+    This ties the framework together: interesting-order derivation, DP
+    enumeration with rank-aware pruning, depth/cost estimation, and the
+    instrumented executor. *)
+
+type planned = {
+  query : Logical.t;
+  plan : Plan.t;
+  est : Cost_model.estimate;
+  stats : Enumerator.stats;
+  interesting : Interesting_orders.interesting_order list;
+  env : Cost_model.env;
+}
+
+val optimize :
+  ?config:Enumerator.config ->
+  ?env:Cost_model.env ->
+  Storage.Catalog.t ->
+  Logical.t ->
+  planned
+(** Choose the best plan.
+    @raise Failure when the query yields no plan (e.g. no relations). *)
+
+val execute : ?fetch_limit:int -> Storage.Catalog.t -> planned -> Executor.run_result
+(** Run the chosen plan. For ranking queries the plan already contains the
+    Top-k limit. *)
+
+val run_query :
+  ?config:Enumerator.config ->
+  Storage.Catalog.t ->
+  Logical.t ->
+  planned * Executor.run_result
+(** [optimize] + [execute]. *)
+
+val explain : planned -> string
+(** Human-readable plan with cost, properties and depth propagation. *)

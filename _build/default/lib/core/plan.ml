@@ -1,0 +1,189 @@
+open Relalg
+
+type order = { expr : Expr.t; direction : Interesting_orders.direction }
+
+type join_algo =
+  | Nested_loops
+  | Index_nl
+  | Hash
+  | Sort_merge
+  | Hrjn
+  | Nrjn
+
+type t =
+  | Table_scan of { table : string }
+  | Index_scan of { table : string; index : string; key : Expr.t; desc : bool }
+  | Filter of { pred : Expr.t; input : t }
+  | Sort of { order : order; input : t }
+  | Join of {
+      algo : join_algo;
+      cond : Logical.join_pred;
+      left : t;
+      right : t;
+      left_score : Expr.t option;
+      right_score : Expr.t option;
+    }
+  | Top_k of { k : int; input : t }
+  | Nary_rank_join of {
+      inputs : t list;
+      scores : Expr.t list;
+      key : string;
+      tables : string list;
+    }
+
+let order_equal a b = a.direction = b.direction && Expr.equal a.expr b.expr
+
+let order_satisfies ~have ~want =
+  match want with
+  | None -> true
+  | Some w -> ( match have with None -> false | Some h -> order_equal h w)
+
+let combined_score left_score right_score =
+  match left_score, right_score with
+  | Some l, Some r -> Some (Expr.Add (l, r))
+  | Some l, None -> Some l
+  | None, Some r -> Some r
+  | None, None -> None
+
+let rec order_of = function
+  | Table_scan _ -> None
+  | Index_scan { key; desc; _ } ->
+      Some
+        {
+          expr = key;
+          direction = (if desc then Interesting_orders.Desc else Interesting_orders.Asc);
+        }
+  | Filter { input; _ } -> order_of input
+  | Sort { order; _ } -> Some order
+  | Join { algo = Hrjn | Nrjn; left_score; right_score; _ } ->
+      Option.map
+        (fun e -> { expr = e; direction = Interesting_orders.Desc })
+        (combined_score left_score right_score)
+  | Join { algo = Sort_merge; cond; _ } ->
+      Some
+        {
+          expr = Expr.col ~relation:cond.Logical.left_table cond.Logical.left_column;
+          direction = Interesting_orders.Asc;
+        }
+  | Join { algo = Hash | Index_nl; left; _ } -> order_of left
+  | Join { algo = Nested_loops; _ } -> None
+  | Top_k { input; _ } -> order_of input
+  | Nary_rank_join { scores; _ } ->
+      Some
+        {
+          expr =
+            List.fold_left
+              (fun acc e -> Expr.Add (acc, e))
+              (List.hd scores) (List.tl scores);
+          direction = Interesting_orders.Desc;
+        }
+
+let rec pipelined = function
+  | Table_scan _ | Index_scan _ -> true
+  | Filter { input; _ } -> pipelined input
+  | Sort _ -> false
+  | Join { algo = Nested_loops | Index_nl | Hash; left; _ } -> pipelined left
+  | Join { algo = Sort_merge; left; right; _ } -> pipelined left && pipelined right
+  | Join { algo = Hrjn; left; right; _ } -> pipelined left && pipelined right
+  | Join { algo = Nrjn; left; _ } -> pipelined left
+  | Top_k { input; _ } -> pipelined input
+  | Nary_rank_join { inputs; _ } -> List.for_all pipelined inputs
+
+let rec relations = function
+  | Table_scan { table } -> [ table ]
+  | Index_scan { table; _ } -> [ table ]
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } -> relations input
+  | Join { left; right; _ } -> relations left @ relations right
+  | Nary_rank_join { inputs; _ } -> List.concat_map relations inputs
+
+let rec has_rank_join = function
+  | Table_scan _ | Index_scan _ -> false
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
+      has_rank_join input
+  | Join { algo = Hrjn | Nrjn; _ } -> true
+  | Join { left; right; _ } -> has_rank_join left || has_rank_join right
+  | Nary_rank_join _ -> true
+
+let rec join_count = function
+  | Table_scan _ | Index_scan _ -> 0
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
+      join_count input
+  | Join { left; right; _ } -> 1 + join_count left + join_count right
+  | Nary_rank_join { inputs; _ } ->
+      List.length inputs - 1 + List.fold_left (fun acc i -> acc + join_count i) 0 inputs
+
+let rec schema_of catalog = function
+  | Table_scan { table } | Index_scan { table; _ } ->
+      (Storage.Catalog.table catalog table).Storage.Catalog.tb_schema
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
+      schema_of catalog input
+  | Join { left; right; _ } ->
+      Schema.concat (schema_of catalog left) (schema_of catalog right)
+  | Nary_rank_join { inputs; _ } -> (
+      match inputs with
+      | first :: rest ->
+          List.fold_left
+            (fun acc i -> Schema.concat acc (schema_of catalog i))
+            (schema_of catalog first) rest
+      | [] -> invalid_arg "Plan.schema_of: empty N-ary join")
+
+let algo_name = function
+  | Nested_loops -> "NLJ"
+  | Index_nl -> "INLJ"
+  | Hash -> "HJ"
+  | Sort_merge -> "MJ"
+  | Hrjn -> "HRJN"
+  | Nrjn -> "NRJN"
+
+let rec describe = function
+  | Table_scan { table } -> table
+  | Index_scan { table; desc; _ } -> Printf.sprintf "%s[ix%s]" table (if desc then "↓" else "↑")
+  | Filter { input; _ } -> Printf.sprintf "σ(%s)" (describe input)
+  | Sort { input; _ } -> Printf.sprintf "Sort(%s)" (describe input)
+  | Join { algo; left; right; _ } ->
+      Printf.sprintf "%s(%s,%s)" (algo_name algo) (describe left) (describe right)
+  | Top_k { k; input } -> Printf.sprintf "Top%d(%s)" k (describe input)
+  | Nary_rank_join { inputs; _ } ->
+      Printf.sprintf "HRJN*(%s)" (String.concat "," (List.map describe inputs))
+
+let dir_name = function Interesting_orders.Asc -> "ASC" | Interesting_orders.Desc -> "DESC"
+
+let pp fmt plan =
+  let rec go indent plan =
+    let pad = String.make indent ' ' in
+    match plan with
+    | Table_scan { table } -> Format.fprintf fmt "%sTableScan %s@." pad table
+    | Index_scan { table; index; key; desc } ->
+        Format.fprintf fmt "%sIndexScan %s using %s on %a %s@." pad table index
+          Expr.pp key
+          (if desc then "DESC" else "ASC")
+    | Filter { pred; input } ->
+        Format.fprintf fmt "%sFilter %a@." pad Expr.pp pred;
+        go (indent + 2) input
+    | Sort { order; input } ->
+        Format.fprintf fmt "%sSort on %a %s@." pad Expr.pp order.expr
+          (dir_name order.direction);
+        go (indent + 2) input
+    | Join { algo; cond; left; right; left_score; right_score } ->
+        Format.fprintf fmt "%s%s on %s.%s = %s.%s" pad (algo_name algo)
+          cond.Logical.left_table cond.Logical.left_column
+          cond.Logical.right_table cond.Logical.right_column;
+        (match combined_score left_score right_score with
+        | Some e when algo = Hrjn || algo = Nrjn ->
+            Format.fprintf fmt "  [rank: %a]" Expr.pp e
+        | _ -> ());
+        Format.fprintf fmt "@.";
+        go (indent + 2) left;
+        go (indent + 2) right
+    | Top_k { k; input } ->
+        Format.fprintf fmt "%sTopK k=%d@." pad k;
+        go (indent + 2) input
+    | Nary_rank_join { inputs; key; scores; _ } ->
+        Format.fprintf fmt "%sHRJN* on shared key %s  [rank: %a]@." pad key
+          Expr.pp
+          (List.fold_left
+             (fun acc e -> Expr.Add (acc, e))
+             (List.hd scores) (List.tl scores));
+        List.iter (go (indent + 2)) inputs
+  in
+  go 0 plan

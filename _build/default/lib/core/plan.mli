@@ -1,0 +1,81 @@
+(** Physical query plans and their plan properties.
+
+    A plan is a tree of physical operators. Two properties drive rank-aware
+    pruning (Section 3.3): the {e order} a plan produces (possibly an order
+    {e expression}, per Section 3.1) and whether the plan is {e pipelined}
+    (First-N-Rows optimization treats pipelining as a property that protects
+    a plan from being pruned by a cheaper blocking plan). *)
+
+open Relalg
+
+type order = { expr : Expr.t; direction : Interesting_orders.direction }
+
+type join_algo =
+  | Nested_loops
+  | Index_nl  (** Probes an index on the right (single) relation. *)
+  | Hash
+  | Sort_merge  (** Merge step only; inputs must already be ordered. *)
+  | Hrjn
+  | Nrjn  (** Left input is the ranked outer. *)
+
+type t =
+  | Table_scan of { table : string }
+  | Index_scan of { table : string; index : string; key : Expr.t; desc : bool }
+  | Filter of { pred : Expr.t; input : t }
+  | Sort of { order : order; input : t }
+      (** Blocking sort enforcer gluing an interesting order onto a subplan. *)
+  | Join of {
+      algo : join_algo;
+      cond : Logical.join_pred;
+      left : t;
+      right : t;
+      left_score : Expr.t option;
+          (** Rank joins: score expression of the left input (weights
+              included); [None] for traditional joins. *)
+      right_score : Expr.t option;
+    }
+  | Top_k of { k : int; input : t }
+      (** Stop after [k] results from a ranked input. *)
+  | Nary_rank_join of {
+      inputs : t list;  (** Each ordered on its own score expression. *)
+      scores : Expr.t list;  (** Per-input weighted score expressions. *)
+      key : string;  (** Shared join column name. *)
+      tables : string list;  (** Relation qualifying [key] for each input. *)
+    }
+      (** Flat m-way rank join on one shared key (star queries): one
+          threshold over all inputs instead of a binary pipeline. *)
+
+val order_equal : order -> order -> bool
+
+val order_satisfies : have:order option -> want:order option -> bool
+(** [true] when a plan producing [have] can serve where [want] is required
+    ([want = None] is satisfied by anything). *)
+
+val order_of : t -> order option
+(** The order property of a plan's output. Hash and index-nested-loops joins
+    preserve their left input's order; block nested loops destroys order;
+    sort-merge emits the (ascending) left join key order; rank joins emit
+    the combined score order. *)
+
+val pipelined : t -> bool
+(** Whether the plan produces its first results without consuming whole
+    inputs. [Sort] is blocking; rank-joins are "almost non-blocking" and
+    count as pipelined (Section 2.2); a hash join is pipelined in its probe
+    (left) input. *)
+
+val relations : t -> string list
+(** Base relations covered by the plan, in schema order. *)
+
+val has_rank_join : t -> bool
+
+val join_count : t -> int
+
+val schema_of : Storage.Catalog.t -> t -> Schema.t
+
+val algo_name : join_algo -> string
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line operator-tree rendering. *)
+
+val describe : t -> string
+(** One-line summary, e.g. ["HRJN(HRJN(A,B),C)"]. *)

@@ -1,0 +1,19 @@
+(** Structural well-formedness checks for physical plans.
+
+    The enumerator must only ever produce executable plans; these checks make
+    that an explicit, testable invariant (every plan retained in the MEMO is
+    verified in the test suite):
+
+    - referenced tables and indexes exist in the catalog;
+    - join conditions mention columns present on the matching side;
+    - rank joins carry score expressions bound by their inputs, and their
+      inputs produce the required descending orders;
+    - sort-merge inputs produce ascending orders on their join keys;
+    - index-nested-loops right sides are single base relations with an index
+      on the join column;
+    - expressions in filters/sorts are bound by their input schemas. *)
+
+val check : Storage.Catalog.t -> Plan.t -> (unit, string) result
+
+val check_exn : Storage.Catalog.t -> Plan.t -> unit
+(** @raise Failure with the first problem found. *)

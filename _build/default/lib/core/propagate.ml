@@ -1,0 +1,125 @@
+type annotation = {
+  node : Plan.t;
+  required : float;
+  depths : Depth_model.depths option;
+  children : annotation list;
+}
+
+let rec annotate env plan required =
+  match plan with
+  | Plan.Table_scan _ | Plan.Index_scan _ ->
+      { node = plan; required; depths = None; children = [] }
+  | Plan.Top_k { k; input } ->
+      let r = Float.min required (float_of_int k) in
+      { node = plan; required = r; depths = None; children = [ annotate env input r ] }
+  | Plan.Filter { pred; input } ->
+      let schema = Plan.schema_of env.Cost_model.catalog input in
+      let sel = Cost_model.filter_selectivity env schema pred in
+      let need = if sel <= 0.0 then infinity else required /. sel in
+      { node = plan; required; depths = None; children = [ annotate env input need ] }
+  | Plan.Sort { input; _ } ->
+      (* Blocking: the child must produce everything. *)
+      let child_est = Cost_model.estimate env input in
+      {
+        node = plan;
+        required;
+        depths = None;
+        children = [ annotate env input child_est.Cost_model.rows ];
+      }
+  | Plan.Join { algo = Plan.Hrjn; cond; left; right; _ } ->
+      let d = Cost_model.rank_join_depths env plan ~k:required ~cond ~left ~right in
+      {
+        node = plan;
+        required;
+        depths = Some d;
+        children =
+          [
+            annotate env left d.Depth_model.d_left;
+            annotate env right d.Depth_model.d_right;
+          ];
+      }
+  | Plan.Join { algo = Plan.Nrjn; cond; left; right; _ } ->
+      let d = Cost_model.rank_join_depths env plan ~k:required ~cond ~left ~right in
+      let right_est = Cost_model.estimate env right in
+      {
+        node = plan;
+        required;
+        depths = Some d;
+        children =
+          [
+            annotate env left d.Depth_model.d_left;
+            (* Inner is re-scanned in full. *)
+            annotate env right right_est.Cost_model.rows;
+          ];
+      }
+  | Plan.Join { cond = _; left; right; _ } ->
+      let est = Cost_model.estimate env plan in
+      let l = Cost_model.estimate env left and r = Cost_model.estimate env right in
+      let f =
+        if est.Cost_model.rows <= 0.0 then 1.0
+        else Float.min 1.0 (required /. est.Cost_model.rows)
+      in
+      {
+        node = plan;
+        required;
+        depths = None;
+        children =
+          [
+            annotate env left (f *. l.Cost_model.rows);
+            annotate env right r.Cost_model.rows;
+          ];
+      }
+  | Plan.Nary_rank_join { inputs; key; tables; _ } ->
+      let m = List.length inputs in
+      let s =
+        match tables with
+        | a :: b :: _ ->
+            Rkutil.Mathx.clamp ~lo:1e-12 ~hi:1.0
+              (Storage.Catalog.estimate_join_selectivity env.Cost_model.catalog
+                 ~left:(a, key) ~right:(b, key))
+        | _ -> 1.0
+      in
+      let d = Depth_model.nary_uniform_depth ~m ~k:(Float.max 1.0 required) ~s in
+      {
+        node = plan;
+        required;
+        depths = None;
+        children = List.map (fun input -> annotate env input d) inputs;
+      }
+
+let run env ~k plan = annotate env plan (float_of_int (max 1 k))
+
+let rank_join_annotations ann =
+  let rec go acc a =
+    let acc =
+      match a.node, a.depths with
+      | Plan.Join { algo = Plan.Hrjn | Plan.Nrjn; _ }, Some d ->
+          (a.node, a.required, d) :: acc
+      | _ -> acc
+    in
+    List.fold_left go acc a.children
+  in
+  List.rev (go [] ann)
+
+let pp fmt ann =
+  let rec go indent a =
+    let pad = String.make indent ' ' in
+    let head =
+      match a.node with
+      | Plan.Table_scan { table } -> "TableScan " ^ table
+      | Plan.Index_scan { table; _ } -> "IndexScan " ^ table
+      | Plan.Filter _ -> "Filter"
+      | Plan.Sort _ -> "Sort"
+      | Plan.Join { algo; _ } -> Plan.algo_name algo
+      | Plan.Top_k { k; _ } -> Printf.sprintf "TopK k=%d" k
+      | Plan.Nary_rank_join { inputs; _ } ->
+          Printf.sprintf "HRJN* (%d-way)" (List.length inputs)
+    in
+    (match a.depths with
+    | Some d ->
+        Format.fprintf fmt "%s%s  k=%.0f  dL=%.0f dR=%.0f@." pad head a.required
+          d.Depth_model.d_left d.Depth_model.d_right
+    | None -> Format.fprintf fmt "%s%s  k=%.0f@." pad head a.required);
+    List.iter (go (indent + 2)) a.children
+  in
+  go 0 ann

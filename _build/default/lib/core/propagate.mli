@@ -1,0 +1,21 @@
+(** Propagating the required number of results down a plan — Figure 8.
+
+    In a pipeline of rank-joins, the input depth of an operator is the
+    required number of ranked results of its child (Figure 4: k = 100 at the
+    top becomes 580 at the child join, which needs 783 of {e its} inputs).
+    [run] annotates every node of a plan with its required output count and,
+    for rank-join nodes, the estimated input depths. *)
+
+type annotation = {
+  node : Plan.t;  (** The subplan rooted here. *)
+  required : float;  (** Output rows this node must produce. *)
+  depths : Depth_model.depths option;  (** Rank-join nodes only. *)
+  children : annotation list;
+}
+
+val run : Cost_model.env -> k:int -> Plan.t -> annotation
+
+val rank_join_annotations : annotation -> (Plan.t * float * Depth_model.depths) list
+(** All rank-join nodes, pre-order: (node, required k, estimated depths). *)
+
+val pp : Format.formatter -> annotation -> unit

@@ -1,0 +1,149 @@
+open Relalg
+
+type t = {
+  schema : Schema.t;
+  capacity : int;
+  complete : bool;
+  weights : (string * float) list;
+  (* Per-relation plain score expressions (weight factored out). *)
+  scores : (string * Expr.t) list;
+  (* Per-relation maximum possible score value (from catalog statistics). *)
+  score_max : (string * float) list;
+  (* Rows with their reference combined score, best first. *)
+  rows : (Tuple.t * float) list;
+  tau : float;  (* reference score of the last kept row *)
+}
+
+(* Maximum possible value of a linear score expression, from column stats. *)
+let expr_max catalog expr =
+  match Expr.as_linear expr with
+  | None -> infinity
+  | Some lin ->
+      List.fold_left
+        (fun acc ((w, r) : float * Expr.column_ref) ->
+          match r.Expr.relation with
+          | None -> infinity
+          | Some table -> (
+              match Storage.Catalog.column_stats catalog ~table ~column:r.Expr.name with
+              | Some cs ->
+                  acc
+                  +. (if w >= 0.0 then w *. cs.Storage.Catalog.cs_max
+                      else w *. cs.Storage.Catalog.cs_min)
+              | None -> infinity))
+        lin.Expr.intercept lin.Expr.terms
+
+let create ?config catalog (q : Logical.t) ~capacity =
+  if not (Logical.is_ranking q || Option.is_none q.Logical.k) then
+    invalid_arg "Ranked_view.create: not a ranking query";
+  let ranked = Logical.ranked_relations q in
+  if ranked = [] then invalid_arg "Ranked_view.create: no ranked relations";
+  List.iter
+    (fun (b : Logical.base) ->
+      if b.Logical.weight <= 0.0 then
+        invalid_arg "Ranked_view.create: non-positive reference weight")
+    ranked;
+  let materialise_q = { q with Logical.k = Some capacity } in
+  let planned = Optimizer.optimize ?config catalog materialise_q in
+  let result = Optimizer.execute catalog planned in
+  let rows = result.Executor.rows in
+  let join_size_bounded = List.length rows < capacity in
+  {
+    schema = result.Executor.schema;
+    capacity;
+    complete = join_size_bounded;
+    weights = List.map (fun (b : Logical.base) -> (b.Logical.name, b.Logical.weight)) ranked;
+    scores =
+      List.map
+        (fun (b : Logical.base) -> (b.Logical.name, Option.get b.Logical.score))
+        ranked;
+    score_max =
+      List.map
+        (fun (b : Logical.base) ->
+          (b.Logical.name, expr_max catalog (Option.get b.Logical.score)))
+        ranked;
+    rows;
+    tau =
+      (match List.rev rows with
+      | (_, s) :: _ -> s
+      | [] -> neg_infinity);
+  }
+
+let capacity t = t.capacity
+
+let size t = List.length t.rows
+
+let complete t = t.complete
+
+let schema t = t.schema
+
+let reference_weights t = t.weights
+
+let answer t ~k =
+  if k <= 0 then Some []
+  else if k <= size t || t.complete then
+    Some (List.filteri (fun i _ -> i < k) t.rows)
+  else None
+
+let answer_reweighted t ~weights ~k =
+  if k <= 0 then Some []
+  else begin
+    (* Validate the new weight vector: same relations, non-negative. *)
+    let ok =
+      List.for_all
+        (fun (name, _) -> List.mem_assoc name weights)
+        t.weights
+      && List.for_all
+           (fun (name, w) -> w >= 0.0 && List.mem_assoc name t.weights)
+           weights
+    in
+    if not ok then None
+    else begin
+      let new_score_expr =
+        Expr.weighted_sum
+          (List.map
+             (fun (name, w) -> (w, List.assoc name t.scores))
+             weights)
+      in
+      let f = Expr.compile_float t.schema new_score_expr in
+      let rescored =
+        List.stable_sort
+          (fun (_, a) (_, b) -> Float.compare b a)
+          (List.map (fun (tu, _) -> (tu, f tu)) t.rows)
+      in
+      if t.complete then Some (List.filteri (fun i _ -> i < k) rescored)
+      else if k > List.length rescored then None
+      else begin
+        (* Safety bound: a non-materialised result satisfies
+           sum_i w_i s_i < tau with 0 <= s_i <= max_i; the largest possible
+           sum_i w'_i s_i under those constraints is the fractional-knapsack
+           optimum, filled in decreasing w'_i/w_i order. *)
+        let by_ratio =
+          List.stable_sort
+            (fun (na, wa') (nb, wb') ->
+              let ra = wa' /. List.assoc na t.weights in
+              let rb = wb' /. List.assoc nb t.weights in
+              Float.compare rb ra)
+            weights
+        in
+        let bound =
+          let budget = ref t.tau and acc = ref 0.0 in
+          List.iter
+            (fun (name, w') ->
+              let w = List.assoc name t.weights in
+              let m = List.assoc name t.score_max in
+              let s = Float.min m (Float.max 0.0 (!budget /. w)) in
+              acc := !acc +. (w' *. s);
+              budget := !budget -. (w *. s))
+            by_ratio;
+          !acc
+        in
+        let kth =
+          match List.nth_opt rescored (k - 1) with
+          | Some (_, s) -> s
+          | None -> neg_infinity
+        in
+        if kth >= bound then Some (List.filteri (fun i _ -> i < k) rescored)
+        else None
+      end
+    end
+  end

@@ -1,0 +1,53 @@
+(** Ranked materialized views — the PREFER-style alternative the paper's
+    introduction contrasts with (techniques "that maintain materialized
+    views or special indexes", refs [8, 22, 29]).
+
+    A view materialises the top-N join results under a reference weight
+    vector. A later top-k query is answered from the view alone when that is
+    provably safe:
+
+    - same weights: safe whenever k ≤ N;
+    - different weights w': safe when the k-th best re-scored view row still
+      beats the upper bound [τ · max_i (w'_i / w_i)] on any
+      non-materialised result, where τ is the lowest reference score kept
+      (assumes non-negative scores and positive reference weights).
+
+    Unsafe queries return [None] and the caller falls back to the engine —
+    which is precisely the integration gap the paper's rank-aware optimizer
+    closes. *)
+
+open Relalg
+
+type t
+
+val create :
+  ?config:Enumerator.config ->
+  Storage.Catalog.t ->
+  Logical.t ->
+  capacity:int ->
+  t
+(** Materialise the top-[capacity] results of the ranking query (its own [k]
+    is ignored) using the rank-aware engine.
+    @raise Invalid_argument if the query is not a ranking query or some
+    ranked relation has a non-positive weight. *)
+
+val capacity : t -> int
+
+val size : t -> int
+(** Rows actually materialised (less than capacity when the join is small). *)
+
+val complete : t -> bool
+(** The view holds the {e entire} join result — every query is answerable. *)
+
+val schema : t -> Schema.t
+
+val reference_weights : t -> (string * float) list
+
+val answer : t -> k:int -> (Tuple.t * float) list option
+(** Top-k under the reference weights; [None] when [k] exceeds what the view
+    can guarantee. *)
+
+val answer_reweighted :
+  t -> weights:(string * float) list -> k:int -> (Tuple.t * float) list option
+(** Top-k under a different (non-negative) weight vector over the same
+    relations, when provably safe. *)

@@ -1,0 +1,21 @@
+let log_tail_coefficient ~j = Rkutil.Mathx.log_factorial j
+
+let expected_score_at ~j ~n ~m ~i =
+  if j < 1 then invalid_arg "Score_dist.expected_score_at: j < 1";
+  if n <= 0.0 || m <= 0.0 || i < 1.0 then
+    invalid_arg "Score_dist.expected_score_at: bad arguments";
+  let jf = float_of_int j in
+  (* (j! * i * n^j / m)^(1/j) in log space *)
+  let log_term =
+    (log_tail_coefficient ~j +. log i +. (jf *. log n) -. log m) /. jf
+  in
+  (jf *. n) -. exp log_term
+
+let pdf_u2 ~n x =
+  if x < 0.0 || x > 2.0 *. n then 0.0
+  else if x <= n then x /. (n *. n)
+  else ((2.0 *. n) -. x) /. (n *. n)
+
+let expected_top_gap ~j ~n ~m =
+  let jf = float_of_int j in
+  (jf *. n) -. expected_score_at ~j ~n ~m ~i:1.0

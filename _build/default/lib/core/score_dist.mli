@@ -1,0 +1,23 @@
+(** Score distributions of rank-join outputs (Section 4.3, Equation 1).
+
+    Base inputs have uniformly distributed scores (u{_1}); the combined score
+    of joining j uniform inputs under a summation scoring function follows
+    the sum-of-uniforms distribution u{_j} (triangular for j = 2, tending to
+    normal by the central limit theorem). Equation 1 gives the expected i-th
+    largest among m draws of u{_j} over [0, j·n]. *)
+
+val expected_score_at : j:int -> n:float -> m:float -> i:float -> float
+(** [expected_score_at ~j ~n ~m ~i] is Equation 1:
+    [j·n - (j! · i · n^j / m)^(1/j)], computed in log space.
+    Requires [j ≥ 1], [n > 0], [m > 0], [i ≥ 1]. *)
+
+val log_tail_coefficient : j:int -> float
+(** [ln (j!)] — the tail-shape constant of u{_j} near its maximum. *)
+
+val pdf_u2 : n:float -> float -> float
+(** Density of the triangular u{_2} distribution over [0, 2n] (used by tests
+    to validate the shape claims). *)
+
+val expected_top_gap : j:int -> n:float -> m:float -> float
+(** Expected gap between the maximum possible score [j·n] and the best of
+    [m] draws — Equation 1 with [i = 1]. *)

@@ -1,0 +1,1 @@
+lib/exec/aggregate.ml: Array Expr Hashtbl List Operator Relalg Schema Tuple Value

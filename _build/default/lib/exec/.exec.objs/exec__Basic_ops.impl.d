@@ -1,0 +1,1 @@
+lib/exec/basic_ops.ml: Array Expr List Operator Relalg Schema Tuple

@@ -1,0 +1,1 @@
+lib/exec/basic_ops.mli: Expr Operator Relalg Schema

@@ -1,0 +1,1 @@
+lib/exec/exec_stats.mli:

@@ -1,0 +1,1 @@
+lib/exec/join.ml: Array Expr Hashtbl List Operator Option Relalg Schema Sort Storage Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/join.mli: Expr Operator Relalg Schema Sort Tuple Value

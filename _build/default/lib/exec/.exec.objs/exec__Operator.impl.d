@@ -1,0 +1,1 @@
+lib/exec/operator.ml: List Option Relalg Schema Tuple

@@ -1,0 +1,1 @@
+lib/exec/operator.mli: Relalg Schema Tuple

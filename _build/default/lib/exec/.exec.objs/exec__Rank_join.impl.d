@@ -1,0 +1,1 @@
+lib/exec/rank_join.ml: Expr Float Hashtbl List Operator Option Relalg Rkutil Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/rank_join.mli: Expr Operator Relalg Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/rank_join_nary.ml: Array Exec_stats Float Fun Hashtbl List Operator Option Relalg Rkutil Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/rank_join_nary.mli: Exec_stats Operator Relalg Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/scan.ml: Btree Catalog Expr Heap_file Operator Option Relalg Storage

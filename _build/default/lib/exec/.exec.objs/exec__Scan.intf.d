@@ -1,0 +1,1 @@
+lib/exec/scan.mli: Catalog Operator Relalg Storage Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/sort.ml: Array Buffer_pool Expr Float Heap_file List Operator Relalg Rkutil Storage Tuple

@@ -1,0 +1,1 @@
+lib/exec/sort.mli: Buffer_pool Expr Operator Relalg Storage Tuple

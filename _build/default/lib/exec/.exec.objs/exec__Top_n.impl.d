@@ -1,0 +1,1 @@
+lib/exec/top_n.ml: Expr Float List Operator Relalg Rkutil

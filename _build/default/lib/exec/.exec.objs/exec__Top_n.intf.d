@@ -1,0 +1,1 @@
+lib/exec/top_n.mli: Expr Operator Relalg

@@ -1,0 +1,111 @@
+open Relalg
+
+type agg_fn =
+  | Count
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Avg of Expr.t
+
+type spec = {
+  fn : agg_fn;
+  name : string;
+}
+
+type acc = {
+  mutable count : int;
+  mutable sum : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let fresh_acc () = { count = 0; sum = 0.0; min = infinity; max = neg_infinity }
+
+let update acc v =
+  acc.count <- acc.count + 1;
+  acc.sum <- acc.sum +. v;
+  if v < acc.min then acc.min <- v;
+  if v > acc.max then acc.max <- v
+
+let finalize fn acc =
+  match fn with
+  | Count -> Value.Int acc.count
+  | Sum _ -> Value.Float acc.sum
+  | Min _ -> if acc.count = 0 then Value.Null else Value.Float acc.min
+  | Max _ -> if acc.count = 0 then Value.Null else Value.Float acc.max
+  | Avg _ ->
+      if acc.count = 0 then Value.Null
+      else Value.Float (acc.sum /. float_of_int acc.count)
+
+let agg_column spec =
+  let dtype = match spec.fn with Count -> Value.Tint | _ -> Value.Tfloat in
+  Schema.column spec.name dtype
+
+module Ktbl = Hashtbl.Make (struct
+  type t = Tuple.t
+
+  let equal = Tuple.equal
+
+  let hash = Tuple.hash
+end)
+
+let hash_group_by ~group_by ~aggregates (input : Operator.t) : Operator.t =
+  let schema =
+    Schema.of_columns
+      (List.map snd group_by @ List.map agg_column aggregates)
+  in
+  let keyfns = List.map (fun (e, _) -> Expr.compile input.schema e) group_by in
+  let argfns =
+    List.map
+      (fun spec ->
+        match spec.fn with
+        | Count -> fun _ -> 1.0
+        | Sum e | Min e | Max e | Avg e -> Expr.compile_float input.schema e)
+      aggregates
+  in
+  let results = ref [] in
+  let compute () =
+    let groups : acc array Ktbl.t = Ktbl.create 64 in
+    input.open_ ();
+    let rec pull () =
+      match input.next () with
+      | None -> ()
+      | Some tu ->
+          let key = Array.of_list (List.map (fun f -> f tu) keyfns) in
+          let accs =
+            match Ktbl.find_opt groups key with
+            | Some a -> a
+            | None ->
+                let a = Array.init (List.length aggregates) (fun _ -> fresh_acc ()) in
+                Ktbl.add groups key a;
+                a
+          in
+          List.iteri (fun i f -> update accs.(i) (f tu)) argfns;
+          pull ()
+    in
+    pull ();
+    input.close ();
+    (* Global aggregation over an empty input still yields one row. *)
+    if group_by = [] && Ktbl.length groups = 0 then
+      Ktbl.add groups [||] (Array.init (List.length aggregates) (fun _ -> fresh_acc ()));
+    results :=
+      Ktbl.fold
+        (fun key accs out ->
+          let aggs =
+            List.mapi (fun i spec -> finalize spec.fn accs.(i)) aggregates
+          in
+          Tuple.concat key (Array.of_list aggs) :: out)
+        groups []
+  in
+  {
+    schema;
+    open_ = (fun () -> compute ());
+    next =
+      (fun () ->
+        match !results with
+        | [] -> None
+        | tu :: rest ->
+            results := rest;
+            Some tu);
+    close = (fun () -> results := []);
+  }

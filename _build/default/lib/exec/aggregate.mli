@@ -1,0 +1,30 @@
+(** Hash aggregation (GROUP BY).
+
+    A blocking operator completing the classic operator set the paper's
+    optimizer setting assumes ("top-k queries often involve other query
+    operations such as join, selection and grouping"); grouping columns are
+    also a source of interesting orders in System R. *)
+
+open Relalg
+
+type agg_fn =
+  | Count  (** Row count. *)
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Avg of Expr.t
+
+type spec = {
+  fn : agg_fn;
+  name : string;  (** Output column name. *)
+}
+
+val hash_group_by :
+  group_by:(Expr.t * Schema.column) list ->
+  aggregates:spec list ->
+  Operator.t ->
+  Operator.t
+(** Output schema: the grouping columns (with the given names/types) followed
+    by one float/int column per aggregate. Groups stream out in unspecified
+    order. With an empty [group_by], emits exactly one row (global
+    aggregates), even over an empty input. *)

@@ -1,0 +1,16 @@
+(** Tuple-at-a-time operators: selection, projection, limit. *)
+
+open Relalg
+
+val filter : Expr.t -> Operator.t -> Operator.t
+
+val project : (string option * string) list -> Operator.t -> Operator.t
+(** Keep the given (relation, name) columns, in order.
+    @raise Not_found when a column is absent from the input schema. *)
+
+val project_exprs : (Expr.t * Schema.column) list -> Operator.t -> Operator.t
+(** Generalised projection: each output column is a computed expression. *)
+
+val limit : int -> Operator.t -> Operator.t
+
+val scored_limit : int -> Operator.scored -> Operator.scored

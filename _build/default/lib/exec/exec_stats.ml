@@ -1,0 +1,26 @@
+type t = {
+  mutable per_input : int array;
+  mutable buffer_max : int;
+  mutable emitted : int;
+}
+
+let create m = { per_input = Array.make m 0; buffer_max = 0; emitted = 0 }
+
+let reset t =
+  Array.fill t.per_input 0 (Array.length t.per_input) 0;
+  t.buffer_max <- 0;
+  t.emitted <- 0
+
+let bump_depth t i = t.per_input.(i) <- t.per_input.(i) + 1
+
+let bump_emitted t = t.emitted <- t.emitted + 1
+
+let note_buffer t n = if n > t.buffer_max then t.buffer_max <- n
+
+let depth t i = t.per_input.(i)
+
+let depths t = Array.copy t.per_input
+
+let buffer_max t = t.buffer_max
+
+let emitted t = t.emitted

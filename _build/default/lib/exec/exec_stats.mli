@@ -1,0 +1,27 @@
+(** Instrumentation for N-ary operators: per-input depths and buffer
+    high-water mark (the m-input generalisation of {!Rank_join.stats}). *)
+
+type t
+
+val create : int -> t
+(** [create m] for an operator with m inputs. *)
+
+val reset : t -> unit
+
+val bump_depth : t -> int -> unit
+(** Record one tuple consumed from input [i]. *)
+
+val bump_emitted : t -> unit
+
+val note_buffer : t -> int -> unit
+(** Record the current buffered-result count (keeps the maximum). *)
+
+val depth : t -> int -> int
+(** Tuples consumed from input [i] so far. *)
+
+val depths : t -> int array
+(** Copy of all per-input depths. *)
+
+val buffer_max : t -> int
+
+val emitted : t -> int

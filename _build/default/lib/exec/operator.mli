@@ -1,0 +1,56 @@
+(** Pull-based physical operators (the iterator / [GetNext] model).
+
+    Two stream shapes exist: plain tuple streams ({!t}) and {e scored}
+    streams ({!scored}) whose tuples arrive in non-increasing score order —
+    the contract rank-join inputs require (Section 2.2 of the paper:
+    "a GetNext interface on the input should retrieve the next tuple in a
+    descending order of the associated scores"). *)
+
+open Relalg
+
+type t = {
+  schema : Schema.t;
+  open_ : unit -> unit;  (** (Re)start the stream; may be called repeatedly. *)
+  next : unit -> Tuple.t option;
+  close : unit -> unit;
+}
+
+type scored = {
+  s_schema : Schema.t;
+  s_open : unit -> unit;
+  s_next : unit -> (Tuple.t * float) option;
+      (** Scores must be non-increasing across a single open/next run. *)
+  s_close : unit -> unit;
+}
+
+val of_list : Schema.t -> Tuple.t list -> t
+(** Stream over a fixed list (restartable). *)
+
+val to_list : t -> Tuple.t list
+(** Open, drain, close. *)
+
+val take : t -> int -> Tuple.t list
+(** Open, pull at most n tuples, close. *)
+
+val map_schema : Schema.t -> (Tuple.t -> Tuple.t) -> t -> t
+(** Per-tuple transformation with a new schema. *)
+
+val counted : t -> t * (unit -> int)
+(** Wrap an operator, exposing how many tuples it has delivered since the
+    last [open_] — used to measure rank-join input depths. *)
+
+val with_score : (Tuple.t -> float) -> t -> scored
+(** Attach a score closure. The caller asserts the underlying stream is
+    ordered by non-increasing score (e.g. a descending index scan). *)
+
+val scored_to_plain : scored -> t
+(** Drop the scores. *)
+
+val scored_of_list : Schema.t -> (Tuple.t * float) list -> scored
+(** @raise Invalid_argument if scores are not non-increasing. *)
+
+val scored_to_list : scored -> (Tuple.t * float) list
+
+val scored_take : scored -> int -> (Tuple.t * float) list
+
+val scored_counted : scored -> scored * (unit -> int)

@@ -1,0 +1,282 @@
+open Relalg
+
+type input = {
+  stream : Operator.scored;
+  key : Tuple.t -> Value.t;
+}
+
+type stats = {
+  mutable left_depth : int;
+  mutable right_depth : int;
+  mutable buffer_max : int;
+  mutable emitted : int;
+}
+
+let fresh_stats () =
+  { left_depth = 0; right_depth = 0; buffer_max = 0; emitted = 0 }
+
+type polling = Alternate | Adaptive | Ratio of float
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+
+  let hash = Value.hash
+end)
+
+(* Max-heap on combined score: invert the comparison. *)
+let result_heap () =
+  Rkutil.Heap.create ~cmp:(fun (_, s1) (_, s2) -> Float.compare s2 s1)
+
+let hrjn ?(polling = Alternate) ~combine ~left ~right () =
+  let schema = Schema.concat left.stream.Operator.s_schema right.stream.Operator.s_schema in
+  let stats = fresh_stats () in
+  let hash_l : (Tuple.t * float) list Vtbl.t = Vtbl.create 64 in
+  let hash_r : (Tuple.t * float) list Vtbl.t = Vtbl.create 64 in
+  let queue = ref (result_heap ()) in
+  let top_l = ref nan and last_l = ref nan in
+  let top_r = ref nan and last_r = ref nan in
+  let started_l = ref false and started_r = ref false in
+  let done_l = ref false and done_r = ref false in
+  let turn = ref `L in
+  let reset () =
+    Vtbl.clear hash_l;
+    Vtbl.clear hash_r;
+    queue := result_heap ();
+    top_l := nan;
+    last_l := nan;
+    top_r := nan;
+    last_r := nan;
+    started_l := false;
+    started_r := false;
+    done_l := false;
+    done_r := false;
+    turn := `L;
+    stats.left_depth <- 0;
+    stats.right_depth <- 0;
+    stats.buffer_max <- 0;
+    stats.emitted <- 0
+  in
+  (* Upper bound on the score of any join result not yet in the queue.
+     Before both inputs have produced a tuple the bound is +inf. *)
+  let threshold () =
+    if not (!started_l && !started_r) then
+      if !done_l || !done_r then neg_infinity (* an input was empty *)
+      else infinity
+    else begin
+      let via_l = if !done_l then neg_infinity else combine !last_l !top_r in
+      let via_r = if !done_r then neg_infinity else combine !top_l !last_r in
+      Float.max via_l via_r
+    end
+  in
+  let add_to tbl key entry =
+    let prev = Option.value ~default:[] (Vtbl.find_opt tbl key) in
+    Vtbl.replace tbl key (entry :: prev)
+  in
+  let note_buffer () =
+    let n = Rkutil.Heap.length !queue in
+    if n > stats.buffer_max then stats.buffer_max <- n
+  in
+  let ingest side =
+    match side with
+    | `L -> (
+        match left.stream.Operator.s_next () with
+        | None -> done_l := true
+        | Some (tu, score) ->
+            stats.left_depth <- stats.left_depth + 1;
+            if not !started_l then top_l := score;
+            started_l := true;
+            last_l := score;
+            let k = left.key tu in
+            add_to hash_l k (tu, score);
+            (match Vtbl.find_opt hash_r k with
+            | None -> ()
+            | Some partners ->
+                List.iter
+                  (fun (rt, rscore) ->
+                    Rkutil.Heap.push !queue
+                      (Tuple.concat tu rt, combine score rscore))
+                  partners);
+            note_buffer ())
+    | `R -> (
+        match right.stream.Operator.s_next () with
+        | None -> done_r := true
+        | Some (tu, score) ->
+            stats.right_depth <- stats.right_depth + 1;
+            if not !started_r then top_r := score;
+            started_r := true;
+            last_r := score;
+            let k = right.key tu in
+            add_to hash_r k (tu, score);
+            (match Vtbl.find_opt hash_l k with
+            | None -> ()
+            | Some partners ->
+                List.iter
+                  (fun (lt, lscore) ->
+                    Rkutil.Heap.push !queue
+                      (Tuple.concat lt tu, combine lscore score))
+                  partners);
+            note_buffer ())
+  in
+  let pick_side () =
+    match !done_l, !done_r with
+    | true, true -> None
+    | true, false -> Some `R
+    | false, true -> Some `L
+    | false, false -> (
+        match polling with
+        | Alternate ->
+            let side = !turn in
+            turn := (match side with `L -> `R | `R -> `L);
+            Some side
+        | Adaptive ->
+            (* Poll the side whose last score is higher: it contributes the
+               larger term to the threshold, so draining it tightens the
+               bound fastest. *)
+            if not !started_l then Some `L
+            else if not !started_r then Some `R
+            else if !last_l >= !last_r then Some `L
+            else Some `R
+        | Ratio target ->
+            if not !started_l then Some `L
+            else if not !started_r then Some `R
+            else begin
+              let current =
+                float_of_int stats.left_depth
+                /. float_of_int (max 1 stats.right_depth)
+              in
+              if current <= target then Some `L else Some `R
+            end)
+  in
+  let rec next () =
+    let t = threshold () in
+    match Rkutil.Heap.peek !queue with
+    | Some (_, s) when s >= t || (!done_l && !done_r) ->
+        let tu, s = Rkutil.Heap.pop_exn !queue in
+        stats.emitted <- stats.emitted + 1;
+        Some (tu, s)
+    | _ -> (
+        match pick_side () with
+        | None -> (
+            match Rkutil.Heap.pop !queue with
+            | Some (tu, s) ->
+                stats.emitted <- stats.emitted + 1;
+                Some (tu, s)
+            | None -> None)
+        | Some side ->
+            ingest side;
+            next ())
+  in
+  let stream =
+    {
+      Operator.s_schema = schema;
+      s_open =
+        (fun () ->
+          left.stream.Operator.s_open ();
+          right.stream.Operator.s_open ();
+          reset ());
+      s_next = next;
+      s_close =
+        (fun () ->
+          left.stream.Operator.s_close ();
+          right.stream.Operator.s_close ());
+    }
+  in
+  (stream, stats)
+
+let nrjn ~combine ~pred ~outer ~inner ~inner_score () =
+  let schema = Schema.concat outer.Operator.s_schema inner.Operator.schema in
+  let test = Expr.compile_bool schema pred in
+  let stats = fresh_stats () in
+  let queue = ref (result_heap ()) in
+  let top_inner = ref nan in
+  let inner_count = ref 0 in
+  let have_inner_top = ref false in
+  let last_outer = ref nan in
+  let started_outer = ref false in
+  let done_outer = ref false in
+  let reset () =
+    queue := result_heap ();
+    top_inner := nan;
+    have_inner_top := false;
+    inner_count := 0;
+    last_outer := nan;
+    started_outer := false;
+    done_outer := false;
+    stats.left_depth <- 0;
+    stats.right_depth <- 0;
+    stats.buffer_max <- 0;
+    stats.emitted <- 0
+  in
+  let threshold () =
+    if !done_outer then neg_infinity
+    else if not (!started_outer && !have_inner_top) then infinity
+    else combine !last_outer !top_inner
+  in
+  (* Join one outer tuple against the whole inner input. *)
+  let process_outer () =
+    match outer.Operator.s_next () with
+    | None -> done_outer := true
+    | Some (ot, oscore) ->
+        stats.left_depth <- stats.left_depth + 1;
+        started_outer := true;
+        last_outer := oscore;
+        inner.Operator.open_ ();
+        let scanned = ref 0 in
+        let rec loop () =
+          match inner.Operator.next () with
+          | None -> ()
+          | Some it ->
+              incr scanned;
+              let iscore = inner_score it in
+              if not !have_inner_top then begin
+                top_inner := iscore;
+                have_inner_top := true
+              end
+              else if iscore > !top_inner then top_inner := iscore;
+              let joined = Tuple.concat ot it in
+              if test joined then
+                Rkutil.Heap.push !queue (joined, combine oscore iscore);
+              loop ()
+        in
+        loop ();
+        if !scanned > !inner_count then inner_count := !scanned;
+        stats.right_depth <- max stats.right_depth !inner_count;
+        let n = Rkutil.Heap.length !queue in
+        if n > stats.buffer_max then stats.buffer_max <- n
+  in
+  let rec next () =
+    let t = threshold () in
+    match Rkutil.Heap.peek !queue with
+    | Some (_, s) when s >= t || !done_outer ->
+        let tu, s = Rkutil.Heap.pop_exn !queue in
+        stats.emitted <- stats.emitted + 1;
+        Some (tu, s)
+    | _ ->
+        if !done_outer then
+          (match Rkutil.Heap.pop !queue with
+          | Some (tu, s) ->
+              stats.emitted <- stats.emitted + 1;
+              Some (tu, s)
+          | None -> None)
+        else begin
+          process_outer ();
+          next ()
+        end
+  in
+  let stream =
+    {
+      Operator.s_schema = schema;
+      s_open =
+        (fun () ->
+          outer.Operator.s_open ();
+          reset ());
+      s_next = next;
+      s_close =
+        (fun () ->
+          outer.Operator.s_close ();
+          inner.Operator.close ());
+    }
+  in
+  (stream, stats)

@@ -1,0 +1,61 @@
+(** Rank-join operators: HRJN and NRJN (Section 2.2 of the paper).
+
+    Both join their inputs while {e progressively} producing join results in
+    non-increasing combined-score order, stopping early once the reported
+    results are guaranteed final by the threshold bound. Both require a
+    monotone combining function.
+
+    Instrumentation exposes exactly the quantities the paper's estimation
+    model predicts: the {e depth} consumed from each input (Figures 13-14)
+    and the high-water mark of the internal result buffer (Figure 15). *)
+
+open Relalg
+
+type input = {
+  stream : Operator.scored;  (** Sorted access: non-increasing scores. *)
+  key : Tuple.t -> Value.t;  (** Equi-join key extraction. *)
+}
+
+type stats = {
+  mutable left_depth : int;  (** Tuples consumed from the left input. *)
+  mutable right_depth : int;
+  mutable buffer_max : int;  (** Max buffered, not-yet-reported join results. *)
+  mutable emitted : int;
+}
+
+val fresh_stats : unit -> stats
+
+type polling =
+  | Alternate
+  | Adaptive
+      (** Poll the side whose last score is higher (it contributes the larger
+          threshold term). *)
+  | Ratio of float
+      (** Keep [left_depth / right_depth] near the given target — used by the
+          optimizer to steer the operator toward the depth-model's optimal
+          (possibly asymmetric) consumption, cf. Section 4.3. *)
+
+val hrjn :
+  ?polling:polling ->
+  combine:(float -> float -> float) ->
+  left:input ->
+  right:input ->
+  unit ->
+  Operator.scored * stats
+(** Hash rank-join: symmetric hash tables over the tuples seen so far plus a
+    priority queue of buffered results; a result is reported once its
+    combined score is at least the threshold
+    [max (f(lastL, topR), f(topL, lastR))]. *)
+
+val nrjn :
+  combine:(float -> float -> float) ->
+  pred:Expr.t ->
+  outer:Operator.scored ->
+  inner:Operator.t ->
+  inner_score:(Tuple.t -> float) ->
+  unit ->
+  Operator.scored * stats
+(** Nested-loops rank-join: the outer input must provide sorted access; the
+    inner is fully re-scanned per outer tuple under an arbitrary join
+    predicate. State is only the priority queue; the threshold is
+    [f(last_outer, top_inner)]. *)

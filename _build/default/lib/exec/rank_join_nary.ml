@@ -1,0 +1,154 @@
+open Relalg
+
+type input = {
+  stream : Operator.scored;
+  key : Tuple.t -> Value.t;
+}
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+
+  let hash = Value.hash
+end)
+
+let hrjn_nary ~inputs () =
+  let m = List.length inputs in
+  if m < 2 then invalid_arg "Rank_join_nary.hrjn_nary: need at least 2 inputs";
+  let inputs = Array.of_list inputs in
+  let schema =
+    Array.fold_left
+      (fun acc (inp : input) ->
+        match acc with
+        | None -> Some inp.stream.Operator.s_schema
+        | Some s -> Some (Schema.concat s inp.stream.Operator.s_schema))
+      None inputs
+    |> Option.get
+  in
+  let stats = Exec_stats.create m in
+  let hashes : (Tuple.t * float) list Vtbl.t array =
+    Array.init m (fun _ -> Vtbl.create 64)
+  in
+  let top = Array.make m nan and last = Array.make m nan in
+  let started = Array.make m false and finished = Array.make m false in
+  let queue =
+    ref (Rkutil.Heap.create ~cmp:(fun (_, a) (_, b) -> Float.compare b a))
+  in
+  let turn = ref 0 in
+  let reset () =
+    Array.iter Vtbl.clear hashes;
+    Array.fill top 0 m nan;
+    Array.fill last 0 m nan;
+    Array.fill started 0 m false;
+    Array.fill finished 0 m false;
+    queue := Rkutil.Heap.create ~cmp:(fun (_, a) (_, b) -> Float.compare b a);
+    turn := 0;
+    Exec_stats.reset stats
+  in
+  let all_started () = Array.for_all Fun.id started in
+  let all_done () = Array.for_all Fun.id finished in
+  let any_done () = Array.exists Fun.id finished in
+  (* Unseen results must involve an unseen tuple from some live input i, so
+     they score at most last_i + sum of the other tops. *)
+  let threshold () =
+    if not (all_started ()) then
+      if any_done () then neg_infinity (* an input was empty: no results *)
+      else infinity
+    else begin
+      let sum_tops = Array.fold_left ( +. ) 0.0 top in
+      let best = ref neg_infinity in
+      for i = 0 to m - 1 do
+        if not finished.(i) then
+          best := Float.max !best (sum_tops -. top.(i) +. last.(i))
+      done;
+      !best
+    end
+  in
+  (* All combinations of one (tuple, score) per input with key [k], where
+     position [at] is pinned to the new entry. *)
+  let combinations at entry k =
+    let rec go i =
+      if i = m then [ ([], 0.0) ]
+      else begin
+        let tails = go (i + 1) in
+        let choices =
+          if i = at then [ entry ]
+          else Option.value ~default:[] (Vtbl.find_opt hashes.(i) k)
+        in
+        List.concat_map
+          (fun (tu, s) ->
+            List.map (fun (rest, srest) -> (tu :: rest, s +. srest)) tails)
+          choices
+      end
+    in
+    go 0
+  in
+  let ingest i =
+    match inputs.(i).stream.Operator.s_next () with
+    | None -> finished.(i) <- true
+    | Some (tu, score) ->
+        Exec_stats.bump_depth stats i;
+        if not started.(i) then top.(i) <- score;
+        started.(i) <- true;
+        last.(i) <- score;
+        let k = inputs.(i).key tu in
+        let prev = Option.value ~default:[] (Vtbl.find_opt hashes.(i) k) in
+        Vtbl.replace hashes.(i) k ((tu, score) :: prev);
+        (* New results are exactly the combinations pinning position i to
+           the fresh tuple; only possible once every input has produced
+           something for this key — the combination product is empty
+           otherwise. *)
+        List.iter
+          (fun (parts, s) ->
+            let joined = Array.concat parts in
+            Rkutil.Heap.push !queue (joined, s))
+          (combinations i (tu, score) k);
+        Exec_stats.note_buffer stats (Rkutil.Heap.length !queue)
+  in
+  let pick () =
+    if all_done () then None
+    else begin
+      let rec next_live j tries =
+        if tries > m then None
+        else if finished.(j) then next_live ((j + 1) mod m) (tries + 1)
+        else Some j
+      in
+      let chosen = next_live !turn 0 in
+      (match chosen with Some j -> turn := (j + 1) mod m | None -> ());
+      chosen
+    end
+  in
+  let rec next () =
+    let t = threshold () in
+    match Rkutil.Heap.peek !queue with
+    | Some (_, s) when s >= t || all_done () ->
+        let tu, s = Rkutil.Heap.pop_exn !queue in
+        Exec_stats.bump_emitted stats;
+        Some (tu, s)
+    | _ -> (
+        match pick () with
+        | None -> (
+            match Rkutil.Heap.pop !queue with
+            | Some (tu, s) ->
+                Exec_stats.bump_emitted stats;
+                Some (tu, s)
+            | None -> None)
+        | Some i ->
+            ingest i;
+            next ())
+  in
+  let stream =
+    {
+      Operator.s_schema = schema;
+      s_open =
+        (fun () ->
+          Array.iter (fun (inp : input) -> inp.stream.Operator.s_open ()) inputs;
+          reset ());
+      s_next = next;
+      s_close =
+        (fun () ->
+          Array.iter (fun (inp : input) -> inp.stream.Operator.s_close ()) inputs);
+    }
+  in
+  (stream, stats)

@@ -1,0 +1,27 @@
+(** Multiway (N-ary) hash rank-join.
+
+    A single operator joining m ranked inputs on a shared key, producing
+    combined-score-ranked results — the flat alternative to a binary HRJN
+    pipeline (the direction explored by the HRJN* follow-up work). One
+    threshold over all m inputs avoids the intermediate-result buffering of
+    a binary tree and often needs shallower inputs.
+
+    All inputs must share one equi-join key (the star/oid-join case of the
+    paper's video workload; a chain of distinct keys still needs the binary
+    pipeline). The combining function is the sum of per-input scores. *)
+
+open Relalg
+
+type input = {
+  stream : Operator.scored;  (** Sorted access: non-increasing scores. *)
+  key : Tuple.t -> Value.t;
+}
+
+val hrjn_nary :
+  inputs:input list ->
+  unit ->
+  Operator.scored * Exec_stats.t
+(** Join m ≥ 2 inputs. Output tuples are the concatenation of one tuple per
+    input, in input order; the score is the sum of per-input scores.
+    Instrumentation reports the depth of each input and the buffer
+    high-water mark. *)

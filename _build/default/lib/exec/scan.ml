@@ -1,0 +1,40 @@
+open Relalg
+open Storage
+
+let heap (info : Catalog.table_info) : Operator.t =
+  let cursor = ref (fun () -> None) in
+  {
+    schema = info.tb_schema;
+    open_ = (fun () -> cursor := Heap_file.scan info.tb_heap);
+    next = (fun () -> !cursor ());
+    close = (fun () -> cursor := fun () -> None);
+  }
+
+let index_with ~direction catalog (ix : Catalog.index_info) : Operator.t =
+  let info = Catalog.table catalog ix.Catalog.ix_table in
+  let cursor = ref (fun () -> None) in
+  let start () =
+    match direction with
+    | `Asc -> Btree.scan_asc ix.ix_btree
+    | `Desc -> Btree.scan_desc ix.ix_btree
+  in
+  {
+    schema = info.tb_schema;
+    open_ = (fun () -> cursor := start ());
+    next =
+      (fun () ->
+        Option.map (Catalog.index_payload_to_tuple catalog ix) (!cursor ()));
+    close = (fun () -> cursor := fun () -> None);
+  }
+
+let index_asc catalog ix = index_with ~direction:`Asc catalog ix
+
+let index_desc catalog ix = index_with ~direction:`Desc catalog ix
+
+let index_desc_scored catalog (ix : Catalog.index_info) : Operator.scored =
+  let info = Catalog.table catalog ix.Catalog.ix_table in
+  let op = index_desc catalog ix in
+  let score = Expr.compile_float info.tb_schema ix.ix_key in
+  Operator.with_score score op
+
+let index_probe catalog ix key = Catalog.index_lookup catalog ix key

@@ -1,0 +1,21 @@
+(** Access-path operators: heap scans and B+-tree index scans. *)
+
+open Relalg
+open Storage
+
+val heap : Catalog.table_info -> Operator.t
+(** Full table scan through the buffer pool. *)
+
+val index_asc : Catalog.t -> Catalog.index_info -> Operator.t
+(** Full index scan in ascending key order. Unclustered indexes resolve each
+    entry through the heap (a random page access per tuple). *)
+
+val index_desc : Catalog.t -> Catalog.index_info -> Operator.t
+(** Descending key order — a ranked access path. *)
+
+val index_desc_scored : Catalog.t -> Catalog.index_info -> Operator.scored
+(** Descending index scan as a scored stream: the score is the (numeric)
+    index key, which is exactly the {e sorted access} a rank-join needs. *)
+
+val index_probe : Catalog.t -> Catalog.index_info -> Value.t -> Tuple.t list
+(** Point lookup (random access). *)

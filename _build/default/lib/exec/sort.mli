@@ -1,0 +1,32 @@
+(** External merge sort.
+
+    A blocking operator: on [open_] it consumes its whole input, building
+    sorted runs bounded by the memory budget. Runs are spilled to temporary
+    heap files through the buffer pool, so spill and merge I/O show up in the
+    measured {!Storage.Io_stats} — matching the cost model's external-sort
+    formula. When the input fits in memory no I/O is charged. *)
+
+open Relalg
+open Storage
+
+type budget = {
+  pool : Buffer_pool.t;  (** Pool used for run spill files. *)
+  memory_tuples : int;  (** Max tuples held in memory while sorting. *)
+  tuples_per_page : int;
+  fan_in : int;  (** Max runs merged per pass. *)
+}
+
+val budget :
+  ?memory_tuples:int -> ?tuples_per_page:int -> ?fan_in:int -> Buffer_pool.t -> budget
+(** Defaults: 10_000 in-memory tuples, 50 tuples/page, fan-in 8. *)
+
+val by_cmp : budget -> cmp:(Tuple.t -> Tuple.t -> int) -> Operator.t -> Operator.t
+(** Sort under an arbitrary total order. *)
+
+val by_expr : budget -> ?desc:bool -> Expr.t -> Operator.t -> Operator.t
+(** Sort on the numeric value of an expression (ascending by default). *)
+
+val scored_desc : budget -> Expr.t -> Operator.t -> Operator.scored
+(** Sort descending on a score expression and emit a scored stream — the
+    "glued sort" enforcer that makes any subplan usable as a rank-join
+    input or as a final ranking producer. *)

@@ -1,0 +1,40 @@
+open Relalg
+
+let by_expr ~k expr (op : Operator.t) : Operator.scored =
+  let score = Expr.compile_float op.schema expr in
+  let results = ref [] in
+  let compute () =
+    (* Min-heap of the best k seen so far: the root is the weakest keeper. *)
+    let heap = Rkutil.Heap.create ~cmp:(fun (_, a) (_, b) -> Float.compare a b) in
+    op.open_ ();
+    let rec pull () =
+      match op.next () with
+      | None -> ()
+      | Some tu ->
+          let s = score tu in
+          if Rkutil.Heap.length heap < k then Rkutil.Heap.push heap (tu, s)
+          else begin
+            match Rkutil.Heap.peek heap with
+            | Some (_, worst) when s > worst ->
+                ignore (Rkutil.Heap.pop heap);
+                Rkutil.Heap.push heap (tu, s)
+            | _ -> ()
+          end;
+          pull ()
+    in
+    pull ();
+    op.close ();
+    results := List.rev (Rkutil.Heap.drain heap)
+  in
+  {
+    Operator.s_schema = op.schema;
+    s_open = (fun () -> compute ());
+    s_next =
+      (fun () ->
+        match !results with
+        | [] -> None
+        | e :: rest ->
+            results := rest;
+            Some e);
+    s_close = (fun () -> results := []);
+  }

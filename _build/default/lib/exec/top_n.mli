@@ -1,0 +1,12 @@
+(** Heap-based top-N selection.
+
+    A blocking alternative to a full sort + limit when [k] is known at plan
+    time: one pass over the input keeping a bounded min-heap of the [k] best
+    tuples. Used by ablation benchmarks to contrast with the paper's
+    join-then-(full-)sort baseline. *)
+
+open Relalg
+
+val by_expr : k:int -> Expr.t -> Operator.t -> Operator.scored
+(** The [k] highest values of the score expression, emitted in
+    non-increasing score order. *)

@@ -1,0 +1,1 @@
+lib/ranking/aggregate.ml: Array Float Hashtbl List Option Relalg Rkutil Scoring Source

@@ -1,0 +1,1 @@
+lib/ranking/aggregate.mli: Relalg Scoring Source

@@ -1,0 +1,1 @@
+lib/ranking/index_sources.ml: Aggregate Array Btree Catalog Expr Heap_file List Relalg Schema Scoring Source Storage Tuple Value

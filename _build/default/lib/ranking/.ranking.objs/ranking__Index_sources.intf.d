@@ -1,0 +1,1 @@
+lib/ranking/index_sources.mli: Catalog Source Storage

@@ -1,0 +1,1 @@
+lib/ranking/source.ml: Array Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/ranking/source.mli:

@@ -1,0 +1,213 @@
+open Relalg
+
+let take_best k scored =
+  let sorted =
+    List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scored
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+let naive ~combine ~k sources =
+  let m = Array.length sources in
+  let ids = Hashtbl.create 256 in
+  Array.iter
+    (fun src ->
+      for i = 0 to Source.size src - 1 do
+        match Source.sorted_access src i with
+        | Some (oid, _) -> Hashtbl.replace ids oid ()
+        | None -> ()
+      done)
+    sources;
+  let scored =
+    Hashtbl.fold
+      (fun oid () acc ->
+        let scores =
+          Array.init m (fun j ->
+              Option.value ~default:0.0 (Source.random_access sources.(j) oid))
+        in
+        (oid, Scoring.combine combine scores) :: acc)
+      ids []
+  in
+  take_best k scored
+
+let fagin ~combine ~k sources =
+  let m = Array.length sources in
+  let seen_in : (Source.object_id, int) Hashtbl.t = Hashtbl.create 256 in
+  (* Count of sources each object has appeared in under sorted access. *)
+  let complete = ref 0 in
+  let depth = ref 0 in
+  let max_depth = Array.fold_left (fun acc s -> max acc (Source.size s)) 0 sources in
+  while !complete < k && !depth < max_depth do
+    Array.iter
+      (fun src ->
+        match Source.sorted_access src !depth with
+        | None -> ()
+        | Some (oid, _) ->
+            let c = 1 + Option.value ~default:0 (Hashtbl.find_opt seen_in oid) in
+            Hashtbl.replace seen_in oid c;
+            if c = m then incr complete)
+      sources;
+    incr depth
+  done;
+  let scored =
+    Hashtbl.fold
+      (fun oid _ acc ->
+        let scores =
+          Array.init m (fun j ->
+              Option.value ~default:0.0 (Source.random_access sources.(j) oid))
+        in
+        (oid, Scoring.combine combine scores) :: acc)
+      seen_in []
+  in
+  take_best k scored
+
+let ta ~combine ~k sources =
+  let m = Array.length sources in
+  let last = Array.make m infinity in
+  let exact : (Source.object_id, float) Hashtbl.t = Hashtbl.create 256 in
+  (* Min-heap of the current best k (object, score). *)
+  let heap = Rkutil.Heap.create ~cmp:(fun (_, a) (_, b) -> Float.compare a b) in
+  let kth_score () =
+    if Rkutil.Heap.length heap < k then neg_infinity
+    else match Rkutil.Heap.peek heap with Some (_, s) -> s | None -> neg_infinity
+  in
+  let offer oid score =
+    if not (Hashtbl.mem exact oid) then begin
+      Hashtbl.add exact oid score;
+      if Rkutil.Heap.length heap < k then Rkutil.Heap.push heap (oid, score)
+      else if score > kth_score () then begin
+        ignore (Rkutil.Heap.pop heap);
+        Rkutil.Heap.push heap (oid, score)
+      end
+    end
+  in
+  let depth = ref 0 in
+  let max_depth = Array.fold_left (fun acc s -> max acc (Source.size s)) 0 sources in
+  let stop = ref false in
+  while (not !stop) && !depth < max_depth do
+    Array.iteri
+      (fun j src ->
+        match Source.sorted_access src !depth with
+        | None -> last.(j) <- neg_infinity
+        | Some (oid, s) ->
+            last.(j) <- s;
+            if not (Hashtbl.mem exact oid) then begin
+              let scores =
+                Array.init m (fun j' ->
+                    if j' = j then s
+                    else
+                      Option.value ~default:0.0
+                        (Source.random_access sources.(j') oid))
+              in
+              offer oid (Scoring.combine combine scores)
+            end)
+      sources;
+    incr depth;
+    let threshold =
+      Scoring.combine combine
+        (Array.map (fun l -> if l = infinity then 0.0 else Float.max l 0.0) last)
+    in
+    if Rkutil.Heap.length heap >= k && kth_score () >= threshold then stop := true
+  done;
+  take_best k (List.map (fun (oid, s) -> (oid, s)) (Rkutil.Heap.to_list heap))
+
+type nra_entry = {
+  mutable known : float array;  (* -1 encodes "not seen in this source" *)
+  mutable seen_mask : int;
+}
+
+let nra ~combine ~k sources =
+  let m = Array.length sources in
+  let entries : (Source.object_id, nra_entry) Hashtbl.t = Hashtbl.create 256 in
+  let last = Array.make m infinity in
+  let lower e =
+    Scoring.combine combine
+      (Array.map (fun s -> if s < 0.0 then 0.0 else s) e.known)
+  in
+  let upper e =
+    Scoring.combine combine
+      (Array.mapi
+         (fun j s ->
+           if s >= 0.0 then s
+           else if last.(j) = infinity then infinity
+           else Float.max last.(j) 0.0)
+         e.known)
+  in
+  let depth = ref 0 in
+  let max_depth = Array.fold_left (fun acc s -> max acc (Source.size s)) 0 sources in
+  let stop = ref false in
+  while (not !stop) && !depth < max_depth do
+    Array.iteri
+      (fun j src ->
+        match Source.sorted_access src !depth with
+        | None -> last.(j) <- neg_infinity
+        | Some (oid, s) ->
+            last.(j) <- s;
+            let e =
+              match Hashtbl.find_opt entries oid with
+              | Some e -> e
+              | None ->
+                  let e = { known = Array.make m (-1.0); seen_mask = 0 } in
+                  Hashtbl.add entries oid e;
+                  e
+            in
+            e.known.(j) <- s;
+            e.seen_mask <- e.seen_mask lor (1 lsl j))
+      sources;
+    incr depth;
+    (* Check the stopping condition: the k best lower bounds dominate all
+       other upper bounds and the unseen-object threshold. *)
+    if Hashtbl.length entries >= k && Array.for_all (fun l -> l < infinity) last
+    then begin
+      let all =
+        Hashtbl.fold (fun oid e acc -> (oid, lower e, upper e) :: acc) entries []
+      in
+      let by_lower =
+        List.stable_sort (fun (_, a, _) (_, b, _) -> Float.compare b a) all
+      in
+      let topk = List.filteri (fun i _ -> i < k) by_lower in
+      let rest = List.filteri (fun i _ -> i >= k) by_lower in
+      match List.rev topk with
+      | [] -> ()
+      | (_, kth_lower, _) :: _ ->
+          let unseen_upper =
+            Scoring.combine combine
+              (Array.map (fun l -> Float.max l 0.0) last)
+          in
+          let topk_ids = List.map (fun (oid, _, _) -> oid) topk in
+          let max_other_upper =
+            List.fold_left
+              (fun acc (_, _, u) -> Float.max acc u)
+              unseen_upper rest
+          in
+          (* Also no object inside the top-k may still be overtaken from
+             outside; comparing the k-th lower bound suffices. *)
+          if kth_lower >= max_other_upper then begin
+            stop := true;
+            ignore topk_ids
+          end
+    end
+  done;
+  let all = Hashtbl.fold (fun oid e acc -> (oid, lower e) :: acc) entries [] in
+  take_best k all
+
+let borda sources =
+  let points : (Source.object_id, float) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun src ->
+      let n = Source.size src in
+      for i = 0 to n - 1 do
+        match Source.sorted_access src i with
+        | None -> ()
+        | Some (oid, _) ->
+            let p = float_of_int (n - i) in
+            let prev = Option.value ~default:0.0 (Hashtbl.find_opt points oid) in
+            Hashtbl.replace points oid (prev +. p)
+      done)
+    sources;
+  let all = Hashtbl.fold (fun oid p acc -> (oid, p) :: acc) points [] in
+  List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) all
+
+let access_cost sources =
+  Array.fold_left
+    (fun (s, r) src -> (s + Source.sorted_accesses src, r + Source.random_accesses src))
+    (0, 0) sources

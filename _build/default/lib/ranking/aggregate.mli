@@ -1,0 +1,37 @@
+(** Rank-aggregation algorithms over ranked sources (top-k selection).
+
+    These are the middleware algorithms the paper builds on (Section 2.1):
+    FA and TA use sorted + random access, NRA uses sorted access only, and
+    Borda is the classic positional (linear-time) method. All assume
+    non-negative scores and a monotone combining function.
+
+    Every algorithm returns the top-[k] (object, combined score) pairs in
+    non-increasing score order. For NRA the reported score of an object whose
+    fields were not all seen is its guaranteed lower bound. *)
+
+open Relalg
+
+val naive : combine:Scoring.t -> k:int -> Source.t array -> (Source.object_id * float) list
+(** Scan everything, combine, sort — the correctness oracle. Objects missing
+    from some source contribute 0 for that source. *)
+
+val fagin : combine:Scoring.t -> k:int -> Source.t array -> (Source.object_id * float) list
+(** Fagin's FA: parallel sorted access until [k] objects have been seen in
+    every source, then random access to complete all seen objects. *)
+
+val ta : combine:Scoring.t -> k:int -> Source.t array -> (Source.object_id * float) list
+(** Threshold Algorithm: stops when the k-th best exact score reaches the
+    threshold of the last scores seen under sorted access. *)
+
+val nra : combine:Scoring.t -> k:int -> Source.t array -> (Source.object_id * float) list
+(** No-Random-Access algorithm: maintains lower/upper bounds per seen object
+    and stops when k objects' lower bounds dominate every other upper
+    bound (including the unseen-object threshold). *)
+
+val borda : Source.t array -> (Source.object_id * float) list
+(** Borda positional ranking: an object at rank r (0-based) in a source of
+    size n receives n - r points; absent objects receive 0. Returns all
+    objects, best first. *)
+
+val access_cost : Source.t array -> int * int
+(** Total (sorted, random) accesses recorded on the sources. *)

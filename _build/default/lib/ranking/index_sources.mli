@@ -1,0 +1,34 @@
+(** Adapters exposing catalog B+-tree indexes as ranked {!Source}s.
+
+    Bridges the storage layer and the rank-aggregation algorithms: a
+    descending score index provides sorted access; probes provide random
+    access by object id. This is the "top-k selection" integration
+    (Section 2.1's first problem class) — same objects in every source,
+    ranked on different criteria. *)
+
+open Storage
+
+val of_index :
+  ?weight:float ->
+  Catalog.t ->
+  score_index:Catalog.index_info ->
+  id_column:string ->
+  Source.t
+(** Build a {!Source} whose objects are the integer values of [id_column]
+    and whose scores are [weight ·] the index key values (weight must be
+    positive to preserve the ranking; default 1.0). Materialises the index
+    order once — one full index scan, charged to the catalog's I/O
+    counters. *)
+
+val top_k_selection :
+  Catalog.t ->
+  tables:(string * float) list ->
+  ?algorithm:[ `Ta | `Nra | `Fagin | `Naive ] ->
+  id_column:string ->
+  score_column:string ->
+  k:int ->
+  unit ->
+  (Source.object_id * float) list
+(** Top-k selection across feature tables: each (table, weight) pair ranks
+    the same objects; sources come from each table's score index (or a heap
+    scan when absent). Defaults to TA. *)

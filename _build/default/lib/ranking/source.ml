@@ -1,0 +1,46 @@
+type object_id = int
+
+type t = {
+  sorted : (object_id * float) array;
+  by_id : (object_id, float) Hashtbl.t;
+  mutable sorted_accesses : int;
+  mutable random_accesses : int;
+}
+
+let of_scores entries =
+  let by_id = Hashtbl.create (List.length entries) in
+  List.iter
+    (fun (oid, score) ->
+      if Hashtbl.mem by_id oid then
+        invalid_arg "Source.of_scores: duplicate object id";
+      Hashtbl.add by_id oid score)
+    entries;
+  let sorted = Array.of_list entries in
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) sorted;
+  { sorted; by_id; sorted_accesses = 0; random_accesses = 0 }
+
+let size t = Array.length t.sorted
+
+let sorted_access t i =
+  if i < 0 || i >= Array.length t.sorted then None
+  else begin
+    t.sorted_accesses <- t.sorted_accesses + 1;
+    Some t.sorted.(i)
+  end
+
+let random_access t oid =
+  t.random_accesses <- t.random_accesses + 1;
+  Hashtbl.find_opt t.by_id oid
+
+let reset_counters t =
+  t.sorted_accesses <- 0;
+  t.random_accesses <- 0
+
+let sorted_accesses t = t.sorted_accesses
+
+let random_accesses t = t.random_accesses
+
+let top_score t =
+  if Array.length t.sorted = 0 then neg_infinity else snd t.sorted.(0)
+
+let score_at t i = snd t.sorted.(i)

@@ -1,0 +1,37 @@
+(** Ranked sources for top-k {e selection} (rank aggregation, Section 2.1).
+
+    Each source ranks the same universe of objects on one criterion. A source
+    supports {e sorted access} (next object in descending score order) and
+    optionally {e random access} (probe the score of a given object) — the
+    access-type split that classifies the aggregation algorithms (TA needs
+    both, NRA only sorted access). Access counts are recorded so algorithm
+    cost (sorted + random accesses) can be compared. *)
+
+type object_id = int
+
+type t
+
+val of_scores : (object_id * float) list -> t
+(** Build a source from (object, score) pairs; the sorted order is derived.
+    Object ids must be unique within a source. *)
+
+val size : t -> int
+
+val sorted_access : t -> int -> (object_id * float) option
+(** [sorted_access src i] is the i-th (0-based) best entry; records one
+    sorted access. *)
+
+val random_access : t -> object_id -> float option
+(** Probe an object's score; records one random access. *)
+
+val reset_counters : t -> unit
+
+val sorted_accesses : t -> int
+
+val random_accesses : t -> int
+
+val top_score : t -> float
+(** Best score; [neg_infinity] when empty (no access charged). *)
+
+val score_at : t -> int -> float
+(** Score at a rank position, without charging an access (used by tests). *)

@@ -1,0 +1,1 @@
+lib/relalg/expr_codec.ml: Buffer Expr List Printf Scanf String Value

@@ -1,0 +1,1 @@
+lib/relalg/expr_codec.mli: Expr

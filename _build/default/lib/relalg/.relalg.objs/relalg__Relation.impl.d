@@ -1,0 +1,1 @@
+lib/relalg/relation.ml: Expr Float Format List Printf Schema Tuple

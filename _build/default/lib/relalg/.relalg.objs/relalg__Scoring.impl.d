@@ -1,0 +1,1 @@
+lib/relalg/scoring.ml: Array Float Format Printf String

@@ -1,0 +1,1 @@
+lib/relalg/scoring.mli: Format

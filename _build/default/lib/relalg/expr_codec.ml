@@ -1,0 +1,195 @@
+(* A minimal s-expression layer: atoms are identifiers/numbers or quoted
+   strings; lists are parenthesised. *)
+
+type sexp =
+  | Atom of string
+  | List of sexp list
+
+let atom_needs_quotes s =
+  s = ""
+  || String.exists
+       (fun c -> c = ' ' || c = '(' || c = ')' || c = '"' || c = '\n' || c = '\t')
+       s
+
+let rec print_sexp buf = function
+  | Atom s ->
+      if atom_needs_quotes s then begin
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (String.escaped s);
+        Buffer.add_char buf '"'
+      end
+      else Buffer.add_string buf s
+  | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          print_sexp buf item)
+        items;
+      Buffer.add_char buf ')'
+
+exception Bad of string
+
+let parse_sexp input =
+  let n = String.length input in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some input.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (input.[!pos] = ' ' || input.[!pos] = '\n' || input.[!pos] = '\t')
+    do
+      incr pos
+    done
+  in
+  let rec parse () =
+    skip_ws ();
+    match peek () with
+    | None -> raise (Bad "unexpected end of input")
+    | Some '(' ->
+        incr pos;
+        let items = ref [] in
+        let rec loop () =
+          skip_ws ();
+          match peek () with
+          | Some ')' ->
+              incr pos;
+              List (List.rev !items)
+          | None -> raise (Bad "unterminated list")
+          | Some _ ->
+              items := parse () :: !items;
+              loop ()
+        in
+        loop ()
+    | Some '"' ->
+        incr pos;
+        let buf = Buffer.create 16 in
+        let rec loop () =
+          if !pos >= n then raise (Bad "unterminated string");
+          match input.[!pos] with
+          | '"' ->
+              incr pos;
+              Atom (Scanf.unescaped (Buffer.contents buf))
+          | '\\' when !pos + 1 < n ->
+              Buffer.add_char buf input.[!pos];
+              Buffer.add_char buf input.[!pos + 1];
+              pos := !pos + 2;
+              loop ()
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              loop ()
+        in
+        loop ()
+    | Some _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && not
+               (input.[!pos] = ' ' || input.[!pos] = '(' || input.[!pos] = ')'
+              || input.[!pos] = '\n' || input.[!pos] = '\t')
+        do
+          incr pos
+        done;
+        Atom (String.sub input start (!pos - start))
+  in
+  let result = parse () in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing input");
+  result
+
+(* --- Expr <-> sexp --- *)
+
+let sexp_of_value = function
+  | Value.Null -> Atom "n"
+  | Value.Int i -> List [ Atom "i"; Atom (string_of_int i) ]
+  | Value.Float f -> List [ Atom "f"; Atom (Printf.sprintf "%h" f) ]
+  | Value.Str s -> List [ Atom "s"; Atom s ]
+  | Value.Bool b -> List [ Atom "b"; Atom (string_of_bool b) ]
+
+let cmp_name = function
+  | Expr.Eq -> "eq"
+  | Expr.Ne -> "ne"
+  | Expr.Lt -> "lt"
+  | Expr.Le -> "le"
+  | Expr.Gt -> "gt"
+  | Expr.Ge -> "ge"
+
+let rec sexp_of_expr = function
+  | Expr.Const v -> List [ Atom "const"; sexp_of_value v ]
+  | Expr.Col { relation = None; name } -> List [ Atom "col"; Atom name ]
+  | Expr.Col { relation = Some r; name } -> List [ Atom "col"; Atom (r ^ "." ^ name) ]
+  | Expr.Neg e -> List [ Atom "neg"; sexp_of_expr e ]
+  | Expr.Add (a, b) -> List [ Atom "add"; sexp_of_expr a; sexp_of_expr b ]
+  | Expr.Sub (a, b) -> List [ Atom "sub"; sexp_of_expr a; sexp_of_expr b ]
+  | Expr.Mul (a, b) -> List [ Atom "mul"; sexp_of_expr a; sexp_of_expr b ]
+  | Expr.Div (a, b) -> List [ Atom "div"; sexp_of_expr a; sexp_of_expr b ]
+  | Expr.Cmp (op, a, b) ->
+      List [ Atom "cmp"; Atom (cmp_name op); sexp_of_expr a; sexp_of_expr b ]
+  | Expr.And (a, b) -> List [ Atom "and"; sexp_of_expr a; sexp_of_expr b ]
+  | Expr.Or (a, b) -> List [ Atom "or"; sexp_of_expr a; sexp_of_expr b ]
+  | Expr.Not e -> List [ Atom "not"; sexp_of_expr e ]
+
+let value_of_sexp = function
+  | Atom "n" -> Value.Null
+  | List [ Atom "i"; Atom s ] -> (
+      match int_of_string_opt s with
+      | Some i -> Value.Int i
+      | None -> raise (Bad ("bad int " ^ s)))
+  | List [ Atom "f"; Atom s ] -> (
+      match float_of_string_opt s with
+      | Some f -> Value.Float f
+      | None -> raise (Bad ("bad float " ^ s)))
+  | List [ Atom "s"; Atom s ] -> Value.Str s
+  | List [ Atom "b"; Atom s ] -> (
+      match bool_of_string_opt s with
+      | Some b -> Value.Bool b
+      | None -> raise (Bad ("bad bool " ^ s)))
+  | _ -> raise (Bad "bad value")
+
+let cmp_of_name = function
+  | "eq" -> Expr.Eq
+  | "ne" -> Expr.Ne
+  | "lt" -> Expr.Lt
+  | "le" -> Expr.Le
+  | "gt" -> Expr.Gt
+  | "ge" -> Expr.Ge
+  | s -> raise (Bad ("bad comparison " ^ s))
+
+let col_of_name name =
+  match String.index_opt name '.' with
+  | Some i ->
+      Expr.Col
+        {
+          relation = Some (String.sub name 0 i);
+          name = String.sub name (i + 1) (String.length name - i - 1);
+        }
+  | None -> Expr.Col { relation = None; name }
+
+let rec expr_of_sexp = function
+  | List [ Atom "const"; v ] -> Expr.Const (value_of_sexp v)
+  | List [ Atom "col"; Atom name ] -> col_of_name name
+  | List [ Atom "neg"; e ] -> Expr.Neg (expr_of_sexp e)
+  | List [ Atom "add"; a; b ] -> Expr.Add (expr_of_sexp a, expr_of_sexp b)
+  | List [ Atom "sub"; a; b ] -> Expr.Sub (expr_of_sexp a, expr_of_sexp b)
+  | List [ Atom "mul"; a; b ] -> Expr.Mul (expr_of_sexp a, expr_of_sexp b)
+  | List [ Atom "div"; a; b ] -> Expr.Div (expr_of_sexp a, expr_of_sexp b)
+  | List [ Atom "cmp"; Atom op; a; b ] ->
+      Expr.Cmp (cmp_of_name op, expr_of_sexp a, expr_of_sexp b)
+  | List [ Atom "and"; a; b ] -> Expr.And (expr_of_sexp a, expr_of_sexp b)
+  | List [ Atom "or"; a; b ] -> Expr.Or (expr_of_sexp a, expr_of_sexp b)
+  | List [ Atom "not"; e ] -> Expr.Not (expr_of_sexp e)
+  | _ -> raise (Bad "bad expression")
+
+let to_string e =
+  let buf = Buffer.create 64 in
+  print_sexp buf (sexp_of_expr e);
+  Buffer.contents buf
+
+let of_string s =
+  match expr_of_sexp (parse_sexp s) with
+  | e -> Ok e
+  | exception Bad msg -> Error msg
+
+let of_string_exn s =
+  match of_string s with
+  | Ok e -> e
+  | Error msg -> invalid_arg ("Expr_codec.of_string_exn: " ^ msg)

@@ -1,0 +1,18 @@
+(** S-expression serialisation of {!Expr.t}.
+
+    Used by catalog persistence to store index key expressions, and handy
+    for debugging. The format is stable and round-trips exactly:
+
+    {v
+    (col A.c1)
+    (mul (const (f 0.3)) (col A.c1))
+    (cmp le (col x) (const (i 5)))
+    v} *)
+
+val to_string : Expr.t -> string
+
+val of_string : string -> (Expr.t, string) result
+(** Parse a serialised expression; [Error] describes the first problem. *)
+
+val of_string_exn : string -> Expr.t
+(** @raise Invalid_argument on malformed input. *)

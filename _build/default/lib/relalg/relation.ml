@@ -1,0 +1,71 @@
+type t = {
+  schema : Schema.t;
+  tuples : Tuple.t list;
+}
+
+let create schema tuples =
+  let arity = Schema.arity schema in
+  List.iter
+    (fun tu ->
+      if Tuple.arity tu <> arity then
+        invalid_arg
+          (Printf.sprintf "Relation.create: tuple arity %d, schema arity %d"
+             (Tuple.arity tu) arity))
+    tuples;
+  { schema; tuples }
+
+let schema t = t.schema
+
+let tuples t = t.tuples
+
+let cardinality t = List.length t.tuples
+
+let sort_by ?(desc = false) expr t =
+  let f = Expr.compile_float t.schema expr in
+  let keyed = List.map (fun tu -> (f tu, tu)) t.tuples in
+  let cmp (a, _) (b, _) = if desc then Float.compare b a else Float.compare a b in
+  { t with tuples = List.map snd (List.stable_sort cmp keyed) }
+
+let filter pred t =
+  let f = Expr.compile_bool t.schema pred in
+  { t with tuples = List.filter f t.tuples }
+
+let project_columns cols t =
+  let idxs =
+    List.map
+      (fun (relation, name) -> Schema.index_of_exn t.schema ?relation name)
+      cols
+  in
+  {
+    schema = Schema.project t.schema idxs;
+    tuples = List.map (fun tu -> Tuple.project tu idxs) t.tuples;
+  }
+
+let cross a b =
+  {
+    schema = Schema.concat a.schema b.schema;
+    tuples =
+      List.concat_map
+        (fun ta -> List.map (fun tb -> Tuple.concat ta tb) b.tuples)
+        a.tuples;
+  }
+
+let join ~on a b =
+  let all = cross a b in
+  filter on all
+
+let top_k ~score ~k t =
+  let f = Expr.compile_float t.schema score in
+  let keyed = List.map (fun tu -> (tu, f tu)) t.tuples in
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) keyed in
+  List.filteri (fun i _ -> i < k) sorted
+
+let rename alias t = { t with schema = Schema.rename_relation t.schema alias }
+
+let equal_bag a b =
+  let sort l = List.sort Tuple.compare l in
+  Schema.arity a.schema = Schema.arity b.schema
+  && List.equal Tuple.equal (sort a.tuples) (sort b.tuples)
+
+let pp fmt t =
+  Format.fprintf fmt "%a [%d tuples]" Schema.pp t.schema (cardinality t)

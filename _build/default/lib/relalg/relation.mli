@@ -1,0 +1,42 @@
+(** In-memory relations: a schema plus a bag of tuples.
+
+    This is the logical-level container used by tests, generators and the
+    naive baselines; the paged on-disk representation lives in the [storage]
+    library. *)
+
+type t
+
+val create : Schema.t -> Tuple.t list -> t
+(** @raise Invalid_argument if a tuple's arity differs from the schema's. *)
+
+val schema : t -> Schema.t
+
+val tuples : t -> Tuple.t list
+
+val cardinality : t -> int
+
+val sort_by : ?desc:bool -> Expr.t -> t -> t
+(** Stable sort on the value of an expression (ascending by default). *)
+
+val filter : Expr.t -> t -> t
+
+val project_columns : (string option * string) list -> t -> t
+(** Keep only the given (relation, name) columns, in the given order. *)
+
+val cross : t -> t -> t
+
+val join : on:Expr.t -> t -> t -> t
+(** Naive nested-loops join under an arbitrary predicate — the correctness
+    oracle for every physical join implementation. *)
+
+val top_k : score:Expr.t -> k:int -> t -> (Tuple.t * float) list
+(** The [k] highest-scoring tuples, ties broken by tuple order, scores
+    attached — the correctness oracle for rank-join and rank-aggregation. *)
+
+val rename : string -> t -> t
+(** Re-qualify all columns with a relation alias. *)
+
+val equal_bag : t -> t -> bool
+(** Same multiset of tuples (schema arities must match). *)
+
+val pp : Format.formatter -> t -> unit

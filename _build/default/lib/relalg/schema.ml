@@ -1,0 +1,75 @@
+type column = {
+  relation : string option;
+  name : string;
+  dtype : Value.dtype;
+}
+
+type t = { cols : column array }
+
+let column ?relation name dtype = { relation; name; dtype }
+
+let column_name c =
+  match c.relation with
+  | None -> c.name
+  | Some r -> r ^ "." ^ c.name
+
+let of_columns cols =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let key = column_name c in
+      if Hashtbl.mem seen key then
+        invalid_arg ("Schema.of_columns: duplicate column " ^ key);
+      Hashtbl.add seen key ())
+    cols;
+  { cols = Array.of_list cols }
+
+let columns t = Array.to_list t.cols
+
+let arity t = Array.length t.cols
+
+let concat a b = { cols = Array.append a.cols b.cols }
+
+let matches ?relation name c =
+  String.equal c.name name
+  &&
+  match relation with
+  | None -> true
+  | Some r -> (match c.relation with Some r' -> String.equal r r' | None -> false)
+
+let index_of t ?relation name =
+  let hits = ref [] in
+  Array.iteri (fun i c -> if matches ?relation name c then hits := i :: !hits) t.cols;
+  match !hits with
+  | [] -> None
+  | [ i ] -> Some i
+  | _ -> invalid_arg ("Schema.index_of: ambiguous column " ^ name)
+
+let index_of_exn t ?relation name =
+  match index_of t ?relation name with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem t ?relation name = Option.is_some (index_of t ?relation name)
+
+let nth t i = t.cols.(i)
+
+let rename_relation t relation =
+  { cols = Array.map (fun c -> { c with relation = Some relation }) t.cols }
+
+let project t idxs = { cols = Array.of_list (List.map (fun i -> t.cols.(i)) idxs) }
+
+let equal a b =
+  arity a = arity b
+  && Array.for_all2
+       (fun c d ->
+         Option.equal String.equal c.relation d.relation
+         && String.equal c.name d.name && c.dtype = d.dtype)
+       a.cols b.cols
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (List.map
+          (fun c -> column_name c ^ ":" ^ Value.dtype_name c.dtype)
+          (columns t)))

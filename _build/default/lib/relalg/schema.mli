@@ -1,0 +1,48 @@
+(** Relation schemas.
+
+    A column is identified by an optional relation qualifier and a name, e.g.
+    [A.c1]. Schemas are immutable; joins concatenate them. *)
+
+type column = {
+  relation : string option;  (** Qualifier, e.g. ["A"] in [A.c1]. *)
+  name : string;  (** Column name, e.g. ["c1"]. *)
+  dtype : Value.dtype;
+}
+
+type t
+
+val column : ?relation:string -> string -> Value.dtype -> column
+
+val column_name : column -> string
+(** Fully qualified ["A.c1"] form (or bare name when unqualified). *)
+
+val of_columns : column list -> t
+(** @raise Invalid_argument on duplicate qualified names. *)
+
+val columns : t -> column list
+
+val arity : t -> int
+
+val concat : t -> t -> t
+(** Schema of a join result: left columns then right columns. *)
+
+val index_of : t -> ?relation:string -> string -> int option
+(** Position of a column. An unqualified lookup matches any qualifier but
+    raises if ambiguous. *)
+
+val index_of_exn : t -> ?relation:string -> string -> int
+(** @raise Not_found when absent. *)
+
+val mem : t -> ?relation:string -> string -> bool
+
+val nth : t -> int -> column
+
+val rename_relation : t -> string -> t
+(** Re-qualify every column with the given relation name (table alias). *)
+
+val project : t -> int list -> t
+(** Schema restricted to the given column positions, in order. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t =
+  | Sum
+  | Weighted of float array
+  | Min
+  | Max
+
+let combine f scores =
+  match f with
+  | Sum -> Array.fold_left ( +. ) 0.0 scores
+  | Weighted w ->
+      if Array.length w <> Array.length scores then
+        invalid_arg "Scoring.combine: weight arity mismatch";
+      let acc = ref 0.0 in
+      Array.iteri (fun i s -> acc := !acc +. (w.(i) *. s)) scores;
+      !acc
+  | Min -> Array.fold_left Float.min infinity scores
+  | Max -> Array.fold_left Float.max neg_infinity scores
+
+let combine2 f a b = combine f [| a; b |]
+
+let is_monotone = function
+  | Sum | Min | Max -> true
+  | Weighted w -> Array.for_all (fun x -> x >= 0.0) w
+
+let pp fmt = function
+  | Sum -> Format.pp_print_string fmt "sum"
+  | Min -> Format.pp_print_string fmt "min"
+  | Max -> Format.pp_print_string fmt "max"
+  | Weighted w ->
+      Format.fprintf fmt "weighted(%s)"
+        (String.concat ","
+           (Array.to_list (Array.map (Printf.sprintf "%g") w)))

@@ -1,0 +1,26 @@
+(** Monotone scoring functions for rank aggregation and rank-joins.
+
+    A rank-join combines per-input scores with a monotone function [f];
+    the threshold bound of HRJN/NRJN (Section 2.2) is only valid for monotone
+    [f]. The paper's experiments use weighted sums, which is what the
+    optimizer's linear-form machinery recognises; [Min] and [Max] are provided
+    for the rank-aggregation algorithms. *)
+
+type t =
+  | Sum  (** f(s1, ..., sn) = s1 + ... + sn *)
+  | Weighted of float array  (** f(s) = Σ wᵢ·sᵢ, weights must be ≥ 0. *)
+  | Min
+  | Max
+
+val combine : t -> float array -> float
+(** Apply the function to per-input scores.
+    @raise Invalid_argument if [Weighted] arity mismatches. *)
+
+val combine2 : t -> float -> float -> float
+(** Binary form used by the diadic rank-join operators. For [Weighted],
+    arity must be 2. *)
+
+val is_monotone : t -> bool
+(** All provided functions are monotone provided weights are non-negative. *)
+
+val pp : Format.formatter -> t -> unit

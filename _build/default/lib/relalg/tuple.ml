@@ -1,0 +1,33 @@
+type t = Value.t array
+
+let make = Array.of_list
+
+let arity = Array.length
+
+let get t i = t.(i)
+
+let concat = Array.append
+
+let project t idxs = Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+
+let hash t = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 7 t
+
+let pp fmt t =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", " (Array.to_list (Array.map Value.to_string t)))
+
+let to_string t = Format.asprintf "%a" pp t

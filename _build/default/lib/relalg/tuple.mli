@@ -1,0 +1,25 @@
+(** Tuples: flat arrays of values, positionally matching a schema. *)
+
+type t = Value.t array
+
+val make : Value.t list -> t
+
+val arity : t -> int
+
+val get : t -> int -> Value.t
+
+val concat : t -> t -> t
+(** Join result: left values then right values. *)
+
+val project : t -> int list -> t
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Lexicographic under {!Value.compare}. *)
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,74 @@
+type dtype = Tint | Tfloat | Tstring | Tbool
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+let dtype_of = function
+  | Null -> None
+  | Int _ -> Some Tint
+  | Float _ -> Some Tfloat
+  | Str _ -> Some Tstring
+  | Bool _ -> Some Tbool
+
+let dtype_name = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tstring -> "string"
+  | Tbool -> "bool"
+
+let rank = function
+  | Null -> 0
+  | Int _ | Float _ -> 1
+  | Str _ -> 2
+  | Bool _ -> 3
+
+let compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | _ -> Stdlib.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Null -> 17
+  | Int x -> Hashtbl.hash (float_of_int x)
+  | Float x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+
+let to_float = function
+  | Null -> 0.0
+  | Int x -> float_of_int x
+  | Float x -> x
+  | Bool true -> 1.0
+  | Bool false -> 0.0
+  | Str s -> invalid_arg ("Value.to_float: string value " ^ s)
+
+let to_int = function
+  | Null -> 0
+  | Int x -> x
+  | Float x -> int_of_float x
+  | Bool true -> 1
+  | Bool false -> 0
+  | Str s -> invalid_arg ("Value.to_int: string value " ^ s)
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ | Bool _ -> false
+
+let pp fmt = function
+  | Null -> Format.pp_print_string fmt "NULL"
+  | Int x -> Format.pp_print_int fmt x
+  | Float x -> Format.fprintf fmt "%g" x
+  | Str s -> Format.fprintf fmt "%S" s
+  | Bool b -> Format.pp_print_bool fmt b
+
+let to_string v = Format.asprintf "%a" pp v

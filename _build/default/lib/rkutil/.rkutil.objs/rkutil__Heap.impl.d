@@ -1,0 +1,1 @@
+lib/rkutil/heap.ml: Array List

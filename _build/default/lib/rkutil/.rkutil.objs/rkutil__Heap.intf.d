@@ -1,0 +1,1 @@
+lib/rkutil/heap.mli:

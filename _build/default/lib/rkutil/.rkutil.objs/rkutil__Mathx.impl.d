@@ -1,0 +1,1 @@
+lib/rkutil/mathx.ml: Array Float List

@@ -1,0 +1,1 @@
+lib/rkutil/prng.ml: Array Float Int64

@@ -1,0 +1,1 @@
+lib/rkutil/prng.mli:

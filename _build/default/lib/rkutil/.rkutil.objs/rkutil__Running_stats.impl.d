@@ -1,0 +1,1 @@
+lib/rkutil/running_stats.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/rkutil/running_stats.mli: Format

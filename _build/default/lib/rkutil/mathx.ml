@@ -1,0 +1,84 @@
+let small_log_factorials =
+  (* table.(n) = ln (n!) for n <= 256 *)
+  let t = Array.make 257 0.0 in
+  for n = 1 to 256 do
+    t.(n) <- t.(n - 1) +. log (float_of_int n)
+  done;
+  t
+
+let log_factorial n =
+  if n < 0 then invalid_arg "Mathx.log_factorial: negative argument"
+  else if n <= 256 then small_log_factorials.(n)
+  else begin
+    (* Stirling series with the first two correction terms: accurate to well
+       below 1e-10 relative error for n > 256. *)
+    let x = float_of_int n in
+    ((x +. 0.5) *. log x) -. x
+    +. (0.5 *. log (2.0 *. Float.pi))
+    +. (1.0 /. (12.0 *. x))
+    -. (1.0 /. (360.0 *. (x ** 3.0)))
+  end
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let iclamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let ceil_to_int x =
+  if Float.is_nan x then 0
+  else if x <= 0.0 then 0
+  else if x >= float_of_int max_int then max_int
+  else int_of_float (Float.ceil x)
+
+let log_binomial n k =
+  if k < 0 || k > n then neg_infinity
+  else log_factorial n -. log_factorial k -. log_factorial (n - k)
+
+let bisect ~f ~lo ~hi ?(iters = 80) () =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else if flo *. fhi > 0.0 then (if Float.abs flo < Float.abs fhi then lo else hi)
+  else begin
+    let lo = ref lo and hi = ref hi and flo = ref flo in
+    for _ = 1 to iters do
+      let mid = 0.5 *. (!lo +. !hi) in
+      let fmid = f mid in
+      if !flo *. fmid <= 0.0 then hi := mid
+      else begin
+        lo := mid;
+        flo := fmid
+      end
+    done;
+    0.5 *. (!lo +. !hi)
+  end
+
+(* Abramowitz & Stegun 7.1.26 rational approximation of erf. *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let y =
+    1.0
+    -. ((((((1.061405429 *. t) -. 1.453152027) *. t) +. 1.421413741) *. t
+        -. 0.284496736)
+        *. t
+       +. 0.254829592)
+       *. t
+       *. exp (-.(x *. x))
+  in
+  sign *. y
+
+let normal_cdf x = 0.5 *. (1.0 +. erf (x /. sqrt 2.0))
+
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then
+    invalid_arg "Mathx.normal_quantile: p outside (0,1)";
+  bisect ~f:(fun x -> normal_cdf x -. p) ~lo:(-10.0) ~hi:10.0 ()
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let relative_error ~actual ~estimate =
+  if actual = 0.0 then (if estimate = 0.0 then 0.0 else infinity)
+  else Float.abs (estimate -. actual) /. Float.abs actual

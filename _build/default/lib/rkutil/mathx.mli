@@ -1,0 +1,40 @@
+(** Numeric helpers for the depth-estimation model.
+
+    The closed-form depth formulas of the paper (Equations 2-5 and the
+    average-case variants) involve factorial powers that overflow native
+    floats quickly, so everything is computed in log space. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is [ln (n!)]; exact summation for small [n], Stirling
+    with correction terms beyond. [n] must be non-negative. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** Clamp a float into [\[lo, hi\]]. *)
+
+val iclamp : lo:int -> hi:int -> int -> int
+
+val ceil_to_int : float -> int
+(** Ceiling, saturating at [max_int] and never below 0. *)
+
+val log_binomial : int -> int -> float
+(** [log_binomial n k] is [ln (n choose k)]. *)
+
+val bisect :
+  f:(float -> float) -> lo:float -> hi:float -> ?iters:int -> unit -> float
+(** [bisect ~f ~lo ~hi ()] finds a root of a monotone [f] on [\[lo, hi\]] by
+    bisection, assuming [f lo] and [f hi] have opposite signs (if not, the
+    endpoint with the smaller absolute value is returned). *)
+
+val normal_cdf : float -> float
+(** Standard normal CDF (Abramowitz-Stegun 7.1.26 approximation, absolute
+    error < 1.5e-7). *)
+
+val normal_quantile : float -> float
+(** Inverse of {!normal_cdf} on (0, 1), by bisection. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val relative_error : actual:float -> estimate:float -> float
+(** [|estimate - actual| / actual]; infinity when [actual = 0] and the
+    estimate differs. *)

@@ -1,0 +1,54 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let seed = bits64 g in
+  { state = seed }
+
+let int g bound =
+  assert (bound > 0);
+  (* Keep 62 bits so the value fits OCaml's native int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+  r mod bound
+
+let uniform g =
+  (* 53 random bits mapped into [0,1). *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  float_of_int r /. 9007199254740992.0
+
+let float g bound = uniform g *. bound
+
+let gaussian g =
+  let rec nonzero () =
+    let u = uniform g in
+    if u > 0.0 then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = uniform g in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))

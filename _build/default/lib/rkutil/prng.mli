@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generator.
+
+    A small splitmix64 generator so that every workload, test and benchmark in
+    the repository is reproducible from an explicit integer seed, independent
+    of the OCaml stdlib [Random] state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    (statistically) independent of the remainder of [g]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val uniform : t -> float
+(** [uniform g] is uniform in [\[0, 1)]. *)
+
+val gaussian : t -> float
+(** Standard normal variate (Box-Muller). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)

@@ -1,0 +1,32 @@
+(** Online accumulation of mean / variance / extrema (Welford's algorithm).
+
+    Used by the benchmark harness to summarise repeated measurements and by
+    the catalog to build column statistics in one pass. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val mean : t -> float
+
+val variance : t -> float
+(** Sample variance (divides by [n - 1]); 0 when fewer than two samples. *)
+
+val stddev : t -> float
+
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val sum : t -> float
+
+val merge : t -> t -> t
+(** Combine two accumulators as if all samples were added to one. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sqlfront/binder.ml: Ast Core Exec Expr Hashtbl List Option Printf Relalg Schema Storage String Value

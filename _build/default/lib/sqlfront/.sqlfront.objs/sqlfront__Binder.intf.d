@@ -1,0 +1,1 @@
+lib/sqlfront/binder.mli: Ast Core Exec Expr Relalg Schema Storage

@@ -1,0 +1,1 @@
+lib/sqlfront/lexer.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/sqlfront/sql.ml: Array Ast Binder Core Exec Expr Float List Option Parser Printf Relalg Result Schema Storage Tuple Value

@@ -1,0 +1,1 @@
+lib/sqlfront/sql.mli: Core Relalg Storage Tuple

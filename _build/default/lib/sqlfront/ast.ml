@@ -1,0 +1,111 @@
+type binop = Add | Sub | Mul | Div
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Number of float
+  | String of string
+  | Column of { table : string option; name : string }
+  | Unary_minus of expr
+  | Binop of binop * expr * expr
+
+type condition = Compare of cmpop * expr * expr
+
+type agg_name = Count | Sum | Min | Max | Avg
+
+type select_item =
+  | Star
+  | Item of { expr : expr; alias : string option }
+  | Aggregate of { fn : agg_name; arg : expr option; alias : string option }
+  | Rank_of_row of { alias : string }
+
+type order_direction = Asc | Desc
+
+type query = {
+  select : select_item list;
+  from : string list;
+  where : condition list;
+  group_by : expr list;
+  order_by : (expr * order_direction) option;
+  limit : int option;
+}
+
+type statement =
+  | Select of query
+  | Insert of { table : string; values : expr list list }
+  | Delete of { table : string; where : condition list }
+  | Update of {
+      table : string;
+      assignments : (string * expr) list;
+      where : condition list;
+    }
+
+let agg_name_string = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Min -> "MIN"
+  | Max -> "MAX"
+  | Avg -> "AVG"
+
+let binop_symbol = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let cmpop_symbol = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let rec pp_expr fmt = function
+  | Number f -> Format.fprintf fmt "%g" f
+  | String s -> Format.fprintf fmt "'%s'" s
+  | Column { table = None; name } -> Format.pp_print_string fmt name
+  | Column { table = Some t; name } -> Format.fprintf fmt "%s.%s" t name
+  | Unary_minus e -> Format.fprintf fmt "-(%a)" pp_expr e
+  | Binop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+
+let pp_query fmt q =
+  let pp_item fmt = function
+    | Star -> Format.pp_print_string fmt "*"
+    | Item { expr; alias = None } -> pp_expr fmt expr
+    | Item { expr; alias = Some a } -> Format.fprintf fmt "%a AS %s" pp_expr expr a
+    | Aggregate { fn; arg; alias } ->
+        Format.fprintf fmt "%s(%s)%s" (agg_name_string fn)
+          (match arg with None -> "*" | Some e -> Format.asprintf "%a" pp_expr e)
+          (match alias with None -> "" | Some a -> " AS " ^ a)
+    | Rank_of_row { alias } -> Format.fprintf fmt "rank() AS %s" alias
+  in
+  Format.fprintf fmt "SELECT %a FROM %s"
+    (Format.pp_print_list
+       ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+       pp_item)
+    q.select
+    (String.concat ", " q.from);
+  (match q.where with
+  | [] -> ()
+  | conds ->
+      let pp_cond fmt (Compare (op, a, b)) =
+        Format.fprintf fmt "%a %s %a" pp_expr a (cmpop_symbol op) pp_expr b
+      in
+      Format.fprintf fmt " WHERE %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " AND ")
+           pp_cond)
+        conds);
+  (match q.group_by with
+  | [] -> ()
+  | gs ->
+      Format.fprintf fmt " GROUP BY %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp_expr)
+        gs);
+  (match q.order_by with
+  | Some (e, Desc) -> Format.fprintf fmt " ORDER BY %a DESC" pp_expr e
+  | Some (e, Asc) -> Format.fprintf fmt " ORDER BY %a ASC" pp_expr e
+  | None -> ());
+  match q.limit with
+  | Some k -> Format.fprintf fmt " LIMIT %d" k
+  | None -> ()

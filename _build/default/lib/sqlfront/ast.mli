@@ -1,0 +1,65 @@
+(** Abstract syntax of the supported SQL subset.
+
+    The grammar covers the shape of the paper's queries Q1/Q2 in their
+    ORDER BY / LIMIT formulation:
+
+    {v
+    SELECT <expr [AS name], ... | *>
+    FROM table, table, ...
+    WHERE col = col AND col <op> literal AND ...
+    [ORDER BY <arith-expr> [DESC | ASC]]
+    [LIMIT k]
+    v} *)
+
+type binop = Add | Sub | Mul | Div
+
+type cmpop = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Number of float
+  | String of string
+  | Column of { table : string option; name : string }
+  | Unary_minus of expr
+  | Binop of binop * expr * expr
+
+type condition = Compare of cmpop * expr * expr
+
+type agg_name = Count | Sum | Min | Max | Avg
+
+type select_item =
+  | Star
+  | Item of { expr : expr; alias : string option }
+  | Aggregate of { fn : agg_name; arg : expr option; alias : string option }
+      (** [arg = None] only for COUNT star. *)
+  | Rank_of_row of { alias : string }
+      (** The rank() window value of the WITH-form top-k query: the output
+          row's 1-based position in the ranking. Produced only by desugaring
+          the SQL99 form. *)
+
+type order_direction = Asc | Desc
+
+type query = {
+  select : select_item list;
+  from : string list;
+  where : condition list;  (** Conjunction. *)
+  group_by : expr list;
+  order_by : (expr * order_direction) option;
+  limit : int option;
+}
+
+type statement =
+  | Select of query
+  | Insert of { table : string; values : expr list list }
+      (** INSERT INTO t VALUES (...), (...), ... — constant expressions. *)
+  | Delete of { table : string; where : condition list }
+  | Update of {
+      table : string;
+      assignments : (string * expr) list;  (** column := expression. *)
+      where : condition list;
+    }
+
+val agg_name_string : agg_name -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_query : Format.formatter -> query -> unit

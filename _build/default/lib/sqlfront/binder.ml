@@ -1,0 +1,267 @@
+open Relalg
+
+type aggregation = {
+  agg_group_by : (Expr.t * Schema.column) list;
+  agg_specs : Exec.Aggregate.spec list;
+}
+
+type output_column =
+  | Col of Expr.t
+  | Rank
+
+type bound = {
+  logical : Core.Logical.t;
+  projection : (output_column * string) list option;
+  aggregation : aggregation option;
+  post_sort : (Expr.t * [ `Asc | `Desc ]) option;
+  post_limit : int option;
+}
+
+exception Bind_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+
+(* Resolve a column reference to its unique owning table. *)
+let resolve_column catalog tables (table, name) =
+  match table with
+  | Some t ->
+      if not (List.mem t tables) then fail "table %s is not in FROM" t;
+      let info = Storage.Catalog.table catalog t in
+      if not (Schema.mem info.Storage.Catalog.tb_schema ~relation:t name) then
+        fail "column %s.%s does not exist" t name;
+      (t, name)
+  | None -> (
+      let owners =
+        List.filter
+          (fun t ->
+            let info = Storage.Catalog.table catalog t in
+            Schema.mem info.Storage.Catalog.tb_schema ~relation:t name)
+          tables
+      in
+      match owners with
+      | [ t ] -> (t, name)
+      | [] -> fail "column %s does not exist in any FROM table" name
+      | _ -> fail "column %s is ambiguous" name)
+
+let rec to_expr catalog tables = function
+  | Ast.Number f -> Expr.cfloat f
+  | Ast.String s -> Expr.Const (Value.Str s)
+  | Ast.Column { table; name } ->
+      let t, c = resolve_column catalog tables (table, name) in
+      Expr.col ~relation:t c
+  | Ast.Unary_minus e -> Expr.Neg (to_expr catalog tables e)
+  | Ast.Binop (op, a, b) ->
+      let ea = to_expr catalog tables a and eb = to_expr catalog tables b in
+      (match op with
+      | Ast.Add -> Expr.Add (ea, eb)
+      | Ast.Sub -> Expr.Sub (ea, eb)
+      | Ast.Mul -> Expr.Mul (ea, eb)
+      | Ast.Div -> Expr.Div (ea, eb))
+
+let cmp_of = function
+  | Ast.Eq -> Expr.Eq
+  | Ast.Ne -> Expr.Ne
+  | Ast.Lt -> Expr.Lt
+  | Ast.Le -> Expr.Le
+  | Ast.Gt -> Expr.Gt
+  | Ast.Ge -> Expr.Ge
+
+(* Split WHERE conjuncts into join predicates and per-relation filters. *)
+let classify_conditions catalog tables conds =
+  let joins = ref [] and filters = ref [] in
+  List.iter
+    (fun (Ast.Compare (op, lhs, rhs)) ->
+      match op, lhs, rhs with
+      | Ast.Eq, Ast.Column { table = ltab; name = lname }, Ast.Column { table = rtab; name = rname } ->
+          let lt, lcol = resolve_column catalog tables (ltab, lname) in
+          let rt, rcol = resolve_column catalog tables (rtab, rname) in
+          if String.equal lt rt then
+            filters :=
+              ( lt,
+                Expr.Cmp (Expr.Eq, Expr.col ~relation:lt lcol, Expr.col ~relation:rt rcol) )
+              :: !filters
+          else joins := Core.Logical.equijoin (lt, lcol) (rt, rcol) :: !joins
+      | _ ->
+          let el = to_expr catalog tables lhs and er = to_expr catalog tables rhs in
+          let pred = Expr.Cmp (cmp_of op, el, er) in
+          let rels =
+            List.sort_uniq String.compare (Expr.relations el @ Expr.relations er)
+          in
+          (match rels with
+          | [ t ] -> filters := (t, pred) :: !filters
+          | [] -> fail "constant-only predicates are not supported"
+          | _ ->
+              fail
+                "non-equi predicates across relations are not supported: %s"
+                (Expr.to_string pred)))
+    conds;
+  (List.rev !joins, List.rev !filters)
+
+(* Decompose a linear ranking expression into per-relation score slices;
+   [None] when the expression cannot drive the rank machinery (non-linear or
+   negative weights). *)
+let ranking_slices expr tables =
+  match Expr.as_linear expr with
+  | None -> None
+  | Some lin when List.exists (fun (w, _) -> w < 0.0) lin.Expr.terms -> None
+  | Some lin ->
+      let slice table =
+        let mine =
+          List.filter
+            (fun ((_, r) : float * Expr.column_ref) ->
+              match r.Expr.relation with
+              | Some t -> String.equal t table
+              | None -> false)
+            lin.Expr.terms
+        in
+        match mine with
+        | [] -> None
+        | terms ->
+            Some
+              (Expr.weighted_sum
+                 (List.map (fun (w, r) -> (w, Expr.Col r)) terms))
+      in
+      Some (List.map (fun t -> (t, slice t)) tables)
+
+let is_aggregate_query (q : Ast.query) =
+  q.Ast.group_by <> []
+  || List.exists
+       (function
+         | Ast.Aggregate _ -> true
+         | Ast.Star | Ast.Item _ | Ast.Rank_of_row _ -> false)
+       q.Ast.select
+
+(* Lower a GROUP BY / aggregate select list onto the Aggregate operator. *)
+let build_aggregation catalog (q : Ast.query) =
+  if q.Ast.order_by <> None then
+    fail "ORDER BY together with GROUP BY/aggregates is not supported";
+  let group_exprs = List.map (to_expr catalog q.Ast.from) q.Ast.group_by in
+  let column_of i ast_e e =
+    let name =
+      match ast_e with
+      | Ast.Column { name; _ } -> name
+      | _ -> Printf.sprintf "g%d" (i + 1)
+    in
+    ignore e;
+    Schema.column name Value.Tfloat
+  in
+  let agg_group_by =
+    List.mapi
+      (fun i (ast_e, e) -> (e, column_of i ast_e e))
+      (List.combine q.Ast.group_by group_exprs)
+  in
+  let agg_specs =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Ast.Star -> fail "SELECT * cannot be combined with GROUP BY"
+        | Ast.Item { expr; _ } ->
+            (* Non-aggregate select items must be grouping expressions. *)
+            let e = to_expr catalog q.Ast.from expr in
+            if List.exists (fun ge -> Expr.equal ge e) group_exprs then None
+            else fail "non-aggregate select item is not in GROUP BY"
+        | Ast.Rank_of_row _ -> fail "rank() cannot be combined with GROUP BY"
+        | Ast.Aggregate { fn; arg; alias } ->
+            let name =
+              match alias with
+              | Some a -> a
+              | None -> String.lowercase_ascii (Ast.agg_name_string fn)
+            in
+            let fnv =
+              match fn, arg with
+              | Ast.Count, _ -> Exec.Aggregate.Count
+              | Ast.Sum, Some a -> Exec.Aggregate.Sum (to_expr catalog q.Ast.from a)
+              | Ast.Min, Some a -> Exec.Aggregate.Min (to_expr catalog q.Ast.from a)
+              | Ast.Max, Some a -> Exec.Aggregate.Max (to_expr catalog q.Ast.from a)
+              | Ast.Avg, Some a -> Exec.Aggregate.Avg (to_expr catalog q.Ast.from a)
+              | _, None -> fail "aggregate other than COUNT needs an argument"
+            in
+            Some { Exec.Aggregate.fn = fnv; name })
+      q.Ast.select
+  in
+  { agg_group_by; agg_specs }
+
+let bind catalog (q : Ast.query) =
+  if q.Ast.from = [] then fail "FROM list is empty";
+  List.iter
+    (fun t ->
+      match Storage.Catalog.find_table catalog t with
+      | Some _ -> ()
+      | None -> fail "unknown table %s" t)
+    q.Ast.from;
+  let dup = Hashtbl.create 4 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem dup t then fail "table %s listed twice in FROM (aliases are not supported)" t;
+      Hashtbl.add dup t ())
+    q.Ast.from;
+  let joins, filters = classify_conditions catalog q.Ast.from q.Ast.where in
+  let filter_for table =
+    match List.filter_map (fun (t, p) -> if String.equal t table then Some p else None) filters with
+    | [] -> None
+    | [ p ] -> Some p
+    | p :: rest -> Some (List.fold_left (fun acc e -> Expr.And (acc, e)) p rest)
+  in
+  let aggregation =
+    if is_aggregate_query q then Some (build_aggregation catalog q) else None
+  in
+  (* Ranking: ORDER BY ... DESC over a non-negative weighted sum drives the
+     rank-aware machinery; anything else becomes a post-execution sort. *)
+  let unranked = List.map (fun t -> (t, None)) q.Ast.from in
+  let ranked_scores, k, post_sort =
+    match (if aggregation = None then q.Ast.order_by else None) with
+    | None -> (unranked, None, None)
+    | Some (e, dir) -> (
+        let expr = to_expr catalog q.Ast.from e in
+        match dir with
+        | Ast.Desc -> (
+            match ranking_slices expr q.Ast.from with
+            | Some slices ->
+                (slices, Some (Option.value ~default:max_int q.Ast.limit), None)
+            | None -> (unranked, None, Some (expr, `Desc)))
+        | Ast.Asc -> (unranked, None, Some (expr, `Asc)))
+  in
+  let relations =
+    List.map
+      (fun t ->
+        let score = List.assoc t ranked_scores in
+        match score with
+        | Some s -> Core.Logical.base ?filter:(filter_for t) ~score:s ~weight:1.0 t
+        | None -> Core.Logical.base ?filter:(filter_for t) t)
+      q.Ast.from
+  in
+  let logical =
+    try Core.Logical.make ~relations ~joins ?k ()
+    with Invalid_argument msg -> fail "%s" msg
+  in
+  let projection =
+    if aggregation <> None then None
+    else if List.exists (fun i -> i = Ast.Star) q.Ast.select then None
+    else
+      Some
+        (List.mapi
+           (fun i item ->
+             match item with
+             | Ast.Star | Ast.Aggregate _ -> assert false
+             | Ast.Rank_of_row { alias } -> (Rank, alias)
+             | Ast.Item { expr; alias } ->
+                 let e = to_expr catalog q.Ast.from expr in
+                 let name =
+                   match alias, expr with
+                   | Some a, _ -> a
+                   | None, Ast.Column { name; _ } -> name
+                   | None, _ -> Printf.sprintf "col%d" (i + 1)
+                 in
+                 (Col e, name))
+           q.Ast.select)
+  in
+  let post_limit = if k = None then q.Ast.limit else None in
+  { logical; projection; aggregation; post_sort; post_limit }
+
+let bind_single_table_expr catalog table e = to_expr catalog [ table ] e
+
+let bind_result catalog q =
+  match bind catalog q with
+  | b -> Ok b
+  | exception Bind_error msg -> Error ("bind error: " ^ msg)
+  | exception Not_found -> Error "bind error: unknown table"

@@ -1,0 +1,46 @@
+(** Semantic analysis: resolve a parsed query against a catalog and lower it
+    to the optimizer's logical form.
+
+    WHERE conjuncts split into equi-join predicates (columns of two different
+    relations) and single-table selections. An [ORDER BY w1*A.x + w2*B.y DESC
+    LIMIT k] becomes the ranking function: each relation's score expression
+    is its slice of the linear form. *)
+
+open Relalg
+
+type aggregation = {
+  agg_group_by : (Expr.t * Schema.column) list;
+  agg_specs : Exec.Aggregate.spec list;
+}
+
+type output_column =
+  | Col of Expr.t  (** A computed expression over the join result. *)
+  | Rank  (** The row's 1-based position in the ranking (rank() column). *)
+
+type bound = {
+  logical : Core.Logical.t;
+  projection : (output_column * string) list option;
+      (** [None] for [SELECT *]; otherwise output columns and names. *)
+  aggregation : aggregation option;
+      (** GROUP BY / aggregate-function queries: applied to the join result
+          after execution (projection is then unused). *)
+  post_sort : (Expr.t * [ `Asc | `Desc ]) option;
+      (** An ORDER BY the rank-aware machinery cannot serve (ascending, or a
+          non-linear/negative-weight expression): applied after execution. *)
+  post_limit : int option;
+      (** A LIMIT on a query executed without a Top-k plan. *)
+}
+
+exception Bind_error of string
+
+val bind : Storage.Catalog.t -> Ast.query -> bound
+(** @raise Bind_error on unknown tables/columns, ambiguous references, or
+    unsupported predicate shapes. ORDER BYs the top-k machinery cannot serve
+    (ascending direction, non-linear or negative-weight expressions) fall
+    back to a post-execution sort. *)
+
+val bind_result : Storage.Catalog.t -> Ast.query -> (bound, string) result
+
+val bind_single_table_expr : Storage.Catalog.t -> string -> Ast.expr -> Expr.t
+(** Resolve an expression against one table (used by UPDATE assignments).
+    @raise Bind_error on unknown or foreign columns. *)

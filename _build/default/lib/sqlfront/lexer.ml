@@ -1,0 +1,96 @@
+type token =
+  | Tkeyword of string
+  | Tident of string
+  | Tnumber of float
+  | Tstring of string
+  | Tsymbol of string
+  | Teof
+
+exception Lex_error of string
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "ORDER"; "BY"; "LIMIT"; "AS"; "DESC";
+    "ASC"; "GROUP"; "WITH"; "OVER"; "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATE"; "SET" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  let peek off = if !i + off < n then Some input.[!i + off] else None in
+  while !i < n do
+    let c = input.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char input.[!i] do
+        incr i
+      done;
+      let word = String.sub input start (!i - start) in
+      let upper = String.uppercase_ascii word in
+      if List.mem upper keywords then emit (Tkeyword upper) else emit (Tident word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit input.[!i] || input.[!i] = '.') do
+        incr i
+      done;
+      (* Scientific notation: 1e-3 *)
+      if !i < n && (input.[!i] = 'e' || input.[!i] = 'E') then begin
+        incr i;
+        if !i < n && (input.[!i] = '+' || input.[!i] = '-') then incr i;
+        while !i < n && is_digit input.[!i] do
+          incr i
+        done
+      end;
+      let text = String.sub input start (!i - start) in
+      match float_of_string_opt text with
+      | Some f -> emit (Tnumber f)
+      | None -> raise (Lex_error ("bad number: " ^ text))
+    end
+    else if c = '\'' then begin
+      incr i;
+      let start = !i in
+      while !i < n && input.[!i] <> '\'' do
+        incr i
+      done;
+      if !i >= n then raise (Lex_error "unterminated string literal");
+      emit (Tstring (String.sub input start (!i - start)));
+      incr i
+    end
+    else begin
+      let two =
+        match c, peek 1 with
+        | '<', Some '=' -> Some "<="
+        | '>', Some '=' -> Some ">="
+        | '<', Some '>' -> Some "<>"
+        | '!', Some '=' -> Some "<>"
+        | _ -> None
+      in
+      match two with
+      | Some s ->
+          emit (Tsymbol s);
+          i := !i + 2
+      | None ->
+          (match c with
+          | '(' | ')' | ',' | '.' | '+' | '-' | '*' | '/' | '=' | '<' | '>' | ';' ->
+              if c <> ';' then emit (Tsymbol (String.make 1 c))
+          | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c" c)));
+          incr i
+    end
+  done;
+  List.rev (Teof :: !tokens)
+
+let pp_token fmt = function
+  | Tkeyword k -> Format.fprintf fmt "keyword %s" k
+  | Tident s -> Format.fprintf fmt "identifier %s" s
+  | Tnumber f -> Format.fprintf fmt "number %g" f
+  | Tstring s -> Format.fprintf fmt "string '%s'" s
+  | Tsymbol s -> Format.fprintf fmt "symbol %s" s
+  | Teof -> Format.pp_print_string fmt "end of input"

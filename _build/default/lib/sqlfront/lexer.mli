@@ -1,0 +1,16 @@
+(** Tokeniser for the SQL subset. *)
+
+type token =
+  | Tkeyword of string  (** Upper-cased: SELECT, FROM, WHERE, ... *)
+  | Tident of string
+  | Tnumber of float
+  | Tstring of string
+  | Tsymbol of string  (** One of ( ) , . + - * / = <> < <= > >= *)
+  | Teof
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** @raise Lex_error on malformed input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,32 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Besides the plain [SELECT ... ORDER BY ... LIMIT k] form, the SQL99
+    windowed form the paper uses (Query Q1) is accepted and desugared:
+
+    {v
+    WITH Ranked AS (
+      SELECT A.c1 AS x, B.c2 AS y,
+             rank() OVER (ORDER BY 0.3*A.c1 + 0.7*B.c2 DESC) AS rank
+      FROM A, B, C
+      WHERE A.c1 = B.c1 AND B.c2 = C.c2)
+    SELECT x, y, rank FROM Ranked WHERE rank <= 5
+    v}
+
+    becomes the equivalent top-k query. The window direction defaults to
+    DESC (the paper's "top" semantics); outer predicates must be a single
+    [rank <= k]. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.query
+(** @raise Parse_error or {!Lexer.Lex_error} on malformed input. *)
+
+val parse_result : string -> (Ast.query, string) result
+(** Error-returning wrapper. *)
+
+val parse_statement : string -> Ast.statement
+(** Parse a statement: a SELECT/WITH query, INSERT INTO ... VALUES, or
+    DELETE FROM.
+    @raise Parse_error or {!Lexer.Lex_error}. *)
+
+val parse_statement_result : string -> (Ast.statement, string) result

@@ -1,0 +1,235 @@
+open Relalg
+
+type answer = {
+  columns : string list;
+  rows : Tuple.t list;
+  scores : float list;
+  planned : Core.Optimizer.planned;
+}
+
+let ( let* ) = Result.bind
+
+let plan_of ?config catalog text =
+  let* ast = Parser.parse_result text in
+  let* bound = Binder.bind_result catalog ast in
+  match Core.Optimizer.optimize ?config catalog bound.Binder.logical with
+  | planned -> Ok (bound, planned)
+  | exception Failure msg -> Error ("plan error: " ^ msg)
+
+let query ?config catalog text =
+  let* bound, planned = plan_of ?config catalog text in
+  let result = Core.Optimizer.execute catalog planned in
+  match bound.Binder.aggregation with
+  | Some agg ->
+      let schema = result.Core.Executor.schema in
+      let input =
+        Exec.Operator.of_list schema (List.map fst result.Core.Executor.rows)
+      in
+      let out =
+        Exec.Aggregate.hash_group_by ~group_by:agg.Binder.agg_group_by
+          ~aggregates:agg.Binder.agg_specs input
+      in
+      let rows = Exec.Operator.to_list out in
+      let rows =
+        match bound.Binder.post_limit with
+        | None -> rows
+        | Some k -> List.filteri (fun i _ -> i < k) rows
+      in
+      Ok
+        {
+          columns =
+            List.map Schema.column_name (Schema.columns out.Exec.Operator.schema);
+          rows;
+          scores = [];
+          planned;
+        }
+  | None ->
+  let schema = result.Core.Executor.schema in
+  let sorted_rows =
+    match bound.Binder.post_sort with
+    | None -> result.Core.Executor.rows
+    | Some (e, dir) ->
+        let f = Expr.compile_float schema e in
+        let keyed = List.map (fun (tu, _) -> (tu, f tu)) result.Core.Executor.rows in
+        List.stable_sort
+          (fun (_, a) (_, b) ->
+            match dir with `Asc -> Float.compare a b | `Desc -> Float.compare b a)
+          keyed
+  in
+  let result_rows =
+    match bound.Binder.post_limit with
+    | None -> sorted_rows
+    | Some k -> List.filteri (fun i _ -> i < k) sorted_rows
+  in
+  let columns, rows =
+    match bound.Binder.projection with
+    | None ->
+        ( List.map Schema.column_name (Schema.columns schema),
+          List.map fst result_rows )
+    | Some targets ->
+        let fns =
+          List.map
+            (fun (oc, _) ->
+              match oc with
+              | Binder.Col e ->
+                  let f = Expr.compile schema e in
+                  fun _i tu -> f tu
+              | Binder.Rank -> fun i _tu -> Value.Int (i + 1))
+            targets
+        in
+        ( List.map snd targets,
+          List.mapi
+            (fun i (tu, _) -> Array.of_list (List.map (fun f -> f i tu) fns))
+            result_rows )
+  in
+  Ok
+    {
+      columns;
+      rows;
+      scores =
+        (if
+           Core.Logical.is_ranking planned.Core.Optimizer.query
+           || Option.is_some bound.Binder.post_sort
+         then List.map snd result_rows
+         else []);
+      planned;
+    }
+
+type exec_result =
+  | Rows of answer
+  | Affected of int
+
+let empty_schema = Schema.of_columns []
+
+(* Lower a constant Ast expression (no column references allowed). *)
+let rec constant_ast_expr = function
+  | Ast.Number f -> Expr.cfloat f
+  | Ast.String s -> Expr.Const (Value.Str s)
+  | Ast.Column _ -> failwith "INSERT values must be constants"
+  | Ast.Unary_minus e -> Expr.Neg (constant_ast_expr e)
+  | Ast.Binop (op, a, b) -> (
+      let ea = constant_ast_expr a and eb = constant_ast_expr b in
+      match op with
+      | Ast.Add -> Expr.Add (ea, eb)
+      | Ast.Sub -> Expr.Sub (ea, eb)
+      | Ast.Mul -> Expr.Mul (ea, eb)
+      | Ast.Div -> Expr.Div (ea, eb))
+
+(* Evaluate a constant expression of an INSERT row and coerce it to the
+   target column's type. *)
+let constant_value dtype e =
+  let v = Expr.eval empty_schema (constant_ast_expr e) [||] in
+  match dtype, v with
+  | Value.Tint, Value.Float f when Float.is_integer f -> Value.Int (int_of_float f)
+  | Value.Tfloat, Value.Int i -> Value.Float (float_of_int i)
+  | _, v -> v
+
+let run_insert catalog table rows =
+  match Storage.Catalog.find_table catalog table with
+  | None -> Error (Printf.sprintf "unknown table %s" table)
+  | Some info -> (
+      let cols = Schema.columns info.Storage.Catalog.tb_schema in
+      let arity = List.length cols in
+      match
+        List.map
+          (fun row ->
+            if List.length row <> arity then
+              failwith
+                (Printf.sprintf "expected %d values, got %d" arity (List.length row));
+            Array.of_list
+              (List.map2
+                 (fun (c : Schema.column) e -> constant_value c.Schema.dtype e)
+                 cols row))
+          rows
+      with
+      | tuples ->
+          Storage.Catalog.insert_into catalog ~table tuples;
+          ignore (Storage.Catalog.analyze catalog table);
+          Ok (Affected (List.length tuples))
+      | exception Failure msg -> Error ("insert error: " ^ msg)
+      | exception Invalid_argument msg -> Error ("insert error: " ^ msg))
+
+(* Resolve a DELETE/UPDATE predicate over the single target table. *)
+let single_table_predicate catalog table where =
+  let ast_query =
+    {
+      Ast.select = [ Ast.Star ];
+      from = [ table ];
+      where;
+      group_by = [];
+      order_by = None;
+      limit = None;
+    }
+  in
+  match Binder.bind_result catalog ast_query with
+  | Error e -> Error e
+  | Ok bound ->
+      let rel = Core.Logical.find_relation bound.Binder.logical table in
+      Ok
+        (Option.value ~default:(Expr.Const (Value.Bool true))
+           rel.Core.Logical.filter)
+
+let run_delete catalog table where =
+  match Storage.Catalog.find_table catalog table with
+  | None -> Error (Printf.sprintf "unknown table %s" table)
+  | Some _ -> (
+      match single_table_predicate catalog table where with
+      | Error e -> Error e
+      | Ok pred -> (
+          match Storage.Catalog.delete_from catalog ~table pred with
+          | n ->
+              ignore (Storage.Catalog.analyze catalog table);
+              Ok (Affected n)
+          | exception Invalid_argument msg -> Error ("delete error: " ^ msg)))
+
+let run_update catalog table assignments where =
+  match Storage.Catalog.find_table catalog table with
+  | None -> Error (Printf.sprintf "unknown table %s" table)
+  | Some info -> (
+      match single_table_predicate catalog table where with
+      | Error e -> Error e
+      | Ok pred -> (
+          let schema = info.Storage.Catalog.tb_schema in
+          match
+            List.map
+              (fun (column, ast_e) ->
+                let e = Binder.bind_single_table_expr catalog table ast_e in
+                let dtype =
+                  match Schema.index_of schema ~relation:table column with
+                  | Some i -> (Schema.nth schema i).Schema.dtype
+                  | None -> failwith ("unknown column " ^ column)
+                in
+                let f = Expr.compile schema e in
+                ( column,
+                  fun tu ->
+                    match dtype, f tu with
+                    | Value.Tint, Value.Float x when Float.is_integer x ->
+                        Value.Int (int_of_float x)
+                    | Value.Tfloat, Value.Int i -> Value.Float (float_of_int i)
+                    | _, v -> v ))
+              assignments
+          with
+          | set -> (
+              match Storage.Catalog.update_where catalog ~table pred ~set with
+              | n ->
+                  ignore (Storage.Catalog.analyze catalog table);
+                  Ok (Affected n)
+              | exception Invalid_argument msg -> Error ("update error: " ^ msg))
+          | exception Failure msg -> Error ("update error: " ^ msg)
+          | exception Binder.Bind_error msg -> Error ("update error: " ^ msg)))
+
+let execute ?config catalog text =
+  let* stmt = Parser.parse_statement_result text in
+  match stmt with
+  | Ast.Select _ -> (
+      match query ?config catalog text with
+      | Ok ans -> Ok (Rows ans)
+      | Error e -> Error e)
+  | Ast.Insert { table; values } -> run_insert catalog table values
+  | Ast.Delete { table; where } -> run_delete catalog table where
+  | Ast.Update { table; assignments; where } ->
+      run_update catalog table assignments where
+
+let explain ?config catalog text =
+  let* _, planned = plan_of ?config catalog text in
+  Ok (Core.Optimizer.explain planned)

@@ -1,0 +1,36 @@
+(** One-call SQL interface: parse, bind, optimize, execute, project.
+
+    {[
+      let answer =
+        Sql.query catalog
+          "SELECT A.id, B.id FROM A, B WHERE A.key = B.key
+           ORDER BY 0.3*A.score + 0.7*B.score DESC LIMIT 5"
+    ]} *)
+
+open Relalg
+
+type answer = {
+  columns : string list;
+  rows : Tuple.t list;
+  scores : float list;  (** Ranking score per row; empty when unranked. *)
+  planned : Core.Optimizer.planned;
+}
+
+val query :
+  ?config:Core.Enumerator.config -> Storage.Catalog.t -> string -> (answer, string) result
+(** Execute a SQL string end to end. All failures (lex, parse, bind, plan)
+    are returned as [Error]. *)
+
+val explain : ?config:Core.Enumerator.config -> Storage.Catalog.t -> string -> (string, string) result
+(** The optimizer's plan description for a SQL string, without executing. *)
+
+type exec_result =
+  | Rows of answer  (** A SELECT (or WITH) query's result. *)
+  | Affected of int  (** Rows inserted or deleted by a DML statement. *)
+
+val execute :
+  ?config:Core.Enumerator.config -> Storage.Catalog.t -> string -> (exec_result, string) result
+(** Execute any supported statement: SELECT/WITH queries, INSERT INTO ...
+    VALUES (constant expressions, coerced to the column types), and DELETE
+    FROM ... WHERE (single-table predicate). DML refreshes the table's
+    statistics. *)

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Io_stats List Printf Relalg Tuple Value

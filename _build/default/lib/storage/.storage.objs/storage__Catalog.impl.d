@@ -1,0 +1,1 @@
+lib/storage/catalog.ml: Array Btree Buffer_pool Expr Fun Hashtbl Heap_file Histogram Io_stats List Relalg Schema String Tuple Value

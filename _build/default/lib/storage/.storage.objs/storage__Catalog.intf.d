@@ -1,0 +1,1 @@
+lib/storage/catalog.mli: Btree Buffer_pool Expr Heap_file Histogram Io_stats Relalg Schema Tuple Value

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Array Buffer_pool Io_stats List Page Relalg Schema Tuple

@@ -1,0 +1,1 @@
+lib/storage/histogram.ml: Array Float Format List Rkutil

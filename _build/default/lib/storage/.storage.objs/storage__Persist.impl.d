@@ -1,0 +1,1 @@
+lib/storage/persist.ml: Array Buffer Catalog Expr_codec Filename Fun Heap_file In_channel List Printf Relalg Scanf Schema String Sys Value

@@ -1,0 +1,49 @@
+(** B+-tree index, index-organized (leaves store whole tuples).
+
+    This is the access path that makes ranking orders available "naturally":
+    a descending scan over a score-keyed tree is exactly the {e sorted
+    access} a rank-join input needs, while point probes provide the
+    {e random access} used by index-nested-loops joins and the TA
+    rank-aggregation algorithm. Duplicate keys are allowed. Node visits are
+    charged to the supplied {!Io_stats.t}. *)
+
+open Relalg
+
+type t
+
+val create : ?fanout:int -> Io_stats.t -> unit -> t
+(** [fanout] is the max entries per node (default 64, minimum 4). *)
+
+val insert : t -> Value.t -> Tuple.t -> unit
+
+val bulk_load : ?fanout:int -> Io_stats.t -> (Value.t * Tuple.t) list -> t
+(** Build a packed tree from (not necessarily sorted) entries. *)
+
+val delete : t -> Value.t -> Tuple.t -> bool
+(** Remove one entry matching both key and tuple; [false] when absent.
+    (Lazy deletion: leaves may underflow; the tree stays correct.) *)
+
+val length : t -> int
+(** Number of entries. *)
+
+val height : t -> int
+(** Levels from root to leaf; 1 for a single-leaf tree. *)
+
+val lookup : t -> Value.t -> Tuple.t list
+(** All tuples stored under an exactly-equal key (charges one probe). *)
+
+val range : t -> lo:Value.t option -> hi:Value.t option -> Tuple.t list
+(** Inclusive range scan, ascending. *)
+
+val scan_asc : ?from:Value.t -> t -> unit -> Tuple.t option
+(** Cursor over entries with key ≥ [from] (or all), ascending key order. *)
+
+val scan_desc : ?from:Value.t -> t -> unit -> Tuple.t option
+(** Cursor over entries with key ≤ [from] (or all), descending key order —
+    the sorted access used by rank-join inputs. *)
+
+val to_list_asc : t -> (Value.t * Tuple.t) list
+
+val check_invariants : t -> (unit, string) result
+(** Structural check used by tests: sorted leaves, correct separators,
+    consistent leaf chaining and entry count. *)

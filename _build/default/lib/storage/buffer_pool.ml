@@ -1,0 +1,92 @@
+type frame = {
+  page : Page.t;
+  mutable dirty : bool;
+  mutable last_use : int;
+}
+
+type t = {
+  frames : int;
+  io : Io_stats.t;
+  disk : (int, Page.t) Hashtbl.t;
+  cache : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable next_id : int;
+}
+
+let create ?(frames = 64) io =
+  {
+    frames = max 1 frames;
+    io;
+    disk = Hashtbl.create 256;
+    cache = Hashtbl.create 64;
+    clock = 0;
+    next_id = 0;
+  }
+
+let frames t = t.frames
+
+let stats t = t.io
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_if_needed t =
+  while Hashtbl.length t.cache >= t.frames do
+    (* Evict the least recently used frame. *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun pid fr ->
+        match !victim with
+        | None -> victim := Some (pid, fr)
+        | Some (_, best) -> if fr.last_use < best.last_use then victim := Some (pid, fr))
+      t.cache;
+    match !victim with
+    | None -> ()
+    | Some (pid, fr) ->
+        if fr.dirty then Io_stats.add_page_write t.io;
+        Hashtbl.remove t.cache pid
+  done
+
+let insert_frame t page ~dirty =
+  evict_if_needed t;
+  Hashtbl.replace t.cache (Page.id page)
+    { page; dirty; last_use = tick t }
+
+let alloc_page t ~capacity =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let page = Page.create ~id ~capacity in
+  Hashtbl.replace t.disk id page;
+  insert_frame t page ~dirty:true;
+  page
+
+let get t pid =
+  match Hashtbl.find_opt t.cache pid with
+  | Some fr ->
+      fr.last_use <- tick t;
+      Io_stats.add_pool_hit t.io;
+      fr.page
+  | None -> (
+      match Hashtbl.find_opt t.disk pid with
+      | None -> invalid_arg (Printf.sprintf "Buffer_pool.get: unknown page %d" pid)
+      | Some page ->
+          Io_stats.add_page_read t.io;
+          insert_frame t page ~dirty:false;
+          page)
+
+let mark_dirty t pid =
+  match Hashtbl.find_opt t.cache pid with
+  | Some fr -> fr.dirty <- true
+  | None -> ()
+
+let flush t =
+  Hashtbl.iter
+    (fun _ fr ->
+      if fr.dirty then begin
+        Io_stats.add_page_write t.io;
+        fr.dirty <- false
+      end)
+    t.cache
+
+let resident t = Hashtbl.length t.cache

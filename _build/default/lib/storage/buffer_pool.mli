@@ -1,0 +1,32 @@
+(** LRU buffer pool over a set of in-memory "disk" pages.
+
+    All heap-file page access goes through a pool; misses charge a page read
+    to the pool's {!Io_stats.t}, evictions of dirty pages charge a write.
+    This makes measured I/O sensitive to the buffer budget, as in a real
+    engine. *)
+
+type t
+
+val create : ?frames:int -> Io_stats.t -> t
+(** [frames] is the pool capacity in pages (default 64, minimum 1). *)
+
+val frames : t -> int
+
+val stats : t -> Io_stats.t
+
+val alloc_page : t -> capacity:int -> Page.t
+(** Allocate a fresh empty page on the backing store and pin it into the
+    pool (charges nothing: the page is born dirty in memory). *)
+
+val get : t -> int -> Page.t
+(** Fetch a page by id, through the LRU cache.
+    @raise Invalid_argument for an unknown page id. *)
+
+val mark_dirty : t -> int -> unit
+(** Note that a cached page was modified, so eviction must write it. *)
+
+val flush : t -> unit
+(** Write back all dirty cached pages (charging writes) without evicting. *)
+
+val resident : t -> int
+(** Number of pages currently cached. *)

@@ -1,0 +1,269 @@
+open Relalg
+
+type column_stats = {
+  cs_count : int;
+  cs_distinct : int;
+  cs_min : float;
+  cs_max : float;
+  cs_histogram : Histogram.t;
+}
+
+type table_stats = {
+  ts_cardinality : int;
+  ts_pages : int;
+  ts_columns : (string * column_stats) list;
+}
+
+type index_info = {
+  ix_name : string;
+  ix_table : string;
+  ix_key : Expr.t;
+  ix_btree : Btree.t;
+  ix_clustered : bool;
+}
+
+type table_info = {
+  tb_name : string;
+  tb_schema : Schema.t;
+  tb_heap : Heap_file.t;
+  tb_stats : table_stats;
+  tb_indexes : index_info list;
+}
+
+type t = {
+  io : Io_stats.t;
+  pool : Buffer_pool.t;
+  tuples_per_page : int;
+  tables : (string, table_info) Hashtbl.t;
+}
+
+let create ?(pool_frames = 256) ?(tuples_per_page = 50) () =
+  let io = Io_stats.create () in
+  {
+    io;
+    pool = Buffer_pool.create ~frames:pool_frames io;
+    tuples_per_page;
+    tables = Hashtbl.create 16;
+  }
+
+let io t = t.io
+
+let pool t = t.pool
+
+let tuples_per_page t = t.tuples_per_page
+
+let numeric_dtype = function
+  | Value.Tint | Value.Tfloat -> true
+  | Value.Tstring | Value.Tbool -> false
+
+let compute_stats schema tuples heap =
+  let cols = Schema.columns schema in
+  let col_stats =
+    List.mapi
+      (fun i col ->
+        if numeric_dtype col.Schema.dtype then begin
+          let values =
+            List.filter_map
+              (fun tu ->
+                let v = Tuple.get tu i in
+                if Value.is_null v then None else Some (Value.to_float v))
+              tuples
+          in
+          let hist = Histogram.build values in
+          Some
+            ( col.Schema.name,
+              {
+                cs_count = List.length values;
+                cs_distinct = Histogram.distinct_estimate hist;
+                cs_min = Histogram.min_value hist;
+                cs_max = Histogram.max_value hist;
+                cs_histogram = hist;
+              } )
+        end
+        else None)
+      cols
+  in
+  {
+    ts_cardinality = List.length tuples;
+    ts_pages = Heap_file.n_pages heap;
+    ts_columns = List.filter_map Fun.id col_stats;
+  }
+
+let create_table t name schema tuples =
+  if Hashtbl.mem t.tables name then
+    invalid_arg ("Catalog.create_table: duplicate table " ^ name);
+  let schema = Schema.rename_relation schema name in
+  let heap = Heap_file.create ~tuples_per_page:t.tuples_per_page t.pool schema in
+  Heap_file.load heap tuples;
+  let info =
+    {
+      tb_name = name;
+      tb_schema = schema;
+      tb_heap = heap;
+      tb_stats = compute_stats schema tuples heap;
+      tb_indexes = [];
+    }
+  in
+  Hashtbl.replace t.tables name info;
+  info
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some info -> info
+  | None -> raise Not_found
+
+let find_table t name = Hashtbl.find_opt t.tables name
+
+let tables t = Hashtbl.fold (fun _ info acc -> info :: acc) t.tables []
+
+let rid_tuple (rid : Heap_file.rid) =
+  [| Value.Int rid.Heap_file.page_id; Value.Int rid.Heap_file.slot |]
+
+let rid_of_tuple tu =
+  { Heap_file.page_id = Value.to_int tu.(0); slot = Value.to_int tu.(1) }
+
+let create_index t ?(clustered = true) ~name ~table:tname ~key () =
+  let info = table t tname in
+  if List.exists (fun ix -> String.equal ix.ix_name name) info.tb_indexes then
+    invalid_arg ("Catalog.create_index: duplicate index " ^ name);
+  let keyf = Expr.compile info.tb_schema key in
+  let entries =
+    if clustered then
+      List.map (fun tu -> (keyf tu, tu)) (Heap_file.to_list info.tb_heap)
+    else
+      List.map
+        (fun (rid, tu) -> (keyf tu, rid_tuple rid))
+        (Heap_file.to_list_with_rids info.tb_heap)
+  in
+  let btree = Btree.bulk_load t.io entries in
+  let ix =
+    { ix_name = name; ix_table = tname; ix_key = key; ix_btree = btree;
+      ix_clustered = clustered }
+  in
+  Hashtbl.replace t.tables tname { info with tb_indexes = ix :: info.tb_indexes };
+  ix
+
+let insert_into t ~table:tname tuples =
+  let info = table t tname in
+  List.iter
+    (fun tu ->
+      let rid = Heap_file.append info.tb_heap tu in
+      List.iter
+        (fun ix ->
+          let key = Expr.eval info.tb_schema ix.ix_key tu in
+          let payload = if ix.ix_clustered then tu else rid_tuple rid in
+          Btree.insert ix.ix_btree key payload)
+        info.tb_indexes)
+    tuples
+
+let delete_from t ~table:tname pred =
+  let info = table t tname in
+  let test = Expr.compile_bool info.tb_schema pred in
+  let victims =
+    List.filter (fun (_, tu) -> test tu) (Heap_file.to_list_with_rids info.tb_heap)
+  in
+  List.iter
+    (fun (rid, tu) ->
+      List.iter
+        (fun ix ->
+          let key = Expr.eval info.tb_schema ix.ix_key tu in
+          let payload = if ix.ix_clustered then tu else rid_tuple rid in
+          ignore (Btree.delete ix.ix_btree key payload))
+        info.tb_indexes;
+      ignore (Heap_file.delete info.tb_heap rid))
+    victims;
+  List.length victims
+
+let update_where t ~table:tname pred ~set =
+  let info = table t tname in
+  let test = Expr.compile_bool info.tb_schema pred in
+  let setters =
+    List.map
+      (fun (column, f) ->
+        match Schema.index_of info.tb_schema ~relation:tname column with
+        | Some i -> (i, f)
+        | None -> invalid_arg ("Catalog.update_where: unknown column " ^ column))
+      set
+  in
+  let victims =
+    List.filter (fun (_, tu) -> test tu) (Heap_file.to_list_with_rids info.tb_heap)
+  in
+  let replacements =
+    List.map
+      (fun (rid, tu) ->
+        let fresh = Array.copy tu in
+        List.iter (fun (i, f) -> fresh.(i) <- f tu) setters;
+        (rid, tu, fresh))
+      victims
+  in
+  List.iter
+    (fun (rid, old_tu, _) ->
+      List.iter
+        (fun ix ->
+          let key = Expr.eval info.tb_schema ix.ix_key old_tu in
+          let payload = if ix.ix_clustered then old_tu else rid_tuple rid in
+          ignore (Btree.delete ix.ix_btree key payload))
+        info.tb_indexes;
+      ignore (Heap_file.delete info.tb_heap rid))
+    replacements;
+  insert_into t ~table:tname (List.map (fun (_, _, fresh) -> fresh) replacements);
+  List.length replacements
+
+let analyze t tname =
+  let info = table t tname in
+  let tuples = Heap_file.to_list info.tb_heap in
+  let refreshed = { info with tb_stats = compute_stats info.tb_schema tuples info.tb_heap } in
+  Hashtbl.replace t.tables tname refreshed;
+  refreshed
+
+let index_payload_to_tuple t ix payload =
+  if ix.ix_clustered then payload
+  else begin
+    let info = table t ix.ix_table in
+    Heap_file.fetch info.tb_heap (rid_of_tuple payload)
+  end
+
+let index_lookup t ix key =
+  List.map (index_payload_to_tuple t ix) (Btree.lookup ix.ix_btree key)
+
+let indexes_on t tname =
+  match find_table t tname with None -> [] | Some info -> info.tb_indexes
+
+let find_index_on_expr t ~table:tname expr =
+  List.find_opt (fun ix -> Expr.equal ix.ix_key expr) (indexes_on t tname)
+
+let column_stats t ~table:tname ~column =
+  match find_table t tname with
+  | None -> None
+  | Some info -> List.assoc_opt column info.tb_stats.ts_columns
+
+let estimate_join_selectivity t ~left:(lt, lc) ~right:(rt, rc) =
+  (* V(T, c): distinct values seen; for integer columns the observed value
+     range is a better domain estimate when the column is sparse (uniform
+     spread assumption), e.g. 5000 keys drawn from a domain of 10^6. *)
+  let distinct table column =
+    let is_int =
+      match find_table t table with
+      | None -> false
+      | Some info -> (
+          match Schema.index_of info.tb_schema ~relation:table column with
+          | Some i -> (Schema.nth info.tb_schema i).Schema.dtype = Value.Tint
+          | None -> false
+          | exception Invalid_argument _ -> false)
+    in
+    match column_stats t ~table ~column with
+    | Some cs when cs.cs_distinct > 0 ->
+        let range =
+          if is_int && cs.cs_max >= cs.cs_min then
+            int_of_float (cs.cs_max -. cs.cs_min +. 1.0)
+          else 0
+        in
+        max cs.cs_distinct range
+    | _ -> (
+        match find_table t table with
+        | Some info -> max 1 info.tb_stats.ts_cardinality
+        | None -> 1)
+  in
+  1.0 /. float_of_int (max (distinct lt lc) (distinct rt rc))
+
+let reset_io t = Io_stats.reset t.io

@@ -1,0 +1,113 @@
+(** System catalog: tables, indexes, and optimizer statistics.
+
+    One catalog owns one buffer pool and one {!Io_stats.t}; all storage
+    structures charge I/O there. The optimizer consults [table_stats] and
+    [estimate_join_selectivity]; the executor resolves access paths here. *)
+
+open Relalg
+
+type t
+
+type column_stats = {
+  cs_count : int;
+  cs_distinct : int;
+  cs_min : float;
+  cs_max : float;
+  cs_histogram : Histogram.t;
+}
+
+type table_stats = {
+  ts_cardinality : int;
+  ts_pages : int;
+  ts_columns : (string * column_stats) list;  (** Keyed by bare column name. *)
+}
+
+type index_info = {
+  ix_name : string;
+  ix_table : string;
+  ix_key : Expr.t;  (** Key expression, usually a single column. *)
+  ix_btree : Btree.t;
+  ix_clustered : bool;
+      (** Clustered (index-organized: leaves hold whole tuples) or
+          unclustered (leaves hold record ids; each access fetches the heap
+          page — one random I/O per tuple on a cold pool). The paper's
+          ranked access paths behave like unclustered indexes. *)
+}
+
+type table_info = {
+  tb_name : string;
+  tb_schema : Schema.t;  (** Columns qualified with the table name. *)
+  tb_heap : Heap_file.t;
+  tb_stats : table_stats;
+  tb_indexes : index_info list;
+}
+
+val create : ?pool_frames:int -> ?tuples_per_page:int -> unit -> t
+
+val io : t -> Io_stats.t
+
+val pool : t -> Buffer_pool.t
+
+val tuples_per_page : t -> int
+
+val create_table : t -> string -> Schema.t -> Tuple.t list -> table_info
+(** Load a table; columns are (re)qualified with the table name and
+    statistics are computed immediately.
+    @raise Invalid_argument if the name is taken. *)
+
+val create_index :
+  t -> ?clustered:bool -> name:string -> table:string -> key:Expr.t -> unit -> index_info
+(** Build a B+-tree on the key expression over the current table contents
+    ([clustered] defaults to [true]). *)
+
+val index_lookup : t -> index_info -> Value.t -> Tuple.t list
+(** Point probe through an index; unclustered indexes fetch the base tuples
+    through the buffer pool (charging heap I/O). *)
+
+val index_payload_to_tuple : t -> index_info -> Tuple.t -> Tuple.t
+(** Resolve one index payload: identity for clustered indexes, heap fetch
+    for unclustered ones. *)
+
+val insert_into : t -> table:string -> Tuple.t list -> unit
+(** Append tuples to a table, maintaining all of its indexes (clustered
+    indexes receive the tuples, unclustered ones their record ids).
+    Statistics become stale until {!analyze} is called.
+    @raise Not_found for an unknown table. *)
+
+val delete_from : t -> table:string -> Expr.t -> int
+(** Delete every tuple satisfying the predicate, maintaining all indexes;
+    returns the number of deleted tuples. Statistics become stale until
+    {!analyze}. @raise Not_found for an unknown table. *)
+
+val update_where :
+  t -> table:string -> Expr.t -> set:(string * (Tuple.t -> Value.t)) list -> int
+(** Replace matching tuples with updated copies (implemented as
+    delete + re-insert, so all indexes stay consistent); [set] maps bare
+    column names to functions of the old tuple. Returns the number of
+    updated tuples. Statistics become stale until {!analyze}. *)
+
+val analyze : t -> string -> table_info
+(** Recompute a table's statistics from its current contents (the
+    ANALYZE command of a real system). Returns the refreshed info. *)
+
+val table : t -> string -> table_info
+(** @raise Not_found for an unknown table. *)
+
+val find_table : t -> string -> table_info option
+
+val tables : t -> table_info list
+
+val indexes_on : t -> string -> index_info list
+
+val find_index_on_expr : t -> table:string -> Expr.t -> index_info option
+(** An index whose key induces the same order as the given expression. *)
+
+val column_stats : t -> table:string -> column:string -> column_stats option
+
+val estimate_join_selectivity :
+  t -> left:string * string -> right:string * string -> float
+(** Selectivity of the equi-join [left_table.left_col = right_table.right_col]
+    using the standard [1 / max(V(L,a), V(R,b))] formula over distinct
+    counts. *)
+
+val reset_io : t -> unit

@@ -1,0 +1,43 @@
+(** Heap files: unordered paged tuple storage, accessed via a buffer pool. *)
+
+open Relalg
+
+type t
+
+type rid = { page_id : int; slot : int }
+(** Record identifier: stable address of a stored tuple. *)
+
+val create : ?tuples_per_page:int -> Buffer_pool.t -> Schema.t -> t
+(** Default page capacity is 50 tuples. *)
+
+val schema : t -> Schema.t
+
+val append : t -> Tuple.t -> rid
+(** Add a tuple (fills the last page, allocating a new one when full). *)
+
+val load : t -> Tuple.t list -> unit
+
+val fetch : t -> rid -> Tuple.t
+(** Fetch by rid through the pool (charges I/O on a pool miss).
+    @raise Invalid_argument for a deleted rid. *)
+
+val delete : t -> rid -> bool
+(** Tombstone the tuple at [rid]; [false] when already deleted. Slots are
+    never reused, so rids stay stable. *)
+
+val cardinality : t -> int
+
+val n_pages : t -> int
+
+val tuples_per_page : t -> int
+
+val scan : t -> unit -> Tuple.t option
+(** A fresh full-scan cursor; every page access goes through the pool. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+
+val to_list : t -> Tuple.t list
+
+val to_list_with_rids : t -> (rid * Tuple.t) list
+(** Tuples paired with their record ids (used to build unclustered
+    indexes). *)

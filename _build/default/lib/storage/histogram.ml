@@ -1,0 +1,102 @@
+type t = {
+  counts : int array;
+  total : int;
+  lo : float;
+  hi : float;
+  distinct : int;
+}
+
+let build ?(buckets = 32) values =
+  match values with
+  | [] -> { counts = [||]; total = 0; lo = infinity; hi = neg_infinity; distinct = 0 }
+  | _ ->
+      let lo = List.fold_left Float.min infinity values in
+      let hi = List.fold_left Float.max neg_infinity values in
+      let buckets = max 1 buckets in
+      let counts = Array.make buckets 0 in
+      let width = (hi -. lo) /. float_of_int buckets in
+      let bucket_of v =
+        if width <= 0.0 then 0
+        else
+          let b = int_of_float ((v -. lo) /. width) in
+          Rkutil.Mathx.iclamp ~lo:0 ~hi:(buckets - 1) b
+      in
+      List.iter (fun v -> counts.(bucket_of v) <- counts.(bucket_of v) + 1) values;
+      let sorted = List.sort_uniq Float.compare values in
+      {
+        counts;
+        total = List.length values;
+        lo;
+        hi;
+        distinct = List.length sorted;
+      }
+
+let count t = t.total
+
+let min_value t = t.lo
+
+let max_value t = t.hi
+
+let bucket_count t = Array.length t.counts
+
+let width t =
+  if Array.length t.counts = 0 then 0.0
+  else (t.hi -. t.lo) /. float_of_int (Array.length t.counts)
+
+let bucket_of t v =
+  if t.total = 0 || v < t.lo || v > t.hi then None
+  else begin
+    let w = width t in
+    if w <= 0.0 then Some 0
+    else
+      Some
+        (Rkutil.Mathx.iclamp ~lo:0
+           ~hi:(Array.length t.counts - 1)
+           (int_of_float ((v -. t.lo) /. w)))
+  end
+
+let selectivity_le t x =
+  if t.total = 0 then 0.0
+  else if x < t.lo then 0.0
+  else if x >= t.hi then 1.0
+  else begin
+    let w = width t in
+    if w <= 0.0 then 1.0
+    else begin
+      let b = int_of_float ((x -. t.lo) /. w) in
+      let b = Rkutil.Mathx.iclamp ~lo:0 ~hi:(Array.length t.counts - 1) b in
+      let below = ref 0 in
+      for i = 0 to b - 1 do
+        below := !below + t.counts.(i)
+      done;
+      let bucket_lo = t.lo +. (float_of_int b *. w) in
+      let frac = (x -. bucket_lo) /. w in
+      (float_of_int !below +. (frac *. float_of_int t.counts.(b)))
+      /. float_of_int t.total
+    end
+  end
+
+let selectivity_range t ~lo ~hi =
+  if hi < lo then 0.0
+  else Rkutil.Mathx.clamp ~lo:0.0 ~hi:1.0 (selectivity_le t hi -. selectivity_le t lo)
+
+let selectivity_eq t x =
+  if t.total = 0 || t.distinct = 0 then 0.0
+  else
+    match bucket_of t x with
+    | None -> 0.0
+    | Some b ->
+        let bucket_frac = float_of_int t.counts.(b) /. float_of_int t.total in
+        let distinct_per_bucket =
+          float_of_int t.distinct /. float_of_int (max 1 (Array.length t.counts))
+        in
+        bucket_frac /. Float.max 1.0 distinct_per_bucket
+
+let distinct_estimate t = t.distinct
+
+let mean_decrement_slab t =
+  if t.total < 2 then 0.0 else (t.hi -. t.lo) /. float_of_int (t.total - 1)
+
+let pp fmt t =
+  Format.fprintf fmt "hist[n=%d lo=%g hi=%g distinct=%d buckets=%d]" t.total
+    t.lo t.hi t.distinct (Array.length t.counts)

@@ -1,0 +1,42 @@
+(** Equi-width histograms over numeric columns.
+
+    Used by the catalog for selectivity estimation and by the depth model to
+    characterise score distributions (the mean decrement slab of Section 4.3
+    falls out of min/max/count). *)
+
+type t
+
+val build : ?buckets:int -> float list -> t
+(** Default 32 buckets. The empty list yields an empty histogram. *)
+
+val count : t -> int
+
+val min_value : t -> float
+(** [infinity] when empty. *)
+
+val max_value : t -> float
+
+val bucket_count : t -> int
+
+val bucket_of : t -> float -> int option
+(** Bucket index containing a value, [None] outside the range or empty. *)
+
+val selectivity_le : t -> float -> float
+(** Estimated fraction of values ≤ x (linear interpolation in-bucket). *)
+
+val selectivity_range : t -> lo:float -> hi:float -> float
+(** Estimated fraction of values in [\[lo, hi\]]. *)
+
+val selectivity_eq : t -> float -> float
+(** Estimated fraction equal to x, assuming in-bucket uniformity and the
+    recorded distinct count. *)
+
+val distinct_estimate : t -> int
+(** Exact distinct count, recorded at build time. *)
+
+val mean_decrement_slab : t -> float
+(** Average score gap between consecutive order statistics:
+    [(max - min) / (count - 1)]; 0 for fewer than two values. This is the
+    "x" (resp. "y") of the paper's any-k depth formulas. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+type t = {
+  mutable page_reads : int;
+  mutable page_writes : int;
+  mutable pool_hits : int;
+  mutable index_node_reads : int;
+  mutable index_probes : int;
+  mutable tuples_read : int;
+}
+
+type snapshot = {
+  page_reads : int;
+  page_writes : int;
+  pool_hits : int;
+  index_node_reads : int;
+  index_probes : int;
+  tuples_read : int;
+}
+
+let create () : t =
+  {
+    page_reads = 0;
+    page_writes = 0;
+    pool_hits = 0;
+    index_node_reads = 0;
+    index_probes = 0;
+    tuples_read = 0;
+  }
+
+let reset (t : t) =
+  t.page_reads <- 0;
+  t.page_writes <- 0;
+  t.pool_hits <- 0;
+  t.index_node_reads <- 0;
+  t.index_probes <- 0;
+  t.tuples_read <- 0
+
+let snapshot (t : t) =
+  {
+    page_reads = t.page_reads;
+    page_writes = t.page_writes;
+    pool_hits = t.pool_hits;
+    index_node_reads = t.index_node_reads;
+    index_probes = t.index_probes;
+    tuples_read = t.tuples_read;
+  }
+
+let diff a b =
+  {
+    page_reads = a.page_reads - b.page_reads;
+    page_writes = a.page_writes - b.page_writes;
+    pool_hits = a.pool_hits - b.pool_hits;
+    index_node_reads = a.index_node_reads - b.index_node_reads;
+    index_probes = a.index_probes - b.index_probes;
+    tuples_read = a.tuples_read - b.tuples_read;
+  }
+
+let total_io s = s.page_reads + s.page_writes + s.index_node_reads
+
+let add_page_read (t : t) = t.page_reads <- t.page_reads + 1
+
+let add_page_write (t : t) = t.page_writes <- t.page_writes + 1
+
+let add_pool_hit (t : t) = t.pool_hits <- t.pool_hits + 1
+
+let add_index_node_read (t : t) = t.index_node_reads <- t.index_node_reads + 1
+
+let add_index_probe (t : t) = t.index_probes <- t.index_probes + 1
+
+let add_tuples_read (t : t) n = t.tuples_read <- t.tuples_read + n
+
+let pp fmt s =
+  Format.fprintf fmt
+    "reads=%d writes=%d hits=%d idx_nodes=%d probes=%d tuples=%d" s.page_reads
+    s.page_writes s.pool_hits s.index_node_reads s.index_probes s.tuples_read

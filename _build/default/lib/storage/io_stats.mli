@@ -1,0 +1,45 @@
+(** Simulated I/O accounting.
+
+    The paper's Figures 1 and 6 plot {e estimated I/O cost}; this module is
+    the measured counterpart. Every storage structure (heap files through the
+    buffer pool, B+-tree nodes) charges its page accesses to one of these
+    counter sets, so an executed plan can be compared against the cost
+    model's prediction. *)
+
+type t
+
+type snapshot = {
+  page_reads : int;  (** Heap-file pages fetched from "disk" (pool misses). *)
+  page_writes : int;  (** Dirty pages written back on eviction/flush. *)
+  pool_hits : int;  (** Heap-file page requests served from the pool. *)
+  index_node_reads : int;  (** B+-tree nodes visited. *)
+  index_probes : int;  (** Root-to-leaf descents. *)
+  tuples_read : int;  (** Tuples delivered by scans and probes. *)
+}
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val snapshot : t -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff after before] — component-wise subtraction. *)
+
+val total_io : snapshot -> int
+(** [page_reads + page_writes + index_node_reads]: the quantity the cost
+    model estimates. *)
+
+val add_page_read : t -> unit
+
+val add_page_write : t -> unit
+
+val add_pool_hit : t -> unit
+
+val add_index_node_read : t -> unit
+
+val add_index_probe : t -> unit
+
+val add_tuples_read : t -> int -> unit
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,140 @@
+open Relalg
+
+let dtype_tag = function
+  | Value.Tint -> "int"
+  | Value.Tfloat -> "float"
+  | Value.Tstring -> "string"
+  | Value.Tbool -> "bool"
+
+let dtype_of_tag = function
+  | "int" -> Value.Tint
+  | "float" -> Value.Tfloat
+  | "string" -> Value.Tstring
+  | "bool" -> Value.Tbool
+  | s -> failwith ("Persist: unknown type tag " ^ s)
+
+let value_encode = function
+  | Value.Null -> "n:"
+  | Value.Int i -> "i:" ^ string_of_int i
+  | Value.Float f -> "f:" ^ Printf.sprintf "%h" f
+  | Value.Str s -> "s:" ^ String.escaped s
+  | Value.Bool b -> "b:" ^ string_of_bool b
+
+let value_decode s =
+  if String.length s < 2 || s.[1] <> ':' then failwith ("Persist: bad value " ^ s);
+  let payload = String.sub s 2 (String.length s - 2) in
+  match s.[0] with
+  | 'n' -> Value.Null
+  | 'i' -> Value.Int (int_of_string payload)
+  | 'f' -> Value.Float (float_of_string payload)
+  | 's' -> Value.Str (Scanf.unescaped payload)
+  | 'b' -> Value.Bool (bool_of_string payload)
+  | c -> failwith (Printf.sprintf "Persist: bad value tag %c" c)
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match In_channel.input_line ic with
+        | Some line -> go (line :: acc)
+        | None -> List.rev acc
+      in
+      go [])
+
+(* Meta format, one record per line (tab-separated fields):
+     table <name> <col>:<type> <col>:<type> ...
+     index <table> <name> <clustered|unclustered> <key sexp>   *)
+let save catalog ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let tables =
+    List.sort
+      (fun a b -> String.compare a.Catalog.tb_name b.Catalog.tb_name)
+      (Catalog.tables catalog)
+  in
+  let meta = Buffer.create 256 in
+  List.iter
+    (fun (info : Catalog.table_info) ->
+      let cols =
+        List.map
+          (fun (c : Schema.column) -> c.Schema.name ^ ":" ^ dtype_tag c.Schema.dtype)
+          (Schema.columns info.tb_schema)
+      in
+      Buffer.add_string meta
+        (String.concat "\t" (("table" :: info.tb_name :: cols)) ^ "\n");
+      List.iter
+        (fun (ix : Catalog.index_info) ->
+          Buffer.add_string meta
+            (String.concat "\t"
+               [
+                 "index"; info.tb_name; ix.ix_name;
+                 (if ix.ix_clustered then "clustered" else "unclustered");
+                 Expr_codec.to_string ix.ix_key;
+               ]
+            ^ "\n"))
+        (List.rev info.tb_indexes);
+      let rows = Buffer.create 4096 in
+      Heap_file.iter
+        (fun tu ->
+          Buffer.add_string rows
+            (String.concat "\t"
+               (Array.to_list (Array.map value_encode tu)));
+          Buffer.add_char rows '\n')
+        info.tb_heap;
+      write_file (Filename.concat dir (info.tb_name ^ ".tbl")) (Buffer.contents rows))
+    tables;
+  write_file (Filename.concat dir "catalog.meta") (Buffer.contents meta)
+
+let load ?pool_frames ?tuples_per_page ~dir () =
+  let catalog = Catalog.create ?pool_frames ?tuples_per_page () in
+  let meta = read_lines (Filename.concat dir "catalog.meta") in
+  let load_table name cols =
+    let schema =
+      Schema.of_columns
+        (List.map
+           (fun spec ->
+             match String.index_opt spec ':' with
+             | Some i ->
+                 Schema.column
+                   (String.sub spec 0 i)
+                   (dtype_of_tag (String.sub spec (i + 1) (String.length spec - i - 1)))
+             | None -> failwith ("Persist: bad column spec " ^ spec))
+           cols)
+    in
+    let tuples =
+      List.filter_map
+        (fun line ->
+          if String.trim line = "" then None
+          else
+            Some
+              (Array.of_list
+                 (List.map value_decode (String.split_on_char '\t' line))))
+        (read_lines (Filename.concat dir (name ^ ".tbl")))
+    in
+    ignore (Catalog.create_table catalog name schema tuples)
+  in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match String.split_on_char '\t' line with
+        | "table" :: name :: cols -> load_table name cols
+        | [ "index"; table; name; mode; key ] ->
+            let clustered =
+              match mode with
+              | "clustered" -> true
+              | "unclustered" -> false
+              | _ -> failwith ("Persist: bad index mode " ^ mode)
+            in
+            ignore
+              (Catalog.create_index catalog ~clustered ~name ~table
+                 ~key:(Expr_codec.of_string_exn key) ())
+        | _ -> failwith ("Persist: bad meta line: " ^ line))
+    meta;
+  catalog

@@ -1,0 +1,21 @@
+(** Catalog persistence: save/load a whole catalog to a directory.
+
+    On-disk layout (plain text, diffable):
+
+    {v
+    <dir>/catalog.meta   -- one line per table: schema + index definitions
+    <dir>/<table>.tbl    -- one tab-separated line per tuple
+    v}
+
+    Indexes are re-built on load from their persisted key expressions;
+    statistics are recomputed. This is an offline snapshot facility, not a
+    transactional store. *)
+
+val save : Catalog.t -> dir:string -> unit
+(** Write the catalog. The directory is created if absent; existing files
+    for the same tables are overwritten.
+    @raise Sys_error on I/O problems. *)
+
+val load : ?pool_frames:int -> ?tuples_per_page:int -> dir:string -> unit -> Catalog.t
+(** Read a catalog written by {!save}.
+    @raise Failure on malformed files. *)

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Dist Expr Float List Relalg Rkutil Schema Storage Value

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Dist Relalg Rkutil Schema Storage Tuple

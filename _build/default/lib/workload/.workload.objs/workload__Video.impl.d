@@ -1,0 +1,1 @@
+lib/workload/video.ml: Array Dist Expr List Relalg Rkutil Schema Storage Value

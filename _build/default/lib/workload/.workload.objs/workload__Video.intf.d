@@ -1,0 +1,1 @@
+lib/workload/video.mli: Dist Relalg Storage

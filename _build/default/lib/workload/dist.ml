@@ -1,0 +1,37 @@
+type t =
+  | Uniform of { lo : float; hi : float }
+  | Gaussian of { mean : float; sd : float }
+  | Zipf of { n : int; alpha : float }
+  | Sum_uniform of { j : int }
+
+let sample prng = function
+  | Uniform { lo; hi } -> lo +. Rkutil.Prng.float prng (hi -. lo)
+  | Gaussian { mean; sd } ->
+      let z = Rkutil.Prng.gaussian prng in
+      mean +. (sd *. Rkutil.Mathx.clamp ~lo:(-4.0) ~hi:4.0 z)
+  | Zipf { n; alpha } ->
+      let rank = 1 + Rkutil.Prng.int prng (max 1 n) in
+      1.0 /. (float_of_int rank ** alpha)
+  | Sum_uniform { j } ->
+      let acc = ref 0.0 in
+      for _ = 1 to max 1 j do
+        acc := !acc +. Rkutil.Prng.uniform prng
+      done;
+      !acc
+
+let mean = function
+  | Uniform { lo; hi } -> (lo +. hi) /. 2.0
+  | Gaussian { mean; _ } -> mean
+  | Zipf { n; alpha } ->
+      let acc = ref 0.0 in
+      for r = 1 to max 1 n do
+        acc := !acc +. (1.0 /. (float_of_int r ** alpha))
+      done;
+      !acc /. float_of_int (max 1 n)
+  | Sum_uniform { j } -> float_of_int (max 1 j) /. 2.0
+
+let support = function
+  | Uniform { lo; hi } -> (lo, hi)
+  | Gaussian { mean; sd } -> (mean -. (4.0 *. sd), mean +. (4.0 *. sd))
+  | Zipf { n; alpha } -> (1.0 /. (float_of_int (max 1 n) ** alpha), 1.0)
+  | Sum_uniform { j } -> (0.0, float_of_int (max 1 j))

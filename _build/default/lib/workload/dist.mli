@@ -1,0 +1,23 @@
+(** Score distributions for synthetic workloads.
+
+    The estimation model assumes per-input scores from a uniform
+    distribution, and sums of uniforms ([u_j], Section 4.3) higher in a join
+    hierarchy; the generators below let benchmarks both match and violate
+    those assumptions (gaussian, zipf) to probe robustness. *)
+
+type t =
+  | Uniform of { lo : float; hi : float }
+  | Gaussian of { mean : float; sd : float }
+      (** Clamped to [mean ± 4 sd]. *)
+  | Zipf of { n : int; alpha : float }
+      (** Scores 1/rank^alpha over [n] ranks, scaled to (0, 1]. *)
+  | Sum_uniform of { j : int }
+      (** Sum of [j] independent uniforms on [0,1): the u_j of Equation 1. *)
+
+val sample : Rkutil.Prng.t -> t -> float
+
+val mean : t -> float
+(** Analytic mean (used by tests). *)
+
+val support : t -> float * float
+(** (lo, hi) bounds of possible samples. *)

@@ -1,0 +1,58 @@
+open Relalg
+
+type column_spec =
+  | Serial of string
+  | Key of { name : string; domain : int }
+  | Score of { name : string; dist : Dist.t }
+
+let column_of_spec = function
+  | Serial name -> Schema.column name Value.Tint
+  | Key { name; _ } -> Schema.column name Value.Tint
+  | Score { name; _ } -> Schema.column name Value.Tfloat
+
+let relation prng ~n specs =
+  let schema = Schema.of_columns (List.map column_of_spec specs) in
+  let tuples =
+    List.init n (fun i ->
+        Array.of_list
+          (List.map
+             (function
+               | Serial _ -> Value.Int i
+               | Key { domain; _ } -> Value.Int (Rkutil.Prng.int prng (max 1 domain))
+               | Score { dist; _ } -> Value.Float (Dist.sample prng dist))
+             specs))
+  in
+  (schema, tuples)
+
+let scored_table prng ~n ~key_domain ?(score_dist = Dist.Uniform { lo = 0.0; hi = 1.0 })
+    () =
+  relation prng ~n
+    [
+      Serial "id";
+      Key { name = "key"; domain = key_domain };
+      Score { name = "score"; dist = score_dist };
+    ]
+
+let selectivity_of_domain d = 1.0 /. float_of_int (max 1 d)
+
+let domain_of_selectivity s =
+  if s <= 0.0 then max_int
+  else max 1 (int_of_float (Float.round (1.0 /. s)))
+
+let load_scored_table catalog prng ~name ~n ~key_domain ?score_dist
+    ?(with_indexes = true) () =
+  let schema, tuples = scored_table prng ~n ~key_domain ?score_dist () in
+  ignore (Storage.Catalog.create_table catalog name schema tuples);
+  if with_indexes then begin
+    (* The ranked access path is unclustered, as the paper's
+       high-dimensional feature indexes are: sorted access costs one random
+       heap page per tuple (modulo pool caching). *)
+    ignore
+      (Storage.Catalog.create_index catalog ~clustered:false
+         ~name:(name ^ "_score") ~table:name
+         ~key:(Expr.col ~relation:name "score") ());
+    ignore
+      (Storage.Catalog.create_index catalog ~name:(name ^ "_key") ~table:name
+         ~key:(Expr.col ~relation:name "key") ())
+  end;
+  Storage.Catalog.table catalog name

@@ -1,0 +1,47 @@
+(** Synthetic relation generators with controllable join selectivity.
+
+    Join keys are drawn uniformly from an integer domain of size [D]; an
+    equi-join between two such columns has selectivity 1/D in expectation, so
+    the benchmarks sweep selectivity by sweeping the domain (Figures 1
+    and 14). *)
+
+open Relalg
+
+type column_spec =
+  | Serial of string  (** 0, 1, 2, ... — a unique id. *)
+  | Key of { name : string; domain : int }  (** Uniform join key. *)
+  | Score of { name : string; dist : Dist.t }
+
+val relation :
+  Rkutil.Prng.t -> n:int -> column_spec list -> Schema.t * Tuple.t list
+
+val scored_table :
+  Rkutil.Prng.t ->
+  n:int ->
+  key_domain:int ->
+  ?score_dist:Dist.t ->
+  unit ->
+  Schema.t * Tuple.t list
+(** The workhorse shape: columns [id] (serial), [key] (join key) and
+    [score] (default uniform on [\[0,1)]). *)
+
+val selectivity_of_domain : int -> float
+(** Expected equi-join selectivity between two keys over the same domain. *)
+
+val domain_of_selectivity : float -> int
+(** Inverse of {!selectivity_of_domain} (rounded, at least 1). *)
+
+val load_scored_table :
+  Storage.Catalog.t ->
+  Rkutil.Prng.t ->
+  name:string ->
+  n:int ->
+  key_domain:int ->
+  ?score_dist:Dist.t ->
+  ?with_indexes:bool ->
+  unit ->
+  Storage.Catalog.table_info
+(** Create the table in a catalog; with [with_indexes] (default true), build
+    a B+-tree on [score] (the ranked access path) and one on [key]
+    (for index-nested-loops probes). The score index is named
+    ["<name>_score"], the key index ["<name>_key"]. *)

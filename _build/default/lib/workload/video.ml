@@ -1,0 +1,51 @@
+open Relalg
+
+let default_features = [ "ColorHist"; "ColorLayout"; "Texture"; "Edges" ]
+
+type t = {
+  catalog : Storage.Catalog.t;
+  features : string list;
+  n_objects : int;
+}
+
+let build ?(features = default_features)
+    ?(score_dist = Dist.Uniform { lo = 0.0; hi = 1.0 }) ?(correlation = 0.0)
+    ~seed ~n_objects () =
+  let prng = Rkutil.Prng.create seed in
+  let catalog = Storage.Catalog.create () in
+  let quality = Array.init n_objects (fun _ -> Rkutil.Prng.uniform prng) in
+  let corr = Rkutil.Mathx.clamp ~lo:0.0 ~hi:1.0 correlation in
+  List.iter
+    (fun feature ->
+      let schema =
+        Schema.of_columns
+          [ Schema.column "oid" Value.Tint; Schema.column "score" Value.Tfloat ]
+      in
+      let tuples =
+        List.init n_objects (fun oid ->
+            let independent = Dist.sample prng score_dist in
+            let s = (corr *. quality.(oid)) +. ((1.0 -. corr) *. independent) in
+            [| Value.Int oid; Value.Float s |])
+      in
+      ignore (Storage.Catalog.create_table catalog feature schema tuples);
+      ignore
+        (Storage.Catalog.create_index catalog ~clustered:false
+           ~name:(feature ^ "_score") ~table:feature
+           ~key:(Expr.col ~relation:feature "score") ());
+      ignore
+        (Storage.Catalog.create_index catalog ~name:(feature ^ "_oid")
+           ~table:feature
+           ~key:(Expr.col ~relation:feature "oid") ()))
+    features;
+  { catalog; features; n_objects }
+
+let feature_table t feature = Storage.Catalog.table t.catalog feature
+
+let similarity_query_score t ~weights =
+  List.iter
+    (fun (f, _) ->
+      if not (List.mem f t.features) then
+        invalid_arg ("Video.similarity_query_score: unknown feature " ^ f))
+    weights;
+  Expr.weighted_sum
+    (List.map (fun (f, w) -> (w, Expr.col ~relation:f "score")) weights)

@@ -1,0 +1,36 @@
+(** The paper's experimental scenario (Section 5), simulated.
+
+    A video library stores objects (shots / snapshots); visual features —
+    ColorHist, ColorLayout, Texture, Edges — are extracted into one relation
+    per feature, each with a high-dimensional index simulated by a B+-tree on
+    the similarity score. A multi-feature query ranks objects on a weighted
+    combination of per-feature similarities; relations join on the object
+    id. *)
+
+val default_features : string list
+(** ["ColorHist"; "ColorLayout"; "Texture"; "Edges"]. *)
+
+type t = {
+  catalog : Storage.Catalog.t;
+  features : string list;  (** Table names, one per feature. *)
+  n_objects : int;
+}
+
+val build :
+  ?features:string list ->
+  ?score_dist:Dist.t ->
+  ?correlation:float ->
+  seed:int ->
+  n_objects:int ->
+  unit ->
+  t
+(** Each feature table has columns [oid] and [score], a score index (sorted
+    access) and an oid index (random access / INL probes). [correlation]
+    in [\[0,1\]] blends per-feature scores with a shared per-object quality
+    component (0 = independent features, the model's assumption). *)
+
+val feature_table : t -> string -> Storage.Catalog.table_info
+(** @raise Not_found for an unknown feature. *)
+
+val similarity_query_score : t -> weights:(string * float) list -> Relalg.Expr.t
+(** The combined scoring expression [Σ wᵢ · featureᵢ.score]. *)

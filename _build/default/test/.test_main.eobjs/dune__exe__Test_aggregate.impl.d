@@ -1,0 +1,1 @@
+test/test_aggregate.ml: Aggregate Alcotest Exec Expr Hashtbl List Operator Option QCheck QCheck_alcotest Relalg Schema Test_util Tuple Value

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Core Executor Expr Filter_restart Float List Logical Optimizer Printf QCheck QCheck_alcotest Relalg Relation Rkutil Storage Test_util Workload

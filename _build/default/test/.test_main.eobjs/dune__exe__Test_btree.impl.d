@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Float Io_stats List Printf QCheck QCheck_alcotest Relalg Rkutil Storage String Tuple Value

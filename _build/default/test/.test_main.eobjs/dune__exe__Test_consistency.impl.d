@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Core Cost_model Enumerator Expr Interesting_orders List Logical Memo Optimizer Plan Propagate QCheck QCheck_alcotest Relalg Rkutil Storage String Workload

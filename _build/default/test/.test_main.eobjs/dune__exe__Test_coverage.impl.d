@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Core Exec Expr Format List Option Relalg Relation Rkutil Schema Storage String Test_util Tuple Value

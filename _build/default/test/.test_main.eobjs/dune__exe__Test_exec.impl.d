@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Basic_ops Exec Expr Join List Operator Option QCheck QCheck_alcotest Relalg Relation Rkutil Scan Schema Sort Storage Test_util Top_n Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Core Expr Float List Option Printf Ranking Relalg Relation Rkutil Storage Test_util Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Btree Buffer_pool Catalog Core Exec Expr Heap_file Io_stats List QCheck QCheck_alcotest Relalg Relation Rkutil Schema Storage Test_util Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Btree Catalog Core Expr Expr_codec Filename Heap_file List Persist QCheck QCheck_alcotest Relalg Rkutil Schema Storage String Sys Test_util Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_plan_verify.ml: Alcotest Core Cost_model Enumerator Expr Interesting_orders List Logical Memo Optimizer Plan Plan_verify QCheck QCheck_alcotest Relalg Rkutil Storage Workload

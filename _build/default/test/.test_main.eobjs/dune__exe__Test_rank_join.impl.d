@@ -1,0 +1,1 @@
+test/test_rank_join.ml: Alcotest Exec Expr Float List Operator Printf QCheck QCheck_alcotest Rank_join Relalg Relation Test_util Tuple Value

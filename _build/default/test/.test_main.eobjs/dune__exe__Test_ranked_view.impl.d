@@ -1,0 +1,1 @@
+test/test_ranked_view.ml: Alcotest Core Executor Expr List Logical Optimizer Option Printf QCheck QCheck_alcotest Ranked_view Relalg Rkutil Storage Test_util Workload

@@ -1,0 +1,1 @@
+test/test_ranking.ml: Aggregate Alcotest Array List Printf QCheck QCheck_alcotest Ranking Relalg Rkutil Scoring Source Test_util

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Expr List Option QCheck QCheck_alcotest Relalg Relation Schema Scoring Test_util Tuple Value

@@ -1,0 +1,1 @@
+test/test_rkutil.ml: Alcotest Array Float Fun List Printf QCheck QCheck_alcotest Rkutil Test_util

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Core Exec Expr Float List Operator QCheck QCheck_alcotest Rank_join Relalg Relation Rkutil Schema Sort Storage Test_util Tuple Value Workload

@@ -1,0 +1,1 @@
+test/test_slab_estimation.ml: Alcotest Core Cost_model Depth_model Exec Executor Expr List Logical Optimizer Option Plan Printf Relalg Relation Rkutil Storage Test_util Workload

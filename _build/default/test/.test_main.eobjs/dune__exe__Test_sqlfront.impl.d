@@ -1,0 +1,1 @@
+test/test_sqlfront.ml: Alcotest Array Core Expr List Option Printf QCheck QCheck_alcotest Relalg Relation Rkutil Schema Sqlfront Storage String Test_util Tuple Value Workload

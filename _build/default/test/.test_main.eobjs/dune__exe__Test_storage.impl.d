@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Btree Buffer_pool Catalog Expr Float Heap_file Histogram Io_stats List Page Printf Relalg Rkutil Schema Storage Test_util Tuple Value

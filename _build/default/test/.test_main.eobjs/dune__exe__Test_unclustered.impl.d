@@ -1,0 +1,1 @@
+test/test_unclustered.ml: Alcotest Catalog Core Exec Expr Io_stats List Option Printf QCheck QCheck_alcotest Relalg Relation Rkutil Schema Storage Test_util Tuple Value Workload

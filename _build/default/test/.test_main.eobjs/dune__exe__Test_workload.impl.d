@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Dist Expr Float Generator List Relalg Rkutil Schema Storage Test_util Tuple Value Video Workload

@@ -1,0 +1,154 @@
+(* Hash aggregation tests, including a model-based property against a naive
+   association-list group-by. *)
+
+open Relalg
+open Exec
+
+let schema =
+  Schema.of_columns
+    [ Schema.column "g" Value.Tint; Schema.column "v" Value.Tfloat ]
+
+let op_of tuples = Operator.of_list schema tuples
+
+let tu g v = Tuple.make [ Value.Int g; Value.Float v ]
+
+let group_col = (Expr.col "g", Schema.column "g" Value.Tint)
+
+let run ~group_by ~aggregates tuples =
+  Operator.to_list (Aggregate.hash_group_by ~group_by ~aggregates (op_of tuples))
+
+let test_count_sum_per_group () =
+  let tuples = [ tu 1 2.0; tu 2 5.0; tu 1 3.0; tu 2 7.0; tu 1 1.0 ] in
+  let out =
+    run ~group_by:[ group_col ]
+      ~aggregates:
+        [
+          { Aggregate.fn = Aggregate.Count; name = "n" };
+          { Aggregate.fn = Aggregate.Sum (Expr.col "v"); name = "total" };
+        ]
+      tuples
+  in
+  Alcotest.(check int) "two groups" 2 (List.length out);
+  List.iter
+    (fun row ->
+      match Value.to_int (Tuple.get row 0) with
+      | 1 ->
+          Alcotest.(check int) "count g1" 3 (Value.to_int (Tuple.get row 1));
+          Test_util.check_floats_close "sum g1" 6.0 (Value.to_float (Tuple.get row 2))
+      | 2 ->
+          Alcotest.(check int) "count g2" 2 (Value.to_int (Tuple.get row 1));
+          Test_util.check_floats_close "sum g2" 12.0 (Value.to_float (Tuple.get row 2))
+      | g -> Alcotest.failf "unexpected group %d" g)
+    out
+
+let test_min_max_avg () =
+  let tuples = [ tu 1 2.0; tu 1 8.0; tu 1 5.0 ] in
+  let out =
+    run ~group_by:[ group_col ]
+      ~aggregates:
+        [
+          { Aggregate.fn = Aggregate.Min (Expr.col "v"); name = "lo" };
+          { Aggregate.fn = Aggregate.Max (Expr.col "v"); name = "hi" };
+          { Aggregate.fn = Aggregate.Avg (Expr.col "v"); name = "mean" };
+        ]
+      tuples
+  in
+  match out with
+  | [ row ] ->
+      Test_util.check_floats_close "min" 2.0 (Value.to_float (Tuple.get row 1));
+      Test_util.check_floats_close "max" 8.0 (Value.to_float (Tuple.get row 2));
+      Test_util.check_floats_close "avg" 5.0 (Value.to_float (Tuple.get row 3))
+  | _ -> Alcotest.fail "expected one group"
+
+let test_global_aggregate_empty_input () =
+  let out =
+    run ~group_by:[]
+      ~aggregates:
+        [
+          { Aggregate.fn = Aggregate.Count; name = "n" };
+          { Aggregate.fn = Aggregate.Min (Expr.col "v"); name = "lo" };
+        ]
+      []
+  in
+  match out with
+  | [ row ] ->
+      Alcotest.(check int) "count 0" 0 (Value.to_int (Tuple.get row 0));
+      Alcotest.(check bool) "min is null" true (Value.is_null (Tuple.get row 1))
+  | _ -> Alcotest.fail "expected exactly one row"
+
+let test_grouped_empty_input () =
+  let out =
+    run ~group_by:[ group_col ]
+      ~aggregates:[ { Aggregate.fn = Aggregate.Count; name = "n" } ]
+      []
+  in
+  Alcotest.(check int) "no groups" 0 (List.length out)
+
+let test_restartable () =
+  let tuples = [ tu 1 2.0; tu 2 5.0 ] in
+  let op =
+    Aggregate.hash_group_by ~group_by:[ group_col ]
+      ~aggregates:[ { Aggregate.fn = Aggregate.Count; name = "n" } ]
+      (op_of tuples)
+  in
+  let a = Operator.to_list op and b = Operator.to_list op in
+  Alcotest.(check int) "same size" (List.length a) (List.length b)
+
+let test_output_schema () =
+  let op =
+    Aggregate.hash_group_by ~group_by:[ group_col ]
+      ~aggregates:
+        [
+          { Aggregate.fn = Aggregate.Count; name = "n" };
+          { Aggregate.fn = Aggregate.Avg (Expr.col "v"); name = "mean" };
+        ]
+      (op_of [])
+  in
+  let cols = List.map Schema.column_name (Schema.columns op.Operator.schema) in
+  Alcotest.(check (list string)) "columns" [ "g"; "n"; "mean" ] cols
+
+let prop_matches_naive_group_by =
+  QCheck.Test.make ~name:"aggregate: matches naive group-by" ~count:100
+    QCheck.(list (pair (int_range 0 5) (float_range (-100.0) 100.0)))
+    (fun pairs ->
+      let tuples = List.map (fun (g, v) -> tu g v) pairs in
+      let out =
+        run ~group_by:[ group_col ]
+          ~aggregates:
+            [
+              { Aggregate.fn = Aggregate.Count; name = "n" };
+              { Aggregate.fn = Aggregate.Sum (Expr.col "v"); name = "s" };
+            ]
+          tuples
+      in
+      (* Naive model. *)
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (g, v) ->
+          let n, s = Option.value ~default:(0, 0.0) (Hashtbl.find_opt model g) in
+          Hashtbl.replace model g (n + 1, s +. v))
+        pairs;
+      List.length out = Hashtbl.length model
+      && List.for_all
+           (fun row ->
+             let g = Value.to_int (Tuple.get row 0) in
+             match Hashtbl.find_opt model g with
+             | None -> false
+             | Some (n, s) ->
+                 Value.to_int (Tuple.get row 1) = n
+                 && Test_util.floats_close ~eps:1e-7 s (Value.to_float (Tuple.get row 2)))
+           out)
+
+let suites =
+  [
+    ( "exec.aggregate",
+      [
+        Alcotest.test_case "count/sum per group" `Quick test_count_sum_per_group;
+        Alcotest.test_case "min/max/avg" `Quick test_min_max_avg;
+        Alcotest.test_case "global over empty" `Quick test_global_aggregate_empty_input;
+        Alcotest.test_case "grouped over empty" `Quick test_grouped_empty_input;
+        Alcotest.test_case "restartable" `Quick test_restartable;
+        Alcotest.test_case "output schema" `Quick test_output_schema;
+        QCheck_alcotest.to_alcotest prop_matches_naive_group_by;
+      ] );
+  ]

@@ -1,0 +1,150 @@
+(* Tests for the filter/restart baseline (Section 6 related work) and for
+   Mathx's normal-distribution helpers it relies on. *)
+
+open Relalg
+open Core
+
+let test_normal_cdf_values () =
+  Test_util.check_floats_close ~eps:1e-6 "cdf 0" 0.5 (Rkutil.Mathx.normal_cdf 0.0);
+  Alcotest.(check bool) "cdf 1.96 ~ 0.975" true
+    (Float.abs (Rkutil.Mathx.normal_cdf 1.96 -. 0.975) < 1e-3);
+  Alcotest.(check bool) "cdf -1.96 ~ 0.025" true
+    (Float.abs (Rkutil.Mathx.normal_cdf (-1.96) -. 0.025) < 1e-3);
+  Alcotest.(check bool) "monotone" true
+    (Rkutil.Mathx.normal_cdf 0.5 < Rkutil.Mathx.normal_cdf 1.0)
+
+let test_normal_quantile_roundtrip () =
+  List.iter
+    (fun p ->
+      let x = Rkutil.Mathx.normal_quantile p in
+      Test_util.check_floats_close ~eps:1e-5
+        (Printf.sprintf "roundtrip %.3f" p)
+        p (Rkutil.Mathx.normal_cdf x))
+    [ 0.01; 0.1; 0.5; 0.9; 0.99 ];
+  Alcotest.check_raises "p=0" (Invalid_argument "Mathx.normal_quantile: p outside (0,1)")
+    (fun () -> ignore (Rkutil.Mathx.normal_quantile 0.0))
+
+let setup ?(n = 400) ?(domain = 20) ?(seed = 5) () =
+  let cat = Storage.Catalog.create () in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Workload.Generator.load_scored_table cat
+           (Rkutil.Prng.create (seed + i))
+           ~name ~n ~key_domain:domain ()))
+    [ "A"; "B" ];
+  cat
+
+let query ?(k = 10) () =
+  Logical.make
+    ~relations:
+      [
+        Logical.base ~score:(Expr.col ~relation:"A" "score") "A";
+        Logical.base ~score:(Expr.col ~relation:"B" "score") "B";
+      ]
+    ~joins:[ Logical.equijoin ("A", "key") ("B", "key") ]
+    ~k ()
+
+let oracle cat k =
+  let rel name =
+    let info = Storage.Catalog.table cat name in
+    Relation.create info.Storage.Catalog.tb_schema
+      (Storage.Heap_file.to_list info.Storage.Catalog.tb_heap)
+  in
+  let joined =
+    Relation.join
+      ~on:Expr.(col ~relation:"A" "key" = col ~relation:"B" "key")
+      (rel "A") (rel "B")
+  in
+  Relation.top_k
+    ~score:Expr.(col ~relation:"A" "score" + col ~relation:"B" "score")
+    ~k joined
+
+let test_filter_restart_matches_oracle () =
+  let cat = setup () in
+  List.iter
+    (fun k ->
+      match Filter_restart.top_k cat (query ~k ()) with
+      | Error e -> Alcotest.failf "filter/restart failed: %s" e
+      | Ok (results, _) ->
+          Test_util.check_score_multiset
+            (Printf.sprintf "top-%d" k)
+            (List.map snd (oracle cat k))
+            (List.map snd results))
+    [ 1; 5; 25 ]
+
+let test_filter_restart_restarts_on_aggressive_cutoff () =
+  let cat = setup ~n:300 ~domain:50 () in
+  (* A tiny safety factor makes the first cutoff miss almost surely. *)
+  match Filter_restart.top_k ~safety:0.001 cat (query ~k:20 ()) with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok (results, stats) ->
+      Alcotest.(check bool) "restarted" true (stats.Filter_restart.restarts > 0);
+      Alcotest.(check int) "io per attempt recorded"
+        (stats.Filter_restart.restarts + 1)
+        (List.length stats.Filter_restart.attempts_io);
+      Test_util.check_score_multiset "still correct"
+        (List.map snd (oracle cat 20))
+        (List.map snd results)
+
+let test_filter_restart_k_exceeds_results () =
+  let cat = setup ~n:50 ~domain:50 () in
+  match Filter_restart.top_k cat (query ~k:100000 ()) with
+  | Error e -> Alcotest.failf "failed: %s" e
+  | Ok (results, _) ->
+      let all = oracle cat max_int in
+      Alcotest.(check int) "returns whole join" (List.length all) (List.length results)
+
+let test_filter_restart_cutoff_monotone_in_k () =
+  let cat = setup ~n:1000 ~domain:50 () in
+  let c1 = Filter_restart.initial_cutoff cat (query ~k:1 ()) ~k:1 ~safety:2.0 in
+  let c100 = Filter_restart.initial_cutoff cat (query ~k:100 ()) ~k:100 ~safety:2.0 in
+  Alcotest.(check bool) "larger k, lower cutoff" true (c100 < c1);
+  Alcotest.(check bool) "cutoff within range" true (c1 <= 2.0 && c100 >= 0.0)
+
+let test_filter_restart_rejects_unranked () =
+  let cat = setup () in
+  let q =
+    Logical.make
+      ~relations:[ Logical.base "A"; Logical.base "B" ]
+      ~joins:[ Logical.equijoin ("A", "key") ("B", "key") ]
+      ()
+  in
+  match Filter_restart.top_k cat q with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error for an unranked query"
+
+let prop_filter_restart_equals_rank_join =
+  QCheck.Test.make
+    ~name:"filter/restart = rank-join answers (random workloads)" ~count:20
+    QCheck.(triple (int_range 0 999) (int_range 10 60) (int_range 1 10))
+    (fun (seed, n, k) ->
+      let cat = setup ~n ~domain:8 ~seed () in
+      let q = query ~k () in
+      match Filter_restart.top_k cat q with
+      | Error _ -> false
+      | Ok (fr, _) ->
+          let _, rr = Optimizer.run_query cat q in
+          let a = Test_util.score_multiset (List.map snd fr) in
+          let b = Test_util.score_multiset (List.map snd rr.Executor.rows) in
+          List.length a = List.length b
+          && List.for_all2 (fun x y -> Test_util.floats_close ~eps:1e-7 x y) a b)
+
+let suites =
+  [
+    ( "rkutil.normal",
+      [
+        Alcotest.test_case "cdf values" `Quick test_normal_cdf_values;
+        Alcotest.test_case "quantile roundtrip" `Quick test_normal_quantile_roundtrip;
+      ] );
+    ( "core.filter_restart",
+      [
+        Alcotest.test_case "matches oracle" `Quick test_filter_restart_matches_oracle;
+        Alcotest.test_case "restarts happen" `Quick
+          test_filter_restart_restarts_on_aggressive_cutoff;
+        Alcotest.test_case "k > join size" `Quick test_filter_restart_k_exceeds_results;
+        Alcotest.test_case "cutoff monotone" `Quick test_filter_restart_cutoff_monotone_in_k;
+        Alcotest.test_case "rejects unranked" `Quick test_filter_restart_rejects_unranked;
+        QCheck_alcotest.to_alcotest prop_filter_restart_equals_rank_join;
+      ] );
+  ]

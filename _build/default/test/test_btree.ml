@@ -1,0 +1,218 @@
+(* B+-tree tests: model-based checks against a sorted association list. *)
+
+open Relalg
+open Storage
+
+let tu i = Tuple.make [ Value.Int i ]
+
+let vf f = Value.Float f
+
+let fresh ?(fanout = 4) () = Btree.create ~fanout (Io_stats.create ()) ()
+
+let test_empty () =
+  let t = fresh () in
+  Alcotest.(check int) "length" 0 (Btree.length t);
+  Alcotest.(check int) "height" 1 (Btree.height t);
+  Alcotest.(check int) "lookup" 0 (List.length (Btree.lookup t (vf 1.0)))
+
+let test_insert_lookup_small () =
+  let t = fresh () in
+  List.iter (fun i -> Btree.insert t (vf (float_of_int i)) (tu i)) [ 5; 1; 3; 2; 4 ];
+  Alcotest.(check int) "length" 5 (Btree.length t);
+  List.iter
+    (fun i ->
+      match Btree.lookup t (vf (float_of_int i)) with
+      | [ found ] -> Alcotest.(check bool) "tuple" true (Tuple.equal found (tu i))
+      | other -> Alcotest.failf "lookup %d: %d results" i (List.length other))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_duplicates () =
+  let t = fresh () in
+  for i = 0 to 9 do
+    Btree.insert t (vf 1.0) (tu i)
+  done;
+  Btree.insert t (vf 2.0) (tu 100);
+  Alcotest.(check int) "dups found" 10 (List.length (Btree.lookup t (vf 1.0)));
+  Alcotest.(check int) "other key" 1 (List.length (Btree.lookup t (vf 2.0)))
+
+let test_scan_desc_order () =
+  let t = fresh () in
+  let prng = Rkutil.Prng.create 11 in
+  for i = 0 to 199 do
+    Btree.insert t (vf (Rkutil.Prng.uniform prng)) (tu i)
+  done;
+  let next = Btree.scan_desc t in
+  let rec collect acc =
+    match next () with Some _ as x -> collect (x :: acc) | None -> List.rev acc
+  in
+  let n = List.length (collect []) in
+  Alcotest.(check int) "all entries" 200 n
+
+let test_scan_from () =
+  let t = fresh () in
+  for i = 0 to 9 do
+    Btree.insert t (vf (float_of_int i)) (tu i)
+  done;
+  let next = Btree.scan_asc ~from:(vf 6.5) t in
+  let first = next () in
+  (match first with
+  | Some found -> Alcotest.(check bool) "starts at 7" true (Tuple.equal found (tu 7))
+  | None -> Alcotest.fail "empty scan");
+  let next = Btree.scan_desc ~from:(vf 6.5) t in
+  match next () with
+  | Some found -> Alcotest.(check bool) "desc starts at 6" true (Tuple.equal found (tu 6))
+  | None -> Alcotest.fail "empty desc scan"
+
+let test_range () =
+  let t = fresh () in
+  for i = 0 to 19 do
+    Btree.insert t (vf (float_of_int i)) (tu i)
+  done;
+  let r = Btree.range t ~lo:(Some (vf 5.0)) ~hi:(Some (vf 9.0)) in
+  Alcotest.(check int) "5 entries" 5 (List.length r);
+  let r = Btree.range t ~lo:None ~hi:(Some (vf 3.0)) in
+  Alcotest.(check int) "4 entries" 4 (List.length r);
+  let r = Btree.range t ~lo:(Some (vf 18.0)) ~hi:None in
+  Alcotest.(check int) "2 entries" 2 (List.length r)
+
+let test_delete () =
+  let t = fresh () in
+  for i = 0 to 9 do
+    Btree.insert t (vf (float_of_int (i mod 3))) (tu i)
+  done;
+  Alcotest.(check bool) "delete hit" true (Btree.delete t (vf 0.0) (tu 3));
+  Alcotest.(check bool) "delete miss" false (Btree.delete t (vf 0.0) (tu 3));
+  Alcotest.(check int) "length" 9 (Btree.length t);
+  Alcotest.(check int) "remaining dups" 3 (List.length (Btree.lookup t (vf 0.0)))
+
+let test_bulk_load_matches_inserts () =
+  let prng = Rkutil.Prng.create 21 in
+  let entries =
+    List.init 500 (fun i -> (vf (Rkutil.Prng.uniform prng), tu i))
+  in
+  let bulk = Btree.bulk_load (Io_stats.create ()) entries in
+  let incremental = fresh ~fanout:64 () in
+  List.iter (fun (k, v) -> Btree.insert incremental k v) entries;
+  Alcotest.(check int) "same length" (Btree.length incremental) (Btree.length bulk);
+  let keys t = List.map fst (Btree.to_list_asc t) in
+  Alcotest.(check bool) "same key order" true
+    (List.equal Value.equal (keys bulk) (keys incremental));
+  (match Btree.check_invariants bulk with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "bulk invariants: %s" e);
+  match Btree.check_invariants incremental with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "incremental invariants: %s" e
+
+let test_height_grows () =
+  let t = fresh ~fanout:4 () in
+  for i = 0 to 99 do
+    Btree.insert t (vf (float_of_int i)) (tu i)
+  done;
+  Alcotest.(check bool) "height > 1" true (Btree.height t > 1);
+  match Btree.check_invariants t with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invariants: %s" e
+
+let test_io_charged () =
+  let io = Io_stats.create () in
+  let t = Btree.create ~fanout:4 io () in
+  for i = 0 to 99 do
+    Btree.insert t (vf (float_of_int i)) (tu i)
+  done;
+  Io_stats.reset io;
+  ignore (Btree.lookup t (vf 50.0));
+  let snap = Io_stats.snapshot io in
+  Alcotest.(check int) "one probe" 1 snap.Io_stats.index_probes;
+  Alcotest.(check bool) "nodes visited >= height" true
+    (snap.Io_stats.index_node_reads >= Btree.height t)
+
+(* Model-based property: a random sequence of inserts and deletes agrees
+   with a sorted association list. *)
+let prop_model_based =
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_range 0 120)
+        (pair (int_range 0 15) (int_range 0 999)))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun ops ->
+        String.concat ";"
+          (List.map (fun (k, v) -> Printf.sprintf "%d->%d" k v) ops))
+      op_gen
+  in
+  QCheck.Test.make ~name:"btree: matches sorted-list model" ~count:150 arb
+    (fun ops ->
+      let t = fresh ~fanout:4 () in
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          Btree.insert t (vf (float_of_int k)) (tu v);
+          model := (float_of_int k, v) :: !model)
+        ops;
+      let model_sorted =
+        List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) (List.rev !model)
+      in
+      let tree_list =
+        List.map
+          (fun (k, tuple) -> (Value.to_float k, Value.to_int (Tuple.get tuple 0)))
+          (Btree.to_list_asc t)
+      in
+      let keys_match =
+        List.equal
+          (fun (a, _) (b, _) -> Float.equal a b)
+          model_sorted tree_list
+      in
+      let invariants = Btree.check_invariants t = Ok () in
+      let lookups_ok =
+        List.for_all
+          (fun k ->
+            let expected =
+              List.filter (fun (k', _) -> Float.equal (float_of_int k) k') model_sorted
+              |> List.length
+            in
+            List.length (Btree.lookup t (vf (float_of_int k))) = expected)
+          (List.sort_uniq compare (List.map fst ops))
+      in
+      keys_match && invariants && lookups_ok)
+
+let prop_scan_desc_is_reverse_asc =
+  QCheck.Test.make ~name:"btree: desc scan = reverse asc scan" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 200) (QCheck.int_range 0 50))
+    (fun keys ->
+      let t = fresh ~fanout:5 () in
+      List.iteri (fun i k -> Btree.insert t (vf (float_of_int k)) (tu i)) keys;
+      let drain next =
+        let rec go acc =
+          match next () with
+          | Some tuple -> go (Value.to_int (Tuple.get tuple 0) :: acc)
+          | None -> List.rev acc
+        in
+        go []
+      in
+      let asc = drain (Btree.scan_asc t) in
+      let desc = drain (Btree.scan_desc t) in
+      (* Key order must reverse; among duplicates order may differ, so
+         compare keys, not payloads. *)
+      let key_of i = List.nth keys i in
+      List.map key_of asc = List.rev (List.map key_of desc))
+
+let suites =
+  [
+    ( "storage.btree",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "insert/lookup" `Quick test_insert_lookup_small;
+        Alcotest.test_case "duplicates" `Quick test_duplicates;
+        Alcotest.test_case "scan desc" `Quick test_scan_desc_order;
+        Alcotest.test_case "scan from" `Quick test_scan_from;
+        Alcotest.test_case "range" `Quick test_range;
+        Alcotest.test_case "delete" `Quick test_delete;
+        Alcotest.test_case "bulk load" `Quick test_bulk_load_matches_inserts;
+        Alcotest.test_case "height grows" `Quick test_height_grows;
+        Alcotest.test_case "io charged" `Quick test_io_charged;
+        QCheck_alcotest.to_alcotest prop_model_based;
+        QCheck_alcotest.to_alcotest prop_scan_desc_is_reverse_asc;
+      ] );
+  ]

@@ -1,0 +1,31 @@
+let () =
+  Alcotest.run "rankopt"
+    (List.concat
+       [
+         Test_rkutil.suites;
+         Test_relalg.suites;
+         Test_storage.suites;
+         Test_btree.suites;
+         Test_exec.suites;
+         Test_rank_join.suites;
+         Test_ranking.suites;
+         Test_workload.suites;
+         Test_core_model.suites;
+         Test_core_optimizer.suites;
+         Test_sqlfront.suites
+         @ [ Test_sqlfront.group_by_suite; Test_sqlfront.with_form_suite;
+             Test_sqlfront.dml_suite; Test_sqlfront.update_suite ];
+         Test_unclustered.suites;
+         Test_aggregate.suites;
+         Test_baselines.suites;
+         Test_robustness.suites;
+         Test_integration.suites;
+         Test_plan_verify.suites;
+         Test_mutation.suites;
+         Test_nary.suites @ [ Test_nary.optimizer_suite ];
+         Test_ranked_view.suites;
+         Test_slab_estimation.suites;
+         Test_persist.suites;
+         Test_coverage.suites;
+         Test_consistency.suites;
+       ])

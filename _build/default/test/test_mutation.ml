@@ -1,0 +1,174 @@
+(* Tests for table mutation (insert + index maintenance + ANALYZE) and the
+   memory-adaptive Grace hash join. *)
+
+open Relalg
+open Storage
+
+let schema =
+  Schema.of_columns
+    [ Schema.column "id" Value.Tint; Schema.column "score" Value.Tfloat ]
+
+let tu i s = Tuple.make [ Value.Int i; Value.Float s ]
+
+let setup () =
+  let cat = Catalog.create ~tuples_per_page:10 () in
+  ignore (Catalog.create_table cat "T" schema (List.init 20 (fun i -> tu i (float_of_int i))));
+  ignore
+    (Catalog.create_index cat ~name:"T_clustered" ~table:"T"
+       ~key:(Expr.col ~relation:"T" "score") ());
+  ignore
+    (Catalog.create_index cat ~clustered:false ~name:"T_unclustered" ~table:"T"
+       ~key:(Expr.col ~relation:"T" "id") ());
+  cat
+
+let test_insert_maintains_heap_and_indexes () =
+  let cat = setup () in
+  Catalog.insert_into cat ~table:"T" [ tu 100 99.5; tu 101 98.5 ];
+  let info = Catalog.table cat "T" in
+  Alcotest.(check int) "heap grew" 22 (Heap_file.cardinality info.Catalog.tb_heap);
+  (* Clustered score index sees the new tuples in order. *)
+  let cix =
+    List.find (fun ix -> ix.Catalog.ix_name = "T_clustered") info.Catalog.tb_indexes
+  in
+  Alcotest.(check int) "clustered grew" 22 (Btree.length cix.Catalog.ix_btree);
+  let next = Btree.scan_desc cix.Catalog.ix_btree in
+  (match next () with
+  | Some best -> Alcotest.(check int) "new max first" 100 (Value.to_int (Tuple.get best 0))
+  | None -> Alcotest.fail "empty index");
+  (* Unclustered id index resolves the fresh tuples through the heap. *)
+  let uix =
+    List.find (fun ix -> ix.Catalog.ix_name = "T_unclustered") info.Catalog.tb_indexes
+  in
+  match Catalog.index_lookup cat uix (Value.Int 101) with
+  | [ found ] -> Alcotest.(check bool) "resolves" true (Tuple.equal found (tu 101 98.5))
+  | other -> Alcotest.failf "lookup found %d entries" (List.length other)
+
+let test_analyze_refreshes_stats () =
+  let cat = setup () in
+  let before = (Catalog.table cat "T").Catalog.tb_stats.Catalog.ts_cardinality in
+  Catalog.insert_into cat ~table:"T" (List.init 30 (fun i -> tu (200 + i) 1000.0));
+  (* Stats stale until analyze. *)
+  let stale = (Catalog.table cat "T").Catalog.tb_stats.Catalog.ts_cardinality in
+  Alcotest.(check int) "stale" before stale;
+  let refreshed = Catalog.analyze cat "T" in
+  Alcotest.(check int) "refreshed" 50 refreshed.Catalog.tb_stats.Catalog.ts_cardinality;
+  match Catalog.column_stats cat ~table:"T" ~column:"score" with
+  | Some cs -> Alcotest.(check (float 0.0)) "new max" 1000.0 cs.Catalog.cs_max
+  | None -> Alcotest.fail "missing stats"
+
+let test_insert_unknown_table () =
+  let cat = setup () in
+  Alcotest.check_raises "unknown" Not_found (fun () ->
+      Catalog.insert_into cat ~table:"Nope" [ tu 1 1.0 ])
+
+let test_query_sees_inserted_rows () =
+  let cat = Catalog.create () in
+  let prng = Rkutil.Prng.create 55 in
+  ignore (Workload.Generator.load_scored_table cat prng ~name:"A" ~n:50 ~key_domain:5 ());
+  ignore (Workload.Generator.load_scored_table cat prng ~name:"B" ~n:50 ~key_domain:5 ());
+  (* Insert a pair that must dominate the ranking. *)
+  Catalog.insert_into cat ~table:"A" [ Tuple.make [ Value.Int 999; Value.Int 0; Value.Float 10.0 ] ];
+  Catalog.insert_into cat ~table:"B" [ Tuple.make [ Value.Int 999; Value.Int 0; Value.Float 10.0 ] ];
+  ignore (Catalog.analyze cat "A");
+  ignore (Catalog.analyze cat "B");
+  let q =
+    Core.Logical.make
+      ~relations:
+        [
+          Core.Logical.base ~score:(Expr.col ~relation:"A" "score") "A";
+          Core.Logical.base ~score:(Expr.col ~relation:"B" "score") "B";
+        ]
+      ~joins:[ Core.Logical.equijoin ("A", "key") ("B", "key") ]
+      ~k:1 ()
+  in
+  let _, result = Core.Optimizer.run_query cat q in
+  match result.Core.Executor.rows with
+  | [ (_, s) ] -> Test_util.check_floats_close "planted winner" 20.0 s
+  | _ -> Alcotest.fail "expected one row"
+
+(* --- Grace hash join --- *)
+
+let grace_setup n =
+  let io = Io_stats.create () in
+  let pool = Buffer_pool.create ~frames:16 io in
+  let budget mem = Exec.Sort.budget ~memory_tuples:mem ~tuples_per_page:5 pool in
+  let rel name seed = Test_util.scored_relation name ~n ~domain:6 ~seed in
+  (io, budget, rel)
+
+let oracle ra rb =
+  Relation.join ~on:Expr.(col ~relation:"A" "key" = col ~relation:"B" "key") ra rb
+
+let run_grace budget ra rb =
+  Exec.Operator.to_list
+    (Exec.Join.grace_hash
+       ~left_key:(Expr.col ~relation:"A" "key")
+       ~right_key:(Expr.col ~relation:"B" "key")
+       budget
+       (Exec.Operator.of_list (Relation.schema ra) (Relation.tuples ra))
+       (Exec.Operator.of_list (Relation.schema rb) (Relation.tuples rb)))
+
+let test_grace_in_memory_path () =
+  let _, budget, rel = grace_setup 40 in
+  let ra = rel "A" 61 and rb = rel "B" 62 in
+  let got = run_grace (budget 1000) ra rb in
+  Alcotest.(check bool) "matches oracle" true
+    (Relation.equal_bag (oracle ra rb)
+       (Relation.create (Schema.concat (Relation.schema ra) (Relation.schema rb)) got))
+
+let test_grace_spill_path () =
+  let io, budget, rel = grace_setup 120 in
+  let ra = rel "A" 63 and rb = rel "B" 64 in
+  Io_stats.reset io;
+  let got = run_grace (budget 10) ra rb in
+  Alcotest.(check bool) "matches oracle" true
+    (Relation.equal_bag (oracle ra rb)
+       (Relation.create (Schema.concat (Relation.schema ra) (Relation.schema rb)) got));
+  let snap = Io_stats.snapshot io in
+  Alcotest.(check bool) "partition spills happened" true
+    (snap.Io_stats.page_writes > 0)
+
+let test_grace_hot_key_partition () =
+  (* Every key identical: one partition gets everything; the fallback path
+     must still produce the right answer with bounded memory. *)
+  let _, budget, _ = grace_setup 0 in
+  let mk name n =
+    Relation.create
+      (Test_util.scored_schema name)
+      (List.init n (fun i -> [| Value.Int i; Value.Int 7; Value.Float (float_of_int i) |]))
+  in
+  let ra = mk "A" 30 and rb = mk "B" 25 in
+  let got = run_grace (budget 10) ra rb in
+  Alcotest.(check int) "full cross on key" (30 * 25) (List.length got)
+
+let prop_grace_equals_hash =
+  QCheck.Test.make ~name:"grace hash = in-memory hash (any memory budget)"
+    ~count:50
+    QCheck.(pair Test_util.small_rel_params (QCheck.int_range 2 50))
+    (fun ((seed, n, domain), mem) ->
+      let ra = Test_util.scored_relation "A" ~n ~domain ~seed in
+      let rb = Test_util.scored_relation "B" ~n ~domain ~seed:(seed + 1000) in
+      let io = Io_stats.create () in
+      let pool = Buffer_pool.create ~frames:8 io in
+      let b = Exec.Sort.budget ~memory_tuples:mem ~tuples_per_page:4 pool in
+      let got = run_grace b ra rb in
+      Relation.equal_bag (oracle ra rb)
+        (Relation.create (Schema.concat (Relation.schema ra) (Relation.schema rb)) got))
+
+let suites =
+  [
+    ( "storage.mutation",
+      [
+        Alcotest.test_case "insert maintains indexes" `Quick
+          test_insert_maintains_heap_and_indexes;
+        Alcotest.test_case "analyze refreshes" `Quick test_analyze_refreshes_stats;
+        Alcotest.test_case "unknown table" `Quick test_insert_unknown_table;
+        Alcotest.test_case "query sees inserts" `Quick test_query_sees_inserted_rows;
+      ] );
+    ( "exec.grace_hash",
+      [
+        Alcotest.test_case "in-memory path" `Quick test_grace_in_memory_path;
+        Alcotest.test_case "spill path" `Quick test_grace_spill_path;
+        Alcotest.test_case "hot-key fallback" `Quick test_grace_hot_key_partition;
+        QCheck_alcotest.to_alcotest prop_grace_equals_hash;
+      ] );
+  ]

@@ -1,0 +1,327 @@
+(* N-ary HRJN tests: correctness against the binary pipeline and the naive
+   oracle, early-out, and the flat-vs-pipeline depth comparison. *)
+
+open Relalg
+open Exec
+
+let score_idx = 2
+
+let scored_stream rel =
+  let sorted = Relation.sort_by ~desc:true (Expr.col "score") rel in
+  Operator.scored_of_list (Relation.schema rel)
+    (List.map
+       (fun tu -> (tu, Value.to_float (Tuple.get tu score_idx)))
+       (Relation.tuples sorted))
+
+let nary_input rel =
+  { Rank_join_nary.stream = scored_stream rel; key = (fun tu -> Tuple.get tu 1) }
+
+let make_relations ?(m = 3) ?(n = 60) ?(domain = 6) ?(seed = 7) () =
+  List.init m (fun i ->
+      Test_util.scored_relation
+        (String.make 1 (Char.chr (Char.code 'A' + i)))
+        ~n ~domain ~seed:(seed + i))
+
+let oracle relations k =
+  let joined =
+    match relations with
+    | first :: rest ->
+        List.fold_left
+          (fun acc r ->
+            let acc_schema = Relation.schema acc in
+            let a0 = Schema.nth acc_schema 1 in
+            let acc_key_rel = Option.get a0.Schema.relation in
+            let r_name =
+              Option.get (Schema.nth (Relation.schema r) 1).Schema.relation
+            in
+            Relation.join
+              ~on:
+                Expr.(
+                  col ~relation:acc_key_rel "key" = col ~relation:r_name "key")
+              acc r)
+          first rest
+    | [] -> failwith "no relations"
+  in
+  let score =
+    Expr.weighted_sum
+      (List.map
+         (fun r ->
+           let name = Option.get (Schema.nth (Relation.schema r) 1).Schema.relation in
+           (1.0, Expr.col ~relation:name "score"))
+         relations)
+  in
+  Relation.top_k ~score ~k joined
+
+let run_nary relations k =
+  let stream, stats =
+    Rank_join_nary.hrjn_nary ~inputs:(List.map nary_input relations) ()
+  in
+  (Operator.scored_take stream k, stats)
+
+let test_nary_matches_oracle_3way () =
+  let rels = make_relations () in
+  List.iter
+    (fun k ->
+      let results, _ = run_nary rels k in
+      Test_util.check_score_multiset
+        (Printf.sprintf "3-way top-%d" k)
+        (List.map snd (oracle rels k))
+        (List.map snd results);
+      Test_util.check_non_increasing "ordered" (List.map snd results))
+    [ 1; 5; 20 ]
+
+let test_nary_matches_oracle_4way () =
+  let rels = make_relations ~m:4 ~n:30 ~domain:4 () in
+  let results, _ = run_nary rels 6 in
+  Test_util.check_score_multiset "4-way top-6"
+    (List.map snd (oracle rels 6))
+    (List.map snd results)
+
+let test_nary_two_inputs_equals_binary () =
+  let rels = make_relations ~m:2 ~n:50 ~domain:5 ~seed:21 () in
+  let results, _ = run_nary rels 10 in
+  match rels with
+  | [ ra; rb ] ->
+      let stream, _ =
+        Rank_join.hrjn ~combine:( +. )
+          ~left:{ Rank_join.stream = scored_stream ra; key = (fun tu -> Tuple.get tu 1) }
+          ~right:{ Rank_join.stream = scored_stream rb; key = (fun tu -> Tuple.get tu 1) }
+          ()
+      in
+      let binary = Operator.scored_take stream 10 in
+      Test_util.check_score_multiset "nary(2) = binary"
+        (List.map snd binary) (List.map snd results)
+  | _ -> Alcotest.fail "expected two relations"
+
+let test_nary_early_out () =
+  let rels = make_relations ~m:3 ~n:500 ~domain:3 ~seed:31 () in
+  let _, stats = run_nary rels 3 in
+  Array.iteri
+    (fun i d ->
+      Alcotest.(check bool) (Printf.sprintf "input %d early out" i) true (d < 500))
+    (Exec_stats.depths stats)
+
+let test_nary_empty_input () =
+  let rels = make_relations ~m:2 () in
+  let empty = Relation.create (Test_util.scored_schema "Z") [] in
+  let results, _ = run_nary (rels @ [ empty ]) 5 in
+  Alcotest.(check int) "no results" 0 (List.length results)
+
+let test_nary_rejects_single_input () =
+  let rels = make_relations ~m:1 () in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Rank_join_nary.hrjn_nary: need at least 2 inputs")
+    (fun () -> ignore (Rank_join_nary.hrjn_nary ~inputs:(List.map nary_input rels) ()))
+
+let test_nary_flat_vs_pipeline_depths () =
+  (* The flat operator's total consumption should not exceed the binary
+     pipeline's by much (and is typically lower: no intermediate k
+     inflation). We assert it stays within 2x as a sanity envelope. *)
+  let rels = make_relations ~m:3 ~n:400 ~domain:40 ~seed:41 () in
+  let _, nstats = run_nary rels 10 in
+  let nary_total = Array.fold_left ( + ) 0 (Exec_stats.depths nstats) in
+  match rels with
+  | [ ra; rb; rc ] ->
+      let input r = { Rank_join.stream = scored_stream r; key = (fun tu -> Tuple.get tu 1) } in
+      let child, child_stats = Rank_join.hrjn ~combine:( +. ) ~left:(input ra) ~right:(input rb) () in
+      let top, top_stats =
+        Rank_join.hrjn ~combine:( +. )
+          ~left:
+            {
+              Rank_join.stream = child;
+              key =
+                (let schema = child.Operator.s_schema in
+                 let idx = Schema.index_of_exn schema ~relation:"A" "key" in
+                 fun tu -> Tuple.get tu idx);
+            }
+          ~right:(input rc) ()
+      in
+      ignore (Operator.scored_take top 10);
+      let pipeline_total =
+        child_stats.Rank_join.left_depth + child_stats.Rank_join.right_depth
+        + top_stats.Rank_join.right_depth
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "flat %d vs pipeline %d" nary_total pipeline_total)
+        true
+        (nary_total <= 2 * pipeline_total)
+  | _ -> Alcotest.fail "expected three relations"
+
+let prop_nary_equals_oracle =
+  QCheck.Test.make ~name:"nary hrjn: top-k = oracle (random)" ~count:40
+    QCheck.(
+      triple (int_range 0 9999) (pair (int_range 2 30) (int_range 1 6))
+        (int_range 1 12))
+    (fun (seed, (n, domain), k) ->
+      let rels = make_relations ~m:3 ~n ~domain ~seed () in
+      let results, _ = run_nary rels k in
+      let e = Test_util.score_multiset (List.map snd (oracle rels k)) in
+      let a = Test_util.score_multiset (List.map snd results) in
+      List.length e = List.length a
+      && List.for_all2 (fun x y -> Test_util.floats_close ~eps:1e-7 x y) e a)
+
+let suites =
+  [
+    ( "exec.rank_join_nary",
+      [
+        Alcotest.test_case "3-way oracle" `Quick test_nary_matches_oracle_3way;
+        Alcotest.test_case "4-way oracle" `Quick test_nary_matches_oracle_4way;
+        Alcotest.test_case "nary(2) = binary" `Quick test_nary_two_inputs_equals_binary;
+        Alcotest.test_case "early out" `Quick test_nary_early_out;
+        Alcotest.test_case "empty input" `Quick test_nary_empty_input;
+        Alcotest.test_case "arity check" `Quick test_nary_rejects_single_input;
+        Alcotest.test_case "flat vs pipeline depths" `Quick test_nary_flat_vs_pipeline_depths;
+        QCheck_alcotest.to_alcotest prop_nary_equals_oracle;
+      ] );
+  ]
+
+(* --- optimizer integration: HRJN* plans --- *)
+
+let star_catalog ?(n = 2000) ?(domain = 200) ?(seed = 71) () =
+  let cat = Storage.Catalog.create () in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Workload.Generator.load_scored_table cat
+           (Rkutil.Prng.create (seed + i))
+           ~name ~n ~key_domain:domain ()))
+    [ "A"; "B"; "C" ];
+  cat
+
+let star_query ?(k = 10) () =
+  Core.Logical.make
+    ~relations:
+      (List.map
+         (fun t -> Core.Logical.base ~score:(Expr.col ~relation:t "score") t)
+         [ "A"; "B"; "C" ])
+    ~joins:
+      [
+        Core.Logical.equijoin ("A", "key") ("B", "key");
+        Core.Logical.equijoin ("B", "key") ("C", "key");
+      ]
+    ~k ()
+
+let rec plan_has_nary = function
+  | Core.Plan.Nary_rank_join _ -> true
+  | Core.Plan.Table_scan _ | Core.Plan.Index_scan _ -> false
+  | Core.Plan.Filter { input; _ }
+  | Core.Plan.Sort { input; _ }
+  | Core.Plan.Top_k { input; _ } ->
+      plan_has_nary input
+  | Core.Plan.Join { left; right; _ } -> plan_has_nary left || plan_has_nary right
+
+let test_enumerator_generates_nary () =
+  let cat = star_catalog () in
+  let q = star_query () in
+  let env = Core.Cost_model.default_env ~k_min:10 cat q in
+  let result = Core.Enumerator.run env in
+  let full = Core.Enumerator.relation_mask env [ "A"; "B"; "C" ] in
+  Alcotest.(check bool) "an HRJN* plan is retained" true
+    (List.exists
+       (fun sp -> plan_has_nary sp.Core.Memo.plan)
+       (Core.Memo.plans result.Core.Enumerator.memo full));
+  (* And on this selective star workload it should actually win. *)
+  match result.Core.Enumerator.best with
+  | Some sp -> Alcotest.(check bool) "chosen" true (plan_has_nary sp.Core.Memo.plan)
+  | None -> Alcotest.fail "no plan chosen"
+
+let test_nary_plan_executes_correctly () =
+  let cat = star_catalog ~n:300 ~domain:12 () in
+  let q = star_query ~k:8 () in
+  let env = Core.Cost_model.default_env ~k_min:8 cat q in
+  let result = Core.Enumerator.run env in
+  let full = Core.Enumerator.relation_mask env [ "A"; "B"; "C" ] in
+  match
+    List.find_opt
+      (fun sp -> plan_has_nary sp.Core.Memo.plan)
+      (Core.Memo.plans result.Core.Enumerator.memo full)
+  with
+  | None -> Alcotest.fail "no HRJN* plan retained"
+  | Some sp ->
+      (* It must verify and execute to the oracle's answers. *)
+      (match Core.Plan_verify.check cat sp.Core.Memo.plan with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "HRJN* plan ill-formed: %s" e);
+      let plan = Core.Plan.Top_k { k = 8; input = sp.Core.Memo.plan } in
+      let run = Core.Executor.run cat plan in
+      let rel name =
+        let info = Storage.Catalog.table cat name in
+        Relation.create info.Storage.Catalog.tb_schema
+          (Storage.Heap_file.to_list info.Storage.Catalog.tb_heap)
+      in
+      let joined =
+        Relation.join
+          ~on:Expr.(col ~relation:"B" "key" = col ~relation:"C" "key")
+          (Relation.join
+             ~on:Expr.(col ~relation:"A" "key" = col ~relation:"B" "key")
+             (rel "A") (rel "B"))
+          (rel "C")
+      in
+      let score =
+        Expr.weighted_sum
+          (List.map (fun t -> (1.0, Expr.col ~relation:t "score")) [ "A"; "B"; "C" ])
+      in
+      let oracle = Relation.top_k ~score ~k:8 joined in
+      Test_util.check_score_multiset "HRJN* = oracle" (List.map snd oracle)
+        (List.map snd run.Core.Executor.rows);
+      Alcotest.(check int) "instrumented" 1 (List.length run.Core.Executor.nary_nodes)
+
+let test_nary_not_generated_for_chain_keys () =
+  (* Distinct join columns: no shared key, no HRJN* candidate. *)
+  let cat = Storage.Catalog.create () in
+  let prng = Rkutil.Prng.create 81 in
+  let schema =
+    Schema.of_columns
+      [ Schema.column "k1" Value.Tint; Schema.column "k2" Value.Tint;
+        Schema.column "score" Value.Tfloat ]
+  in
+  List.iter
+    (fun name ->
+      let tuples =
+        List.init 100 (fun _ ->
+            [| Value.Int (Rkutil.Prng.int prng 10); Value.Int (Rkutil.Prng.int prng 10);
+               Value.Float (Rkutil.Prng.uniform prng) |])
+      in
+      ignore (Storage.Catalog.create_table cat name schema tuples))
+    [ "A"; "B"; "C" ];
+  let q =
+    Core.Logical.make
+      ~relations:
+        (List.map
+           (fun t -> Core.Logical.base ~score:(Expr.col ~relation:t "score") t)
+           [ "A"; "B"; "C" ])
+      ~joins:
+        [
+          Core.Logical.equijoin ("A", "k1") ("B", "k2");
+          Core.Logical.equijoin ("B", "k1") ("C", "k2");
+        ]
+      ~k:5 ()
+  in
+  let env = Core.Cost_model.default_env ~k_min:5 cat q in
+  let result = Core.Enumerator.run env in
+  let full = Core.Enumerator.relation_mask env [ "A"; "B"; "C" ] in
+  Alcotest.(check bool) "no HRJN* plans" false
+    (List.exists
+       (fun sp -> plan_has_nary sp.Core.Memo.plan)
+       (Core.Memo.plans result.Core.Enumerator.memo full))
+
+let test_nary_depth_formula () =
+  Test_util.check_floats_close ~eps:1e-9 "m=2 reduces to 2sqrt(k/s)"
+    (Core.Depth_model.uniform_depth ~k:50.0 ~s:0.01)
+    (Core.Depth_model.nary_uniform_depth ~m:2 ~k:50.0 ~s:0.01);
+  let d3 = Core.Depth_model.nary_uniform_depth ~m:3 ~k:10.0 ~s:0.01 in
+  Test_util.check_floats_close ~eps:1e-9 "m=3 closed form"
+    (3.0 *. ((10.0 /. (0.01 ** 2.0)) ** (1.0 /. 3.0)))
+    d3;
+  Alcotest.check_raises "m=1 rejected"
+    (Invalid_argument "Depth_model.nary_uniform_depth: m < 2") (fun () ->
+      ignore (Core.Depth_model.nary_uniform_depth ~m:1 ~k:5.0 ~s:0.5))
+
+let optimizer_suite =
+  ( "core.nary_integration",
+    [
+      Alcotest.test_case "enumerator generates" `Quick test_enumerator_generates_nary;
+      Alcotest.test_case "HRJN* plan executes" `Quick test_nary_plan_executes_correctly;
+      Alcotest.test_case "chain keys: no HRJN*" `Quick test_nary_not_generated_for_chain_keys;
+      Alcotest.test_case "depth formula" `Quick test_nary_depth_formula;
+    ] )

@@ -1,0 +1,180 @@
+(* Expression codec and catalog persistence tests (round-trip properties). *)
+
+open Relalg
+open Storage
+
+let tmp_dir suffix =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) ("rankopt_" ^ suffix) in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Sys.mkdir dir 0o755;
+  dir
+
+(* --- Expr codec --- *)
+
+let roundtrip e =
+  match Expr_codec.of_string (Expr_codec.to_string e) with
+  | Ok e' -> e'
+  | Error msg -> Alcotest.failf "codec roundtrip failed: %s" msg
+
+let structurally_same a b =
+  (* Expr.equal treats linear forms up to scale; for codec tests we want the
+     serialised text itself to round-trip exactly. *)
+  String.equal (Expr_codec.to_string a) (Expr_codec.to_string b)
+
+let test_codec_roundtrips () =
+  let open Expr in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (Expr_codec.to_string e)
+        true
+        (structurally_same e (roundtrip e)))
+    [
+      col ~relation:"A" "c1";
+      col "bare";
+      cfloat 0.3;
+      cint 42;
+      Const Value.Null;
+      Const (Value.Str "hello world (with) \"quotes\"\t!");
+      Const (Value.Bool true);
+      weighted_sum [ (0.3, col ~relation:"A" "c1"); (0.7, col ~relation:"B" "c2") ];
+      Neg (col "x");
+      Cmp (Le, col "x", cint 5);
+      And (Cmp (Gt, col "x", cfloat 0.1), Not (Cmp (Eq, col "y", cint 2)));
+      Or (Cmp (Ne, col "a", col "b"), Cmp (Ge, col "c", cfloat (-3.5)));
+      Div (Sub (col "x", col "y"), cfloat 2.0);
+    ]
+
+let test_codec_float_precision () =
+  (* %h hex floats round-trip exactly. *)
+  let e = Expr.cfloat 0.1 in
+  match roundtrip e with
+  | Expr.Const (Value.Float f) -> Alcotest.(check (float 0.0)) "exact" 0.1 f
+  | _ -> Alcotest.fail "expected float const"
+
+let test_codec_errors () =
+  List.iter
+    (fun s ->
+      match Expr_codec.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected codec failure: %s" s)
+    [ ""; "("; "(unknown x)"; "(col)"; "(add (col x))"; "(const (i notanint))";
+      "(col x) trailing" ]
+
+let prop_codec_roundtrip_random =
+  let gen =
+    QCheck.Gen.(
+      sized (fun size ->
+          fix
+            (fun self n ->
+              if n = 0 then
+                oneof
+                  [
+                    map (fun f -> Expr.cfloat f) (float_bound_exclusive 100.0);
+                    map (fun name -> Expr.col ~relation:"T" ("c" ^ string_of_int name))
+                      (int_range 0 5);
+                  ]
+              else
+                oneof
+                  [
+                    map2 (fun a b -> Expr.Add (a, b)) (self (n / 2)) (self (n / 2));
+                    map2 (fun a b -> Expr.Mul (a, b)) (self (n / 2)) (self (n / 2));
+                    map (fun a -> Expr.Neg a) (self (n - 1));
+                    map2 (fun a b -> Expr.Cmp (Expr.Lt, a, b)) (self (n / 2)) (self (n / 2));
+                  ])
+            (min size 8)))
+  in
+  QCheck.Test.make ~name:"expr codec: random roundtrip" ~count:200
+    (QCheck.make ~print:Expr_codec.to_string gen)
+    (fun e -> structurally_same e (roundtrip e))
+
+(* --- catalog persistence --- *)
+
+let build_catalog () =
+  let cat = Catalog.create () in
+  let prng = Rkutil.Prng.create 33 in
+  ignore (Workload.Generator.load_scored_table cat prng ~name:"A" ~n:120 ~key_domain:10 ());
+  ignore (Workload.Generator.load_scored_table cat prng ~name:"B" ~n:80 ~key_domain:10 ());
+  (* A table with strings and nulls to exercise the value codec. *)
+  let schema =
+    Schema.of_columns
+      [ Schema.column "name" Value.Tstring; Schema.column "v" Value.Tfloat ]
+  in
+  ignore
+    (Catalog.create_table cat "Notes" schema
+       [
+         Tuple.make [ Value.Str "plain"; Value.Float 1.5 ];
+         Tuple.make [ Value.Str "tabs\tand\nnewlines"; Value.Null ];
+         Tuple.make [ Value.Str ""; Value.Float (-0.25) ];
+       ]);
+  cat
+
+let tuples_of cat name =
+  Heap_file.to_list (Catalog.table cat name).Catalog.tb_heap
+
+let test_save_load_roundtrip () =
+  let dir = tmp_dir "roundtrip" in
+  let cat = build_catalog () in
+  Persist.save cat ~dir;
+  let cat' = Persist.load ~dir () in
+  List.iter
+    (fun name ->
+      let a = tuples_of cat name and b = tuples_of cat' name in
+      Alcotest.(check int) (name ^ " cardinality") (List.length a) (List.length b);
+      List.iter2
+        (fun x y ->
+          Alcotest.(check bool) (name ^ " tuple") true (Tuple.equal x y))
+        a b)
+    [ "A"; "B"; "Notes" ];
+  (* Indexes restored with their clustering and keys. *)
+  let ixs = Catalog.indexes_on cat' "A" in
+  Alcotest.(check int) "A indexes" 2 (List.length ixs);
+  let score_ix =
+    List.find (fun ix -> ix.Catalog.ix_name = "A_score") ixs
+  in
+  Alcotest.(check bool) "unclustered preserved" false score_ix.Catalog.ix_clustered;
+  Alcotest.(check int) "index entries" 120 (Btree.length score_ix.Catalog.ix_btree)
+
+let test_loaded_catalog_answers_queries () =
+  let dir = tmp_dir "queries" in
+  let cat = build_catalog () in
+  let q =
+    Core.Logical.make
+      ~relations:
+        [
+          Core.Logical.base ~score:(Expr.col ~relation:"A" "score") "A";
+          Core.Logical.base ~score:(Expr.col ~relation:"B" "score") "B";
+        ]
+      ~joins:[ Core.Logical.equijoin ("A", "key") ("B", "key") ]
+      ~k:7 ()
+  in
+  let _, before = Core.Optimizer.run_query cat q in
+  Persist.save cat ~dir;
+  let cat' = Persist.load ~dir () in
+  let _, after = Core.Optimizer.run_query cat' q in
+  Test_util.check_score_multiset "same answers after reload"
+    (List.map snd before.Core.Executor.rows)
+    (List.map snd after.Core.Executor.rows)
+
+let test_load_missing_dir_fails () =
+  match Persist.load ~dir:"/nonexistent/rankopt" () with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "expected Sys_error"
+
+let suites =
+  [
+    ( "relalg.expr_codec",
+      [
+        Alcotest.test_case "roundtrips" `Quick test_codec_roundtrips;
+        Alcotest.test_case "float precision" `Quick test_codec_float_precision;
+        Alcotest.test_case "errors" `Quick test_codec_errors;
+        QCheck_alcotest.to_alcotest prop_codec_roundtrip_random;
+      ] );
+    ( "storage.persist",
+      [
+        Alcotest.test_case "save/load roundtrip" `Quick test_save_load_roundtrip;
+        Alcotest.test_case "queries after reload" `Quick test_loaded_catalog_answers_queries;
+        Alcotest.test_case "missing dir" `Quick test_load_missing_dir_fails;
+      ] );
+  ]

@@ -1,0 +1,249 @@
+(* Rank-join operator tests: HRJN and NRJN against the join-then-sort
+   oracle, ordering and early-out behaviour, and instrumentation. *)
+
+open Relalg
+open Exec
+
+let key_idx = 1 (* (id, key, score) relations from Test_util *)
+
+let score_idx = 2
+
+let scored_stream rel =
+  (* Sorted access over an in-memory relation: sort desc by score. *)
+  let sorted = Relation.sort_by ~desc:true (Expr.col "score") rel in
+  let entries =
+    List.map
+      (fun tu -> (tu, Value.to_float (Tuple.get tu score_idx)))
+      (Relation.tuples sorted)
+  in
+  Operator.scored_of_list (Relation.schema rel) entries
+
+let rank_input rel =
+  {
+    Rank_join.stream = scored_stream rel;
+    key = (fun tu -> Tuple.get tu key_idx);
+  }
+
+let combine = ( +. )
+
+let oracle_topk ra rb k =
+  let joined =
+    Relation.join ~on:Expr.(col ~relation:"A" "key" = col ~relation:"B" "key") ra rb
+  in
+  let score =
+    Expr.(col ~relation:"A" "score" + col ~relation:"B" "score")
+  in
+  Relation.top_k ~score ~k joined
+
+let make_pair ?(na = 40) ?(nb = 40) ?(domain = 5) ?(seed = 7) () =
+  let ra = Test_util.scored_relation "A" ~n:na ~domain ~seed in
+  let rb = Test_util.scored_relation "B" ~n:nb ~domain ~seed:(seed + 1) in
+  (ra, rb)
+
+let hrjn_results ?polling ra rb k =
+  let stream, stats =
+    Rank_join.hrjn ?polling ~combine ~left:(rank_input ra) ~right:(rank_input rb) ()
+  in
+  (Operator.scored_take stream k, stats)
+
+let nrjn_results ra rb k =
+  let pred = Expr.(col ~relation:"A" "key" = col ~relation:"B" "key") in
+  let inner = Operator.of_list (Relation.schema rb) (Relation.tuples rb) in
+  let inner_score tu = Value.to_float (Tuple.get tu score_idx) in
+  let stream, stats =
+    Rank_join.nrjn ~combine ~pred ~outer:(scored_stream ra) ~inner ~inner_score ()
+  in
+  (Operator.scored_take stream k, stats)
+
+let test_hrjn_matches_oracle () =
+  let ra, rb = make_pair () in
+  List.iter
+    (fun k ->
+      let results, _ = hrjn_results ra rb k in
+      let oracle = oracle_topk ra rb k in
+      Test_util.check_score_multiset
+        (Printf.sprintf "hrjn top-%d" k)
+        (List.map snd oracle) (List.map snd results);
+      Test_util.check_non_increasing "hrjn ordered" (List.map snd results))
+    [ 1; 5; 20; 1000 ]
+
+let test_nrjn_matches_oracle () =
+  let ra, rb = make_pair () in
+  List.iter
+    (fun k ->
+      let results, _ = nrjn_results ra rb k in
+      let oracle = oracle_topk ra rb k in
+      Test_util.check_score_multiset
+        (Printf.sprintf "nrjn top-%d" k)
+        (List.map snd oracle) (List.map snd results);
+      Test_util.check_non_increasing "nrjn ordered" (List.map snd results))
+    [ 1; 5; 20; 1000 ]
+
+let test_hrjn_adaptive_polling () =
+  let ra, rb = make_pair ~na:60 ~nb:20 () in
+  let results, _ = hrjn_results ~polling:Rank_join.Adaptive ra rb 10 in
+  let oracle = oracle_topk ra rb 10 in
+  Test_util.check_score_multiset "adaptive top-10" (List.map snd oracle)
+    (List.map snd results)
+
+let test_hrjn_early_out () =
+  (* With a selective enough join and small k, HRJN must not exhaust its
+     inputs. *)
+  let ra, rb = make_pair ~na:300 ~nb:300 ~domain:3 ~seed:17 () in
+  let _, stats = hrjn_results ra rb 5 in
+  Alcotest.(check bool) "left depth < n" true (stats.Rank_join.left_depth < 300);
+  Alcotest.(check bool) "right depth < n" true (stats.Rank_join.right_depth < 300)
+
+let test_hrjn_emits_all_results_when_k_large () =
+  let ra, rb = make_pair ~na:25 ~nb:25 ~domain:4 () in
+  let results, _ = hrjn_results ra rb max_int in
+  let joined =
+    Relation.join ~on:Expr.(col ~relation:"A" "key" = col ~relation:"B" "key") ra rb
+  in
+  Alcotest.(check int) "full output" (Relation.cardinality joined)
+    (List.length results)
+
+let test_hrjn_empty_inputs () =
+  let empty = Relation.create (Test_util.scored_schema "A") [] in
+  let rb = Test_util.scored_relation "B" ~n:10 ~domain:3 in
+  let results, _ = hrjn_results empty rb 5 in
+  Alcotest.(check int) "no results" 0 (List.length results);
+  let results, _ = hrjn_results rb empty 5 in
+  Alcotest.(check int) "no results (empty right)" 0 (List.length results)
+
+let test_nrjn_empty_inner () =
+  let ra = Test_util.scored_relation "A" ~n:10 ~domain:3 in
+  let empty = Relation.create (Test_util.scored_schema "B") [] in
+  let results, _ = nrjn_results ra empty 5 in
+  Alcotest.(check int) "no results" 0 (List.length results)
+
+let test_hrjn_threshold_safety () =
+  (* Every emitted score must be >= every score emitted later (already
+     checked) AND no emitted-later join result can beat an earlier one even
+     across restarts. Also: emitted results never exceed the total join. *)
+  let ra, rb = make_pair ~na:50 ~nb:50 ~domain:2 ~seed:23 () in
+  let stream, _ =
+    Rank_join.hrjn ~combine ~left:(rank_input ra) ~right:(rank_input rb) ()
+  in
+  let all = Operator.scored_to_list stream in
+  let oracle = oracle_topk ra rb max_int in
+  Test_util.check_score_multiset "full drain equals oracle"
+    (List.map snd oracle) (List.map snd all)
+
+let test_hrjn_restart () =
+  let ra, rb = make_pair () in
+  let stream, stats =
+    Rank_join.hrjn ~combine ~left:(rank_input ra) ~right:(rank_input rb) ()
+  in
+  let first = Operator.scored_take stream 5 in
+  let second = Operator.scored_take stream 5 in
+  Alcotest.(check bool) "same after restart" true
+    (List.equal (fun (_, a) (_, b) -> Float.equal a b) first second);
+  Alcotest.(check bool) "stats reset" true (stats.Rank_join.emitted <= 5)
+
+let test_hrjn_depths_grow_with_k () =
+  let ra, rb = make_pair ~na:200 ~nb:200 ~domain:8 ~seed:31 () in
+  let _, s1 = hrjn_results ra rb 1 in
+  let _, s2 = hrjn_results ra rb 50 in
+  Alcotest.(check bool) "deeper for larger k" true
+    (s2.Rank_join.left_depth >= s1.Rank_join.left_depth
+    && s2.Rank_join.right_depth >= s1.Rank_join.right_depth)
+
+let test_hrjn_buffer_tracked () =
+  let ra, rb = make_pair ~na:100 ~nb:100 ~domain:2 ~seed:41 () in
+  let _, stats = hrjn_results ra rb 10 in
+  Alcotest.(check bool) "buffer high-water > 0" true (stats.Rank_join.buffer_max > 0)
+
+let test_nrjn_depth_instrumentation () =
+  let ra, rb = make_pair ~na:50 ~nb:30 ~domain:3 () in
+  let _, stats = nrjn_results ra rb 3 in
+  Alcotest.(check bool) "outer depth <= 50" true (stats.Rank_join.left_depth <= 50);
+  Alcotest.(check int) "inner fully scanned" 30 stats.Rank_join.right_depth
+
+let test_weighted_combine () =
+  let ra, rb = make_pair () in
+  let wcombine a b = (0.3 *. a) +. (0.7 *. b) in
+  let stream, _ =
+    Rank_join.hrjn ~combine:wcombine ~left:(rank_input ra) ~right:(rank_input rb) ()
+  in
+  let results = Operator.scored_take stream 10 in
+  let joined =
+    Relation.join ~on:Expr.(col ~relation:"A" "key" = col ~relation:"B" "key") ra rb
+  in
+  let score =
+    Expr.weighted_sum
+      [ (0.3, Expr.col ~relation:"A" "score"); (0.7, Expr.col ~relation:"B" "score") ]
+  in
+  let oracle = Relation.top_k ~score ~k:10 joined in
+  Test_util.check_score_multiset "weighted top-10" (List.map snd oracle)
+    (List.map snd results)
+
+let prop_hrjn_equals_oracle =
+  QCheck.Test.make ~name:"hrjn: top-k = join-then-sort (random workloads)"
+    ~count:60
+    QCheck.(pair Test_util.small_rel_params (QCheck.int_range 1 25))
+    (fun ((seed, n, domain), k) ->
+      let ra = Test_util.scored_relation "A" ~n ~domain ~seed in
+      let rb = Test_util.scored_relation "B" ~n ~domain ~seed:(seed + 100) in
+      let results, _ = hrjn_results ra rb k in
+      let oracle = oracle_topk ra rb k in
+      let e = Test_util.score_multiset (List.map snd oracle) in
+      let a = Test_util.score_multiset (List.map snd results) in
+      List.length e = List.length a
+      && List.for_all2 (fun x y -> Test_util.floats_close ~eps:1e-7 x y) e a)
+
+let prop_nrjn_equals_oracle =
+  QCheck.Test.make ~name:"nrjn: top-k = join-then-sort (random workloads)"
+    ~count:40
+    QCheck.(pair Test_util.small_rel_params (QCheck.int_range 1 25))
+    (fun ((seed, n, domain), k) ->
+      let ra = Test_util.scored_relation "A" ~n ~domain ~seed in
+      let rb = Test_util.scored_relation "B" ~n ~domain ~seed:(seed + 200) in
+      let results, _ = nrjn_results ra rb k in
+      let oracle = oracle_topk ra rb k in
+      let e = Test_util.score_multiset (List.map snd oracle) in
+      let a = Test_util.score_multiset (List.map snd results) in
+      List.length e = List.length a
+      && List.for_all2 (fun x y -> Test_util.floats_close ~eps:1e-7 x y) e a)
+
+let prop_hrjn_never_emits_below_later =
+  QCheck.Test.make ~name:"hrjn: output is non-increasing" ~count:60
+    Test_util.small_rel_params
+    (fun (seed, n, domain) ->
+      let ra = Test_util.scored_relation "A" ~n ~domain ~seed in
+      let rb = Test_util.scored_relation "B" ~n ~domain ~seed:(seed + 300) in
+      let stream, _ =
+        Rank_join.hrjn ~combine ~left:(rank_input ra) ~right:(rank_input rb) ()
+      in
+      let scores = List.map snd (Operator.scored_to_list stream) in
+      let rec ok = function
+        | a :: (b :: _ as rest) -> a +. 1e-9 >= b && ok rest
+        | _ -> true
+      in
+      ok scores)
+
+let suites =
+  [
+    ( "exec.rank_join.hrjn",
+      [
+        Alcotest.test_case "matches oracle" `Quick test_hrjn_matches_oracle;
+        Alcotest.test_case "adaptive polling" `Quick test_hrjn_adaptive_polling;
+        Alcotest.test_case "early out" `Quick test_hrjn_early_out;
+        Alcotest.test_case "full drain" `Quick test_hrjn_emits_all_results_when_k_large;
+        Alcotest.test_case "empty inputs" `Quick test_hrjn_empty_inputs;
+        Alcotest.test_case "threshold safety" `Quick test_hrjn_threshold_safety;
+        Alcotest.test_case "restart" `Quick test_hrjn_restart;
+        Alcotest.test_case "depths grow with k" `Quick test_hrjn_depths_grow_with_k;
+        Alcotest.test_case "buffer tracked" `Quick test_hrjn_buffer_tracked;
+        Alcotest.test_case "weighted combine" `Quick test_weighted_combine;
+        QCheck_alcotest.to_alcotest prop_hrjn_equals_oracle;
+        QCheck_alcotest.to_alcotest prop_hrjn_never_emits_below_later;
+      ] );
+    ( "exec.rank_join.nrjn",
+      [
+        Alcotest.test_case "matches oracle" `Quick test_nrjn_matches_oracle;
+        Alcotest.test_case "empty inner" `Quick test_nrjn_empty_inner;
+        Alcotest.test_case "depth instrumentation" `Quick test_nrjn_depth_instrumentation;
+        QCheck_alcotest.to_alcotest prop_nrjn_equals_oracle;
+      ] );
+  ]

@@ -1,0 +1,147 @@
+(* Rank-aggregation algorithm tests: FA / TA / NRA vs the naive oracle. *)
+
+open Relalg
+open Ranking
+
+let make_sources ?(m = 3) ?(n = 50) ~seed () =
+  let prng = Rkutil.Prng.create seed in
+  Array.init m (fun _ ->
+      Source.of_scores (List.init n (fun oid -> (oid, Rkutil.Prng.uniform prng))))
+
+let top_scores result = List.map snd result
+
+let check_same_topk msg expected actual =
+  Test_util.check_score_multiset msg (top_scores expected) (top_scores actual)
+
+let test_ta_matches_naive () =
+  let sources = make_sources ~seed:1 () in
+  List.iter
+    (fun k ->
+      let expected = Aggregate.naive ~combine:Scoring.Sum ~k sources in
+      let actual = Aggregate.ta ~combine:Scoring.Sum ~k sources in
+      check_same_topk (Printf.sprintf "ta top-%d" k) expected actual)
+    [ 1; 5; 10; 50 ]
+
+let test_fagin_matches_naive () =
+  let sources = make_sources ~seed:2 () in
+  List.iter
+    (fun k ->
+      let expected = Aggregate.naive ~combine:Scoring.Sum ~k sources in
+      let actual = Aggregate.fagin ~combine:Scoring.Sum ~k sources in
+      check_same_topk (Printf.sprintf "fa top-%d" k) expected actual)
+    [ 1; 5; 10 ]
+
+let check_same_objects msg expected actual =
+  (* NRA reports guaranteed lower bounds, not exact scores, so compare the
+     returned object sets (unique a.s. for continuous scores). *)
+  let ids r = List.sort compare (List.map fst r) in
+  Alcotest.(check (list int)) msg (ids expected) (ids actual)
+
+let test_nra_matches_naive () =
+  let sources = make_sources ~seed:3 () in
+  List.iter
+    (fun k ->
+      let expected = Aggregate.naive ~combine:Scoring.Sum ~k sources in
+      let actual = Aggregate.nra ~combine:Scoring.Sum ~k sources in
+      check_same_objects (Printf.sprintf "nra top-%d" k) expected actual)
+    [ 1; 5; 10 ]
+
+let test_ta_weighted () =
+  let sources = make_sources ~seed:4 ~m:2 () in
+  let combine = Scoring.Weighted [| 0.3; 0.7 |] in
+  let expected = Aggregate.naive ~combine ~k:5 sources in
+  let actual = Aggregate.ta ~combine ~k:5 sources in
+  check_same_topk "ta weighted" expected actual
+
+let test_ta_min_combine () =
+  let sources = make_sources ~seed:5 ~m:2 () in
+  let expected = Aggregate.naive ~combine:Scoring.Min ~k:5 sources in
+  let actual = Aggregate.ta ~combine:Scoring.Min ~k:5 sources in
+  check_same_topk "ta min" expected actual
+
+let test_ta_early_stop () =
+  (* TA on a large universe with small k should touch far fewer objects
+     under sorted access than n per source. *)
+  let sources = make_sources ~seed:6 ~m:2 ~n:2000 () in
+  Array.iter Source.reset_counters sources;
+  ignore (Aggregate.ta ~combine:Scoring.Sum ~k:3 sources);
+  let sorted, _random = Aggregate.access_cost sources in
+  Alcotest.(check bool) "sorted accesses << 2n" true (sorted < 2000)
+
+let test_nra_no_random_access () =
+  let sources = make_sources ~seed:7 () in
+  Array.iter Source.reset_counters sources;
+  ignore (Aggregate.nra ~combine:Scoring.Sum ~k:5 sources);
+  let _, random = Aggregate.access_cost sources in
+  Alcotest.(check int) "no random accesses" 0 random
+
+let test_borda_prefers_consistent_winner () =
+  (* Object 0 ranks first everywhere, so Borda must rank it first. *)
+  let sources =
+    Array.init 3 (fun j ->
+        Source.of_scores
+          (List.init 10 (fun oid ->
+               if oid = 0 then (oid, 100.0)
+               else (oid, float_of_int ((oid * (j + 1)) mod 7)))))
+  in
+  match Aggregate.borda sources with
+  | (winner, _) :: _ -> Alcotest.(check int) "winner" 0 winner
+  | [] -> Alcotest.fail "empty borda result"
+
+let test_empty_sources () =
+  let sources = Array.init 2 (fun _ -> Source.of_scores []) in
+  Alcotest.(check int) "ta empty" 0
+    (List.length (Aggregate.ta ~combine:Scoring.Sum ~k:5 sources));
+  Alcotest.(check int) "nra empty" 0
+    (List.length (Aggregate.nra ~combine:Scoring.Sum ~k:5 sources))
+
+let test_k_larger_than_universe () =
+  let sources = make_sources ~seed:8 ~n:5 () in
+  let result = Aggregate.ta ~combine:Scoring.Sum ~k:50 sources in
+  Alcotest.(check int) "all objects" 5 (List.length result)
+
+let test_duplicate_object_rejected () =
+  Alcotest.check_raises "dup" (Invalid_argument "Source.of_scores: duplicate object id")
+    (fun () -> ignore (Source.of_scores [ (1, 0.5); (1, 0.6) ]))
+
+let prop_ta_nra_fa_agree =
+  QCheck.Test.make ~name:"aggregation: TA = NRA = FA = naive" ~count:60
+    QCheck.(triple (int_range 0 9999) (int_range 1 40) (int_range 1 10))
+    (fun (seed, n, k) ->
+      let sources = make_sources ~seed ~n ~m:2 () in
+      let scores algo = Test_util.score_multiset (top_scores (algo ())) in
+      let ids algo = List.sort compare (List.map fst (algo ())) in
+      let naive () = Aggregate.naive ~combine:Scoring.Sum ~k sources in
+      let ta () = Aggregate.ta ~combine:Scoring.Sum ~k sources in
+      let nra () = Aggregate.nra ~combine:Scoring.Sum ~k sources in
+      let fa () = Aggregate.fagin ~combine:Scoring.Sum ~k sources in
+      let base = scores naive in
+      let close xs = List.for_all2 (Test_util.floats_close ~eps:1e-7) base xs in
+      let exact_ok =
+        List.for_all
+          (fun algo ->
+            let s = scores algo in
+            List.length s = List.length base && close s)
+          [ ta; fa ]
+      in
+      (* NRA guarantees the set, not the exact scores. *)
+      exact_ok && ids nra = ids naive)
+
+let suites =
+  [
+    ( "ranking.aggregate",
+      [
+        Alcotest.test_case "ta = naive" `Quick test_ta_matches_naive;
+        Alcotest.test_case "fa = naive" `Quick test_fagin_matches_naive;
+        Alcotest.test_case "nra = naive" `Quick test_nra_matches_naive;
+        Alcotest.test_case "ta weighted" `Quick test_ta_weighted;
+        Alcotest.test_case "ta min" `Quick test_ta_min_combine;
+        Alcotest.test_case "ta early stop" `Quick test_ta_early_stop;
+        Alcotest.test_case "nra sorted-only" `Quick test_nra_no_random_access;
+        Alcotest.test_case "borda winner" `Quick test_borda_prefers_consistent_winner;
+        Alcotest.test_case "empty sources" `Quick test_empty_sources;
+        Alcotest.test_case "k > universe" `Quick test_k_larger_than_universe;
+        Alcotest.test_case "duplicate id" `Quick test_duplicate_object_rejected;
+        QCheck_alcotest.to_alcotest prop_ta_nra_fa_agree;
+      ] );
+  ]

@@ -1,0 +1,341 @@
+(* Tests for values, schemas, tuples, expressions and in-memory relations. *)
+
+open Relalg
+
+let v_int i = Value.Int i
+
+let v_float f = Value.Float f
+
+let test_value_numeric_compare () =
+  Alcotest.(check int) "int vs float equal" 0 (Value.compare (v_int 2) (v_float 2.0));
+  Alcotest.(check bool) "1 < 1.5" true (Value.compare (v_int 1) (v_float 1.5) < 0);
+  Alcotest.(check bool) "2.5 > 2" true (Value.compare (v_float 2.5) (v_int 2) > 0)
+
+let test_value_null_sorts_first () =
+  Alcotest.(check bool) "null < int" true (Value.compare Value.Null (v_int (-100)) < 0);
+  Alcotest.(check bool) "null < string" true
+    (Value.compare Value.Null (Value.Str "") < 0)
+
+let test_value_hash_consistent_with_equal () =
+  Alcotest.(check int) "hash 2 = hash 2.0" (Value.hash (v_int 2))
+    (Value.hash (v_float 2.0))
+
+let test_value_to_float () =
+  Alcotest.(check (float 0.0)) "int" 3.0 (Value.to_float (v_int 3));
+  Alcotest.(check (float 0.0)) "bool" 1.0 (Value.to_float (Value.Bool true));
+  Alcotest.(check (float 0.0)) "null" 0.0 (Value.to_float Value.Null);
+  Alcotest.check_raises "string raises"
+    (Invalid_argument "Value.to_float: string value x") (fun () ->
+      ignore (Value.to_float (Value.Str "x")))
+
+let prop_value_compare_total_order =
+  let gen =
+    QCheck.Gen.(
+      oneof
+        [
+          return Value.Null;
+          map (fun i -> Value.Int i) small_signed_int;
+          map (fun f -> Value.Float f) (float_bound_exclusive 100.0);
+          map (fun b -> Value.Bool b) bool;
+          map (fun s -> Value.Str s) (string_size (int_range 0 4));
+        ])
+  in
+  let arb = QCheck.make ~print:Value.to_string gen in
+  QCheck.Test.make ~name:"value: compare antisymmetric & transitive" ~count:500
+    (QCheck.triple arb arb arb)
+    (fun (a, b, c) ->
+      let ab = Value.compare a b and ba = Value.compare b a in
+      let anti = compare ab 0 = compare 0 ba in
+      let trans =
+        if Value.compare a b <= 0 && Value.compare b c <= 0 then
+          Value.compare a c <= 0
+        else true
+      in
+      anti && trans)
+
+let abc_schema () =
+  Schema.of_columns
+    [
+      Schema.column ~relation:"A" "c1" Value.Tfloat;
+      Schema.column ~relation:"A" "c2" Value.Tint;
+      Schema.column ~relation:"B" "c1" Value.Tfloat;
+    ]
+
+let test_schema_lookup () =
+  let s = abc_schema () in
+  Alcotest.(check (option int)) "A.c2" (Some 1) (Schema.index_of s ~relation:"A" "c2");
+  Alcotest.(check (option int)) "unqualified c2" (Some 1) (Schema.index_of s "c2");
+  Alcotest.(check (option int)) "missing" None (Schema.index_of s ~relation:"B" "c9")
+
+let test_schema_ambiguous_unqualified () =
+  let s = abc_schema () in
+  Alcotest.check_raises "ambiguous c1"
+    (Invalid_argument "Schema.index_of: ambiguous column c1") (fun () ->
+      ignore (Schema.index_of s "c1"))
+
+let test_schema_duplicate_rejected () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.of_columns: duplicate column A.c1") (fun () ->
+      ignore
+        (Schema.of_columns
+           [
+             Schema.column ~relation:"A" "c1" Value.Tint;
+             Schema.column ~relation:"A" "c1" Value.Tfloat;
+           ]))
+
+let test_schema_concat_and_project () =
+  let a = Schema.of_columns [ Schema.column ~relation:"A" "x" Value.Tint ] in
+  let b = Schema.of_columns [ Schema.column ~relation:"B" "y" Value.Tint ] in
+  let ab = Schema.concat a b in
+  Alcotest.(check int) "arity" 2 (Schema.arity ab);
+  let proj = Schema.project ab [ 1 ] in
+  Alcotest.(check string) "projected col" "B.y"
+    (Schema.column_name (Schema.nth proj 0))
+
+let test_schema_rename () =
+  let s = Schema.of_columns [ Schema.column "x" Value.Tint ] in
+  let r = Schema.rename_relation s "T" in
+  Alcotest.(check (option int)) "qualified" (Some 0) (Schema.index_of r ~relation:"T" "x")
+
+let test_tuple_ops () =
+  let t1 = Tuple.make [ v_int 1; v_float 2.0 ] in
+  let t2 = Tuple.make [ Value.Str "a" ] in
+  let c = Tuple.concat t1 t2 in
+  Alcotest.(check int) "arity" 3 (Tuple.arity c);
+  Alcotest.(check string) "projection" "(\"a\", 1)"
+    (Tuple.to_string (Tuple.project c [ 2; 0 ]));
+  Alcotest.(check bool) "equal" true
+    (Tuple.equal t1 (Tuple.make [ v_float 1.0; v_int 2 ]))
+
+let eval_schema =
+  Schema.of_columns
+    [
+      Schema.column ~relation:"T" "x" Value.Tfloat;
+      Schema.column ~relation:"T" "y" Value.Tfloat;
+    ]
+
+let ev expr x y = Expr.eval eval_schema expr (Tuple.make [ v_float x; v_float y ])
+
+let test_expr_arithmetic () =
+  let open Expr in
+  let e = (col ~relation:"T" "x" + cfloat 1.0) * col "y" in
+  Alcotest.(check (float 1e-9)) "(2+1)*4" 12.0 (Value.to_float (ev e 2.0 4.0))
+
+let test_expr_division_and_neg () =
+  let e = Expr.Div (Expr.col "x", Expr.col "y") in
+  Alcotest.(check (float 1e-9)) "6/3" 2.0 (Value.to_float (ev e 6.0 3.0));
+  let n = Expr.Neg (Expr.col "x") in
+  Alcotest.(check (float 1e-9)) "-x" (-5.0) (Value.to_float (ev n 5.0 0.0))
+
+let test_expr_comparison_and_bool () =
+  let open Expr in
+  let e = And (Cmp (Lt, col "x", col "y"), Not (Cmp (Eq, col "x", col "y"))) in
+  Alcotest.(check bool) "1<2 && 1<>2" true
+    (Expr.eval_bool eval_schema e (Tuple.make [ v_float 1.0; v_float 2.0 ]));
+  Alcotest.(check bool) "2<2 false" false
+    (Expr.eval_bool eval_schema e (Tuple.make [ v_float 2.0; v_float 2.0 ]))
+
+let test_expr_null_propagation () =
+  let open Expr in
+  let e = col "x" + col "y" in
+  let r = Expr.eval eval_schema e (Tuple.make [ Value.Null; v_float 1.0 ]) in
+  Alcotest.(check bool) "null + x = null" true (Value.is_null r);
+  let p = Cmp (Eq, col "x", col "y") in
+  Alcotest.(check bool) "null = x is not true" false
+    (Expr.eval_bool eval_schema p (Tuple.make [ Value.Null; v_float 1.0 ]))
+
+let test_expr_unbound_column () =
+  Alcotest.check_raises "unbound" (Invalid_argument "Expr: unbound column T.z")
+    (fun () ->
+      ignore (Expr.compile eval_schema (Expr.col ~relation:"T" "z") : Tuple.t -> Value.t))
+
+let test_expr_weighted_sum_linear () =
+  let e =
+    Expr.weighted_sum
+      [ (0.3, Expr.col ~relation:"T" "x"); (0.7, Expr.col ~relation:"T" "y") ]
+  in
+  match Expr.as_linear e with
+  | None -> Alcotest.fail "expected linear"
+  | Some lin ->
+      Alcotest.(check int) "two terms" 2 (List.length lin.Expr.terms);
+      Alcotest.(check (float 1e-12)) "intercept" 0.0 lin.Expr.intercept
+
+let test_expr_linear_merging () =
+  let open Expr in
+  (* x + 2x - 3x should vanish; y remains. *)
+  let e = col "x" + ((cfloat 2.0 * col "x") + (col "y" - (cfloat 3.0 * col "x"))) in
+  match as_linear e with
+  | None -> Alcotest.fail "expected linear"
+  | Some lin ->
+      Alcotest.(check int) "one term" 1 (List.length lin.terms);
+      let w, r = List.hd lin.terms in
+      Alcotest.(check string) "column y" "y" r.name;
+      Alcotest.(check (float 1e-12)) "weight 1" 1.0 w
+
+let test_expr_nonlinear_rejected () =
+  let open Expr in
+  Alcotest.(check bool) "x*y not linear" true
+    (Option.is_none (as_linear (col "x" * col "y")));
+  Alcotest.(check bool) "x/y not linear" true
+    (Option.is_none (as_linear (Div (col "x", col "y"))));
+  Alcotest.(check bool) "x/2 linear" true
+    (Option.is_some (as_linear (Div (col "x", cfloat 2.0))))
+
+let test_expr_same_order_up_to_scale () =
+  let open Expr in
+  let e1 = weighted_sum [ (0.3, col "x"); (0.3, col "y") ] in
+  let e2 = weighted_sum [ (1.0, col "x"); (1.0, col "y") ] in
+  let e3 = weighted_sum [ (0.3, col "x"); (0.6, col "y") ] in
+  Alcotest.(check bool) "same order" true (equal e1 e2);
+  Alcotest.(check bool) "different order" false (equal e1 e3);
+  Alcotest.(check bool) "negative scale differs" false
+    (equal e1 (weighted_sum [ (-0.3, col "x"); (-0.3, col "y") ]))
+
+let test_expr_column_refs_dedup () =
+  let open Expr in
+  let e = col ~relation:"A" "x" + (col ~relation:"A" "x" * col ~relation:"B" "y") in
+  Alcotest.(check int) "two refs" 2 (List.length (column_refs e));
+  Alcotest.(check (list string)) "relations" [ "A"; "B" ] (relations e)
+
+let prop_compile_matches_eval =
+  (* compile and eval share an implementation; this pins the staged closure
+     against schema changes by evaluating on random linear expressions. *)
+  QCheck.Test.make ~name:"expr: weighted sums evaluate correctly" ~count:300
+    QCheck.(
+      pair
+        (pair (float_bound_exclusive 10.0) (float_bound_exclusive 10.0))
+        (pair (float_bound_exclusive 5.0) (float_bound_exclusive 5.0)))
+    (fun ((w1, w2), (x, y)) ->
+      let e = Expr.weighted_sum [ (w1, Expr.col "x"); (w2, Expr.col "y") ] in
+      let f = Expr.compile_float eval_schema e in
+      let direct = (w1 *. x) +. (w2 *. y) in
+      Test_util.floats_close ~eps:1e-9 direct
+        (f (Tuple.make [ v_float x; v_float y ])))
+
+let prop_linear_roundtrip =
+  QCheck.Test.make ~name:"expr: of_linear/as_linear roundtrip" ~count:300
+    QCheck.(
+      pair (float_range 0.1 10.0) (float_range 0.1 10.0))
+    (fun (w1, w2) ->
+      let e = Expr.weighted_sum [ (w1, Expr.col "x"); (w2, Expr.col "y") ] in
+      match Expr.as_linear e with
+      | None -> false
+      | Some lin -> Expr.equal (Expr.of_linear lin) e)
+
+let sample_relation () =
+  let schema =
+    Schema.of_columns
+      [ Schema.column "k" Value.Tint; Schema.column "s" Value.Tfloat ]
+  in
+  Relation.create schema
+    [
+      Tuple.make [ v_int 1; v_float 0.9 ];
+      Tuple.make [ v_int 2; v_float 0.5 ];
+      Tuple.make [ v_int 1; v_float 0.7 ];
+    ]
+
+let test_relation_sort_filter () =
+  let r = sample_relation () in
+  let sorted = Relation.sort_by ~desc:true (Expr.col "s") r in
+  let scores =
+    List.map
+      (fun tu -> Value.to_float (Tuple.get tu 1))
+      (Relation.tuples sorted)
+  in
+  Alcotest.(check (list (float 0.0))) "desc" [ 0.9; 0.7; 0.5 ] scores;
+  let filtered = Relation.filter Expr.(col "k" = cint 1) r in
+  Alcotest.(check int) "filtered" 2 (Relation.cardinality filtered)
+
+let test_relation_join_oracle () =
+  let a = Test_util.scored_relation "A" ~n:20 ~domain:4 ~seed:1 in
+  let b = Test_util.scored_relation "B" ~n:20 ~domain:4 ~seed:2 in
+  let joined =
+    Relation.join
+      ~on:Expr.(col ~relation:"A" "key" = col ~relation:"B" "key")
+      a b
+  in
+  (* Every result satisfies the predicate and count matches manual count. *)
+  let manual =
+    List.fold_left
+      (fun acc ta ->
+        List.fold_left
+          (fun acc tb ->
+            if Value.equal (Tuple.get ta 1) (Tuple.get tb 1) then acc + 1 else acc)
+          acc (Relation.tuples b))
+      0 (Relation.tuples a)
+  in
+  Alcotest.(check int) "join cardinality" manual (Relation.cardinality joined)
+
+let test_relation_top_k () =
+  let r = sample_relation () in
+  let top = Relation.top_k ~score:(Expr.col "s") ~k:2 r in
+  Alcotest.(check (list (float 1e-9))) "top scores" [ 0.9; 0.7 ] (List.map snd top)
+
+let test_relation_arity_check () =
+  let schema = Schema.of_columns [ Schema.column "x" Value.Tint ] in
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Relation.create: tuple arity 2, schema arity 1")
+    (fun () ->
+      ignore (Relation.create schema [ Tuple.make [ v_int 1; v_int 2 ] ]))
+
+let test_scoring_combine () =
+  Alcotest.(check (float 1e-9)) "sum" 6.0 (Scoring.combine Scoring.Sum [| 1.0; 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "weighted" 1.4
+    (Scoring.combine (Scoring.Weighted [| 0.4; 0.2 |]) [| 2.0; 3.0 |]);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Scoring.combine Scoring.Min [| 1.0; 2.0 |]);
+  Alcotest.(check (float 1e-9)) "max" 2.0 (Scoring.combine Scoring.Max [| 1.0; 2.0 |]);
+  Alcotest.check_raises "arity" (Invalid_argument "Scoring.combine: weight arity mismatch")
+    (fun () -> ignore (Scoring.combine (Scoring.Weighted [| 1.0 |]) [| 1.0; 2.0 |]))
+
+let test_scoring_monotone () =
+  Alcotest.(check bool) "sum monotone" true (Scoring.is_monotone Scoring.Sum);
+  Alcotest.(check bool) "neg weight not monotone" false
+    (Scoring.is_monotone (Scoring.Weighted [| 0.5; -0.1 |]))
+
+let suites =
+  [
+    ( "relalg.value",
+      [
+        Alcotest.test_case "numeric compare" `Quick test_value_numeric_compare;
+        Alcotest.test_case "null first" `Quick test_value_null_sorts_first;
+        Alcotest.test_case "hash/equal" `Quick test_value_hash_consistent_with_equal;
+        Alcotest.test_case "to_float" `Quick test_value_to_float;
+        QCheck_alcotest.to_alcotest prop_value_compare_total_order;
+      ] );
+    ( "relalg.schema",
+      [
+        Alcotest.test_case "lookup" `Quick test_schema_lookup;
+        Alcotest.test_case "ambiguous" `Quick test_schema_ambiguous_unqualified;
+        Alcotest.test_case "duplicate" `Quick test_schema_duplicate_rejected;
+        Alcotest.test_case "concat/project" `Quick test_schema_concat_and_project;
+        Alcotest.test_case "rename" `Quick test_schema_rename;
+      ] );
+    ("relalg.tuple", [ Alcotest.test_case "ops" `Quick test_tuple_ops ]);
+    ( "relalg.expr",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_expr_arithmetic;
+        Alcotest.test_case "division/neg" `Quick test_expr_division_and_neg;
+        Alcotest.test_case "comparison/bool" `Quick test_expr_comparison_and_bool;
+        Alcotest.test_case "null propagation" `Quick test_expr_null_propagation;
+        Alcotest.test_case "unbound column" `Quick test_expr_unbound_column;
+        Alcotest.test_case "weighted sum linear" `Quick test_expr_weighted_sum_linear;
+        Alcotest.test_case "linear merging" `Quick test_expr_linear_merging;
+        Alcotest.test_case "nonlinear rejected" `Quick test_expr_nonlinear_rejected;
+        Alcotest.test_case "order up to scale" `Quick test_expr_same_order_up_to_scale;
+        Alcotest.test_case "column refs" `Quick test_expr_column_refs_dedup;
+        QCheck_alcotest.to_alcotest prop_compile_matches_eval;
+        QCheck_alcotest.to_alcotest prop_linear_roundtrip;
+      ] );
+    ( "relalg.relation",
+      [
+        Alcotest.test_case "sort/filter" `Quick test_relation_sort_filter;
+        Alcotest.test_case "join oracle" `Quick test_relation_join_oracle;
+        Alcotest.test_case "top_k" `Quick test_relation_top_k;
+        Alcotest.test_case "arity check" `Quick test_relation_arity_check;
+      ] );
+    ( "relalg.scoring",
+      [
+        Alcotest.test_case "combine" `Quick test_scoring_combine;
+        Alcotest.test_case "monotone" `Quick test_scoring_monotone;
+      ] );
+  ]

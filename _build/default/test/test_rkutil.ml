@@ -1,0 +1,216 @@
+(* Tests for the rkutil substrate: PRNG, heap, math helpers, stats. *)
+
+let test_prng_determinism () =
+  let a = Rkutil.Prng.create 7 and b = Rkutil.Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rkutil.Prng.bits64 a) (Rkutil.Prng.bits64 b)
+  done
+
+let test_prng_different_seeds () =
+  let a = Rkutil.Prng.create 1 and b = Rkutil.Prng.create 2 in
+  Alcotest.(check bool) "different streams" false
+    (Rkutil.Prng.bits64 a = Rkutil.Prng.bits64 b)
+
+let test_prng_int_range () =
+  let g = Rkutil.Prng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rkutil.Prng.int g 10 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 10)
+  done
+
+let test_prng_uniform_range () =
+  let g = Rkutil.Prng.create 4 in
+  for _ = 1 to 1000 do
+    let x = Rkutil.Prng.uniform g in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_prng_uniform_mean () =
+  let g = Rkutil.Prng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rkutil.Prng.uniform g
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (Float.abs (mean -. 0.5) < 0.02)
+
+let test_prng_gaussian_moments () =
+  let g = Rkutil.Prng.create 6 in
+  let n = 50_000 in
+  let stats = Rkutil.Running_stats.create () in
+  for _ = 1 to n do
+    Rkutil.Running_stats.add stats (Rkutil.Prng.gaussian g)
+  done;
+  Alcotest.(check bool) "mean near 0" true
+    (Float.abs (Rkutil.Running_stats.mean stats) < 0.03);
+  Alcotest.(check bool) "sd near 1" true
+    (Float.abs (Rkutil.Running_stats.stddev stats -. 1.0) < 0.03)
+
+let test_prng_shuffle_permutation () =
+  let g = Rkutil.Prng.create 8 in
+  let a = Array.init 50 Fun.id in
+  Rkutil.Prng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_split_independent () =
+  let g = Rkutil.Prng.create 9 in
+  let h = Rkutil.Prng.split g in
+  let x = Rkutil.Prng.bits64 g and y = Rkutil.Prng.bits64 h in
+  Alcotest.(check bool) "distinct values" true (x <> y)
+
+let test_heap_basic () =
+  let h = Rkutil.Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Rkutil.Heap.is_empty h);
+  Rkutil.Heap.push h 3;
+  Rkutil.Heap.push h 1;
+  Rkutil.Heap.push h 2;
+  Alcotest.(check (option int)) "peek min" (Some 1) (Rkutil.Heap.peek h);
+  Alcotest.(check (list int)) "drain sorted" [ 1; 2; 3 ] (Rkutil.Heap.drain h);
+  Alcotest.(check bool) "empty again" true (Rkutil.Heap.is_empty h)
+
+let test_heap_pop_exn_empty () =
+  let h = Rkutil.Heap.create ~cmp:compare in
+  Alcotest.check_raises "pop_exn raises"
+    (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Rkutil.Heap.pop_exn h : int))
+
+let prop_heap_drain_sorted =
+  QCheck.Test.make ~name:"heap: drain is sorted" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let h = Rkutil.Heap.of_list ~cmp:compare xs in
+      let drained = Rkutil.Heap.drain h in
+      drained = List.sort compare xs)
+
+let prop_heap_length =
+  QCheck.Test.make ~name:"heap: length tracks pushes/pops" ~count:300
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Rkutil.Heap.create ~cmp:compare in
+      List.iter (Rkutil.Heap.push h) xs;
+      let n0 = Rkutil.Heap.length h in
+      ignore (Rkutil.Heap.pop h);
+      let n1 = Rkutil.Heap.length h in
+      n0 = List.length xs && n1 = max 0 (n0 - 1))
+
+let prop_heap_max_order =
+  QCheck.Test.make ~name:"heap: inverted cmp gives descending drain" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Rkutil.Heap.of_list ~cmp:(fun a b -> compare b a) xs in
+      Rkutil.Heap.drain h = List.rev (List.sort compare xs))
+
+let test_log_factorial_small () =
+  let fact n =
+    let rec go acc i = if i > n then acc else go (acc *. float_of_int i) (i + 1) in
+    go 1.0 1
+  in
+  for n = 0 to 20 do
+    Test_util.check_floats_close ~eps:1e-12
+      (Printf.sprintf "log %d!" n)
+      (log (fact n))
+      (Rkutil.Mathx.log_factorial n)
+  done
+
+let test_log_factorial_stirling_continuity () =
+  (* The exact table ends at 256; verify continuity across the switch. *)
+  let a = Rkutil.Mathx.log_factorial 256 in
+  let b = Rkutil.Mathx.log_factorial 257 in
+  Test_util.check_floats_close ~eps:1e-9 "ln 257! = ln 256! + ln 257"
+    (a +. log 257.0) b
+
+let test_bisect_root () =
+  let f x = (x *. x) -. 2.0 in
+  let r = Rkutil.Mathx.bisect ~f ~lo:0.0 ~hi:2.0 () in
+  Test_util.check_floats_close ~eps:1e-9 "sqrt 2" (sqrt 2.0) r
+
+let test_bisect_monotone_decreasing () =
+  let f x = 10.0 -. x in
+  let r = Rkutil.Mathx.bisect ~f ~lo:0.0 ~hi:100.0 () in
+  Test_util.check_floats_close ~eps:1e-9 "root at 10" 10.0 r
+
+let test_clamp () =
+  Alcotest.(check (float 0.0)) "below" 1.0 (Rkutil.Mathx.clamp ~lo:1.0 ~hi:2.0 0.5);
+  Alcotest.(check (float 0.0)) "above" 2.0 (Rkutil.Mathx.clamp ~lo:1.0 ~hi:2.0 9.0);
+  Alcotest.(check (float 0.0)) "inside" 1.5 (Rkutil.Mathx.clamp ~lo:1.0 ~hi:2.0 1.5)
+
+let test_ceil_to_int () =
+  Alcotest.(check int) "2.1 -> 3" 3 (Rkutil.Mathx.ceil_to_int 2.1);
+  Alcotest.(check int) "neg -> 0" 0 (Rkutil.Mathx.ceil_to_int (-5.0));
+  Alcotest.(check int) "nan -> 0" 0 (Rkutil.Mathx.ceil_to_int Float.nan);
+  Alcotest.(check int) "exact" 2 (Rkutil.Mathx.ceil_to_int 2.0);
+  Alcotest.(check int) "inf saturates" max_int (Rkutil.Mathx.ceil_to_int infinity)
+
+let test_running_stats_against_direct () =
+  let xs = [ 1.0; 4.0; 9.0; 16.0; 25.0 ] in
+  let s = Rkutil.Running_stats.create () in
+  List.iter (Rkutil.Running_stats.add s) xs;
+  let n = float_of_int (List.length xs) in
+  let mean = List.fold_left ( +. ) 0.0 xs /. n in
+  let var =
+    List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs /. (n -. 1.0)
+  in
+  Test_util.check_floats_close "mean" mean (Rkutil.Running_stats.mean s);
+  Test_util.check_floats_close "variance" var (Rkutil.Running_stats.variance s);
+  Alcotest.(check (float 0.0)) "min" 1.0 (Rkutil.Running_stats.min s);
+  Alcotest.(check (float 0.0)) "max" 25.0 (Rkutil.Running_stats.max s);
+  Alcotest.(check int) "count" 5 (Rkutil.Running_stats.count s)
+
+let prop_running_stats_merge =
+  QCheck.Test.make ~name:"running_stats: merge = concat" ~count:200
+    QCheck.(pair (list (float_bound_exclusive 100.0)) (list (float_bound_exclusive 100.0)))
+    (fun (xs, ys) ->
+      let sa = Rkutil.Running_stats.create () in
+      List.iter (Rkutil.Running_stats.add sa) xs;
+      let sb = Rkutil.Running_stats.create () in
+      List.iter (Rkutil.Running_stats.add sb) ys;
+      let merged = Rkutil.Running_stats.merge sa sb in
+      let direct = Rkutil.Running_stats.create () in
+      List.iter (Rkutil.Running_stats.add direct) (xs @ ys);
+      Test_util.floats_close ~eps:1e-6
+        (Rkutil.Running_stats.mean merged)
+        (Rkutil.Running_stats.mean direct)
+      && Test_util.floats_close ~eps:1e-6
+           (Rkutil.Running_stats.variance merged)
+           (Rkutil.Running_stats.variance direct))
+
+let suites =
+  [
+    ( "rkutil.prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "different seeds" `Quick test_prng_different_seeds;
+        Alcotest.test_case "int range" `Quick test_prng_int_range;
+        Alcotest.test_case "uniform range" `Quick test_prng_uniform_range;
+        Alcotest.test_case "uniform mean" `Quick test_prng_uniform_mean;
+        Alcotest.test_case "gaussian moments" `Quick test_prng_gaussian_moments;
+        Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+      ] );
+    ( "rkutil.heap",
+      [
+        Alcotest.test_case "basic" `Quick test_heap_basic;
+        Alcotest.test_case "pop_exn empty" `Quick test_heap_pop_exn_empty;
+        QCheck_alcotest.to_alcotest prop_heap_drain_sorted;
+        QCheck_alcotest.to_alcotest prop_heap_length;
+        QCheck_alcotest.to_alcotest prop_heap_max_order;
+      ] );
+    ( "rkutil.mathx",
+      [
+        Alcotest.test_case "log_factorial small" `Quick test_log_factorial_small;
+        Alcotest.test_case "log_factorial continuity" `Quick
+          test_log_factorial_stirling_continuity;
+        Alcotest.test_case "bisect sqrt2" `Quick test_bisect_root;
+        Alcotest.test_case "bisect decreasing" `Quick test_bisect_monotone_decreasing;
+        Alcotest.test_case "clamp" `Quick test_clamp;
+        Alcotest.test_case "ceil_to_int" `Quick test_ceil_to_int;
+      ] );
+    ( "rkutil.running_stats",
+      [
+        Alcotest.test_case "against direct" `Quick test_running_stats_against_direct;
+        QCheck_alcotest.to_alcotest prop_running_stats_merge;
+      ] );
+  ]

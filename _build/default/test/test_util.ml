@@ -1,0 +1,70 @@
+(* Shared helpers for the test suites. *)
+
+open Relalg
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let float_eps = 1e-9
+
+let floats_close ?(eps = float_eps) a b =
+  Float.abs (a -. b) <= eps *. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+
+let check_floats_close ?(eps = float_eps) msg a b =
+  if not (floats_close ~eps a b) then
+    Alcotest.failf "%s: %.12g <> %.12g" msg a b
+
+(* Sorted list of scores, for comparing top-k answers independent of
+   tie-breaking. *)
+let score_multiset scores = List.sort Float.compare scores
+
+let check_score_multiset msg expected actual =
+  let e = score_multiset expected and a = score_multiset actual in
+  if List.length e <> List.length a then
+    Alcotest.failf "%s: %d scores expected, got %d" msg (List.length e)
+      (List.length a);
+  List.iter2
+    (fun x y ->
+      if not (floats_close ~eps:1e-7 x y) then
+        Alcotest.failf "%s: score %.12g <> %.12g" msg x y)
+    e a
+
+let check_non_increasing msg scores =
+  let rec go = function
+    | a :: (b :: _ as rest) ->
+        if a +. 1e-9 < b then Alcotest.failf "%s: %g before %g" msg a b;
+        go rest
+    | _ -> ()
+  in
+  go scores
+
+(* A small scored relation: columns (id, key, score). *)
+let scored_schema name =
+  Schema.rename_relation
+    (Schema.of_columns
+       [
+         Schema.column "id" Value.Tint;
+         Schema.column "key" Value.Tint;
+         Schema.column "score" Value.Tfloat;
+       ])
+    name
+
+let scored_tuples prng ~n ~domain =
+  List.init n (fun i ->
+      [|
+        Value.Int i;
+        Value.Int (Rkutil.Prng.int prng (max 1 domain));
+        Value.Float (Rkutil.Prng.uniform prng);
+      |])
+
+let scored_relation ?(seed = 42) name ~n ~domain =
+  let prng = Rkutil.Prng.create seed in
+  Relation.create (scored_schema name) (scored_tuples prng ~n ~domain)
+
+(* QCheck generator for a scored relation given as (seed, n, domain). *)
+let small_rel_params =
+  QCheck.make
+    ~print:(fun (seed, n, d) -> Printf.sprintf "seed=%d n=%d domain=%d" seed n d)
+    QCheck.Gen.(
+      triple (int_range 0 10_000) (int_range 0 60) (int_range 1 12))
+
+let tuples_of_scored (r : Relation.t) = Relation.tuples r

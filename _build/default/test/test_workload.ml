@@ -1,0 +1,143 @@
+(* Workload generator tests: distribution bounds, selectivity control, and
+   the video scenario. *)
+
+open Relalg
+open Workload
+
+let test_dist_bounds () =
+  let prng = Rkutil.Prng.create 1 in
+  let check name dist =
+    let lo, hi = Dist.support dist in
+    for _ = 1 to 500 do
+      let x = Dist.sample prng dist in
+      if x < lo -. 1e-9 || x > hi +. 1e-9 then
+        Alcotest.failf "%s: %g outside [%g, %g]" name x lo hi
+    done
+  in
+  check "uniform" (Dist.Uniform { lo = 2.0; hi = 5.0 });
+  check "gaussian" (Dist.Gaussian { mean = 0.0; sd = 1.0 });
+  check "zipf" (Dist.Zipf { n = 100; alpha = 1.0 });
+  check "sum_uniform" (Dist.Sum_uniform { j = 3 })
+
+let test_dist_means () =
+  let prng = Rkutil.Prng.create 2 in
+  let check name dist tolerance =
+    let n = 30_000 in
+    let acc = ref 0.0 in
+    for _ = 1 to n do
+      acc := !acc +. Dist.sample prng dist
+    done;
+    let sample_mean = !acc /. float_of_int n in
+    if Float.abs (sample_mean -. Dist.mean dist) > tolerance then
+      Alcotest.failf "%s: sample mean %g, analytic %g" name sample_mean
+        (Dist.mean dist)
+  in
+  check "uniform" (Dist.Uniform { lo = 0.0; hi = 1.0 }) 0.01;
+  check "sum_uniform j=4" (Dist.Sum_uniform { j = 4 }) 0.02;
+  check "zipf" (Dist.Zipf { n = 50; alpha = 1.0 }) 0.02
+
+let test_generator_shape () =
+  let prng = Rkutil.Prng.create 3 in
+  let schema, tuples = Generator.scored_table prng ~n:100 ~key_domain:10 () in
+  Alcotest.(check int) "arity 3" 3 (Schema.arity schema);
+  Alcotest.(check int) "n tuples" 100 (List.length tuples);
+  List.iteri
+    (fun i tu ->
+      Alcotest.(check int) "serial id" i (Value.to_int (Tuple.get tu 0));
+      let k = Value.to_int (Tuple.get tu 1) in
+      Alcotest.(check bool) "key in domain" true (k >= 0 && k < 10))
+    tuples
+
+let test_selectivity_matches_domain () =
+  (* Empirical selectivity of the equi-join should be close to 1/D. *)
+  let prng = Rkutil.Prng.create 4 in
+  let d = 20 in
+  let n = 400 in
+  let _, ta = Generator.scored_table prng ~n ~key_domain:d () in
+  let _, tb = Generator.scored_table prng ~n ~key_domain:d () in
+  let matches =
+    List.fold_left
+      (fun acc a ->
+        List.fold_left
+          (fun acc b ->
+            if Value.equal (Tuple.get a 1) (Tuple.get b 1) then acc + 1 else acc)
+          acc tb)
+      0 ta
+  in
+  let s = float_of_int matches /. float_of_int (n * n) in
+  let expected = Generator.selectivity_of_domain d in
+  Alcotest.(check bool) "selectivity near 1/D" true
+    (Float.abs (s -. expected) < expected /. 2.0)
+
+let test_domain_selectivity_roundtrip () =
+  List.iter
+    (fun d ->
+      Alcotest.(check int) "roundtrip" d
+        (Generator.domain_of_selectivity (Generator.selectivity_of_domain d)))
+    [ 1; 2; 10; 100; 12345 ]
+
+let test_load_scored_table_indexes () =
+  let cat = Storage.Catalog.create () in
+  let prng = Rkutil.Prng.create 5 in
+  let info =
+    Generator.load_scored_table cat prng ~name:"T" ~n:50 ~key_domain:5 ()
+  in
+  Alcotest.(check int) "two indexes" 2 (List.length info.Storage.Catalog.tb_indexes);
+  match
+    Storage.Catalog.find_index_on_expr cat ~table:"T" (Expr.col ~relation:"T" "score")
+  with
+  | Some ix -> Alcotest.(check int) "indexed rows" 50 (Storage.Btree.length ix.Storage.Catalog.ix_btree)
+  | None -> Alcotest.fail "score index missing"
+
+let test_video_build () =
+  let v = Video.build ~seed:6 ~n_objects:40 () in
+  Alcotest.(check int) "4 features" 4 (List.length v.Video.features);
+  List.iter
+    (fun f ->
+      let info = Video.feature_table v f in
+      Alcotest.(check int) "rows" 40 info.Storage.Catalog.tb_stats.Storage.Catalog.ts_cardinality;
+      Alcotest.(check int) "indexes" 2 (List.length info.Storage.Catalog.tb_indexes))
+    v.Video.features
+
+let test_video_correlation () =
+  (* With correlation 1.0 every feature table carries identical scores. *)
+  let v = Video.build ~seed:7 ~n_objects:20 ~correlation:1.0 () in
+  let scores f =
+    let info = Video.feature_table v f in
+    List.map
+      (fun tu -> Value.to_float (Tuple.get tu 1))
+      (Storage.Heap_file.to_list info.Storage.Catalog.tb_heap)
+  in
+  match v.Video.features with
+  | f1 :: f2 :: _ ->
+      List.iter2
+        (fun a b -> Test_util.check_floats_close "same quality" a b)
+        (scores f1) (scores f2)
+  | _ -> Alcotest.fail "expected features"
+
+let test_video_score_expr () =
+  let v = Video.build ~seed:8 ~n_objects:10 () in
+  let e =
+    Video.similarity_query_score v ~weights:[ ("ColorHist", 0.5); ("Texture", 0.5) ]
+  in
+  Alcotest.(check (list string)) "references features" [ "ColorHist"; "Texture" ]
+    (Expr.relations e);
+  Alcotest.check_raises "unknown feature"
+    (Invalid_argument "Video.similarity_query_score: unknown feature Bogus")
+    (fun () -> ignore (Video.similarity_query_score v ~weights:[ ("Bogus", 1.0) ]))
+
+let suites =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "dist bounds" `Quick test_dist_bounds;
+        Alcotest.test_case "dist means" `Quick test_dist_means;
+        Alcotest.test_case "generator shape" `Quick test_generator_shape;
+        Alcotest.test_case "selectivity ~ 1/D" `Quick test_selectivity_matches_domain;
+        Alcotest.test_case "domain roundtrip" `Quick test_domain_selectivity_roundtrip;
+        Alcotest.test_case "table + indexes" `Quick test_load_scored_table_indexes;
+        Alcotest.test_case "video build" `Quick test_video_build;
+        Alcotest.test_case "video correlation" `Quick test_video_correlation;
+        Alcotest.test_case "video score expr" `Quick test_video_score_expr;
+      ] );
+  ]
