@@ -1,0 +1,27 @@
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# What CI runs: a full build + test pass, then verify the working tree is
+# clean (catches build artifacts or generated files accidentally committed,
+# and formatter/codegen drift).
+ci: build test
+	@status=$$(git status --porcelain); \
+	if [ -n "$$status" ]; then \
+	  echo "ci: working tree not clean after build+test:"; \
+	  echo "$$status"; \
+	  exit 1; \
+	fi
+	@echo "ci: OK"
+
+clean:
+	dune clean

@@ -177,8 +177,8 @@ let fig4 () =
   List.iter
     (fun rn ->
       row "  %-40s dL=%d dR=%d\n" rn.Core.Executor.label
-        rn.Core.Executor.stats.Exec.Rank_join.left_depth
-        rn.Core.Executor.stats.Exec.Rank_join.right_depth)
+        (Exec.Exec_stats.left_depth rn.Core.Executor.stats)
+        (Exec.Exec_stats.right_depth rn.Core.Executor.stats))
     result.Core.Executor.rank_nodes
 
 (* ------------------------------------------------------------------ *)
@@ -264,20 +264,20 @@ let observe_plan_p ?(depth_mode = `Worst) cat ~k =
         (a.Core.Executor.stats, b.Core.Executor.stats)
     | _ -> failwith "expected two rank nodes in execution"
   in
-  let child_dl = float_of_int child_stats.Exec.Rank_join.left_depth in
-  let child_dr = float_of_int child_stats.Exec.Rank_join.right_depth in
+  let child_dl = float_of_int (Exec.Exec_stats.left_depth child_stats) in
+  let child_dr = float_of_int (Exec.Exec_stats.right_depth child_stats) in
   {
     k;
     s;
     top_actual =
-      ( float_of_int top_stats.Exec.Rank_join.left_depth,
-        float_of_int top_stats.Exec.Rank_join.right_depth );
+      ( float_of_int (Exec.Exec_stats.left_depth top_stats),
+        float_of_int (Exec.Exec_stats.right_depth top_stats) );
     top_anyk = anyk top_node top_req;
     top_topk = (top_d.Core.Depth_model.d_left, top_d.Core.Depth_model.d_right);
     child_actual = (child_dl, child_dr);
     child_anyk = anyk child_node child_req;
     child_topk = (child_d.Core.Depth_model.d_left, child_d.Core.Depth_model.d_right);
-    child_buffer_actual = child_stats.Exec.Rank_join.buffer_max;
+    child_buffer_actual = (Exec.Exec_stats.buffer_max child_stats);
     child_buffer_bound_measured = child_dl *. child_dr *. s;
     child_buffer_bound_estimated =
       child_d.Core.Depth_model.d_left *. child_d.Core.Depth_model.d_right *. s;
@@ -380,7 +380,7 @@ let ablate_polling () =
   let ann = Core.Propagate.run env ~k plan in
   row "%-28s %12s %12s %14s\n" "strategy" "top dL+dR" "child dL+dR" "grand total";
   let total stats =
-    stats.Exec.Rank_join.left_depth + stats.Exec.Rank_join.right_depth
+    (Exec.Exec_stats.left_depth stats) + (Exec.Exec_stats.right_depth stats)
   in
   let report name result =
     match result.Core.Executor.rank_nodes with
@@ -513,8 +513,8 @@ let ablate_nary () =
         List.fold_left
           (fun acc rn ->
             acc
-            + rn.Core.Executor.stats.Exec.Rank_join.left_depth
-            + rn.Core.Executor.stats.Exec.Rank_join.right_depth)
+            + (Exec.Exec_stats.left_depth rn.Core.Executor.stats)
+            + (Exec.Exec_stats.right_depth rn.Core.Executor.stats))
           0 result.Core.Executor.rank_nodes
       in
       row "%8d  %16d  %16d\n" k nary_total pipe_total)
@@ -560,11 +560,33 @@ let ablate_slabs () =
       | [ rn ] ->
           row "%6.1f / %5.1f  %10.0f %10.0f  %12d %12d\n" wa wb
             d.Core.Depth_model.d_left d.Core.Depth_model.d_right
-            rn.Core.Executor.stats.Exec.Rank_join.left_depth
-            rn.Core.Executor.stats.Exec.Rank_join.right_depth
+            (Exec.Exec_stats.left_depth rn.Core.Executor.stats)
+            (Exec.Exec_stats.right_depth rn.Core.Executor.stats)
       | _ -> row "unexpected plan shape\n")
     [ (0.5, 0.5); (0.7, 0.3); (0.9, 0.1) ];
   row
     "\nExpected: skewed weights skew both the estimated and the executed\n\
      consumption toward the low-weight input (finer discrimination needed\n\
      there), which a weight-blind uniform model cannot predict.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Per-operator profile: the metrics registry serialised as JSON rows. *)
+
+let profile () =
+  section
+    "Profile - per-operator execution metrics (BENCH JSON)\n\
+     (one JSON object per operator: depths, emitted, buffer, attributed I/O)";
+  let cat = three_table_catalog ~n:5000 ~domain:500 ~seed:77 () in
+  let query = topk_query ~k:25 [ "A"; "B"; "C" ] in
+  let env = Core.Cost_model.default_env ~k_min:25 cat query in
+  let plan = Core.Plan.Top_k { k = 25; input = plan_p cat } in
+  let ann = Core.Propagate.run env ~k:25 plan in
+  let metrics = Exec.Metrics.create (Storage.Catalog.io cat) in
+  let result = Core.Executor.run ~hints:ann ~metrics cat plan in
+  row "rows returned: %d\n" (List.length result.Core.Executor.rows);
+  List.iter
+    (fun node -> row "BENCH %s\n" (Exec.Metrics.node_to_json node))
+    (Exec.Metrics.nodes metrics);
+  (match result.Core.Executor.profile with
+  | Some p -> row "\nAnnotated tree:\n%s" (Core.Analyze.render ~env ~hints:ann p)
+  | None -> ())

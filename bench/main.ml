@@ -24,6 +24,7 @@ let experiments =
     ("ablate-nary", Experiments.ablate_nary);
     ("ablate-slabs", Experiments.ablate_slabs);
     ("baseline-fr", Experiments.baseline_filter_restart);
+    ("profile", Experiments.profile);
     ("micro", Micro.run);
   ]
 

@@ -150,6 +150,28 @@ let explain_cmd =
         (const run $ tables_arg $ seed_arg $ pool_arg $ traditional_arg
        $ from_arg $ sql_arg))
 
+let analyze_cmd =
+  let run verbose tables seed pool traditional from_dir sql =
+    setup_logs verbose;
+    let catalog = build_catalog ?from_dir tables seed pool in
+    match Sqlfront.Sql.analyze ~config:(config_of traditional) catalog sql with
+    | Ok text ->
+        print_string text;
+        `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  let doc =
+    "Execute a query under per-operator instrumentation and print the \
+     annotated plan: observed input depths next to the depth model's \
+     predictions, and actual page I/O next to the cost model's estimate."
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc)
+    Term.(
+      ret
+        (const run $ verbose_arg $ tables_arg $ seed_arg $ pool_arg
+       $ traditional_arg $ from_arg $ sql_arg))
+
 let repl_cmd =
   let run tables seed pool traditional from_dir =
     let catalog = build_catalog ?from_dir tables seed pool in
@@ -173,6 +195,13 @@ let repl_cmd =
               match Sqlfront.Sql.explain ~config catalog sql with
               | Ok text -> print_string text
               | Error e -> Printf.printf "error: %s\n" e)
+          | l
+            when String.length l >= 8
+                 && String.uppercase_ascii (String.sub l 0 8) = "ANALYZE " -> (
+              let sql = String.sub l 8 (String.length l - 8) in
+              match Sqlfront.Sql.analyze ~config catalog sql with
+              | Ok text -> print_string text
+              | Error e -> Printf.printf "error: %s\n" e)
           | sql -> (
               match Sqlfront.Sql.execute ~config catalog sql with
               | Ok (Sqlfront.Sql.Rows ans) -> print_answer ans
@@ -185,7 +214,7 @@ let repl_cmd =
   in
   let doc =
     "Interactive SQL prompt over generated tables: SELECT/WITH queries, \
-     INSERT INTO ... VALUES, DELETE FROM, and an EXPLAIN prefix."
+     INSERT INTO ... VALUES, DELETE FROM, and EXPLAIN/ANALYZE prefixes."
   in
   Cmd.v
     (Cmd.info "repl" ~doc)
@@ -195,6 +224,6 @@ let repl_cmd =
 let main_cmd =
   let doc = "rank-aware top-k query engine (SIGMOD 2004 reproduction)" in
   let info = Cmd.info "rankopt" ~version:"1.0.0" ~doc in
-  Cmd.group info [ query_cmd; explain_cmd; repl_cmd ]
+  Cmd.group info [ query_cmd; explain_cmd; analyze_cmd; repl_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -54,9 +54,9 @@ let () =
     (fun rn ->
       Printf.printf
         "%s consumed %d left + %d right tuples (of 5000 each), buffered <= %d\n"
-        rn.Core.Executor.label rn.Core.Executor.stats.Exec.Rank_join.left_depth
-        rn.Core.Executor.stats.Exec.Rank_join.right_depth
-        rn.Core.Executor.stats.Exec.Rank_join.buffer_max)
+        rn.Core.Executor.label (Exec.Exec_stats.left_depth rn.Core.Executor.stats)
+        (Exec.Exec_stats.right_depth rn.Core.Executor.stats)
+        (Exec.Exec_stats.buffer_max rn.Core.Executor.stats))
     result.Core.Executor.rank_nodes;
   Printf.printf "Measured I/O: %s\n"
     (Format.asprintf "%a" Storage.Io_stats.pp result.Core.Executor.io)

@@ -49,8 +49,8 @@ let run_with label config catalog query n_objects =
   List.iter
     (fun rn ->
       Printf.printf "    %s: depths %d/%d of %d\n" rn.Core.Executor.label
-        rn.Core.Executor.stats.Exec.Rank_join.left_depth
-        rn.Core.Executor.stats.Exec.Rank_join.right_depth n_objects)
+        (Exec.Exec_stats.left_depth rn.Core.Executor.stats)
+        (Exec.Exec_stats.right_depth rn.Core.Executor.stats) n_objects)
     result.Core.Executor.rank_nodes;
   List.iter
     (fun nn ->

@@ -3,7 +3,7 @@ open Relalg
 type rank_node_stats = {
   label : string;
   algo : Plan.join_algo;
-  stats : Exec.Rank_join.stats;
+  stats : Exec.Exec_stats.t;
 }
 
 type nary_node_stats = {
@@ -11,11 +11,18 @@ type nary_node_stats = {
   nary_stats : Exec.Exec_stats.t;
 }
 
+type profile = {
+  p_plan : Plan.t;
+  p_node : Exec.Metrics.node;
+  p_children : profile list;
+}
+
 type run_result = {
   rows : (Tuple.t * float) list;
   io : Storage.Io_stats.snapshot;
   rank_nodes : rank_node_stats list;
   nary_nodes : nary_node_stats list;
+  profile : profile option;
   schema : Schema.t;
 }
 
@@ -41,7 +48,23 @@ let sort_budget catalog =
     ~tuples_per_page:(Storage.Catalog.tuples_per_page catalog)
     (Storage.Catalog.pool catalog)
 
-let compile ?hints catalog plan =
+(* One-line operator name for EXPLAIN ANALYZE rows (unlike [Plan.describe],
+   not recursive — the tree rendering supplies the structure). *)
+let node_label = function
+  | Plan.Table_scan { table } -> "TableScan " ^ table
+  | Plan.Index_scan { table; index; desc; _ } ->
+      Printf.sprintf "IndexScan %s.%s %s" table index
+        (if desc then "DESC" else "ASC")
+  | Plan.Filter _ -> "Filter"
+  | Plan.Sort { order; _ } ->
+      Printf.sprintf "Sort %s"
+        (if order.Plan.direction = Interesting_orders.Desc then "DESC" else "ASC")
+  | Plan.Top_k { k; _ } -> Printf.sprintf "Top-%d" k
+  | Plan.Join { algo; _ } -> Plan.algo_name algo
+  | Plan.Nary_rank_join { inputs; _ } ->
+      Printf.sprintf "HRJN*[%d]" (List.length inputs)
+
+let compile ?hints ?metrics catalog plan =
   let rank_nodes = ref [] in
   let nary_nodes = ref [] in
   (* [ann] mirrors the plan subtree currently being compiled, when hints were
@@ -51,29 +74,65 @@ let compile ?hints catalog plan =
     | None -> None
     | Some a -> List.nth_opt a.Propagate.children i
   in
-  let rec go ann plan : Exec.Operator.t =
+  (* Register the node's stats record in the metrics registry (when one was
+     supplied) and wrap the operator so the I/O it causes is attributed to
+     it; otherwise pass the operator through untouched. *)
+  let instrument plan stats (op : Exec.Operator.t) child_profiles =
+    match metrics with
+    | None -> (op, None)
+    | Some m ->
+        let node =
+          Exec.Metrics.attach m ~stats ~label:(node_label plan)
+            ~inputs:(Exec.Exec_stats.inputs stats) ()
+        in
+        ( Exec.Metrics.scope m node op,
+          Some
+            {
+              p_plan = plan;
+              p_node = node;
+              p_children = List.filter_map Fun.id child_profiles;
+            } )
+  in
+  let rec go ann plan : Exec.Operator.t * profile option =
     match plan with
     | Plan.Table_scan { table } ->
-        Exec.Scan.heap (Storage.Catalog.table catalog table)
+        let stats = Exec.Exec_stats.create 0 in
+        let op = Exec.Scan.heap ~stats (Storage.Catalog.table catalog table) in
+        instrument plan stats op []
     | Plan.Index_scan { table; index; desc; _ } ->
+        let stats = Exec.Exec_stats.create 0 in
         let ix = find_index catalog table index in
-        if desc then Exec.Scan.index_desc catalog ix
-        else Exec.Scan.index_asc catalog ix
+        let op =
+          if desc then Exec.Scan.index_desc ~stats catalog ix
+          else Exec.Scan.index_asc ~stats catalog ix
+        in
+        instrument plan stats op []
     | Plan.Filter { pred; input } ->
-        Exec.Basic_ops.filter pred (go (child_ann ann 0) input)
+        let stats = Exec.Exec_stats.create 1 in
+        let child, prof = go (child_ann ann 0) input in
+        instrument plan stats (Exec.Basic_ops.filter ~stats pred child) [ prof ]
     | Plan.Sort { order; input } ->
+        let stats = Exec.Exec_stats.create 1 in
         let desc = order.Plan.direction = Interesting_orders.Desc in
-        Exec.Sort.by_expr (sort_budget catalog) ~desc order.Plan.expr
-          (go (child_ann ann 0) input)
+        let child, prof = go (child_ann ann 0) input in
+        let op =
+          Exec.Sort.by_expr ~stats (sort_budget catalog) ~desc order.Plan.expr
+            child
+        in
+        instrument plan stats op [ prof ]
     | Plan.Top_k { k; input } ->
-        Exec.Basic_ops.limit k (go (child_ann ann 0) input)
+        let stats = Exec.Exec_stats.create 1 in
+        let child, prof = go (child_ann ann 0) input in
+        instrument plan stats (Exec.Basic_ops.limit ~stats k child) [ prof ]
     | Plan.Nary_rank_join { inputs; scores; key; tables } ->
+        let stats = Exec.Exec_stats.create (List.length inputs) in
         let compiled =
           List.mapi (fun i input -> go (child_ann ann i) input) inputs
         in
+        let profs = List.map snd compiled in
         let nary_inputs =
           List.map2
-            (fun (op, score) table ->
+            (fun ((op, _), score) table ->
               let schema = op.Exec.Operator.schema in
               {
                 Exec.Rank_join_nary.stream =
@@ -83,33 +142,42 @@ let compile ?hints catalog plan =
             (List.combine compiled scores)
             tables
         in
-        let stream, stats = Exec.Rank_join_nary.hrjn_nary ~inputs:nary_inputs () in
+        let stream, stats = Exec.Rank_join_nary.hrjn_nary ~stats ~inputs:nary_inputs () in
         nary_nodes :=
           { nary_label = Plan.describe plan; nary_stats = stats } :: !nary_nodes;
-        Exec.Operator.scored_to_plain stream
+        instrument plan stats (Exec.Operator.scored_to_plain stream) profs
     | Plan.Join { algo; cond; left; right; left_score; right_score } -> (
+        let stats = Exec.Exec_stats.create 2 in
         let lt = cond.Logical.left_table and lc = cond.Logical.left_column in
         let rt = cond.Logical.right_table and rc = cond.Logical.right_column in
         let pred = Expr.(col ~relation:lt lc = col ~relation:rt rc) in
         match algo with
         | Plan.Nested_loops ->
-            Exec.Join.nested_loops ~pred (go (child_ann ann 0) left)
-              (go (child_ann ann 1) right)
+            let lchild, lprof = go (child_ann ann 0) left in
+            let rchild, rprof = go (child_ann ann 1) right in
+            instrument plan stats
+              (Exec.Join.nested_loops ~stats ~pred lchild rchild)
+              [ lprof; rprof ]
         | Plan.Hash ->
             (* Memory-adaptive: degenerates to an in-memory hash join when
                the build side fits, spills Grace partitions otherwise. *)
-            Exec.Join.grace_hash
-              ~left_key:(Expr.col ~relation:lt lc)
-              ~right_key:(Expr.col ~relation:rt rc)
-              (sort_budget catalog)
-              (go (child_ann ann 0) left)
-              (go (child_ann ann 1) right)
+            let lchild, lprof = go (child_ann ann 0) left in
+            let rchild, rprof = go (child_ann ann 1) right in
+            instrument plan stats
+              (Exec.Join.grace_hash ~stats
+                 ~left_key:(Expr.col ~relation:lt lc)
+                 ~right_key:(Expr.col ~relation:rt rc)
+                 (sort_budget catalog) lchild rchild)
+              [ lprof; rprof ]
         | Plan.Sort_merge ->
-            Exec.Join.merge_only
-              ~left_key:(Expr.col ~relation:lt lc)
-              ~right_key:(Expr.col ~relation:rt rc)
-              (go (child_ann ann 0) left)
-              (go (child_ann ann 1) right)
+            let lchild, lprof = go (child_ann ann 0) left in
+            let rchild, rprof = go (child_ann ann 1) right in
+            instrument plan stats
+              (Exec.Join.merge_only ~stats
+                 ~left_key:(Expr.col ~relation:lt lc)
+                 ~right_key:(Expr.col ~relation:rt rc)
+                 lchild rchild)
+              [ lprof; rprof ]
         | Plan.Index_nl ->
             let info = Storage.Catalog.table catalog rt in
             let ix =
@@ -120,14 +188,17 @@ let compile ?hints catalog plan =
               | Some ix -> ix
               | None -> invalid_arg "Executor: INL join without index"
             in
-            Exec.Join.index_nested_loops
-              ~left_key:(Expr.col ~relation:lt lc)
-              ~right_schema:info.Storage.Catalog.tb_schema
-              ~lookup:(Exec.Scan.index_probe catalog ix)
-              (go (child_ann ann 0) left)
+            let lchild, lprof = go (child_ann ann 0) left in
+            instrument plan stats
+              (Exec.Join.index_nested_loops ~stats
+                 ~left_key:(Expr.col ~relation:lt lc)
+                 ~right_schema:info.Storage.Catalog.tb_schema
+                 ~lookup:(Exec.Scan.index_probe catalog ix)
+                 lchild)
+              [ lprof ]
         | Plan.Hrjn ->
-            let lop = go (child_ann ann 0) left
-            and rop = go (child_ann ann 1) right in
+            let lop, lprof = go (child_ann ann 0) left
+            and rop, rprof = go (child_ann ann 1) right in
             let lschema = lop.Exec.Operator.schema
             and rschema = rop.Exec.Operator.schema in
             let left_input =
@@ -153,33 +224,40 @@ let compile ?hints catalog plan =
               | _ -> Exec.Rank_join.Alternate
             in
             let stream, stats =
-              Exec.Rank_join.hrjn ~polling ~combine:( +. ) ~left:left_input
-                ~right:right_input ()
+              Exec.Rank_join.hrjn ~stats ~polling ~combine:( +. )
+                ~left:left_input ~right:right_input ()
             in
             rank_nodes :=
               { label = Plan.describe plan; algo; stats } :: !rank_nodes;
-            Exec.Operator.scored_to_plain stream
+            instrument plan stats
+              (Exec.Operator.scored_to_plain stream)
+              [ lprof; rprof ]
         | Plan.Nrjn ->
-            let lop = go (child_ann ann 0) left
-            and rop = go (child_ann ann 1) right in
+            let lop, lprof = go (child_ann ann 0) left
+            and rop, rprof = go (child_ann ann 1) right in
             let lschema = lop.Exec.Operator.schema
             and rschema = rop.Exec.Operator.schema in
             let outer =
               Exec.Operator.with_score (score_fn lschema left_score) lop
             in
             let stream, stats =
-              Exec.Rank_join.nrjn ~combine:( +. ) ~pred ~outer ~inner:rop
+              Exec.Rank_join.nrjn ~stats ~combine:( +. ) ~pred ~outer
+                ~inner:rop
                 ~inner_score:(score_fn rschema right_score) ()
             in
             rank_nodes :=
               { label = Plan.describe plan; algo; stats } :: !rank_nodes;
-            Exec.Operator.scored_to_plain stream)
+            instrument plan stats
+              (Exec.Operator.scored_to_plain stream)
+              [ lprof; rprof ])
   in
-  let op = go hints plan in
-  (op, List.rev !rank_nodes, List.rev !nary_nodes)
+  let op, profile = go hints plan in
+  (op, List.rev !rank_nodes, List.rev !nary_nodes, profile)
 
-let run ?hints ?fetch_limit catalog plan =
-  let op, rank_nodes, nary_nodes = compile ?hints catalog plan in
+let run ?hints ?metrics ?fetch_limit catalog plan =
+  let op, rank_nodes, nary_nodes, profile =
+    compile ?hints ?metrics catalog plan
+  in
   let schema = op.Exec.Operator.schema in
   let score =
     match Plan.order_of plan with
@@ -200,5 +278,6 @@ let run ?hints ?fetch_limit catalog plan =
     io = Storage.Io_stats.diff after before;
     rank_nodes;
     nary_nodes;
+    profile;
     schema;
   }

@@ -3,19 +3,29 @@
     Execution is instrumented: measured I/O (through the catalog's counters)
     and, for every rank-join node, the actual input depths and buffer
     high-water mark — the quantities the estimation model of Section 4
-    predicts and Section 5 validates. *)
+    predicts and Section 5 validates. Supplying a {!Exec.Metrics.t} registry
+    extends this to {e every} operator: per-node tuple counts plus the page
+    I/O attributed to the node, returned as a [profile] tree mirroring the
+    plan shape (the raw material of [EXPLAIN ANALYZE]). *)
 
 open Relalg
 
 type rank_node_stats = {
   label : string;  (** One-line description of the rank-join node. *)
   algo : Plan.join_algo;
-  stats : Exec.Rank_join.stats;
+  stats : Exec.Exec_stats.t;
+      (** Input 0 = left/outer depth, input 1 = right/inner depth. *)
 }
 
 type nary_node_stats = {
   nary_label : string;
   nary_stats : Exec.Exec_stats.t;  (** Per-input depths + buffer. *)
+}
+
+type profile = {
+  p_plan : Plan.t;  (** The subplan rooted at this operator. *)
+  p_node : Exec.Metrics.node;  (** Its live stats + attributed I/O. *)
+  p_children : profile list;
 }
 
 type run_result = {
@@ -24,21 +34,30 @@ type run_result = {
   io : Storage.Io_stats.snapshot;  (** I/O charged during this run. *)
   rank_nodes : rank_node_stats list;  (** Binary rank joins, pre-order. *)
   nary_nodes : nary_node_stats list;  (** N-ary rank joins, pre-order. *)
+  profile : profile option;  (** Present when a metrics registry was given. *)
   schema : Schema.t;
 }
 
+val node_label : Plan.t -> string
+(** Non-recursive one-line operator name, e.g. ["HRJN"] or
+    ["IndexScan a.ix DESC"]. *)
+
 val compile :
   ?hints:Propagate.annotation ->
+  ?metrics:Exec.Metrics.t ->
   Storage.Catalog.t ->
   Plan.t ->
-  Exec.Operator.t * rank_node_stats list * nary_node_stats list
+  Exec.Operator.t * rank_node_stats list * nary_node_stats list * profile option
 (** Build the operator tree; rank-join statistics are filled during
     execution. When a depth-propagation annotation is supplied (from
     {!Propagate.run} on the same plan), HRJN nodes poll their inputs in the
-    estimated optimal depth ratio instead of alternating. *)
+    estimated optimal depth ratio instead of alternating. When a metrics
+    registry is supplied, every operator is registered and I/O-scoped, and
+    the matching [profile] tree is returned. *)
 
 val run :
   ?hints:Propagate.annotation ->
+  ?metrics:Exec.Metrics.t ->
   ?fetch_limit:int ->
   Storage.Catalog.t ->
   Plan.t ->

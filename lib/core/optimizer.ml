@@ -43,14 +43,42 @@ let optimize ?(config = Enumerator.default_config) ?env catalog query =
         env;
       }
 
+let propagation planned =
+  match planned.query.Logical.k with
+  | Some k when Plan.has_rank_join planned.plan ->
+      Some (Propagate.run planned.env ~k planned.plan)
+  | _ -> None
+
 let execute ?fetch_limit catalog planned =
-  let hints =
-    match planned.query.Logical.k with
-    | Some k when Plan.has_rank_join planned.plan ->
-        Some (Propagate.run planned.env ~k planned.plan)
-    | _ -> None
+  Executor.run ?hints:(propagation planned) ?fetch_limit catalog planned.plan
+
+let execute_analyzed ?fetch_limit catalog planned =
+  let hints = propagation planned in
+  let metrics = Exec.Metrics.create (Storage.Catalog.io catalog) in
+  let result =
+    Executor.run ?hints ~metrics ?fetch_limit catalog planned.plan
   in
-  Executor.run ?hints ?fetch_limit catalog planned.plan
+  let profile =
+    match result.Executor.profile with
+    | Some p -> p
+    | None -> assert false (* metrics were supplied *)
+  in
+  (Analyze.render ~env:planned.env ?hints profile, result)
+
+let explain_analyze ?fetch_limit catalog planned =
+  let tree, result = execute_analyzed ?fetch_limit catalog planned in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "Query: %s\n" (Format.asprintf "%a" Logical.pp planned.query));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Rows returned: %d; total io: reads=%d writes=%d pool_hits=%d\n"
+       (List.length result.Executor.rows)
+       result.Executor.io.Storage.Io_stats.page_reads
+       result.Executor.io.Storage.Io_stats.page_writes
+       result.Executor.io.Storage.Io_stats.pool_hits);
+  Buffer.add_string buf tree;
+  (Buffer.contents buf, result)
 
 let run_query ?config catalog query =
   let planned = optimize ?config catalog query in

@@ -35,3 +35,14 @@ val run_query :
 
 val explain : planned -> string
 (** Human-readable plan with cost, properties and depth propagation. *)
+
+val execute_analyzed :
+  ?fetch_limit:int -> Storage.Catalog.t -> planned -> string * Executor.run_result
+(** Run the plan under a fresh {!Exec.Metrics} registry and render the
+    {!Analyze} tree: per-operator observed depths vs the depth model's
+    predictions, and actual vs estimated I/O. *)
+
+val explain_analyze :
+  ?fetch_limit:int -> Storage.Catalog.t -> planned -> string * Executor.run_result
+(** [execute_analyzed] with a query/row-count/total-I/O header — the body of
+    the CLI's [analyze] command. *)

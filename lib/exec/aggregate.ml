@@ -49,7 +49,8 @@ module Ktbl = Hashtbl.Make (struct
   let hash = Tuple.hash
 end)
 
-let hash_group_by ~group_by ~aggregates (input : Operator.t) : Operator.t =
+let hash_group_by ?stats ~group_by ~aggregates (input : Operator.t) : Operator.t =
+  let stats = match stats with Some s -> s | None -> Exec_stats.create 1 in
   let schema =
     Schema.of_columns
       (List.map snd group_by @ List.map agg_column aggregates)
@@ -71,6 +72,7 @@ let hash_group_by ~group_by ~aggregates (input : Operator.t) : Operator.t =
       match input.next () with
       | None -> ()
       | Some tu ->
+          Exec_stats.bump_depth stats 0;
           let key = Array.of_list (List.map (fun f -> f tu) keyfns) in
           let accs =
             match Ktbl.find_opt groups key with
@@ -81,6 +83,7 @@ let hash_group_by ~group_by ~aggregates (input : Operator.t) : Operator.t =
                 a
           in
           List.iteri (fun i f -> update accs.(i) (f tu)) argfns;
+          Exec_stats.note_buffer stats (Ktbl.length groups);
           pull ()
     in
     pull ();
@@ -99,13 +102,17 @@ let hash_group_by ~group_by ~aggregates (input : Operator.t) : Operator.t =
   in
   {
     schema;
-    open_ = (fun () -> compute ());
+    open_ =
+      (fun () ->
+        Exec_stats.reset stats;
+        compute ());
     next =
       (fun () ->
         match !results with
         | [] -> None
         | tu :: rest ->
             results := rest;
+            Exec_stats.bump_emitted stats;
             Some tu);
     close = (fun () -> results := []);
   }

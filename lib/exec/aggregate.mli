@@ -20,6 +20,7 @@ type spec = {
 }
 
 val hash_group_by :
+  ?stats:Exec_stats.t ->
   group_by:(Expr.t * Schema.column) list ->
   aggregates:spec list ->
   Operator.t ->
@@ -27,4 +28,5 @@ val hash_group_by :
 (** Output schema: the grouping columns (with the given names/types) followed
     by one float/int column per aggregate. Groups stream out in unspecified
     order. With an empty [group_by], emits exactly one row (global
-    aggregates), even over an empty input. *)
+    aggregates), even over an empty input. [stats] records input tuples
+    (input 0), the group-table high-water mark, and rows emitted. *)

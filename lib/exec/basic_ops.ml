@@ -1,13 +1,27 @@
 open Relalg
 
-let filter pred (op : Operator.t) : Operator.t =
+let filter ?stats pred (op : Operator.t) : Operator.t =
+  let stats = match stats with Some s -> s | None -> Exec_stats.create 1 in
   let f = Expr.compile_bool op.schema pred in
   let rec next () =
     match op.next () with
     | None -> None
-    | Some tu -> if f tu then Some tu else next ()
+    | Some tu ->
+        Exec_stats.bump_depth stats 0;
+        if f tu then begin
+          Exec_stats.bump_emitted stats;
+          Some tu
+        end
+        else next ()
   in
-  { op with next }
+  {
+    op with
+    open_ =
+      (fun () ->
+        Exec_stats.reset stats;
+        op.open_ ());
+    next;
+  }
 
 let project cols (op : Operator.t) : Operator.t =
   let idxs =
@@ -25,12 +39,14 @@ let project_exprs targets (op : Operator.t) : Operator.t =
     (fun tu -> Array.of_list (List.map (fun f -> f tu) fns))
     op
 
-let limit n (op : Operator.t) : Operator.t =
+let limit ?stats n (op : Operator.t) : Operator.t =
+  let stats = match stats with Some s -> s | None -> Exec_stats.create 1 in
   let seen = ref 0 in
   {
     op with
     open_ =
       (fun () ->
+        Exec_stats.reset stats;
         seen := 0;
         op.open_ ());
     next =
@@ -39,6 +55,8 @@ let limit n (op : Operator.t) : Operator.t =
         else
           match op.next () with
           | Some tu ->
+              Exec_stats.bump_depth stats 0;
+              Exec_stats.bump_emitted stats;
               incr seen;
               Some tu
           | None -> None);

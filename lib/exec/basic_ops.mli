@@ -2,7 +2,9 @@
 
 open Relalg
 
-val filter : Expr.t -> Operator.t -> Operator.t
+val filter : ?stats:Exec_stats.t -> Expr.t -> Operator.t -> Operator.t
+(** [stats] (reset on open) counts tuples examined (input 0) and passed
+    ([emitted]). *)
 
 val project : (string option * string) list -> Operator.t -> Operator.t
 (** Keep the given (relation, name) columns, in order.
@@ -11,6 +13,6 @@ val project : (string option * string) list -> Operator.t -> Operator.t
 val project_exprs : (Expr.t * Schema.column) list -> Operator.t -> Operator.t
 (** Generalised projection: each output column is a computed expression. *)
 
-val limit : int -> Operator.t -> Operator.t
+val limit : ?stats:Exec_stats.t -> int -> Operator.t -> Operator.t
 
 val scored_limit : int -> Operator.scored -> Operator.scored

@@ -4,7 +4,7 @@ type t = {
   mutable emitted : int;
 }
 
-let create m = { per_input = Array.make m 0; buffer_max = 0; emitted = 0 }
+let create m = { per_input = Array.make (max m 0) 0; buffer_max = 0; emitted = 0 }
 
 let reset t =
   Array.fill t.per_input 0 (Array.length t.per_input) 0;
@@ -12,6 +12,8 @@ let reset t =
   t.emitted <- 0
 
 let bump_depth t i = t.per_input.(i) <- t.per_input.(i) + 1
+
+let note_depth t i n = if n > t.per_input.(i) then t.per_input.(i) <- n
 
 let bump_emitted t = t.emitted <- t.emitted + 1
 
@@ -21,6 +23,19 @@ let depth t i = t.per_input.(i)
 
 let depths t = Array.copy t.per_input
 
+let inputs t = Array.length t.per_input
+
+let total_in t = Array.fold_left ( + ) 0 t.per_input
+
+let left_depth t = t.per_input.(0)
+
+let right_depth t = t.per_input.(1)
+
 let buffer_max t = t.buffer_max
 
 let emitted t = t.emitted
+
+let pp fmt t =
+  Format.fprintf fmt "in=[%s] out=%d buf=%d"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.per_input)))
+    t.emitted t.buffer_max

@@ -1,20 +1,30 @@
-(** Instrumentation for N-ary operators: per-input depths and buffer
-    high-water mark (the m-input generalisation of {!Rank_join.stats}). *)
+(** The shared per-operator instrumentation record: tuples consumed per
+    input (the paper's {e depth} for rank-join inputs), tuples emitted, and
+    the high-water mark of whatever the operator buffers internally (result
+    queue, heap, hash table, sort run, ...). Every physical operator reports
+    into one of these; the metrics registry ({!Metrics}) aggregates them per
+    query. *)
 
 type t
 
 val create : int -> t
-(** [create m] for an operator with m inputs. *)
+(** [create m] for an operator with m inputs ([m = 0] is allowed for
+    leaves). *)
 
 val reset : t -> unit
 
 val bump_depth : t -> int -> unit
 (** Record one tuple consumed from input [i]. *)
 
+val note_depth : t -> int -> int -> unit
+(** [note_depth t i n]: raise input [i]'s depth to [n] if larger — for
+    operators that re-scan an input and report the deepest pass (NRJN's
+    inner). *)
+
 val bump_emitted : t -> unit
 
 val note_buffer : t -> int -> unit
-(** Record the current buffered-result count (keeps the maximum). *)
+(** Record the current buffered-element count (keeps the maximum). *)
 
 val depth : t -> int -> int
 (** Tuples consumed from input [i] so far. *)
@@ -22,6 +32,20 @@ val depth : t -> int -> int
 val depths : t -> int array
 (** Copy of all per-input depths. *)
 
+val inputs : t -> int
+(** Number of tracked inputs. *)
+
+val total_in : t -> int
+(** Sum of all per-input depths. *)
+
+val left_depth : t -> int
+(** [depth t 0] — binary-operator convenience. *)
+
+val right_depth : t -> int
+(** [depth t 1] — binary-operator convenience. *)
+
 val buffer_max : t -> int
 
 val emitted : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -2,8 +2,42 @@ open Relalg
 
 let concat_schema (l : Operator.t) (r : Operator.t) = Schema.concat l.schema r.schema
 
-let nested_loops ?(block_size = 1000) ~pred (left : Operator.t)
+let stats_or stats n = match stats with Some s -> s | None -> Exec_stats.create n
+
+(* Count every tuple pulled from input [i] into [stats]. *)
+let tap stats i (op : Operator.t) : Operator.t =
+  {
+    op with
+    next =
+      (fun () ->
+        match op.next () with
+        | Some tu ->
+            Exec_stats.bump_depth stats i;
+            Some tu
+        | None -> None);
+  }
+
+(* Reset [stats] on open and count emitted tuples. *)
+let emitting stats (op : Operator.t) : Operator.t =
+  {
+    op with
+    open_ =
+      (fun () ->
+        Exec_stats.reset stats;
+        op.open_ ());
+    next =
+      (fun () ->
+        match op.next () with
+        | Some tu ->
+            Exec_stats.bump_emitted stats;
+            Some tu
+        | None -> None);
+  }
+
+let nested_loops ?stats ?(block_size = 1000) ~pred (left : Operator.t)
     (right : Operator.t) : Operator.t =
+  let stats = stats_or stats 2 in
+  let left = tap stats 0 left and right = tap stats 1 right in
   let schema = concat_schema left right in
   let test = Expr.compile_bool schema pred in
   let block = ref [||] in
@@ -24,6 +58,7 @@ let nested_loops ?(block_size = 1000) ~pred (left : Operator.t)
     in
     pull ();
     block := Array.of_list (List.rev !acc);
+    Exec_stats.note_buffer stats (Array.length !block);
     block_idx := 0;
     if Array.length !block > 0 then begin
       right.open_ ();
@@ -51,24 +86,27 @@ let nested_loops ?(block_size = 1000) ~pred (left : Operator.t)
           if Array.length !block = 0 then None else next ()
         end
   in
-  {
-    schema;
-    open_ =
-      (fun () ->
-        left.open_ ();
-        left_done := false;
-        block := [||];
-        block_idx := 0;
-        right_cur := None);
-    next;
-    close =
-      (fun () ->
-        left.close ();
-        right.close ());
-  }
+  emitting stats
+    {
+      schema;
+      open_ =
+        (fun () ->
+          left.open_ ();
+          left_done := false;
+          block := [||];
+          block_idx := 0;
+          right_cur := None);
+      next;
+      close =
+        (fun () ->
+          left.close ();
+          right.close ());
+    }
 
-let index_nested_loops ?residual ~left_key ~right_schema ~lookup
+let index_nested_loops ?stats ?residual ~left_key ~right_schema ~lookup
     (left : Operator.t) : Operator.t =
+  let stats = stats_or stats 2 in
+  let left = tap stats 0 left in
   let schema = Schema.concat left.schema right_schema in
   let keyf = Expr.compile left.schema left_key in
   let test =
@@ -90,19 +128,22 @@ let index_nested_loops ?residual ~left_key ~right_schema ~lookup
         | None -> None
         | Some lt ->
             current_left := Some lt;
-            matches := lookup (keyf lt);
+            let found = lookup (keyf lt) in
+            List.iter (fun _ -> Exec_stats.bump_depth stats 1) found;
+            matches := found;
             next ())
   in
-  {
-    schema;
-    open_ =
-      (fun () ->
-        left.open_ ();
-        matches := [];
-        current_left := None);
-    next;
-    close = left.close;
-  }
+  emitting stats
+    {
+      schema;
+      open_ =
+        (fun () ->
+          left.open_ ();
+          matches := [];
+          current_left := None);
+      next;
+      close = left.close;
+    }
 
 module Vtbl = Hashtbl.Make (struct
   type t = Value.t
@@ -112,8 +153,10 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-let hash ?residual ~left_key ~right_key (left : Operator.t) (right : Operator.t)
-    : Operator.t =
+let hash ?stats ?residual ~left_key ~right_key (left : Operator.t)
+    (right : Operator.t) : Operator.t =
+  let stats = stats_or stats 2 in
+  let left = tap stats 0 left and right = tap stats 1 right in
   let schema = concat_schema left right in
   let lkey = Expr.compile left.schema left_key in
   let rkey = Expr.compile right.schema right_key in
@@ -128,18 +171,21 @@ let hash ?residual ~left_key ~right_key (left : Operator.t) (right : Operator.t)
   let build () =
     Vtbl.clear table;
     right.open_ ();
+    let buffered = ref 0 in
     let rec pull () =
       match right.next () with
       | Some rt ->
           let k = rkey rt in
           if not (Value.is_null k) then begin
             let prev = Option.value ~default:[] (Vtbl.find_opt table k) in
-            Vtbl.replace table k (rt :: prev)
+            Vtbl.replace table k (rt :: prev);
+            incr buffered
           end;
           pull ()
       | None -> ()
     in
     pull ();
+    Exec_stats.note_buffer stats !buffered;
     right.close ()
   in
   let rec next () =
@@ -160,17 +206,18 @@ let hash ?residual ~left_key ~right_key (left : Operator.t) (right : Operator.t)
                else Option.value ~default:[] (Vtbl.find_opt table k));
             next ())
   in
-  {
-    schema;
-    open_ =
-      (fun () ->
-        build ();
-        left.open_ ();
-        matches := [];
-        current_left := None);
-    next;
-    close = left.close;
-  }
+  emitting stats
+    {
+      schema;
+      open_ =
+        (fun () ->
+          build ();
+          left.open_ ();
+          matches := [];
+          current_left := None);
+      next;
+      close = left.close;
+    }
 
 (* Partition an input into [p] spill files by key hash. *)
 let partition_input (b : Sort.budget) schema keyf p (op : Operator.t) =
@@ -194,8 +241,10 @@ let partition_input (b : Sort.budget) schema keyf p (op : Operator.t) =
   Storage.Buffer_pool.flush b.Sort.pool;
   files
 
-let grace_hash ?residual ?(partitions = 8) ~left_key ~right_key
+let grace_hash ?stats ?residual ?(partitions = 8) ~left_key ~right_key
     (b : Sort.budget) (left : Operator.t) (right : Operator.t) : Operator.t =
+  let stats = stats_or stats 2 in
+  let left = tap stats 0 left and right = tap stats 1 right in
   let schema = concat_schema left right in
   let lkey = Expr.compile left.schema left_key in
   let rkey = Expr.compile right.schema right_key in
@@ -262,6 +311,7 @@ let grace_hash ?residual ?(partitions = 8) ~left_key ~right_key
         | None -> ()
     in
     probe ();
+    Exec_stats.note_buffer stats !count;
     if not !overflow then begin
       right.close ();
       (* Fits: plain in-memory join, streaming the left side. *)
@@ -310,21 +360,24 @@ let grace_hash ?residual ?(partitions = 8) ~left_key ~right_key
       pending := !results
     end
   in
-  {
-    schema;
-    open_ = (fun () -> compute ());
-    next =
-      (fun () ->
-        match !pending with
-        | [] -> None
-        | tu :: rest ->
-            pending := rest;
-            Some tu);
-    close = (fun () -> pending := []);
-  }
+  emitting stats
+    {
+      schema;
+      open_ = (fun () -> compute ());
+      next =
+        (fun () ->
+          match !pending with
+          | [] -> None
+          | tu :: rest ->
+              pending := rest;
+              Some tu);
+      close = (fun () -> pending := []);
+    }
 
-let merge_only ?residual ~left_key ~right_key (left : Operator.t)
+let merge_only ?stats ?residual ~left_key ~right_key (left : Operator.t)
     (right : Operator.t) : Operator.t =
+  let stats = stats_or stats 2 in
+  let left = tap stats 0 left and right = tap stats 1 right in
   let schema = concat_schema left right in
   let lkey = Expr.compile left.schema left_key in
   let rkey = Expr.compile right.schema right_key in
@@ -372,6 +425,7 @@ let merge_only ?residual ~left_key ~right_key (left : Operator.t)
         in
         fill ();
         rgroup := Array.of_list (List.rev !acc);
+        Exec_stats.note_buffer stats (Array.length !rgroup);
         rgroup_key := Some rk
   in
   let rec next () =
@@ -406,26 +460,27 @@ let merge_only ?residual ~left_key ~right_key (left : Operator.t)
             gi := 0;
             if !rgroup_key = None then None else next ())
   in
-  {
-    schema;
-    open_ =
-      (fun () ->
-        left.open_ ();
-        right.open_ ();
-        lcur := None;
-        rgroup := [||];
-        rgroup_key := None;
-        rnext_pending := None;
-        gi := 0);
-    next;
-    close =
-      (fun () ->
-        left.close ();
-        right.close ());
-  }
+  emitting stats
+    {
+      schema;
+      open_ =
+        (fun () ->
+          left.open_ ();
+          right.open_ ();
+          lcur := None;
+          rgroup := [||];
+          rgroup_key := None;
+          rnext_pending := None;
+          gi := 0);
+      next;
+      close =
+        (fun () ->
+          left.close ();
+          right.close ());
+    }
 
-let sort_merge ?residual ~left_key ~right_key budget (left : Operator.t)
+let sort_merge ?stats ?residual ~left_key ~right_key budget (left : Operator.t)
     (right : Operator.t) : Operator.t =
   let sorted_left = Sort.by_expr budget left_key left in
   let sorted_right = Sort.by_expr budget right_key right in
-  merge_only ?residual ~left_key ~right_key sorted_left sorted_right
+  merge_only ?stats ?residual ~left_key ~right_key sorted_left sorted_right

@@ -3,17 +3,29 @@
     All joins emit the concatenation of left and right tuples. Equi-joins
     take one key expression per side, compiled against that side's schema.
     These are the join choices available to the optimizer next to the
-    rank-join operators, and the substrate of the join-then-sort baseline. *)
+    rank-join operators, and the substrate of the join-then-sort baseline.
+
+    Each constructor accepts an optional [stats] record (see {!Exec_stats},
+    reset on [open_]): input 0 counts tuples pulled from the left/outer
+    input, input 1 from the right/inner input, [emitted] counts join
+    results, and [buffer_max] tracks the largest in-memory structure (left
+    block, hash table, probe buffer, or right merge group). *)
 
 open Relalg
 
 val nested_loops :
-  ?block_size:int -> pred:Expr.t -> Operator.t -> Operator.t -> Operator.t
+  ?stats:Exec_stats.t ->
+  ?block_size:int ->
+  pred:Expr.t ->
+  Operator.t ->
+  Operator.t ->
+  Operator.t
 (** Block nested loops under an arbitrary predicate over the concatenated
     schema. The right input is re-opened once per left block
     (default block size 1000 tuples). *)
 
 val index_nested_loops :
+  ?stats:Exec_stats.t ->
   ?residual:Expr.t ->
   left_key:Expr.t ->
   right_schema:Schema.t ->
@@ -22,9 +34,10 @@ val index_nested_loops :
   Operator.t
 (** For each left tuple, probe the right table's index with the left key
     value ([lookup] is typically [Scan.index_probe]); optionally filter by a
-    residual predicate. *)
+    residual predicate. Input 1 of [stats] counts fetched index matches. *)
 
 val hash :
+  ?stats:Exec_stats.t ->
   ?residual:Expr.t ->
   left_key:Expr.t ->
   right_key:Expr.t ->
@@ -34,6 +47,7 @@ val hash :
 (** In-memory hash join: builds on the right input at [open_]. *)
 
 val grace_hash :
+  ?stats:Exec_stats.t ->
   ?residual:Expr.t ->
   ?partitions:int ->
   left_key:Expr.t ->
@@ -50,6 +64,7 @@ val grace_hash :
     loops within the partition, keeping memory bounded. *)
 
 val sort_merge :
+  ?stats:Exec_stats.t ->
   ?residual:Expr.t ->
   left_key:Expr.t ->
   right_key:Expr.t ->
@@ -58,9 +73,11 @@ val sort_merge :
   Operator.t ->
   Operator.t
 (** Sorts both inputs on their keys (external sort) and merges, handling
-    duplicate key groups on both sides. *)
+    duplicate key groups on both sides. [stats] observes the merge step
+    (post-sort inputs). *)
 
 val merge_only :
+  ?stats:Exec_stats.t ->
   ?residual:Expr.t ->
   left_key:Expr.t ->
   right_key:Expr.t ->

@@ -1,0 +1,94 @@
+type node = {
+  id : int;
+  label : string;
+  stats : Exec_stats.t;
+  io : Storage.Io_stats.t;
+}
+
+type t = {
+  root_io : Storage.Io_stats.t;
+  mutable rev_nodes : node list;
+  mutable next_id : int;
+}
+
+let create root_io = { root_io; rev_nodes = []; next_id = 0 }
+
+let root_io t = t.root_io
+
+let nodes t = List.rev t.rev_nodes
+
+let find t id = List.find_opt (fun n -> n.id = id) t.rev_nodes
+
+let attach t ?stats ~label ~inputs () =
+  let stats = match stats with Some s -> s | None -> Exec_stats.create inputs in
+  let node = { id = t.next_id; label; stats; io = Storage.Io_stats.create () } in
+  t.next_id <- t.next_id + 1;
+  t.rev_nodes <- node :: t.rev_nodes;
+  node
+
+let scoped t node f = Storage.Io_stats.with_sink t.root_io node.io f
+
+(* IO attribution only: every charge made while one of this operator's entry
+   points is on the stack lands in [node.io] — unless a child operator's own
+   wrapper is active below it, which re-points the sink for the duration of
+   the child's call (innermost wins, exactly "the operator that caused
+   it"). *)
+let scope t node (op : Operator.t) : Operator.t =
+  {
+    op with
+    open_ = (fun () -> scoped t node op.open_);
+    next = (fun () -> scoped t node op.next);
+    close = (fun () -> scoped t node op.close);
+  }
+
+let scope_scored t node (s : Operator.scored) : Operator.scored =
+  {
+    s with
+    s_open = (fun () -> scoped t node s.s_open);
+    s_next = (fun () -> scoped t node s.s_next);
+    s_close = (fun () -> scoped t node s.s_close);
+  }
+
+(* IO attribution plus tuple accounting, for operators that do not report
+   into an [Exec_stats.t] themselves. *)
+let observe t node (op : Operator.t) : Operator.t =
+  {
+    op with
+    open_ =
+      (fun () ->
+        Exec_stats.reset node.stats;
+        scoped t node op.open_);
+    next =
+      (fun () ->
+        match scoped t node op.next with
+        | Some tu ->
+            Exec_stats.bump_emitted node.stats;
+            Some tu
+        | None -> None);
+    close = (fun () -> scoped t node op.close);
+  }
+
+let pp_node fmt node =
+  Format.fprintf fmt "#%d %s: %a; io: %a" node.id node.label Exec_stats.pp
+    node.stats Storage.Io_stats.pp
+    (Storage.Io_stats.snapshot node.io)
+
+let pp fmt t =
+  List.iter (fun n -> Format.fprintf fmt "%a@." pp_node n) (nodes t)
+
+(* One JSON object per operator — the bench harness prints these as the
+   per-operator rows of its BENCH JSON output. *)
+let node_to_json node =
+  let io = Storage.Io_stats.snapshot node.io in
+  Printf.sprintf
+    "{\"id\":%d,\"label\":%S,\"depths\":[%s],\"emitted\":%d,\"buffer_max\":%d,\
+     \"page_reads\":%d,\"page_writes\":%d,\"pool_hits\":%d,\
+     \"index_node_reads\":%d,\"tuples_read\":%d}"
+    node.id node.label
+    (String.concat ","
+       (Array.to_list (Array.map string_of_int (Exec_stats.depths node.stats))))
+    (Exec_stats.emitted node.stats)
+    (Exec_stats.buffer_max node.stats)
+    io.Storage.Io_stats.page_reads io.Storage.Io_stats.page_writes
+    io.Storage.Io_stats.pool_hits io.Storage.Io_stats.index_node_reads
+    io.Storage.Io_stats.tuples_read

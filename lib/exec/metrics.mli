@@ -1,0 +1,57 @@
+(** Per-query execution metrics registry.
+
+    One registry is created per instrumented run; every physical operator in
+    the compiled plan attaches a {!node} holding its {!Exec_stats.t} (tuples
+    in per input, tuples out, buffer high-water mark) and a private
+    {!Storage.Io_stats.t} that receives the page reads/writes/pool hits the
+    operator caused. Attribution works by sink-scoping: while an operator's
+    [open_]/[next]/[close] runs, the query's root I/O counters mirror every
+    charge into that operator's node; a nested operator call re-points the
+    sink for its own duration, so the innermost active operator is charged.
+
+    [EXPLAIN ANALYZE] renders these nodes next to the optimizer's
+    predictions; the bench harness serialises them as per-operator JSON
+    rows. *)
+
+type node = {
+  id : int;  (** Registration order, 0-based. *)
+  label : string;  (** One-line operator description. *)
+  stats : Exec_stats.t;
+  io : Storage.Io_stats.t;  (** I/O attributed to this operator alone. *)
+}
+
+type t
+
+val create : Storage.Io_stats.t -> t
+(** [create root] — a registry attributing charges made against [root] (the
+    catalog's counters). *)
+
+val root_io : t -> Storage.Io_stats.t
+
+val nodes : t -> node list
+(** In registration order. *)
+
+val find : t -> int -> node option
+
+val attach : t -> ?stats:Exec_stats.t -> label:string -> inputs:int -> unit -> node
+(** Register an operator. Pass [stats] when the operator maintains its own
+    record (rank joins); otherwise a fresh one with [inputs] inputs is
+    created. *)
+
+val scope : t -> node -> Operator.t -> Operator.t
+(** Wrap an operator that already reports into its node's [stats]: only I/O
+    sink-scoping is added. *)
+
+val scope_scored : t -> node -> Operator.scored -> Operator.scored
+
+val observe : t -> node -> Operator.t -> Operator.t
+(** Wrap an operator with no self-reporting: I/O sink-scoping plus
+    emitted-tuple counting (and a stats reset on open). *)
+
+val pp_node : Format.formatter -> node -> unit
+
+val pp : Format.formatter -> t -> unit
+
+val node_to_json : node -> string
+(** One flat JSON object: id, label, per-input depths, emitted, buffer
+    high-water mark, and the attributed I/O counters. *)

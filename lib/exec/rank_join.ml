@@ -5,16 +5,6 @@ type input = {
   key : Tuple.t -> Value.t;
 }
 
-type stats = {
-  mutable left_depth : int;
-  mutable right_depth : int;
-  mutable buffer_max : int;
-  mutable emitted : int;
-}
-
-let fresh_stats () =
-  { left_depth = 0; right_depth = 0; buffer_max = 0; emitted = 0 }
-
 type polling = Alternate | Adaptive | Ratio of float
 
 module Vtbl = Hashtbl.Make (struct
@@ -29,12 +19,19 @@ end)
 let result_heap () =
   Rkutil.Heap.create ~cmp:(fun (_, s1) (_, s2) -> Float.compare s2 s1)
 
-let hrjn ?(polling = Alternate) ~combine ~left ~right () =
+let stats_of = function
+  | Some s ->
+      if Exec_stats.inputs s <> 2 then
+        invalid_arg "Rank_join: stats record must track exactly 2 inputs";
+      s
+  | None -> Exec_stats.create 2
+
+let hrjn ?stats ?(polling = Alternate) ~combine ~left ~right () =
   let schema = Schema.concat left.stream.Operator.s_schema right.stream.Operator.s_schema in
-  let stats = fresh_stats () in
+  let stats = stats_of stats in
   let hash_l : (Tuple.t * float) list Vtbl.t = Vtbl.create 64 in
   let hash_r : (Tuple.t * float) list Vtbl.t = Vtbl.create 64 in
-  let queue = ref (result_heap ()) in
+  let queue = result_heap () in
   let top_l = ref nan and last_l = ref nan in
   let top_r = ref nan and last_r = ref nan in
   let started_l = ref false and started_r = ref false in
@@ -43,7 +40,7 @@ let hrjn ?(polling = Alternate) ~combine ~left ~right () =
   let reset () =
     Vtbl.clear hash_l;
     Vtbl.clear hash_r;
-    queue := result_heap ();
+    Rkutil.Heap.clear queue;
     top_l := nan;
     last_l := nan;
     top_r := nan;
@@ -53,10 +50,7 @@ let hrjn ?(polling = Alternate) ~combine ~left ~right () =
     done_l := false;
     done_r := false;
     turn := `L;
-    stats.left_depth <- 0;
-    stats.right_depth <- 0;
-    stats.buffer_max <- 0;
-    stats.emitted <- 0
+    Exec_stats.reset stats
   in
   (* Upper bound on the score of any join result not yet in the queue.
      Before both inputs have produced a tuple the bound is +inf. *)
@@ -74,17 +68,13 @@ let hrjn ?(polling = Alternate) ~combine ~left ~right () =
     let prev = Option.value ~default:[] (Vtbl.find_opt tbl key) in
     Vtbl.replace tbl key (entry :: prev)
   in
-  let note_buffer () =
-    let n = Rkutil.Heap.length !queue in
-    if n > stats.buffer_max then stats.buffer_max <- n
-  in
   let ingest side =
     match side with
     | `L -> (
         match left.stream.Operator.s_next () with
         | None -> done_l := true
         | Some (tu, score) ->
-            stats.left_depth <- stats.left_depth + 1;
+            Exec_stats.bump_depth stats 0;
             if not !started_l then top_l := score;
             started_l := true;
             last_l := score;
@@ -95,15 +85,15 @@ let hrjn ?(polling = Alternate) ~combine ~left ~right () =
             | Some partners ->
                 List.iter
                   (fun (rt, rscore) ->
-                    Rkutil.Heap.push !queue
+                    Rkutil.Heap.push queue
                       (Tuple.concat tu rt, combine score rscore))
                   partners);
-            note_buffer ())
+            Exec_stats.note_buffer stats (Rkutil.Heap.length queue))
     | `R -> (
         match right.stream.Operator.s_next () with
         | None -> done_r := true
         | Some (tu, score) ->
-            stats.right_depth <- stats.right_depth + 1;
+            Exec_stats.bump_depth stats 1;
             if not !started_r then top_r := score;
             started_r := true;
             last_r := score;
@@ -114,10 +104,10 @@ let hrjn ?(polling = Alternate) ~combine ~left ~right () =
             | Some partners ->
                 List.iter
                   (fun (lt, lscore) ->
-                    Rkutil.Heap.push !queue
+                    Rkutil.Heap.push queue
                       (Tuple.concat lt tu, combine lscore score))
                   partners);
-            note_buffer ())
+            Exec_stats.note_buffer stats (Rkutil.Heap.length queue))
   in
   let pick_side () =
     match !done_l, !done_r with
@@ -143,25 +133,25 @@ let hrjn ?(polling = Alternate) ~combine ~left ~right () =
             else if not !started_r then Some `R
             else begin
               let current =
-                float_of_int stats.left_depth
-                /. float_of_int (max 1 stats.right_depth)
+                float_of_int (Exec_stats.left_depth stats)
+                /. float_of_int (max 1 (Exec_stats.right_depth stats))
               in
               if current <= target then Some `L else Some `R
             end)
   in
   let rec next () =
     let t = threshold () in
-    match Rkutil.Heap.peek !queue with
+    match Rkutil.Heap.peek queue with
     | Some (_, s) when s >= t || (!done_l && !done_r) ->
-        let tu, s = Rkutil.Heap.pop_exn !queue in
-        stats.emitted <- stats.emitted + 1;
+        let tu, s = Rkutil.Heap.pop_exn queue in
+        Exec_stats.bump_emitted stats;
         Some (tu, s)
     | _ -> (
         match pick_side () with
         | None -> (
-            match Rkutil.Heap.pop !queue with
+            match Rkutil.Heap.pop queue with
             | Some (tu, s) ->
-                stats.emitted <- stats.emitted + 1;
+                Exec_stats.bump_emitted stats;
                 Some (tu, s)
             | None -> None)
         | Some side ->
@@ -180,16 +170,16 @@ let hrjn ?(polling = Alternate) ~combine ~left ~right () =
       s_close =
         (fun () ->
           left.stream.Operator.s_close ();
-          right.stream.Operator.s_close ());
+          right.stream.Operator.s_close ())
     }
   in
   (stream, stats)
 
-let nrjn ~combine ~pred ~outer ~inner ~inner_score () =
+let nrjn ?stats ~combine ~pred ~outer ~inner ~inner_score () =
   let schema = Schema.concat outer.Operator.s_schema inner.Operator.schema in
   let test = Expr.compile_bool schema pred in
-  let stats = fresh_stats () in
-  let queue = ref (result_heap ()) in
+  let stats = stats_of stats in
+  let queue = result_heap () in
   let top_inner = ref nan in
   let inner_count = ref 0 in
   let have_inner_top = ref false in
@@ -197,17 +187,14 @@ let nrjn ~combine ~pred ~outer ~inner ~inner_score () =
   let started_outer = ref false in
   let done_outer = ref false in
   let reset () =
-    queue := result_heap ();
+    Rkutil.Heap.clear queue;
     top_inner := nan;
     have_inner_top := false;
     inner_count := 0;
     last_outer := nan;
     started_outer := false;
     done_outer := false;
-    stats.left_depth <- 0;
-    stats.right_depth <- 0;
-    stats.buffer_max <- 0;
-    stats.emitted <- 0
+    Exec_stats.reset stats
   in
   let threshold () =
     if !done_outer then neg_infinity
@@ -219,7 +206,7 @@ let nrjn ~combine ~pred ~outer ~inner ~inner_score () =
     match outer.Operator.s_next () with
     | None -> done_outer := true
     | Some (ot, oscore) ->
-        stats.left_depth <- stats.left_depth + 1;
+        Exec_stats.bump_depth stats 0;
         started_outer := true;
         last_outer := oscore;
         inner.Operator.open_ ();
@@ -237,27 +224,26 @@ let nrjn ~combine ~pred ~outer ~inner ~inner_score () =
               else if iscore > !top_inner then top_inner := iscore;
               let joined = Tuple.concat ot it in
               if test joined then
-                Rkutil.Heap.push !queue (joined, combine oscore iscore);
+                Rkutil.Heap.push queue (joined, combine oscore iscore);
               loop ()
         in
         loop ();
         if !scanned > !inner_count then inner_count := !scanned;
-        stats.right_depth <- max stats.right_depth !inner_count;
-        let n = Rkutil.Heap.length !queue in
-        if n > stats.buffer_max then stats.buffer_max <- n
+        Exec_stats.note_depth stats 1 !inner_count;
+        Exec_stats.note_buffer stats (Rkutil.Heap.length queue)
   in
   let rec next () =
     let t = threshold () in
-    match Rkutil.Heap.peek !queue with
+    match Rkutil.Heap.peek queue with
     | Some (_, s) when s >= t || !done_outer ->
-        let tu, s = Rkutil.Heap.pop_exn !queue in
-        stats.emitted <- stats.emitted + 1;
+        let tu, s = Rkutil.Heap.pop_exn queue in
+        Exec_stats.bump_emitted stats;
         Some (tu, s)
     | _ ->
         if !done_outer then
-          (match Rkutil.Heap.pop !queue with
+          (match Rkutil.Heap.pop queue with
           | Some (tu, s) ->
-              stats.emitted <- stats.emitted + 1;
+              Exec_stats.bump_emitted stats;
               Some (tu, s)
           | None -> None)
         else begin
@@ -276,7 +262,7 @@ let nrjn ~combine ~pred ~outer ~inner ~inner_score () =
       s_close =
         (fun () ->
           outer.Operator.s_close ();
-          inner.Operator.close ());
+          inner.Operator.close ())
     }
   in
   (stream, stats)

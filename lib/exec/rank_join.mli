@@ -6,8 +6,10 @@
     monotone combining function.
 
     Instrumentation exposes exactly the quantities the paper's estimation
-    model predicts: the {e depth} consumed from each input (Figures 13-14)
-    and the high-water mark of the internal result buffer (Figure 15). *)
+    model predicts, through the shared {!Exec_stats.t} record (input 0 is
+    the left/outer side, input 1 the right/inner): the {e depth} consumed
+    from each input (Figures 13-14) and the high-water mark of the internal
+    result buffer (Figure 15). *)
 
 open Relalg
 
@@ -15,15 +17,6 @@ type input = {
   stream : Operator.scored;  (** Sorted access: non-increasing scores. *)
   key : Tuple.t -> Value.t;  (** Equi-join key extraction. *)
 }
-
-type stats = {
-  mutable left_depth : int;  (** Tuples consumed from the left input. *)
-  mutable right_depth : int;
-  mutable buffer_max : int;  (** Max buffered, not-yet-reported join results. *)
-  mutable emitted : int;
-}
-
-val fresh_stats : unit -> stats
 
 type polling =
   | Alternate
@@ -36,26 +29,30 @@ type polling =
           (possibly asymmetric) consumption, cf. Section 4.3. *)
 
 val hrjn :
+  ?stats:Exec_stats.t ->
   ?polling:polling ->
   combine:(float -> float -> float) ->
   left:input ->
   right:input ->
   unit ->
-  Operator.scored * stats
+  Operator.scored * Exec_stats.t
 (** Hash rank-join: symmetric hash tables over the tuples seen so far plus a
     priority queue of buffered results; a result is reported once its
     combined score is at least the threshold
-    [max (f(lastL, topR), f(topL, lastR))]. *)
+    [max (f(lastL, topR), f(topL, lastR))]. When [stats] is supplied (e.g. a
+    metrics-registry record) the operator reports into it and returns it;
+    it must have been created for 2 inputs. *)
 
 val nrjn :
+  ?stats:Exec_stats.t ->
   combine:(float -> float -> float) ->
   pred:Expr.t ->
   outer:Operator.scored ->
   inner:Operator.t ->
   inner_score:(Tuple.t -> float) ->
   unit ->
-  Operator.scored * stats
+  Operator.scored * Exec_stats.t
 (** Nested-loops rank-join: the outer input must provide sorted access; the
     inner is fully re-scanned per outer tuple under an arbitrary join
-    predicate. State is only the priority queue; the threshold is
-    [f(last_outer, top_inner)]. *)
+    predicate (input 1's depth reports the deepest inner pass). State is
+    only the priority queue; the threshold is [f(last_outer, top_inner)]. *)

@@ -13,7 +13,7 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
-let hrjn_nary ~inputs () =
+let hrjn_nary ?stats ~inputs () =
   let m = List.length inputs in
   if m < 2 then invalid_arg "Rank_join_nary.hrjn_nary: need at least 2 inputs";
   let inputs = Array.of_list inputs in
@@ -26,7 +26,14 @@ let hrjn_nary ~inputs () =
       None inputs
     |> Option.get
   in
-  let stats = Exec_stats.create m in
+  let stats =
+    match stats with
+    | Some s ->
+        if Exec_stats.inputs s <> m then
+          invalid_arg "Rank_join_nary.hrjn_nary: stats arity mismatch";
+        s
+    | None -> Exec_stats.create m
+  in
   let hashes : (Tuple.t * float) list Vtbl.t array =
     Array.init m (fun _ -> Vtbl.create 64)
   in

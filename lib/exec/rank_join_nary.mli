@@ -18,10 +18,12 @@ type input = {
 }
 
 val hrjn_nary :
+  ?stats:Exec_stats.t ->
   inputs:input list ->
   unit ->
   Operator.scored * Exec_stats.t
 (** Join m ≥ 2 inputs. Output tuples are the concatenation of one tuple per
     input, in input order; the score is the sum of per-input scores.
     Instrumentation reports the depth of each input and the buffer
-    high-water mark. *)
+    high-water mark; a supplied [stats] (e.g. a metrics-registry record)
+    must have been created for exactly m inputs. *)

@@ -1,16 +1,29 @@
 open Relalg
 open Storage
 
-let heap (info : Catalog.table_info) : Operator.t =
+let stats_or stats = match stats with Some s -> s | None -> Exec_stats.create 0
+
+let heap ?stats (info : Catalog.table_info) : Operator.t =
+  let stats = stats_or stats in
   let cursor = ref (fun () -> None) in
   {
     schema = info.tb_schema;
-    open_ = (fun () -> cursor := Heap_file.scan info.tb_heap);
-    next = (fun () -> !cursor ());
+    open_ =
+      (fun () ->
+        Exec_stats.reset stats;
+        cursor := Heap_file.scan info.tb_heap);
+    next =
+      (fun () ->
+        match !cursor () with
+        | Some tu ->
+            Exec_stats.bump_emitted stats;
+            Some tu
+        | None -> None);
     close = (fun () -> cursor := fun () -> None);
   }
 
-let index_with ~direction catalog (ix : Catalog.index_info) : Operator.t =
+let index_with ?stats ~direction catalog (ix : Catalog.index_info) : Operator.t =
+  let stats = stats_or stats in
   let info = Catalog.table catalog ix.Catalog.ix_table in
   let cursor = ref (fun () -> None) in
   let start () =
@@ -20,20 +33,27 @@ let index_with ~direction catalog (ix : Catalog.index_info) : Operator.t =
   in
   {
     schema = info.tb_schema;
-    open_ = (fun () -> cursor := start ());
+    open_ =
+      (fun () ->
+        Exec_stats.reset stats;
+        cursor := start ());
     next =
       (fun () ->
-        Option.map (Catalog.index_payload_to_tuple catalog ix) (!cursor ()));
+        match !cursor () with
+        | Some payload ->
+            Exec_stats.bump_emitted stats;
+            Some (Catalog.index_payload_to_tuple catalog ix payload)
+        | None -> None);
     close = (fun () -> cursor := fun () -> None);
   }
 
-let index_asc catalog ix = index_with ~direction:`Asc catalog ix
+let index_asc ?stats catalog ix = index_with ?stats ~direction:`Asc catalog ix
 
-let index_desc catalog ix = index_with ~direction:`Desc catalog ix
+let index_desc ?stats catalog ix = index_with ?stats ~direction:`Desc catalog ix
 
-let index_desc_scored catalog (ix : Catalog.index_info) : Operator.scored =
+let index_desc_scored ?stats catalog (ix : Catalog.index_info) : Operator.scored =
   let info = Catalog.table catalog ix.Catalog.ix_table in
-  let op = index_desc catalog ix in
+  let op = index_desc ?stats catalog ix in
   let score = Expr.compile_float info.tb_schema ix.ix_key in
   Operator.with_score score op
 

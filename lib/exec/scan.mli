@@ -1,19 +1,23 @@
-(** Access-path operators: heap scans and B+-tree index scans. *)
+(** Access-path operators: heap scans and B+-tree index scans.
+
+    Every constructor takes an optional [stats] record (see {!Exec_stats});
+    when given, it is reset on [open_] and bumped once per emitted tuple. *)
 
 open Relalg
 open Storage
 
-val heap : Catalog.table_info -> Operator.t
+val heap : ?stats:Exec_stats.t -> Catalog.table_info -> Operator.t
 (** Full table scan through the buffer pool. *)
 
-val index_asc : Catalog.t -> Catalog.index_info -> Operator.t
+val index_asc : ?stats:Exec_stats.t -> Catalog.t -> Catalog.index_info -> Operator.t
 (** Full index scan in ascending key order. Unclustered indexes resolve each
     entry through the heap (a random page access per tuple). *)
 
-val index_desc : Catalog.t -> Catalog.index_info -> Operator.t
+val index_desc : ?stats:Exec_stats.t -> Catalog.t -> Catalog.index_info -> Operator.t
 (** Descending key order — a ranked access path. *)
 
-val index_desc_scored : Catalog.t -> Catalog.index_info -> Operator.scored
+val index_desc_scored :
+  ?stats:Exec_stats.t -> Catalog.t -> Catalog.index_info -> Operator.scored
 (** Descending index scan as a scored stream: the score is the (numeric)
     index key, which is exactly the {e sorted access} a rank-join needs. *)
 

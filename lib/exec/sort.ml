@@ -82,7 +82,7 @@ let rec merge_all b schema cmp runs =
       in
       merge_all b schema cmp merged
 
-let sort_input b cmp (op : Operator.t) =
+let sort_input b stats cmp (op : Operator.t) =
   op.open_ ();
   let runs = ref [] in
   let batch = ref [] in
@@ -101,8 +101,10 @@ let sort_input b cmp (op : Operator.t) =
   let rec consume () =
     match op.next () with
     | Some tu ->
+        Exec_stats.bump_depth stats 0;
         batch := tu :: !batch;
         incr batch_size;
+        Exec_stats.note_buffer stats !batch_size;
         if !batch_size >= b.memory_tuples then flush_batch ~force_spill:true;
         consume ()
     | None -> ()
@@ -114,24 +116,34 @@ let sort_input b cmp (op : Operator.t) =
   flush_batch ~force_spill:have_spilled;
   merge_all b op.schema cmp (List.rev !runs)
 
-let by_cmp b ~cmp (op : Operator.t) : Operator.t =
+let by_cmp ?stats b ~cmp (op : Operator.t) : Operator.t =
+  let stats = match stats with Some s -> s | None -> Exec_stats.create 1 in
   let cursor = ref (fun () -> None) in
   {
     schema = op.schema;
-    open_ = (fun () -> cursor := run_cursor (sort_input b cmp op));
-    next = (fun () -> !cursor ());
+    open_ =
+      (fun () ->
+        Exec_stats.reset stats;
+        cursor := run_cursor (sort_input b stats cmp op));
+    next =
+      (fun () ->
+        match !cursor () with
+        | Some tu ->
+            Exec_stats.bump_emitted stats;
+            Some tu
+        | None -> None);
     close = (fun () -> cursor := fun () -> None);
   }
 
-let by_expr b ?(desc = false) expr (op : Operator.t) : Operator.t =
+let by_expr ?stats b ?(desc = false) expr (op : Operator.t) : Operator.t =
   let f = Expr.compile_float op.schema expr in
   let cmp t1 t2 =
     let c = Float.compare (f t1) (f t2) in
     if desc then -c else c
   in
-  by_cmp b ~cmp op
+  by_cmp ?stats b ~cmp op
 
-let scored_desc b expr (op : Operator.t) : Operator.scored =
-  let sorted = by_expr b ~desc:true expr op in
+let scored_desc ?stats b expr (op : Operator.t) : Operator.scored =
+  let sorted = by_expr ?stats b ~desc:true expr op in
   let score = Expr.compile_float op.schema expr in
   Operator.with_score score sorted

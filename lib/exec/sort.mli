@@ -20,13 +20,16 @@ val budget :
   ?memory_tuples:int -> ?tuples_per_page:int -> ?fan_in:int -> Buffer_pool.t -> budget
 (** Defaults: 10_000 in-memory tuples, 50 tuples/page, fan-in 8. *)
 
-val by_cmp : budget -> cmp:(Tuple.t -> Tuple.t -> int) -> Operator.t -> Operator.t
-(** Sort under an arbitrary total order. *)
+val by_cmp :
+  ?stats:Exec_stats.t -> budget -> cmp:(Tuple.t -> Tuple.t -> int) -> Operator.t -> Operator.t
+(** Sort under an arbitrary total order. [stats] records tuples consumed
+    (input 0), the in-memory batch high-water mark, and tuples emitted. *)
 
-val by_expr : budget -> ?desc:bool -> Expr.t -> Operator.t -> Operator.t
+val by_expr :
+  ?stats:Exec_stats.t -> budget -> ?desc:bool -> Expr.t -> Operator.t -> Operator.t
 (** Sort on the numeric value of an expression (ascending by default). *)
 
-val scored_desc : budget -> Expr.t -> Operator.t -> Operator.scored
+val scored_desc : ?stats:Exec_stats.t -> budget -> Expr.t -> Operator.t -> Operator.scored
 (** Sort descending on a score expression and emit a scored stream — the
     "glued sort" enforcer that makes any subplan usable as a rank-join
     input or as a final ranking producer. *)

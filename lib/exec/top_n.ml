@@ -1,24 +1,41 @@
 open Relalg
 
-let by_expr ~k expr (op : Operator.t) : Operator.scored =
+(* Total order on candidates: score first, then the tuple contents as a
+   deterministic tie-break. Ordering ties by value (not arrival) makes the
+   kept set and the emission order identical no matter how the input was
+   interleaved upstream (e.g. across rank-join polling strategies). *)
+let candidate_cmp (t1, s1) (t2, s2) =
+  let c = Float.compare s1 s2 in
+  if c <> 0 then c else Tuple.compare t1 t2
+
+let by_expr ?stats ~k expr (op : Operator.t) : Operator.scored =
   let score = Expr.compile_float op.schema expr in
+  let stats = match stats with Some s -> s | None -> Exec_stats.create 1 in
   let results = ref [] in
   let compute () =
     (* Min-heap of the best k seen so far: the root is the weakest keeper. *)
-    let heap = Rkutil.Heap.create ~cmp:(fun (_, a) (_, b) -> Float.compare a b) in
+    let heap = Rkutil.Heap.create ~cmp:candidate_cmp in
+    Exec_stats.reset stats;
     op.open_ ();
     let rec pull () =
       match op.next () with
       | None -> ()
       | Some tu ->
+          Exec_stats.bump_depth stats 0;
           let s = score tu in
-          if Rkutil.Heap.length heap < k then Rkutil.Heap.push heap (tu, s)
-          else begin
-            match Rkutil.Heap.peek heap with
-            | Some (_, worst) when s > worst ->
-                ignore (Rkutil.Heap.pop heap);
-                Rkutil.Heap.push heap (tu, s)
-            | _ -> ()
+          (* NaN never ranks: admitting one would poison the heap root (every
+             comparison against NaN is false) and silently reject all later
+             tuples. *)
+          if not (Float.is_nan s) then begin
+            if Rkutil.Heap.length heap < k then Rkutil.Heap.push heap (tu, s)
+            else begin
+              match Rkutil.Heap.peek heap with
+              | Some worst when candidate_cmp (tu, s) worst > 0 ->
+                  ignore (Rkutil.Heap.pop heap);
+                  Rkutil.Heap.push heap (tu, s)
+              | _ -> ()
+            end;
+            Exec_stats.note_buffer stats (Rkutil.Heap.length heap)
           end;
           pull ()
     in
@@ -35,6 +52,7 @@ let by_expr ~k expr (op : Operator.t) : Operator.scored =
         | [] -> None
         | e :: rest ->
             results := rest;
+            Exec_stats.bump_emitted stats;
             Some e);
     s_close = (fun () -> results := []);
   }

@@ -3,10 +3,17 @@
     A blocking alternative to a full sort + limit when [k] is known at plan
     time: one pass over the input keeping a bounded min-heap of the [k] best
     tuples. Used by ablation benchmarks to contrast with the paper's
-    join-then-(full-)sort baseline. *)
+    join-then-(full-)sort baseline.
+
+    Tuples whose score evaluates to NaN are dropped on entry (NaN cannot be
+    ranked), and ties are broken deterministically on the tuple contents, so
+    the selected set and its order do not depend on the input's arrival
+    order. *)
 
 open Relalg
 
-val by_expr : k:int -> Expr.t -> Operator.t -> Operator.scored
+val by_expr : ?stats:Exec_stats.t -> k:int -> Expr.t -> Operator.t -> Operator.scored
 (** The [k] highest values of the score expression, emitted in
-    non-increasing score order. *)
+    non-increasing score order (ties in ascending tuple order). [stats]
+    receives tuples consumed (input 0), the heap's high-water mark, and
+    tuples emitted. *)

@@ -1,6 +1,10 @@
+(* Slots beyond [size] are always [None]: [pop] nulls the slot it vacates and
+   [grow] seeds fresh capacity with [None], so the heap never retains a
+   reference to an element it no longer owns (long-running top-k streams pop
+   far more elements than they hold). *)
 type 'a t = {
   cmp : 'a -> 'a -> int;
-  mutable data : 'a array;
+  mutable data : 'a option array;
   mutable size : int;
 }
 
@@ -10,11 +14,16 @@ let length h = h.size
 
 let is_empty h = h.size = 0
 
-let grow h x =
+let get h i =
+  match h.data.(i) with
+  | Some x -> x
+  | None -> invalid_arg "Heap: vacated slot in live prefix"
+
+let grow h =
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nd = Array.make ncap x in
+    let nd = Array.make ncap None in
     Array.blit h.data 0 nd 0 h.size;
     h.data <- nd
   end
@@ -22,7 +31,7 @@ let grow h x =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+    if h.cmp (get h i) (get h parent) < 0 then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
@@ -33,8 +42,8 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if l < h.size && h.cmp (get h l) (get h !smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp (get h r) (get h !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     let tmp = h.data.(i) in
     h.data.(i) <- h.data.(!smallest);
@@ -43,22 +52,21 @@ let rec sift_down h i =
   end
 
 let push h x =
-  grow h x;
-  h.data.(h.size) <- x;
+  grow h;
+  h.data.(h.size) <- Some x;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let peek h = if h.size = 0 then None else Some h.data.(0)
+let peek h = if h.size = 0 then None else Some (get h 0)
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
+    let top = get h 0 in
     h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
-    end;
+    if h.size > 0 then h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
     Some top
   end
 
@@ -68,10 +76,10 @@ let pop_exn h =
   | None -> invalid_arg "Heap.pop_exn: empty heap"
 
 let clear h =
-  h.data <- [||];
+  Array.fill h.data 0 h.size None;
   h.size <- 0
 
-let to_list h = Array.to_list (Array.sub h.data 0 h.size)
+let to_list h = List.init h.size (get h)
 
 let of_list ~cmp xs =
   let h = create ~cmp in

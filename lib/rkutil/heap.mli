@@ -27,6 +27,9 @@ val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 
 val clear : 'a t -> unit
+(** Empty the heap, keeping its capacity but dropping every element
+    reference (vacated slots are nulled, so cleared elements can be
+    collected). *)
 
 val to_list : 'a t -> 'a list
 (** Elements in unspecified order (heap is unchanged). *)

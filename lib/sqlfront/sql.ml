@@ -233,3 +233,9 @@ let execute ?config catalog text =
 let explain ?config catalog text =
   let* _, planned = plan_of ?config catalog text in
   Ok (Core.Optimizer.explain planned)
+
+let analyze ?config catalog text =
+  let* _, planned = plan_of ?config catalog text in
+  match Core.Optimizer.explain_analyze catalog planned with
+  | report, _result -> Ok report
+  | exception Failure msg -> Error ("analyze error: " ^ msg)

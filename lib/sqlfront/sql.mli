@@ -24,6 +24,11 @@ val query :
 val explain : ?config:Core.Enumerator.config -> Storage.Catalog.t -> string -> (string, string) result
 (** The optimizer's plan description for a SQL string, without executing. *)
 
+val analyze : ?config:Core.Enumerator.config -> Storage.Catalog.t -> string -> (string, string) result
+(** [EXPLAIN ANALYZE]: run the query under a metrics registry and render the
+    annotated plan tree — per-operator observed depths (vs the depth model's
+    predictions for rank joins) and actual vs estimated I/O. *)
+
 type exec_result =
   | Rows of answer  (** A SELECT (or WITH) query's result. *)
   | Affected of int  (** Rows inserted or deleted by a DML statement. *)

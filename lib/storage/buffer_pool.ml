@@ -78,7 +78,18 @@ let get t pid =
 let mark_dirty t pid =
   match Hashtbl.find_opt t.cache pid with
   | Some fr -> fr.dirty <- true
-  | None -> ()
+  | None -> (
+      (* The page was evicted between the caller's fetch and this call. A
+         silent no-op here loses the pending write-back: fault the page in
+         (charging the read, as any miss does) and dirty the fresh frame so
+         eviction/flush still counts the write. *)
+      match Hashtbl.find_opt t.disk pid with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Buffer_pool.mark_dirty: unknown page %d" pid)
+      | Some page ->
+          Io_stats.add_page_read t.io;
+          insert_frame t page ~dirty:true)
 
 let flush t =
   Hashtbl.iter

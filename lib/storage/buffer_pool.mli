@@ -23,7 +23,10 @@ val get : t -> int -> Page.t
     @raise Invalid_argument for an unknown page id. *)
 
 val mark_dirty : t -> int -> unit
-(** Note that a cached page was modified, so eviction must write it. *)
+(** Note that a page was modified, so eviction must write it. If the page
+    has been evicted since it was fetched, it is faulted back in (charging a
+    page read) and the fresh frame is dirtied — the write-back is never
+    silently dropped. @raise Invalid_argument for an unknown page id. *)
 
 val flush : t -> unit
 (** Write back all dirty cached pages (charging writes) without evicting. *)

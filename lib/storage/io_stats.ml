@@ -5,6 +5,11 @@ type t = {
   mutable index_node_reads : int;
   mutable index_probes : int;
   mutable tuples_read : int;
+  (* Secondary counter set that mirrors every charge while installed; the
+     executor points this at the per-operator counters of the metrics
+     registry so I/O is attributed to the operator that caused it. Charges
+     to the sink do not cascade into the sink's own sink. *)
+  mutable sink : t option;
 }
 
 type snapshot = {
@@ -24,6 +29,7 @@ let create () : t =
     index_node_reads = 0;
     index_probes = 0;
     tuples_read = 0;
+    sink = None;
   }
 
 let reset (t : t) =
@@ -33,6 +39,15 @@ let reset (t : t) =
   t.index_node_reads <- 0;
   t.index_probes <- 0;
   t.tuples_read <- 0
+
+let sink t = t.sink
+
+let set_sink t s = t.sink <- s
+
+let with_sink t s f =
+  let prev = t.sink in
+  t.sink <- Some s;
+  Fun.protect ~finally:(fun () -> t.sink <- prev) f
 
 let snapshot (t : t) =
   {
@@ -56,17 +71,23 @@ let diff a b =
 
 let total_io s = s.page_reads + s.page_writes + s.index_node_reads
 
-let add_page_read (t : t) = t.page_reads <- t.page_reads + 1
+let mirrored f (t : t) =
+  f t;
+  match t.sink with None -> () | Some u -> f u
 
-let add_page_write (t : t) = t.page_writes <- t.page_writes + 1
+let add_page_read = mirrored (fun t -> t.page_reads <- t.page_reads + 1)
 
-let add_pool_hit (t : t) = t.pool_hits <- t.pool_hits + 1
+let add_page_write = mirrored (fun t -> t.page_writes <- t.page_writes + 1)
 
-let add_index_node_read (t : t) = t.index_node_reads <- t.index_node_reads + 1
+let add_pool_hit = mirrored (fun t -> t.pool_hits <- t.pool_hits + 1)
 
-let add_index_probe (t : t) = t.index_probes <- t.index_probes + 1
+let add_index_node_read =
+  mirrored (fun t -> t.index_node_reads <- t.index_node_reads + 1)
 
-let add_tuples_read (t : t) n = t.tuples_read <- t.tuples_read + n
+let add_index_probe = mirrored (fun t -> t.index_probes <- t.index_probes + 1)
+
+let add_tuples_read (t : t) n =
+  mirrored (fun t -> t.tuples_read <- t.tuples_read + n) t
 
 let pp fmt s =
   Format.fprintf fmt

@@ -20,6 +20,18 @@ type snapshot = {
 val create : unit -> t
 
 val reset : t -> unit
+(** Zero all counters (the sink installation is left untouched). *)
+
+val sink : t -> t option
+
+val set_sink : t -> t option -> unit
+(** Install (or clear) a secondary counter set that mirrors every subsequent
+    charge — the hook behind per-operator I/O attribution. Mirroring is one
+    level deep: charges forwarded to the sink do not cascade further. *)
+
+val with_sink : t -> t -> (unit -> 'a) -> 'a
+(** [with_sink t s f] runs [f] with [s] installed as [t]'s sink, restoring
+    the previous sink afterwards (exception-safe). *)
 
 val snapshot : t -> snapshot
 

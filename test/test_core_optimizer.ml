@@ -433,7 +433,7 @@ let test_rank_plan_does_less_io_for_small_k () =
     List.iter
       (fun rn ->
         Alcotest.(check bool) "early out" true
-          (rn.Executor.stats.Exec.Rank_join.left_depth < 3000))
+          ((Exec.Exec_stats.left_depth rn.Executor.stats) < 3000))
       result.Executor.rank_nodes
   else Alcotest.fail "expected a rank-join plan for small k"
 

@@ -253,6 +253,58 @@ let test_top_n_matches_sort () =
     (List.map snd top);
   Test_util.check_non_increasing "top-n ordered" (List.map snd top)
 
+let nan_schema =
+  Schema.of_columns
+    [ Schema.column "id" Value.Tint; Schema.column "s" Value.Tfloat ]
+
+let nan_row i f = Tuple.make [ Value.Int i; Value.Float f ]
+
+(* A NaN score must be dropped on entry — in particular a NaN that arrives
+   while the heap is filling would otherwise sit at the root and reject every
+   later tuple (all comparisons against NaN are false). *)
+let test_top_n_drops_nan () =
+  let rows =
+    [ nan_row 0 Float.nan; nan_row 1 5.0; nan_row 2 3.0; nan_row 3 Float.nan;
+      nan_row 4 9.0; nan_row 5 1.0 ]
+  in
+  let out =
+    Operator.scored_to_list
+      (Top_n.by_expr ~k:3 (Expr.col "s") (Operator.of_list nan_schema rows))
+  in
+  Alcotest.(check (list (float 0.0)))
+    "NaN never ranks" [ 9.0; 5.0; 3.0 ] (List.map snd out)
+
+(* Score ties are broken on tuple contents, so the selected set and its
+   emission order must be identical for any arrival order of the input. *)
+let test_top_n_tie_determinism () =
+  let rows =
+    [ nan_row 1 5.0; nan_row 2 5.0; nan_row 3 5.0; nan_row 4 5.0; nan_row 5 2.0 ]
+  in
+  let run order =
+    Operator.scored_to_list
+      (Top_n.by_expr ~k:2 (Expr.col "s") (Operator.of_list nan_schema order))
+  in
+  let forward = run rows and backward = run (List.rev rows) in
+  Alcotest.(check int) "k rows" 2 (List.length forward);
+  Alcotest.(check bool) "order-independent" true
+    (List.equal
+       (fun (t1, s1) (t2, s2) -> Tuple.equal t1 t2 && Float.equal s1 s2)
+       forward backward)
+
+let test_top_n_reports_stats () =
+  let cat = setup_catalog ~n:80 () in
+  let info = Storage.Catalog.table cat "A" in
+  let stats = Exec_stats.create 1 in
+  let top =
+    Top_n.by_expr ~stats ~k:10 (Expr.col ~relation:"A" "score")
+      (Scan.heap info)
+  in
+  let out = Operator.scored_to_list top in
+  Alcotest.(check int) "whole input consumed" 80 (Exec_stats.depth stats 0);
+  Alcotest.(check int) "heap bounded by k" 10 (Exec_stats.buffer_max stats);
+  Alcotest.(check int) "emitted = |output|" (List.length out)
+    (Exec_stats.emitted stats)
+
 let suites =
   [
     ( "exec.scan",
@@ -281,5 +333,10 @@ let suites =
         QCheck_alcotest.to_alcotest prop_joins_agree;
       ] );
     ( "exec.top_n",
-      [ Alcotest.test_case "matches sort" `Quick test_top_n_matches_sort ] );
+      [
+        Alcotest.test_case "matches sort" `Quick test_top_n_matches_sort;
+        Alcotest.test_case "drops NaN scores" `Quick test_top_n_drops_nan;
+        Alcotest.test_case "deterministic ties" `Quick test_top_n_tie_determinism;
+        Alcotest.test_case "reports stats" `Quick test_top_n_reports_stats;
+      ] );
   ]

@@ -138,8 +138,8 @@ let test_nary_flat_vs_pipeline_depths () =
       in
       ignore (Operator.scored_take top 10);
       let pipeline_total =
-        child_stats.Rank_join.left_depth + child_stats.Rank_join.right_depth
-        + top_stats.Rank_join.right_depth
+        (Exec_stats.left_depth child_stats) + (Exec_stats.right_depth child_stats)
+        + (Exec_stats.right_depth top_stats)
       in
       Alcotest.(check bool)
         (Printf.sprintf "flat %d vs pipeline %d" nary_total pipeline_total)

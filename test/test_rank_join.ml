@@ -91,8 +91,8 @@ let test_hrjn_early_out () =
      inputs. *)
   let ra, rb = make_pair ~na:300 ~nb:300 ~domain:3 ~seed:17 () in
   let _, stats = hrjn_results ra rb 5 in
-  Alcotest.(check bool) "left depth < n" true (stats.Rank_join.left_depth < 300);
-  Alcotest.(check bool) "right depth < n" true (stats.Rank_join.right_depth < 300)
+  Alcotest.(check bool) "left depth < n" true ((Exec_stats.left_depth stats) < 300);
+  Alcotest.(check bool) "right depth < n" true ((Exec_stats.right_depth stats) < 300)
 
 let test_hrjn_emits_all_results_when_k_large () =
   let ra, rb = make_pair ~na:25 ~nb:25 ~domain:4 () in
@@ -139,26 +139,26 @@ let test_hrjn_restart () =
   let second = Operator.scored_take stream 5 in
   Alcotest.(check bool) "same after restart" true
     (List.equal (fun (_, a) (_, b) -> Float.equal a b) first second);
-  Alcotest.(check bool) "stats reset" true (stats.Rank_join.emitted <= 5)
+  Alcotest.(check bool) "stats reset" true ((Exec_stats.emitted stats) <= 5)
 
 let test_hrjn_depths_grow_with_k () =
   let ra, rb = make_pair ~na:200 ~nb:200 ~domain:8 ~seed:31 () in
   let _, s1 = hrjn_results ra rb 1 in
   let _, s2 = hrjn_results ra rb 50 in
   Alcotest.(check bool) "deeper for larger k" true
-    (s2.Rank_join.left_depth >= s1.Rank_join.left_depth
-    && s2.Rank_join.right_depth >= s1.Rank_join.right_depth)
+    ((Exec_stats.left_depth s2) >= (Exec_stats.left_depth s1)
+    && (Exec_stats.right_depth s2) >= (Exec_stats.right_depth s1))
 
 let test_hrjn_buffer_tracked () =
   let ra, rb = make_pair ~na:100 ~nb:100 ~domain:2 ~seed:41 () in
   let _, stats = hrjn_results ra rb 10 in
-  Alcotest.(check bool) "buffer high-water > 0" true (stats.Rank_join.buffer_max > 0)
+  Alcotest.(check bool) "buffer high-water > 0" true ((Exec_stats.buffer_max stats) > 0)
 
 let test_nrjn_depth_instrumentation () =
   let ra, rb = make_pair ~na:50 ~nb:30 ~domain:3 () in
   let _, stats = nrjn_results ra rb 3 in
-  Alcotest.(check bool) "outer depth <= 50" true (stats.Rank_join.left_depth <= 50);
-  Alcotest.(check int) "inner fully scanned" 30 stats.Rank_join.right_depth
+  Alcotest.(check bool) "outer depth <= 50" true ((Exec_stats.left_depth stats) <= 50);
+  Alcotest.(check int) "inner fully scanned" 30 (Exec_stats.right_depth stats)
 
 let test_weighted_combine () =
   let ra, rb = make_pair () in

@@ -144,6 +144,44 @@ let test_ceil_to_int () =
   Alcotest.(check int) "exact" 2 (Rkutil.Mathx.ceil_to_int 2.0);
   Alcotest.(check int) "inf saturates" max_int (Rkutil.Mathx.ceil_to_int infinity)
 
+(* Popped/cleared elements must not be pinned by stale slots in the heap's
+   backing array: attach finalisers to boxed elements, drop them all, and
+   check the GC can reclaim them while the heap itself stays live. *)
+let test_heap_pop_releases_elements () =
+  let finalised = ref 0 in
+  let heap = Rkutil.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  for i = 1 to 50 do
+    let boxed = ref i in
+    Gc.finalise (fun _ -> incr finalised) boxed;
+    Rkutil.Heap.push heap (i, boxed)
+  done;
+  let rec drain () = match Rkutil.Heap.pop heap with Some _ -> drain () | None -> () in
+  drain ();
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "heap empty but alive" 0 (Rkutil.Heap.length heap);
+  Alcotest.(check int) "all popped elements collected" 50 !finalised
+
+let test_heap_clear_releases_elements () =
+  let finalised = ref 0 in
+  let heap = Rkutil.Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) in
+  for i = 1 to 50 do
+    let boxed = ref i in
+    Gc.finalise (fun _ -> incr finalised) boxed;
+    Rkutil.Heap.push heap (i, boxed)
+  done;
+  Rkutil.Heap.clear heap;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "cleared heap alive" 0 (Rkutil.Heap.length heap);
+  Alcotest.(check int) "all cleared elements collected" 50 !finalised;
+  (* The heap must stay fully usable after clear. *)
+  List.iter (fun x -> Rkutil.Heap.push heap (x, ref x)) [ 3; 1; 2 ];
+  Alcotest.(check int) "reusable after clear" 3 (Rkutil.Heap.length heap);
+  match Rkutil.Heap.pop heap with
+  | Some (x, _) -> Alcotest.(check int) "min first" 1 x
+  | None -> Alcotest.fail "pop after refill"
+
 let test_running_stats_against_direct () =
   let xs = [ 1.0; 4.0; 9.0; 16.0; 25.0 ] in
   let s = Rkutil.Running_stats.create () in
@@ -194,6 +232,8 @@ let suites =
       [
         Alcotest.test_case "basic" `Quick test_heap_basic;
         Alcotest.test_case "pop_exn empty" `Quick test_heap_pop_exn_empty;
+        Alcotest.test_case "pop releases slots" `Quick test_heap_pop_releases_elements;
+        Alcotest.test_case "clear releases slots" `Quick test_heap_clear_releases_elements;
         QCheck_alcotest.to_alcotest prop_heap_drain_sorted;
         QCheck_alcotest.to_alcotest prop_heap_length;
         QCheck_alcotest.to_alcotest prop_heap_max_order;

@@ -103,8 +103,8 @@ let test_weighted_execution_follows_asymmetry () =
   if Plan.has_rank_join planned.Optimizer.plan then begin
     match result.Executor.rank_nodes with
     | [ rn ] ->
-        let dl = rn.Executor.stats.Exec.Rank_join.left_depth in
-        let dr = rn.Executor.stats.Exec.Rank_join.right_depth in
+        let dl = (Exec.Exec_stats.left_depth rn.Executor.stats) in
+        let dr = (Exec.Exec_stats.right_depth rn.Executor.stats) in
         (* One side must be read substantially deeper than the other; which
            physical side holds B depends on the chosen join order. *)
         let lo = min dl dr and hi = max dl dr in

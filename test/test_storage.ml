@@ -37,6 +37,29 @@ let test_pool_hit_miss_accounting () =
   let snap = Io_stats.snapshot io in
   Alcotest.(check int) "one miss read" 1 snap.Io_stats.page_reads
 
+(* Marking an evicted page dirty must fault it back in (a charged read) and
+   register the frame dirty so the mutation reaches disk at the next
+   eviction/flush — not silently no-op. *)
+let test_mark_dirty_after_eviction () =
+  let io = Io_stats.create () in
+  let pool = Buffer_pool.create ~frames:1 io in
+  let p0 = Buffer_pool.alloc_page pool ~capacity:4 in
+  let p1 = Buffer_pool.alloc_page pool ~capacity:4 in
+  (* One frame: allocating p1 evicted dirty p0 (1 write). *)
+  let snap = Io_stats.snapshot io in
+  Alcotest.(check int) "p0 evicted" 1 snap.Io_stats.page_writes;
+  Buffer_pool.mark_dirty pool (Page.id p0);
+  let snap = Io_stats.snapshot io in
+  Alcotest.(check int) "p0 faulted back in" 1 snap.Io_stats.page_reads;
+  Alcotest.(check int) "p1 evicted by the fault" 2 snap.Io_stats.page_writes;
+  Buffer_pool.flush pool;
+  let snap = Io_stats.snapshot io in
+  Alcotest.(check int) "dirty p0 written by flush" 3 snap.Io_stats.page_writes;
+  ignore (Buffer_pool.get pool (Page.id p1));
+  Alcotest.check_raises "unknown page"
+    (Invalid_argument "Buffer_pool.mark_dirty: unknown page 999") (fun () ->
+      Buffer_pool.mark_dirty pool 999)
+
 let test_pool_unknown_page () =
   let pool = Buffer_pool.create (Io_stats.create ()) in
   Alcotest.check_raises "unknown"
@@ -157,6 +180,8 @@ let suites =
       [
         Alcotest.test_case "page fill" `Quick test_page_fill;
         Alcotest.test_case "pool accounting" `Quick test_pool_hit_miss_accounting;
+        Alcotest.test_case "mark_dirty after eviction" `Quick
+          test_mark_dirty_after_eviction;
         Alcotest.test_case "unknown page" `Quick test_pool_unknown_page;
       ] );
     ( "storage.heap_file",

@@ -132,10 +132,10 @@ let test_ratio_polling_correct_and_respects_ratio () =
       (* The consumption ratio should be near the target (within the
          granularity the threshold stop allows). *)
       let actual =
-        float_of_int stats.Exec.Rank_join.left_depth
-        /. float_of_int (max 1 stats.Exec.Rank_join.right_depth)
+        float_of_int (Exec.Exec_stats.left_depth stats)
+        /. float_of_int (max 1 (Exec.Exec_stats.right_depth stats))
       in
-      if stats.Exec.Rank_join.left_depth < 300 && stats.Exec.Rank_join.right_depth < 300
+      if (Exec.Exec_stats.left_depth stats) < 300 && (Exec.Exec_stats.right_depth stats) < 300
       then
         Alcotest.(check bool)
           (Printf.sprintf "ratio %.2f respected (got %.2f)" ratio actual)
