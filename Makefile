@@ -1,4 +1,4 @@
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench fuzz ci clean
 
 all: build
 
@@ -7,6 +7,17 @@ build:
 
 test:
 	dune runtest
+
+# Differential fuzzing: SEED consecutive case seeds, every optimizer plan
+# vs a naive oracle (see lib/check/). A fixed-seed slice of the same
+# harness runs as part of `make test` / `make ci`; this target is the
+# open-ended sweep, e.g.:  make fuzz CASES=10000
+# Any failure prints a one-line replay command verbatim
+# (`rankopt fuzz --seed N --cases 1`) plus a shrunk counterexample.
+SEED ?= 42
+CASES ?= 1000
+fuzz: build
+	dune exec bin/rankopt.exe -- fuzz --seed $(SEED) --cases $(CASES)
 
 bench:
 	dune exec bench/main.exe

@@ -221,9 +221,48 @@ let repl_cmd =
     Term.(
       ret (const run $ tables_arg $ seed_arg $ pool_arg $ traditional_arg $ from_arg))
 
+let fuzz_cmd =
+  let run seed cases =
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Check.Rankcheck.run
+        ~progress:(fun i ->
+          if cases > 20 && i > 0 && i mod 50 = 0 then
+            Printf.eprintf "rankcheck: %d/%d cases...\n%!" i cases)
+        ~seed ~cases ()
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    List.iter
+      (fun f -> Format.printf "%a@.@." Check.Rankcheck.pp_failure f)
+      outcome.Check.Rankcheck.o_failures;
+    Printf.printf
+      "rankcheck: %d cases (seeds %d..%d), %d plans checked, %d failure(s) \
+       [%.1fs]\n"
+      outcome.Check.Rankcheck.o_cases seed
+      (seed + cases - 1)
+      outcome.Check.Rankcheck.o_plans
+      (List.length outcome.Check.Rankcheck.o_failures)
+      dt;
+    if outcome.Check.Rankcheck.o_failures = [] then `Ok ()
+    else `Error (false, "rankcheck found divergences (replay commands above)")
+  in
+  let cases_arg =
+    let doc = "Number of consecutive seeds to check." in
+    Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Differential fuzzing: for each seed, generate random tables and a \
+     random top-k query, compare every plan the optimizer can emit against \
+     a naive sort-based oracle, and check rank-join depth bounds. Failures \
+     are shrunk and print a replay command."
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(ret (const run $ seed_arg $ cases_arg))
+
 let main_cmd =
   let doc = "rank-aware top-k query engine (SIGMOD 2004 reproduction)" in
   let info = Cmd.info "rankopt" ~version:"1.0.0" ~doc in
-  Cmd.group info [ query_cmd; explain_cmd; analyze_cmd; repl_cmd ]
+  Cmd.group info [ query_cmd; explain_cmd; analyze_cmd; repl_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

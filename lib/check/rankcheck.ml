@@ -1,0 +1,842 @@
+(* rankcheck: a seed-deterministic differential fuzz harness.
+
+   Each case generates random tables (duplicates, ties, skewed score
+   distributions, empty relations) and a random ranking query over them,
+   computes the answer with a naive oracle (materialize the full join in
+   relalg, score, total-order sort, take k), then enumerates every plan the
+   optimizer MEMO retains — rank-join and join-then-sort, all join orders,
+   HRJN/NRJN variants, under several enumerator configurations — and
+   executes each one, asserting:
+
+   - Plan_verify invariants on every plan;
+   - top-k score-multiset equality against the oracle;
+   - per rank-join node, no over-read past an exhausted-empty input and
+     observed depth within the (slackened) Theorem-2 model bound.
+
+   Failures auto-shrink (tables row by row, then query term by term) and
+   report a verbatim replay command: case [i] of [run ~seed ~cases] is
+   exactly case 0 of [run ~seed:(seed + i) ~cases:1]. *)
+
+open Relalg
+
+type table_spec = {
+  t_name : string;
+  t_key_domain : int;
+  t_dist : Workload.Dist.t;
+  t_rows : (int * int * float) list;  (* (id, key, score) *)
+}
+
+type case = {
+  c_seed : int;
+  c_tables : table_spec list;
+  c_query : Sqlfront.Ast.query;
+}
+
+type failure = {
+  f_seed : int;
+  f_reason : string;
+  f_plan : string option;
+  f_case : case;  (* auto-shrunk minimal counterexample *)
+  f_replay : string;
+}
+
+type outcome = {
+  o_cases : int;
+  o_plans : int;  (* plans executed and compared across all cases *)
+  o_failures : failure list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Case generation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Query constants live on a 0.125 grid so the pretty-printed SQL ("%g")
+   round-trips exactly through the repl parser. *)
+let grid8 prng lo n = 0.125 *. float_of_int (lo + Rkutil.Prng.int prng n)
+
+let gen_table prng name =
+  let domain = 1 + Rkutil.Prng.int prng 6 in
+  let dist =
+    match Rkutil.Prng.int prng 4 with
+    | 0 -> Workload.Dist.Uniform { lo = 0.0; hi = 1.0 }
+    | 1 -> Workload.Dist.Gaussian { mean = 0.5; sd = 0.2 }
+    | 2 -> Workload.Dist.Zipf { n = 16; alpha = 1.0 }
+    | _ -> Workload.Dist.Sum_uniform { j = 2 }
+  in
+  let n =
+    match Rkutil.Prng.int prng 12 with
+    | 0 -> 0 (* empty relations are a first-class case *)
+    | 1 -> 1
+    | _ -> 2 + Rkutil.Prng.int prng 23
+  in
+  (* A third of the tables snap scores to a coarse grid, forcing ties. *)
+  let snap = Rkutil.Prng.int prng 3 = 0 in
+  let rows =
+    List.init n (fun i ->
+        let s = Workload.Dist.sample prng dist in
+        let s = if snap then Float.round (s *. 4.0) /. 4.0 else s in
+        (i, Rkutil.Prng.int prng domain, s))
+  in
+  { t_name = name; t_key_domain = domain; t_dist = dist; t_rows = rows }
+
+let gen_case seed =
+  let prng = Rkutil.Prng.create seed in
+  let m = if Rkutil.Prng.int prng 3 = 0 then 3 else 2 in
+  let names = List.init m (Printf.sprintf "T%d") in
+  let tables = List.map (gen_table prng) names in
+  let open Sqlfront.Ast in
+  let col t c = Column { table = Some t; name = c } in
+  let jeq a b = Compare (Eq, col a "key", col b "key") in
+  let joins =
+    if m = 2 then [ jeq "T0" "T1" ]
+    else if Rkutil.Prng.bool prng then [ jeq "T0" "T1"; jeq "T0" "T2" ] (* star *)
+    else [ jeq "T0" "T1"; jeq "T1" "T2" ] (* chain *)
+  in
+  let filters =
+    List.filter_map
+      (fun ts ->
+        if Rkutil.Prng.int prng 3 <> 0 then None
+        else
+          match Rkutil.Prng.int prng 3 with
+          | 0 ->
+              Some (Compare (Ge, col ts.t_name "score", Number (grid8 prng 0 7)))
+          | 1 ->
+              Some
+                (Compare
+                   ( Eq,
+                     col ts.t_name "key",
+                     Number (float_of_int (Rkutil.Prng.int prng ts.t_key_domain)) ))
+          | _ ->
+              Some
+                (Compare
+                   ( Le,
+                     col ts.t_name "key",
+                     Number (float_of_int (Rkutil.Prng.int prng ts.t_key_domain)) )))
+      tables
+  in
+  (* Non-negative 0.125-grid weights; each relation is ranked with high
+     probability, at least one always is. *)
+  let ranked =
+    let flags = List.map (fun _ -> Rkutil.Prng.int prng 6 <> 0) tables in
+    if List.exists Fun.id flags then flags
+    else List.mapi (fun i _ -> i = 0) flags
+  in
+  let score_terms =
+    List.concat
+      (List.map2
+         (fun ts r ->
+           if not r then []
+           else
+             let w = grid8 prng 1 8 in
+             if w = 1.0 then [ col ts.t_name "score" ]
+             else [ Binop (Mul, Number w, col ts.t_name "score") ])
+         tables ranked)
+  in
+  let order_expr =
+    match score_terms with
+    | [] -> assert false
+    | first :: rest -> List.fold_left (fun acc t -> Binop (Add, acc, t)) first rest
+  in
+  let k = 1 + Rkutil.Prng.int prng 12 in
+  let query =
+    {
+      select = [ Star ];
+      from = names;
+      where = joins @ filters;
+      group_by = [];
+      order_by = Some (order_expr, Desc);
+      limit = Some k;
+    }
+  in
+  { c_seed = seed; c_tables = tables; c_query = query }
+
+(* ------------------------------------------------------------------ *)
+(* Catalog materialization                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table_schema () =
+  Schema.of_columns
+    [
+      Schema.column "id" Value.Tint;
+      Schema.column "key" Value.Tint;
+      Schema.column "score" Value.Tfloat;
+    ]
+
+let build_catalog case =
+  let cat = Storage.Catalog.create () in
+  List.iter
+    (fun ts ->
+      let tuples =
+        List.map
+          (fun (i, k, s) ->
+            Tuple.make [ Value.Int i; Value.Int k; Value.Float s ])
+          ts.t_rows
+      in
+      ignore (Storage.Catalog.create_table cat ts.t_name (table_schema ()) tuples);
+      (* The ranked (unclustered) score path plus a key index, mirroring
+         Workload.Generator.load_scored_table. *)
+      ignore
+        (Storage.Catalog.create_index cat ~clustered:false
+           ~name:(ts.t_name ^ "_score") ~table:ts.t_name
+           ~key:(Expr.col ~relation:ts.t_name "score") ());
+      ignore
+        (Storage.Catalog.create_index cat ~name:(ts.t_name ^ "_key")
+           ~table:ts.t_name
+           ~key:(Expr.col ~relation:ts.t_name "key") ()))
+    case.c_tables;
+  cat
+
+(* ------------------------------------------------------------------ *)
+(* The oracle: materialize, filter, cross, filter joins, sort, take k  *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_topk catalog (query : Core.Logical.t) =
+  let rels =
+    List.map
+      (fun (b : Core.Logical.base) ->
+        let info = Storage.Catalog.table catalog b.Core.Logical.name in
+        let rel =
+          Relation.create info.Storage.Catalog.tb_schema
+            (Storage.Heap_file.to_list info.Storage.Catalog.tb_heap)
+        in
+        match b.Core.Logical.filter with
+        | None -> rel
+        | Some f -> Relation.filter f rel)
+      query.Core.Logical.relations
+  in
+  let crossed =
+    match rels with
+    | [] -> invalid_arg "oracle_topk: no relations"
+    | r0 :: rest -> List.fold_left Relation.cross r0 rest
+  in
+  let joined =
+    List.fold_left
+      (fun acc (j : Core.Logical.join_pred) ->
+        Relation.filter
+          Expr.(
+            Cmp
+              ( Eq,
+                col ~relation:j.Core.Logical.left_table j.Core.Logical.left_column,
+                col ~relation:j.Core.Logical.right_table j.Core.Logical.right_column
+              ))
+          acc)
+      crossed query.Core.Logical.joins
+  in
+  let score =
+    match Core.Logical.scoring_expr query with
+    | Some s -> s
+    | None -> invalid_arg "oracle_topk: not a ranking query"
+  in
+  let k = Option.value ~default:max_int query.Core.Logical.k in
+  Relation.top_k ~score ~k joined
+
+(* ------------------------------------------------------------------ *)
+(* Plan space: every retained MEMO plan under several configurations   *)
+(* ------------------------------------------------------------------ *)
+
+let enumerate_plans env (query : Core.Logical.t) =
+  let names =
+    List.map (fun (b : Core.Logical.base) -> b.Core.Logical.name)
+      query.Core.Logical.relations
+  in
+  let k = Option.value ~default:max_int query.Core.Logical.k in
+  let want =
+    Option.map
+      (fun score ->
+        { Core.Plan.expr = score; direction = Core.Interesting_orders.Desc })
+      (Core.Logical.scoring_expr query)
+  in
+  (* Finish a retained full-set subplan the way the enumerator finishes its
+     best plan: apply Top-k, inserting a sort when the plan's order does not
+     already satisfy the score order. *)
+  let finish (sp : Core.Memo.subplan) =
+    if Core.Logical.is_ranking query then
+      match want with
+      | Some w when Core.Plan.order_satisfies ~have:sp.Core.Memo.order ~want:(Some w)
+        ->
+          Core.Plan.Top_k { k; input = sp.Core.Memo.plan }
+      | Some w ->
+          Core.Plan.Top_k
+            { k; input = Core.Plan.Sort { order = w; input = sp.Core.Memo.plan } }
+      | None -> sp.Core.Memo.plan
+    else sp.Core.Memo.plan
+  in
+  let configs =
+    [
+      { Core.Enumerator.rank_aware = true; first_rows = true };
+      { Core.Enumerator.rank_aware = true; first_rows = false };
+      { Core.Enumerator.rank_aware = false; first_rows = false };
+    ]
+  in
+  let seen = Hashtbl.create 64 in
+  let plans = ref [] in
+  List.iter
+    (fun config ->
+      let result = Core.Enumerator.run ~config env in
+      let full_mask = Core.Enumerator.relation_mask env names in
+      let finished =
+        List.map finish (Core.Memo.plans result.Core.Enumerator.memo full_mask)
+        @
+        match result.Core.Enumerator.best with
+        | Some sp -> [ sp.Core.Memo.plan ]
+        | None -> []
+      in
+      List.iter
+        (fun p ->
+          let d = Core.Plan.describe p in
+          if not (Hashtbl.mem seen d) then begin
+            Hashtbl.add seen d ();
+            plans := p :: !plans
+          end)
+        finished)
+    configs;
+  List.rev !plans
+
+(* ------------------------------------------------------------------ *)
+(* Per-plan assertions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let scores_close a b =
+  Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+
+let sorted_desc scores = List.sort (fun a b -> Float.compare b a) scores
+
+(* Score result tuples with the query's own scoring expression rather than
+   trusting the executor's reported score (which reflects the plan's
+   physical order expression — e.g. an unweighted index key that sorts
+   identically to the weighted score). Scoring returned tuples directly is
+   also the stronger check: it validates the rows, not a side channel. *)
+let plan_scores score (res : Core.Executor.run_result) =
+  let eval = Expr.compile_float res.Core.Executor.schema score in
+  sorted_desc (List.map (fun (tu, _) -> eval tu) res.Core.Executor.rows)
+
+(* Observed depths vs an exact Theorem-2 bound. Two rules:
+
+   - exhausted-empty (Rule A): if one input of a rank join produced nothing
+     (depth 0), the join is provably empty and the other input must not be
+     read past the couple of pulls needed to learn that — the exact
+     regression the rank-join exhaustion fix closes;
+   - simulated corner bound (Rule B): for each rank-join node that finite
+     top-k demand reaches, drain its input streams and compute the minimal
+     corner depth d* at which the k demanded results dominate the HRJN
+     threshold max(l_1 + r_d, l_d + r_1) — the depth Theorem 2 proves
+     sufficient. A correct rank join stops within d*; we allow 2·d* + 8 for
+     pull-alternation overshoot. The bound is computed from the node's
+     actual streams, not from histogram estimates, so data skew and
+     score/key correlation cannot produce false alarms: when fewer than k
+     results exist, d* is exhaustion and a full drain is accepted. *)
+
+(* Smallest d such that the k best join results among pairs within the d×d
+   corner dominate the threshold; returns the per-side depths actually
+   reachable. Streams are (key, score) in stream (score-descending) order. *)
+let corner_depth ~k left right =
+  let nl = Array.length left and nr = Array.length right in
+  if nl = 0 || nr = 0 then (min 1 nl, min 1 nr)
+  else begin
+    let topk = ref [] (* best pair scores so far, descending, length <= k *) in
+    let add s =
+      let rec ins = function
+        | [] -> [ s ]
+        | x :: tl -> if s > x then s :: x :: tl else x :: ins tl
+      in
+      topk := List.filteri (fun i _ -> i < k) (ins !topk)
+    in
+    let kth () =
+      if List.length !topk < k then neg_infinity else List.nth !topk (k - 1)
+    in
+    let l1 = snd left.(0) and r1 = snd right.(0) in
+    let d = ref 0 and stop = ref false in
+    while not !stop do
+      incr d;
+      let dd = !d in
+      (* Pairs entering the corner at depth dd. *)
+      if dd <= nl then begin
+        let kl, sl = left.(dd - 1) in
+        for j = 0 to min dd nr - 1 do
+          let kr, sr = right.(j) in
+          if Value.compare kl kr = 0 then add (sl +. sr)
+        done
+      end;
+      if dd <= nr then begin
+        let kr, sr = right.(dd - 1) in
+        for i = 0 to min (dd - 1) nl - 1 do
+          let kl, sl = left.(i) in
+          if Value.compare kl kr = 0 then add (sl +. sr)
+        done
+      end;
+      let t =
+        Float.max
+          (if dd < nl then snd left.(dd - 1) +. r1 else neg_infinity)
+          (if dd < nr then l1 +. snd right.(dd - 1) else neg_infinity)
+      in
+      if kth () >= t || (dd >= nl && dd >= nr) then stop := true
+    done;
+    (min !d nl, min !d nr)
+  end
+
+(* m-way generalization; the corner top-k is recomputed per depth (inputs
+   are tiny). Returns one reachable depth per input. *)
+let corner_depth_nary ~k streams =
+  let m = Array.length streams in
+  let sizes = Array.map Array.length streams in
+  if Array.exists (fun n -> n = 0) sizes then
+    Array.to_list (Array.map (fun n -> min 1 n) sizes)
+  else begin
+    let tops = Array.map (fun s -> snd s.(0)) streams in
+    let sum_tops = Array.fold_left ( +. ) 0.0 tops in
+    let n_max = Array.fold_left max 0 (Array.to_list sizes |> Array.of_list) in
+    let d = ref 0 and stop = ref false in
+    while not !stop do
+      incr d;
+      let dd = !d in
+      let topk = ref [] in
+      let add s =
+        let rec ins = function
+          | [] -> [ s ]
+          | x :: tl -> if s > x then s :: x :: tl else x :: ins tl
+        in
+        topk := List.filteri (fun i _ -> i < k) (ins !topk)
+      in
+      let rec enum i key acc =
+        if i = m then add acc
+        else
+          for x = 0 to min dd sizes.(i) - 1 do
+            let kx, sx = streams.(i).(x) in
+            let ok, key' =
+              match key with
+              | None -> (true, Some kx)
+              | Some k0 -> (Value.compare k0 kx = 0, key)
+            in
+            if ok then enum (i + 1) key' (acc +. sx)
+          done
+      in
+      enum 0 None 0.0;
+      let kth =
+        if List.length !topk < k then neg_infinity else List.nth !topk (k - 1)
+      in
+      let t = ref neg_infinity in
+      Array.iteri
+        (fun i s ->
+          if dd < sizes.(i) then
+            t := Float.max !t (snd s.(dd - 1) +. sum_tops -. tops.(i)))
+        streams;
+      if kth >= !t || dd >= n_max then stop := true
+    done;
+    Array.to_list (Array.map (fun n -> min !d n) sizes)
+  end
+
+(* Drain a rank-join input subplan into its (key, score) stream. *)
+let side_stream catalog plan score ~table ~column =
+  let res = Core.Executor.run catalog plan in
+  let schema = res.Core.Executor.schema in
+  let keyf = Expr.compile schema (Expr.col ~relation:table column) in
+  let scoref =
+    match score with
+    | Some e -> Expr.compile_float schema e
+    | None -> fun _ -> 0.0
+  in
+  (* Sort by score even though rank-join inputs already deliver descending
+     order: an NRJN inner is a plain (heap-order) scan, and the corner
+     threshold needs its maximum as r_1. *)
+  let arr =
+    Array.of_list
+      (List.map (fun (tu, _) -> (keyf tu, scoref tu)) res.Core.Executor.rows)
+  in
+  Array.sort (fun (_, a) (_, b) -> Float.compare b a) arr;
+  arr
+
+let allowed_of_corner d = (2 * d) + 8
+
+(* Walk the plan propagating output demand: Top-k caps it, blocking
+   operators (sort, filters above joins) reset it to "drain". Rank nodes
+   reached by finite demand get simulated corner bounds, keyed by their
+   [Plan.describe] label (the executor reports observed depths under the
+   same label); identical labels take the most lenient bound. *)
+let depth_bounds catalog plan =
+  let binary_tbl : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  let nary_tbl : (string, int list) Hashtbl.t = Hashtbl.create 8 in
+  let record_binary label (al, ar) =
+    match Hashtbl.find_opt binary_tbl label with
+    | Some (bl, br) -> Hashtbl.replace binary_tbl label (max al bl, max ar br)
+    | None -> Hashtbl.add binary_tbl label (al, ar)
+  in
+  let record_nary label bs =
+    match Hashtbl.find_opt nary_tbl label with
+    | Some prev -> Hashtbl.replace nary_tbl label (List.map2 max prev bs)
+    | None -> Hashtbl.add nary_tbl label bs
+  in
+  let rec walk demand plan =
+    match plan with
+    | Core.Plan.Top_k { k; input } -> walk (min demand k) input
+    | Core.Plan.Sort { input; _ } | Core.Plan.Filter { input; _ } ->
+        walk max_int input
+    | Core.Plan.Table_scan _ | Core.Plan.Index_scan _ -> ()
+    | Core.Plan.Join
+        {
+          algo = (Core.Plan.Hrjn | Core.Plan.Nrjn) as algo;
+          cond;
+          left;
+          right;
+          left_score;
+          right_score;
+        } ->
+        let label = Core.Plan.describe plan in
+        if demand = max_int then begin
+          record_binary label (max_int, max_int);
+          walk max_int left;
+          walk max_int right
+        end
+        else begin
+          let ls =
+            side_stream catalog left left_score ~table:cond.Core.Logical.left_table
+              ~column:cond.Core.Logical.left_column
+          in
+          let rs =
+            side_stream catalog right right_score
+              ~table:cond.Core.Logical.right_table
+              ~column:cond.Core.Logical.right_column
+          in
+          let dl, dr = corner_depth ~k:demand ls rs in
+          let al = allowed_of_corner dl and ar = allowed_of_corner dr in
+          record_binary label (al, ar);
+          walk al left;
+          (* NRJN rescans its inner per outer tuple; its inner depth is not
+             demand-bounded. *)
+          walk (if algo = Core.Plan.Nrjn then max_int else ar) right
+        end
+    | Core.Plan.Join { left; right; _ } ->
+        walk max_int left;
+        walk max_int right
+    | Core.Plan.Nary_rank_join { inputs; scores; key; tables } ->
+        let label = Core.Plan.describe plan in
+        if demand = max_int then begin
+          record_nary label (List.map (fun _ -> max_int) inputs);
+          List.iter (walk max_int) inputs
+        end
+        else begin
+          let streams =
+            Array.of_list
+              (List.map2
+                 (fun (input, score) table ->
+                   side_stream catalog input (Some score) ~table ~column:key)
+                 (List.combine inputs scores)
+                 tables)
+          in
+          let ds = corner_depth_nary ~k:demand streams in
+          let allowed = List.map allowed_of_corner ds in
+          record_nary label allowed;
+          List.iter2 walk allowed inputs
+        end
+  in
+  walk max_int plan;
+  (binary_tbl, nary_tbl)
+
+let depth_check catalog plan (res : Core.Executor.run_result) =
+  let exhausted_empty =
+    List.find_map
+      (fun (rn : Core.Executor.rank_node_stats) ->
+        let l = Exec.Exec_stats.left_depth rn.Core.Executor.stats in
+        let r = Exec.Exec_stats.right_depth rn.Core.Executor.stats in
+        if l = 0 && r > 2 then
+          Some
+            (Printf.sprintf
+               "%s over-reads right input (depth %d) after empty left input"
+               rn.Core.Executor.label r)
+        else if r = 0 && l > 2 && rn.Core.Executor.algo <> Core.Plan.Nrjn then
+          (* NRJN legitimately learns the inner is empty only after the
+             first outer pull, but never needs more than one. *)
+          Some
+            (Printf.sprintf
+               "%s over-reads left input (depth %d) after empty right input"
+               rn.Core.Executor.label l)
+        else if r = 0 && l > 1 && rn.Core.Executor.algo = Core.Plan.Nrjn then
+          Some
+            (Printf.sprintf
+               "%s over-reads outer input (depth %d) with an empty inner"
+               rn.Core.Executor.label l)
+        else None)
+      res.Core.Executor.rank_nodes
+  in
+  let nary_exhausted =
+    List.find_map
+      (fun (nn : Core.Executor.nary_node_stats) ->
+        let st = nn.Core.Executor.nary_stats in
+        let m = Exec.Exec_stats.inputs st in
+        let ds = List.init m (Exec.Exec_stats.depth st) in
+        if List.mem 0 ds && List.exists (fun d -> d > 2) ds then
+          Some
+            (Printf.sprintf "%s over-reads live inputs after an empty input"
+               nn.Core.Executor.nary_label)
+        else None)
+      res.Core.Executor.nary_nodes
+  in
+  match exhausted_empty, nary_exhausted with
+  | Some msg, _ | None, Some msg -> Error msg
+  | None, None -> (
+      let binary_tbl, nary_tbl = depth_bounds catalog plan in
+      let binary_violation =
+        List.find_map
+          (fun (rn : Core.Executor.rank_node_stats) ->
+            match Hashtbl.find_opt binary_tbl rn.Core.Executor.label with
+            | None -> None
+            | Some (al, ar) ->
+                let obs_l = Exec.Exec_stats.left_depth rn.Core.Executor.stats in
+                let obs_r = Exec.Exec_stats.right_depth rn.Core.Executor.stats in
+                if al <> max_int && obs_l > al then
+                  Some
+                    (Printf.sprintf
+                       "%s left depth %d exceeds simulated Theorem-2 bound %d"
+                       rn.Core.Executor.label obs_l al)
+                else if
+                  rn.Core.Executor.algo <> Core.Plan.Nrjn
+                  && ar <> max_int && obs_r > ar
+                then
+                  Some
+                    (Printf.sprintf
+                       "%s right depth %d exceeds simulated Theorem-2 bound %d"
+                       rn.Core.Executor.label obs_r ar)
+                else None)
+          res.Core.Executor.rank_nodes
+      in
+      let nary_violation =
+        List.find_map
+          (fun (nn : Core.Executor.nary_node_stats) ->
+            match Hashtbl.find_opt nary_tbl nn.Core.Executor.nary_label with
+            | None -> None
+            | Some allowed ->
+                let st = nn.Core.Executor.nary_stats in
+                List.find_map
+                  (fun (i, a) ->
+                    let obs = Exec.Exec_stats.depth st i in
+                    if a <> max_int && obs > a then
+                      Some
+                        (Printf.sprintf
+                           "%s input %d depth %d exceeds simulated Theorem-2 \
+                            bound %d"
+                           nn.Core.Executor.nary_label i obs a)
+                    else None)
+                  (List.mapi (fun i a -> (i, a)) allowed))
+          res.Core.Executor.nary_nodes
+      in
+      match binary_violation, nary_violation with
+      | Some msg, _ | None, Some msg -> Error msg
+      | None, None -> Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Checking one case                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Ok n]: all [n] enumerated plans agreed with the oracle and passed every
+   invariant. [Error (reason, plan)] otherwise. *)
+let check_case case : (int, string * string option) result =
+  let catalog = build_catalog case in
+  match Sqlfront.Binder.bind_result catalog case.c_query with
+  | Error e -> Error (e, None)
+  | exception e -> Error ("bind raised: " ^ Printexc.to_string e, None)
+  | Ok bound -> (
+      let query = bound.Sqlfront.Binder.logical in
+      match oracle_topk catalog query with
+      | exception e -> Error ("oracle raised: " ^ Printexc.to_string e, None)
+      | expected -> (
+          let score =
+            match Core.Logical.scoring_expr query with
+            | Some s -> s
+            | None -> assert false (* generated queries always rank *)
+          in
+          let expected_scores = sorted_desc (List.map snd expected) in
+          let k = Option.value ~default:1 query.Core.Logical.k in
+          let env =
+            Core.Cost_model.default_env ~k_min:(min k 1000) catalog query
+          in
+          match enumerate_plans env query with
+          | exception e ->
+              Error ("enumeration raised: " ^ Printexc.to_string e, None)
+          | plans ->
+              let rec check_all n = function
+                | [] -> Ok n
+                | plan :: rest -> (
+                    let desc = Some (Core.Plan.describe plan) in
+                    match Core.Plan_verify.check catalog plan with
+                    | Error msg -> Error ("plan_verify: " ^ msg, desc)
+                    | exception e ->
+                        Error ("plan_verify raised: " ^ Printexc.to_string e, desc)
+                    | Ok () -> (
+                        match Core.Executor.run catalog plan with
+                        | exception e ->
+                            Error ("execution raised: " ^ Printexc.to_string e, desc)
+                        | res -> (
+                            let got = plan_scores score res in
+                            if List.length got <> List.length expected_scores then
+                              Error
+                                ( Printf.sprintf
+                                    "top-k size mismatch: oracle %d rows, plan %d"
+                                    (List.length expected_scores)
+                                    (List.length got),
+                                  desc )
+                            else if
+                              not (List.for_all2 scores_close expected_scores got)
+                            then
+                              Error
+                                ( Printf.sprintf
+                                    "top-k scores diverge from oracle (oracle [%s], plan [%s])"
+                                    (String.concat "; "
+                                       (List.map (Printf.sprintf "%.9g")
+                                          expected_scores))
+                                    (String.concat "; "
+                                       (List.map (Printf.sprintf "%.9g") got)),
+                                  desc )
+                            else
+                              match depth_check catalog plan res with
+                              | Error msg -> Error (msg, desc)
+                              | Ok () -> check_all (n + 1) rest)))
+              in
+              check_all 0 plans))
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let still_fails case = Result.is_error (check_case case)
+
+let replace_table case ts =
+  {
+    case with
+    c_tables =
+      List.map
+        (fun t -> if String.equal t.t_name ts.t_name then ts else t)
+        case.c_tables;
+  }
+
+(* Drop table rows one at a time, then query terms (non-join WHERE
+   conjuncts), then try k = 1 — keeping every step that still fails. *)
+let shrink case =
+  let budget = ref 600 in
+  let try_smaller current candidate =
+    if !budget <= 0 then current
+    else begin
+      decr budget;
+      if still_fails candidate then candidate else current
+    end
+  in
+  let shrink_rows case =
+    let current = ref case in
+    List.iter
+      (fun ts ->
+        let rows = ref ts.t_rows in
+        List.iter
+          (fun row ->
+            let candidate_rows = List.filter (fun r -> r <> row) !rows in
+            let candidate =
+              replace_table !current
+                { ts with t_rows = candidate_rows }
+            in
+            let next = try_smaller !current candidate in
+            if next != !current then begin
+              current := next;
+              rows := candidate_rows
+            end)
+          ts.t_rows)
+      case.c_tables;
+    !current
+  in
+  let is_join_conjunct (Sqlfront.Ast.Compare (op, a, b)) =
+    match op, a, b with
+    | ( Sqlfront.Ast.Eq,
+        Sqlfront.Ast.Column { table = Some ta; _ },
+        Sqlfront.Ast.Column { table = Some tb; _ } ) ->
+        not (String.equal ta tb)
+    | _ -> false
+  in
+  let shrink_filters case =
+    let current = ref case in
+    List.iter
+      (fun cond ->
+        if not (is_join_conjunct cond) then begin
+          let q = !current.c_query in
+          let candidate =
+            {
+              !current with
+              c_query =
+                { q with Sqlfront.Ast.where = List.filter (( <> ) cond) q.Sqlfront.Ast.where };
+            }
+          in
+          current := try_smaller !current candidate
+        end)
+      case.c_query.Sqlfront.Ast.where;
+    !current
+  in
+  let shrink_k case =
+    match case.c_query.Sqlfront.Ast.limit with
+    | Some k when k > 1 ->
+        let candidate =
+          { case with c_query = { case.c_query with Sqlfront.Ast.limit = Some 1 } }
+        in
+        try_smaller case candidate
+    | _ -> case
+  in
+  (* Row shrinking may unlock further row shrinking (and vice versa): run to
+     a small fixpoint, bounded by the budget. *)
+  let rec fix case n =
+    let smaller = shrink_k (shrink_filters (shrink_rows case)) in
+    if n <= 0 || smaller = case then case else fix smaller (n - 1)
+  in
+  fix case 4
+
+(* ------------------------------------------------------------------ *)
+(* Reporting and the driver                                            *)
+(* ------------------------------------------------------------------ *)
+
+let replay_command seed = Printf.sprintf "rankopt fuzz --seed %d --cases 1" seed
+
+let pp_table fmt ts =
+  Format.fprintf fmt "%s(id, key, score) [%d rows]:" ts.t_name
+    (List.length ts.t_rows);
+  List.iter
+    (fun (i, k, s) -> Format.fprintf fmt " (%d, %d, %g)" i k s)
+    ts.t_rows
+
+let pp_failure fmt f =
+  Format.fprintf fmt "@[<v>rankcheck FAILURE (seed %d)@,  reason: %s@," f.f_seed
+    f.f_reason;
+  (match f.f_plan with
+  | Some p -> Format.fprintf fmt "  plan:   %s@," p
+  | None -> ());
+  Format.fprintf fmt "  query:  %a@," Sqlfront.Ast.pp_query f.f_case.c_query;
+  List.iter (fun ts -> Format.fprintf fmt "  %a@," pp_table ts) f.f_case.c_tables;
+  Format.fprintf fmt "  replay: %s@]" f.f_replay
+
+let run_case seed =
+  let case = gen_case seed in
+  match check_case case with
+  | Ok plans -> Ok plans
+  | Error _ ->
+      let shrunk = shrink case in
+      let reason, plan =
+        match check_case shrunk with
+        | Error e -> e
+        | Ok _ -> (
+            (* The shrink overshot (flaky only if the harness itself is
+               nondeterministic — it is not); fall back to the original. *)
+            match check_case case with
+            | Error e -> e
+            | Ok _ -> ("unreproducible failure", None))
+      in
+      Error
+        {
+          f_seed = seed;
+          f_reason = reason;
+          f_plan = plan;
+          f_case = shrunk;
+          f_replay = replay_command seed;
+        }
+
+let run ?(progress = fun _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  let plans = ref 0 in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case (seed + i) with
+    | Ok n -> plans := !plans + n
+    | Error f -> failures := f :: !failures
+  done;
+  { o_cases = cases; o_plans = !plans; o_failures = List.rev !failures }

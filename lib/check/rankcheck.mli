@@ -1,0 +1,71 @@
+(** Seed-deterministic differential fuzzing for the ranking pipeline.
+
+    Each case generates random tables and a random top-k query, computes the
+    answer with a naive oracle (materialize the full join in relalg, score,
+    sort with a total order, take k), then enumerates every plan the
+    optimizer memo retains — rank-join and join-then-sort shapes, all join
+    orders, HRJN/NRJN variants, across enumerator configurations — executes
+    each one, and asserts:
+
+    - {!Core.Plan_verify.check} passes on every plan;
+    - the plan's top-k score multiset equals the oracle's;
+    - no rank join reads past an exhausted-empty input, and every observed
+      input depth stays within the Theorem-2 depth model (with slack for
+      estimation error).
+
+    Failing cases auto-shrink (drop table rows, then query conjuncts, then
+    reduce k) and carry a verbatim replay command. Case [i] of
+    [run ~seed ~cases] is exactly case [0] of [run ~seed:(seed + i) ~cases:1],
+    so a single integer reproduces any failure. *)
+
+type table_spec = {
+  t_name : string;
+  t_key_domain : int;
+  t_dist : Workload.Dist.t;
+  t_rows : (int * int * float) list;  (** (id, key, score) *)
+}
+
+type case = {
+  c_seed : int;
+  c_tables : table_spec list;
+  c_query : Sqlfront.Ast.query;
+}
+
+type failure = {
+  f_seed : int;
+  f_reason : string;
+  f_plan : string option;  (** [Plan.describe] of the offending plan *)
+  f_case : case;  (** auto-shrunk minimal counterexample *)
+  f_replay : string;  (** verbatim CLI command reproducing the failure *)
+}
+
+type outcome = {
+  o_cases : int;
+  o_plans : int;  (** plans executed and compared across all cases *)
+  o_failures : failure list;
+}
+
+val gen_case : int -> case
+(** Deterministically generate the test case for a seed: 2–3 tables with
+    skewed/tied/empty data and a conjunctive top-k join query over them. *)
+
+val build_catalog : case -> Storage.Catalog.t
+(** Materialize a case's tables (with score and key indexes) into a fresh
+    catalog. *)
+
+val check_case : case -> (int, string * string option) result
+(** Run the full differential check for one case. [Ok n] means all [n]
+    enumerated plans agreed with the oracle and passed every invariant;
+    [Error (reason, plan)] describes the first divergence. *)
+
+val shrink : case -> case
+(** Greedily minimize a failing case while it keeps failing. *)
+
+val run_case : int -> (int, failure) result
+(** [check_case] on [gen_case seed], shrinking on failure. *)
+
+val run : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
+(** Check [cases] consecutive seeds starting at [seed]. [progress] is called
+    with the 0-based case index before each case. *)
+
+val pp_failure : Format.formatter -> failure -> unit

@@ -188,12 +188,33 @@ let compile ?hints ?metrics catalog plan =
               | Some ix -> ix
               | None -> invalid_arg "Executor: INL join without index"
             in
+            (* The probe replaces the right access path, so any residual
+               filters wrapped around it must be re-applied to probe
+               results. *)
+            let rec right_preds = function
+              | Plan.Filter { pred; input } -> pred :: right_preds input
+              | _ -> []
+            in
+            let lookup =
+              match right_preds right with
+              | [] -> Exec.Scan.index_probe catalog ix
+              | preds ->
+                  let keep =
+                    List.map
+                      (Expr.compile_bool info.Storage.Catalog.tb_schema)
+                      preds
+                  in
+                  fun key ->
+                    List.filter
+                      (fun tu -> List.for_all (fun p -> p tu) keep)
+                      (Exec.Scan.index_probe catalog ix key)
+            in
             let lchild, lprof = go (child_ann ann 0) left in
             instrument plan stats
               (Exec.Join.index_nested_loops ~stats
                  ~left_key:(Expr.col ~relation:lt lc)
                  ~right_schema:info.Storage.Catalog.tb_schema
-                 ~lookup:(Exec.Scan.index_probe catalog ix)
+                 ~lookup
                  lchild)
               [ lprof ]
         | Plan.Hrjn ->

@@ -53,7 +53,9 @@ let hrjn ?stats ?(polling = Alternate) ~combine ~left ~right () =
     Exec_stats.reset stats
   in
   (* Upper bound on the score of any join result not yet in the queue.
-     Before both inputs have produced a tuple the bound is +inf. *)
+     Before both inputs have produced a tuple the bound is +inf; once an
+     input is exhausted, its side of the bound stops tracking "+inf before
+     first tuple" and collapses to -inf (no future tuple can arrive). *)
   let threshold () =
     if not (!started_l && !started_r) then
       if !done_l || !done_r then neg_infinity (* an input was empty *)
@@ -63,6 +65,12 @@ let hrjn ?stats ?(polling = Alternate) ~combine ~left ~right () =
       let via_r = if !done_r then neg_infinity else combine !top_l !last_r in
       Float.max via_l via_r
     end
+  in
+  (* Once an input is exhausted with nothing buffered (it was empty), no
+     join result beyond what is already queued can ever be produced, so
+     polling the live side any further is pure over-read. *)
+  let no_future_results () =
+    (!done_l && Vtbl.length hash_l = 0) || (!done_r && Vtbl.length hash_r = 0)
   in
   let add_to tbl key entry =
     let prev = Option.value ~default:[] (Vtbl.find_opt tbl key) in
@@ -141,22 +149,25 @@ let hrjn ?stats ?(polling = Alternate) ~combine ~left ~right () =
   in
   let rec next () =
     let t = threshold () in
+    let finished = (!done_l && !done_r) || no_future_results () in
     match Rkutil.Heap.peek queue with
-    | Some (_, s) when s >= t || (!done_l && !done_r) ->
+    | Some (_, s) when s >= t || finished ->
         let tu, s = Rkutil.Heap.pop_exn queue in
         Exec_stats.bump_emitted stats;
         Some (tu, s)
-    | _ -> (
-        match pick_side () with
-        | None -> (
-            match Rkutil.Heap.pop queue with
-            | Some (tu, s) ->
-                Exec_stats.bump_emitted stats;
-                Some (tu, s)
-            | None -> None)
-        | Some side ->
-            ingest side;
-            next ())
+    | _ ->
+        if finished then None
+        else (
+          match pick_side () with
+          | None -> (
+              match Rkutil.Heap.pop queue with
+              | Some (tu, s) ->
+                  Exec_stats.bump_emitted stats;
+                  Some (tu, s)
+              | None -> None)
+          | Some side ->
+              ingest side;
+              next ())
   in
   let stream =
     {
@@ -186,6 +197,10 @@ let nrjn ?stats ~combine ~pred ~outer ~inner ~inner_score () =
   let last_outer = ref nan in
   let started_outer = ref false in
   let done_outer = ref false in
+  (* Set after a full inner scan returns zero tuples: the inner is empty, so
+     no join result can ever exist and the "+inf until the inner's top score
+     is known" bound must collapse instead of draining the whole outer. *)
+  let inner_empty = ref false in
   let reset () =
     Rkutil.Heap.clear queue;
     top_inner := nan;
@@ -194,10 +209,11 @@ let nrjn ?stats ~combine ~pred ~outer ~inner ~inner_score () =
     last_outer := nan;
     started_outer := false;
     done_outer := false;
+    inner_empty := false;
     Exec_stats.reset stats
   in
   let threshold () =
-    if !done_outer then neg_infinity
+    if !done_outer || !inner_empty then neg_infinity
     else if not (!started_outer && !have_inner_top) then infinity
     else combine !last_outer !top_inner
   in
@@ -228,19 +244,21 @@ let nrjn ?stats ~combine ~pred ~outer ~inner ~inner_score () =
               loop ()
         in
         loop ();
+        if !scanned = 0 then inner_empty := true;
         if !scanned > !inner_count then inner_count := !scanned;
         Exec_stats.note_depth stats 1 !inner_count;
         Exec_stats.note_buffer stats (Rkutil.Heap.length queue)
   in
   let rec next () =
     let t = threshold () in
+    let finished = !done_outer || !inner_empty in
     match Rkutil.Heap.peek queue with
-    | Some (_, s) when s >= t || !done_outer ->
+    | Some (_, s) when s >= t || finished ->
         let tu, s = Rkutil.Heap.pop_exn queue in
         Exec_stats.bump_emitted stats;
         Some (tu, s)
     | _ ->
-        if !done_outer then
+        if finished then
           (match Rkutil.Heap.pop queue with
           | Some (tu, s) ->
               Exec_stats.bump_emitted stats;

@@ -126,24 +126,36 @@ let hrjn_nary ?stats ~inputs () =
       chosen
     end
   in
+  (* A finished input with an empty buffer (it produced no tuples at all)
+     makes every future combination impossible: stop polling the others. *)
+  let no_future_results () =
+    let blocked = ref false in
+    for i = 0 to m - 1 do
+      if finished.(i) && Vtbl.length hashes.(i) = 0 then blocked := true
+    done;
+    !blocked
+  in
   let rec next () =
     let t = threshold () in
+    let stop = all_done () || no_future_results () in
     match Rkutil.Heap.peek !queue with
-    | Some (_, s) when s >= t || all_done () ->
+    | Some (_, s) when s >= t || stop ->
         let tu, s = Rkutil.Heap.pop_exn !queue in
         Exec_stats.bump_emitted stats;
         Some (tu, s)
-    | _ -> (
-        match pick () with
-        | None -> (
-            match Rkutil.Heap.pop !queue with
-            | Some (tu, s) ->
-                Exec_stats.bump_emitted stats;
-                Some (tu, s)
-            | None -> None)
-        | Some i ->
-            ingest i;
-            next ())
+    | _ ->
+        if stop then None
+        else (
+          match pick () with
+          | None -> (
+              match Rkutil.Heap.pop !queue with
+              | Some (tu, s) ->
+                  Exec_stats.bump_emitted stats;
+                  Some (tu, s)
+              | None -> None)
+          | Some i ->
+              ingest i;
+              next ())
   in
   let stream =
     {

@@ -41,7 +41,9 @@ let resolve_column catalog tables (table, name) =
       match owners with
       | [ t ] -> (t, name)
       | [] -> fail "column %s does not exist in any FROM table" name
-      | _ -> fail "column %s is ambiguous" name)
+      | owners ->
+          fail "column %s is ambiguous: qualify it as one of %s" name
+            (String.concat ", " (List.map (fun t -> t ^ "." ^ name) owners)))
 
 let rec to_expr catalog tables = function
   | Ast.Number f -> Expr.cfloat f

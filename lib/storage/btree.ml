@@ -343,28 +343,40 @@ let scan_desc ?from t =
   in
   next
 
-let range t ~lo ~hi =
+let range ?(lo_incl = true) ?(hi_incl = true) t ~lo ~hi =
   Io_stats.add_index_probe t.io;
+  (* Descend with find_leaf_left even for an exclusive lower bound: an
+     exclusive bound still needs the leftmost leaf that can hold [lo], since
+     entries above [lo] may share that leaf with duplicates of [lo]. *)
   let lf =
     match lo with
     | None -> leftmost_leaf t t.root
     | Some key -> find_leaf_left t t.root key
+  in
+  let above_lo key =
+    match lo with
+    | None -> true
+    | Some l ->
+        let c = Value.compare key l in
+        if lo_incl then c >= 0 else c > 0
+  in
+  let below_hi key =
+    match hi with
+    | None -> true
+    | Some h ->
+        let c = Value.compare key h in
+        if hi_incl then c <= 0 else c < 0
   in
   let acc = ref [] in
   let stop = ref false in
   let rec walk lf =
     Array.iter
       (fun e ->
-        if not !stop then begin
-          let ge_lo =
-            match lo with None -> true | Some l -> Value.compare e.key l >= 0
-          in
-          let le_hi =
-            match hi with None -> true | Some h -> Value.compare e.key h <= 0
-          in
-          if ge_lo && le_hi then acc := e.tuple :: !acc
-          else if ge_lo && not le_hi then stop := true
-        end)
+        if not !stop then
+          (* Keys ascend: the first key past the upper bound ends the scan,
+             whether or not the lower bound was ever satisfied. *)
+          if not (below_hi e.key) then stop := true
+          else if above_lo e.key then acc := e.tuple :: !acc)
       lf.entries;
     if not !stop then
       match lf.next with

@@ -32,8 +32,17 @@ val height : t -> int
 val lookup : t -> Value.t -> Tuple.t list
 (** All tuples stored under an exactly-equal key (charges one probe). *)
 
-val range : t -> lo:Value.t option -> hi:Value.t option -> Tuple.t list
-(** Inclusive range scan, ascending. *)
+val range :
+  ?lo_incl:bool ->
+  ?hi_incl:bool ->
+  t ->
+  lo:Value.t option ->
+  hi:Value.t option ->
+  Tuple.t list
+(** Range scan, ascending. Both endpoints are inclusive by default;
+    [~lo_incl:false] / [~hi_incl:false] exclude entries exactly equal to the
+    corresponding bound (duplicates of a bound key are kept or dropped as a
+    block, even when they span leaf splits). [None] means unbounded. *)
 
 val scan_asc : ?from:Value.t -> t -> unit -> Tuple.t option
 (** Cursor over entries with key ≥ [from] (or all), ascending key order. *)

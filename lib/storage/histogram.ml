@@ -70,15 +70,11 @@ let selectivity_le t x =
         below := !below + t.counts.(i)
       done;
       let bucket_lo = t.lo +. (float_of_int b *. w) in
-      let frac = (x -. bucket_lo) /. w in
+      let frac = Rkutil.Mathx.clamp ~lo:0.0 ~hi:1.0 ((x -. bucket_lo) /. w) in
       (float_of_int !below +. (frac *. float_of_int t.counts.(b)))
       /. float_of_int t.total
     end
   end
-
-let selectivity_range t ~lo ~hi =
-  if hi < lo then 0.0
-  else Rkutil.Mathx.clamp ~lo:0.0 ~hi:1.0 (selectivity_le t hi -. selectivity_le t lo)
 
 let selectivity_eq t x =
   if t.total = 0 || t.distinct = 0 then 0.0
@@ -91,6 +87,19 @@ let selectivity_eq t x =
           float_of_int t.distinct /. float_of_int (max 1 (Array.length t.counts))
         in
         bucket_frac /. Float.max 1.0 distinct_per_bucket
+
+let selectivity_range t ~lo ~hi =
+  if t.total = 0 || hi < lo then 0.0
+  else if hi < t.lo || lo > t.hi then 0.0 (* interval entirely outside the domain *)
+  else if lo = hi then selectivity_eq t lo
+  else begin
+    let mass = selectivity_le t hi -. selectivity_le t lo in
+    (* A closed interval includes its endpoints, but interpolation assigns a
+       boundary value zero width: never estimate below what a point predicate
+       on either in-domain endpoint would return. *)
+    let floor_mass = Float.max (selectivity_eq t lo) (selectivity_eq t hi) in
+    Rkutil.Mathx.clamp ~lo:0.0 ~hi:1.0 (Float.max mass floor_mass)
+  end
 
 let distinct_estimate t = t.distinct
 

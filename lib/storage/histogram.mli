@@ -22,10 +22,14 @@ val bucket_of : t -> float -> int option
 (** Bucket index containing a value, [None] outside the range or empty. *)
 
 val selectivity_le : t -> float -> float
-(** Estimated fraction of values ≤ x (linear interpolation in-bucket). *)
+(** Estimated fraction of values ≤ x (linear interpolation in-bucket).
+    Exactly 0 below the histogram minimum and 1 at or above the maximum. *)
 
 val selectivity_range : t -> lo:float -> hi:float -> float
-(** Estimated fraction of values in [\[lo, hi\]]. *)
+(** Estimated fraction of values in the closed interval [\[lo, hi\]].
+    Point ranges ([lo = hi]) delegate to {!selectivity_eq}; intervals
+    entirely outside the recorded domain return 0; otherwise the estimate is
+    never below what a point predicate on an in-domain endpoint would give. *)
 
 val selectivity_eq : t -> float -> float
 (** Estimated fraction equal to x, assuming in-bucket uniformity and the

@@ -75,6 +75,61 @@ let test_range () =
   let r = Btree.range t ~lo:(Some (vf 18.0)) ~hi:None in
   Alcotest.(check int) "2 entries" 2 (List.length r)
 
+(* Exhaustive boundary semantics: over a known key set (with duplicates,
+   small fanout so keys sit at first/last slots of split leaves), every
+   (lo, hi) pair drawn from the keys and the midpoints between them, under
+   all four inclusive/exclusive endpoint combinations, must agree with a
+   naive filter over the sorted entry list. *)
+let test_range_boundary_semantics () =
+  (* Duplicate-heavy key set; fanout 4 forces several leaf splits so bound
+     keys land on leaf edges. *)
+  let keys = [ 0.0; 0.0; 1.0; 2.0; 2.0; 2.0; 3.0; 5.0; 5.0; 8.0; 8.0; 9.0 ] in
+  let t = fresh ~fanout:4 () in
+  List.iteri (fun i k -> Btree.insert t (vf k) (tu i)) keys;
+  Alcotest.(check bool) "tree split" true (Btree.height t > 1);
+  let bounds =
+    (* Every stored key, midpoints, and values outside the domain. *)
+    [ None ]
+    @ List.map
+        (fun k -> Some k)
+        [ -1.0; 0.0; 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 4.0; 5.0; 6.0; 8.0; 8.5; 9.0; 10.0 ]
+  in
+  let naive ~lo ~hi ~lo_incl ~hi_incl =
+    List.filter
+      (fun k ->
+        (match lo with
+        | None -> true
+        | Some l -> if lo_incl then k >= l else k > l)
+        &&
+        match hi with
+        | None -> true
+        | Some h -> if hi_incl then k <= h else k < h)
+      keys
+  in
+  List.iter
+    (fun lo ->
+      List.iter
+        (fun hi ->
+          List.iter
+            (fun (lo_incl, hi_incl) ->
+              let got =
+                Btree.range ~lo_incl ~hi_incl t
+                  ~lo:(Option.map vf lo)
+                  ~hi:(Option.map vf hi)
+                |> List.map (fun tuple -> List.nth keys (Value.to_int (Tuple.get tuple 0)))
+              in
+              let want = naive ~lo ~hi ~lo_incl ~hi_incl in
+              let show = function None -> "-inf" | Some f -> string_of_float f in
+              Alcotest.(check (list (float 0.0)))
+                (Printf.sprintf "range %s%s, %s%s"
+                   (if lo_incl then "[" else "(")
+                   (show lo) (show hi)
+                   (if hi_incl then "]" else ")"))
+                want got)
+            [ (true, true); (true, false); (false, true); (false, false) ])
+        bounds)
+    bounds
+
 let test_delete () =
   let t = fresh () in
   for i = 0 to 9 do
@@ -208,6 +263,8 @@ let suites =
         Alcotest.test_case "scan desc" `Quick test_scan_desc_order;
         Alcotest.test_case "scan from" `Quick test_scan_from;
         Alcotest.test_case "range" `Quick test_range;
+        Alcotest.test_case "range boundary semantics" `Quick
+          test_range_boundary_semantics;
         Alcotest.test_case "delete" `Quick test_delete;
         Alcotest.test_case "bulk load" `Quick test_bulk_load_matches_inserts;
         Alcotest.test_case "height grows" `Quick test_height_grows;

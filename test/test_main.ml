@@ -29,4 +29,5 @@ let () =
          Test_persist.suites;
          Test_coverage.suites;
          Test_consistency.suites;
+         Test_rankcheck.suites;
        ])

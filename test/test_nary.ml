@@ -107,6 +107,20 @@ let test_nary_empty_input () =
   let results, _ = run_nary (rels @ [ empty ]) 5 in
   Alcotest.(check int) "no results" 0 (List.length results)
 
+(* One empty input makes the whole join empty: the operator must learn this
+   after at most one round-robin pass, not drain the live inputs. *)
+let test_nary_empty_input_depth () =
+  let rels = make_relations ~m:2 ~n:150 () in
+  let empty = Relation.create (Test_util.scored_schema "Z") [] in
+  let results, stats = run_nary (rels @ [ empty ]) 5 in
+  Alcotest.(check int) "no results" 0 (List.length results);
+  for i = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "input %d depth O(1)" i)
+      true
+      (Exec_stats.depth stats i <= 2)
+  done
+
 let test_nary_rejects_single_input () =
   let rels = make_relations ~m:1 () in
   Alcotest.check_raises "arity"
@@ -169,6 +183,7 @@ let suites =
         Alcotest.test_case "nary(2) = binary" `Quick test_nary_two_inputs_equals_binary;
         Alcotest.test_case "early out" `Quick test_nary_early_out;
         Alcotest.test_case "empty input" `Quick test_nary_empty_input;
+        Alcotest.test_case "empty input depth" `Quick test_nary_empty_input_depth;
         Alcotest.test_case "arity check" `Quick test_nary_rejects_single_input;
         Alcotest.test_case "flat vs pipeline depths" `Quick test_nary_flat_vs_pipeline_depths;
         QCheck_alcotest.to_alcotest prop_nary_equals_oracle;

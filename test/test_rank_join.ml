@@ -117,6 +117,32 @@ let test_nrjn_empty_inner () =
   let results, _ = nrjn_results ra empty 5 in
   Alcotest.(check int) "no results" 0 (List.length results)
 
+(* Exhaustion depth regression (Theorem 2 degenerate case): when one input
+   is exhausted empty the join is provably empty, so the bound on the other
+   input's depth is O(1) — the operator may poll it at most once before it
+   learns the empty side is done. Pre-fix HRJN drained the live side fully
+   (depth n) and NRJN scanned the empty inner once per outer tuple. *)
+let test_hrjn_empty_input_depth () =
+  let empty = Relation.create (Test_util.scored_schema "A") [] in
+  let rb = Test_util.scored_relation "B" ~n:200 ~domain:4 ~seed:5 in
+  let results, stats = hrjn_results empty rb 5 in
+  Alcotest.(check int) "no results" 0 (List.length results);
+  Alcotest.(check bool) "empty left: right depth O(1)" true
+    (Exec_stats.right_depth stats <= 2);
+  let empty_r = Relation.create (Test_util.scored_schema "B") [] in
+  let ra = Test_util.scored_relation "A" ~n:200 ~domain:4 ~seed:5 in
+  let results, stats = hrjn_results ra empty_r 5 in
+  Alcotest.(check int) "no results (empty right)" 0 (List.length results);
+  Alcotest.(check bool) "empty right: left depth O(1)" true
+    (Exec_stats.left_depth stats <= 2)
+
+let test_nrjn_empty_inner_depth () =
+  let ra = Test_util.scored_relation "A" ~n:200 ~domain:4 ~seed:5 in
+  let empty = Relation.create (Test_util.scored_schema "B") [] in
+  let _, stats = nrjn_results ra empty 5 in
+  Alcotest.(check bool) "empty inner: outer depth O(1)" true
+    (Exec_stats.left_depth stats <= 1)
+
 let test_hrjn_threshold_safety () =
   (* Every emitted score must be >= every score emitted later (already
      checked) AND no emitted-later join result can beat an earlier one even
@@ -231,6 +257,7 @@ let suites =
         Alcotest.test_case "early out" `Quick test_hrjn_early_out;
         Alcotest.test_case "full drain" `Quick test_hrjn_emits_all_results_when_k_large;
         Alcotest.test_case "empty inputs" `Quick test_hrjn_empty_inputs;
+        Alcotest.test_case "empty input depth" `Quick test_hrjn_empty_input_depth;
         Alcotest.test_case "threshold safety" `Quick test_hrjn_threshold_safety;
         Alcotest.test_case "restart" `Quick test_hrjn_restart;
         Alcotest.test_case "depths grow with k" `Quick test_hrjn_depths_grow_with_k;
@@ -243,6 +270,7 @@ let suites =
       [
         Alcotest.test_case "matches oracle" `Quick test_nrjn_matches_oracle;
         Alcotest.test_case "empty inner" `Quick test_nrjn_empty_inner;
+        Alcotest.test_case "empty inner depth" `Quick test_nrjn_empty_inner_depth;
         Alcotest.test_case "depth instrumentation" `Quick test_nrjn_depth_instrumentation;
         QCheck_alcotest.to_alcotest prop_nrjn_equals_oracle;
       ] );

@@ -144,6 +144,43 @@ let test_bind_errors () =
       "SELECT * FROM A, B WHERE A.score < B.score" (* cross-relation non-equi *);
     ]
 
+(* A column name owned by several FROM tables must raise a clear
+   "ambiguous" error naming the candidate qualifications — in the select
+   list, WHERE and ORDER BY alike — and qualifying the reference must make
+   the same query bind and run. *)
+let test_ambiguous_column_error_and_escape () =
+  let cat = setup () in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun sql ->
+      let ast = Sqlfront.Parser.parse sql in
+      match Sqlfront.Binder.bind_result cat ast with
+      | Ok _ -> Alcotest.failf "expected ambiguity error: %s" sql
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "says ambiguous: %s" msg)
+            true (contains msg "ambiguous");
+          Alcotest.(check bool)
+            (Printf.sprintf "names candidates: %s" msg)
+            true
+            (contains msg "A." && contains msg "B."))
+    [
+      "SELECT score FROM A, B WHERE A.key = B.key";
+      "SELECT * FROM A, B WHERE A.key = B.key AND score > 0.5";
+      "SELECT * FROM A, B WHERE A.key = B.key ORDER BY score DESC LIMIT 3";
+    ];
+  (* The qualified-name escape hatch binds and executes. *)
+  match
+    Sqlfront.Sql.query cat
+      "SELECT A.score FROM A, B WHERE A.key = B.key ORDER BY A.score + B.score DESC LIMIT 3"
+  with
+  | Error e -> Alcotest.failf "qualified query failed: %s" e
+  | Ok ans -> Alcotest.(check int) "3 rows" 3 (List.length ans.Sqlfront.Sql.rows)
+
 let test_asc_order_by_post_sorts () =
   let cat = setup () in
   match
@@ -282,6 +319,8 @@ let suites =
         Alcotest.test_case "splits predicates" `Quick test_bind_splits_preds;
         Alcotest.test_case "ranking slices" `Quick test_bind_ranking_slices;
         Alcotest.test_case "errors" `Quick test_bind_errors;
+        Alcotest.test_case "ambiguous column" `Quick
+          test_ambiguous_column_error_and_escape;
         Alcotest.test_case "asc post-sort" `Quick test_asc_order_by_post_sorts;
         Alcotest.test_case "non-linear post-sort" `Quick test_nonlinear_order_by_post_sorts;
         Alcotest.test_case "unranked relation ok" `Quick test_bind_unranked_relation_allowed;

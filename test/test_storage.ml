@@ -111,6 +111,56 @@ let test_histogram_selectivity () =
   Alcotest.(check (float 0.0)) "below range" 0.0 (Histogram.selectivity_le h (-1.0));
   Alcotest.(check (float 0.0)) "above range" 1.0 (Histogram.selectivity_le h 2.0)
 
+(* Boundary-value contract for the selectivity estimators: predicates
+   entirely below/above the recorded domain return exactly 0/1 (or 0 mass for
+   ranges), and a degenerate point range delegates to selectivity_eq instead
+   of collapsing to [le hi - le lo = 0]. *)
+let test_histogram_range_boundaries () =
+  let values = List.init 100 (fun i -> float_of_int i) in
+  (* domain [0, 99] *)
+  let h = Histogram.build ~buckets:10 values in
+  Alcotest.(check (float 0.0)) "le below min" 0.0 (Histogram.selectivity_le h (-0.5));
+  Alcotest.(check (float 0.0)) "le at max" 1.0 (Histogram.selectivity_le h 99.0);
+  Alcotest.(check (float 0.0)) "le above max" 1.0 (Histogram.selectivity_le h 1000.0);
+  Alcotest.(check (float 0.0)) "range entirely below" 0.0
+    (Histogram.selectivity_range h ~lo:(-10.0) ~hi:(-1.0));
+  Alcotest.(check (float 0.0)) "range entirely above" 0.0
+    (Histogram.selectivity_range h ~lo:100.5 ~hi:200.0);
+  Alcotest.(check (float 0.0)) "inverted range" 0.0
+    (Histogram.selectivity_range h ~lo:10.0 ~hi:5.0);
+  (* Point range = selectivity_eq, and it must be strictly positive for an
+     in-domain value. *)
+  let eq50 = Histogram.selectivity_eq h 50.0 in
+  Alcotest.(check bool) "eq positive" true (eq50 > 0.0);
+  Alcotest.(check (float 0.0)) "point range = eq" eq50
+    (Histogram.selectivity_range h ~lo:50.0 ~hi:50.0);
+  Alcotest.(check (float 0.0)) "point range at min" (Histogram.selectivity_eq h 0.0)
+    (Histogram.selectivity_range h ~lo:0.0 ~hi:0.0);
+  Alcotest.(check (float 0.0)) "point range at max" (Histogram.selectivity_eq h 99.0)
+    (Histogram.selectivity_range h ~lo:99.0 ~hi:99.0);
+  Alcotest.(check (float 0.0)) "point range outside domain" 0.0
+    (Histogram.selectivity_range h ~lo:(-3.0) ~hi:(-3.0));
+  (* A closed range that straddles the minimum must not report less mass
+     than the included endpoint alone. *)
+  Alcotest.(check bool) "straddling min >= eq(min)" true
+    (Histogram.selectivity_range h ~lo:(-5.0) ~hi:0.0
+    >= Histogram.selectivity_eq h 0.0);
+  (* Whole-domain range is everything. *)
+  Alcotest.(check (float 1e-9)) "whole domain" 1.0
+    (Histogram.selectivity_range h ~lo:(-1.0) ~hi:100.0)
+
+let test_histogram_single_value () =
+  (* All values identical: degenerate zero-width domain. *)
+  let h = Histogram.build (List.init 5 (fun _ -> 7.0)) in
+  Alcotest.(check (float 0.0)) "le below" 0.0 (Histogram.selectivity_le h 6.0);
+  Alcotest.(check (float 0.0)) "le at" 1.0 (Histogram.selectivity_le h 7.0);
+  Alcotest.(check bool) "point range positive" true
+    (Histogram.selectivity_range h ~lo:7.0 ~hi:7.0 > 0.0);
+  Alcotest.(check (float 0.0)) "range below" 0.0
+    (Histogram.selectivity_range h ~lo:0.0 ~hi:6.9);
+  Alcotest.(check (float 0.0)) "range above" 0.0
+    (Histogram.selectivity_range h ~lo:7.1 ~hi:8.0)
+
 let test_histogram_empty () =
   let h = Histogram.build [] in
   Alcotest.(check int) "count" 0 (Histogram.count h);
@@ -193,6 +243,8 @@ let suites =
     ( "storage.histogram",
       [
         Alcotest.test_case "selectivity" `Quick test_histogram_selectivity;
+        Alcotest.test_case "range boundaries" `Quick test_histogram_range_boundaries;
+        Alcotest.test_case "single value" `Quick test_histogram_single_value;
         Alcotest.test_case "empty" `Quick test_histogram_empty;
         Alcotest.test_case "decrement slab" `Quick test_histogram_slab;
       ] );
