@@ -1,4 +1,4 @@
-.PHONY: all build test bench fuzz ci clean
+.PHONY: all build test bench fuzz serve-smoke ci clean
 
 all: build
 
@@ -22,10 +22,17 @@ fuzz: build
 bench:
 	dune exec bench/main.exe
 
-# What CI runs: a full build + test pass, then verify the working tree is
-# clean (catches build artifacts or generated files accidentally committed,
-# and formatter/codegen drift).
-ci: build test
+# End-to-end smoke test of the query service: start `rankopt serve` on a
+# private Unix socket, run a scripted client session (prepare / bind k /
+# execute / stats / shutdown) and assert on the protocol replies,
+# including that the second execution is served from the plan cache.
+serve-smoke: build
+	sh scripts/serve_smoke.sh
+
+# What CI runs: a full build + test pass and the server smoke test, then
+# verify the working tree is clean (catches build artifacts or generated
+# files accidentally committed, and formatter/codegen drift).
+ci: build test serve-smoke
 	@status=$$(git status --porcelain); \
 	if [ -n "$$status" ]; then \
 	  echo "ci: working tree not clean after build+test:"; \

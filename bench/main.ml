@@ -26,6 +26,7 @@ let experiments =
     ("baseline-fr", Experiments.baseline_filter_restart);
     ("profile", Experiments.profile);
     ("micro", Micro.run);
+    ("serve", Serve_bench.run);
   ]
 
 let usage () =

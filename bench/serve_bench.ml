@@ -1,0 +1,118 @@
+(* Closed-loop load generator for the query service.
+
+   Drives a fixed statement mix two ways and reports a JSON row:
+
+   - serial: one thread calling [Sql.query] per statement — every
+     statement pays parse + bind + optimize + execute;
+   - service: N client threads over an in-process [Server.Service] with
+     its worker-domain pool and k-interval plan cache — after the first
+     execution of each template only the k rebind and execution remain.
+
+   The statement mix cycles a handful of templates across k values inside
+   each plan's validity interval, the regime the cache is built for
+   (dashboard-style repeated top-k queries). On a single-core container
+   the speedup is almost entirely the cache skipping re-optimization;
+   worker domains add parallelism on multicore hosts. *)
+
+let templates =
+  [|
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.5*A.score + \
+     0.5*B.score DESC LIMIT ?";
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.3*A.score + \
+     0.7*B.score DESC LIMIT ?";
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.8*A.score + \
+     0.2*B.score DESC LIMIT ?";
+    "SELECT A.id FROM A ORDER BY A.score DESC LIMIT ?";
+    "SELECT B.id FROM B ORDER BY B.score DESC LIMIT ?";
+  |]
+
+let ks = [| 5; 10; 8; 20; 12; 15 |]
+
+let statement i =
+  (i mod Array.length templates, ks.(i mod Array.length ks))
+
+let substitute_k sql k =
+  String.concat (string_of_int k) (String.split_on_char '?' sql)
+
+let run_serial catalog n =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to n - 1 do
+    let tpl, k = statement i in
+    match Sqlfront.Sql.query catalog (substitute_k templates.(tpl) k) with
+    | Ok _ -> ()
+    | Error e -> failwith ("serve bench serial: " ^ e)
+  done;
+  Unix.gettimeofday () -. t0
+
+let run_service catalog ~workers ~clients n =
+  let config =
+    {
+      Server.Service.default_config with
+      workers;
+      queue_capacity = 2 * clients;
+    }
+  in
+  let svc = Server.Service.create ~config catalog in
+  let per_client = n / clients in
+  let errors = Atomic.make 0 in
+  let client_thread c =
+    let session = Server.Service.open_session svc in
+    Array.iteri
+      (fun i sql ->
+        match Server.Service.prepare session ~name:(string_of_int i) sql with
+        | Ok _ -> ()
+        | Error _ -> Atomic.incr errors)
+      templates;
+    for i = 0 to per_client - 1 do
+      let tpl, k = statement ((c * per_client) + i) in
+      match
+        Server.Service.execute_prepared session ~k (string_of_int tpl)
+      with
+      | Ok _ -> ()
+      | Error _ -> Atomic.incr errors
+    done;
+    Server.Service.close_session session
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun c -> Thread.create client_thread c) in
+  List.iter Thread.join threads;
+  let dt = Unix.gettimeofday () -. t0 in
+  let cache = Server.Service.cache_stats svc in
+  let metrics = Server.Service.server_metrics svc in
+  Server.Service.shutdown svc;
+  (dt, cache, metrics, Atomic.get errors)
+
+let run () =
+  Bench_util.section "serve: concurrent query service vs serial execution";
+  let catalog = Bench_util.two_table_catalog ~n:5000 ~domain:200 ~seed:42 () in
+  let n = 2000 and workers = 4 and clients = 4 in
+  (* Warm the buffer pool so both sides measure compute, not cold I/O. *)
+  ignore (run_serial catalog (Array.length templates * Array.length ks));
+  let serial_dt = run_serial catalog n in
+  let service_dt, cache, metrics, errors =
+    run_service catalog ~workers ~clients n
+  in
+  let serial_qps = float_of_int n /. serial_dt in
+  let service_qps = float_of_int n /. service_dt in
+  let hit_rate = Server.Plan_cache.hit_rate cache in
+  Bench_util.row "%-28s %12s %12s\n" "" "serial" "service";
+  Bench_util.row "%-28s %12.0f %12.0f\n" "throughput (stmt/s)" serial_qps
+    service_qps;
+  Bench_util.row "%-28s %12s %12.2f\n" "speedup" "" (service_qps /. serial_qps);
+  Bench_util.row "%-28s %12s %12.3f\n" "plan-cache hit rate" "" hit_rate;
+  Bench_util.row "%-28s %12s %12d\n" "re-optimize on rebind" ""
+    cache.Server.Plan_cache.reopt_rebinds;
+  Bench_util.row "%-28s %12s %12.3f/%.3f\n" "p50/p95 latency (ms)" ""
+    metrics.Server.Metrics.p50_ms metrics.Server.Metrics.p95_ms;
+  Bench_util.row
+    "{\"bench\":\"serve\",\"statements\":%d,\"workers\":%d,\"clients\":%d,\
+     \"cores\":%d,\"serial_qps\":%.1f,\"service_qps\":%.1f,\"speedup\":%.2f,\
+     \"cache_hit_rate\":%.4f,\"cache_hits\":%d,\"cache_misses\":%d,\
+     \"reopt_rebinds\":%d,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\"errors\":%d}\n"
+    n workers clients
+    (Domain.recommended_domain_count ())
+    serial_qps service_qps
+    (service_qps /. serial_qps)
+    hit_rate cache.Server.Plan_cache.hits cache.Server.Plan_cache.misses
+    cache.Server.Plan_cache.reopt_rebinds metrics.Server.Metrics.p50_ms
+    metrics.Server.Metrics.p95_ms errors

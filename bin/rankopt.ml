@@ -221,26 +221,149 @@ let repl_cmd =
     Term.(
       ret (const run $ tables_arg $ seed_arg $ pool_arg $ traditional_arg $ from_arg))
 
+(* -- serve / client: the concurrent query service ----------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen/connect on." in
+  Arg.(
+    value
+    & opt string "/tmp/rankopt.sock"
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Listen/connect on TCP at this port instead of a Unix socket." in
+  Arg.(value & opt (some int) None & info [ "port"; "p" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "TCP host (with --port)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let endpoint_of socket port host =
+  match port with
+  | Some p -> Server.Listener.Tcp (host, p)
+  | None -> Server.Listener.Unix_socket socket
+
+let serve_cmd =
+  let run verbose tables seed pool from_dir socket port host workers queue
+      cache timeout =
+    setup_logs verbose;
+    let catalog = build_catalog ?from_dir tables seed pool in
+    let config =
+      {
+        Server.Service.workers;
+        queue_capacity = queue;
+        cache_capacity = cache;
+        default_timeout_s = timeout;
+      }
+    in
+    let endpoint = endpoint_of socket port host in
+    let listener = Server.Listener.start ~config endpoint catalog in
+    Format.printf "rankopt serve: listening on %a (%d worker domain(s))@."
+      Server.Listener.pp_endpoint endpoint workers;
+    Server.Listener.wait listener;
+    Format.printf "rankopt serve: shut down@.";
+    `Ok ()
+  in
+  let workers_arg =
+    let doc = "Worker domains executing queries." in
+    Arg.(value & opt int 4 & info [ "workers"; "w" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc = "Job-queue capacity; excess statements are shed." in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Plan-cache capacity in templates." in
+    Arg.(value & opt int 128 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Default per-statement deadline, seconds." in
+    Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let doc =
+    "Run the multi-session query service: a line protocol (PREPARE / \
+     EXECUTE k / QUERY / EXPLAIN / STATS / SHUTDOWN) over a Unix or TCP \
+     socket, executing on a pool of worker domains behind a rank-aware \
+     (k-interval) plan cache."
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ verbose_arg $ tables_arg $ seed_arg $ pool_arg $ from_arg
+       $ socket_arg $ port_arg $ host_arg $ workers_arg $ queue_arg $ cache_arg
+       $ timeout_arg))
+
+let client_cmd =
+  let run socket port host commands =
+    let endpoint = endpoint_of socket port host in
+    match Server.Client.connect endpoint with
+    | exception Unix.Unix_error (e, _, _) ->
+        `Error
+          ( false,
+            Format.asprintf "cannot connect to %a: %s" Server.Listener.pp_endpoint
+              endpoint (Unix.error_message e) )
+    | client ->
+        let send line =
+          match Server.Client.request client line with
+          | Error e ->
+              Printf.printf "transport error: %s\n" e;
+              false
+          | Ok resp ->
+              List.iter print_endline (Server.Protocol.render resp);
+              resp.Server.Protocol.ok
+        in
+        let ok =
+          match commands with
+          | _ :: _ -> List.for_all send commands
+          | [] ->
+              (* Script mode: one command per stdin line. *)
+              let rec loop acc =
+                match In_channel.input_line stdin with
+                | None -> acc
+                | Some line when String.trim line = "" -> loop acc
+                | Some line -> loop (send line && acc)
+              in
+              loop true
+        in
+        Server.Client.close client;
+        if ok then `Ok () else `Error (false, "server returned an error")
+  in
+  let commands_arg =
+    let doc =
+      "Protocol command(s) to send (e.g. \"QUERY SELECT ...\"); reads one \
+       command per stdin line when omitted."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"COMMAND" ~doc)
+  in
+  let doc = "Send protocol commands to a running rankopt server." in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(ret (const run $ socket_arg $ port_arg $ host_arg $ commands_arg))
+
 let fuzz_cmd =
-  let run seed cases =
+  let run seed cases server_mode =
     let t0 = Unix.gettimeofday () in
+    let progress i =
+      if cases > 20 && i > 0 && i mod 50 = 0 then
+        Printf.eprintf "rankcheck: %d/%d cases...\n%!" i cases
+    in
     let outcome =
-      Check.Rankcheck.run
-        ~progress:(fun i ->
-          if cases > 20 && i > 0 && i mod 50 = 0 then
-            Printf.eprintf "rankcheck: %d/%d cases...\n%!" i cases)
-        ~seed ~cases ()
+      if server_mode then Check.Rankcheck.run_server ~progress ~seed ~cases ()
+      else Check.Rankcheck.run ~progress ~seed ~cases ()
     in
     let dt = Unix.gettimeofday () -. t0 in
     List.iter
       (fun f -> Format.printf "%a@.@." Check.Rankcheck.pp_failure f)
       outcome.Check.Rankcheck.o_failures;
     Printf.printf
-      "rankcheck: %d cases (seeds %d..%d), %d plans checked, %d failure(s) \
+      "rankcheck%s: %d cases (seeds %d..%d), %d %s checked, %d failure(s) \
        [%.1fs]\n"
+      (if server_mode then " (server mode)" else "")
       outcome.Check.Rankcheck.o_cases seed
       (seed + cases - 1)
       outcome.Check.Rankcheck.o_plans
+      (if server_mode then "server executions" else "plans")
       (List.length outcome.Check.Rankcheck.o_failures)
       dt;
     if outcome.Check.Rankcheck.o_failures = [] then `Ok ()
@@ -250,19 +373,30 @@ let fuzz_cmd =
     let doc = "Number of consecutive seeds to check." in
     Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc)
   in
+  let server_arg =
+    let doc =
+      "Replay each generated query through a live in-process server \
+       (PREPARE with LIMIT ?, then EXECUTE twice at two k values, \
+       asserting plan-cache hits) against direct execution, instead of \
+       enumerating plans."
+    in
+    Arg.(value & flag & info [ "server" ] ~doc)
+  in
   let doc =
     "Differential fuzzing: for each seed, generate random tables and a \
      random top-k query, compare every plan the optimizer can emit against \
      a naive sort-based oracle, and check rank-join depth bounds. Failures \
-     are shrunk and print a replay command."
+     are shrunk and print a replay command. With --server, replay through \
+     the query service instead."
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(ret (const run $ seed_arg $ cases_arg))
+    Term.(ret (const run $ seed_arg $ cases_arg $ server_arg))
 
 let main_cmd =
   let doc = "rank-aware top-k query engine (SIGMOD 2004 reproduction)" in
   let info = Cmd.info "rankopt" ~version:"1.0.0" ~doc in
-  Cmd.group info [ query_cmd; explain_cmd; analyze_cmd; repl_cmd; fuzz_cmd ]
+  Cmd.group info
+    [ query_cmd; explain_cmd; analyze_cmd; repl_cmd; serve_cmd; client_cmd; fuzz_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -146,6 +146,7 @@ let gen_case seed =
       group_by = [];
       order_by = Some (order_expr, Desc);
       limit = Some k;
+      limit_param = false;
     }
   in
   { c_seed = seed; c_tables = tables; c_query = query }
@@ -840,3 +841,142 @@ let run ?(progress = fun _ -> ()) ~seed ~cases () =
     | Error f -> failures := f :: !failures
   done;
   { o_cases = cases; o_plans = !plans; o_failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+(* Server mode: replay through a live server vs direct execution       *)
+(* ------------------------------------------------------------------ *)
+
+(* The wire rounds scores to 6 decimals, so compare with an absolute
+   epsilon wider than the rendering granularity. *)
+let wire_scores_close a b = Float.abs (a -. b) <= 1e-5
+
+(* Trailing "score=<f>" cell of a result row; header lines have none. *)
+let wire_scores response =
+  List.filter_map
+    (fun line ->
+      match String.split_on_char '\t' line with
+      | [] -> None
+      | cells -> (
+          let last = List.nth cells (List.length cells - 1) in
+          match String.length last > 6 && String.sub last 0 6 = "score=" with
+          | false -> None
+          | true -> float_of_string_opt (String.sub last 6 (String.length last - 6))))
+    response.Server.Protocol.payload
+
+let check_case_server case : (int, string * string option) result =
+  let catalog = build_catalog case in
+  let tpl = Sqlfront.Sql.template_of_ast case.c_query in
+  let k0 = Option.value ~default:1 case.c_query.Sqlfront.Ast.limit in
+  let ks = [ k0; k0 + 3 ] in
+  (* Direct, single-threaded execution of the same template at [k] — the
+     oracle (itself differentially tested against the naive oracle by the
+     plan-level modes above). *)
+  let direct k =
+    match Sqlfront.Sql.instantiate tpl ~k () with
+    | Error e -> Error ("instantiate: " ^ e)
+    | Ok ast -> (
+        match Sqlfront.Sql.prepare_ast catalog ast with
+        | Error e -> Error ("direct prepare: " ^ e)
+        | Ok p -> (
+            match Sqlfront.Sql.run_prepared catalog p with
+            | Error e -> Error ("direct run: " ^ e)
+            | Ok ans -> Ok (sorted_desc ans.Sqlfront.Sql.scores)))
+  in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rankcheck-%d-%d.sock" (Unix.getpid ()) case.c_seed)
+  in
+  let endpoint = Server.Listener.Unix_socket sock in
+  let listener =
+    Server.Listener.start
+      ~config:{ Server.Service.default_config with workers = 2 }
+      endpoint catalog
+  in
+  Fun.protect ~finally:(fun () -> Server.Listener.stop listener) @@ fun () ->
+  let client = Server.Client.connect endpoint in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  let request line =
+    match Server.Client.request client line with
+    | Error e -> Error ("transport: " ^ e)
+    | Ok r when not r.Server.Protocol.ok ->
+        Error
+          (Printf.sprintf "server ERR %s: %s" r.Server.Protocol.code
+             r.Server.Protocol.message)
+    | Ok r -> Ok r
+  in
+  let oneline s =
+    String.map (function '\n' -> ' ' | c -> c) s
+  in
+  let ( let* ) = Result.bind in
+  let checked = ref 0 in
+  let result =
+    let* _ =
+      request (Printf.sprintf "PREPARE q %s" (oneline tpl.Sqlfront.Sql.tpl_text))
+    in
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        let* expected = direct k in
+        (* Replay twice: the first may optimize, the second must be served
+           from the plan cache (the stored variant's k-interval contains
+           its own k). Both must agree with direct execution. *)
+        let rec replay i =
+          if i >= 2 then Ok ()
+          else
+            let* resp = request (Printf.sprintf "EXECUTE q %d" k) in
+            let got = sorted_desc (wire_scores resp) in
+            if List.length got <> List.length expected then
+              Error
+                (Printf.sprintf
+                   "k=%d replay %d: size mismatch (direct %d rows, server %d)"
+                   k i (List.length expected) (List.length got))
+            else if not (List.for_all2 wire_scores_close expected got) then
+              Error
+                (Printf.sprintf
+                   "k=%d replay %d: scores diverge (direct [%s], server [%s])"
+                   k i
+                   (String.concat "; " (List.map (Printf.sprintf "%.6f") expected))
+                   (String.concat "; " (List.map (Printf.sprintf "%.6f") got)))
+            else if
+              i = 1
+              && List.assoc_opt "cached" resp.Server.Protocol.fields
+                 <> Some "1"
+            then Error (Printf.sprintf "k=%d replay %d: expected a cache hit" k i)
+            else begin
+              incr checked;
+              replay (i + 1)
+            end
+        in
+        replay 0)
+      (Ok ()) ks
+  in
+  match result with
+  | Ok () -> Ok !checked
+  | Error reason -> Error (reason, None)
+
+let run_case_server seed =
+  let case = gen_case seed in
+  match check_case_server case with
+  | Ok n -> Ok n
+  | Error (reason, plan) ->
+      Error
+        {
+          f_seed = seed;
+          f_reason = "server-mode: " ^ reason;
+          f_plan = plan;
+          f_case = case;
+          f_replay =
+            Printf.sprintf "rankopt fuzz --server --seed %d --cases 1" seed;
+        }
+
+let run_server ?(progress = fun _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  let executions = ref 0 in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case_server (seed + i) with
+    | Ok n -> executions := !executions + n
+    | Error f -> failures := f :: !failures
+  done;
+  { o_cases = cases; o_plans = !executions; o_failures = List.rev !failures }

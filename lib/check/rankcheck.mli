@@ -69,3 +69,21 @@ val run : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
     with the 0-based case index before each case. *)
 
 val pp_failure : Format.formatter -> failure -> unit
+
+(** {2 Server mode}
+
+    Replays generated queries through a live {!Server.Listener} instead of
+    enumerating plans: each case's query is [PREPARE]d with [LIMIT ?] and
+    [EXECUTE]d twice at two different [k] values against an in-process
+    server (worker domains, plan cache, wire protocol), comparing score
+    multisets with direct single-threaded execution of the same template.
+    The second replay at each [k] must additionally be served from the
+    plan cache. *)
+
+val check_case_server : case -> (int, string * string option) result
+(** [Ok n]: all [n] server executions matched direct execution. *)
+
+val run_case_server : int -> (int, failure) result
+
+val run_server : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
+(** Like {!run}, but [o_plans] counts server executions checked. *)

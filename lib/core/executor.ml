@@ -64,9 +64,26 @@ let node_label = function
   | Plan.Nary_rank_join { inputs; _ } ->
       Printf.sprintf "HRJN*[%d]" (List.length inputs)
 
-let compile ?hints ?metrics catalog plan =
+exception Interrupted
+
+let compile ?hints ?metrics ?interrupt catalog plan =
   let rank_nodes = ref [] in
   let nary_nodes = ref [] in
+  (* Cooperative cancellation: when an interrupt predicate is supplied
+     (per-query deadlines in the server), every operator's [next] checks it,
+     so even deep blocking stages (sort runs, hash builds pulling their
+     input) abandon work promptly. *)
+  let guard (op : Exec.Operator.t) =
+    match interrupt with
+    | None -> op
+    | Some should_stop ->
+        let next = op.Exec.Operator.next in
+        {
+          op with
+          Exec.Operator.next =
+            (fun () -> if should_stop () then raise Interrupted else next ());
+        }
+  in
   (* [ann] mirrors the plan subtree currently being compiled, when hints were
      provided for the whole plan. *)
   let child_ann ann i =
@@ -78,6 +95,7 @@ let compile ?hints ?metrics catalog plan =
      supplied) and wrap the operator so the I/O it causes is attributed to
      it; otherwise pass the operator through untouched. *)
   let instrument plan stats (op : Exec.Operator.t) child_profiles =
+    let op = guard op in
     match metrics with
     | None -> (op, None)
     | Some m ->
@@ -275,9 +293,9 @@ let compile ?hints ?metrics catalog plan =
   let op, profile = go hints plan in
   (op, List.rev !rank_nodes, List.rev !nary_nodes, profile)
 
-let run ?hints ?metrics ?fetch_limit catalog plan =
+let run ?hints ?metrics ?interrupt ?fetch_limit catalog plan =
   let op, rank_nodes, nary_nodes, profile =
-    compile ?hints ?metrics catalog plan
+    compile ?hints ?metrics ?interrupt catalog plan
   in
   let schema = op.Exec.Operator.schema in
   let score =

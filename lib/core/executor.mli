@@ -42,9 +42,14 @@ val node_label : Plan.t -> string
 (** Non-recursive one-line operator name, e.g. ["HRJN"] or
     ["IndexScan a.ix DESC"]. *)
 
+exception Interrupted
+(** Raised from an operator's [next] when the [interrupt] predicate fires —
+    the cooperative cancellation used for per-query deadlines. *)
+
 val compile :
   ?hints:Propagate.annotation ->
   ?metrics:Exec.Metrics.t ->
+  ?interrupt:(unit -> bool) ->
   Storage.Catalog.t ->
   Plan.t ->
   Exec.Operator.t * rank_node_stats list * nary_node_stats list * profile option
@@ -58,9 +63,12 @@ val compile :
 val run :
   ?hints:Propagate.annotation ->
   ?metrics:Exec.Metrics.t ->
+  ?interrupt:(unit -> bool) ->
   ?fetch_limit:int ->
   Storage.Catalog.t ->
   Plan.t ->
   run_result
 (** Open, pull (up to [fetch_limit] rows, default everything), close. I/O is
-    measured as a diff of the catalog's counters around the run. *)
+    measured as a diff of the catalog's counters around the run. When
+    [interrupt] is supplied it is checked at every operator's [next]
+    boundary; a [true] result aborts the run with {!Interrupted}. *)

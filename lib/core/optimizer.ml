@@ -2,6 +2,8 @@ let log_src = Logs.Src.create "rankopt.optimizer" ~doc:"Rank-aware optimizer tra
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type k_interval = { k_lo : int; k_hi : int option }
+
 type planned = {
   query : Logical.t;
   plan : Plan.t;
@@ -9,7 +11,98 @@ type planned = {
   stats : Enumerator.stats;
   interesting : Interesting_orders.interesting_order list;
   env : Cost_model.env;
+  k_validity : k_interval;
 }
+
+let unbounded_validity = { k_lo = 1; k_hi = None }
+
+let k_in_validity planned k =
+  k >= planned.k_validity.k_lo
+  && match planned.k_validity.k_hi with None -> true | Some hi -> k <= hi
+
+let pp_k_interval fmt { k_lo; k_hi } =
+  match k_hi with
+  | None -> Format.fprintf fmt "[%d, inf)" k_lo
+  | Some hi -> Format.fprintf fmt "[%d, %d]" k_lo hi
+
+(* The k-interval on which the chosen plan stays the winner (Section 4.3's
+   k* rule, generalised to the whole root candidate set). The MEMO's
+   retained plans at the root entry are a sound candidate set for every k —
+   pruning only discards plans dominated over the whole feasible range — so
+   the winner's validity is the contiguous range of k around [k_min] on
+   which re-running the final argmin (cost at k) would pick the same plan.
+   Boundaries are found by bisection on the win predicate, which is
+   monotone on each side of [k_min] because rank-plan costs grow with k
+   while blocking plans are flat. *)
+let k_validity_of env (result : Enumerator.result) (chosen : Memo.subplan) =
+  let query = env.Cost_model.query in
+  if not (Logical.is_ranking query) then unbounded_validity
+  else
+    let inner =
+      match chosen.Memo.plan with Plan.Top_k { input; _ } -> input | p -> p
+    in
+    let full_mask = (1 lsl List.length query.Logical.relations) - 1 in
+    let want =
+      Option.map
+        (fun score -> { Plan.expr = score; direction = Interesting_orders.Desc })
+        (Logical.scoring_expr query)
+    in
+    let candidates =
+      List.filter
+        (fun sp -> Plan.order_satisfies ~have:sp.Memo.order ~want)
+        (Memo.plans result.Enumerator.memo full_mask)
+    in
+    match
+      List.find_opt (fun sp -> sp.Memo.plan == inner) candidates, candidates
+    with
+    | None, _ | _, ([] | [ _ ]) -> unbounded_validity
+    | Some chosen_cand, first :: rest ->
+        let winner_at kf =
+          (* Mirrors [Memo.best]'s fold (strict <, first wins ties) so the
+             interval agrees with what a re-optimization would choose. *)
+          List.fold_left
+            (fun acc sp ->
+              if
+                sp.Memo.est.Cost_model.cost_at kf
+                < acc.Memo.est.Cost_model.cost_at kf
+              then sp
+              else acc)
+            first rest
+        in
+        let wins k = winner_at (float_of_int k) == chosen_cand in
+        let k0 = max 1 env.Cost_model.k_min in
+        if not (wins k0) then { k_lo = k0; k_hi = Some k0 }
+        else
+          let n_cap =
+            max (k0 + 1)
+              (int_of_float
+                 (Float.ceil (Float.max 1.0 chosen_cand.Memo.est.Cost_model.rows)))
+          in
+          let hi =
+            if wins n_cap then None
+            else begin
+              (* Largest winning k in [k0, n_cap). *)
+              let lo = ref k0 and hi = ref n_cap in
+              while !hi - !lo > 1 do
+                let mid = !lo + ((!hi - !lo) / 2) in
+                if wins mid then lo := mid else hi := mid
+              done;
+              Some !lo
+            end
+          in
+          let lo =
+            if wins 1 then 1
+            else begin
+              (* Smallest winning k in (1, k0]. *)
+              let lo = ref 1 and hi = ref k0 in
+              while !hi - !lo > 1 do
+                let mid = !lo + ((!hi - !lo) / 2) in
+                if wins mid then hi := mid else lo := mid
+              done;
+              !hi
+            end
+          in
+          { k_lo = lo; k_hi = hi }
 
 let optimize ?(config = Enumerator.default_config) ?env catalog query =
   let env =
@@ -41,7 +134,23 @@ let optimize ?(config = Enumerator.default_config) ?env catalog query =
         stats = result.Enumerator.stats;
         interesting = result.Enumerator.interesting;
         env;
+        k_validity = k_validity_of env result sp;
       }
+
+let rebind_k planned k =
+  if k <= 0 then invalid_arg "Optimizer.rebind_k: k must be positive";
+  match planned.query.Logical.k with
+  | None -> planned (* unranked plan: k-independent, nothing to re-push *)
+  | Some old_k when old_k = k -> planned
+  | Some _ ->
+      let query = { planned.query with Logical.k = Some k } in
+      let plan =
+        match planned.plan with
+        | Plan.Top_k { input; _ } -> Plan.Top_k { k; input }
+        | p -> p
+      in
+      let env = { planned.env with Cost_model.query; k_min = k } in
+      { planned with query; plan; env; est = Cost_model.estimate env plan }
 
 let propagation planned =
   match planned.query.Logical.k with
@@ -49,8 +158,9 @@ let propagation planned =
       Some (Propagate.run planned.env ~k planned.plan)
   | _ -> None
 
-let execute ?fetch_limit catalog planned =
-  Executor.run ?hints:(propagation planned) ?fetch_limit catalog planned.plan
+let execute ?interrupt ?fetch_limit catalog planned =
+  Executor.run ?hints:(propagation planned) ?interrupt ?fetch_limit catalog
+    planned.plan
 
 let execute_analyzed ?fetch_limit catalog planned =
   let hints = propagation planned in
@@ -93,6 +203,11 @@ let explain planned =
   Format.fprintf fmt "Plans: %d generated, %d retained, %d MEMO entries@."
     planned.stats.Enumerator.generated planned.stats.Enumerator.retained
     planned.stats.Enumerator.entries;
+  Format.fprintf fmt "Catalog stats epoch: %d@."
+    (Storage.Catalog.stats_epoch planned.env.Cost_model.catalog);
+  (if Logical.is_ranking planned.query then
+     Format.fprintf fmt "Plan valid for k in %a@." pp_k_interval
+       planned.k_validity);
   Format.fprintf fmt "Plan:@.%a" Plan.pp planned.plan;
   (match planned.query.Logical.k with
   | Some k when Plan.has_rank_join planned.plan ->

@@ -1,0 +1,14 @@
+(** Blocking client for the {!Protocol} line protocol. *)
+
+type t
+
+val connect : Listener.endpoint -> t
+(** Raises [Unix.Unix_error] if the endpoint is unreachable. *)
+
+val request : t -> string -> (Protocol.response, string) result
+(** Send one command line and read the framed response (header plus its
+    announced payload lines). [Error] means a transport or framing
+    failure, not a server-side [ERR] — those come back as a response with
+    [ok = false]. *)
+
+val close : t -> unit

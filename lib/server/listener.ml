@@ -1,0 +1,193 @@
+type endpoint = Unix_socket of string | Tcp of string * int
+
+let pp_endpoint fmt = function
+  | Unix_socket path -> Format.fprintf fmt "unix:%s" path
+  | Tcp (host, port) -> Format.fprintf fmt "tcp:%s:%d" host port
+
+type t = {
+  svc : Service.t;
+  listener : Unix.file_descr;
+  endpoint : endpoint;
+  m : Mutex.t;
+  stopped_cond : Condition.t;
+  mutable stopped : bool;
+  mutable conns : Unix.file_descr list;
+  mutable accept_thread : Thread.t option;
+}
+
+let err_of e =
+  Protocol.err_response ~code:(Service.error_code e) (Service.error_message e)
+
+(* Commands return the response plus a post-action for the connection
+   loop: keep going, hang up, or stop the whole server. *)
+let dispatch svc session cmd =
+  match cmd with
+  | Protocol.Ping -> (Protocol.ok_response ~fields:[ ("pong", "1") ] [], `Keep)
+  | Protocol.Prepare { name; sql } -> (
+      match Service.prepare session ~name sql with
+      | Ok tpl ->
+          ( Protocol.ok_response
+              ~fields:[ ("prepared", name) ]
+              [ tpl.Sqlfront.Sql.tpl_text ],
+            `Keep )
+      | Error e -> (err_of e, `Keep))
+  | Protocol.Execute { name; k } -> (
+      match Service.execute_prepared session ?k name with
+      | Ok reply -> (Protocol.render_reply reply, `Keep)
+      | Error e -> (err_of e, `Keep))
+  | Protocol.Query sql -> (
+      match Service.query session sql with
+      | Ok reply -> (Protocol.render_reply reply, `Keep)
+      | Error e -> (err_of e, `Keep))
+  | Protocol.Explain sql -> (
+      match Service.explain session sql with
+      | Ok text ->
+          let lines =
+            String.split_on_char '\n' text
+            |> List.filter (fun l -> String.trim l <> "")
+          in
+          (Protocol.ok_response lines, `Keep)
+      | Error e -> (err_of e, `Keep))
+  | Protocol.Stats scope ->
+      let fields =
+        match scope with
+        | `Server -> Service.stats svc
+        | `Session -> Service.session_stats session
+      in
+      let lines = List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) fields in
+      (Protocol.ok_response lines, `Keep)
+  | Protocol.Quit -> (Protocol.ok_response ~fields:[ ("bye", "1") ] [], `Close)
+  | Protocol.Shutdown ->
+      (Protocol.ok_response ~fields:[ ("shutdown", "1") ] [], `Shutdown)
+
+let send oc response =
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    (Protocol.render response);
+  flush oc
+
+let remove_conn t fd =
+  Mutex.protect t.m (fun () ->
+      t.conns <- List.filter (fun c -> c != fd) t.conns)
+
+let rec stop t =
+  let to_close =
+    Mutex.protect t.m (fun () ->
+        if t.stopped then None
+        else begin
+          t.stopped <- true;
+          let conns = t.conns in
+          t.conns <- [];
+          Some conns
+        end)
+  in
+  match to_close with
+  | None -> ()
+  | Some conns ->
+      (* shutdown(2) before close: close alone does not wake the accept
+         thread blocked in accept(2). *)
+      (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+       with Unix.Unix_error _ -> ());
+      (try Unix.close t.listener with Unix.Unix_error _ -> ());
+      List.iter
+        (fun fd ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        conns;
+      Service.shutdown t.svc;
+      (match t.endpoint with
+      | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ());
+      Mutex.protect t.m (fun () -> Condition.broadcast t.stopped_cond)
+
+and handle_conn t fd =
+  let session = Service.open_session t.svc in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let shutdown_requested = ref false in
+  (try
+     let quit = ref false in
+     while not !quit do
+       match input_line ic with
+       | exception End_of_file -> quit := true
+       | line when String.trim line = "" -> ()
+       | line -> (
+           match Protocol.parse_command line with
+           | Error msg -> send oc (Protocol.err_response ~code:"PROTOCOL" msg)
+           | Ok cmd -> (
+               let response, action = dispatch t.svc session cmd in
+               send oc response;
+               match action with
+               | `Keep -> ()
+               | `Close -> quit := true
+               | `Shutdown ->
+                   shutdown_requested := true;
+                   quit := true))
+     done
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Service.close_session session;
+  remove_conn t fd;
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  if !shutdown_requested then stop t
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listener with
+    | exception Unix.Unix_error _ -> ()  (* listener closed: stopping *)
+    | exception Sys_error _ -> ()
+    | fd, _addr ->
+        let admitted =
+          Mutex.protect t.m (fun () ->
+              if t.stopped then false
+              else begin
+                t.conns <- fd :: t.conns;
+                true
+              end)
+        in
+        if admitted then
+          ignore (Thread.create (fun () -> handle_conn t fd) ())
+        else (try Unix.close fd with Unix.Unix_error _ -> ());
+        loop ()
+  in
+  loop ()
+
+let start ?config endpoint cat =
+  let listener, sockaddr =
+    match endpoint with
+    | Unix_socket path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        (fd, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  (try Unix.bind listener sockaddr
+   with e ->
+     (try Unix.close listener with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen listener 16;
+  let t =
+    {
+      svc = Service.create ?config cat;
+      listener;
+      endpoint;
+      m = Mutex.create ();
+      stopped_cond = Condition.create ();
+      stopped = false;
+      conns = [];
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+  t
+
+let service t = t.svc
+
+let wait t =
+  Mutex.protect t.m (fun () ->
+      while not t.stopped do
+        Condition.wait t.stopped_cond t.m
+      done);
+  match t.accept_thread with None -> () | Some th -> Thread.join th

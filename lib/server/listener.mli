@@ -1,0 +1,31 @@
+(** Socket front end for the query service.
+
+    Listens on a Unix-domain socket or a TCP port, spawning one system
+    thread per connection (socket I/O is blocking; query execution happens
+    on the service's worker domains, so connection threads spend their
+    time parked in [read]/[write]). Each connection gets its own
+    {!Service.session} — prepared statements are session-scoped.
+
+    [SHUTDOWN] (or {!stop}) closes the listener, disconnects clients and
+    drains the worker pool. *)
+
+type endpoint =
+  | Unix_socket of string  (** Filesystem path. *)
+  | Tcp of string * int  (** Bind host, port. *)
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+type t
+
+val start : ?config:Service.config -> endpoint -> Storage.Catalog.t -> t
+(** Bind, listen and start accepting. Raises [Unix.Unix_error] if the
+    endpoint cannot be bound. An existing Unix-socket file is replaced. *)
+
+val service : t -> Service.t
+
+val stop : t -> unit
+(** Idempotent: close the listener and all connections, shut the service
+    down. *)
+
+val wait : t -> unit
+(** Block until the server stops (e.g. a client sent [SHUTDOWN]). *)

@@ -1,0 +1,77 @@
+type t = {
+  lock : Mutex.t;
+  mutable queries : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  mutable shed : int;
+  ring : float array;  (* latency samples, seconds *)
+  mutable ring_len : int;  (* number of valid samples, <= Array.length ring *)
+  mutable ring_next : int;  (* next write position *)
+}
+
+let create ?(ring_size = 4096) () =
+  {
+    lock = Mutex.create ();
+    queries = 0;
+    errors = 0;
+    timeouts = 0;
+    shed = 0;
+    ring = Array.make (max 1 ring_size) 0.0;
+    ring_len = 0;
+    ring_next = 0;
+  }
+
+let record_query t ~latency_s =
+  Mutex.protect t.lock (fun () ->
+      t.queries <- t.queries + 1;
+      let n = Array.length t.ring in
+      t.ring.(t.ring_next) <- latency_s;
+      t.ring_next <- (t.ring_next + 1) mod n;
+      if t.ring_len < n then t.ring_len <- t.ring_len + 1)
+
+let record_error t = Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1)
+
+let record_timeout t =
+  Mutex.protect t.lock (fun () -> t.timeouts <- t.timeouts + 1)
+
+let record_shed t = Mutex.protect t.lock (fun () -> t.shed <- t.shed + 1)
+
+type snapshot = {
+  queries : int;
+  errors : int;
+  timeouts : int;
+  shed : int;
+  p50_ms : float;
+  p95_ms : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else
+    let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) idx))
+
+let snapshot t =
+  Mutex.protect t.lock (fun () ->
+      let samples = Array.sub t.ring 0 t.ring_len in
+      Array.sort compare samples;
+      {
+        queries = t.queries;
+        errors = t.errors;
+        timeouts = t.timeouts;
+        shed = t.shed;
+        p50_ms = percentile samples 0.50 *. 1000.0;
+        p95_ms = percentile samples 0.95 *. 1000.0;
+      })
+
+let to_fields s =
+  let ms v = if Float.is_nan v then "-" else Printf.sprintf "%.3f" v in
+  [
+    ("queries", string_of_int s.queries);
+    ("errors", string_of_int s.errors);
+    ("timeouts", string_of_int s.timeouts);
+    ("shed", string_of_int s.shed);
+    ("p50_ms", ms s.p50_ms);
+    ("p95_ms", ms s.p95_ms);
+  ]

@@ -1,0 +1,33 @@
+(** Server- and session-level execution metrics.
+
+    Counters plus a bounded ring of latency samples from which p50/p95 are
+    computed on demand. All operations are mutex-protected so worker domains
+    and connection threads can record concurrently. *)
+
+type t
+
+val create : ?ring_size:int -> unit -> t
+(** [ring_size] bounds the latency sample ring (default 4096; oldest
+    samples are overwritten). *)
+
+val record_query : t -> latency_s:float -> unit
+(** Count a successfully executed statement and record its latency. *)
+
+val record_error : t -> unit
+val record_timeout : t -> unit
+val record_shed : t -> unit
+(** A statement rejected by admission control (worker queue full). *)
+
+type snapshot = {
+  queries : int;
+  errors : int;
+  timeouts : int;
+  shed : int;
+  p50_ms : float;  (** [nan] until at least one sample is recorded. *)
+  p95_ms : float;  (** [nan] until at least one sample is recorded. *)
+}
+
+val snapshot : t -> snapshot
+
+val to_fields : snapshot -> (string * string) list
+(** Key/value rendering for the STATS protocol reply. *)

@@ -1,0 +1,149 @@
+type variant = {
+  v_prepared : Sqlfront.Sql.prepared;
+  mutable v_use : int;  (* recency stamp, for per-entry variant eviction *)
+}
+
+type entry = {
+  e_epoch : int;
+  mutable e_variants : variant list;
+  mutable e_use : int;  (* recency stamp, for LRU entry eviction *)
+}
+
+type t = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  capacity : int;
+  max_variants : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable reopt_rebinds : int;
+  mutable invalidations : int;
+  mutable evictions : int;
+}
+
+type lookup =
+  | Hit of Sqlfront.Sql.prepared
+  | Stale
+  | Interval_miss
+  | Absent
+
+type stats = {
+  hits : int;
+  misses : int;
+  reopt_rebinds : int;
+  invalidations : int;
+  evictions : int;
+  entries : int;
+  variants : int;
+}
+
+let create ?(capacity = 128) ?(max_variants = 4) () =
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    capacity = max 1 capacity;
+    max_variants = max 1 max_variants;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    reopt_rebinds = 0;
+    invalidations = 0;
+    evictions = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* A variant serves a bound k when the plan's recorded validity interval
+   contains it; [k = None] (no-limit statements) matches any variant. *)
+let variant_matches k (v : variant) =
+  match k with
+  | None -> true
+  | Some k -> Core.Optimizer.k_in_validity v.v_prepared.Sqlfront.Sql.planned k
+
+let find t ~key ~epoch ~k =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | None ->
+          t.misses <- t.misses + 1;
+          Absent
+      | Some e when e.e_epoch <> epoch ->
+          Hashtbl.remove t.table key;
+          t.misses <- t.misses + 1;
+          t.invalidations <- t.invalidations + 1;
+          Stale
+      | Some e -> (
+          match List.find_opt (variant_matches k) e.e_variants with
+          | None ->
+              t.misses <- t.misses + 1;
+              t.reopt_rebinds <- t.reopt_rebinds + 1;
+              Interval_miss
+          | Some v ->
+              let stamp = tick t in
+              e.e_use <- stamp;
+              v.v_use <- stamp;
+              t.hits <- t.hits + 1;
+              let p = v.v_prepared in
+              Hit
+                (match k with
+                | Some k -> Sqlfront.Sql.rebind_k p k
+                | None -> p)))
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | None -> victim := Some (key, e.e_use)
+      | Some (_, use) -> if e.e_use < use then victim := Some (key, e.e_use))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+
+let store t ~key ~epoch prepared =
+  Mutex.protect t.lock (fun () ->
+      let stamp = tick t in
+      let fresh = { v_prepared = prepared; v_use = stamp } in
+      match Hashtbl.find_opt t.table key with
+      | Some e when e.e_epoch = epoch ->
+          e.e_use <- stamp;
+          let variants = fresh :: e.e_variants in
+          e.e_variants <-
+            (if List.length variants > t.max_variants then
+               let oldest =
+                 List.fold_left (fun acc v -> min acc v.v_use) max_int variants
+               in
+               List.filter (fun v -> v.v_use <> oldest) variants
+             else variants)
+      | existing ->
+          if Option.is_some existing then Hashtbl.remove t.table key
+          else if Hashtbl.length t.table >= t.capacity then evict_lru t;
+          Hashtbl.replace t.table key
+            { e_epoch = epoch; e_variants = [ fresh ]; e_use = stamp })
+
+let stats t =
+  Mutex.protect t.lock (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        reopt_rebinds = t.reopt_rebinds;
+        invalidations = t.invalidations;
+        evictions = t.evictions;
+        entries = Hashtbl.length t.table;
+        variants =
+          Hashtbl.fold
+            (fun _ e acc -> acc + List.length e.e_variants)
+            t.table 0;
+      })
+
+let clear t =
+  Mutex.protect t.lock (fun () -> Hashtbl.reset t.table)
+
+let hit_rate (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total

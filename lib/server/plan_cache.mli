@@ -1,0 +1,57 @@
+(** Rank-aware (k-interval) LRU plan cache.
+
+    Keyed on (normalized query template, catalog stats epoch). Because the
+    optimal plan for a top-k query is a function of [k] (the paper's k{^*}
+    crossover rule), a cache entry holds a small set of plan {e variants},
+    each valid on its own [k] interval ({!Core.Optimizer.k_interval}). A
+    lookup with a bound [k] is a hit only when some variant's interval
+    contains it — rebinding [k] inside the interval reuses the plan (with
+    [Propagate] re-pushing the new [k]); outside it, the caller
+    re-optimizes and {!store}s the new variant, so a query flip-flopping
+    across k{^*} keeps both plan shapes cached.
+
+    Entries whose epoch no longer matches the catalog's stats epoch are
+    dropped on lookup (stale statistics ⇒ stale plan choice).
+
+    All operations are mutex-protected; hit/miss accounting is built in. *)
+
+type t
+
+val create : ?capacity:int -> ?max_variants:int -> unit -> t
+(** [capacity] bounds the number of templates (LRU-evicted, default 128);
+    [max_variants] bounds plan variants per template (default 4, evicting
+    the least recently stored). *)
+
+type lookup =
+  | Hit of Sqlfront.Sql.prepared  (** Already rebound to the requested [k]. *)
+  | Stale  (** Entry found but from an older stats epoch; dropped. *)
+  | Interval_miss
+      (** Template cached, but no variant's k-interval contains [k] — the
+          k{^*} regime changed; caller re-optimizes ("re-optimize on
+          rebind"). *)
+  | Absent  (** Cold miss. *)
+
+val find : t -> key:string -> epoch:int -> k:int option -> lookup
+(** [k = None] looks up an unranked / no-limit statement (any variant
+    matches). *)
+
+val store : t -> key:string -> epoch:int -> Sqlfront.Sql.prepared -> unit
+(** Insert a freshly optimized plan as a variant of its template's entry,
+    creating / LRU-evicting entries as needed. *)
+
+type stats = {
+  hits : int;
+  misses : int;  (** [Absent] + [Interval_miss] + [Stale] lookups. *)
+  reopt_rebinds : int;  (** The [Interval_miss] subset of misses. *)
+  invalidations : int;  (** The [Stale] subset of misses. *)
+  evictions : int;
+  entries : int;
+  variants : int;
+}
+
+val stats : t -> stats
+
+val clear : t -> unit
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0 when empty. *)

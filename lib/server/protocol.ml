@@ -1,0 +1,148 @@
+type command =
+  | Ping
+  | Prepare of { name : string; sql : string }
+  | Execute of { name : string; k : int option }
+  | Query of string
+  | Explain of string
+  | Stats of [ `Server | `Session ]
+  | Quit
+  | Shutdown
+
+(* Split off the first whitespace-delimited word; returns (word, rest)
+   with rest trimmed of leading blanks. *)
+let split_word s =
+  let s = String.trim s in
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+      ( String.sub s 0 i,
+        String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+
+let parse_command line =
+  let verb, rest = split_word line in
+  match String.uppercase_ascii verb with
+  | "" -> Error "empty command"
+  | "PING" -> Ok Ping
+  | "QUIT" -> Ok Quit
+  | "SHUTDOWN" -> Ok Shutdown
+  | "QUERY" ->
+      if rest = "" then Error "QUERY requires a SQL statement"
+      else Ok (Query rest)
+  | "EXPLAIN" ->
+      if rest = "" then Error "EXPLAIN requires a SQL statement"
+      else Ok (Explain rest)
+  | "PREPARE" ->
+      let name, sql = split_word rest in
+      if name = "" || sql = "" then Error "usage: PREPARE <name> <sql>"
+      else Ok (Prepare { name; sql })
+  | "EXECUTE" -> (
+      let name, karg = split_word rest in
+      if name = "" then Error "usage: EXECUTE <name> [k]"
+      else
+        match karg with
+        | "" -> Ok (Execute { name; k = None })
+        | karg -> (
+            match int_of_string_opt karg with
+            | Some k -> Ok (Execute { name; k = Some k })
+            | None -> Error (Printf.sprintf "EXECUTE: invalid k %S" karg)))
+  | "STATS" -> (
+      match String.uppercase_ascii rest with
+      | "" -> Ok (Stats `Server)
+      | "SESSION" -> Ok (Stats `Session)
+      | _ -> Error "usage: STATS [SESSION]")
+  | verb -> Error (Printf.sprintf "unknown command %S" verb)
+
+type response = {
+  ok : bool;
+  code : string;
+  fields : (string * string) list;
+  message : string;
+  payload : string list;
+}
+
+let ok_response ?(fields = []) payload =
+  { ok = true; code = ""; fields; message = ""; payload }
+
+let err_response ~code message =
+  { ok = false; code; fields = []; message; payload = [] }
+
+let render r =
+  if r.ok then
+    let fields =
+      List.map (fun (k, v) -> Printf.sprintf " %s=%s" k v) r.fields
+      |> String.concat ""
+    in
+    Printf.sprintf "OK %d%s" (List.length r.payload) fields :: r.payload
+  else [ Printf.sprintf "ERR %s %s" r.code r.message ]
+
+let payload_count header =
+  match String.split_on_char ' ' (String.trim header) with
+  | "OK" :: n :: _ -> ( match int_of_string_opt n with Some n -> n | None -> 0)
+  | _ -> 0
+
+let parse_header header =
+  match String.split_on_char ' ' (String.trim header) with
+  | "OK" :: n :: fields -> (
+      match int_of_string_opt n with
+      | None -> Error (Printf.sprintf "malformed OK header %S" header)
+      | Some _ ->
+          let fields =
+            List.filter_map
+              (fun f ->
+                match String.index_opt f '=' with
+                | None -> None
+                | Some i ->
+                    Some
+                      ( String.sub f 0 i,
+                        String.sub f (i + 1) (String.length f - i - 1) ))
+              fields
+          in
+          Ok { ok = true; code = ""; fields; message = ""; payload = [] })
+  | "ERR" :: code :: rest ->
+      Ok
+        {
+          ok = false;
+          code;
+          fields = [];
+          message = String.concat " " rest;
+          payload = [];
+        }
+  | _ -> Error (Printf.sprintf "malformed response header %S" header)
+
+let render_reply (r : Service.reply) =
+  let fields =
+    [
+      ("cached", if r.Service.cached then "1" else "0");
+      ("reoptimized", if r.Service.reoptimized then "1" else "0");
+      ("latency_ms", Printf.sprintf "%.3f" (r.Service.latency_s *. 1000.0));
+    ]
+  in
+  match r.Service.affected with
+  | Some n -> ok_response ~fields:(("affected", string_of_int n) :: fields) []
+  | None ->
+      let header =
+        if r.Service.columns = [] then []
+        else [ String.concat "\t" r.Service.columns ]
+      in
+      let scores =
+        match r.Service.scores with
+        | [] -> List.map (fun _ -> None) r.Service.rows
+        | ss -> List.map Option.some ss
+      in
+      let rows =
+        List.map2
+          (fun row score ->
+            let cells =
+              Array.to_list (Array.map Relalg.Value.to_string row)
+            in
+            let cells =
+              match score with
+              | None -> cells
+              | Some s -> cells @ [ Printf.sprintf "score=%.6f" s ]
+            in
+            String.concat "\t" cells)
+          r.Service.rows scores
+      in
+      ok_response
+        ~fields:(("rows", string_of_int (List.length r.Service.rows)) :: fields)
+        (header @ rows)

@@ -1,0 +1,65 @@
+(** The line protocol spoken between [rankopt serve] and its clients.
+
+    Requests are single lines (SQL must not contain newlines):
+
+    {v
+    PING
+    PREPARE <name> <sql>
+    EXECUTE <name> [k]
+    QUERY <sql>
+    EXPLAIN <sql>
+    STATS [SESSION]
+    QUIT
+    SHUTDOWN
+    v}
+
+    Responses are a header line followed by a fixed number of payload
+    lines:
+
+    {v
+    OK <n> [key=value ...]   -- then exactly n payload lines
+    ERR <CODE> <message>     -- no payload
+    v}
+
+    Query payload lines are tab-separated column values; ranked results
+    carry the score as a final [score=<f>] field. *)
+
+type command =
+  | Ping
+  | Prepare of { name : string; sql : string }
+  | Execute of { name : string; k : int option }
+  | Query of string
+  | Explain of string
+  | Stats of [ `Server | `Session ]
+  | Quit
+  | Shutdown
+
+val parse_command : string -> (command, string) result
+
+type response = {
+  ok : bool;
+  code : string;  (** Error code when [not ok], [""] otherwise. *)
+  fields : (string * string) list;  (** Header key=value pairs. *)
+  message : string;  (** Error message when [not ok]. *)
+  payload : string list;
+}
+
+val ok_response : ?fields:(string * string) list -> string list -> response
+
+val err_response : code:string -> string -> response
+
+val render : response -> string list
+(** Header + payload, each element one line (no trailing newline). *)
+
+val parse_header : string -> (response, string) result
+(** Parse a header line into a payload-less {!response}; the caller reads
+    the announced number of payload lines (see {!payload_count}). *)
+
+val payload_count : string -> int
+(** Number of payload lines announced by an [OK] header line (0 for
+    [ERR]). *)
+
+val render_reply : Service.reply -> response
+(** Rows as tab-separated values (scores appended as [score=..] fields),
+    with [cached] / [reoptimized] / [latency_ms] / [affected] header
+    fields. *)

@@ -1,0 +1,55 @@
+type t = {
+  m : Mutex.t;
+  readers_done : Condition.t;  (* signalled when the last reader leaves *)
+  turn : Condition.t;  (* signalled when a writer leaves *)
+  mutable readers : int;
+  mutable writer : bool;
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    readers_done = Condition.create ();
+    turn = Condition.create ();
+    readers = 0;
+    writer = false;
+    waiting_writers = 0;
+  }
+
+let lock_read t =
+  Mutex.protect t.m (fun () ->
+      while t.writer || t.waiting_writers > 0 do
+        Condition.wait t.turn t.m
+      done;
+      t.readers <- t.readers + 1)
+
+let unlock_read t =
+  Mutex.protect t.m (fun () ->
+      t.readers <- t.readers - 1;
+      if t.readers = 0 then Condition.signal t.readers_done)
+
+let lock_write t =
+  Mutex.protect t.m (fun () ->
+      t.waiting_writers <- t.waiting_writers + 1;
+      while t.writer do
+        Condition.wait t.turn t.m
+      done;
+      t.writer <- true;
+      t.waiting_writers <- t.waiting_writers - 1;
+      while t.readers > 0 do
+        Condition.wait t.readers_done t.m
+      done)
+
+let unlock_write t =
+  Mutex.protect t.m (fun () ->
+      t.writer <- false;
+      Condition.broadcast t.turn)
+
+let with_read t f =
+  lock_read t;
+  Fun.protect ~finally:(fun () -> unlock_read t) f
+
+let with_write t f =
+  lock_write t;
+  Fun.protect ~finally:(fun () -> unlock_write t) f

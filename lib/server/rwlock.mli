@@ -1,0 +1,17 @@
+(** A writer-preferring read/write lock.
+
+    The query service executes read-only queries concurrently on its worker
+    domains but must serialize DML (inserts / deletes / ANALYZE mutate the
+    catalog's hashtables and B+-trees, which are not safe under concurrent
+    writers). Readers share the lock; a waiting writer blocks new readers so
+    update statements cannot starve under a steady query load. *)
+
+type t
+
+val create : unit -> t
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run under a shared (read) lock; exception-safe. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run under the exclusive (write) lock; exception-safe. *)

@@ -1,0 +1,365 @@
+type config = {
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  default_timeout_s : float;
+}
+
+let default_config =
+  { workers = 4; queue_capacity = 64; cache_capacity = 128; default_timeout_s = 30.0 }
+
+type error =
+  | Parse_error of string
+  | Bind_error of string
+  | Plan_error of string
+  | Exec_error of string
+  | Timeout
+  | Queue_full
+  | Unknown_prepared of string
+  | Shutting_down
+
+let error_code = function
+  | Parse_error _ -> "PARSE"
+  | Bind_error _ -> "BIND"
+  | Plan_error _ -> "PLAN"
+  | Exec_error _ -> "EXEC"
+  | Timeout -> "TIMEOUT"
+  | Queue_full -> "QUEUE_FULL"
+  | Unknown_prepared _ -> "UNKNOWN_PREPARED"
+  | Shutting_down -> "SHUTDOWN"
+
+let error_message = function
+  | Parse_error m | Bind_error m | Plan_error m | Exec_error m -> m
+  | Timeout -> "statement exceeded its deadline"
+  | Queue_full -> "worker queue full; statement shed"
+  | Unknown_prepared n -> Printf.sprintf "no prepared statement named %S" n
+  | Shutting_down -> "server is shutting down"
+
+type reply = {
+  columns : string list;
+  rows : Relalg.Tuple.t list;
+  scores : float list;
+  affected : int option;
+  cached : bool;
+  reoptimized : bool;
+  latency_s : float;
+}
+
+(* A one-shot synchronization cell: the worker fills it, the submitting
+   connection thread blocks reading it. *)
+module Ivar = struct
+  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+
+  let fill iv v =
+    Mutex.protect iv.m (fun () ->
+        iv.v <- Some v;
+        Condition.broadcast iv.c)
+
+  let read iv =
+    Mutex.protect iv.m (fun () ->
+        while Option.is_none iv.v do
+          Condition.wait iv.c iv.m
+        done;
+        Option.get iv.v)
+end
+
+type job = {
+  deadline : float;
+  run : unit -> unit;
+  cancel : unit -> unit;  (* deadline passed while queued *)
+}
+
+type t = {
+  cat : Storage.Catalog.t;
+  config : config;
+  cache : Plan_cache.t;
+  lock : Rwlock.t;
+  metrics : Metrics.t;
+  jobs : job Queue.t;
+  qm : Mutex.t;
+  qc : Condition.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  mutable active_sessions : int;
+}
+
+type session = {
+  svc : t;
+  stmts : (string, Sqlfront.Sql.template) Hashtbl.t;
+  slock : Mutex.t;
+  smetrics : Metrics.t;
+}
+
+let worker_loop t =
+  let rec loop () =
+    let job =
+      Mutex.protect t.qm (fun () ->
+          while Queue.is_empty t.jobs && not t.stopping do
+            Condition.wait t.qc t.qm
+          done;
+          if Queue.is_empty t.jobs then None else Some (Queue.pop t.jobs))
+    in
+    match job with
+    | None -> ()  (* stopping and fully drained *)
+    | Some job ->
+        if Unix.gettimeofday () > job.deadline then job.cancel ()
+        else job.run ();
+        loop ()
+  in
+  loop ()
+
+let create ?(config = default_config) cat =
+  let config = { config with workers = max 1 config.workers } in
+  let t =
+    {
+      cat;
+      config;
+      cache = Plan_cache.create ~capacity:config.cache_capacity ();
+      lock = Rwlock.create ();
+      metrics = Metrics.create ();
+      jobs = Queue.create ();
+      qm = Mutex.create ();
+      qc = Condition.create ();
+      stopping = false;
+      domains = [];
+      active_sessions = 0;
+    }
+  in
+  t.domains <-
+    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let shutdown t =
+  let domains =
+    Mutex.protect t.qm (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.qc;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join domains
+
+let open_session t =
+  Mutex.protect t.qm (fun () -> t.active_sessions <- t.active_sessions + 1);
+  {
+    svc = t;
+    stmts = Hashtbl.create 8;
+    slock = Mutex.create ();
+    smetrics = Metrics.create ();
+  }
+
+let close_session s =
+  Mutex.protect s.svc.qm (fun () ->
+      s.svc.active_sessions <- s.svc.active_sessions - 1);
+  Mutex.protect s.slock (fun () -> Hashtbl.reset s.stmts)
+
+(* Hand [f] to a worker domain; block until it completes, the deadline
+   cancels it, or admission control sheds it. *)
+let submit t ~deadline (f : unit -> ('a, error) result) : ('a, error) result =
+  let iv = Ivar.create () in
+  let run () =
+    let r =
+      try f () with
+      | Core.Executor.Interrupted -> Error Timeout
+      | exn -> Error (Exec_error (Printexc.to_string exn))
+    in
+    Ivar.fill iv r
+  in
+  let cancel () = Ivar.fill iv (Error Timeout) in
+  let admitted =
+    Mutex.protect t.qm (fun () ->
+        if t.stopping then `Stopping
+        else if Queue.length t.jobs >= t.config.queue_capacity then `Full
+        else begin
+          Queue.push { deadline; run; cancel } t.jobs;
+          Condition.signal t.qc;
+          `Ok
+        end)
+  in
+  match admitted with
+  | `Stopping -> Error Shutting_down
+  | `Full ->
+      Metrics.record_shed t.metrics;
+      Error Queue_full
+  | `Ok -> Ivar.read iv
+
+let record_outcome t s ~latency_s = function
+  | Ok _ ->
+      Metrics.record_query t.metrics ~latency_s;
+      Metrics.record_query s.smetrics ~latency_s
+  | Error Timeout ->
+      Metrics.record_timeout t.metrics;
+      Metrics.record_timeout s.smetrics
+  | Error Queue_full -> Metrics.record_shed s.smetrics  (* server side counted at shed *)
+  | Error _ ->
+      Metrics.record_error t.metrics;
+      Metrics.record_error s.smetrics
+
+(* The cached SELECT path: plan-cache lookup on (template, epoch, k);
+   hits rebind k in place, misses (re-)optimize and store the variant. *)
+let run_template sess ?timeout_s ?k (tpl : Sqlfront.Sql.template) =
+  let t = sess.svc in
+  let timeout = Option.value timeout_s ~default:t.config.default_timeout_s in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. timeout in
+  let eff_k =
+    match k with Some _ -> k | None -> tpl.Sqlfront.Sql.tpl_inline_k
+  in
+  let epoch = Storage.Catalog.stats_epoch t.cat in
+  let result =
+    submit t ~deadline (fun () ->
+        let interrupt () = Unix.gettimeofday () > deadline in
+        let exec prepared ~cached ~reoptimized =
+          Rwlock.with_read t.lock (fun () ->
+              match Sqlfront.Sql.run_prepared ~interrupt t.cat prepared with
+              | Ok ans -> Ok (ans, cached, reoptimized)
+              | Error e -> Error (Exec_error e))
+        in
+        match
+          Plan_cache.find t.cache ~key:tpl.Sqlfront.Sql.tpl_text ~epoch ~k:eff_k
+        with
+        | Plan_cache.Hit p -> exec p ~cached:true ~reoptimized:false
+        | (Plan_cache.Stale | Plan_cache.Interval_miss | Plan_cache.Absent) as
+          miss -> (
+            match Sqlfront.Sql.instantiate tpl ?k () with
+            | Error e -> Error (Bind_error e)
+            | Ok ast -> (
+                match
+                  Rwlock.with_read t.lock (fun () ->
+                      Sqlfront.Sql.prepare_ast t.cat ast)
+                with
+                | Error e -> Error (Plan_error e)
+                | Ok p ->
+                    Plan_cache.store t.cache ~key:tpl.Sqlfront.Sql.tpl_text
+                      ~epoch p;
+                    exec p ~cached:false
+                      ~reoptimized:(miss <> Plan_cache.Absent))))
+  in
+  let latency_s = Unix.gettimeofday () -. start in
+  record_outcome t sess ~latency_s result;
+  Result.map
+    (fun ((ans : Sqlfront.Sql.answer), cached, reoptimized) ->
+      {
+        columns = ans.Sqlfront.Sql.columns;
+        rows = ans.Sqlfront.Sql.rows;
+        scores = ans.Sqlfront.Sql.scores;
+        affected = None;
+        cached;
+        reoptimized;
+        latency_s;
+      })
+    result
+
+let prepare sess ~name sql =
+  match Sqlfront.Sql.template_of_sql sql with
+  | Error e ->
+      Metrics.record_error sess.svc.metrics;
+      Metrics.record_error sess.smetrics;
+      Error (Parse_error e)
+  | Ok tpl ->
+      Mutex.protect sess.slock (fun () -> Hashtbl.replace sess.stmts name tpl);
+      Ok tpl
+
+let execute_prepared sess ?timeout_s ?k name =
+  match Mutex.protect sess.slock (fun () -> Hashtbl.find_opt sess.stmts name) with
+  | None -> Error (Unknown_prepared name)
+  | Some tpl -> run_template sess ?timeout_s ?k tpl
+
+(* Peek at the leading keyword to route DML to the write-locked path. *)
+let is_dml text =
+  let text = String.trim text in
+  let n = String.length text in
+  let rec word_end i =
+    if i < n && (text.[i] = '_' || (text.[i] >= 'a' && text.[i] <= 'z')
+                 || (text.[i] >= 'A' && text.[i] <= 'Z'))
+    then word_end (i + 1)
+    else i
+  in
+  match String.lowercase_ascii (String.sub text 0 (word_end 0)) with
+  | "insert" | "delete" -> true
+  | _ -> false
+
+let run_dml sess ?timeout_s text =
+  let t = sess.svc in
+  let timeout = Option.value timeout_s ~default:t.config.default_timeout_s in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. timeout in
+  let result =
+    submit t ~deadline (fun () ->
+        Rwlock.with_write t.lock (fun () ->
+            match Sqlfront.Sql.execute t.cat text with
+            | Ok (Sqlfront.Sql.Affected n) -> Ok n
+            | Ok (Sqlfront.Sql.Rows _) ->
+                Error (Exec_error "DML statement returned rows")
+            | Error e -> Error (Exec_error e)))
+  in
+  let latency_s = Unix.gettimeofday () -. start in
+  record_outcome t sess ~latency_s result;
+  Result.map
+    (fun n ->
+      {
+        columns = [];
+        rows = [];
+        scores = [];
+        affected = Some n;
+        cached = false;
+        reoptimized = false;
+        latency_s;
+      })
+    result
+
+let query sess ?timeout_s ?k text =
+  if is_dml text then run_dml sess ?timeout_s text
+  else
+    match Sqlfront.Sql.template_of_sql text with
+    | Error e ->
+        Metrics.record_error sess.svc.metrics;
+        Metrics.record_error sess.smetrics;
+        Error (Parse_error e)
+    | Ok tpl -> run_template sess ?timeout_s ?k tpl
+
+let explain sess text =
+  let t = sess.svc in
+  match Rwlock.with_read t.lock (fun () -> Sqlfront.Sql.explain t.cat text) with
+  | Ok s -> Ok s
+  | Error e -> Error (Plan_error e)
+
+let queue_depth t = Mutex.protect t.qm (fun () -> Queue.length t.jobs)
+
+let cache_stats t = Plan_cache.stats t.cache
+
+let server_metrics t = Metrics.snapshot t.metrics
+
+let catalog t = t.cat
+
+let stats t =
+  let m = Metrics.snapshot t.metrics in
+  let c = Plan_cache.stats t.cache in
+  Metrics.to_fields m
+  @ [
+      ("cache_hits", string_of_int c.Plan_cache.hits);
+      ("cache_misses", string_of_int c.Plan_cache.misses);
+      ("cache_reopt_rebinds", string_of_int c.Plan_cache.reopt_rebinds);
+      ("cache_invalidations", string_of_int c.Plan_cache.invalidations);
+      ("cache_evictions", string_of_int c.Plan_cache.evictions);
+      ("cache_entries", string_of_int c.Plan_cache.entries);
+      ("cache_variants", string_of_int c.Plan_cache.variants);
+      ("cache_hit_rate", Printf.sprintf "%.3f" (Plan_cache.hit_rate c));
+      ("queue_depth", string_of_int (queue_depth t));
+      ("workers", string_of_int t.config.workers);
+      ( "sessions",
+        string_of_int (Mutex.protect t.qm (fun () -> t.active_sessions)) );
+      ("stats_epoch", string_of_int (Storage.Catalog.stats_epoch t.cat));
+    ]
+
+let session_stats s =
+  let m = Metrics.snapshot s.smetrics in
+  Metrics.to_fields m
+  @ [
+      ( "prepared",
+        string_of_int
+          (Mutex.protect s.slock (fun () -> Hashtbl.length s.stmts)) );
+    ]

@@ -1,0 +1,102 @@
+(** The concurrent query service.
+
+    A {!t} owns a catalog, a rank-aware plan cache ({!Plan_cache}), a
+    writer-preferring catalog lock ({!Rwlock}) and a pool of OCaml 5
+    {!Domain} workers fed by a bounded job queue. Connection threads (or
+    in-process callers) open {!session}s and submit statements:
+
+    - SELECTs are normalized to a template ({!Sqlfront.Sql.template}),
+      looked up in the plan cache keyed on (template text, catalog stats
+      epoch) and the bound [k], and executed on a worker under the shared
+      read lock. A cache hit rebinds [k] without re-optimizing (valid by
+      the plan's recorded k-interval); an interval miss re-optimizes and
+      stores the new variant.
+    - INSERT / DELETE run on a worker under the exclusive write lock
+      (catalog structures are not safe under concurrent mutation). The
+      statistics refresh bumps the catalog's stats epoch, lazily
+      invalidating cached plans.
+
+    Admission control: when the job queue is full the statement is shed
+    immediately with {!Queue_full}. Every statement carries a deadline;
+    expired queued jobs are cancelled without running, and running queries
+    are interrupted cooperatively at operator [next()] boundaries. *)
+
+type config = {
+  workers : int;  (** Worker domains (>= 1). *)
+  queue_capacity : int;  (** Bounded job queue; overflow is shed. *)
+  cache_capacity : int;  (** Plan-cache templates (LRU). *)
+  default_timeout_s : float;  (** Per-statement deadline when unspecified. *)
+}
+
+val default_config : config
+
+type error =
+  | Parse_error of string
+  | Bind_error of string
+  | Plan_error of string
+  | Exec_error of string
+  | Timeout
+  | Queue_full
+  | Unknown_prepared of string
+  | Shutting_down
+
+val error_code : error -> string
+(** Stable machine-readable code, e.g. ["TIMEOUT"], ["QUEUE_FULL"]. *)
+
+val error_message : error -> string
+
+type reply = {
+  columns : string list;
+  rows : Relalg.Tuple.t list;
+  scores : float list;  (** Per-row ranking score; empty when unranked. *)
+  affected : int option;  (** [Some n] for DML, [None] for queries. *)
+  cached : bool;  (** Plan came from the cache (possibly k-rebound). *)
+  reoptimized : bool;
+      (** The template was cached but no variant covered this [k] (or the
+          stats epoch moved): the service re-optimized on rebind. *)
+  latency_s : float;
+}
+
+type t
+type session
+
+val create : ?config:config -> Storage.Catalog.t -> t
+(** Spawns the worker domains. *)
+
+val shutdown : t -> unit
+(** Stop accepting work, drain queued jobs, join the worker domains.
+    Idempotent. *)
+
+val open_session : t -> session
+val close_session : session -> unit
+
+val prepare :
+  session -> name:string -> string -> (Sqlfront.Sql.template, error) result
+(** Parse and normalize a SELECT, registering it under [name] in this
+    session. [LIMIT ?] makes [k] a bind parameter; a literal [LIMIT n]
+    doubles as the default binding. *)
+
+val execute_prepared :
+  session -> ?timeout_s:float -> ?k:int -> string -> (reply, error) result
+(** Execute a prepared statement, binding [k] if given. *)
+
+val query :
+  session -> ?timeout_s:float -> ?k:int -> string -> (reply, error) result
+(** One-shot statement: SELECT/WITH through the plan cache, INSERT/DELETE
+    serialized under the write lock. *)
+
+val explain : session -> string -> (string, error) result
+(** Optimizer plan description (includes the plan's k-validity interval
+    and the catalog stats epoch); runs inline, not on a worker. *)
+
+val stats : t -> (string * string) list
+(** Server-wide fields: query/error/timeout/shed counters, p50/p95
+    latency, plan-cache hits/misses/reopt-on-rebind/invalidations/
+    evictions/hit-rate, queue depth, worker count, sessions, epoch. *)
+
+val session_stats : session -> (string * string) list
+
+val cache_stats : t -> Plan_cache.stats
+val server_metrics : t -> Metrics.snapshot
+val queue_depth : t -> int
+val catalog : t -> Storage.Catalog.t

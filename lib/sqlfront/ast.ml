@@ -28,6 +28,9 @@ type query = {
   group_by : expr list;
   order_by : (expr * order_direction) option;
   limit : int option;
+  limit_param : bool;
+      (* LIMIT ? — the k is a bind parameter (prepared statements); [limit]
+         holds the currently bound value, [None] while unbound. *)
 }
 
 type statement =
@@ -106,6 +109,8 @@ let pp_query fmt q =
   | Some (e, Desc) -> Format.fprintf fmt " ORDER BY %a DESC" pp_expr e
   | Some (e, Asc) -> Format.fprintf fmt " ORDER BY %a ASC" pp_expr e
   | None -> ());
-  match q.limit with
-  | Some k -> Format.fprintf fmt " LIMIT %d" k
-  | None -> ()
+  if q.limit_param then Format.pp_print_string fmt " LIMIT ?"
+  else
+    match q.limit with
+    | Some k -> Format.fprintf fmt " LIMIT %d" k
+    | None -> ()

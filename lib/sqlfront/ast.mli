@@ -45,6 +45,11 @@ type query = {
   group_by : expr list;
   order_by : (expr * order_direction) option;
   limit : int option;
+  limit_param : bool;
+      (** [LIMIT ?] — the k is a bind parameter (prepared statements);
+          [limit] holds the currently bound value, [None] while unbound.
+          {!pp_query} prints a parameterised limit as [LIMIT ?], which makes
+          the pretty-printed form the canonical cache-key template. *)
 }
 
 type statement =

@@ -197,6 +197,8 @@ let bind catalog (q : Ast.query) =
       if Hashtbl.mem dup t then fail "table %s listed twice in FROM (aliases are not supported)" t;
       Hashtbl.add dup t ())
     q.Ast.from;
+  if q.Ast.limit_param && q.Ast.limit = None then
+    fail "LIMIT ? is unbound: bind a k value before executing";
   let joins, filters = classify_conditions catalog q.Ast.from q.Ast.where in
   let filter_for table =
     match List.filter_map (fun (t, p) -> if String.equal t table then Some p else None) filters with

@@ -79,7 +79,8 @@ let tokenize input =
           i := !i + 2
       | None ->
           (match c with
-          | '(' | ')' | ',' | '.' | '+' | '-' | '*' | '/' | '=' | '<' | '>' | ';' ->
+          | '(' | ')' | ',' | '.' | '+' | '-' | '*' | '/' | '=' | '<' | '>' | '?'
+          | ';' ->
               if c <> ';' then emit (Tsymbol (String.make 1 c))
           | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c" c)));
           incr i

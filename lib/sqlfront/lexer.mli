@@ -5,7 +5,7 @@ type token =
   | Tident of string
   | Tnumber of float
   | Tstring of string
-  | Tsymbol of string  (** One of ( ) , . + - * / = <> < <= > >= *)
+  | Tsymbol of string  (** One of ( ) , . + - * / = <> < <= > >= ? *)
   | Teof
 
 exception Lex_error of string

@@ -301,6 +301,7 @@ let parse_with_query st =
     group_by = [];
     order_by = Some (rank_expr, rank_dir);
     limit = Some k;
+    limit_param = false;
   }
 
 let parse_plain_query st =
@@ -350,21 +351,24 @@ let parse_plain_query st =
         Some (e, dir)
     | _ -> None
   in
-  let limit =
+  let limit, limit_param =
     match peek st with
     | Lexer.Tkeyword "LIMIT" -> (
         advance st;
         match peek st with
         | Lexer.Tnumber f when Float.is_integer f && f >= 0.0 ->
             advance st;
-            Some (int_of_float f)
-        | _ -> fail "non-negative integer" st)
-    | _ -> None
+            (Some (int_of_float f), false)
+        | Lexer.Tsymbol "?" ->
+            advance st;
+            (None, true)
+        | _ -> fail "non-negative integer or ?" st)
+    | _ -> (None, false)
   in
   (match peek st with
   | Lexer.Teof -> ()
   | _ -> fail "end of query" st);
-  { Ast.select; from; where; group_by; order_by; limit }
+  { Ast.select; from; where; group_by; order_by; limit; limit_param }
 
 let parse_query st =
   match peek st with

@@ -9,16 +9,69 @@ type answer = {
 
 let ( let* ) = Result.bind
 
-let plan_of ?config catalog text =
+type prepared = {
+  bound : Binder.bound;
+  planned : Core.Optimizer.planned;
+}
+
+type template = {
+  tpl_text : string;
+  tpl_ast : Ast.query;
+  tpl_inline_k : int option;
+}
+
+let template_of_ast (ast : Ast.query) =
+  let has_limit = ast.Ast.limit_param || ast.Ast.limit <> None in
+  let tpl_ast =
+    if has_limit then { ast with Ast.limit = None; limit_param = true }
+    else ast
+  in
+  {
+    tpl_text = Format.asprintf "%a" Ast.pp_query tpl_ast;
+    tpl_ast;
+    tpl_inline_k = (if ast.Ast.limit_param then None else ast.Ast.limit);
+  }
+
+let template_of_sql text =
   let* ast = Parser.parse_result text in
+  Ok (template_of_ast ast)
+
+let instantiate tpl ?k () =
+  if not tpl.tpl_ast.Ast.limit_param then
+    match k with
+    | None -> Ok tpl.tpl_ast
+    | Some _ -> Error "bind error: query has no LIMIT to parameterize"
+  else
+    match (match k with Some _ -> k | None -> tpl.tpl_inline_k) with
+    | Some k when k >= 0 ->
+        Ok { tpl.tpl_ast with Ast.limit = Some k; limit_param = false }
+    | Some k -> Error (Printf.sprintf "bind error: negative k %d" k)
+    | None -> Error "bind error: LIMIT ? is unbound: supply k"
+
+let prepare_ast ?config catalog ast =
   let* bound = Binder.bind_result catalog ast in
   match Core.Optimizer.optimize ?config catalog bound.Binder.logical with
-  | planned -> Ok (bound, planned)
+  | planned -> Ok { bound; planned }
   | exception Failure msg -> Error ("plan error: " ^ msg)
 
-let query ?config catalog text =
-  let* bound, planned = plan_of ?config catalog text in
-  let result = Core.Optimizer.execute catalog planned in
+let rebind_k p k =
+  {
+    planned = Core.Optimizer.rebind_k p.planned k;
+    bound =
+      {
+        p.bound with
+        Binder.post_limit =
+          Option.map (fun _ -> k) p.bound.Binder.post_limit;
+      };
+  }
+
+let plan_of ?config catalog text =
+  let* ast = Parser.parse_result text in
+  let* p = prepare_ast ?config catalog ast in
+  Ok (p.bound, p.planned)
+
+let run_prepared ?interrupt catalog { bound; planned } =
+  let result = Core.Optimizer.execute ?interrupt catalog planned in
   match bound.Binder.aggregation with
   | Some agg ->
       let schema = result.Core.Executor.schema in
@@ -95,6 +148,10 @@ let query ?config catalog text =
       planned;
     }
 
+let query ?config catalog text =
+  let* bound, planned = plan_of ?config catalog text in
+  run_prepared catalog { bound; planned }
+
 type exec_result =
   | Rows of answer
   | Affected of int
@@ -159,6 +216,7 @@ let single_table_predicate catalog table where =
       group_by = [];
       order_by = None;
       limit = None;
+      limit_param = false;
     }
   in
   match Binder.bind_result catalog ast_query with

@@ -21,6 +21,64 @@ val query :
 (** Execute a SQL string end to end. All failures (lex, parse, bind, plan)
     are returned as [Error]. *)
 
+(** {2 Prepared statements}
+
+    The server's plan-cache building blocks: a {!template} is a parsed
+    query whose [LIMIT] is a bind parameter ([LIMIT ?] or a literal k
+    treated as a default binding), printed in canonical form so equivalent
+    query texts share one cache key; a {!prepared} is a bound + optimized
+    statement that can be executed repeatedly and rebound to a new [k]
+    without re-optimizing (see {!Core.Optimizer.rebind_k}). *)
+
+type prepared = {
+  bound : Binder.bound;
+  planned : Core.Optimizer.planned;
+}
+
+type template = {
+  tpl_text : string;
+      (** Canonical text ({!Ast.pp_query} with [LIMIT ?]) — the plan-cache
+          key. Equivalent spellings (whitespace, the SQL99 WITH/rank()
+          form) normalize to the same template text. *)
+  tpl_ast : Ast.query;  (** [limit_param] set whenever a LIMIT was present. *)
+  tpl_inline_k : int option;
+      (** The literal k when the SQL spelled [LIMIT <n>] — the default
+          binding for an [EXECUTE] without an explicit k. *)
+}
+
+val template_of_sql : string -> (template, string) result
+(** Parse and normalize a SELECT into a cache-key template. *)
+
+val template_of_ast : Ast.query -> template
+
+val instantiate : template -> ?k:int -> unit -> (Ast.query, string) result
+(** Bind the template's [LIMIT] parameter: an explicit [k] wins, else the
+    inline literal; an unbound [LIMIT ?] without [k] is an error, as is
+    passing [k] to a query with no LIMIT clause. *)
+
+val prepare_ast :
+  ?config:Core.Enumerator.config ->
+  Storage.Catalog.t ->
+  Ast.query ->
+  (prepared, string) result
+(** Bind and optimize an instantiated query. *)
+
+val rebind_k : prepared -> int -> prepared
+(** Re-push a new [k] through the prepared statement: the plan's Top-k
+    limit, the depth-propagation environment and any post-execution limit
+    are updated; the plan shape is reused. The caller should check
+    {!Core.Optimizer.k_in_validity} first. *)
+
+val run_prepared :
+  ?interrupt:(unit -> bool) ->
+  Storage.Catalog.t ->
+  prepared ->
+  (answer, string) result
+(** Execute a prepared statement (projection, post-sort/limit and
+    aggregation included). [interrupt] is checked at operator [next()]
+    boundaries; when it fires, {!Core.Executor.Interrupted} escapes — the
+    server maps it to a timeout error. *)
+
 val explain : ?config:Core.Enumerator.config -> Storage.Catalog.t -> string -> (string, string) result
 (** The optimizer's plan description for a SQL string, without executing. *)
 

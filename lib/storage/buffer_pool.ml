@@ -11,6 +11,13 @@ type t = {
   cache : (int, frame) Hashtbl.t;
   mutable clock : int;
   mutable next_id : int;
+  (* One lock around every cache/disk manipulation: the pool is shared by
+     all worker domains of the query service, and the LRU bookkeeping
+     (victim selection, frame insertion) must be atomic or two domains can
+     evict the same frame / lose a dirty bit. Critical sections are a few
+     hashtable operations, so a single mutex is cheap relative to query
+     work. *)
+  lock : Mutex.t;
 }
 
 let create ?(frames = 64) io =
@@ -21,11 +28,14 @@ let create ?(frames = 64) io =
     cache = Hashtbl.create 64;
     clock = 0;
     next_id = 0;
+    lock = Mutex.create ();
   }
 
 let frames t = t.frames
 
 let stats t = t.io
+
+let locked t f = Mutex.protect t.lock f
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -54,50 +64,55 @@ let insert_frame t page ~dirty =
     { page; dirty; last_use = tick t }
 
 let alloc_page t ~capacity =
-  let id = t.next_id in
-  t.next_id <- t.next_id + 1;
-  let page = Page.create ~id ~capacity in
-  Hashtbl.replace t.disk id page;
-  insert_frame t page ~dirty:true;
-  page
+  locked t (fun () ->
+      let id = t.next_id in
+      t.next_id <- t.next_id + 1;
+      let page = Page.create ~id ~capacity in
+      Hashtbl.replace t.disk id page;
+      insert_frame t page ~dirty:true;
+      page)
 
 let get t pid =
-  match Hashtbl.find_opt t.cache pid with
-  | Some fr ->
-      fr.last_use <- tick t;
-      Io_stats.add_pool_hit t.io;
-      fr.page
-  | None -> (
-      match Hashtbl.find_opt t.disk pid with
-      | None -> invalid_arg (Printf.sprintf "Buffer_pool.get: unknown page %d" pid)
-      | Some page ->
-          Io_stats.add_page_read t.io;
-          insert_frame t page ~dirty:false;
-          page)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cache pid with
+      | Some fr ->
+          fr.last_use <- tick t;
+          Io_stats.add_pool_hit t.io;
+          fr.page
+      | None -> (
+          match Hashtbl.find_opt t.disk pid with
+          | None ->
+              invalid_arg (Printf.sprintf "Buffer_pool.get: unknown page %d" pid)
+          | Some page ->
+              Io_stats.add_page_read t.io;
+              insert_frame t page ~dirty:false;
+              page))
 
 let mark_dirty t pid =
-  match Hashtbl.find_opt t.cache pid with
-  | Some fr -> fr.dirty <- true
-  | None -> (
-      (* The page was evicted between the caller's fetch and this call. A
-         silent no-op here loses the pending write-back: fault the page in
-         (charging the read, as any miss does) and dirty the fresh frame so
-         eviction/flush still counts the write. *)
-      match Hashtbl.find_opt t.disk pid with
-      | None ->
-          invalid_arg
-            (Printf.sprintf "Buffer_pool.mark_dirty: unknown page %d" pid)
-      | Some page ->
-          Io_stats.add_page_read t.io;
-          insert_frame t page ~dirty:true)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cache pid with
+      | Some fr -> fr.dirty <- true
+      | None -> (
+          (* The page was evicted between the caller's fetch and this call. A
+             silent no-op here loses the pending write-back: fault the page in
+             (charging the read, as any miss does) and dirty the fresh frame so
+             eviction/flush still counts the write. *)
+          match Hashtbl.find_opt t.disk pid with
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Buffer_pool.mark_dirty: unknown page %d" pid)
+          | Some page ->
+              Io_stats.add_page_read t.io;
+              insert_frame t page ~dirty:true))
 
 let flush t =
-  Hashtbl.iter
-    (fun _ fr ->
-      if fr.dirty then begin
-        Io_stats.add_page_write t.io;
-        fr.dirty <- false
-      end)
-    t.cache
+  locked t (fun () ->
+      Hashtbl.iter
+        (fun _ fr ->
+          if fr.dirty then begin
+            Io_stats.add_page_write t.io;
+            fr.dirty <- false
+          end)
+        t.cache)
 
-let resident t = Hashtbl.length t.cache
+let resident t = locked t (fun () -> Hashtbl.length t.cache)

@@ -3,7 +3,12 @@
     All heap-file page access goes through a pool; misses charge a page read
     to the pool's {!Io_stats.t}, evictions of dirty pages charge a write.
     This makes measured I/O sensitive to the buffer budget, as in a real
-    engine. *)
+    engine.
+
+    The pool is domain-safe: every operation (fetch, allocation, dirtying,
+    flush) runs under one internal mutex, so the concurrent worker domains
+    of the query service can share a catalog without losing dirty bits or
+    double-evicting frames. *)
 
 type t
 

@@ -35,6 +35,11 @@ type t = {
   pool : Buffer_pool.t;
   tuples_per_page : int;
   tables : (string, table_info) Hashtbl.t;
+  (* Monotonically increasing version of the optimizer-visible statistics:
+     bumped whenever histograms / row counts are (re)computed or the set of
+     access paths changes. Cached plans are keyed on it, so a stats refresh
+     invalidates every plan chosen under the old statistics. *)
+  mutable stats_epoch : int;
 }
 
 let create ?(pool_frames = 256) ?(tuples_per_page = 50) () =
@@ -44,7 +49,12 @@ let create ?(pool_frames = 256) ?(tuples_per_page = 50) () =
     pool = Buffer_pool.create ~frames:pool_frames io;
     tuples_per_page;
     tables = Hashtbl.create 16;
+    stats_epoch = 0;
   }
+
+let stats_epoch t = t.stats_epoch
+
+let bump_stats_epoch t = t.stats_epoch <- t.stats_epoch + 1
 
 let io t = t.io
 
@@ -105,6 +115,7 @@ let create_table t name schema tuples =
     }
   in
   Hashtbl.replace t.tables name info;
+  bump_stats_epoch t;
   info
 
 let table t name =
@@ -141,6 +152,7 @@ let create_index t ?(clustered = true) ~name ~table:tname ~key () =
       ix_clustered = clustered }
   in
   Hashtbl.replace t.tables tname { info with tb_indexes = ix :: info.tb_indexes };
+  bump_stats_epoch t;
   ix
 
 let insert_into t ~table:tname tuples =
@@ -214,6 +226,7 @@ let analyze t tname =
   let tuples = Heap_file.to_list info.tb_heap in
   let refreshed = { info with tb_stats = compute_stats info.tb_schema tuples info.tb_heap } in
   Hashtbl.replace t.tables tname refreshed;
+  bump_stats_epoch t;
   refreshed
 
 let index_payload_to_tuple t ix payload =

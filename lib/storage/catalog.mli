@@ -46,6 +46,12 @@ val create : ?pool_frames:int -> ?tuples_per_page:int -> unit -> t
 
 val io : t -> Io_stats.t
 
+val stats_epoch : t -> int
+(** Monotonically increasing version of the optimizer-visible statistics.
+    Bumped by {!create_table}, {!create_index} and {!analyze} (the three
+    operations that change what the optimizer sees); plan caches key on it
+    so a stats refresh invalidates stale plans. *)
+
 val pool : t -> Buffer_pool.t
 
 val tuples_per_page : t -> int

@@ -1,10 +1,16 @@
+(* Counters are Atomic.t so concurrent domains (the query service's worker
+   pool) never lose updates; single-domain callers pay one uncontended
+   atomic fetch-and-add per charge. The [sink] installation itself is a
+   plain mutable field: it is only manipulated by single-domain analysis
+   runs (EXPLAIN ANALYZE), never concurrently with server traffic. *)
+
 type t = {
-  mutable page_reads : int;
-  mutable page_writes : int;
-  mutable pool_hits : int;
-  mutable index_node_reads : int;
-  mutable index_probes : int;
-  mutable tuples_read : int;
+  page_reads : int Atomic.t;
+  page_writes : int Atomic.t;
+  pool_hits : int Atomic.t;
+  index_node_reads : int Atomic.t;
+  index_probes : int Atomic.t;
+  tuples_read : int Atomic.t;
   (* Secondary counter set that mirrors every charge while installed; the
      executor points this at the per-operator counters of the metrics
      registry so I/O is attributed to the operator that caused it. Charges
@@ -23,22 +29,22 @@ type snapshot = {
 
 let create () : t =
   {
-    page_reads = 0;
-    page_writes = 0;
-    pool_hits = 0;
-    index_node_reads = 0;
-    index_probes = 0;
-    tuples_read = 0;
+    page_reads = Atomic.make 0;
+    page_writes = Atomic.make 0;
+    pool_hits = Atomic.make 0;
+    index_node_reads = Atomic.make 0;
+    index_probes = Atomic.make 0;
+    tuples_read = Atomic.make 0;
     sink = None;
   }
 
 let reset (t : t) =
-  t.page_reads <- 0;
-  t.page_writes <- 0;
-  t.pool_hits <- 0;
-  t.index_node_reads <- 0;
-  t.index_probes <- 0;
-  t.tuples_read <- 0
+  Atomic.set t.page_reads 0;
+  Atomic.set t.page_writes 0;
+  Atomic.set t.pool_hits 0;
+  Atomic.set t.index_node_reads 0;
+  Atomic.set t.index_probes 0;
+  Atomic.set t.tuples_read 0
 
 let sink t = t.sink
 
@@ -51,12 +57,12 @@ let with_sink t s f =
 
 let snapshot (t : t) =
   {
-    page_reads = t.page_reads;
-    page_writes = t.page_writes;
-    pool_hits = t.pool_hits;
-    index_node_reads = t.index_node_reads;
-    index_probes = t.index_probes;
-    tuples_read = t.tuples_read;
+    page_reads = Atomic.get t.page_reads;
+    page_writes = Atomic.get t.page_writes;
+    pool_hits = Atomic.get t.pool_hits;
+    index_node_reads = Atomic.get t.index_node_reads;
+    index_probes = Atomic.get t.index_probes;
+    tuples_read = Atomic.get t.tuples_read;
   }
 
 let diff a b =
@@ -75,19 +81,19 @@ let mirrored f (t : t) =
   f t;
   match t.sink with None -> () | Some u -> f u
 
-let add_page_read = mirrored (fun t -> t.page_reads <- t.page_reads + 1)
+let add n field = Atomic.fetch_and_add field n |> ignore
 
-let add_page_write = mirrored (fun t -> t.page_writes <- t.page_writes + 1)
+let add_page_read = mirrored (fun t -> add 1 t.page_reads)
 
-let add_pool_hit = mirrored (fun t -> t.pool_hits <- t.pool_hits + 1)
+let add_page_write = mirrored (fun t -> add 1 t.page_writes)
 
-let add_index_node_read =
-  mirrored (fun t -> t.index_node_reads <- t.index_node_reads + 1)
+let add_pool_hit = mirrored (fun t -> add 1 t.pool_hits)
 
-let add_index_probe = mirrored (fun t -> t.index_probes <- t.index_probes + 1)
+let add_index_node_read = mirrored (fun t -> add 1 t.index_node_reads)
 
-let add_tuples_read (t : t) n =
-  mirrored (fun t -> t.tuples_read <- t.tuples_read + n) t
+let add_index_probe = mirrored (fun t -> add 1 t.index_probes)
+
+let add_tuples_read (t : t) n = mirrored (fun t -> add n t.tuples_read) t
 
 let pp fmt s =
   Format.fprintf fmt

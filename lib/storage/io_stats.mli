@@ -4,7 +4,12 @@
     the measured counterpart. Every storage structure (heap files through the
     buffer pool, B+-tree nodes) charges its page accesses to one of these
     counter sets, so an executed plan can be compared against the cost
-    model's prediction. *)
+    model's prediction.
+
+    Counters are atomic: charges from concurrent domains (the query
+    service's worker pool) are never lost. The {!set_sink} mirroring hook is
+    not synchronised — install sinks only from single-domain analysis
+    runs. *)
 
 type t
 

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Smoke test for `rankopt serve`: start a server on a private Unix socket,
+# drive a scripted client session through the line protocol (prepare, bind
+# k twice so the second execution must hit the plan cache, one-shot query,
+# stats), then shut the server down and check it exits.
+set -eu
+
+RANKOPT=${RANKOPT:-_build/default/bin/rankopt.exe}
+SOCK=$(mktemp -u /tmp/rankopt-smoke-XXXXXX.sock)
+LOG=$(mktemp /tmp/rankopt-smoke-XXXXXX.log)
+OUT=$(mktemp /tmp/rankopt-smoke-XXXXXX.out)
+
+cleanup() {
+    [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$LOG" "$OUT"
+}
+trap cleanup EXIT INT TERM
+
+"$RANKOPT" serve --socket "$SOCK" --workers 2 \
+    --table A:1000:100 --table B:1000:100 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the socket to appear.
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: server did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$RANKOPT" client --socket "$SOCK" >"$OUT" <<'EOF'
+PING
+PREPARE top SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.4*A.score + 0.6*B.score DESC LIMIT ?
+EXECUTE top 5
+EXECUTE top 5
+QUERY SELECT A.id FROM A ORDER BY A.score DESC LIMIT 3
+STATS
+STATS SESSION
+EOF
+
+"$RANKOPT" client --socket "$SOCK" SHUTDOWN >>"$OUT"
+
+# The server must exit on SHUTDOWN (bounded wait).
+i=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "serve-smoke: server still running after SHUTDOWN" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+SERVER_PID=
+
+fail() {
+    echo "serve-smoke: $1" >&2
+    echo "--- session transcript:" >&2
+    cat "$OUT" >&2
+    echo "--- server log:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+grep -q "pong=1" "$OUT" || fail "no PING reply"
+grep -q "prepared=top" "$OUT" || fail "PREPARE failed"
+grep -q "rows=5 cached=0" "$OUT" || fail "first EXECUTE should miss the plan cache"
+grep -q "rows=5 cached=1" "$OUT" || fail "second EXECUTE should hit the plan cache"
+grep -q "rows=3" "$OUT" || fail "one-shot QUERY failed"
+grep -q "^cache_hits=" "$OUT" || fail "STATS missing cache counters"
+grep -q "^prepared=1" "$OUT" || fail "STATS SESSION missing prepared count"
+grep -q "shutdown=1" "$OUT" || fail "SHUTDOWN not acknowledged"
+if grep -q "^ERR" "$OUT"; then fail "session contained an ERR reply"; fi
+
+echo "serve-smoke: OK"

@@ -30,4 +30,6 @@ let () =
          Test_coverage.suites;
          Test_consistency.suites;
          Test_rankcheck.suites;
+         Test_concurrency.suites;
+         Test_server.suites;
        ])

@@ -107,6 +107,7 @@ let inlj_filter_case =
                   Binop (Mul, Number 0.5, col "T1" "score") ),
               Desc );
         limit = Some 1;
+        limit_param = false;
       };
   }
 
@@ -149,6 +150,7 @@ let empty_input_case =
         order_by =
           Some (Binop (Add, col "T0" "score", col "T1" "score"), Desc);
         limit = Some 4;
+        limit_param = false;
       };
   }
 

@@ -1,0 +1,387 @@
+(* Tests for the concurrent query service: wire protocol, the k-interval
+   plan cache (including the optimizer flip across k-star), the service's
+   prepared-statement / admission-control / deadline behavior, and a
+   fixed-seed slice of the server-mode differential fuzzer. *)
+
+let mk_catalog ?(n = 200) ?(domain = 20) ?(seed = 41) ?(pool_frames = 64)
+    tables =
+  let cat = Storage.Catalog.create ~pool_frames () in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Workload.Generator.load_scored_table cat
+           (Rkutil.Prng.create (seed + (31 * i)))
+           ~name ~n ~key_domain:domain ()))
+    tables;
+  cat
+
+let join_sql =
+  "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY A.score + \
+   B.score DESC LIMIT ?"
+
+let template sql = Result.get_ok (Sqlfront.Sql.template_of_sql sql)
+
+let prepare_at cat tpl k =
+  let ast = Result.get_ok (Sqlfront.Sql.instantiate tpl ~k ()) in
+  Result.get_ok (Sqlfront.Sql.prepare_ast cat ast)
+
+(* [Plan.describe] with the Top-k limit normalized out: rebinding k
+   changes "Top5(...)" to "Top45(...)" while reusing the same shape. *)
+let describe (p : Sqlfront.Sql.prepared) =
+  let d = Core.Plan.describe p.Sqlfront.Sql.planned.Core.Optimizer.plan in
+  match String.index_opt d '(' with
+  | Some i when String.length d > 3 && String.sub d 0 3 = "Top" ->
+      "Top" ^ String.sub d i (String.length d - i)
+  | _ -> d
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_parse () =
+  let ok = function Ok c -> c | Error e -> Alcotest.fail e in
+  (match ok (Server.Protocol.parse_command "  ping  ") with
+  | Server.Protocol.Ping -> ()
+  | _ -> Alcotest.fail "expected Ping");
+  (match ok (Server.Protocol.parse_command "EXECUTE q1 17") with
+  | Server.Protocol.Execute { name = "q1"; k = Some 17 } -> ()
+  | _ -> Alcotest.fail "expected Execute q1 17");
+  (match ok (Server.Protocol.parse_command "EXECUTE q1") with
+  | Server.Protocol.Execute { name = "q1"; k = None } -> ()
+  | _ -> Alcotest.fail "expected Execute q1");
+  (match ok (Server.Protocol.parse_command "PREPARE p SELECT 1 FROM T") with
+  | Server.Protocol.Prepare { name = "p"; sql = "SELECT 1 FROM T" } -> ()
+  | _ -> Alcotest.fail "expected Prepare");
+  (match ok (Server.Protocol.parse_command "stats session") with
+  | Server.Protocol.Stats `Session -> ()
+  | _ -> Alcotest.fail "expected Stats Session");
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (Result.is_error (Server.Protocol.parse_command "FROBNICATE"));
+  Alcotest.(check bool)
+    "bad k rejected" true
+    (Result.is_error (Server.Protocol.parse_command "EXECUTE q four"))
+
+let test_protocol_roundtrip () =
+  let resp =
+    Server.Protocol.ok_response
+      ~fields:[ ("rows", "2"); ("cached", "1") ]
+      [ "a\t1"; "b\t2" ]
+  in
+  match Server.Protocol.render resp with
+  | header :: payload ->
+      Alcotest.(check int)
+        "announced payload" (List.length payload)
+        (Server.Protocol.payload_count header);
+      let parsed = Result.get_ok (Server.Protocol.parse_header header) in
+      Alcotest.(check bool) "ok" true parsed.Server.Protocol.ok;
+      Alcotest.(check (option string))
+        "cached field" (Some "1")
+        (List.assoc_opt "cached" parsed.Server.Protocol.fields);
+      let err = Server.Protocol.err_response ~code:"TIMEOUT" "too slow" in
+      let eheader = List.hd (Server.Protocol.render err) in
+      let eparsed = Result.get_ok (Server.Protocol.parse_header eheader) in
+      Alcotest.(check bool) "err not ok" false eparsed.Server.Protocol.ok;
+      Alcotest.(check string) "code" "TIMEOUT" eparsed.Server.Protocol.code;
+      Alcotest.(check string) "message" "too slow" eparsed.Server.Protocol.message
+  | [] -> Alcotest.fail "render produced nothing"
+
+(* ------------------------------------------------------------------ *)
+(* Plan cache                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_lru_eviction () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  let cache = Server.Plan_cache.create ~capacity:2 () in
+  let store key sql =
+    let tpl = template sql in
+    Server.Plan_cache.store cache ~key ~epoch:0 (prepare_at cat tpl 3)
+  in
+  store "t1" "SELECT A.id FROM A ORDER BY A.score DESC LIMIT ?";
+  store "t2" "SELECT B.id FROM B ORDER BY B.score DESC LIMIT ?";
+  (match Server.Plan_cache.find cache ~key:"t1" ~epoch:0 ~k:(Some 3) with
+  | Server.Plan_cache.Hit _ -> ()
+  | _ -> Alcotest.fail "t1 should hit");
+  (* t2 is now least recently used; a third template evicts it. *)
+  store "t3" join_sql;
+  (match Server.Plan_cache.find cache ~key:"t2" ~epoch:0 ~k:(Some 3) with
+  | Server.Plan_cache.Absent -> ()
+  | _ -> Alcotest.fail "t2 should have been LRU-evicted");
+  let s = Server.Plan_cache.stats cache in
+  Alcotest.(check int) "one eviction" 1 s.Server.Plan_cache.evictions;
+  Alcotest.(check int) "two entries" 2 s.Server.Plan_cache.entries
+
+let test_cache_epoch_invalidation () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  let cache = Server.Plan_cache.create () in
+  let tpl = template join_sql in
+  Server.Plan_cache.store cache ~key:"q" ~epoch:3 (prepare_at cat tpl 3);
+  (match Server.Plan_cache.find cache ~key:"q" ~epoch:4 ~k:(Some 3) with
+  | Server.Plan_cache.Stale -> ()
+  | _ -> Alcotest.fail "epoch mismatch should be Stale");
+  (* The stale entry is dropped eagerly: a same-epoch retry is a cold miss. *)
+  (match Server.Plan_cache.find cache ~key:"q" ~epoch:4 ~k:(Some 3) with
+  | Server.Plan_cache.Absent -> ()
+  | _ -> Alcotest.fail "stale entry should have been dropped");
+  let s = Server.Plan_cache.stats cache in
+  Alcotest.(check int) "one invalidation" 1 s.Server.Plan_cache.invalidations
+
+(* The paper's k* crossover, end to end: on the Figure-6 workload the
+   optimizer picks a rank-join plan for small k whose validity interval is
+   finite; rebinding inside the interval is a cache hit reusing the plan,
+   rebinding outside re-optimizes to a different plan shape, and both
+   variants then coexist under one template. *)
+let test_k_interval_flip () =
+  let cat = mk_catalog ~n:5000 ~domain:2000 [ "A"; "B" ] in
+  let tpl = template join_sql in
+  let small = prepare_at cat tpl 5 in
+  let validity = small.Sqlfront.Sql.planned.Core.Optimizer.k_validity in
+  let hi =
+    match validity.Core.Optimizer.k_hi with
+    | Some hi -> hi
+    | None -> Alcotest.fail "small-k plan should have a finite k-interval"
+  in
+  Alcotest.(check bool) "interval contains its own k" true
+    (Core.Optimizer.k_in_validity small.Sqlfront.Sql.planned 5);
+  Alcotest.(check bool) "crossover below table size" true (hi < 5000);
+  let big = prepare_at cat tpl (2 * hi) in
+  Alcotest.(check bool)
+    "optimizer flips plan shape across k*" true
+    (describe small <> describe big);
+  (* Now through the cache. *)
+  let cache = Server.Plan_cache.create () in
+  let epoch = Storage.Catalog.stats_epoch cat in
+  Server.Plan_cache.store cache ~key:"q" ~epoch small;
+  (match Server.Plan_cache.find cache ~key:"q" ~epoch ~k:(Some hi) with
+  | Server.Plan_cache.Hit p ->
+      Alcotest.(check string)
+        "in-interval rebind reuses the plan shape" (describe small) (describe p);
+      Alcotest.(check (option int))
+        "rebind pushed the new k" (Some hi)
+        p.Sqlfront.Sql.planned.Core.Optimizer.query.Core.Logical.k
+  | _ -> Alcotest.fail "k inside the interval should hit");
+  (match Server.Plan_cache.find cache ~key:"q" ~epoch ~k:(Some (2 * hi)) with
+  | Server.Plan_cache.Interval_miss -> ()
+  | _ -> Alcotest.fail "k outside the interval should be an interval miss");
+  Server.Plan_cache.store cache ~key:"q" ~epoch big;
+  (* Both regimes are now cached as variants of one template. *)
+  (match Server.Plan_cache.find cache ~key:"q" ~epoch ~k:(Some 2) with
+  | Server.Plan_cache.Hit p ->
+      Alcotest.(check string) "small-k variant" (describe small) (describe p)
+  | _ -> Alcotest.fail "small k should hit the rank-join variant");
+  (match Server.Plan_cache.find cache ~key:"q" ~epoch ~k:(Some (2 * hi)) with
+  | Server.Plan_cache.Hit p ->
+      Alcotest.(check string) "large-k variant" (describe big) (describe p)
+  | _ -> Alcotest.fail "large k should hit the sort-based variant");
+  let s = Server.Plan_cache.stats cache in
+  Alcotest.(check int) "one reopt-on-rebind" 1 s.Server.Plan_cache.reopt_rebinds;
+  Alcotest.(check int) "one entry, two variants" 2 s.Server.Plan_cache.variants
+
+(* ------------------------------------------------------------------ *)
+(* Service                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let with_service ?(config = Server.Service.default_config) cat f =
+  let svc = Server.Service.create ~config cat in
+  Fun.protect ~finally:(fun () -> Server.Service.shutdown svc) (fun () -> f svc)
+
+let get_reply = function
+  | Ok (r : Server.Service.reply) -> r
+  | Error e -> Alcotest.fail (Server.Service.error_message e)
+
+let test_service_prepared_flow () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  (match Server.Service.prepare s ~name:"q" join_sql with
+  | Ok tpl ->
+      Alcotest.(check bool)
+        "template is k-parameterized" true
+        (String.length tpl.Sqlfront.Sql.tpl_text >= 7
+        && String.sub tpl.Sqlfront.Sql.tpl_text
+             (String.length tpl.Sqlfront.Sql.tpl_text - 7)
+             7
+           = "LIMIT ?")
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  let r1 = get_reply (Server.Service.execute_prepared s ~k:3 "q") in
+  Alcotest.(check int) "k=3 rows" 3 (List.length r1.Server.Service.rows);
+  Alcotest.(check bool) "first execution optimizes" false r1.Server.Service.cached;
+  let r2 = get_reply (Server.Service.execute_prepared s ~k:3 "q") in
+  Alcotest.(check bool) "second execution hits cache" true r2.Server.Service.cached;
+  let r3 = get_reply (Server.Service.execute_prepared s ~k:5 "q") in
+  Alcotest.(check int) "k=5 rows after rebind" 5
+    (List.length r3.Server.Service.rows);
+  (match Server.Service.execute_prepared s "nope" with
+  | Error (Server.Service.Unknown_prepared _) -> ()
+  | _ -> Alcotest.fail "unknown prepared name should be a typed error");
+  (* Prepared statements are session-scoped. *)
+  let s2 = Server.Service.open_session svc in
+  (match Server.Service.execute_prepared s2 "q" with
+  | Error (Server.Service.Unknown_prepared _) -> ()
+  | _ -> Alcotest.fail "prepared statements must not leak across sessions");
+  Server.Service.close_session s2;
+  Server.Service.close_session s
+
+let test_service_dml_invalidation () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  let sql = "SELECT A.id FROM A ORDER BY A.score DESC LIMIT 4" in
+  ignore (get_reply (Server.Service.query s sql));
+  let warm = get_reply (Server.Service.query s sql) in
+  Alcotest.(check bool) "warm query cached" true warm.Server.Service.cached;
+  let epoch_before = Storage.Catalog.stats_epoch cat in
+  let dml = get_reply (Server.Service.query s "INSERT INTO A VALUES (9999, 1, 0.5)") in
+  Alcotest.(check (option int)) "one row inserted" (Some 1)
+    dml.Server.Service.affected;
+  Alcotest.(check bool)
+    "DML bumps the stats epoch" true
+    (Storage.Catalog.stats_epoch cat > epoch_before);
+  let cold = get_reply (Server.Service.query s sql) in
+  Alcotest.(check bool)
+    "stats change invalidates the cached plan" false cold.Server.Service.cached;
+  let cs = Server.Service.cache_stats svc in
+  Alcotest.(check bool)
+    "invalidation counted" true
+    (cs.Server.Plan_cache.invalidations >= 1);
+  Server.Service.close_session s
+
+let test_service_timeout () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  (match
+     Server.Service.query s ~timeout_s:(-1.0)
+       "SELECT A.id FROM A ORDER BY A.score DESC LIMIT 2"
+   with
+  | Error Server.Service.Timeout -> ()
+  | Ok _ -> Alcotest.fail "expired deadline should not execute"
+  | Error e -> Alcotest.fail (Server.Service.error_code e));
+  let fields = Server.Service.stats svc in
+  Alcotest.(check (option string))
+    "timeout counted" (Some "1")
+    (List.assoc_opt "timeouts" fields);
+  Server.Service.close_session s
+
+let test_service_queue_full () =
+  (* domain=5 makes the equijoin huge, so a single worker with a one-slot
+     queue is saturated while the other submitters arrive. *)
+  let cat = mk_catalog ~n:2000 ~domain:5 [ "A"; "B" ] in
+  let config =
+    { Server.Service.default_config with workers = 1; queue_capacity = 1 }
+  in
+  with_service ~config cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  let slow =
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY A.score + \
+     B.score DESC LIMIT 1000"
+  in
+  let outcomes = Array.make 8 (Error Server.Service.Shutting_down) in
+  let threads =
+    List.init (Array.length outcomes) (fun i ->
+        Thread.create (fun () -> outcomes.(i) <- Server.Service.query s slow) ())
+  in
+  List.iter Thread.join threads;
+  let shed, completed =
+    Array.fold_left
+      (fun (shed, completed) -> function
+        | Error Server.Service.Queue_full -> (shed + 1, completed)
+        | Ok _ -> (shed, completed + 1)
+        | Error e -> Alcotest.fail (Server.Service.error_code e))
+      (0, 0) outcomes
+  in
+  Alcotest.(check bool) "some statements shed" true (shed >= 1);
+  Alcotest.(check bool) "some statements completed" true (completed >= 1);
+  let fields = Server.Service.stats svc in
+  Alcotest.(check (option string))
+    "shed counter matches" (Some (string_of_int shed))
+    (List.assoc_opt "shed" fields);
+  Server.Service.close_session s
+
+let test_service_stats_fields () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  ignore (get_reply (Server.Service.query s "SELECT A.id FROM A ORDER BY A.score DESC LIMIT 1"));
+  let fields = Server.Service.stats svc in
+  List.iter
+    (fun key ->
+      if List.assoc_opt key fields = None then
+        Alcotest.failf "missing server stats field %s" key)
+    [
+      "queries"; "errors"; "timeouts"; "shed"; "p50_ms"; "p95_ms";
+      "cache_hits"; "cache_misses"; "cache_reopt_rebinds"; "cache_hit_rate";
+      "queue_depth"; "workers"; "sessions"; "stats_epoch";
+    ];
+  Alcotest.(check (option string))
+    "one session open" (Some "1")
+    (List.assoc_opt "sessions" fields);
+  let sfields = Server.Service.session_stats s in
+  Alcotest.(check (option string))
+    "session query count" (Some "1")
+    (List.assoc_opt "queries" sfields);
+  (* EXPLAIN surfaces the epoch and the k-validity interval. *)
+  (match
+     Server.Service.explain s
+       (String.concat "5" (String.split_on_char '?' join_sql))
+   with
+  | Error e -> Alcotest.fail (Server.Service.error_message e)
+  | Ok text ->
+      let contains needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "explain shows stats epoch" true
+        (contains "Catalog stats epoch");
+      Alcotest.(check bool) "explain shows k-validity" true
+        (contains "Plan valid for k in"));
+  Server.Service.close_session s
+
+(* ------------------------------------------------------------------ *)
+(* Server-mode fuzzer slice                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_rankcheck_server_slice () =
+  let outcome = Check.Rankcheck.run_server ~seed:1 ~cases:3 () in
+  (match outcome.Check.Rankcheck.o_failures with
+  | [] -> ()
+  | f :: _ -> Alcotest.fail f.Check.Rankcheck.f_reason);
+  Alcotest.(check bool)
+    "executions checked" true
+    (outcome.Check.Rankcheck.o_plans >= 3 * 4)
+
+let suites =
+  [
+    ( "server protocol",
+      [
+        Alcotest.test_case "parse commands" `Quick test_protocol_parse;
+        Alcotest.test_case "response round-trip" `Quick test_protocol_roundtrip;
+      ] );
+    ( "plan cache",
+      [
+        Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "epoch invalidation" `Quick
+          test_cache_epoch_invalidation;
+        Alcotest.test_case "k-interval flip across k*" `Slow
+          test_k_interval_flip;
+      ] );
+    ( "query service",
+      [
+        Alcotest.test_case "prepared statement flow" `Quick
+          test_service_prepared_flow;
+        Alcotest.test_case "DML invalidates cached plans" `Quick
+          test_service_dml_invalidation;
+        Alcotest.test_case "deadline: expired statements time out" `Quick
+          test_service_timeout;
+        Alcotest.test_case "admission control sheds on full queue" `Slow
+          test_service_queue_full;
+        Alcotest.test_case "stats and explain surfaces" `Quick
+          test_service_stats_fields;
+      ] );
+    ( "server rankcheck",
+      [
+        Alcotest.test_case "server-mode differential slice" `Slow
+          test_rankcheck_server_slice;
+      ] );
+  ]
