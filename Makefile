@@ -1,4 +1,4 @@
-.PHONY: all build test bench fuzz serve-smoke ci clean
+.PHONY: all build test bench fuzz lint serve-smoke ci clean
 
 all: build
 
@@ -22,6 +22,20 @@ fuzz: build
 bench:
 	dune exec bench/main.exe
 
+# Static plan analysis (planlint): run the rule catalog (PL01..PL10) over
+# the example query corpus and over a fixed slice of the fuzz corpus,
+# linting the optimizer's chosen plan and every MEMO-retained subplan.
+# Exits nonzero on any error-severity diagnostic. Open-ended sweeps:
+#   make lint LINT_SEED=0 LINT_CASES=6000
+LINT_SEED ?= 0
+LINT_CASES ?= 300
+lint: build
+	dune exec bin/rankopt.exe -- lint \
+	  --table A:2000:100 --table B:2000:100 --table C:2000:100 \
+	  --dir examples/queries
+	dune exec bin/rankopt.exe -- lint --fuzz-seed $(LINT_SEED) \
+	  --fuzz-cases $(LINT_CASES)
+
 # End-to-end smoke test of the query service: start `rankopt serve` on a
 # private Unix socket, run a scripted client session (prepare / bind k /
 # execute / stats / shutdown) and assert on the protocol replies,
@@ -29,10 +43,11 @@ bench:
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
-# What CI runs: a full build + test pass and the server smoke test, then
-# verify the working tree is clean (catches build artifacts or generated
-# files accidentally committed, and formatter/codegen drift).
-ci: build test serve-smoke
+# What CI runs: a full build + test pass, the static plan lint, and the
+# server smoke test, then verify the working tree is clean (catches build
+# artifacts or generated files accidentally committed, and
+# formatter/codegen drift).
+ci: build test lint serve-smoke
 	@status=$$(git status --porcelain); \
 	if [ -n "$$status" ]; then \
 	  echo "ci: working tree not clean after build+test:"; \

@@ -1,0 +1,94 @@
+(* Throughput of the planlint static analyzer.
+
+   Two measurements on a fixed statement mix:
+
+   - lint rate: the full rule catalog ([Lint.Engine.lint_planned] —
+     schema, order, pipelining, filter preservation, k-propagation,
+     depth bounds, cost monotonicity, top-k shape) over each optimized
+     statement, reported as plans linted per second;
+
+   - emit-mode overhead: optimizing the same mix with the emit-time lint
+     hooks enabled (every MEMO-retained subplan checked as it is stored)
+     versus disabled — the relative cost of running the optimizer under
+     debug assertions.
+
+   Emits a single JSON row for CI tracking. *)
+
+let statements =
+  [
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.5*A.score + \
+     0.5*B.score DESC LIMIT 10";
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.3*A.score + \
+     0.7*B.score DESC LIMIT 25";
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key AND A.score >= 0.2 \
+     ORDER BY 0.8*A.score + 0.2*B.score DESC LIMIT 5";
+    "SELECT A.id FROM A ORDER BY A.score DESC LIMIT 20";
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key AND B.score >= 0.5";
+  ]
+
+let prepare catalog sql =
+  match Sqlfront.Sql.template_of_sql sql with
+  | Error e -> failwith ("lint bench parse: " ^ e)
+  | Ok tpl -> (
+      match Sqlfront.Sql.instantiate tpl () with
+      | Error e -> failwith ("lint bench instantiate: " ^ e)
+      | Ok ast -> (
+          match Sqlfront.Sql.prepare_ast catalog ast with
+          | Error e -> failwith ("lint bench prepare: " ^ e)
+          | Ok p -> p.Sqlfront.Sql.planned))
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (Unix.gettimeofday () -. t0, x)
+
+let run () =
+  Bench_util.section "lint: planlint static analyzer throughput";
+  let catalog = Bench_util.two_table_catalog ~n:5000 ~domain:200 ~seed:42 () in
+  let planned = List.map (prepare catalog) statements in
+  (* Lint rate: full catalog per optimized statement. *)
+  let rounds = 400 in
+  let diags = ref 0 in
+  let lint_dt, () =
+    time (fun () ->
+        for _ = 1 to rounds do
+          List.iter
+            (fun p -> diags := !diags + List.length (Lint.Engine.lint_planned p))
+            planned
+        done)
+  in
+  let plans = rounds * List.length planned in
+  let lint_per_s = float_of_int plans /. lint_dt in
+  (* Emit-mode overhead: re-optimize the mix with hooks off, then on. *)
+  let opt_rounds = 30 in
+  let optimize_all () =
+    List.iter (fun sql -> ignore (prepare catalog sql)) statements
+  in
+  let plain_dt, () =
+    time (fun () ->
+        for _ = 1 to opt_rounds do
+          optimize_all ()
+        done)
+  in
+  Lint.Engine.Emit.reset ();
+  Lint.Engine.Emit.enable ();
+  let emit_dt, () =
+    time (fun () ->
+        for _ = 1 to opt_rounds do
+          optimize_all ()
+        done)
+  in
+  let memo_linted = Lint.Engine.Emit.linted () in
+  let emit_diags = List.length (Lint.Engine.Emit.diagnostics ()) in
+  Lint.Engine.Emit.disable ();
+  let overhead = if plain_dt > 0.0 then emit_dt /. plain_dt else 1.0 in
+  Bench_util.row "%-36s %12.0f\n" "full-catalog lint (plans/s)" lint_per_s;
+  Bench_util.row "%-36s %12.2f\n" "emit-mode optimize overhead (x)" overhead;
+  Bench_util.row "%-36s %12d\n" "memo subplans linted (emit mode)" memo_linted;
+  Bench_util.row "%-36s %12d\n" "diagnostics" (!diags + emit_diags);
+  Bench_util.row
+    "{\"bench\":\"lint\",\"statements\":%d,\"plans_linted\":%d,\
+     \"lint_per_s\":%.1f,\"opt_s\":%.4f,\"opt_emit_s\":%.4f,\
+     \"emit_overhead\":%.3f,\"memo_plans_linted\":%d,\"diagnostics\":%d}\n"
+    (List.length statements) plans lint_per_s plain_dt emit_dt overhead
+    memo_linted (!diags + emit_diags)

@@ -27,6 +27,7 @@ let experiments =
     ("profile", Experiments.profile);
     ("micro", Micro.run);
     ("serve", Serve_bench.run);
+    ("lint", Lint_bench.run);
   ]
 
 let usage () =

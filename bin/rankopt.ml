@@ -393,10 +393,203 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(ret (const run $ seed_arg $ cases_arg $ server_arg))
 
+(* -- lint: the planlint static analyzer --------------------------------- *)
+
+(* Statements in a .sql file are separated by ';'; '--' comments stripped. *)
+let split_statements text =
+  let strip_comment line =
+    let n = String.length line in
+    let rec dash i =
+      if i + 1 >= n then line
+      else if line.[i] = '-' && line.[i + 1] = '-' then String.sub line 0 i
+      else dash (i + 1)
+    in
+    dash 0
+  in
+  String.split_on_char '\n' text
+  |> List.map strip_comment |> String.concat "\n" |> String.split_on_char ';'
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let sql_files_of_dir dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".sql")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+(* Lint one statement: parse → normalize to the cache template → bind and
+   optimize with emit-time linting on (memo subplans included) → full
+   catalog over the finished statement. *)
+let lint_statement catalog config sql =
+  Lint.Engine.Emit.reset ();
+  Lint.Engine.Emit.enable ();
+  let result =
+    match Sqlfront.Sql.template_of_sql sql with
+    | Error e -> Error ("parse: " ^ e)
+    | Ok tpl -> (
+        match Sqlfront.Sql.instantiate tpl ?k:None () with
+        | Error e -> Error ("instantiate: " ^ e)
+        | Ok ast -> (
+            match Sqlfront.Sql.prepare_ast ~config catalog ast with
+            | Error e -> Error ("prepare: " ^ e)
+            | Ok prep ->
+                let p = prep.Sqlfront.Sql.planned in
+                let diags =
+                  Lint.Engine.Emit.diagnostics () @ Lint.Engine.lint_planned p
+                in
+                Ok
+                  ( Lint.Diag.sort diags,
+                    1 + Lint.Engine.Emit.linted (),
+                    Core.Plan.describe p.Core.Optimizer.plan )))
+  in
+  Lint.Engine.Emit.disable ();
+  result
+
+let lint_cmd =
+  let run verbose tables seed pool traditional from_dir files dirs fuzz_seed
+      fuzz_cases json sqls =
+    setup_logs verbose;
+    match fuzz_seed with
+    | Some fseed ->
+        (* Fuzz sweep: lint every retained plan of every generated case. *)
+        let progress i =
+          if (not json) && fuzz_cases > 20 && i > 0 && i mod 200 = 0 then
+            Printf.eprintf "lint: %d/%d cases...\n%!" i fuzz_cases
+        in
+        let outcome =
+          Check.Rankcheck.run_lint ~progress ~seed:fseed ~cases:fuzz_cases ()
+        in
+        let nfail = List.length outcome.Check.Rankcheck.o_failures in
+        if json then
+          Printf.printf
+            "{\"lint\": \"fuzz\", \"seed\": %d, \"cases\": %d, \"plans\": %d, \
+             \"failures\": %d}\n"
+            fseed outcome.Check.Rankcheck.o_cases
+            outcome.Check.Rankcheck.o_plans nfail
+        else begin
+          List.iter
+            (fun f -> Format.printf "%a@.@." Check.Rankcheck.pp_failure f)
+            outcome.Check.Rankcheck.o_failures;
+          Printf.printf
+            "planlint fuzz sweep: %d cases (seeds %d..%d), %d plans linted, \
+             %d failure(s)\n"
+            outcome.Check.Rankcheck.o_cases fseed
+            (fseed + fuzz_cases - 1)
+            outcome.Check.Rankcheck.o_plans nfail
+        end;
+        if nfail = 0 then `Ok ()
+        else `Error (false, "planlint reported diagnostics (see above)")
+    | None -> (
+        let from_files =
+          List.concat_map (fun f -> split_statements (read_file f)) files
+        in
+        let from_dirs =
+          List.concat_map
+            (fun d ->
+              List.concat_map
+                (fun f -> split_statements (read_file f))
+                (sql_files_of_dir d))
+            dirs
+        in
+        match sqls @ from_files @ from_dirs with
+        | [] ->
+            `Error
+              (true, "no SQL to lint (pass statements, --file or --dir, or use --fuzz-seed)")
+        | statements ->
+            let catalog = build_catalog ?from_dir tables seed pool in
+            let config = config_of traditional in
+            let all_diags = ref [] in
+            let broken = ref 0 in
+            let plans = ref 0 in
+            List.iter
+              (fun sql ->
+                match lint_statement catalog config sql with
+                | Error e ->
+                    incr broken;
+                    Printf.eprintf "rankopt lint: %s\n  in: %s\n" e sql
+                | Ok (diags, linted, plan) ->
+                    plans := !plans + linted;
+                    all_diags := !all_diags @ diags;
+                    if not json then
+                      if diags = [] then
+                        Printf.printf "ok: %s\n  plan %s (%d plan(s) linted)\n"
+                          sql plan linted
+                      else begin
+                        Printf.printf "%s\n" sql;
+                        List.iter
+                          (fun d ->
+                            Printf.printf "  %s\n" (Lint.Diag.to_string d))
+                          diags
+                      end)
+              statements;
+            let errs = Lint.Engine.errors !all_diags in
+            if json then print_endline (Lint.Diag.list_to_json !all_diags)
+            else
+              Printf.printf
+                "planlint: %d statement(s), %d plan(s) linted, %d \
+                 diagnostic(s) (%d error(s))\n"
+                (List.length statements) !plans
+                (List.length !all_diags)
+                (List.length errs);
+            if !broken > 0 then
+              `Error (false, "some statements failed to parse or plan")
+            else if errs <> [] then
+              `Error (false, "planlint reported errors")
+            else `Ok ())
+  in
+  let files_arg =
+    let doc = "Lint every ';'-separated statement in this file. Repeatable." in
+    Arg.(value & opt_all file [] & info [ "file"; "f" ] ~docv:"FILE" ~doc)
+  in
+  let dirs_arg =
+    let doc = "Lint every *.sql file in this directory. Repeatable." in
+    Arg.(value & opt_all dir [] & info [ "dir"; "d" ] ~docv:"DIR" ~doc)
+  in
+  let fuzz_seed_arg =
+    let doc =
+      "Instead of SQL inputs, sweep the rankcheck fuzz corpus starting at \
+       this seed: every MEMO-retained plan of every generated case is \
+       linted (nothing is executed)."
+    in
+    Arg.(value & opt (some int) None & info [ "fuzz-seed" ] ~docv:"SEED" ~doc)
+  in
+  let fuzz_cases_arg =
+    let doc = "Number of fuzz cases to sweep (with --fuzz-seed)." in
+    Arg.(value & opt int 100 & info [ "fuzz-cases" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit machine-readable JSON diagnostics instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let sqls_arg =
+    let doc = "SQL statement(s) to lint." in
+    Arg.(value & pos_all string [] & info [] ~docv:"SQL" ~doc)
+  in
+  let doc =
+    "Statically analyze plans with the planlint rule catalog (PL01..PL10): \
+     schema/type soundness, order and pipelining properties, logical-to- \
+     physical filter preservation, k-propagation and depth-bound sanity, \
+     cost monotonicity, memo hygiene and top-k shape. Lints the optimizer's \
+     chosen plan and (in emit mode) every MEMO-retained subplan; exits \
+     nonzero on any error-severity diagnostic."
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      ret
+        (const run $ verbose_arg $ tables_arg $ seed_arg $ pool_arg
+       $ traditional_arg $ from_arg $ files_arg $ dirs_arg $ fuzz_seed_arg
+       $ fuzz_cases_arg $ json_arg $ sqls_arg))
+
 let main_cmd =
   let doc = "rank-aware top-k query engine (SIGMOD 2004 reproduction)" in
   let info = Cmd.info "rankopt" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ query_cmd; explain_cmd; analyze_cmd; repl_cmd; serve_cmd; client_cmd; fuzz_cmd ]
+    [
+      query_cmd; explain_cmd; analyze_cmd; repl_cmd; serve_cmd; client_cmd;
+      fuzz_cmd; lint_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

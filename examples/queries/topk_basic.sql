@@ -1,0 +1,20 @@
+-- Two-relation top-k joins: the paper's bread-and-butter shapes.
+-- `make lint` runs `rankopt lint --dir examples/queries` over this corpus.
+
+SELECT A.id, B.id FROM A, B WHERE A.key = B.key
+ORDER BY 0.3*A.score + 0.7*B.score DESC LIMIT 5;
+
+-- Equal weights, larger k.
+SELECT A.id, B.id FROM A, B WHERE A.key = B.key
+ORDER BY A.score + B.score DESC LIMIT 50;
+
+-- Skewed weights with a selection pushed onto one input.
+SELECT A.id, B.id FROM A, B
+WHERE A.key = B.key AND A.score >= 0.25
+ORDER BY 0.9*A.score + 0.1*B.score DESC LIMIT 10;
+
+-- Single-relation top-k: index scan or sort, no rank join.
+SELECT id, score FROM A ORDER BY A.score DESC LIMIT 7;
+
+-- Selection under the limit.
+SELECT id FROM B WHERE B.score >= 0.8 ORDER BY B.score DESC LIMIT 12;

@@ -1,0 +1,18 @@
+-- Three-relation star queries on the shared key: exercises the n-ary rank
+-- join (one threshold over all inputs) against binary HRJN pipelines.
+
+SELECT A.id, B.id, C.id FROM A, B, C
+WHERE A.key = B.key AND B.key = C.key
+ORDER BY A.score + B.score + C.score DESC LIMIT 5;
+
+-- Weighted, with the pairwise predicates spelled around the star.
+SELECT A.id, C.id FROM A, B, C
+WHERE A.key = B.key AND A.key = C.key
+ORDER BY 0.5*A.score + 0.2*B.score + 0.3*C.score DESC LIMIT 20;
+
+-- The SQL99 WITH / rank() spelling normalizes to the same template.
+WITH Ranked AS (
+  SELECT A.id AS x, C.id AS y,
+         rank() OVER (ORDER BY 0.6*A.score + 0.4*C.score DESC) AS rank
+  FROM A, C WHERE A.key = C.key)
+SELECT x, y, rank FROM Ranked WHERE rank <= 8;

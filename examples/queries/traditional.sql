@@ -1,0 +1,9 @@
+-- Unranked statements: join-then-filter shapes with no Top-k operator —
+-- the lint catalog still checks schema, order, pipelining, filter
+-- preservation and cost monotonicity on these.
+
+SELECT A.id, B.id FROM A, B WHERE A.key = B.key AND A.score >= 0.5;
+
+SELECT id, key FROM A WHERE A.score >= 0.9;
+
+SELECT A.id FROM A, B WHERE A.key = B.key AND B.score >= 0.75 AND A.score >= 0.1;

@@ -657,11 +657,14 @@ let check_case case : (int, string * string option) result =
                 | [] -> Ok n
                 | plan :: rest -> (
                     let desc = Some (Core.Plan.describe plan) in
-                    match Core.Plan_verify.check catalog plan with
-                    | Error msg -> Error ("plan_verify: " ^ msg, desc)
+                    match
+                      Lint.Engine.errors
+                        (Lint.Engine.lint_plan ~query ~env catalog plan)
+                    with
+                    | d :: _ -> Error ("planlint: " ^ Lint.Diag.to_string d, desc)
                     | exception e ->
-                        Error ("plan_verify raised: " ^ Printexc.to_string e, desc)
-                    | Ok () -> (
+                        Error ("planlint raised: " ^ Printexc.to_string e, desc)
+                    | [] -> (
                         match Core.Executor.run catalog plan with
                         | exception e ->
                             Error ("execution raised: " ^ Printexc.to_string e, desc)
@@ -843,6 +846,86 @@ let run ?(progress = fun _ -> ()) ~seed ~cases () =
   { o_cases = cases; o_plans = !plans; o_failures = List.rev !failures }
 
 (* ------------------------------------------------------------------ *)
+(* Lint-only mode: static sweep, no execution                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Optimize the case with emit-time linting on (every subplan the MEMO
+   retains is checked as it is stored), then run the full catalog over each
+   finished plan and over the optimizer's chosen statement — without
+   executing anything. [Ok n]: [n] plans linted with zero diagnostics. *)
+let lint_case case : (int, string * string option) result =
+  let catalog = build_catalog case in
+  match Sqlfront.Binder.bind_result catalog case.c_query with
+  | Error e -> Error (e, None)
+  | exception e -> Error ("bind raised: " ^ Printexc.to_string e, None)
+  | Ok bound -> (
+      let query = bound.Sqlfront.Binder.logical in
+      let k = Option.value ~default:1 query.Core.Logical.k in
+      let env = Core.Cost_model.default_env ~k_min:(min k 1000) catalog query in
+      Lint.Engine.Emit.reset ();
+      Lint.Engine.Emit.enable ();
+      let result =
+        try
+          let plans = enumerate_plans env query in
+          let planned = Core.Optimizer.optimize ~env catalog query in
+          let per_plan =
+            List.find_map
+              (fun plan ->
+                match
+                  Lint.Engine.errors
+                    (Lint.Engine.lint_plan ~query ~env catalog plan)
+                with
+                | [] -> None
+                | d :: _ -> Some (d, Some (Core.Plan.describe plan)))
+              plans
+          in
+          let statement =
+            match Lint.Engine.errors (Lint.Engine.lint_planned planned) with
+            | [] -> None
+            | d :: _ -> Some (d, Some (Core.Plan.describe planned.Core.Optimizer.plan))
+          in
+          let emitted =
+            match Lint.Engine.errors (Lint.Engine.Emit.diagnostics ()) with
+            | [] -> None
+            | d :: _ -> Some (d, None)
+          in
+          let counted = Lint.Engine.Emit.linted () + List.length plans + 1 in
+          match per_plan, statement, emitted with
+          | Some (d, p), _, _ | None, Some (d, p), _ | None, None, Some (d, p) ->
+              Error ("planlint: " ^ Lint.Diag.to_string d, p)
+          | None, None, None -> Ok counted
+        with e -> Error ("lint sweep raised: " ^ Printexc.to_string e, None)
+      in
+      Lint.Engine.Emit.disable ();
+      result)
+
+let run_case_lint seed =
+  let case = gen_case seed in
+  match lint_case case with
+  | Ok plans -> Ok plans
+  | Error (reason, plan) ->
+      Error
+        {
+          f_seed = seed;
+          f_reason = reason;
+          f_plan = plan;
+          f_case = case;
+          f_replay =
+            Printf.sprintf "rankopt lint --fuzz-seed %d --fuzz-cases 1" seed;
+        }
+
+let run_lint ?(progress = fun _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  let plans = ref 0 in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case_lint (seed + i) with
+    | Ok n -> plans := !plans + n
+    | Error f -> failures := f :: !failures
+  done;
+  { o_cases = cases; o_plans = !plans; o_failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
 (* Server mode: replay through a live server vs direct execution       *)
 (* ------------------------------------------------------------------ *)
 
@@ -951,8 +1034,27 @@ let check_case_server case : (int, string * string option) result =
         replay 0)
       (Ok ()) ks
   in
+  (* PL10 audit: every variant the server's plan cache now holds must pass
+     the planlint cache rule (canonical key, sane k-interval containing the
+     bound k) plus the full catalog on its plan. *)
+  let lint_cache () =
+    let svc = Server.Listener.service listener in
+    List.find_map
+      (fun (key, epoch, prepared) ->
+        match
+          Lint.Engine.errors (Lint.Engine.lint_prepared ~key ~epoch prepared)
+        with
+        | [] ->
+            incr checked;
+            None
+        | dg :: _ -> Some ("planlint cache: " ^ Lint.Diag.to_string dg))
+      (Server.Service.cache_entries svc)
+  in
   match result with
-  | Ok () -> Ok !checked
+  | Ok () -> (
+      match lint_cache () with
+      | None -> Ok !checked
+      | Some reason -> Error (reason, None))
   | Error reason -> Error (reason, None)
 
 let run_case_server seed =

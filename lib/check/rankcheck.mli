@@ -7,7 +7,8 @@
     orders, HRJN/NRJN variants, across enumerator configurations — executes
     each one, and asserts:
 
-    - {!Core.Plan_verify.check} passes on every plan;
+    - the planlint structural and estimate rules ({!Lint.Engine.lint_plan})
+      report no errors on any plan;
     - the plan's top-k score multiset equals the oracle's;
     - no rank join reads past an exhausted-empty input, and every observed
       input depth stays within the Theorem-2 depth model (with slack for
@@ -69,6 +70,24 @@ val run : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
     with the 0-based case index before each case. *)
 
 val pp_failure : Format.formatter -> failure -> unit
+
+(** {2 Lint-only mode}
+
+    Static sweep: optimizes each case with the emit-time lint mode enabled
+    (every MEMO-retained subplan is checked as it is stored), then runs the
+    full planlint catalog over every finished plan and the optimizer's
+    chosen statement — nothing is executed. This is what
+    [rankopt lint --fuzz-seed] and [make lint] drive. *)
+
+val lint_case : case -> (int, string * string option) result
+(** [Ok n]: [n] plans linted with zero diagnostics. *)
+
+val run_case_lint : int -> (int, failure) result
+(** [lint_case] on [gen_case seed] (no shrinking — lint failures are
+    already localized by the diagnostic's plan path). *)
+
+val run_lint : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
+(** Like {!run}, but [o_plans] counts plans linted. *)
 
 (** {2 Server mode}
 

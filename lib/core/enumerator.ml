@@ -182,6 +182,13 @@ let join_candidates env config query ~left_names ~right_names ~right_singleton
   end;
   !candidates
 
+(* Observation hook: called for every subplan the MEMO retains (after
+   pruning), with its entry key. The planlint emit-time assertion mode
+   registers here; the default is a no-op. A ref keeps the dependency
+   arrow pointing from the lint library into core, not the reverse. *)
+let retain_hook : (Cost_model.env -> key:int -> Memo.subplan -> unit) ref =
+  ref (fun _ ~key:_ _ -> ())
+
 let run ?(config = default_config) env =
   let query = env.Cost_model.query in
   let rels = relation_array env in
@@ -189,7 +196,9 @@ let run ?(config = default_config) env =
   let interesting = Interesting_orders.derive ~rank_aware:config.rank_aware query in
   let memo = Memo.create () in
   let add key plan =
-    ignore (Memo.add memo env ~first_rows:config.first_rows ~key (Memo.subplan_of env plan))
+    let sp = Memo.subplan_of env plan in
+    if Memo.add memo env ~first_rows:config.first_rows ~key sp then
+      !retain_hook env ~key sp
   in
   (* Level 1: access paths. *)
   Array.iteri

@@ -35,6 +35,11 @@ type result = {
   interesting : Interesting_orders.interesting_order list;
 }
 
+val retain_hook : (Cost_model.env -> key:int -> Memo.subplan -> unit) ref
+(** Called for every subplan the MEMO retains (post-pruning), with its entry
+    key. Defaults to a no-op; the planlint emit-time assertion mode installs
+    itself here so every retained plan is linted as it is memoized. *)
+
 val run : ?config:config -> Cost_model.env -> result
 (** Enumerate plans for [env.query] over [env.catalog]. *)
 

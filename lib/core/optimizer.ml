@@ -104,6 +104,10 @@ let k_validity_of env (result : Enumerator.result) (chosen : Memo.subplan) =
           in
           { k_lo = lo; k_hi = hi }
 
+(* Observation hook: called with every statement [optimize] finishes
+   planning. The planlint emit-time assertion mode registers here. *)
+let planned_hook : (planned -> unit) ref = ref (fun _ -> ())
+
 let optimize ?(config = Enumerator.default_config) ?env catalog query =
   let env =
     match env with
@@ -127,15 +131,19 @@ let optimize ?(config = Enumerator.default_config) ?env catalog query =
           m "chose %s (cost %.1f, %s)" (Plan.describe sp.Memo.plan)
             sp.Memo.est.Cost_model.total_cost
             (if Plan.has_rank_join sp.Memo.plan then "rank-aware" else "traditional"));
-      {
-        query;
-        plan = sp.Memo.plan;
-        est = sp.Memo.est;
-        stats = result.Enumerator.stats;
-        interesting = result.Enumerator.interesting;
-        env;
-        k_validity = k_validity_of env result sp;
-      }
+      let p =
+        {
+          query;
+          plan = sp.Memo.plan;
+          est = sp.Memo.est;
+          stats = result.Enumerator.stats;
+          interesting = result.Enumerator.interesting;
+          env;
+          k_validity = k_validity_of env result sp;
+        }
+      in
+      !planned_hook p;
+      p
 
 let rebind_k planned k =
   if k <= 0 then invalid_arg "Optimizer.rebind_k: k must be positive";

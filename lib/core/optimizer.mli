@@ -23,6 +23,10 @@ type planned = {
           the plan cache's reuse condition for rebinding [k]. *)
 }
 
+val planned_hook : (planned -> unit) ref
+(** Called with every statement [optimize] finishes planning. Defaults to a
+    no-op; the planlint emit-time assertion mode installs itself here. *)
+
 val optimize :
   ?config:Enumerator.config ->
   ?env:Cost_model.env ->

@@ -47,6 +47,10 @@ type t =
 
 val order_equal : order -> order -> bool
 
+val combined_score : Expr.t option -> Expr.t option -> Expr.t option
+(** The score a rank join emits: the sum of whichever side scores exist
+    ([None] when neither side is scored). *)
+
 val order_satisfies : have:order option -> want:order option -> bool
 (** [true] when a plan producing [have] can serve where [want] is required
     ([want = None] is satisfied by anything). *)

@@ -1,138 +1,16 @@
-open Relalg
+(* Compatibility shim: the structural plan checks that used to live here
+   are now rules PL01/PL02 of the planlint catalog (lib/lint). Core cannot
+   depend on lint, so the engine registers its checker through a ref at
+   link time; until then [check] reports that no engine is linked rather
+   than silently passing. *)
 
-let ( let* ) = Result.bind
+let engine : (Storage.Catalog.t -> Plan.t -> (unit, string) result) ref =
+  ref (fun _ _ ->
+      Error "planlint engine not linked (add lint to the link closure)")
 
-let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+let register f = engine := f
 
-let rec check catalog plan =
-  match plan with
-  | Plan.Table_scan { table } -> (
-      match Storage.Catalog.find_table catalog table with
-      | Some _ -> Ok ()
-      | None -> err "unknown table %s" table)
-  | Plan.Index_scan { table; index; key; _ } -> (
-      match Storage.Catalog.find_table catalog table with
-      | None -> err "unknown table %s" table
-      | Some info -> (
-          match
-            List.find_opt
-              (fun ix -> String.equal ix.Storage.Catalog.ix_name index)
-              info.Storage.Catalog.tb_indexes
-          with
-          | None -> err "unknown index %s on %s" index table
-          | Some ix ->
-              if Expr.equal ix.Storage.Catalog.ix_key key then Ok ()
-              else err "index %s key mismatch" index))
-  | Plan.Filter { pred; input } ->
-      let* () = check catalog input in
-      if Expr.bound_by (Plan.schema_of catalog input) pred then Ok ()
-      else err "filter predicate %s unbound" (Expr.to_string pred)
-  | Plan.Sort { order; input } ->
-      let* () = check catalog input in
-      if Expr.bound_by (Plan.schema_of catalog input) order.Plan.expr then Ok ()
-      else err "sort key %s unbound" (Expr.to_string order.Plan.expr)
-  | Plan.Top_k { k; input } ->
-      let* () = check catalog input in
-      if k >= 0 then Ok () else err "negative k"
-  | Plan.Join { algo; cond; left; right; left_score; right_score } ->
-      let* () = check catalog left in
-      let* () = check catalog right in
-      let ls = Plan.schema_of catalog left and rs = Plan.schema_of catalog right in
-      let lkey = Expr.col ~relation:cond.Logical.left_table cond.Logical.left_column in
-      let rkey = Expr.col ~relation:cond.Logical.right_table cond.Logical.right_column in
-      let* () =
-        if Expr.bound_by ls lkey then Ok ()
-        else
-          err "join key %s.%s not on the left side" cond.Logical.left_table
-            cond.Logical.left_column
-      in
-      let* () =
-        if Expr.bound_by rs rkey then Ok ()
-        else
-          err "join key %s.%s not on the right side" cond.Logical.right_table
-            cond.Logical.right_column
-      in
-      let ordered_desc side_schema side score =
-        match score with
-        | None -> err "%s rank-join input lacks a score expression" side
-        | Some e ->
-            if not (Expr.bound_by side_schema e) then
-              err "%s score %s unbound" side (Expr.to_string e)
-            else Ok ()
-      in
-      let produces_desc input score =
-        match score, Plan.order_of input with
-        | Some e, Some o ->
-            o.Plan.direction = Interesting_orders.Desc && Expr.equal o.Plan.expr e
-        | _ -> false
-      in
-      (match algo with
-      | Plan.Hrjn ->
-          let* () = ordered_desc ls "left" left_score in
-          let* () = ordered_desc rs "right" right_score in
-          let* () =
-            if produces_desc left left_score then Ok ()
-            else err "HRJN left input is not sorted on its score"
-          in
-          if produces_desc right right_score then Ok ()
-          else err "HRJN right input is not sorted on its score"
-      | Plan.Nrjn ->
-          let* () = ordered_desc ls "outer" left_score in
-          if produces_desc left left_score then Ok ()
-          else err "NRJN outer input is not sorted on its score"
-      | Plan.Sort_merge ->
-          let asc key input =
-            match Plan.order_of input with
-            | Some o -> o.Plan.direction = Interesting_orders.Asc && Expr.equal o.Plan.expr key
-            | None -> false
-          in
-          if asc lkey left && asc rkey right then Ok ()
-          else err "sort-merge inputs are not ordered on their join keys"
-      | Plan.Index_nl -> (
-          match Plan.relations right with
-          | [ single ] when String.equal single cond.Logical.right_table -> (
-              match
-                Storage.Catalog.find_index_on_expr catalog
-                  ~table:cond.Logical.right_table rkey
-              with
-              | Some _ -> Ok ()
-              | None -> err "INL join without an index on %s" cond.Logical.right_table)
-          | _ -> err "INL right side must be the single probed relation")
-      | Plan.Nested_loops | Plan.Hash -> Ok ())
-  | Plan.Nary_rank_join { inputs; scores; key; tables } ->
-      if List.length inputs < 2 then err "N-ary rank join needs >= 2 inputs"
-      else if
-        List.length inputs <> List.length scores
-        || List.length inputs <> List.length tables
-      then err "N-ary rank join arity mismatch"
-      else begin
-        let rec check_inputs inputs scores tables =
-          match inputs, scores, tables with
-          | [], [], [] -> Ok ()
-          | input :: is, score :: ss, table :: ts ->
-              let* () = check catalog input in
-              let schema = Plan.schema_of catalog input in
-              let* () =
-                if Expr.bound_by schema (Expr.col ~relation:table key) then Ok ()
-                else err "N-ary join key %s.%s unbound" table key
-              in
-              let* () =
-                if Expr.bound_by schema score then Ok ()
-                else err "N-ary score %s unbound" (Expr.to_string score)
-              in
-              let* () =
-                match Plan.order_of input with
-                | Some o
-                  when o.Plan.direction = Interesting_orders.Desc
-                       && Expr.equal o.Plan.expr score ->
-                    Ok ()
-                | _ -> err "N-ary input is not sorted on its score"
-              in
-              check_inputs is ss ts
-          | _ -> err "N-ary rank join arity mismatch"
-        in
-        check_inputs inputs scores tables
-      end
+let check catalog plan = !engine catalog plan
 
 let check_exn catalog plan =
   match check catalog plan with

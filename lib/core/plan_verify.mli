@@ -1,17 +1,20 @@
-(** Structural well-formedness checks for physical plans.
+(** Structural well-formedness checks for physical plans (compatibility
+    wrapper).
 
-    The enumerator must only ever produce executable plans; these checks make
-    that an explicit, testable invariant (every plan retained in the MEMO is
-    verified in the test suite):
+    The checks themselves moved into the planlint rule catalog
+    ([Lint.Rules], rules PL01-schema and PL02-order): referenced tables and
+    indexes exist, expressions are bound by their input schemas, rank-join
+    and sort-merge inputs produce the orders the operator needs, INL right
+    sides are single indexed relations. This module keeps the historical
+    [check]/[check_exn] entry points for existing call sites; the lint
+    engine {!register}s itself here at link time. Prefer calling
+    [Lint.Engine.lint_plan] directly in new code — it returns the full
+    diagnostic list instead of just the first failure. *)
 
-    - referenced tables and indexes exist in the catalog;
-    - join conditions mention columns present on the matching side;
-    - rank joins carry score expressions bound by their inputs, and their
-      inputs produce the required descending orders;
-    - sort-merge inputs produce ascending orders on their join keys;
-    - index-nested-loops right sides are single base relations with an index
-      on the join column;
-    - expressions in filters/sorts are bound by their input schemas. *)
+val register : (Storage.Catalog.t -> Plan.t -> (unit, string) result) -> unit
+(** Install the invariant engine. Called by [Lint.Engine] at module
+    initialization; without a registered engine [check] returns an
+    explanatory [Error]. *)
 
 val check : Storage.Catalog.t -> Plan.t -> (unit, string) result
 

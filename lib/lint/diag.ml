@@ -1,0 +1,66 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  path : string;
+  message : string;
+  hint : string option;
+}
+
+let make ~rule ?(severity = Error) ?hint ~path message =
+  { rule; severity; path; message; hint }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let is_error d = d.severity = Error
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let sort ds =
+  List.stable_sort (fun a b -> compare (severity_rank a.severity) (severity_rank b.severity)) ds
+
+let pp fmt d =
+  Format.fprintf fmt "%s %s %s: %s" (severity_name d.severity) d.rule d.path
+    d.message;
+  match d.hint with
+  | Some h -> Format.fprintf fmt " (hint: %s)" h
+  | None -> ()
+
+let to_string d = Format.asprintf "%a" pp d
+
+(* Hand-rolled JSON: the toolchain has no JSON library baked in and the
+   diagnostic payload is flat strings. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let hint =
+    match d.hint with
+    | Some h -> Printf.sprintf ",\"hint\":\"%s\"" (json_escape h)
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"severity\":\"%s\",\"path\":\"%s\",\"message\":\"%s\"%s}"
+    (json_escape d.rule)
+    (severity_name d.severity)
+    (json_escape d.path) (json_escape d.message) hint
+
+let list_to_json ds =
+  "[" ^ String.concat "," (List.map to_json ds) ^ "]"

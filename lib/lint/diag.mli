@@ -1,0 +1,38 @@
+(** Planlint diagnostics.
+
+    Every rule violation is reported as a structured diagnostic: the rule
+    that fired, a severity, the path of the offending node inside the plan
+    (or memo entry / cache key), a human message and an optional fix hint.
+    Diagnostics render both as one-line text (CLI, test failures) and as
+    machine-readable JSON (tooling, CI artifacts). *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;  (** Rule id, e.g. ["PL02-order"]. *)
+  severity : severity;
+  path : string;  (** Node path, e.g. ["plan:root/left/input"]. *)
+  message : string;
+  hint : string option;  (** Suggested fix, when the rule knows one. *)
+}
+
+val make : rule:string -> ?severity:severity -> ?hint:string -> path:string -> string -> t
+(** [severity] defaults to [Error]. *)
+
+val severity_name : severity -> string
+
+val is_error : t -> bool
+
+val sort : t list -> t list
+(** Errors first, then warnings, then infos; stable within a severity. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: [error PL02-order plan:root: message (hint: ...)]. *)
+
+val to_string : t -> string
+
+val to_json : t -> string
+(** One JSON object; all strings escaped. *)
+
+val list_to_json : t list -> string
+(** A JSON array of {!to_json} objects. *)

@@ -1,0 +1,932 @@
+open Relalg
+module Plan = Core.Plan
+module Logical = Core.Logical
+module Cost_model = Core.Cost_model
+module Memo = Core.Memo
+module Propagate = Core.Propagate
+module Depth_model = Core.Depth_model
+module Io = Core.Interesting_orders
+
+let catalog =
+  [
+    ("PL01-schema", "expressions are bound and well-typed at every operator boundary");
+    ("PL02-order", "a claimed interesting order is justified by inputs + semantics");
+    ("PL03-pipeline", "pipelining flags match the recomputed streaming property");
+    ("PL04-filter", "every logical filter and join predicate survives into the physical plan");
+    ("PL05-kprop", "propagated k requirements and depths are sane and monotone in k");
+    ("PL06-depth", "rank-join depth estimates lie in [1, input cardinality], monotone in k");
+    ("PL07-cost", "cost estimates are finite, monotone in x, and dominate consumed inputs");
+    ("PL08-memo", "memo entries are valid masks and retained property bits match recomputation");
+    ("PL09-topk", "a ranking plan is one Top-k over a justified scoring order; k-interval is sane");
+    ("PL10-cache", "plan-cache keys are canonical and bound k lies in the variant's interval");
+  ]
+
+let d rule ?hint path fmt = Printf.ksprintf (fun m -> Diag.make ~rule ?hint ~path m) fmt
+
+(* Relative-plus-absolute tolerance for float comparisons: estimates are
+   recomputed through the same code paths, so anything beyond rounding noise
+   is a real inconsistency. *)
+let tol x = 1e-6 *. (1.0 +. Float.abs x)
+
+let ge a b = a >= b -. tol b
+let approx a b = Float.abs (a -. b) <= tol b
+let bad_float x = Float.is_nan x
+
+(* ------------------------------------------------------------------ *)
+(* PL01-schema *)
+
+let rule01 = "PL01-schema"
+
+let check_bound_typed ~path ~what kind schema expr =
+  let checker =
+    match kind with `Pred -> Walk.check_predicate | `Num -> Walk.check_numeric
+  in
+  match schema with
+  | None -> [] (* input schema underivable: already reported at the scan *)
+  | Some s -> (
+      match checker s expr with
+      | Ok () -> []
+      | Error msg -> [ d rule01 path "%s: %s" what msg ])
+
+let schema_node catalog (f : Walk.facts) =
+  let path = f.Walk.path in
+  let child i = List.nth_opt f.Walk.children i in
+  let child_schema i = Option.bind (child i) (fun c -> c.Walk.schema) in
+  match f.Walk.plan with
+  | Plan.Table_scan { table } -> (
+      match Storage.Catalog.find_table catalog table with
+      | Some _ -> []
+      | None -> [ d rule01 path "unknown table %s" table ])
+  | Plan.Index_scan { table; index; key; _ } -> (
+      match Storage.Catalog.find_table catalog table with
+      | None -> [ d rule01 path "unknown table %s" table ]
+      | Some info -> (
+          match
+            List.find_opt
+              (fun ix -> String.equal ix.Storage.Catalog.ix_name index)
+              info.Storage.Catalog.tb_indexes
+          with
+          | None -> [ d rule01 path "unknown index %s on %s" index table ]
+          | Some ix ->
+              if Expr.equal ix.Storage.Catalog.ix_key key then []
+              else
+                [
+                  d rule01 path
+                    ~hint:"scan key must be the index's key expression"
+                    "index %s key mismatch: scan claims %s, index is on %s"
+                    index (Expr.to_string key)
+                    (Expr.to_string ix.Storage.Catalog.ix_key);
+                ]))
+  | Plan.Filter { pred; _ } ->
+      check_bound_typed ~path ~what:"filter predicate" `Pred (child_schema 0) pred
+  | Plan.Sort { order; _ } -> (
+      (* sort keys may be any well-typed expression (string merge keys are
+         legal); scores are checked numeric where they are used as scores *)
+      match child_schema 0 with
+      | None -> []
+      | Some s -> (
+          match Walk.type_of s order.Plan.expr with
+          | Ok _ -> []
+          | Error msg -> [ d rule01 path "sort key: %s" msg ]))
+  | Plan.Top_k { k; _ } ->
+      if k >= 0 then [] else [ d rule01 path "negative k (%d)" k ]
+  | Plan.Join { algo; cond; left_score; right_score; _ } ->
+      let lkey = Expr.col ~relation:cond.Logical.left_table cond.Logical.left_column in
+      let rkey = Expr.col ~relation:cond.Logical.right_table cond.Logical.right_column in
+      let side_key side schema key (table, column) =
+        match schema with
+        | None -> []
+        | Some s ->
+            if Expr.bound_by s key then []
+            else
+              [
+                d rule01 path "join key %s.%s not on the %s side" table column
+                  side;
+              ]
+      in
+      let score side schema = function
+        | None -> []
+        | Some e ->
+            check_bound_typed ~path
+              ~what:(side ^ " score expression")
+              `Num schema e
+      in
+      side_key "left" (child_schema 0) lkey
+        (cond.Logical.left_table, cond.Logical.left_column)
+      @ side_key "right" (child_schema 1) rkey
+          (cond.Logical.right_table, cond.Logical.right_column)
+      @ score "left" (child_schema 0) left_score
+      @ score "right" (child_schema 1) right_score
+      @
+      (match algo with
+      | Plan.Index_nl -> (
+          match child 1 with
+          | None -> []
+          | Some r -> (
+              match Plan.relations r.Walk.plan with
+              | [ single ] when String.equal single cond.Logical.right_table -> (
+                  match
+                    Storage.Catalog.find_index_on_expr catalog
+                      ~table:cond.Logical.right_table rkey
+                  with
+                  | Some _ -> []
+                  | None ->
+                      [
+                        d rule01 path "INL join without an index on %s.%s"
+                          cond.Logical.right_table cond.Logical.right_column;
+                      ])
+              | _ ->
+                  [
+                    d rule01 path
+                      "INL right side must be the single probed relation %s"
+                      cond.Logical.right_table;
+                  ]))
+      | _ -> [])
+  | Plan.Nary_rank_join { inputs; scores; key; tables } ->
+      if List.length inputs < 2 then
+        [ d rule01 path "N-ary rank join needs >= 2 inputs" ]
+      else if
+        List.length inputs <> List.length scores
+        || List.length inputs <> List.length tables
+      then [ d rule01 path "N-ary rank join arity mismatch" ]
+      else
+        List.concat
+          (List.mapi
+             (fun i (score, table) ->
+               let schema = child_schema i in
+               let keycol = Expr.col ~relation:table key in
+               (match schema with
+               | Some s when not (Expr.bound_by s keycol) ->
+                   [ d rule01 path "N-ary join key %s.%s unbound" table key ]
+               | _ -> [])
+               @ check_bound_typed ~path
+                   ~what:(Printf.sprintf "N-ary score %d" i)
+                   `Num schema score)
+             (List.combine scores tables))
+
+let schema_rule catalog facts =
+  Walk.fold (fun acc f -> acc @ schema_node catalog f) [] facts
+
+(* ------------------------------------------------------------------ *)
+(* PL02-order *)
+
+let rule02 = "PL02-order"
+
+let order_node (f : Walk.facts) =
+  let path = f.Walk.path in
+  let missing_scores =
+    match f.Walk.plan with
+    | Plan.Join { algo = Plan.Hrjn; left_score; right_score; _ } ->
+        (match left_score with
+        | None -> [ d rule02 path "HRJN left input lacks a score expression" ]
+        | Some _ -> [])
+        @
+        (match right_score with
+        | None -> [ d rule02 path "HRJN right input lacks a score expression" ]
+        | Some _ -> [])
+    | Plan.Join { algo = Plan.Nrjn; left_score = None; _ } ->
+        [ d rule02 path "NRJN outer input lacks a score expression" ]
+    | _ -> []
+  in
+  let claim =
+    match Plan.order_of f.Walk.plan with
+    | None -> []
+    | Some o -> (
+        match f.Walk.produced with
+        | Some p when Plan.order_equal p o -> []
+        | _ ->
+            [
+              d rule02 path
+                ~hint:
+                  "the inputs do not arrive in the order this operator needs \
+                   to produce its claim"
+                "%s claims order %s %s it cannot justify"
+                (Plan.describe f.Walk.plan)
+                (Expr.to_string o.Plan.expr)
+                (match o.Plan.direction with Io.Asc -> "ASC" | Io.Desc -> "DESC");
+            ])
+  in
+  missing_scores @ claim
+
+let order_rule facts = Walk.fold (fun acc f -> acc @ order_node f) [] facts
+
+(* ------------------------------------------------------------------ *)
+(* PL03-pipeline *)
+
+let rule03 = "PL03-pipeline"
+
+let pipeline_rule ?stored facts =
+  let per_node =
+    Walk.fold
+      (fun acc (f : Walk.facts) ->
+        let claimed = Plan.pipelined f.Walk.plan in
+        if claimed = f.Walk.streaming then acc
+        else
+          acc
+          @ [
+              d rule03 f.Walk.path
+                "%s is marked %s but a recomputation says %s"
+                (Plan.describe f.Walk.plan)
+                (if claimed then "pipelined" else "blocking")
+                (if f.Walk.streaming then "pipelined" else "blocking");
+            ])
+      [] facts
+  in
+  per_node
+  @
+  match stored with
+  | Some bit when bit <> facts.Walk.streaming ->
+      [
+        d rule03 facts.Walk.path
+          ~hint:"the MEMO property bit disagrees with the plan shape"
+          "stored pipelining bit is %b but the plan is %s" bit
+          (if facts.Walk.streaming then "pipelined" else "blocking");
+      ]
+  | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* PL04-filter *)
+
+let rule04 = "PL04-filter"
+
+let rec conjuncts = function
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+(* Everything the physical plan applies: filter conjuncts, binary join
+   conditions, and N-ary shared keys (which imply all pairwise equalities
+   among their member tables). *)
+type applied = {
+  filters : Expr.t list;
+  join_conds : Logical.join_pred list;
+  nary : (string * string list) list;  (* shared key, member tables *)
+}
+
+let applied_of facts =
+  Walk.fold
+    (fun acc (f : Walk.facts) ->
+      match f.Walk.plan with
+      | Plan.Filter { pred; _ } ->
+          { acc with filters = conjuncts pred @ acc.filters }
+      | Plan.Join { cond; _ } -> { acc with join_conds = cond :: acc.join_conds }
+      | Plan.Nary_rank_join { key; tables; _ } ->
+          { acc with nary = (key, tables) :: acc.nary }
+      | _ -> acc)
+    { filters = []; join_conds = []; nary = [] }
+    facts
+
+let same_pred (a : Logical.join_pred) (b : Logical.join_pred) =
+  (String.equal a.Logical.left_table b.Logical.left_table
+  && String.equal a.Logical.left_column b.Logical.left_column
+  && String.equal a.Logical.right_table b.Logical.right_table
+  && String.equal a.Logical.right_column b.Logical.right_column)
+  || String.equal a.Logical.left_table b.Logical.right_table
+     && String.equal a.Logical.left_column b.Logical.right_column
+     && String.equal a.Logical.right_table b.Logical.left_table
+     && String.equal a.Logical.right_column b.Logical.left_column
+
+(* A residual join predicate shows up as the filter conjunct
+   [l.c1 = r.c2] (either orientation). *)
+let filter_implements (j : Logical.join_pred) = function
+  | Expr.Cmp
+      ( Expr.Eq,
+        Expr.Col { relation = Some at; name = ac },
+        Expr.Col { relation = Some bt; name = bc } ) ->
+      same_pred j
+        {
+          Logical.left_table = at;
+          left_column = ac;
+          right_table = bt;
+          right_column = bc;
+        }
+  | _ -> false
+
+let nary_implements (j : Logical.join_pred) (key, tables) =
+  String.equal j.Logical.left_column key
+  && String.equal j.Logical.right_column key
+  && List.exists (String.equal j.Logical.left_table) tables
+  && List.exists (String.equal j.Logical.right_table) tables
+
+let filter_rule ~query facts =
+  let applied = applied_of facts in
+  let covered = Plan.relations facts.Walk.plan in
+  let has r = List.exists (String.equal r) covered in
+  let path = facts.Walk.path in
+  let missing_filters =
+    List.concat_map
+      (fun (b : Logical.base) ->
+        match b.Logical.filter with
+        | Some pred when has b.Logical.name ->
+            List.filter_map
+              (fun c ->
+                if List.exists (Expr.equal c) applied.filters then None
+                else
+                  Some
+                    (d rule04 path
+                       ~hint:
+                         "the access path or join dropped a selection the \
+                          query requires"
+                       "filter %s on %s is not applied anywhere in the plan"
+                       (Expr.to_string c) b.Logical.name))
+              (conjuncts pred)
+        | _ -> [])
+      query.Logical.relations
+  in
+  let missing_joins =
+    List.filter_map
+      (fun (j : Logical.join_pred) ->
+        if not (has j.Logical.left_table && has j.Logical.right_table) then None
+        else if
+          List.exists (same_pred j) applied.join_conds
+          || List.exists (filter_implements j) applied.filters
+          || List.exists (nary_implements j) applied.nary
+        then None
+        else
+          Some
+            (d rule04 path
+               "join predicate %s.%s = %s.%s is not applied anywhere in the \
+                plan"
+               j.Logical.left_table j.Logical.left_column j.Logical.right_table
+               j.Logical.right_column))
+      query.Logical.joins
+  in
+  missing_filters @ missing_joins
+
+(* ------------------------------------------------------------------ *)
+(* PL05-kprop *)
+
+let rule05 = "PL05-kprop"
+
+(* Shared by PL05 and PL06: bound checks on one rank join's depth pair. *)
+let check_depths_at ~rule ~path ~card_left ~card_right
+    (depths : Depth_model.depths) =
+  let side name dv card =
+    if bad_float dv || dv = Float.infinity then
+      [ d rule path "%s depth is not finite (%g)" name dv ]
+    else if dv < 1.0 -. tol 1.0 then
+      [ d rule path "%s depth %g is below 1" name dv ]
+    else if not (ge (Float.max 1.0 card) dv) then
+      [
+        d rule path
+          ~hint:"an operator cannot read more tuples than its input holds"
+          "%s depth %g exceeds input cardinality %g" name dv card;
+      ]
+    else []
+  in
+  side "left" depths.Depth_model.d_left card_left
+  @ side "right" depths.Depth_model.d_right card_right
+
+let check_propagation env ~k (ann : Propagate.annotation) =
+  let root_required = float_of_int (max 1 k) in
+  let root =
+    if approx ann.Propagate.required root_required then []
+    else
+      [
+        d rule05 "prop:root" "root requirement is %g, expected %g"
+          ann.Propagate.required root_required;
+      ]
+  in
+  let rec go path (a : Propagate.annotation) =
+    let here =
+      (if bad_float a.Propagate.required then
+         [ d rule05 path "requirement is NaN" ]
+       else if a.Propagate.required < 0.0 then
+         [ d rule05 path "requirement is negative (%g)" a.Propagate.required ]
+       else [])
+      @
+      match (a.Propagate.depths, a.Propagate.node) with
+      | Some depths, Plan.Join { left; right; _ } ->
+          let card p = (Cost_model.estimate env p).Cost_model.rows in
+          check_depths_at ~rule:rule05 ~path ~card_left:(card left)
+            ~card_right:(card right) depths
+      | _ -> []
+    in
+    here
+    @ List.concat
+        (List.mapi
+           (fun i c -> go (Printf.sprintf "%s/%d" path i) c)
+           a.Propagate.children)
+  in
+  root @ go "prop:root" ann
+
+let rec zip_monotone path (a : Propagate.annotation) (b : Propagate.annotation)
+    =
+  let here =
+    (if ge b.Propagate.required a.Propagate.required then []
+     else
+       [
+         d rule05 path
+           "requirement shrinks as k grows: %g at k, %g at 2k"
+           a.Propagate.required b.Propagate.required;
+       ])
+    @
+    match (a.Propagate.depths, b.Propagate.depths) with
+    | Some da, Some db ->
+        (if ge db.Depth_model.d_left da.Depth_model.d_left then []
+         else
+           [
+             d rule05 path "left depth shrinks as k grows: %g at k, %g at 2k"
+               da.Depth_model.d_left db.Depth_model.d_left;
+           ])
+        @
+        if ge db.Depth_model.d_right da.Depth_model.d_right then []
+        else
+          [
+            d rule05 path "right depth shrinks as k grows: %g at k, %g at 2k"
+              da.Depth_model.d_right db.Depth_model.d_right;
+          ]
+    | _ -> []
+  in
+  here
+  @ List.concat
+      (List.mapi
+         (fun i (ca, cb) -> zip_monotone (Printf.sprintf "%s/%d" path i) ca cb)
+         (List.combine a.Propagate.children b.Propagate.children))
+
+let propagation_rule env ~k plan =
+  let k = max 1 k in
+  let ann = Propagate.run env ~k plan in
+  let ann2 = Propagate.run env ~k:(2 * k) plan in
+  check_propagation env ~k ann @ zip_monotone "prop:root" ann ann2
+
+(* ------------------------------------------------------------------ *)
+(* PL06-depth *)
+
+let rule06 = "PL06-depth"
+
+let check_depths ~path ~card_left ~card_right depths =
+  check_depths_at ~rule:rule06 ~path ~card_left ~card_right depths
+
+let depth_rule env plan =
+  let k1 = float_of_int (max 1 env.Cost_model.k_min) in
+  let rec go path plan =
+    let here =
+      match plan with
+      | Plan.Join { algo = Plan.Hrjn | Plan.Nrjn; cond; left; right; _ } ->
+          let card p = (Cost_model.estimate env p).Cost_model.rows in
+          let at k =
+            Cost_model.rank_join_depths env plan ~k ~cond ~left ~right
+          in
+          let d1 = at k1 and d2 = at (2.0 *. k1) in
+          check_depths ~path ~card_left:(card left) ~card_right:(card right) d1
+          @ check_depths ~path ~card_left:(card left) ~card_right:(card right)
+              d2
+          @ (if ge d2.Depth_model.d_left d1.Depth_model.d_left then []
+             else
+               [
+                 d rule06 path
+                   "left depth shrinks as k grows: %g at k=%g, %g at k=%g"
+                   d1.Depth_model.d_left k1 d2.Depth_model.d_left (2.0 *. k1);
+               ])
+          @
+          if ge d2.Depth_model.d_right d1.Depth_model.d_right then []
+          else
+            [
+              d rule06 path
+                "right depth shrinks as k grows: %g at k=%g, %g at k=%g"
+                d1.Depth_model.d_right k1 d2.Depth_model.d_right (2.0 *. k1);
+            ]
+      | _ -> []
+    in
+    here
+    @ List.concat
+        (List.map
+           (fun (c, seg) -> go (path ^ "/" ^ seg) c)
+           (match plan with
+           | Plan.Table_scan _ | Plan.Index_scan _ -> []
+           | Plan.Filter { input; _ }
+           | Plan.Sort { input; _ }
+           | Plan.Top_k { input; _ } ->
+               [ (input, "input") ]
+           | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
+           | Plan.Nary_rank_join { inputs; _ } ->
+               List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs))
+  in
+  go "plan:root" plan
+
+(* ------------------------------------------------------------------ *)
+(* PL07-cost *)
+
+let rule07 = "PL07-cost"
+
+let check_estimate ~path ?child_floor (est : Cost_model.estimate) =
+  let basic =
+    (if bad_float est.Cost_model.rows || est.Cost_model.rows < 0.0 then
+       [ d rule07 path "estimated rows is %g" est.Cost_model.rows ]
+     else [])
+    @
+    if
+      bad_float est.Cost_model.total_cost
+      || est.Cost_model.total_cost < 0.0
+      || est.Cost_model.total_cost = Float.infinity
+    then [ d rule07 path "total cost is %g" est.Cost_model.total_cost ]
+    else []
+  in
+  if basic <> [] then basic
+  else
+    let rows = Float.max 1.0 est.Cost_model.rows in
+    let samples =
+      [ 1.0; rows /. 4.0; rows /. 2.0; (3.0 *. rows) /. 4.0; rows; 2.0 *. rows ]
+      |> List.map (Float.max 1.0)
+    in
+    let costs = List.map est.Cost_model.cost_at samples in
+    let finite =
+      List.concat
+        (List.map2
+           (fun x c ->
+             if bad_float c || c < 0.0 || c = Float.infinity then
+               [ d rule07 path "cost_at %g is %g" x c ]
+             else [])
+           samples costs)
+    in
+    let rec mono = function
+      | (x1, c1) :: ((x2, c2) :: _ as rest) ->
+          (if ge c2 c1 then []
+           else
+             [
+               d rule07 path
+                 ~hint:"producing more rows can never cost less"
+                 "cost_at is not monotone: cost_at %g = %g but cost_at %g = %g"
+                 x1 c1 x2 c2;
+             ])
+          @ mono rest
+      | _ -> []
+    in
+    let agree =
+      let at_rows = est.Cost_model.cost_at rows in
+      if approx at_rows est.Cost_model.total_cost then []
+      else
+        [
+          d rule07 path
+            "cost_at full output (%g) disagrees with total cost (%g)" at_rows
+            est.Cost_model.total_cost;
+        ]
+    in
+    let floor =
+      match child_floor with
+      | Some f when not (ge est.Cost_model.total_cost f) ->
+          [
+            d rule07 path
+              ~hint:
+                "a full-consumption operator must pay at least its inputs' \
+                 total cost"
+              "total cost %g is below the consumed inputs' cost %g"
+              est.Cost_model.total_cost f;
+          ]
+      | _ -> []
+    in
+    finite @ mono (List.combine samples costs) @ agree @ floor
+
+let cost_rule env plan =
+  let est = Cost_model.estimate env in
+  let rec go path plan =
+    let e = est plan in
+    let rows_leq child what =
+      let ce = est child in
+      if ge (ce.Cost_model.rows *. (1.0 +. 1e-9)) e.Cost_model.rows then []
+      else
+        [
+          d rule07 path "%s emits %g rows, more than its input's %g" what
+            e.Cost_model.rows ce.Cost_model.rows;
+        ]
+    in
+    let here =
+      match plan with
+      | Plan.Table_scan _ | Plan.Index_scan _ -> check_estimate ~path e
+      | Plan.Filter { input; _ } ->
+          check_estimate ~path
+            ~child_floor:(est input).Cost_model.total_cost e
+          @ rows_leq input "filter"
+      | Plan.Sort { input; _ } ->
+          check_estimate ~path
+            ~child_floor:(est input).Cost_model.total_cost e
+          @ rows_leq input "sort"
+      | Plan.Top_k { input; _ } -> check_estimate ~path e @ rows_leq input "Top-k"
+      | Plan.Join { algo; left; right; _ } ->
+          let l = est left and r = est right in
+          let floor =
+            match algo with
+            | Plan.Nested_loops | Plan.Hash | Plan.Sort_merge ->
+                Some (l.Cost_model.total_cost +. r.Cost_model.total_cost)
+            | Plan.Index_nl ->
+                (* probes replace the inner's scan cost; only the outer is
+                   consumed in full *)
+                Some l.Cost_model.total_cost
+            | Plan.Hrjn | Plan.Nrjn -> None (* early-out operators *)
+          in
+          check_estimate ~path ?child_floor:floor e
+          @
+          let cross = l.Cost_model.rows *. r.Cost_model.rows in
+          if ge (cross *. (1.0 +. 1e-9)) e.Cost_model.rows then []
+          else
+            [
+              d rule07 path "join emits %g rows, more than the cross product %g"
+                e.Cost_model.rows cross;
+            ]
+      | Plan.Nary_rank_join _ -> check_estimate ~path e
+    in
+    here
+    @ List.concat
+        (List.map
+           (fun (c, seg) -> go (path ^ "/" ^ seg) c)
+           (match plan with
+           | Plan.Table_scan _ | Plan.Index_scan _ -> []
+           | Plan.Filter { input; _ }
+           | Plan.Sort { input; _ }
+           | Plan.Top_k { input; _ } ->
+               [ (input, "input") ]
+           | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
+           | Plan.Nary_rank_join { inputs; _ } ->
+               List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs))
+  in
+  go "plan:root" plan
+
+(* ------------------------------------------------------------------ *)
+(* PL08-memo *)
+
+let rule08 = "PL08-memo"
+
+let order_opt_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> Plan.order_equal a b
+  | _ -> false
+
+let subplan_rule env ?key (sp : Memo.subplan) =
+  let path = Printf.sprintf "memo:%s" (Plan.describe sp.Memo.plan) in
+  let mask_check =
+    match key with
+    | None -> []
+    | Some key ->
+        let mask =
+          Core.Enumerator.relation_mask env (Plan.relations sp.Memo.plan)
+        in
+        if mask = key then []
+        else
+          [
+            d rule08 path
+              "entry key %#x does not match the plan's relation mask %#x" key
+              mask;
+          ]
+  in
+  let order_check =
+    if order_opt_equal sp.Memo.order (Plan.order_of sp.Memo.plan) then []
+    else
+      [
+        d rule08 path
+          ~hint:"the retained property bits must match the plan shape"
+          "stored order property disagrees with the plan's order";
+      ]
+  in
+  let est_check =
+    let fresh = Cost_model.estimate env sp.Memo.plan in
+    (if approx sp.Memo.est.Cost_model.rows fresh.Cost_model.rows then []
+     else
+       [
+         d rule08 path "stored row estimate %g disagrees with recomputation %g"
+           sp.Memo.est.Cost_model.rows fresh.Cost_model.rows;
+       ])
+    @
+    if approx sp.Memo.est.Cost_model.total_cost fresh.Cost_model.total_cost
+    then []
+    else
+      [
+        d rule08 path "stored cost %g disagrees with recomputation %g"
+          sp.Memo.est.Cost_model.total_cost fresh.Cost_model.total_cost;
+      ]
+  in
+  let pipeline_check =
+    if sp.Memo.pipelined = Plan.pipelined sp.Memo.plan then []
+    else
+      [
+        d rule03 path "stored pipelining bit is %b but the plan is %s"
+          sp.Memo.pipelined
+          (if Plan.pipelined sp.Memo.plan then "pipelined" else "blocking");
+      ]
+  in
+  mask_check @ order_check @ est_check @ pipeline_check
+
+let memo_rule env memo =
+  let n = List.length env.Cost_model.query.Logical.relations in
+  let full_mask = (1 lsl n) - 1 in
+  let keys = Memo.entry_keys memo in
+  let has_entry mask = Memo.plans memo mask <> [] in
+  List.concat_map
+    (fun key ->
+      let key_check =
+        if key > 0 && key <= full_mask then []
+        else
+          [
+            d rule08
+              (Printf.sprintf "memo:entry %#x" key)
+              "entry key %#x outside the valid mask range (0, %#x]" key
+              full_mask;
+          ]
+      in
+      let plans = Memo.plans memo key in
+      key_check
+      @ List.concat_map
+          (fun sp ->
+            let dangling =
+              (* unwrap unary operators to the structural join, whose child
+                 subtrees must come from existing MEMO entries *)
+              let rec spine = function
+                | Plan.Filter { input; _ }
+                | Plan.Sort { input; _ }
+                | Plan.Top_k { input; _ } ->
+                    spine input
+                | p -> p
+              in
+              let child_entry part =
+                let mask =
+                  Core.Enumerator.relation_mask env (Plan.relations part)
+                in
+                if has_entry mask then []
+                else
+                  [
+                    d rule08
+                      (Printf.sprintf "memo:%s" (Plan.describe sp.Memo.plan))
+                      "references group %#x (%s) which has no retained plans"
+                      mask
+                      (String.concat "," (Plan.relations part));
+                  ]
+              in
+              match spine sp.Memo.plan with
+              | Plan.Join { left; right; _ } when key <> 0 ->
+                  child_entry left @ child_entry right
+              | Plan.Nary_rank_join { inputs; _ } ->
+                  List.concat_map child_entry inputs
+              | _ -> []
+            in
+            subplan_rule env ~key sp @ dangling)
+          plans)
+    keys
+
+(* ------------------------------------------------------------------ *)
+(* PL09-topk *)
+
+let rule09 = "PL09-topk"
+
+let rec count_topk = function
+  | Plan.Table_scan _ | Plan.Index_scan _ -> 0
+  | Plan.Filter { input; _ } | Plan.Sort { input; _ } -> count_topk input
+  | Plan.Top_k { input; _ } -> 1 + count_topk input
+  | Plan.Join { left; right; _ } -> count_topk left + count_topk right
+  | Plan.Nary_rank_join { inputs; _ } ->
+      List.fold_left (fun acc i -> acc + count_topk i) 0 inputs
+
+let topk_rule (p : Core.Optimizer.planned) =
+  let path = "plan:root" in
+  let query = p.Core.Optimizer.query in
+  let validity = p.Core.Optimizer.k_validity in
+  let interval =
+    (if validity.Core.Optimizer.k_lo >= 1 then []
+     else
+       [
+         d rule09 path "k-interval lower bound %d is below 1"
+           validity.Core.Optimizer.k_lo;
+       ])
+    @
+    match validity.Core.Optimizer.k_hi with
+    | Some hi when hi < validity.Core.Optimizer.k_lo ->
+        [
+          d rule09 path "k-interval is empty: [%d, %d]"
+            validity.Core.Optimizer.k_lo hi;
+        ]
+    | _ -> []
+  in
+  let est_check =
+    let fresh =
+      Cost_model.estimate p.Core.Optimizer.env p.Core.Optimizer.plan
+    in
+    if
+      approx p.Core.Optimizer.est.Cost_model.rows fresh.Cost_model.rows
+      && approx p.Core.Optimizer.est.Cost_model.total_cost
+           fresh.Cost_model.total_cost
+    then []
+    else
+      [
+        d rule09 path
+          "recorded estimate disagrees with a recomputation for this plan";
+      ]
+  in
+  let shape =
+    if Logical.is_ranking query then
+      let k = Option.get query.Logical.k in
+      let containment =
+        (* optimize derives the interval around env.k_min; after an
+           off-path rebind the interval is knowingly stale, so only the
+           standard path is held to containment *)
+        if
+          p.Core.Optimizer.env.Cost_model.k_min = k
+          && not (Core.Optimizer.k_in_validity p k)
+        then
+          [
+            d rule09 path
+              ~hint:"the chosen plan must be valid at the k it was chosen for"
+              "query k=%d lies outside the plan's validity interval" k;
+          ]
+        else []
+      in
+      containment
+      @
+      match p.Core.Optimizer.plan with
+      | Plan.Top_k { k = plan_k; input } ->
+          (if plan_k = k then []
+           else
+             [
+               d rule09 path "root Top-k limit %d differs from the query's k=%d"
+                 plan_k k;
+             ])
+          @ (if count_topk input = 0 then []
+             else [ d rule09 path "nested Top-k below the root limit" ])
+          @
+          let scoring = Logical.scoring_expr query in
+          let produced =
+            (Walk.derive p.Core.Optimizer.env.Cost_model.catalog input)
+              .Walk.produced
+          in
+          (match (scoring, produced) with
+          | Some score, Some o
+            when o.Plan.direction = Io.Desc && Expr.equal o.Plan.expr score ->
+              []
+          | Some score, _ ->
+              [
+                d rule09 path
+                  ~hint:
+                    "rank the input with a rank join or an explicit sort \
+                     before limiting"
+                  "Top-k input does not produce the scoring order %s DESC"
+                  (Expr.to_string score);
+              ]
+          | None, _ -> [])
+      | _ ->
+          [
+            d rule09 path
+              "ranking query plan is not rooted at Top-k (%s)"
+              (Plan.describe p.Core.Optimizer.plan);
+          ]
+    else if count_topk p.Core.Optimizer.plan > 0 then
+      [ d rule09 path "unranked query plan contains a Top-k operator" ]
+    else []
+  in
+  interval @ est_check @ shape
+
+(* ------------------------------------------------------------------ *)
+(* PL10-cache *)
+
+let rule10 = "PL10-cache"
+
+let cache_entry_rule ~key ~epoch (prepared : Sqlfront.Sql.prepared) =
+  let path = Printf.sprintf "cache:%s" key in
+  let epoch_check =
+    if epoch >= 0 then []
+    else [ d rule10 path "negative stats epoch %d" epoch ]
+  in
+  let canonical =
+    match Sqlfront.Sql.template_of_sql key with
+    | Error e ->
+        [ d rule10 path "cache key is not a parsable template: %s" e ]
+    | Ok tpl ->
+        if String.equal tpl.Sqlfront.Sql.tpl_text key then []
+        else
+          [
+            d rule10 path
+              ~hint:
+                "keys must be canonical template text or equivalent \
+                 spellings will miss the cache"
+              "cache key is not canonical (normalizes to %S)"
+              tpl.Sqlfront.Sql.tpl_text;
+          ]
+  in
+  let planned = prepared.Sqlfront.Sql.planned in
+  let validity = planned.Core.Optimizer.k_validity in
+  let interval =
+    (if validity.Core.Optimizer.k_lo >= 1 then []
+     else
+       [
+         d rule10 path "k-interval lower bound %d is below 1"
+           validity.Core.Optimizer.k_lo;
+       ])
+    @
+    match validity.Core.Optimizer.k_hi with
+    | Some hi when hi < validity.Core.Optimizer.k_lo ->
+        [
+          d rule10 path "k-interval is empty: [%d, %d]"
+            validity.Core.Optimizer.k_lo hi;
+        ]
+    | _ -> []
+  in
+  let containment =
+    match planned.Core.Optimizer.query.Logical.k with
+    | Some k when not (Core.Optimizer.k_in_validity planned k) ->
+        [
+          d rule10 path
+            ~hint:
+              "a variant must be stored under an interval containing its \
+               own bound k, or lookups re-optimize forever"
+            "bound k=%d lies outside the variant's validity interval" k;
+        ]
+    | _ -> []
+  in
+  epoch_check @ canonical @ interval @ containment

@@ -1,0 +1,118 @@
+(** The planlint rule catalog (PL01–PL10).
+
+    Each rule checks one optimizer invariant and reports violations as
+    {!Diag.t} values. Rules come in two layers: pure checkers over plain
+    data ([check_propagation], [check_depths], [check_estimate]) that
+    mutation tests can feed hand-corrupted inputs, and drivers that derive
+    that data from a plan/memo/planned statement — the form the engine,
+    CLI and fuzz harness use. The full catalog with paper references lives
+    in DESIGN.md. *)
+
+val catalog : (string * string) list
+(** [(rule id, one-line invariant)] for every shipped rule. *)
+
+(** {2 PL01-schema — well-typedness at operator boundaries} *)
+
+val schema_rule : Storage.Catalog.t -> Walk.facts -> Diag.t list
+(** Tables and indexes exist; index keys match the catalog; predicates,
+    sort keys, join keys and score expressions are bound by the schema of
+    the input they run over and are well-typed (predicates boolean, scores
+    numeric); Top-k limits are non-negative; N-ary joins are ≥ 2-way with
+    consistent arities. *)
+
+(** {2 PL02-order — order-property soundness} *)
+
+val order_rule : Walk.facts -> Diag.t list
+(** Every order a node claims ({!Core.Plan.order_of}) must be justified by
+    its inputs plus its own semantics ({!Walk.facts.produced}); rank joins
+    must carry the score expressions their output order is built from. *)
+
+(** {2 PL03-pipeline — pipelining-flag consistency} *)
+
+val pipeline_rule : ?stored:bool -> Walk.facts -> Diag.t list
+(** The claimed pipelining property ({!Core.Plan.pipelined}) matches the
+    independently recomputed streaming property at every node; when a
+    [stored] MEMO property bit is supplied it must match too. *)
+
+(** {2 PL04-filter — filter preservation logical → physical} *)
+
+val filter_rule : query:Core.Logical.t -> Walk.facts -> Diag.t list
+(** Every relation filter and join predicate of the logical query whose
+    relations the plan covers is applied somewhere in the physical plan
+    (as a Filter conjunct, a join condition, or an N-ary shared key) — the
+    INL-join dropped-filter bug class. *)
+
+(** {2 PL05-kprop — k-propagation sanity (Figure 8)} *)
+
+val check_propagation :
+  Core.Cost_model.env -> k:int -> Core.Propagate.annotation -> Diag.t list
+(** Pure checker: root requirement equals [max 1 k]; requirements are
+    non-negative and non-NaN everywhere; rank-join input depths lie within
+    [\[1, input cardinality\]]. *)
+
+val propagation_rule : Core.Cost_model.env -> k:int -> Core.Plan.t -> Diag.t list
+(** Driver: runs {!Core.Propagate.run} at [k] and [2k], applies
+    {!check_propagation} and checks monotonicity in [k]. *)
+
+(** {2 PL06-depth — Theorem-1/2 depth-bound sanity} *)
+
+val check_depths :
+  path:string ->
+  card_left:float ->
+  card_right:float ->
+  Core.Depth_model.depths ->
+  Diag.t list
+(** Pure checker: each depth is finite, ≥ 1 and ≤ its input cardinality
+    (with the model's [max 1] floor). *)
+
+val depth_rule : Core.Cost_model.env -> Core.Plan.t -> Diag.t list
+(** Driver: for every binary rank join, the depths the cost model predicts
+    at [k_min] and [2·k_min] satisfy {!check_depths} and are monotone
+    in [k]. *)
+
+(** {2 PL07-cost — cost estimate monotonicity} *)
+
+val check_estimate :
+  path:string -> ?child_floor:float -> Core.Cost_model.estimate -> Diag.t list
+(** Pure checker: rows and costs are finite and non-negative; [cost_at] is
+    non-decreasing and agrees with [total_cost] at full output;
+    [total_cost] is at least [child_floor] (the summed cost of inputs a
+    full-consumption operator must pay for). *)
+
+val cost_rule : Core.Cost_model.env -> Core.Plan.t -> Diag.t list
+(** Driver: applies {!check_estimate} at every node, with a child floor
+    for full-consumption operators only (rank joins and Top-k legitimately
+    stop early), plus output-cardinality monotonicity (a filter/limit
+    cannot produce more rows than its input). *)
+
+(** {2 PL08-memo — memo hygiene} *)
+
+val subplan_rule :
+  Core.Cost_model.env -> ?key:int -> Core.Memo.subplan -> Diag.t list
+(** A retained subplan's property bits match recomputation: relation
+    bitmask equals its entry key, stored order equals the plan's claim,
+    stored estimate equals a fresh estimate; the stored pipelining bit is
+    checked under PL03. *)
+
+val memo_rule : Core.Cost_model.env -> Core.Memo.t -> Diag.t list
+(** Whole-memo driver: entry keys are valid non-empty relation masks;
+    every retained subplan passes {!subplan_rule}; join subplans reference
+    existing child entries (no dangling group references). *)
+
+(** {2 PL09-topk — top-k root shape and k-interval sanity} *)
+
+val topk_rule : Core.Optimizer.planned -> Diag.t list
+(** A ranking query's chosen plan is rooted at [Top_k] with the query's
+    [k], contains no other [Top_k], and its input justifiably produces the
+    scoring order descending; an unranked plan contains no [Top_k]. The
+    k-validity interval is well-formed and (on the standard optimize path)
+    contains the query's [k]; the recorded estimate matches the plan. *)
+
+(** {2 PL10-cache — plan-cache entry consistency} *)
+
+val cache_entry_rule :
+  key:string -> epoch:int -> Sqlfront.Sql.prepared -> Diag.t list
+(** A cache entry's key is a canonical template text (round-trips through
+    {!Sqlfront.Sql.template_of_sql}), its epoch is non-negative, its plan's
+    bound [k] lies inside the variant's validity interval, and the interval
+    endpoints are sane. *)

@@ -126,6 +126,15 @@ let store t ~key ~epoch prepared =
           Hashtbl.replace t.table key
             { e_epoch = epoch; e_variants = [ fresh ]; e_use = stamp })
 
+let entries t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold
+        (fun key e acc ->
+          List.fold_left
+            (fun acc v -> (key, e.e_epoch, v.v_prepared) :: acc)
+            acc e.e_variants)
+        t.table [])
+
 let stats t =
   Mutex.protect t.lock (fun () ->
       {

@@ -39,6 +39,10 @@ val store : t -> key:string -> epoch:int -> Sqlfront.Sql.prepared -> unit
 (** Insert a freshly optimized plan as a variant of its template's entry,
     creating / LRU-evicting entries as needed. *)
 
+val entries : t -> (string * int * Sqlfront.Sql.prepared) list
+(** A snapshot of every cached variant as [(template key, stats epoch,
+    prepared plan)] — the surface the planlint cache rule (PL10) audits. *)
+
 type stats = {
   hits : int;
   misses : int;  (** [Absent] + [Interval_miss] + [Stale] lookups. *)

@@ -330,6 +330,7 @@ let explain sess text =
 let queue_depth t = Mutex.protect t.qm (fun () -> Queue.length t.jobs)
 
 let cache_stats t = Plan_cache.stats t.cache
+let cache_entries t = Plan_cache.entries t.cache
 
 let server_metrics t = Metrics.snapshot t.metrics
 

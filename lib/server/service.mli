@@ -97,6 +97,10 @@ val stats : t -> (string * string) list
 val session_stats : session -> (string * string) list
 
 val cache_stats : t -> Plan_cache.stats
+
+(** Snapshot of every cached plan variant as [(template key, stats epoch,
+    prepared plan)] — audited by the planlint cache rule (PL10). *)
+val cache_entries : t -> (string * int * Sqlfront.Sql.prepared) list
 val server_metrics : t -> Metrics.snapshot
 val queue_depth : t -> int
 val catalog : t -> Storage.Catalog.t

@@ -22,6 +22,7 @@ let () =
          Test_robustness.suites;
          Test_integration.suites;
          Test_plan_verify.suites;
+         Test_lint.suites;
          Test_mutation.suites;
          Test_nary.suites @ [ Test_nary.optimizer_suite ];
          Test_ranked_view.suites;

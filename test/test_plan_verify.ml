@@ -1,6 +1,7 @@
-(* Plan verifier tests + the enumeration invariant: every plan the MEMO
-   retains (for random workloads and both optimizer configurations) is
-   structurally well-formed and executable. *)
+(* The Plan_verify compatibility wrapper (now a registration shim over the
+   planlint engine, see lib/lint/) + the enumeration invariant: every plan
+   the MEMO retains (for random workloads and both optimizer
+   configurations) is structurally well-formed and executable. *)
 
 open Relalg
 open Core
@@ -21,52 +22,51 @@ let ab_cond =
 
 let score t = Expr.col ~relation:t "score"
 
+let contains msg sub =
+  let n = String.length sub and m = String.length msg in
+  let rec at i = i + n <= m && (String.sub msg i n = sub || at (i + 1)) in
+  at 0
+
+(* The wrapper must reject the plan, and the diagnostic it relays must come
+   from the expected lint rule. *)
+let expect_rule rule cat plan =
+  match Plan_verify.check cat plan with
+  | Ok () -> Alcotest.failf "expected a %s failure" rule
+  | Error msg ->
+      if not (contains msg rule) then
+        Alcotest.failf "expected a %s diagnostic, got: %s" rule msg
+
 let test_detects_unknown_table () =
   let cat = setup () in
-  match Plan_verify.check cat (Plan.Table_scan { table = "Nope" }) with
-  | Error msg -> Alcotest.(check string) "message" "unknown table Nope" msg
-  | Ok () -> Alcotest.fail "expected failure"
+  expect_rule "PL01-schema" cat (Plan.Table_scan { table = "Nope" })
 
 let test_detects_unknown_index () =
   let cat = setup () in
-  let p =
-    Plan.Index_scan { table = "A"; index = "ghost"; key = score "A"; desc = true }
-  in
-  match Plan_verify.check cat p with
-  | Error _ -> ()
-  | Ok () -> Alcotest.fail "expected failure"
+  expect_rule "PL01-schema" cat
+    (Plan.Index_scan { table = "A"; index = "ghost"; key = score "A"; desc = true })
 
 let test_detects_unbound_filter () =
   let cat = setup () in
-  let p =
-    Plan.Filter
-      { pred = Expr.(Cmp (Ge, col ~relation:"Z" "x", cfloat 0.0));
-        input = Plan.Table_scan { table = "A" } }
-  in
-  match Plan_verify.check cat p with
-  | Error _ -> ()
-  | Ok () -> Alcotest.fail "expected failure"
+  expect_rule "PL01-schema" cat
+    (Plan.Filter
+       { pred = Expr.(Cmp (Ge, col ~relation:"Z" "x", cfloat 0.0));
+         input = Plan.Table_scan { table = "A" } })
 
 let test_detects_unsorted_hrjn_input () =
   let cat = setup () in
-  let p =
-    Plan.Join
-      {
-        algo = Plan.Hrjn;
-        cond = ab_cond;
-        left = Plan.Table_scan { table = "A" };  (* not sorted! *)
-        right =
-          Plan.Sort
-            { order = { Plan.expr = score "B"; direction = Interesting_orders.Desc };
-              input = Plan.Table_scan { table = "B" } };
-        left_score = Some (score "A");
-        right_score = Some (score "B");
-      }
-  in
-  match Plan_verify.check cat p with
-  | Error msg ->
-      Alcotest.(check string) "message" "HRJN left input is not sorted on its score" msg
-  | Ok () -> Alcotest.fail "expected failure"
+  expect_rule "PL02-order" cat
+    (Plan.Join
+       {
+         algo = Plan.Hrjn;
+         cond = ab_cond;
+         left = Plan.Table_scan { table = "A" };  (* not sorted! *)
+         right =
+           Plan.Sort
+             { order = { Plan.expr = score "B"; direction = Interesting_orders.Desc };
+               input = Plan.Table_scan { table = "B" } };
+         left_score = Some (score "A");
+         right_score = Some (score "B");
+       })
 
 let test_detects_missing_rank_scores () =
   let cat = setup () in
@@ -75,27 +75,19 @@ let test_detects_missing_rank_scores () =
       { order = { Plan.expr = score t; direction = Interesting_orders.Desc };
         input = Plan.Table_scan { table = t } }
   in
-  let p =
-    Plan.Join
-      { algo = Plan.Hrjn; cond = ab_cond; left = sorted "A"; right = sorted "B";
-        left_score = None; right_score = Some (score "B") }
-  in
-  match Plan_verify.check cat p with
-  | Error _ -> ()
-  | Ok () -> Alcotest.fail "expected failure"
+  expect_rule "PL02-order" cat
+    (Plan.Join
+       { algo = Plan.Hrjn; cond = ab_cond; left = sorted "A"; right = sorted "B";
+         left_score = None; right_score = Some (score "B") })
 
 let test_detects_unsorted_merge_inputs () =
   let cat = setup () in
-  let p =
-    Plan.Join
-      { algo = Plan.Sort_merge; cond = ab_cond;
-        left = Plan.Table_scan { table = "A" };
-        right = Plan.Table_scan { table = "B" };
-        left_score = None; right_score = None }
-  in
-  match Plan_verify.check cat p with
-  | Error _ -> ()
-  | Ok () -> Alcotest.fail "expected failure"
+  expect_rule "PL02-order" cat
+    (Plan.Join
+       { algo = Plan.Sort_merge; cond = ab_cond;
+         left = Plan.Table_scan { table = "A" };
+         right = Plan.Table_scan { table = "B" };
+         left_score = None; right_score = None })
 
 let test_accepts_valid_plan () =
   let cat = setup () in
@@ -110,6 +102,19 @@ let test_accepts_valid_plan () =
   match Plan_verify.check cat planned.Optimizer.plan with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "valid plan rejected: %s" msg
+
+(* The shim raises a diagnostic-carrying Failure through check_exn. *)
+let test_check_exn () =
+  let cat = setup () in
+  (match Plan_verify.check_exn cat (Plan.Table_scan { table = "A" }) with
+  | () -> ()
+  | exception Failure msg -> Alcotest.failf "valid plan raised: %s" msg);
+  match Plan_verify.check_exn cat (Plan.Table_scan { table = "Nope" }) with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        "carries the lint diagnostic" true
+        (contains msg "PL01-schema")
 
 let prop_all_memo_plans_wellformed =
   QCheck.Test.make
@@ -156,6 +161,7 @@ let suites =
         Alcotest.test_case "missing rank scores" `Quick test_detects_missing_rank_scores;
         Alcotest.test_case "unsorted merge inputs" `Quick test_detects_unsorted_merge_inputs;
         Alcotest.test_case "accepts optimizer plan" `Quick test_accepts_valid_plan;
+        Alcotest.test_case "check_exn relays diagnostics" `Quick test_check_exn;
         QCheck_alcotest.to_alcotest prop_all_memo_plans_wellformed;
       ] );
   ]
