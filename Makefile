@@ -1,4 +1,4 @@
-.PHONY: all build test bench fuzz lint serve-smoke ci clean
+.PHONY: all build test bench bench-perf bench-smoke fuzz lint serve-smoke ci clean
 
 all: build
 
@@ -22,6 +22,19 @@ fuzz: build
 bench:
 	dune exec bench/main.exe
 
+# Perf trajectory: serial-vs-parallel wall time for the drain-heavy query,
+# the early-out guard, and compact serve/lint rows. Appends one JSON row
+# per measurement to BENCH_RANKOPT.json (commit the rows you want to keep;
+# every row records `cores` so single-core CI numbers aren't read as
+# regressions against multicore rows).
+bench-perf: build
+	dune exec bench/main.exe -- perf
+
+# Reduced-size subset (<30s): prints the rows but does NOT append, so
+# `make ci` stays clean-tree.
+bench-smoke: build
+	dune exec bench/main.exe -- perf-smoke
+
 # Static plan analysis (planlint): run the rule catalog (PL01..PL10) over
 # the example query corpus and over a fixed slice of the fuzz corpus,
 # linting the optimizer's chosen plan and every MEMO-retained subplan.
@@ -43,11 +56,13 @@ lint: build
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
-# What CI runs: a full build + test pass, the static plan lint, and the
-# server smoke test, then verify the working tree is clean (catches build
-# artifacts or generated files accidentally committed, and
-# formatter/codegen drift).
-ci: build test lint serve-smoke
+# What CI runs: a full build + test pass, the static plan lint, the
+# server smoke test, the perf smoke subset, and a short 2-domain
+# degree-sweep hammer (parallel execution must match serial exactly),
+# then verify the working tree is clean (catches build artifacts or
+# generated files accidentally committed, and formatter/codegen drift).
+ci: build test lint serve-smoke bench-smoke
+	dune exec bin/rankopt.exe -- fuzz --degree 2 --seed 0 --cases 200
 	@status=$$(git status --porcelain); \
 	if [ -n "$$status" ]; then \
 	  echo "ci: working tree not clean after build+test:"; \

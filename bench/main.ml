@@ -28,6 +28,8 @@ let experiments =
     ("micro", Micro.run);
     ("serve", Serve_bench.run);
     ("lint", Lint_bench.run);
+    ("perf", fun () -> Perf.run ());
+    ("perf-smoke", fun () -> Perf.run ~smoke:true ());
   ]
 
 let usage () =

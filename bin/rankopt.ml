@@ -245,7 +245,7 @@ let endpoint_of socket port host =
 
 let serve_cmd =
   let run verbose tables seed pool from_dir socket port host workers queue
-      cache timeout =
+      cache timeout dop =
     setup_logs verbose;
     let catalog = build_catalog ?from_dir tables seed pool in
     let config =
@@ -254,6 +254,7 @@ let serve_cmd =
         queue_capacity = queue;
         cache_capacity = cache;
         default_timeout_s = timeout;
+        dop;
       }
     in
     let endpoint = endpoint_of socket port host in
@@ -280,6 +281,14 @@ let serve_cmd =
     let doc = "Default per-statement deadline, seconds." in
     Arg.(value & opt float 30.0 & info [ "timeout" ] ~docv:"SECS" ~doc)
   in
+  let dop_arg =
+    let doc =
+      "Intra-query parallel degree: with N >= 2 the optimizer may place \
+       exchange operators whose morsel pumps share the worker pool. 1 \
+       keeps all plans serial."
+    in
+    Arg.(value & opt int 1 & info [ "dop" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Run the multi-session query service: a line protocol (PREPARE / \
      EXECUTE k / QUERY / EXPLAIN / STATS / SHUTDOWN) over a Unix or TCP \
@@ -292,7 +301,7 @@ let serve_cmd =
       ret
         (const run $ verbose_arg $ tables_arg $ seed_arg $ pool_arg $ from_arg
        $ socket_arg $ port_arg $ host_arg $ workers_arg $ queue_arg $ cache_arg
-       $ timeout_arg))
+       $ timeout_arg $ dop_arg))
 
 let client_cmd =
   let run socket port host commands =
@@ -342,15 +351,39 @@ let client_cmd =
     Term.(ret (const run $ socket_arg $ port_arg $ host_arg $ commands_arg))
 
 let fuzz_cmd =
-  let run seed cases server_mode =
+  let run seed cases server_mode degree =
     let t0 = Unix.gettimeofday () in
     let progress i =
       if cases > 20 && i > 0 && i mod 50 = 0 then
         Printf.eprintf "rankcheck: %d/%d cases...\n%!" i cases
     in
-    let outcome =
-      if server_mode then Check.Rankcheck.run_server ~progress ~seed ~cases ()
-      else Check.Rankcheck.run ~progress ~seed ~cases ()
+    let mode, outcome =
+      match degree with
+      | Some d when d >= 2 ->
+          ( Printf.sprintf " (degree %d)" d,
+            Check.Rankcheck.run_degree ~progress ~seed ~cases ~degree:d () )
+      | Some d ->
+          ( "",
+            {
+              Check.Rankcheck.o_cases = 0;
+              o_plans = 0;
+              o_failures =
+                [
+                  {
+                    Check.Rankcheck.f_seed = seed;
+                    f_reason =
+                      Printf.sprintf "--degree %d: degree must be >= 2" d;
+                    f_plan = None;
+                    f_case = Check.Rankcheck.gen_case seed;
+                    f_replay =
+                      Printf.sprintf "rankopt fuzz --degree 2 --seed %d" seed;
+                  };
+                ];
+            } )
+      | None ->
+          if server_mode then
+            (" (server mode)", Check.Rankcheck.run_server ~progress ~seed ~cases ())
+          else ("", Check.Rankcheck.run ~progress ~seed ~cases ())
     in
     let dt = Unix.gettimeofday () -. t0 in
     List.iter
@@ -359,11 +392,12 @@ let fuzz_cmd =
     Printf.printf
       "rankcheck%s: %d cases (seeds %d..%d), %d %s checked, %d failure(s) \
        [%.1fs]\n"
-      (if server_mode then " (server mode)" else "")
-      outcome.Check.Rankcheck.o_cases seed
+      mode outcome.Check.Rankcheck.o_cases seed
       (seed + cases - 1)
       outcome.Check.Rankcheck.o_plans
-      (if server_mode then "server executions" else "plans")
+      (if server_mode then "server executions"
+       else if degree <> None then "degree executions"
+       else "plans")
       (List.length outcome.Check.Rankcheck.o_failures)
       dt;
     if outcome.Check.Rankcheck.o_failures = [] then `Ok ()
@@ -382,16 +416,27 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "server" ] ~doc)
   in
+  let degree_arg =
+    let doc =
+      "Parallel-determinism sweep: plan each case with intra-query \
+       parallelism enabled at the given degree, execute the chosen plan \
+       at degree overrides 1/2/N/2N on a shared domain pool, and require \
+       bit-identical output at every degree (plus a score-multiset \
+       cross-check against an independently planned serial statement)."
+    in
+    Arg.(value & opt (some int) None & info [ "degree" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Differential fuzzing: for each seed, generate random tables and a \
      random top-k query, compare every plan the optimizer can emit against \
      a naive sort-based oracle, and check rank-join depth bounds. Failures \
      are shrunk and print a replay command. With --server, replay through \
-     the query service instead."
+     the query service instead; with --degree, sweep parallel-execution \
+     determinism."
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(ret (const run $ seed_arg $ cases_arg $ server_arg))
+    Term.(ret (const run $ seed_arg $ cases_arg $ server_arg $ degree_arg))
 
 (* -- lint: the planlint static analyzer --------------------------------- *)
 

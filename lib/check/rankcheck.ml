@@ -471,6 +471,8 @@ let depth_bounds catalog plan =
     | Core.Plan.Top_k { k; input } -> walk (min demand k) input
     | Core.Plan.Sort { input; _ } | Core.Plan.Filter { input; _ } ->
         walk max_int input
+    (* a gather drains its spine regardless of the consumer's demand *)
+    | Core.Plan.Exchange { input; _ } -> walk max_int input
     | Core.Plan.Table_scan _ | Core.Plan.Index_scan _ -> ()
     | Core.Plan.Join
         {
@@ -1078,6 +1080,142 @@ let run_server ?(progress = fun _ -> ()) ~seed ~cases () =
   for i = 0 to cases - 1 do
     progress i;
     match run_case_server (seed + i) with
+    | Ok n -> executions := !executions + n
+    | Error f -> failures := f :: !failures
+  done;
+  { o_cases = cases; o_plans = !executions; o_failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+(* Degree mode: parallel-execution determinism sweep                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Plan each case with intra-query parallelism enabled, then execute the
+   chosen plan at several degree overrides. Exchange operators are
+   order-preserving by construction (morsel-index gather, stable top-N
+   merge, arrival-order build chains), so the output must be *bit
+   identical* — same tuples, same scores, same order — at every degree,
+   including the forced-serial degree 1. A second, independently planned
+   serial statement cross-checks the score multiset, so a parallel plan
+   that is deterministic but wrong cannot pass. *)
+
+let rows_identical a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (t1, s1) (t2, s2) ->
+         Relalg.Tuple.equal t1 t2 && Float.compare s1 s2 = 0)
+       a b
+
+let check_case_degree ?pool ~degree case : (int, string * string option) result =
+  let degree = max 2 degree in
+  let catalog = build_catalog case in
+  match Sqlfront.Binder.bind_result catalog case.c_query with
+  | Error e -> Error (e, None)
+  | exception e -> Error ("bind raised: " ^ Printexc.to_string e, None)
+  | Ok bound -> (
+      let query = bound.Sqlfront.Binder.logical in
+      let k = Option.value ~default:1 query.Core.Logical.k in
+      let env =
+        Core.Cost_model.default_env ~k_min:(min k 1000) ~dop:degree catalog
+          query
+      in
+      match Core.Optimizer.optimize ~env catalog query with
+      | exception e -> Error ("optimize raised: " ^ Printexc.to_string e, None)
+      | planned -> (
+          let desc = Some (Core.Plan.describe planned.Core.Optimizer.plan) in
+          match Core.Optimizer.execute ~degree:1 catalog planned with
+          | exception e ->
+              Error ("degree-1 execution raised: " ^ Printexc.to_string e, desc)
+          | reference -> (
+              let degrees =
+                List.sort_uniq compare [ 2; degree; 2 * degree ]
+              in
+              let rec sweep n = function
+                | [] -> Ok n
+                | d :: rest -> (
+                    match Core.Optimizer.execute ?pool ~degree:d catalog planned with
+                    | exception e ->
+                        Error
+                          ( Printf.sprintf "degree-%d execution raised: %s" d
+                              (Printexc.to_string e),
+                            desc )
+                    | res ->
+                        if
+                          rows_identical reference.Core.Executor.rows
+                            res.Core.Executor.rows
+                        then sweep (n + 1) rest
+                        else
+                          Error
+                            ( Printf.sprintf
+                                "degree %d diverges from degree 1: rows %d vs \
+                                 %d, or tuple order/scores differ"
+                                d
+                                (List.length res.Core.Executor.rows)
+                                (List.length reference.Core.Executor.rows),
+                              desc ))
+              in
+              match sweep 0 degrees with
+              | Error e -> Error e
+              | Ok n -> (
+                  (* Cross-check against an independently planned serial
+                     statement: catches deterministic-but-wrong plans. *)
+                  match
+                    let serial_env =
+                      Core.Cost_model.default_env ~k_min:(min k 1000) catalog
+                        query
+                    in
+                    let serial =
+                      Core.Optimizer.optimize ~env:serial_env catalog query
+                    in
+                    Core.Optimizer.execute catalog serial
+                  with
+                  | exception e ->
+                      Error
+                        ("serial cross-check raised: " ^ Printexc.to_string e,
+                         desc)
+                  | serial_res ->
+                      let a =
+                        sorted_desc
+                          (List.map snd reference.Core.Executor.rows)
+                      in
+                      let b =
+                        sorted_desc (List.map snd serial_res.Core.Executor.rows)
+                      in
+                      if
+                        List.length a = List.length b
+                        && List.for_all2 scores_close a b
+                      then Ok (n + 1)
+                      else
+                        Error
+                          ( Printf.sprintf
+                              "parallel plan disagrees with serial plan: %d \
+                               vs %d rows"
+                              (List.length a) (List.length b),
+                            desc )))))
+
+let run_case_degree ?pool ~degree seed =
+  let case = gen_case seed in
+  match check_case_degree ?pool ~degree case with
+  | Ok n -> Ok n
+  | Error (reason, plan) ->
+      Error
+        {
+          f_seed = seed;
+          f_reason = Printf.sprintf "degree-mode(%d): %s" degree reason;
+          f_plan = plan;
+          f_case = case;
+          f_replay =
+            Printf.sprintf "rankopt fuzz --degree %d --seed %d --cases 1"
+              degree seed;
+        }
+
+let run_degree ?(progress = fun _ -> ()) ~seed ~cases ~degree () =
+  let pool = Rkutil.Task_pool.create ~domains:(max 2 degree) in
+  Fun.protect ~finally:(fun () -> Rkutil.Task_pool.shutdown pool) @@ fun () ->
+  let failures = ref [] in
+  let executions = ref 0 in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case_degree ~pool ~degree (seed + i) with
     | Ok n -> executions := !executions + n
     | Error f -> failures := f :: !failures
   done;

@@ -9,11 +9,13 @@ type env = {
   sort_fan_in : int;
   nl_block_tuples : int;
   depth_mode : [ `Average | `Worst ];
+  dop : int;
+  exchange_startup : float;
 }
 
 let default_env ?(k_min = 1) ?(cpu_factor = 0.002) ?(memory_tuples = 10_000)
     ?(sort_fan_in = 8) ?(nl_block_tuples = 1000) ?(depth_mode = `Worst)
-    catalog query =
+    ?(dop = 1) ?(exchange_startup = 2.0) catalog query =
   {
     catalog;
     query;
@@ -23,6 +25,8 @@ let default_env ?(k_min = 1) ?(cpu_factor = 0.002) ?(memory_tuples = 10_000)
     sort_fan_in = max 2 sort_fan_in;
     nl_block_tuples = max 1 nl_block_tuples;
     depth_mode;
+    dop = max 1 dop;
+    exchange_startup = Float.max 0.0 exchange_startup;
   }
 
 type estimate = {
@@ -39,8 +43,7 @@ let tuples_per_page env = float_of_int (Storage.Catalog.tuples_per_page env.cata
 let base_cardinality env name =
   float_of_int (table_info env name).Storage.Catalog.tb_stats.Storage.Catalog.ts_cardinality
 
-let filter_selectivity env schema pred =
-  ignore schema;
+let filter_selectivity env pred =
   let default = 1.0 /. 3.0 in
   let column_const op r c =
     match (r : Expr.column_ref).relation with
@@ -194,8 +197,7 @@ let rec estimate env plan =
       { rows; total_cost = cost_at rows; cost_at; k_dependent = false }
   | Plan.Filter { pred; input } ->
       let i = estimate env input in
-      let schema = Plan.schema_of env.catalog input in
-      let sel = filter_selectivity env schema pred in
+      let sel = filter_selectivity env pred in
       let rows = i.rows *. sel in
       let cost_at x =
         let x = Float.min x rows in
@@ -227,6 +229,34 @@ let rec estimate env plan =
       let cost_at x = i.cost_at (Float.min x rows) in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = i.k_dependent }
   | Plan.Join { algo; cond; left; right; _ } -> estimate_join env plan algo cond left right
+  | Plan.Exchange { dop; input } ->
+      let i = estimate env input in
+      let d = float_of_int (max 1 dop) in
+      (* Off-spine subtrees (hash build sides, NL inners, INL probe paths)
+         are built once, by one worker; only the driving spine's work
+         divides by the degree. Startup charges pump scheduling, the
+         per-tuple term charges the slot/merge hand-off at the gather. *)
+      let serial =
+        List.fold_left
+          (fun acc p -> acc +. (estimate env p).total_cost)
+          0.0
+          (Parallel.off_spine input)
+      in
+      let parallel = Float.max 0.0 (i.total_cost -. serial) in
+      let total =
+        env.exchange_startup +. serial +. (parallel /. d)
+        +. (env.cpu_factor *. i.rows)
+      in
+      (* A gather consumes whole morsels: there is no early-out below the
+         exchange, so the cost is flat in x. This is exactly how the
+         pipeline-breaking enters the k* rule: a serial incremental plan
+         with cost_at(k) below this flat line stays serial. *)
+      {
+        rows = i.rows;
+        total_cost = total;
+        cost_at = (fun _ -> total);
+        k_dependent = false;
+      }
   | Plan.Nary_rank_join { inputs; key; tables; _ } ->
       let ests = List.map (estimate env) inputs in
       let m = List.length inputs in

@@ -22,6 +22,12 @@ type env = {
       (** Which closed form to use; default [`Worst] — the operator's
           threshold-based stopping tracks the certification (worst-case)
           bound, cf. EXPERIMENTS.md. *)
+  dop : int;
+      (** Workers available for intra-query parallelism; [1] (the
+          default) disables exchange generation entirely. *)
+  exchange_startup : float;
+      (** Fixed I/O-unit charge per exchange (pump scheduling, slot
+          setup): keeps small inputs serial. *)
 }
 
 val default_env :
@@ -31,6 +37,8 @@ val default_env :
   ?sort_fan_in:int ->
   ?nl_block_tuples:int ->
   ?depth_mode:[ `Average | `Worst ] ->
+  ?dop:int ->
+  ?exchange_startup:float ->
   Storage.Catalog.t ->
   Logical.t ->
   env
@@ -48,9 +56,11 @@ type estimate = {
 
 val estimate : env -> Plan.t -> estimate
 
-val filter_selectivity : env -> Schema.t -> Expr.t -> float
+val filter_selectivity : env -> Expr.t -> float
 (** Histogram-based when the predicate is a comparison of a column with a
-    constant; 1/3 heuristic otherwise. *)
+    constant; 1/3 heuristic otherwise. (Purely syntactic over the
+    predicate — it deliberately takes no schema, so Filter estimates need
+    no [Plan.schema_of] rebuild of the whole subtree.) *)
 
 val join_selectivity : env -> Logical.join_pred -> float
 

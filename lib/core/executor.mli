@@ -50,6 +50,8 @@ val compile :
   ?hints:Propagate.annotation ->
   ?metrics:Exec.Metrics.t ->
   ?interrupt:(unit -> bool) ->
+  ?pool:Rkutil.Task_pool.t ->
+  ?degree:int ->
   Storage.Catalog.t ->
   Plan.t ->
   Exec.Operator.t * rank_node_stats list * nary_node_stats list * profile option
@@ -58,12 +60,21 @@ val compile :
     {!Propagate.run} on the same plan), HRJN nodes poll their inputs in the
     estimated optimal depth ratio instead of alternating. When a metrics
     registry is supplied, every operator is registered and I/O-scoped, and
-    the matching [profile] tree is returned. *)
+    the matching [profile] tree is returned.
+
+    Exchange nodes schedule their morsels on [pool] (in-process when
+    absent: the gathering consumer runs every morsel itself, preserving
+    the exact parallel semantics at degree-of-one speed). [degree]
+    overrides the planned degree of {e every} exchange in the plan —
+    the determinism sweeps rely on the output being bit-identical across
+    overrides. *)
 
 val run :
   ?hints:Propagate.annotation ->
   ?metrics:Exec.Metrics.t ->
   ?interrupt:(unit -> bool) ->
+  ?pool:Rkutil.Task_pool.t ->
+  ?degree:int ->
   ?fetch_limit:int ->
   Storage.Catalog.t ->
   Plan.t ->

@@ -3,6 +3,7 @@ type subplan = {
   est : Cost_model.estimate;
   order : Plan.order option;
   pipelined : bool;
+  dop : int;
 }
 
 let subplan_of env plan =
@@ -11,6 +12,7 @@ let subplan_of env plan =
     est = Cost_model.estimate env plan;
     order = Plan.order_of plan;
     pipelined = Plan.pipelined plan;
+    dop = Plan.dop plan;
   }
 
 type t = {

@@ -18,6 +18,7 @@ type subplan = {
   est : Cost_model.estimate;
   order : Plan.order option;
   pipelined : bool;
+  dop : int;  (** Degree-of-parallelism property bit: [Plan.dop plan]. *)
 }
 
 val subplan_of : Cost_model.env -> Plan.t -> subplan

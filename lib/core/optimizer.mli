@@ -53,13 +53,16 @@ val rebind_k : planned -> int -> planned
 
 val execute :
   ?interrupt:(unit -> bool) ->
+  ?pool:Rkutil.Task_pool.t ->
+  ?degree:int ->
   ?fetch_limit:int ->
   Storage.Catalog.t ->
   planned ->
   Executor.run_result
 (** Run the chosen plan. For ranking queries the plan already contains the
     Top-k limit. [interrupt] is the cooperative deadline hook, checked at
-    operator [next()] boundaries (see {!Executor.run}). *)
+    operator [next()] boundaries (see {!Executor.run}). [pool] and
+    [degree] control exchange execution (see {!Executor.compile}). *)
 
 val run_query :
   ?config:Enumerator.config ->
@@ -72,12 +75,22 @@ val explain : planned -> string
 (** Human-readable plan with cost, properties and depth propagation. *)
 
 val execute_analyzed :
-  ?fetch_limit:int -> Storage.Catalog.t -> planned -> string * Executor.run_result
+  ?pool:Rkutil.Task_pool.t ->
+  ?degree:int ->
+  ?fetch_limit:int ->
+  Storage.Catalog.t ->
+  planned ->
+  string * Executor.run_result
 (** Run the plan under a fresh {!Exec.Metrics} registry and render the
     {!Analyze} tree: per-operator observed depths vs the depth model's
     predictions, and actual vs estimated I/O. *)
 
 val explain_analyze :
-  ?fetch_limit:int -> Storage.Catalog.t -> planned -> string * Executor.run_result
+  ?pool:Rkutil.Task_pool.t ->
+  ?degree:int ->
+  ?fetch_limit:int ->
+  Storage.Catalog.t ->
+  planned ->
+  string * Executor.run_result
 (** [execute_analyzed] with a query/row-count/total-I/O header — the body of
     the CLI's [analyze] command. *)

@@ -1,0 +1,62 @@
+(* Which plan shapes an exchange can parallelize, and how.
+
+   The executor morselizes a *driving spine*: a Table_scan or Index_scan
+   leaf, with any stack of Filters, and Hash / INL / block-NL joins whose
+   LEFT input continues the spine. Everything hanging off the spine to the
+   right (hash build sides, NL inners, INL probe paths) is built once as
+   shared read-only state and used by every worker. Rank joins, sorts and
+   Top-k never sit under an exchange (a second exchange neither): rank
+   joins must stay sequential and incremental — they may *pull from* an
+   exchange through its bounded gather window, but never run inside one.
+
+   The one extra shape is the fused parallel top-N: the optimizer rewrites
+   Top_k over Sort over an eligible spine into the exchange, where each
+   worker keeps a local top-k merged at the gather. *)
+
+let rec has_exchange = function
+  | Plan.Table_scan _ | Plan.Index_scan _ -> false
+  | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Top_k { input; _ }
+    ->
+      has_exchange input
+  | Plan.Exchange _ -> true
+  | Plan.Join { left; right; _ } -> has_exchange left || has_exchange right
+  | Plan.Nary_rank_join { inputs; _ } -> List.exists has_exchange inputs
+
+let serial_ok p = not (Plan.has_rank_join p) && not (has_exchange p)
+
+let rec spine_ok = function
+  | Plan.Table_scan _ | Plan.Index_scan _ -> true
+  | Plan.Filter { input; _ } -> spine_ok input
+  | Plan.Join
+      { algo = Plan.Hash | Plan.Index_nl | Plan.Nested_loops; left; right; _ }
+    ->
+      spine_ok left && serial_ok right
+  | _ -> false
+
+let eligible = function
+  | Plan.Top_k { input = Plan.Sort { input; _ }; _ } -> spine_ok input
+  | p -> spine_ok p
+
+let rec off_spine = function
+  | Plan.Table_scan _ | Plan.Index_scan _ -> []
+  | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Top_k { input; _ }
+    ->
+      off_spine input
+  | Plan.Join { left; right; _ } -> right :: off_spine left
+  | Plan.Exchange { input; _ } -> off_spine input
+  | Plan.Nary_rank_join _ -> []
+
+(* Push an exchange below a Top_k-over-Sort pair so the executor can run
+   the sort as per-worker local top-k heaps merged at the gather (the
+   merge preserves the serial plan's exact order, ties included). Applied
+   as a post-pass: enumeration costs Sort (Exchange spine) and this
+   rewrite only moves work from the single-threaded gather into the
+   workers, never changing output or making the plan slower. *)
+let rec fuse_topk plan =
+  match plan with
+  | Plan.Top_k { k; input = Plan.Sort { order; input = Plan.Exchange { dop; input } } }
+    when order.Plan.direction = Interesting_orders.Desc && spine_ok input ->
+      Plan.Exchange
+        { dop; input = Plan.Top_k { k; input = Plan.Sort { order; input } } }
+  | Plan.Top_k { k; input } -> Plan.Top_k { k; input = fuse_topk input }
+  | p -> p

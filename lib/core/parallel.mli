@@ -1,0 +1,30 @@
+(** Exchange-placement shapes: which subplans an {!Plan.Exchange} can
+    morselize, what part of them stays serial, and the top-N fusion
+    rewrite. Shared by the enumerator (candidate generation), the cost
+    model (serial/parallel cost split), the executor (compilation) and
+    planlint's PL11 (placement soundness). *)
+
+val eligible : Plan.t -> bool
+(** The input shapes an exchange accepts: a driving spine — Table_scan or
+    Index_scan leaf, Filters, and Hash/INL/NL joins continuing on the
+    left — with rank-join-free, exchange-free subplans off the spine; or
+    [Top_k (Sort spine)] (descending), which the executor fuses into a
+    parallel top-N. Rank joins never run inside an exchange: they stay
+    sequential and pull from exchanges through the bounded gather. *)
+
+val spine_ok : Plan.t -> bool
+(** [eligible] without the fused top-N form. *)
+
+val has_exchange : Plan.t -> bool
+
+val off_spine : Plan.t -> Plan.t list
+(** The subtrees a single worker builds once at open (right sides of
+    spine joins): the cost model charges these serially; only the
+    remaining spine work divides by the degree. *)
+
+val fuse_topk : Plan.t -> Plan.t
+(** Rewrite [Top_k (Sort (Exchange spine))] to
+    [Exchange (Top_k (Sort spine))] — per-worker local top-k merged at
+    the gather. Output-preserving (stable merge in morsel order equals
+    the serial stable sort, ties included); applied by the optimizer as
+    a post-pass. *)

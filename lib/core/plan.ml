@@ -24,6 +24,7 @@ type t =
       right_score : Expr.t option;
     }
   | Top_k of { k : int; input : t }
+  | Exchange of { dop : int; input : t }
   | Nary_rank_join of {
       inputs : t list;
       scores : Expr.t list;
@@ -68,6 +69,7 @@ let rec order_of = function
   | Join { algo = Hash | Index_nl; left; _ } -> order_of left
   | Join { algo = Nested_loops; _ } -> None
   | Top_k { input; _ } -> order_of input
+  | Exchange { input; _ } -> order_of input
   | Nary_rank_join { scores; _ } ->
       Some
         {
@@ -87,18 +89,36 @@ let rec pipelined = function
   | Join { algo = Hrjn; left; right; _ } -> pipelined left && pipelined right
   | Join { algo = Nrjn; left; _ } -> pipelined left
   | Top_k { input; _ } -> pipelined input
+  (* an exchange drains its parallel producers: first results wait on
+     whole morsels, so it breaks the pipeline property *)
+  | Exchange _ -> false
   | Nary_rank_join { inputs; _ } -> List.for_all pipelined inputs
 
 let rec relations = function
   | Table_scan { table } -> [ table ]
   | Index_scan { table; _ } -> [ table ]
-  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } -> relations input
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
+  | Exchange { input; _ } ->
+      relations input
   | Join { left; right; _ } -> relations left @ relations right
   | Nary_rank_join { inputs; _ } -> List.concat_map relations inputs
 
+(* Degree of parallelism: the widest exchange in the tree (1 = serial).
+   A plan property like order and pipelining: stored in the memo, audited
+   by planlint (PL11). *)
+let rec dop = function
+  | Table_scan _ | Index_scan _ -> 1
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
+      dop input
+  | Exchange { dop = d; input } -> max d (dop input)
+  | Join { left; right; _ } -> max (dop left) (dop right)
+  | Nary_rank_join { inputs; _ } ->
+      List.fold_left (fun acc i -> max acc (dop i)) 1 inputs
+
 let rec has_rank_join = function
   | Table_scan _ | Index_scan _ -> false
-  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
+  | Exchange { input; _ } ->
       has_rank_join input
   | Join { algo = Hrjn | Nrjn; _ } -> true
   | Join { left; right; _ } -> has_rank_join left || has_rank_join right
@@ -106,7 +126,8 @@ let rec has_rank_join = function
 
 let rec join_count = function
   | Table_scan _ | Index_scan _ -> 0
-  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
+  | Exchange { input; _ } ->
       join_count input
   | Join { left; right; _ } -> 1 + join_count left + join_count right
   | Nary_rank_join { inputs; _ } ->
@@ -115,7 +136,8 @@ let rec join_count = function
 let rec schema_of catalog = function
   | Table_scan { table } | Index_scan { table; _ } ->
       (Storage.Catalog.table catalog table).Storage.Catalog.tb_schema
-  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
+  | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
+  | Exchange { input; _ } ->
       schema_of catalog input
   | Join { left; right; _ } ->
       Schema.concat (schema_of catalog left) (schema_of catalog right)
@@ -143,6 +165,7 @@ let rec describe = function
   | Join { algo; left; right; _ } ->
       Printf.sprintf "%s(%s,%s)" (algo_name algo) (describe left) (describe right)
   | Top_k { k; input } -> Printf.sprintf "Top%d(%s)" k (describe input)
+  | Exchange { dop; input } -> Printf.sprintf "Ex%d(%s)" dop (describe input)
   | Nary_rank_join { inputs; _ } ->
       Printf.sprintf "HRJN*(%s)" (String.concat "," (List.map describe inputs))
 
@@ -177,6 +200,9 @@ let pp fmt plan =
         go (indent + 2) right
     | Top_k { k; input } ->
         Format.fprintf fmt "%sTopK k=%d@." pad k;
+        go (indent + 2) input
+    | Exchange { dop; input } ->
+        Format.fprintf fmt "%sExchange dop=%d@." pad dop;
         go (indent + 2) input
     | Nary_rank_join { inputs; key; scores; _ } ->
         Format.fprintf fmt "%sHRJN* on shared key %s  [rank: %a]@." pad key

@@ -13,10 +13,19 @@ let rec annotate env plan required =
       let r = Float.min required (float_of_int k) in
       { node = plan; required = r; depths = None; children = [ annotate env input r ] }
   | Plan.Filter { pred; input } ->
-      let schema = Plan.schema_of env.Cost_model.catalog input in
-      let sel = Cost_model.filter_selectivity env schema pred in
+      let sel = Cost_model.filter_selectivity env pred in
       let need = if sel <= 0.0 then infinity else required /. sel in
       { node = plan; required; depths = None; children = [ annotate env input need ] }
+  | Plan.Exchange { input; _ } ->
+      (* A gather drains its producers regardless of how much the consumer
+         takes: the child owes its full output. *)
+      let child_est = Cost_model.estimate env input in
+      {
+        node = plan;
+        required;
+        depths = None;
+        children = [ annotate env input child_est.Cost_model.rows ];
+      }
   | Plan.Sort { input; _ } ->
       (* Blocking: the child must produce everything. *)
       let child_est = Cost_model.estimate env input in
@@ -112,6 +121,7 @@ let pp fmt ann =
       | Plan.Sort _ -> "Sort"
       | Plan.Join { algo; _ } -> Plan.algo_name algo
       | Plan.Top_k { k; _ } -> Printf.sprintf "TopK k=%d" k
+      | Plan.Exchange { dop; _ } -> Printf.sprintf "Exchange dop=%d" dop
       | Plan.Nary_rank_join { inputs; _ } ->
           Printf.sprintf "HRJN* (%d-way)" (List.length inputs)
     in

@@ -1,0 +1,75 @@
+(** Morsel-driven exchange operators (Leis et al., SIGMOD 2014).
+
+    A parallelizable subplan is described as a {!source}: [n_morsels]
+    independent units whose outputs, concatenated in morsel-index order,
+    equal the serial plan's output. Worker "pumps" on the shared
+    {!Rkutil.Task_pool} claim morsel indices from one cursor and deposit
+    results into slots; the gather drains slots in morsel order, so the
+    emitted sequence is independent of degree, scheduling, and timing.
+
+    The bounded in-flight window doubles as the SPSC buffer that lets a
+    sequential rank join pull from a parallel subplan while keeping
+    early-out: a consumer that stops cancels in-flight morsels at their
+    next cancellation check, and {e close joins the running pumps}.
+
+    The consumer helps: when the morsel it needs is unclaimed it runs
+    morsels itself instead of waiting on pool scheduling, so a saturated
+    pool (including the query's own worker) costs parallelism, never
+    progress. *)
+
+open Relalg
+
+type prepared = {
+  n_morsels : int;
+  run_morsel : int -> Tuple.t list;
+      (** Domain-safe for distinct morsels; output must not depend on
+          the executing domain. *)
+}
+
+type source = {
+  src_schema : Schema.t;
+  src_prepare : cancel:(unit -> bool) -> prepared;
+      (** Build shared read-only state and the morsel closures. [cancel]
+          flips when the consumer stops early; pipelines should truncate
+          (their output is discarded). *)
+}
+
+val gather :
+  ?pool:Rkutil.Task_pool.t ->
+  ?stats:Exec_stats.t ->
+  dop:int ->
+  source ->
+  Operator.t
+(** Streaming order-preserving exchange. [stats] wants [dop + 1] input
+    slots: per-pump tuple counts in 0..dop-1, consumer-helped tuples in
+    slot [dop]; the buffer high-water mark is the filled-slot count. *)
+
+val top_n :
+  ?pool:Rkutil.Task_pool.t ->
+  ?stats:Exec_stats.t ->
+  dop:int ->
+  k:int ->
+  score:(Tuple.t -> float) ->
+  source ->
+  Operator.t
+(** Parallel top-N: each morsel reduces to its local top-[k] (stable
+    descending by score, NaN last — the [Sort.by_expr ~desc:true]
+    comparator), the gather merges in morsel order with a stable sort and
+    keeps [k]. Output equals the serial [Top_k (Sort ...)] exactly. *)
+
+val partitioned_build :
+  ?pool:Rkutil.Task_pool.t ->
+  dop:int ->
+  partitions:int ->
+  key:(Tuple.t -> Value.t) ->
+  n:int ->
+  run:(int -> Tuple.t list) ->
+  cancel:bool Atomic.t ->
+  unit ->
+  Value.t -> Tuple.t list
+(** Parallel hash-join build: phase 1 scans build-side morsels in
+    parallel, pre-splitting each by partition; phase 2 builds one hash
+    table per partition (one task each). Chains are assembled in morsel
+    order, so probe results match a serial build over the same input
+    sequence. Returns the probe function (match order = arrival order,
+    as in {!Join.hash}). Blocks until the build completes. *)

@@ -15,6 +15,8 @@ let bump_depth t i = t.per_input.(i) <- t.per_input.(i) + 1
 
 let note_depth t i n = if n > t.per_input.(i) then t.per_input.(i) <- n
 
+let add_depth t i n = t.per_input.(i) <- t.per_input.(i) + n
+
 let bump_emitted t = t.emitted <- t.emitted + 1
 
 let note_buffer t n = if n > t.buffer_max then t.buffer_max <- n

@@ -21,6 +21,11 @@ val note_depth : t -> int -> int -> unit
     operators that re-scan an input and report the deepest pass (NRJN's
     inner). *)
 
+val add_depth : t -> int -> int -> unit
+(** [add_depth t i n]: add [n] tuples to input [i] in one step — bulk
+    accounting for exchange workers that count a whole morsel at once
+    (callers serialize updates; the record itself is not domain-safe). *)
+
 val bump_emitted : t -> unit
 
 val note_buffer : t -> int -> unit

@@ -19,6 +19,7 @@ let catalog =
     ("PL08-memo", "memo entries are valid masks and retained property bits match recomputation");
     ("PL09-topk", "a ranking plan is one Top-k over a justified scoring order; k-interval is sane");
     ("PL10-cache", "plan-cache keys are canonical and bound k lies in the variant's interval");
+    ("PL11-exchange", "exchanges sit on morselizable spines with a parallel degree; DOP bits match");
   ]
 
 let d rule ?hint path fmt = Printf.ksprintf (fun m -> Diag.make ~rule ?hint ~path m) fmt
@@ -90,6 +91,7 @@ let schema_node catalog (f : Walk.facts) =
           | Error msg -> [ d rule01 path "sort key: %s" msg ]))
   | Plan.Top_k { k; _ } ->
       if k >= 0 then [] else [ d rule01 path "negative k (%d)" k ]
+  | Plan.Exchange _ -> [] (* placement soundness is PL11's finding *)
   | Plan.Join { algo; cond; left_score; right_score; _ } ->
       let lkey = Expr.col ~relation:cond.Logical.left_table cond.Logical.left_column in
       let rkey = Expr.col ~relation:cond.Logical.right_table cond.Logical.right_column in
@@ -496,7 +498,8 @@ let depth_rule env plan =
            | Plan.Table_scan _ | Plan.Index_scan _ -> []
            | Plan.Filter { input; _ }
            | Plan.Sort { input; _ }
-           | Plan.Top_k { input; _ } ->
+           | Plan.Top_k { input; _ }
+           | Plan.Exchange { input; _ } ->
                [ (input, "input") ]
            | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
            | Plan.Nary_rank_join { inputs; _ } ->
@@ -602,6 +605,11 @@ let cost_rule env plan =
             ~child_floor:(est input).Cost_model.total_cost e
           @ rows_leq input "sort"
       | Plan.Top_k { input; _ } -> check_estimate ~path e @ rows_leq input "Top-k"
+      | Plan.Exchange { input; _ } ->
+          (* no child floor: the spine's cost genuinely divides across
+             workers, so an exchange legitimately undercuts its input's
+             serial total *)
+          check_estimate ~path e @ rows_leq input "exchange"
       | Plan.Join { algo; left; right; _ } ->
           let l = est left and r = est right in
           let floor =
@@ -633,7 +641,8 @@ let cost_rule env plan =
            | Plan.Table_scan _ | Plan.Index_scan _ -> []
            | Plan.Filter { input; _ }
            | Plan.Sort { input; _ }
-           | Plan.Top_k { input; _ } ->
+           | Plan.Top_k { input; _ }
+           | Plan.Exchange { input; _ } ->
                [ (input, "input") ]
            | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
            | Plan.Nary_rank_join { inputs; _ } ->
@@ -733,7 +742,8 @@ let memo_rule env memo =
               let rec spine = function
                 | Plan.Filter { input; _ }
                 | Plan.Sort { input; _ }
-                | Plan.Top_k { input; _ } ->
+                | Plan.Top_k { input; _ }
+                | Plan.Exchange { input; _ } ->
                     spine input
                 | p -> p
               in
@@ -769,7 +779,9 @@ let rule09 = "PL09-topk"
 
 let rec count_topk = function
   | Plan.Table_scan _ | Plan.Index_scan _ -> 0
-  | Plan.Filter { input; _ } | Plan.Sort { input; _ } -> count_topk input
+  | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Exchange { input; _ }
+    ->
+      count_topk input
   | Plan.Top_k { input; _ } -> 1 + count_topk input
   | Plan.Join { left; right; _ } -> count_topk left + count_topk right
   | Plan.Nary_rank_join { inputs; _ } ->
@@ -830,7 +842,14 @@ let topk_rule (p : Core.Optimizer.planned) =
       in
       containment
       @
-      match p.Core.Optimizer.plan with
+      (* the optimizer's fusion post-pass may push the root Top-k under an
+         exchange (per-worker local top-k); the shape requirement applies
+         to the plan modulo that rewrite *)
+      match
+        (match p.Core.Optimizer.plan with
+        | Plan.Exchange { input = Plan.Top_k _ as t; _ } -> t
+        | r -> r)
+      with
       | Plan.Top_k { k = plan_k; input } ->
           (if plan_k = k then []
            else
@@ -930,3 +949,59 @@ let cache_entry_rule ~key ~epoch (prepared : Sqlfront.Sql.prepared) =
     | _ -> []
   in
   epoch_check @ canonical @ interval @ containment
+
+(* ------------------------------------------------------------------ *)
+(* PL11-exchange *)
+
+let rule11 = "PL11-exchange"
+
+let exchange_node (f : Walk.facts) =
+  let path = f.Walk.path in
+  match f.Walk.plan with
+  | Plan.Exchange { dop; input } ->
+      (if dop >= 2 then []
+       else
+         [
+           d rule11 path
+             ~hint:"a serial exchange is pure overhead; plan it away instead"
+             "exchange degree %d is not parallel" dop;
+         ])
+      @ (if not (Plan.has_rank_join input) then []
+         else
+           [
+             d rule11 path
+               ~hint:
+                 "rank joins must stay sequential and incremental; they may \
+                  pull from an exchange, never run inside one"
+               "exchange over a rank join breaks incremental early-out";
+           ])
+      @ (if not (Core.Parallel.has_exchange input) then []
+         else [ d rule11 path "nested exchange" ])
+      @
+      if Core.Parallel.eligible input then []
+      else
+        [
+          d rule11 path
+            ~hint:
+              "morselizable shapes: a scan/filter/hash/INL/NL left spine \
+               with serial right sides, or Top-k over Sort over one"
+            "exchange input %s is not a morselizable spine"
+            (Plan.describe input);
+        ]
+  | _ -> []
+
+let exchange_rule ?dop facts =
+  let per_node = Walk.fold (fun acc f -> acc @ exchange_node f) [] facts in
+  per_node
+  @
+  (* the memo/cache property bit must match a recomputation over the
+     retained plan shape *)
+  match dop with
+  | Some bit when bit <> Plan.dop facts.Walk.plan ->
+      [
+        d rule11 facts.Walk.path
+          ~hint:"the DOP property bit disagrees with the plan shape"
+          "stored degree-of-parallelism bit is %d but the plan's is %d" bit
+          (Plan.dop facts.Walk.plan);
+      ]
+  | _ -> []

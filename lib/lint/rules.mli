@@ -1,4 +1,4 @@
-(** The planlint rule catalog (PL01–PL10).
+(** The planlint rule catalog (PL01–PL11).
 
     Each rule checks one optimizer invariant and reports violations as
     {!Diag.t} values. Rules come in two layers: pure checkers over plain
@@ -116,3 +116,13 @@ val cache_entry_rule :
     {!Sqlfront.Sql.template_of_sql}), its epoch is non-negative, its plan's
     bound [k] lies inside the variant's validity interval, and the interval
     endpoints are sane. *)
+
+(** {2 PL11-exchange — exchange placement soundness} *)
+
+val exchange_rule : ?dop:int -> Walk.facts -> Diag.t list
+(** Every exchange has a parallel degree (≥ 2), sits on a morselizable
+    spine ({!Core.Parallel.eligible}), contains no rank join (which must
+    stay sequential for incremental early-out — they may pull {e from} an
+    exchange, never run inside one) and no nested exchange. When a stored
+    [dop] property bit is supplied (memo/cache) it must equal
+    {!Core.Plan.dop} of the plan. *)

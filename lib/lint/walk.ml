@@ -60,6 +60,9 @@ let produced_order plan child_orders =
          has this key expression is PL01's finding, not re-derived here *)
       Some { Plan.expr = key; direction = (if desc then Io.Desc else Io.Asc) }
   | Plan.Filter _ | Plan.Top_k _ -> child 0
+  (* the gather drains slots in morsel-index order, so the exchange
+     passes its input's order through unchanged *)
+  | Plan.Exchange _ -> child 0
   | Plan.Sort { order; _ } -> Some order
   | Plan.Join { algo = Plan.Nested_loops | Plan.Index_nl | Plan.Hash; _ } ->
       child 0
@@ -123,6 +126,8 @@ let streaming_of plan child_streams =
   match plan with
   | Plan.Table_scan _ | Plan.Index_scan _ -> true
   | Plan.Filter _ | Plan.Top_k _ -> child 0
+  (* first results wait on whole morsels: not streaming *)
+  | Plan.Exchange _ -> false
   | Plan.Sort _ -> false
   | Plan.Join { algo = Plan.Nested_loops | Plan.Index_nl | Plan.Hash; _ } ->
       child 0
@@ -135,8 +140,10 @@ let streaming_of plan child_streams =
 
 let children_of = function
   | Plan.Table_scan _ | Plan.Index_scan _ -> []
-  | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Top_k { input; _ }
-    ->
+  | Plan.Filter { input; _ }
+  | Plan.Sort { input; _ }
+  | Plan.Top_k { input; _ }
+  | Plan.Exchange { input; _ } ->
       [ (input, "input") ]
   | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
   | Plan.Nary_rank_join { inputs; _ } ->
@@ -151,7 +158,7 @@ let derive catalog plan =
       match plan with
       | Plan.Table_scan { table } | Plan.Index_scan { table; _ } ->
           table_schema catalog table
-      | Plan.Filter _ | Plan.Sort _ | Plan.Top_k _ ->
+      | Plan.Filter _ | Plan.Sort _ | Plan.Top_k _ | Plan.Exchange _ ->
           (match children with [ c ] -> c.schema | _ -> None)
       | Plan.Join _ -> (
           match children with

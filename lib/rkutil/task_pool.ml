@@ -1,0 +1,81 @@
+type t = {
+  lock : Mutex.t;
+  wake : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+  size : int;
+}
+
+let rec worker t =
+  let job =
+    Mutex.lock t.lock;
+    let rec take () =
+      match Queue.take_opt t.jobs with
+      | Some j -> Some j
+      | None ->
+          if t.stopping then None
+          else begin
+            Condition.wait t.wake t.lock;
+            take ()
+          end
+    in
+    let j = take () in
+    Mutex.unlock t.lock;
+    j
+  in
+  match job with
+  | None -> ()
+  | Some j ->
+      (* A task must not take the pool down with it: exceptions are the
+         submitter's business (tasks that care thread results through their
+         own channels). *)
+      (try j () with _ -> ());
+      worker t
+
+let create ~domains =
+  let size = max 0 domains in
+  let t =
+    {
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      jobs = Queue.create ();
+      stopping = false;
+      domains = [];
+      size;
+    }
+  in
+  t.domains <- List.init size (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.size
+
+let submit t job =
+  Mutex.lock t.lock;
+  (* No workers means an enqueued job would never run: reject so the
+     caller runs it (exchange consumers help-drain their own morsels). *)
+  if t.stopping || t.size = 0 then begin
+    Mutex.unlock t.lock;
+    false
+  end
+  else begin
+    Queue.push job t.jobs;
+    Condition.signal t.wake;
+    Mutex.unlock t.lock;
+    true
+  end
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.jobs in
+  Mutex.unlock t.lock;
+  n
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let ds = t.domains in
+  t.stopping <- true;
+  t.domains <- [];
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  List.iter Domain.join ds

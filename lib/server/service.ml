@@ -3,10 +3,17 @@ type config = {
   queue_capacity : int;
   cache_capacity : int;
   default_timeout_s : float;
+  dop : int;
 }
 
 let default_config =
-  { workers = 4; queue_capacity = 64; cache_capacity = 128; default_timeout_s = 30.0 }
+  {
+    workers = 4;
+    queue_capacity = 64;
+    cache_capacity = 128;
+    default_timeout_s = 30.0;
+    dop = 1;
+  }
 
 type error =
   | Parse_error of string
@@ -65,24 +72,20 @@ module Ivar = struct
         Option.get iv.v)
 end
 
-type job = {
-  deadline : float;
-  run : unit -> unit;
-  cancel : unit -> unit;  (* deadline passed while queued *)
-}
-
 type t = {
   cat : Storage.Catalog.t;
   config : config;
   cache : Plan_cache.t;
   lock : Rwlock.t;
   metrics : Metrics.t;
-  jobs : job Queue.t;
-  qm : Mutex.t;
-  qc : Condition.t;
-  mutable stopping : bool;
-  mutable domains : unit Domain.t list;
-  mutable active_sessions : int;
+  pool : Rkutil.Task_pool.t;
+      (* One pool serves both layers: whole statements (inter-query) and
+         exchange morsel pumps (intra-query). Safe because no pool job ever
+         blocks on the *scheduling* of another — exchange consumers help-run
+         unclaimed morsels themselves (see Exec.Exchange). *)
+  queued : int Atomic.t;  (* statements admitted but not yet started *)
+  stopping : bool Atomic.t;
+  active_sessions : int Atomic.t;
 }
 
 type session = {
@@ -92,58 +95,28 @@ type session = {
   smetrics : Metrics.t;
 }
 
-let worker_loop t =
-  let rec loop () =
-    let job =
-      Mutex.protect t.qm (fun () ->
-          while Queue.is_empty t.jobs && not t.stopping do
-            Condition.wait t.qc t.qm
-          done;
-          if Queue.is_empty t.jobs then None else Some (Queue.pop t.jobs))
-    in
-    match job with
-    | None -> ()  (* stopping and fully drained *)
-    | Some job ->
-        if Unix.gettimeofday () > job.deadline then job.cancel ()
-        else job.run ();
-        loop ()
-  in
-  loop ()
-
 let create ?(config = default_config) cat =
-  let config = { config with workers = max 1 config.workers } in
-  let t =
-    {
-      cat;
-      config;
-      cache = Plan_cache.create ~capacity:config.cache_capacity ();
-      lock = Rwlock.create ();
-      metrics = Metrics.create ();
-      jobs = Queue.create ();
-      qm = Mutex.create ();
-      qc = Condition.create ();
-      stopping = false;
-      domains = [];
-      active_sessions = 0;
-    }
+  let config =
+    { config with workers = max 1 config.workers; dop = max 1 config.dop }
   in
-  t.domains <-
-    List.init config.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
+  {
+    cat;
+    config;
+    cache = Plan_cache.create ~capacity:config.cache_capacity ();
+    lock = Rwlock.create ();
+    metrics = Metrics.create ();
+    pool = Rkutil.Task_pool.create ~domains:config.workers;
+    queued = Atomic.make 0;
+    stopping = Atomic.make false;
+    active_sessions = Atomic.make 0;
+  }
 
 let shutdown t =
-  let domains =
-    Mutex.protect t.qm (fun () ->
-        t.stopping <- true;
-        Condition.broadcast t.qc;
-        let ds = t.domains in
-        t.domains <- [];
-        ds)
-  in
-  List.iter Domain.join domains
+  Atomic.set t.stopping true;
+  Rkutil.Task_pool.shutdown t.pool
 
 let open_session t =
-  Mutex.protect t.qm (fun () -> t.active_sessions <- t.active_sessions + 1);
+  Atomic.incr t.active_sessions;
   {
     svc = t;
     stmts = Hashtbl.create 8;
@@ -152,39 +125,39 @@ let open_session t =
   }
 
 let close_session s =
-  Mutex.protect s.svc.qm (fun () ->
-      s.svc.active_sessions <- s.svc.active_sessions - 1);
+  Atomic.decr s.svc.active_sessions;
   Mutex.protect s.slock (fun () -> Hashtbl.reset s.stmts)
 
-(* Hand [f] to a worker domain; block until it completes, the deadline
-   cancels it, or admission control sheds it. *)
+(* Hand [f] to a pool worker; block until it completes, the deadline
+   cancels it, or admission control sheds it. The queued counter tracks
+   statements only — morsel pump jobs the statements themselves submit to
+   the same pool never count against admission. *)
 let submit t ~deadline (f : unit -> ('a, error) result) : ('a, error) result =
   let iv = Ivar.create () in
-  let run () =
-    let r =
-      try f () with
-      | Core.Executor.Interrupted -> Error Timeout
-      | exn -> Error (Exec_error (Printexc.to_string exn))
+  if Atomic.get t.stopping then Error Shutting_down
+  else if Atomic.get t.queued >= t.config.queue_capacity then begin
+    Metrics.record_shed t.metrics;
+    Error Queue_full
+  end
+  else begin
+    Atomic.incr t.queued;
+    let job () =
+      Atomic.decr t.queued;
+      if Unix.gettimeofday () > deadline then Ivar.fill iv (Error Timeout)
+      else
+        let r =
+          try f () with
+          | Core.Executor.Interrupted -> Error Timeout
+          | exn -> Error (Exec_error (Printexc.to_string exn))
+        in
+        Ivar.fill iv r
     in
-    Ivar.fill iv r
-  in
-  let cancel () = Ivar.fill iv (Error Timeout) in
-  let admitted =
-    Mutex.protect t.qm (fun () ->
-        if t.stopping then `Stopping
-        else if Queue.length t.jobs >= t.config.queue_capacity then `Full
-        else begin
-          Queue.push { deadline; run; cancel } t.jobs;
-          Condition.signal t.qc;
-          `Ok
-        end)
-  in
-  match admitted with
-  | `Stopping -> Error Shutting_down
-  | `Full ->
-      Metrics.record_shed t.metrics;
-      Error Queue_full
-  | `Ok -> Ivar.read iv
+    if Rkutil.Task_pool.submit t.pool job then Ivar.read iv
+    else begin
+      Atomic.decr t.queued;
+      Error Shutting_down
+    end
+  end
 
 let record_outcome t s ~latency_s = function
   | Ok _ ->
@@ -214,7 +187,10 @@ let run_template sess ?timeout_s ?k (tpl : Sqlfront.Sql.template) =
         let interrupt () = Unix.gettimeofday () > deadline in
         let exec prepared ~cached ~reoptimized =
           Rwlock.with_read t.lock (fun () ->
-              match Sqlfront.Sql.run_prepared ~interrupt t.cat prepared with
+              match
+                Sqlfront.Sql.run_prepared ~interrupt ~pool:t.pool t.cat
+                  prepared
+              with
               | Ok ans -> Ok (ans, cached, reoptimized)
               | Error e -> Error (Exec_error e))
         in
@@ -229,7 +205,7 @@ let run_template sess ?timeout_s ?k (tpl : Sqlfront.Sql.template) =
             | Ok ast -> (
                 match
                   Rwlock.with_read t.lock (fun () ->
-                      Sqlfront.Sql.prepare_ast t.cat ast)
+                      Sqlfront.Sql.prepare_ast ~dop:t.config.dop t.cat ast)
                 with
                 | Error e -> Error (Plan_error e)
                 | Ok p ->
@@ -327,7 +303,7 @@ let explain sess text =
   | Ok s -> Ok s
   | Error e -> Error (Plan_error e)
 
-let queue_depth t = Mutex.protect t.qm (fun () -> Queue.length t.jobs)
+let queue_depth t = Atomic.get t.queued
 
 let cache_stats t = Plan_cache.stats t.cache
 let cache_entries t = Plan_cache.entries t.cache
@@ -351,8 +327,8 @@ let stats t =
       ("cache_hit_rate", Printf.sprintf "%.3f" (Plan_cache.hit_rate c));
       ("queue_depth", string_of_int (queue_depth t));
       ("workers", string_of_int t.config.workers);
-      ( "sessions",
-        string_of_int (Mutex.protect t.qm (fun () -> t.active_sessions)) );
+      ("dop", string_of_int t.config.dop);
+      ("sessions", string_of_int (Atomic.get t.active_sessions));
       ("stats_epoch", string_of_int (Storage.Catalog.stats_epoch t.cat));
     ]
 

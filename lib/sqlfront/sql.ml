@@ -48,9 +48,19 @@ let instantiate tpl ?k () =
     | Some k -> Error (Printf.sprintf "bind error: negative k %d" k)
     | None -> Error "bind error: LIMIT ? is unbound: supply k"
 
-let prepare_ast ?config catalog ast =
+let prepare_ast ?config ?dop catalog ast =
   let* bound = Binder.bind_result catalog ast in
-  match Core.Optimizer.optimize ?config catalog bound.Binder.logical with
+  let logical = bound.Binder.logical in
+  let env =
+    match dop with
+    | Some d when d > 1 ->
+        Some
+          (Core.Cost_model.default_env
+             ~k_min:(Option.value ~default:1 logical.Core.Logical.k)
+             ~dop:d catalog logical)
+    | _ -> None
+  in
+  match Core.Optimizer.optimize ?config ?env catalog logical with
   | planned -> Ok { bound; planned }
   | exception Failure msg -> Error ("plan error: " ^ msg)
 
@@ -65,13 +75,13 @@ let rebind_k p k =
       };
   }
 
-let plan_of ?config catalog text =
+let plan_of ?config ?dop catalog text =
   let* ast = Parser.parse_result text in
-  let* p = prepare_ast ?config catalog ast in
+  let* p = prepare_ast ?config ?dop catalog ast in
   Ok (p.bound, p.planned)
 
-let run_prepared ?interrupt catalog { bound; planned } =
-  let result = Core.Optimizer.execute ?interrupt catalog planned in
+let run_prepared ?interrupt ?pool ?degree catalog { bound; planned } =
+  let result = Core.Optimizer.execute ?interrupt ?pool ?degree catalog planned in
   match bound.Binder.aggregation with
   | Some agg ->
       let schema = result.Core.Executor.schema in
@@ -148,9 +158,9 @@ let run_prepared ?interrupt catalog { bound; planned } =
       planned;
     }
 
-let query ?config catalog text =
-  let* bound, planned = plan_of ?config catalog text in
-  run_prepared catalog { bound; planned }
+let query ?config ?dop ?pool catalog text =
+  let* bound, planned = plan_of ?config ?dop catalog text in
+  run_prepared ?pool catalog { bound; planned }
 
 type exec_result =
   | Rows of answer

@@ -1,118 +1,170 @@
+(* Frames of a shard form an intrusive doubly-linked list in recency order
+   (head = most recently used, tail = next victim), so a hit reorders and
+   a miss evicts in O(1). The previous scheme stamped frames with a clock
+   and scanned the whole shard for the minimum on every eviction, which
+   made a miss cost O(shard frames) — scans against a full pool slowed
+   down as the pool got bigger. *)
 type frame = {
   page : Page.t;
   mutable dirty : bool;
-  mutable last_use : int;
+  mutable prev : frame option; (* toward the head: more recently used *)
+  mutable next : frame option; (* toward the tail: less recently used *)
+}
+
+(* Pages are striped across shards by id; each shard owns its slice of
+   the backing store, its cache partition, its LRU clock, and its own
+   latch. Parallel morsel scans touch distinct pages and therefore mostly
+   distinct shards, so they no longer serialize on one pool-wide mutex —
+   the lock-splitting that intra-query parallelism needs. The pool-wide
+   invariants are preserved per shard: a shard never caches more than its
+   frame quota, so total residency never exceeds the configured frame
+   budget, and every miss/hit/write-back is charged to the shared
+   (atomic) [Io_stats.t] exactly as before. *)
+type shard = {
+  s_frames : int;
+  s_disk : (int, Page.t) Hashtbl.t;
+  s_cache : (int, frame) Hashtbl.t;
+  mutable s_head : frame option;
+  mutable s_tail : frame option;
+  s_lock : Mutex.t;
 }
 
 type t = {
-  frames : int;
+  frames : int;  (* configured total, reported by [frames] *)
   io : Io_stats.t;
-  disk : (int, Page.t) Hashtbl.t;
-  cache : (int, frame) Hashtbl.t;
-  mutable clock : int;
-  mutable next_id : int;
-  (* One lock around every cache/disk manipulation: the pool is shared by
-     all worker domains of the query service, and the LRU bookkeeping
-     (victim selection, frame insertion) must be atomic or two domains can
-     evict the same frame / lose a dirty bit. Critical sections are a few
-     hashtable operations, so a single mutex is cheap relative to query
-     work. *)
-  lock : Mutex.t;
+  shards : shard array;
+  next_id : int Atomic.t;
 }
 
+let shard_count frames = min 16 (max 1 (frames / 4))
+
 let create ?(frames = 64) io =
+  let frames = max 1 frames in
+  let n = shard_count frames in
   {
-    frames = max 1 frames;
+    frames;
     io;
-    disk = Hashtbl.create 256;
-    cache = Hashtbl.create 64;
-    clock = 0;
-    next_id = 0;
-    lock = Mutex.create ();
+    shards =
+      Array.init n (fun _ ->
+          {
+            s_frames = max 1 (frames / n);
+            s_disk = Hashtbl.create 64;
+            s_cache = Hashtbl.create 16;
+            s_head = None;
+            s_tail = None;
+            s_lock = Mutex.create ();
+          });
+    next_id = Atomic.make 0;
   }
 
 let frames t = t.frames
 
 let stats t = t.io
 
-let locked t f = Mutex.protect t.lock f
+let shard_of t pid = t.shards.(pid mod Array.length t.shards)
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let locked s f = Mutex.protect s.s_lock f
 
-let evict_if_needed t =
-  while Hashtbl.length t.cache >= t.frames do
-    (* Evict the least recently used frame. *)
-    let victim = ref None in
-    Hashtbl.iter
-      (fun pid fr ->
-        match !victim with
-        | None -> victim := Some (pid, fr)
-        | Some (_, best) -> if fr.last_use < best.last_use then victim := Some (pid, fr))
-      t.cache;
-    match !victim with
+(* Recency-list surgery; all callers hold the shard latch. *)
+let unlink s fr =
+  (match fr.prev with Some p -> p.next <- fr.next | None -> s.s_head <- fr.next);
+  (match fr.next with Some n -> n.prev <- fr.prev | None -> s.s_tail <- fr.prev);
+  fr.prev <- None;
+  fr.next <- None
+
+let push_front s fr =
+  fr.prev <- None;
+  fr.next <- s.s_head;
+  (match s.s_head with
+  | Some h -> h.prev <- Some fr
+  | None -> s.s_tail <- Some fr);
+  s.s_head <- Some fr
+
+let touch s fr =
+  match s.s_head with
+  | Some h when h == fr -> ()
+  | _ ->
+      unlink s fr;
+      push_front s fr
+
+let rec evict_if_needed t s =
+  if Hashtbl.length s.s_cache >= s.s_frames then
+    match s.s_tail with
     | None -> ()
-    | Some (pid, fr) ->
+    | Some fr ->
+        (* The tail is the least recently used frame of this shard. *)
         if fr.dirty then Io_stats.add_page_write t.io;
-        Hashtbl.remove t.cache pid
-  done
+        Hashtbl.remove s.s_cache (Page.id fr.page);
+        unlink s fr;
+        evict_if_needed t s
 
-let insert_frame t page ~dirty =
-  evict_if_needed t;
-  Hashtbl.replace t.cache (Page.id page)
-    { page; dirty; last_use = tick t }
+let insert_frame t s page ~dirty =
+  evict_if_needed t s;
+  (match Hashtbl.find_opt s.s_cache (Page.id page) with
+  | Some old -> unlink s old
+  | None -> ());
+  let fr = { page; dirty; prev = None; next = None } in
+  Hashtbl.replace s.s_cache (Page.id page) fr;
+  push_front s fr
 
 let alloc_page t ~capacity =
-  locked t (fun () ->
-      let id = t.next_id in
-      t.next_id <- t.next_id + 1;
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let s = shard_of t id in
+  locked s (fun () ->
       let page = Page.create ~id ~capacity in
-      Hashtbl.replace t.disk id page;
-      insert_frame t page ~dirty:true;
+      Hashtbl.replace s.s_disk id page;
+      insert_frame t s page ~dirty:true;
       page)
 
 let get t pid =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.cache pid with
+  let s = shard_of t pid in
+  locked s (fun () ->
+      match Hashtbl.find_opt s.s_cache pid with
       | Some fr ->
-          fr.last_use <- tick t;
+          touch s fr;
           Io_stats.add_pool_hit t.io;
           fr.page
       | None -> (
-          match Hashtbl.find_opt t.disk pid with
+          match Hashtbl.find_opt s.s_disk pid with
           | None ->
               invalid_arg (Printf.sprintf "Buffer_pool.get: unknown page %d" pid)
           | Some page ->
               Io_stats.add_page_read t.io;
-              insert_frame t page ~dirty:false;
+              insert_frame t s page ~dirty:false;
               page))
 
 let mark_dirty t pid =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.cache pid with
+  let s = shard_of t pid in
+  locked s (fun () ->
+      match Hashtbl.find_opt s.s_cache pid with
       | Some fr -> fr.dirty <- true
       | None -> (
           (* The page was evicted between the caller's fetch and this call. A
              silent no-op here loses the pending write-back: fault the page in
              (charging the read, as any miss does) and dirty the fresh frame so
              eviction/flush still counts the write. *)
-          match Hashtbl.find_opt t.disk pid with
+          match Hashtbl.find_opt s.s_disk pid with
           | None ->
               invalid_arg
                 (Printf.sprintf "Buffer_pool.mark_dirty: unknown page %d" pid)
           | Some page ->
               Io_stats.add_page_read t.io;
-              insert_frame t page ~dirty:true))
+              insert_frame t s page ~dirty:true))
 
 let flush t =
-  locked t (fun () ->
-      Hashtbl.iter
-        (fun _ fr ->
-          if fr.dirty then begin
-            Io_stats.add_page_write t.io;
-            fr.dirty <- false
-          end)
-        t.cache)
+  Array.iter
+    (fun s ->
+      locked s (fun () ->
+          Hashtbl.iter
+            (fun _ fr ->
+              if fr.dirty then begin
+                Io_stats.add_page_write t.io;
+                fr.dirty <- false
+              end)
+            s.s_cache))
+    t.shards
 
-let resident t = locked t (fun () -> Hashtbl.length t.cache)
+let resident t =
+  Array.fold_left
+    (fun acc s -> acc + locked s (fun () -> Hashtbl.length s.s_cache))
+    0 t.shards

@@ -5,10 +5,12 @@
     This makes measured I/O sensitive to the buffer budget, as in a real
     engine.
 
-    The pool is domain-safe: every operation (fetch, allocation, dirtying,
-    flush) runs under one internal mutex, so the concurrent worker domains
-    of the query service can share a catalog without losing dirty bits or
-    double-evicting frames. *)
+    The pool is domain-safe and latch-split: pages are striped across
+    shards by id, each with its own mutex, cache partition, and LRU clock,
+    so parallel morsel scans touching distinct pages do not serialize on
+    one pool-wide lock. Per-shard frame quotas sum to the configured
+    budget, so total residency never exceeds [frames]; small pools
+    collapse to a single shard and behave exactly as before. *)
 
 type t
 

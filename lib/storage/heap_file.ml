@@ -79,9 +79,10 @@ let n_pages t = List.length t.page_ids
 
 let tuples_per_page t = t.tuples_per_page
 
-let scan t =
+let scan_pages t ~lo ~hi =
   let pages = pages_in_order t in
-  let page_idx = ref 0 in
+  let hi = min hi (Array.length pages) in
+  let page_idx = ref (max 0 lo) in
   let slot = ref 0 in
   let current = ref None in
   let rec next () =
@@ -98,7 +99,7 @@ let scan t =
           Some tu
         end
     | _ ->
-        if !page_idx >= Array.length pages then None
+        if !page_idx >= hi then None
         else begin
           current := Some (Buffer_pool.get t.pool pages.(!page_idx));
           incr page_idx;
@@ -107,6 +108,8 @@ let scan t =
         end
   in
   next
+
+let scan t = scan_pages t ~lo:0 ~hi:(Array.length (pages_in_order t))
 
 let iter f t =
   let next = scan t in

@@ -34,6 +34,12 @@ val tuples_per_page : t -> int
 val scan : t -> unit -> Tuple.t option
 (** A fresh full-scan cursor; every page access goes through the pool. *)
 
+val scan_pages : t -> lo:int -> hi:int -> unit -> Tuple.t option
+(** Cursor over the page-index range [\[lo, hi)] of the file's pages in
+    storage order — the unit of work ("morsel") for parallel scans.
+    Concatenating [scan_pages] cursors over a partition of [0, n_pages)]
+    yields exactly [scan]'s sequence. Out-of-range bounds are clamped. *)
+
 val iter : (Tuple.t -> unit) -> t -> unit
 
 val to_list : t -> Tuple.t list

@@ -53,7 +53,10 @@ let prop_best_is_cheapest_retained =
 
 let plan_children = function
   | Plan.Table_scan _ | Plan.Index_scan _ -> []
-  | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Top_k { input; _ } ->
+  | Plan.Filter { input; _ }
+  | Plan.Sort { input; _ }
+  | Plan.Top_k { input; _ }
+  | Plan.Exchange { input; _ } ->
       [ input ]
   | Plan.Join { left; right; _ } -> [ left; right ]
   | Plan.Nary_rank_join { inputs; _ } -> inputs

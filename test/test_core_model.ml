@@ -313,9 +313,8 @@ let test_k_star_exists_or_rank_dominates () =
 let test_filter_selectivity_histogram () =
   let cat, query, _ = setup () in
   let env = Cost_model.default_env cat query in
-  let schema = (Storage.Catalog.table cat "A").Storage.Catalog.tb_schema in
   let sel =
-    Cost_model.filter_selectivity env schema
+    Cost_model.filter_selectivity env
       Expr.(Cmp (Le, col ~relation:"A" "score", cfloat 0.25))
   in
   Alcotest.(check bool) "sel near 0.25" true (Float.abs (sel -. 0.25) < 0.08)

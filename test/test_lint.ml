@@ -232,7 +232,7 @@ let test_fuzz_corpus_clean () =
 
 let test_catalog_complete () =
   let ids = List.map fst Lint.Rules.catalog in
-  Alcotest.(check int) "ten rules" 10 (List.length ids);
+  Alcotest.(check int) "eleven rules" 11 (List.length ids);
   Alcotest.(check bool)
     "distinct ids" true
     (List.length (List.sort_uniq String.compare ids) = List.length ids)

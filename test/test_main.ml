@@ -32,5 +32,6 @@ let () =
          Test_consistency.suites;
          Test_rankcheck.suites;
          Test_concurrency.suites;
+         Test_parallel.suites;
          Test_server.suites;
        ])

@@ -221,7 +221,8 @@ let rec plan_has_nary = function
   | Core.Plan.Table_scan _ | Core.Plan.Index_scan _ -> false
   | Core.Plan.Filter { input; _ }
   | Core.Plan.Sort { input; _ }
-  | Core.Plan.Top_k { input; _ } ->
+  | Core.Plan.Top_k { input; _ }
+  | Core.Plan.Exchange { input; _ } ->
       plan_has_nary input
   | Core.Plan.Join { left; right; _ } -> plan_has_nary left || plan_has_nary right
 

@@ -1,0 +1,415 @@
+(* Morsel-driven intra-query parallelism: the exchange operators (ordered
+   gather, parallel top-N, partitioned hash build), the task pool, plan
+   enumeration with exchanges, and — the load-bearing property — exact
+   determinism: the same exchange plan returns the identical tuple sequence
+   at every degree, with and without a domain pool. *)
+
+open Relalg
+module Plan = Core.Plan
+module Cost_model = Core.Cost_model
+module Parallel = Core.Parallel
+
+let schema =
+  Schema.of_columns
+    [ Schema.column ~relation:"T" "v" Value.Tint ]
+
+let tuple i = Tuple.make [ Value.Int i ]
+
+let v tu = Value.to_int (Tuple.get tu 0)
+
+(* [n] morsels, morsel [i] holding [width] consecutive ints from [i*width]. *)
+let int_source ?(width = 7) n =
+  {
+    Exec.Exchange.src_schema = schema;
+    src_prepare =
+      (fun ~cancel:_ ->
+        {
+          Exec.Exchange.n_morsels = n;
+          run_morsel = (fun i -> List.init width (fun j -> tuple ((i * width) + j)));
+        });
+  }
+
+let with_pool domains f =
+  let pool = Rkutil.Task_pool.create ~domains in
+  Fun.protect ~finally:(fun () -> Rkutil.Task_pool.shutdown pool) (fun () -> f pool)
+
+(* ------------------------------------------------------------------ *)
+(* Task pool *)
+
+let test_pool_runs_jobs () =
+  with_pool 3 (fun pool ->
+      let counter = Atomic.make 0 in
+      for _ = 1 to 100 do
+        Alcotest.(check bool) "submitted" true
+          (Rkutil.Task_pool.submit pool (fun () -> Atomic.incr counter))
+      done;
+      let deadline = Unix.gettimeofday () +. 5.0 in
+      while Atomic.get counter < 100 && Unix.gettimeofday () < deadline do
+        Domain.cpu_relax ()
+      done;
+      Alcotest.(check int) "all jobs ran" 100 (Atomic.get counter))
+
+let test_pool_shutdown_rejects () =
+  let pool = Rkutil.Task_pool.create ~domains:2 in
+  Rkutil.Task_pool.shutdown pool;
+  Alcotest.(check bool) "submit after shutdown" false
+    (Rkutil.Task_pool.submit pool (fun () -> ()))
+
+let test_pool_zero_domains () =
+  let pool = Rkutil.Task_pool.create ~domains:0 in
+  Alcotest.(check bool) "zero-domain pool rejects" false
+    (Rkutil.Task_pool.submit pool (fun () -> ()));
+  Rkutil.Task_pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Ordered gather *)
+
+let expected n width = List.init (n * width) Fun.id
+
+let test_gather_preserves_order_no_pool () =
+  List.iter
+    (fun dop ->
+      let out =
+        Exec.Operator.to_list (Exec.Exchange.gather ~dop (int_source 11))
+      in
+      Alcotest.(check (list int))
+        (Printf.sprintf "dop=%d" dop)
+        (expected 11 7) (List.map v out))
+    [ 1; 2; 4; 8 ]
+
+let test_gather_preserves_order_with_pool () =
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun dop ->
+          (* Repeat: scheduling varies, output must not. *)
+          for _ = 1 to 5 do
+            let out =
+              Exec.Operator.to_list
+                (Exec.Exchange.gather ~pool ~dop (int_source 23))
+            in
+            Alcotest.(check (list int))
+              (Printf.sprintf "dop=%d" dop)
+              (expected 23 7) (List.map v out)
+          done)
+        [ 2; 4; 8 ])
+
+let test_gather_empty_source () =
+  with_pool 2 (fun pool ->
+      let out =
+        Exec.Operator.to_list (Exec.Exchange.gather ~pool ~dop:4 (int_source 0))
+      in
+      Alcotest.(check int) "no tuples" 0 (List.length out))
+
+let test_gather_early_close_cancels () =
+  (* A consumer that stops after a prefix must not hang, and close must
+     join in-flight pumps. *)
+  with_pool 4 (fun pool ->
+      let op = Exec.Exchange.gather ~pool ~dop:4 (int_source 50) in
+      let got = Exec.Operator.take op 5 in
+      Alcotest.(check (list int)) "prefix" [ 0; 1; 2; 3; 4 ] (List.map v got))
+
+exception Boom
+
+let test_gather_propagates_failure () =
+  with_pool 4 (fun pool ->
+      let source =
+        {
+          Exec.Exchange.src_schema = schema;
+          src_prepare =
+            (fun ~cancel:_ ->
+              {
+                Exec.Exchange.n_morsels = 10;
+                run_morsel =
+                  (fun i -> if i = 7 then raise Boom else [ tuple i ]);
+              });
+        }
+      in
+      Alcotest.check_raises "worker failure reaches consumer" Boom (fun () ->
+          ignore (Exec.Operator.to_list (Exec.Exchange.gather ~pool ~dop:4 source))))
+
+let test_gather_restartable () =
+  with_pool 2 (fun pool ->
+      let op = Exec.Exchange.gather ~pool ~dop:2 (int_source 6) in
+      let a = Exec.Operator.to_list op in
+      let b = Exec.Operator.to_list op in
+      Alcotest.(check (list int)) "same output twice" (List.map v a) (List.map v b))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel top-N *)
+
+let test_top_n_matches_serial () =
+  (* Scores deliberately collide so the stable tie-break is exercised. *)
+  let n = 13 and width = 7 in
+  let score tu = float_of_int (v tu mod 10) in
+  let serial =
+    let all = List.concat (List.init n (fun i -> List.init width (fun j -> tuple ((i * width) + j)))) in
+    let dec = List.map (fun tu -> (tu, score tu)) all in
+    let sorted = List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) dec in
+    List.filteri (fun i _ -> i < 12) (List.map fst sorted)
+  in
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun dop ->
+          let out =
+            Exec.Operator.to_list
+              (Exec.Exchange.top_n ~pool ~dop ~k:12 ~score (int_source ~width n))
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "top-12 at dop=%d" dop)
+            (List.map v serial) (List.map v out))
+        [ 1; 2; 4; 8 ])
+
+(* ------------------------------------------------------------------ *)
+(* Partitioned hash build *)
+
+let test_partitioned_build_matches_serial () =
+  let n = 9 and width = 8 in
+  let key tu = Value.Int (v tu mod 5) in
+  let run i = List.init width (fun j -> tuple ((i * width) + j)) in
+  (* Serial reference: chains in arrival order. *)
+  let reference k =
+    List.filter
+      (fun tu -> Value.equal (key tu) k)
+      (List.concat (List.init n run))
+  in
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun dop ->
+          let lookup =
+            Exec.Exchange.partitioned_build ~pool ~dop ~partitions:4 ~key ~n
+              ~run ~cancel:(Atomic.make false) ()
+          in
+          for kv = 0 to 5 do
+            let k = Value.Int kv in
+            Alcotest.(check (list int))
+              (Printf.sprintf "key %d at dop=%d" kv dop)
+              (List.map v (reference k))
+              (List.map v (lookup k))
+          done)
+        [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: planning + execution *)
+
+let setup_catalog ?(n = 600) ?(domain = 40) ?(seed = 11) () =
+  let cat = Storage.Catalog.create ~pool_frames:64 () in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Workload.Generator.load_scored_table cat
+           (Rkutil.Prng.create (seed + (31 * i)))
+           ~name ~n ~key_domain:domain ()))
+    [ "A"; "B" ];
+  cat
+
+let drain_query k =
+  Core.Logical.make
+    ~relations:
+      [
+        Core.Logical.base ~score:(Expr.col ~relation:"A" "score") "A";
+        Core.Logical.base ~score:(Expr.col ~relation:"B" "score") "B";
+      ]
+    ~joins:[ Core.Logical.equijoin ("A", "key") ("B", "key") ]
+    ~k ()
+
+let optimize_parallel ?(dop = 4) cat query =
+  let env =
+    Cost_model.default_env
+      ~k_min:(Option.value ~default:1 query.Core.Logical.k)
+      ~dop cat query
+  in
+  Core.Optimizer.optimize ~env cat query
+
+let rows_of res = res.Core.Executor.rows
+
+let test_optimizer_places_exchange_for_drain () =
+  let cat = setup_catalog () in
+  (* k = n: the sort plan drains everything; the parallel spine wins. *)
+  let planned = optimize_parallel cat (drain_query 600) in
+  Alcotest.(check bool) "exchange placed" true
+    (Parallel.has_exchange planned.Core.Optimizer.plan);
+  Alcotest.(check int) "plan dop" 4 (Plan.dop planned.Core.Optimizer.plan);
+  (* Placement is lint-clean. *)
+  match
+    Lint.Engine.errors
+      (Lint.Engine.lint_planned planned)
+  with
+  | [] -> ()
+  | dg :: _ -> Alcotest.failf "lint: %s" (Lint.Diag.to_string dg)
+
+let test_exchange_plan_deterministic_across_degrees () =
+  let cat = setup_catalog () in
+  let planned = optimize_parallel cat (drain_query 600) in
+  Alcotest.(check bool) "exchange placed" true
+    (Parallel.has_exchange planned.Core.Optimizer.plan);
+  let reference = rows_of (Core.Optimizer.execute ~degree:1 cat planned) in
+  with_pool 4 (fun pool ->
+      List.iter
+        (fun degree ->
+          let out =
+            rows_of (Core.Optimizer.execute ~pool ~degree cat planned)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "identical rows at degree %d" degree)
+            true
+            (out = reference))
+        [ 2; 4; 8 ])
+
+let test_exchange_plan_matches_serial_plan () =
+  let cat = setup_catalog () in
+  let q = drain_query 600 in
+  let par = optimize_parallel cat q in
+  let ser = Core.Optimizer.optimize cat q in
+  Alcotest.(check bool) "serial plan has no exchange" false
+    (Parallel.has_exchange ser.Core.Optimizer.plan);
+  let score_multiset res =
+    List.sort compare (List.map snd res.Core.Executor.rows)
+  in
+  with_pool 4 (fun pool ->
+      let p = Core.Optimizer.execute ~pool cat par in
+      let s = Core.Optimizer.execute cat ser in
+      Alcotest.(check int) "same row count" (List.length s.Core.Executor.rows)
+        (List.length p.Core.Executor.rows);
+      Alcotest.(check (list (float 1e-9))) "same score multiset"
+        (score_multiset s) (score_multiset p))
+
+let test_small_k_stays_serial () =
+  (* Early-out regime: at small k on a table big enough that draining it
+     costs more than a few ranked probes, the rank join wins and the
+     chosen plan must not pay exchange startup or lose incremental
+     semantics. (On tiny tables a parallel scan+sort can legitimately be
+     cheaper — that is the k* regime flip, not a bug.) *)
+  let cat = setup_catalog ~n:4000 ~domain:200 () in
+  let planned = optimize_parallel cat (drain_query 10) in
+  Alcotest.(check bool) "rank-aware plan" true
+    (Plan.has_rank_join planned.Core.Optimizer.plan);
+  Alcotest.(check bool) "no exchange in early-out plan" false
+    (Parallel.has_exchange planned.Core.Optimizer.plan)
+
+let test_analyze_renders_exchange () =
+  let cat = setup_catalog ~n:200 () in
+  let planned = optimize_parallel cat (drain_query 200) in
+  if Parallel.has_exchange planned.Core.Optimizer.plan then
+    with_pool 2 (fun pool ->
+        let tree, _ = Core.Optimizer.execute_analyzed ~pool cat planned in
+        let contains needle s =
+          let nl = String.length needle and sl = String.length s in
+          let rec at i = i + nl <= sl && (String.sub s i nl = needle || at (i + 1)) in
+          at 0
+        in
+        Alcotest.(check bool) "gather node rendered" true
+          (contains "Gather" tree))
+
+(* ------------------------------------------------------------------ *)
+(* PL11 mutation tests *)
+
+let lint_plan cat plan = Lint.Engine.errors (Lint.Engine.lint_plan cat plan)
+
+let has_rule rule ds =
+  List.exists (fun dg -> String.equal dg.Lint.Diag.rule rule) ds
+
+let test_pl11_mutations () =
+  let cat = setup_catalog ~n:60 () in
+  let scan = Plan.Table_scan { table = "A" } in
+  let good = Plan.Exchange { dop = 4; input = scan } in
+  Alcotest.(check bool) "sound exchange is clean" true (lint_plan cat good = []);
+  let serial_degree = Plan.Exchange { dop = 1; input = scan } in
+  Alcotest.(check bool) "dop=1 flagged" true
+    (has_rule "PL11-exchange" (lint_plan cat serial_degree));
+  let over_sort =
+    Plan.Exchange
+      {
+        dop = 4;
+        input =
+          Plan.Sort
+            {
+              order =
+                {
+                  Plan.expr = Expr.col ~relation:"A" "score";
+                  direction = Core.Interesting_orders.Desc;
+                };
+              input = scan;
+            };
+      }
+  in
+  Alcotest.(check bool) "exchange over sort flagged" true
+    (has_rule "PL11-exchange" (lint_plan cat over_sort));
+  let nested = Plan.Exchange { dop = 4; input = good } in
+  Alcotest.(check bool) "nested exchange flagged" true
+    (has_rule "PL11-exchange" (lint_plan cat nested));
+  let over_rank =
+    Plan.Exchange
+      {
+        dop = 4;
+        input =
+          Plan.Join
+            {
+              algo = Plan.Hrjn;
+              cond =
+                {
+                  Core.Logical.left_table = "A";
+                  left_column = "key";
+                  right_table = "B";
+                  right_column = "key";
+                };
+              left = scan;
+              right = Plan.Table_scan { table = "B" };
+              left_score = Some (Expr.col ~relation:"A" "score");
+              right_score = Some (Expr.col ~relation:"B" "score");
+            };
+      }
+  in
+  Alcotest.(check bool) "exchange over rank join flagged" true
+    (has_rule "PL11-exchange" (lint_plan cat over_rank))
+
+let test_pl11_dop_bit () =
+  let cat = setup_catalog ~n:60 () in
+  let query = drain_query 10 in
+  let env = Cost_model.default_env ~dop:4 cat query in
+  let sp =
+    Core.Memo.subplan_of env
+      (Plan.Exchange { dop = 4; input = Plan.Table_scan { table = "A" } })
+  in
+  Alcotest.(check bool) "stored bit clean" true
+    (Lint.Engine.errors (Lint.Engine.lint_subplan env sp) = []);
+  let corrupted = { sp with Core.Memo.dop = 7 } in
+  Alcotest.(check bool) "corrupted bit flagged" true
+    (has_rule "PL11-exchange"
+       (Lint.Engine.errors (Lint.Engine.lint_subplan env corrupted)))
+
+let suites =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "pool: runs jobs" `Quick test_pool_runs_jobs;
+        Alcotest.test_case "pool: shutdown rejects" `Quick
+          test_pool_shutdown_rejects;
+        Alcotest.test_case "pool: zero domains" `Quick test_pool_zero_domains;
+        Alcotest.test_case "gather: order, no pool" `Quick
+          test_gather_preserves_order_no_pool;
+        Alcotest.test_case "gather: order, with pool" `Quick
+          test_gather_preserves_order_with_pool;
+        Alcotest.test_case "gather: empty source" `Quick test_gather_empty_source;
+        Alcotest.test_case "gather: early close cancels" `Quick
+          test_gather_early_close_cancels;
+        Alcotest.test_case "gather: failure propagates" `Quick
+          test_gather_propagates_failure;
+        Alcotest.test_case "gather: restartable" `Quick test_gather_restartable;
+        Alcotest.test_case "top-n: matches serial" `Quick
+          test_top_n_matches_serial;
+        Alcotest.test_case "build: matches serial" `Quick
+          test_partitioned_build_matches_serial;
+        Alcotest.test_case "optimizer: drain query gets exchange" `Quick
+          test_optimizer_places_exchange_for_drain;
+        Alcotest.test_case "e2e: deterministic across degrees" `Quick
+          test_exchange_plan_deterministic_across_degrees;
+        Alcotest.test_case "e2e: matches serial plan" `Quick
+          test_exchange_plan_matches_serial_plan;
+        Alcotest.test_case "optimizer: small k stays serial" `Quick
+          test_small_k_stays_serial;
+        Alcotest.test_case "analyze: renders exchange" `Quick
+          test_analyze_renders_exchange;
+        Alcotest.test_case "PL11: placement mutations" `Quick test_pl11_mutations;
+        Alcotest.test_case "PL11: dop property bit" `Quick test_pl11_dop_bit;
+      ] );
+  ]
