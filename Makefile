@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-perf bench-smoke fuzz lint serve-smoke ci clean
+.PHONY: all build test bench bench-perf bench-anyk bench-smoke fuzz lint serve-smoke ci clean
 
 all: build
 
@@ -30,10 +30,16 @@ bench:
 bench-perf: build
 	dune exec bench/main.exe -- perf
 
+# Any-k cursor continuation vs re-planned top-k at growing k: per-fetch
+# delay and the crossover where EXECUTE + FETCH NEXT beats re-submitting
+# the query with a larger LIMIT. Appends one JSON row to BENCH_RANKOPT.json.
+bench-anyk: build
+	dune exec bench/main.exe -- anyk
+
 # Reduced-size subset (<30s): prints the rows but does NOT append, so
 # `make ci` stays clean-tree.
 bench-smoke: build
-	dune exec bench/main.exe -- perf-smoke
+	dune exec bench/main.exe -- perf-smoke anyk-smoke
 
 # Static plan analysis (planlint): run the rule catalog (PL01..PL10) over
 # the example query corpus and over a fixed slice of the fuzz corpus,

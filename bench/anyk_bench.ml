@@ -1,0 +1,164 @@
+(* Any-k cursor continuation vs re-planned top-k re-execution.
+
+   The incremental-fetch regime the cursor work exists for: a client keeps
+   asking for "the next [batch] answers" of a ranked join. With a cursor,
+   EXECUTE pays the any-k build once and every FETCH NEXT resumes the
+   suspended enumeration; without one, the client must re-submit the query
+   with a larger LIMIT each round, paying parse + optimize + a from-scratch
+   execution of the rank-join at the new k every time.
+
+   Reported per checkpoint k (cumulative answers delivered):
+   - cursor_cum:  EXECUTE(batch) + all FETCH NEXT batches up to k;
+   - replan_cum:  sum of one-shot runs at batch, 2*batch, ..., k — what a
+     cursor-less incremental client actually pays;
+   - replan_one:  a single one-shot run at k — the floor a cursor-less
+     client could reach with perfect foresight of k.
+
+   The crossover fields record the first checkpoint where the cursor's
+   cumulative cost drops below each baseline (0 = never). Appends one JSON
+   row to BENCH_RANKOPT.json (smoke mode prints without appending, so
+   `make ci` stays clean-tree). *)
+
+let bench_file = "BENCH_RANKOPT.json"
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (Unix.gettimeofday () -. t0, x)
+
+let sql =
+  "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.5*A.score + \
+   0.5*B.score DESC LIMIT ?"
+
+let substitute_k sql k =
+  String.concat (string_of_int k) (String.split_on_char '?' sql)
+
+let ok_or what = function
+  | Ok r -> r
+  | Error e -> failwith (what ^ ": " ^ Server.Service.error_message e)
+
+let run ?(smoke = false) () =
+  Bench_util.section "anyk: cursor FETCH NEXT vs re-planned top-k";
+  let n = if smoke then 4000 else 12000 in
+  let domain = 50 in
+  let batch = 20 in
+  let steps = if smoke then 8 else 32 in
+  let k_max = batch * steps in
+  let catalog =
+    Bench_util.two_table_catalog ~n ~pool_frames:256 ~domain ~seed:7 ()
+  in
+  (* Warm the buffer pool so both sides measure compute, not cold I/O. *)
+  ignore (Sqlfront.Sql.query catalog (substitute_k sql k_max));
+  let eligible, replan_desc =
+    let ( let* ) r f = match r with Ok x -> f x | Error e -> Error e in
+    let probe =
+      let* tpl = Sqlfront.Sql.template_of_sql sql in
+      let* ast = Sqlfront.Sql.instantiate tpl ~k:batch () in
+      Sqlfront.Sql.prepare_ast catalog ast
+    in
+    match probe with
+    | Ok p ->
+        ( Sqlfront.Sql.cursor_eligible p,
+          Core.Plan.describe p.Sqlfront.Sql.planned.Core.Optimizer.plan )
+    | Error e -> failwith ("anyk bench prepare: " ^ e)
+  in
+  let config = { Server.Service.default_config with workers = 2 } in
+  let svc = Server.Service.create ~config catalog in
+  Fun.protect ~finally:(fun () -> Server.Service.shutdown svc) @@ fun () ->
+  let sess = Server.Service.open_session svc in
+  ignore
+    (ok_or "prepare" (Server.Service.prepare sess ~name:"q" sql)
+      : Sqlfront.Sql.template);
+  (* Cursor side: one EXECUTE, then FETCH NEXT per checkpoint. *)
+  let cursor_scores = ref [] in
+  let note reply =
+    cursor_scores := List.rev_append reply.Server.Service.scores !cursor_scores
+  in
+  let exec_s, first =
+    wall (fun () ->
+        ok_or "execute" (Server.Service.execute_prepared sess ~k:batch "q"))
+  in
+  note first;
+  let cursor_cum = Array.make (steps + 1) 0.0 in
+  cursor_cum.(1) <- exec_s;
+  for i = 2 to steps do
+    let dt, reply =
+      wall (fun () ->
+          ok_or "fetch" (Server.Service.fetch sess ~name:"q" batch))
+    in
+    note reply;
+    cursor_cum.(i) <- cursor_cum.(i - 1) +. dt
+  done;
+  ignore (Server.Service.close_cursor sess "q");
+  (* Re-plan side: a fresh parse + optimize + execute per checkpoint. *)
+  let replan_one = Array.make (steps + 1) 0.0 in
+  let replan_cum = Array.make (steps + 1) 0.0 in
+  let oneshot_scores = ref [] in
+  for i = 1 to steps do
+    let k = batch * i in
+    let dt, ans =
+      wall (fun () ->
+          match Sqlfront.Sql.query catalog (substitute_k sql k) with
+          | Ok a -> a
+          | Error e -> failwith ("anyk bench replan: " ^ e))
+    in
+    replan_one.(i) <- dt;
+    replan_cum.(i) <- replan_cum.(i - 1) +. dt;
+    if i = steps then oneshot_scores := ans.Sqlfront.Sql.scores
+  done;
+  (* The cursor's concatenated stream must carry exactly the scores of a
+     one-shot run at k_max (tuple-level identity is the test suite's job). *)
+  let correct =
+    let sort = List.sort Float.compare in
+    List.equal Float.equal
+      (sort (List.rev !cursor_scores))
+      (sort !oneshot_scores)
+  in
+  let crossover arr =
+    let rec go i =
+      if i > steps then 0
+      else if cursor_cum.(i) < arr.(i) then batch * i
+      else go (i + 1)
+    in
+    go 1
+  in
+  let cross_cum = crossover replan_cum in
+  let cross_one = crossover replan_one in
+  let fetch_avg_ms =
+    1000.0 *. (cursor_cum.(steps) -. exec_s) /. float_of_int (steps - 1)
+  in
+  Bench_util.row "replanned plan: %s%s\n" replan_desc
+    (if eligible then "; statement is cursor-eligible (any-k)"
+     else "; statement is NOT cursor-eligible");
+  Bench_util.row "%-10s %14s %14s %14s\n" "k" "cursor_cum" "replan_cum"
+    "replan_one";
+  let stride = if smoke then 1 else 4 in
+  for i = 1 to steps do
+    if i = 1 || i = steps || i mod stride = 0 then
+      Bench_util.row "%-10d %13.4fs %13.4fs %13.4fs\n" (batch * i)
+        cursor_cum.(i) replan_cum.(i) replan_one.(i)
+  done;
+  Bench_util.row
+    "execute(batch=%d) %.4fs; fetch avg %.3fms/batch; crossover vs \
+     cumulative re-plan at k=%d, vs one-shot re-plan at k=%d%s\n"
+    batch exec_s fetch_avg_ms cross_cum cross_one
+    (if correct then "" else "  [SCORES DIVERGE]");
+  let row =
+    Printf.sprintf
+      "{\"bench\":\"anyk\",\"n\":%d,\"domain\":%d,\"batch\":%d,\"k_max\":%d,\
+       \"cores\":%d,\"eligible\":%b,\"exec_s\":%.5f,\"fetch_avg_ms\":%.4f,\
+       \"cursor_cum_s\":%.5f,\"replan_cum_s\":%.5f,\"replan_one_s\":%.5f,\
+       \"crossover_cum_k\":%d,\"crossover_one_k\":%d,\"correct\":%b}"
+      n domain batch k_max
+      (Domain.recommended_domain_count ())
+      eligible exec_s fetch_avg_ms cursor_cum.(steps) replan_cum.(steps)
+      replan_one.(steps) cross_cum cross_one correct
+  in
+  print_endline row;
+  if not smoke then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 bench_file in
+    output_string oc row;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(1 row appended to %s)\n" bench_file
+  end

@@ -30,6 +30,8 @@ let experiments =
     ("lint", Lint_bench.run);
     ("perf", fun () -> Perf.run ());
     ("perf-smoke", fun () -> Perf.run ~smoke:true ());
+    ("anyk", fun () -> Anyk_bench.run ());
+    ("anyk-smoke", fun () -> Anyk_bench.run ~smoke:true ());
   ]
 
 let usage () =

@@ -351,7 +351,7 @@ let client_cmd =
     Term.(ret (const run $ socket_arg $ port_arg $ host_arg $ commands_arg))
 
 let fuzz_cmd =
-  let run seed cases server_mode degree =
+  let run seed cases server_mode enum_mode degree =
     let t0 = Unix.gettimeofday () in
     let progress i =
       if cases > 20 && i > 0 && i mod 50 = 0 then
@@ -381,7 +381,9 @@ let fuzz_cmd =
                 ];
             } )
       | None ->
-          if server_mode then
+          if enum_mode then
+            (" (enum mode)", Check.Rankcheck.run_enum ~progress ~seed ~cases ())
+          else if server_mode then
             (" (server mode)", Check.Rankcheck.run_server ~progress ~seed ~cases ())
           else ("", Check.Rankcheck.run ~progress ~seed ~cases ())
     in
@@ -395,7 +397,8 @@ let fuzz_cmd =
       mode outcome.Check.Rankcheck.o_cases seed
       (seed + cases - 1)
       outcome.Check.Rankcheck.o_plans
-      (if server_mode then "server executions"
+      (if enum_mode && degree = None then "fetch prefixes"
+       else if server_mode && degree = None then "server executions"
        else if degree <> None then "degree executions"
        else "plans")
       (List.length outcome.Check.Rankcheck.o_failures)
@@ -416,6 +419,15 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "server" ] ~doc)
   in
+  let enum_arg =
+    let doc =
+      "Ranked-enumeration sweep: PREPARE each case against an in-process \
+       service, EXECUTE at its k, then FETCH NEXT in varied batch sizes \
+       until exhaustion, requiring every prefix to be tuple-exact \
+       (including ties and NaN drops) against a full ranked-list oracle."
+    in
+    Arg.(value & flag & info [ "enum" ] ~doc)
+  in
   let degree_arg =
     let doc =
       "Parallel-determinism sweep: plan each case with intra-query \
@@ -431,12 +443,14 @@ let fuzz_cmd =
      random top-k query, compare every plan the optimizer can emit against \
      a naive sort-based oracle, and check rank-join depth bounds. Failures \
      are shrunk and print a replay command. With --server, replay through \
-     the query service instead; with --degree, sweep parallel-execution \
-     determinism."
+     the query service instead; with --enum, sweep cursor-style ranked \
+     enumeration against a full-list oracle; with --degree, sweep \
+     parallel-execution determinism."
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
-    Term.(ret (const run $ seed_arg $ cases_arg $ server_arg $ degree_arg))
+    Term.(
+      ret (const run $ seed_arg $ cases_arg $ server_arg $ enum_arg $ degree_arg))
 
 (* -- lint: the planlint static analyzer --------------------------------- *)
 

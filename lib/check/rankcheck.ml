@@ -530,6 +530,9 @@ let depth_bounds catalog plan =
           record_nary label allowed;
           List.iter2 walk allowed inputs
         end
+    (* anyK's build drains every input regardless of demand; there is no
+       depth bound to check on it *)
+    | Core.Plan.Any_k { inputs; _ } -> List.iter (walk max_int) inputs
   in
   walk max_int plan;
   (binary_tbl, nary_tbl)
@@ -1220,3 +1223,281 @@ let run_degree ?(progress = fun _ -> ()) ~seed ~cases ~degree () =
     | Error f -> failures := f :: !failures
   done;
   { o_cases = cases; o_plans = !executions; o_failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration mode: cursor FETCH prefixes vs a full ranked-list oracle *)
+(* ------------------------------------------------------------------ *)
+
+(* Enumeration cases reuse the generator but snap every score to the 1/8
+   grid. Query weights already live on that grid, so each weighted term
+   i/8 * j/8 = ij/64 and every total score is a small dyadic rational —
+   exactly representable, and bit-identical no matter how a plan
+   associates the additions. That is what lets this mode demand
+   tuple-exact prefixes where the plan-level modes settle for score
+   multisets under [scores_close]. A sixteenth of the rows get a NaN
+   score: the cursor contract drops NaN-scored answers entirely, and the
+   oracle must agree. *)
+let enum_case seed =
+  let case = gen_case seed in
+  let prng = Rkutil.Prng.create (seed lxor 0x2545f491) in
+  let tables =
+    List.map
+      (fun ts ->
+        {
+          ts with
+          t_rows =
+            List.map
+              (fun (i, k, s) ->
+                if Rkutil.Prng.int prng 16 = 0 then (i, k, Float.nan)
+                else (i, k, Float.round (s *. 8.0) /. 8.0))
+              ts.t_rows;
+        })
+      case.c_tables
+  in
+  { case with c_tables = tables }
+
+(* The full ranked answer list as the cursor contract defines it:
+   materialize the join naively, score every row, drop NaN totals, sort
+   score-descending, and break exact-score ties by the canonical column
+   order — the same normalization {!Core.Executor.open_cursor} applies,
+   so every resumable plan shape must reproduce this exact sequence. *)
+let oracle_enum catalog (query : Core.Logical.t) =
+  let scored = oracle_topk catalog { query with Core.Logical.k = None } in
+  let schema =
+    match query.Core.Logical.relations with
+    | [] -> invalid_arg "oracle_enum: no relations"
+    | b0 :: rest ->
+        List.fold_left
+          (fun acc (b : Core.Logical.base) ->
+            Schema.concat acc
+              (Storage.Catalog.table catalog b.Core.Logical.name)
+                .Storage.Catalog.tb_schema)
+          (Storage.Catalog.table catalog b0.Core.Logical.name)
+            .Storage.Catalog.tb_schema rest
+  in
+  let perm = Core.Executor.canonical_perm schema in
+  let rows =
+    scored
+    |> List.filter (fun (_, s) -> not (Float.is_nan s))
+    |> List.sort (fun (t1, s1) (t2, s2) ->
+           match Float.compare s2 s1 with
+           | 0 -> Core.Executor.canonical_compare perm t1 t2
+           | c -> c)
+  in
+  (schema, rows)
+
+(* Map the server reply's column order (fully qualified names) back into
+   the oracle's joined schema, so oracle tuples can be compared cell for
+   cell against projected reply rows. *)
+let enum_projector schema columns =
+  let by_name = Hashtbl.create 16 in
+  List.iteri
+    (fun i c -> Hashtbl.replace by_name (Schema.column_name c) i)
+    (Schema.columns schema);
+  match
+    List.map
+      (fun name ->
+        match Hashtbl.find_opt by_name name with
+        | Some i -> i
+        | None -> raise Exit)
+      columns
+  with
+  | idxs ->
+      Some (fun t -> Tuple.make (List.map (fun i -> Tuple.get t i) idxs))
+  | exception Exit -> None
+
+let check_case_enum case : (int, string * string option) result =
+  let catalog = build_catalog case in
+  match Sqlfront.Binder.bind_result catalog case.c_query with
+  | Error e -> Error (e, None)
+  | exception e -> Error ("bind raised: " ^ Printexc.to_string e, None)
+  | Ok bound -> (
+      let query = bound.Sqlfront.Binder.logical in
+      match oracle_enum catalog query with
+      | exception e -> Error ("oracle raised: " ^ Printexc.to_string e, None)
+      | schema, expected_raw -> (
+          let k0 = Option.value ~default:1 case.c_query.Sqlfront.Ast.limit in
+          let tpl = Sqlfront.Sql.template_of_ast case.c_query in
+          (* Mirror the service's (deterministic) planning to learn up
+             front whether the statement is cursor-eligible. *)
+          let plan_desc = ref None in
+          let eligible =
+            match Sqlfront.Sql.instantiate tpl ~k:k0 () with
+            | Error _ | (exception _) -> false
+            | Ok ast -> (
+                match Sqlfront.Sql.prepare_ast catalog ast with
+                | Error _ | (exception _) -> false
+                | Ok p ->
+                    plan_desc :=
+                      Some
+                        (Core.Plan.describe
+                           p.Sqlfront.Sql.planned.Core.Optimizer.plan);
+                    Sqlfront.Sql.cursor_eligible p)
+          in
+          let svc =
+            Server.Service.create
+              ~config:{ Server.Service.default_config with workers = 2 }
+              catalog
+          in
+          Fun.protect ~finally:(fun () -> Server.Service.shutdown svc)
+          @@ fun () ->
+          let sess = Server.Service.open_session svc in
+          Fun.protect ~finally:(fun () -> Server.Service.close_session sess)
+          @@ fun () ->
+          let oneline s = String.map (function '\n' -> ' ' | c -> c) s in
+          let err e =
+            Printf.sprintf "server ERR %s: %s"
+              (Server.Service.error_code e)
+              (Server.Service.error_message e)
+          in
+          let ( let* ) = Result.bind in
+          let checked = ref 0 in
+          let result =
+            let* _ =
+              Result.map_error err
+                (Server.Service.prepare sess ~name:"q"
+                   (oneline tpl.Sqlfront.Sql.tpl_text))
+            in
+            let* reply =
+              Result.map_error err
+                (Server.Service.execute_prepared sess ~k:k0 "q")
+            in
+            if not eligible then
+              (* Not cursor-resumable: the only contract to check is that
+                 EXECUTE parked no cursor. *)
+              match Server.Service.fetch sess ~name:"q" 1 with
+              | Error (Server.Service.Unknown_cursor _) ->
+                  incr checked;
+                  Ok ()
+              | Ok _ ->
+                  Error "FETCH succeeded on a non-enumerable statement"
+              | Error e -> Error ("non-enumerable FETCH: " ^ err e)
+            else
+              let* project =
+                match
+                  enum_projector schema reply.Server.Service.columns
+                with
+                | Some f -> Ok f
+                | None ->
+                    Error
+                      (Printf.sprintf
+                         "reply columns [%s] not all present in the oracle \
+                          schema"
+                         (String.concat "; " reply.Server.Service.columns))
+              in
+              let expected =
+                List.map (fun (t, s) -> (project t, s)) expected_raw
+              in
+              let total = List.length expected in
+              let got = ref [] in
+              let extend (r : Server.Service.reply) =
+                let scores =
+                  (* Ranked replies always carry scores; guard anyway so a
+                     regression fails the case instead of raising. *)
+                  if
+                    List.length r.Server.Service.scores
+                    = List.length r.Server.Service.rows
+                  then Ok r.Server.Service.scores
+                  else Error "reply rows and scores disagree in length"
+                in
+                Result.map
+                  (fun scores ->
+                    let batch = List.combine r.Server.Service.rows scores in
+                    got := !got @ batch;
+                    List.length batch)
+                  scores
+              in
+              let compare_prefix () =
+                let n = List.length !got in
+                if n > total then
+                  Error
+                    (Printf.sprintf
+                       "cursor produced %d rows but the oracle has only %d"
+                       n total)
+                else begin
+                  let rec go i gs es =
+                    match gs, es with
+                    | [], _ -> Ok ()
+                    | (gt, gscore) :: gs', (et, escore) :: es' ->
+                        if Float.compare gscore escore <> 0 then
+                          Error
+                            (Printf.sprintf
+                               "rank %d: score %.17g diverges from oracle \
+                                %.17g"
+                               i gscore escore)
+                        else if not (Tuple.equal gt et) then
+                          Error
+                            (Printf.sprintf
+                               "rank %d: tuple diverges from the oracle at \
+                                equal score %.17g"
+                               i gscore)
+                        else go (i + 1) gs' es'
+                    | _ :: _, [] -> assert false
+                  in
+                  let r = go 0 !got expected in
+                  if Result.is_ok r then incr checked;
+                  r
+                end
+              in
+              let* _ = extend reply in
+              let* () = compare_prefix () in
+              (* Vary the fetch sizes deterministically: exhaustion must be
+                 reached exactly at the oracle's row count, with every
+                 intermediate prefix tuple-exact. *)
+              let prng = Rkutil.Prng.create (case.c_seed lxor 0x51ed27) in
+              let rec fetch_loop () =
+                if List.length !got >= total then Ok ()
+                else
+                  let n = 1 + Rkutil.Prng.int prng 4 in
+                  let* r =
+                    Result.map_error err
+                      (Server.Service.fetch sess ~name:"q" n)
+                  in
+                  let* produced = extend r in
+                  let* () = compare_prefix () in
+                  if produced < n && List.length !got < total then
+                    Error
+                      (Printf.sprintf
+                         "cursor exhausted at %d rows but the oracle has %d"
+                         (List.length !got) total)
+                  else fetch_loop ()
+              in
+              let* () = fetch_loop () in
+              let* past =
+                Result.map_error err (Server.Service.fetch sess ~name:"q" 3)
+              in
+              let* () =
+                if past.Server.Service.rows = [] then Ok ()
+                else Error "cursor kept producing rows past exhaustion"
+              in
+              Result.map_error err (Server.Service.close_cursor sess "q")
+          in
+          match result with
+          | Ok () -> Ok !checked
+          | Error reason -> Error (reason, !plan_desc)))
+
+let run_case_enum seed =
+  let case = enum_case seed in
+  match check_case_enum case with
+  | Ok n -> Ok n
+  | Error (reason, plan) ->
+      Error
+        {
+          f_seed = seed;
+          f_reason = "enum-mode: " ^ reason;
+          f_plan = plan;
+          f_case = case;
+          f_replay =
+            Printf.sprintf "rankopt fuzz --enum --seed %d --cases 1" seed;
+        }
+
+let run_enum ?(progress = fun _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  let prefixes = ref 0 in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case_enum (seed + i) with
+    | Ok n -> prefixes := !prefixes + n
+    | Error f -> failures := f :: !failures
+  done;
+  { o_cases = cases; o_plans = !prefixes; o_failures = List.rev !failures }

@@ -128,3 +128,31 @@ val run_case_degree : ?pool:Rkutil.Task_pool.t -> degree:int -> int -> (int, fai
 val run_degree :
   ?progress:(int -> unit) -> seed:int -> cases:int -> degree:int -> unit -> outcome
 (** Like {!run}, but [o_plans] counts degree executions compared. *)
+
+(** {2 Enumeration mode}
+
+    Ranked-enumeration differential check for the cursor path: each case's
+    query is [PREPARE]d against an in-process {!Server.Service},
+    [EXECUTE]d at its k, then [FETCH]ed in deterministically varied batch
+    sizes until exhaustion. Every growing prefix must be {e tuple-exact}
+    — same rows, same scores, same order, including ties — against a full
+    ranked-list oracle (naive join, NaN-scored answers dropped, sorted
+    score-descending with canonical-column tie order, exactly the cursor
+    normalization contract). Enum cases snap all scores to the 1/8 grid so
+    totals are exact dyadic rationals and bit-identical across plan
+    shapes; a sixteenth of the rows carry NaN scores. Exhaustion must land
+    exactly at the oracle's row count and a further fetch must return no
+    rows. Non-enumerable statements must leave no cursor behind. This is
+    what [rankopt fuzz --enum] drives. *)
+
+val enum_case : int -> case
+(** {!gen_case} with scores snapped to the 1/8 grid and occasional NaNs. *)
+
+val check_case_enum : case -> (int, string * string option) result
+(** [Ok n]: [n] fetch prefixes (plus cursor-lifecycle checks) matched the
+    enumeration oracle. *)
+
+val run_case_enum : int -> (int, failure) result
+
+val run_enum : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
+(** Like {!run}, but [o_plans] counts prefix checks. *)

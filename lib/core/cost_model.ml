@@ -285,6 +285,47 @@ let rec estimate env plan =
           (cpu *. x) ests
       in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = true }
+  | Plan.Any_k { inputs; keys; _ } ->
+      let ests = List.map (estimate env) inputs in
+      let m = List.length inputs in
+      (* One selectivity per join-tree edge; the acyclic output cardinality
+         is the product of input cardinalities and edge selectivities. *)
+      let edge_sel (_, pk, ck) =
+        match pk, ck with
+        | Expr.Col l, Expr.Col r -> (
+            match l.Expr.relation, r.Expr.relation with
+            | Some lt, Some rt ->
+                Rkutil.Mathx.clamp ~lo:1e-12 ~hi:1.0
+                  (Storage.Catalog.estimate_join_selectivity env.catalog
+                     ~left:(lt, l.Expr.name) ~right:(rt, r.Expr.name))
+            | _ -> 1.0 /. 3.0)
+        | _ -> 1.0 /. 3.0
+      in
+      let rows =
+        List.fold_left (fun acc e -> acc *. e.rows) 1.0 ests
+        *. List.fold_left (fun acc k -> acc *. edge_sel k) 1.0 keys
+      in
+      let cpu = env.cpu_factor in
+      (* Build: every input materialized in full plus the per-bucket sort
+         of the DP tables. Enumeration: a bounded per-result delay (heap
+         pop + O(m) candidate expansions), flat in the answer's rank. *)
+      let build =
+        List.fold_left
+          (fun acc e ->
+            let n = Float.max 1.0 e.rows in
+            acc +. e.total_cost +. (cpu *. n *. (log n /. log 2.0)))
+          0.0 ests
+      in
+      let delay =
+        cpu
+        *. (float_of_int m
+           +. log (Float.max 2.0 rows) /. log 2.0)
+      in
+      let cost_at x =
+        let x = Float.max 1.0 (Float.min x (Float.max 1.0 rows)) in
+        build +. (delay *. x)
+      in
+      { rows; total_cost = cost_at rows; cost_at; k_dependent = true }
 
 and estimate_join env plan algo cond left right =
   let l = estimate env left and r = estimate env right in

@@ -359,6 +359,15 @@ let run ?(config = default_config) env =
                 })
          end
    end);
+  (* anyK ranked-enumeration alternative for acyclic path/star ranking
+     queries. It competes with the rank-join plans through the cost model
+     (large flat build cost, tiny per-result delay), so the k* rule
+     arbitrates — and it is the only candidate whose stream keeps
+     producing past k, the resumable sink behind cursor FETCH NEXT. *)
+  (if config.rank_aware && Logical.is_ranking query then
+     match Enumerate.any_k_plan query with
+     | Some plan -> add full_mask plan
+     | None -> ());
   let best =
     if Logical.is_ranking query then begin
       match Logical.scoring_expr query, query.Logical.k with

@@ -64,6 +64,8 @@ let node_label = function
   | Plan.Exchange { dop; _ } -> Printf.sprintf "Gather[%d]" dop
   | Plan.Nary_rank_join { inputs; _ } ->
       Printf.sprintf "HRJN*[%d]" (List.length inputs)
+  | Plan.Any_k { inputs; _ } ->
+      Printf.sprintf "AnyK[%d]" (List.length inputs)
 
 exception Interrupted
 
@@ -267,7 +269,7 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
               | Plan.Sort_merge | Plan.Hrjn | Plan.Nrjn ->
                   invalid_arg "Executor: join not morselizable under Exchange")
           | Plan.Sort _ | Plan.Top_k _ | Plan.Exchange _ | Plan.Nary_rank_join _
-            ->
+          | Plan.Any_k _ ->
               invalid_arg "Executor: operator not morselizable under Exchange"
         in
         let source sp =
@@ -323,6 +325,50 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
         let stream, stats = Exec.Rank_join_nary.hrjn_nary ~stats ~inputs:nary_inputs () in
         nary_nodes :=
           { nary_label = Plan.describe plan; nary_stats = stats } :: !nary_nodes;
+        instrument plan stats (Exec.Operator.scored_to_plain stream) profs
+    | Plan.Any_k { inputs; scores; keys; _ } ->
+        let stats = Exec.Exec_stats.create (List.length inputs) in
+        let compiled =
+          List.mapi (fun i input -> go (child_ann ann i) input) inputs
+        in
+        let profs = List.map snd compiled in
+        let schemas =
+          Array.of_list
+            (List.map (fun (op, _) -> op.Exec.Operator.schema) compiled)
+        in
+        let ak_inputs =
+          List.map2
+            (fun (op, _) score ->
+              {
+                Exec.Any_k.i_op = op;
+                i_score = Expr.compile_float op.Exec.Operator.schema score;
+              })
+            compiled scores
+        in
+        let ak_keys =
+          List.mapi
+            (fun j (p, pk, ck) ->
+              (p, Expr.compile schemas.(p) pk, Expr.compile schemas.(j + 1) ck))
+            keys
+        in
+        let out_schema =
+          Array.fold_left
+            (fun acc s -> match acc with None -> Some s | Some a -> Some (Schema.concat a s))
+            None schemas
+          |> Option.get
+        in
+        (* The build phase runs inside s_open, outside any next() guard —
+           hand the interrupt down as the operator's tick so a deadline
+           fires mid-build or mid-expansion too. *)
+        let tick =
+          Option.map
+            (fun should_stop () -> if should_stop () then raise Interrupted)
+            interrupt
+        in
+        let stream =
+          Exec.Any_k.enumerate ?tick ~schema:out_schema ~inputs:ak_inputs
+            ~keys:ak_keys ()
+        in
         instrument plan stats (Exec.Operator.scored_to_plain stream) profs
     | Plan.Join { algo; cond; left; right; left_score; right_score } -> (
         let stats = Exec.Exec_stats.create 2 in
@@ -480,3 +526,133 @@ let run ?hints ?metrics ?interrupt ?pool ?degree ?fetch_limit catalog plan =
     profile;
     schema;
   }
+
+(* -- Cursors: suspendable ranked execution ------------------------------ *)
+
+type cursor = {
+  c_schema : Schema.t;
+  c_next : unit -> (Tuple.t * float) option;
+  c_close : unit -> unit;
+}
+
+let rec strip_topk = function
+  | Plan.Top_k { input; _ } -> strip_topk input
+  | p -> p
+
+(* Canonical column permutation: positions sorted by (relation, name).
+   Different join orders permute a plan's output columns; sorting ties by
+   the canonical projection makes every plan's enumeration — and the
+   oracle's — tuple-identical. *)
+let canonical_perm schema =
+  let cols = List.mapi (fun i c -> (i, c)) (Schema.columns schema) in
+  let sorted =
+    List.sort
+      (fun ((_, a) : _ * Schema.column) ((_, b) : _ * Schema.column) ->
+        match compare a.Schema.relation b.Schema.relation with
+        | 0 -> String.compare a.Schema.name b.Schema.name
+        | c -> c)
+      cols
+  in
+  Array.of_list (List.map fst sorted)
+
+let canonical_compare perm a b =
+  let rec go i =
+    if i >= Array.length perm then 0
+    else
+      match Value.compare a.(perm.(i)) b.(perm.(i)) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
+let open_cursor ?hints ?interrupt ?pool ?degree catalog plan =
+  let plan = strip_topk plan in
+  let op, _, _, _ = compile ?hints ?interrupt ?pool ?degree catalog plan in
+  let schema = op.Exec.Operator.schema in
+  let score =
+    match Plan.order_of plan with
+    | Some { Plan.expr; _ } when Expr.bound_by schema expr ->
+        Expr.compile_float schema expr
+    | _ -> fun _ -> 0.0
+  in
+  let perm = canonical_perm schema in
+  op.Exec.Operator.open_ ();
+  let exhausted = ref false in
+  let lookahead = ref None in
+  let group = ref [] in
+  (* Raw pull in plan order; NaN scores have no place in a ranked
+     enumeration and are dropped here (the oracle drops them too). *)
+  let rec raw () =
+    if !exhausted then None
+    else
+      match op.Exec.Operator.next () with
+      | None ->
+          exhausted := true;
+          None
+      | Some tu ->
+          let s = score tu in
+          if Float.is_nan s then raw () else Some (tu, s)
+  in
+  (* Buffer one whole tie group and normalize its order: equal-score rows
+     are emitted in canonical-tuple order regardless of the plan shape. *)
+  let refill () =
+    let first =
+      match !lookahead with
+      | Some e ->
+          lookahead := None;
+          Some e
+      | None -> raw ()
+    in
+    match first with
+    | None -> ()
+    | Some (tu, s) ->
+        let acc = ref [ (tu, s) ] in
+        let rec more () =
+          match raw () with
+          | None -> ()
+          | Some (tu2, s2) ->
+              if Float.equal s2 s then begin
+                acc := (tu2, s2) :: !acc;
+                more ()
+              end
+              else lookahead := Some (tu2, s2)
+        in
+        more ();
+        group :=
+          List.sort (fun (a, _) (b, _) -> canonical_compare perm a b) !acc
+  in
+  let next () =
+    match !group with
+    | e :: rest ->
+        group := rest;
+        Some e
+    | [] -> (
+        refill ();
+        match !group with
+        | e :: rest ->
+            group := rest;
+            Some e
+        | [] -> None)
+  in
+  {
+    c_schema = schema;
+    c_next = next;
+    c_close = (fun () -> op.Exec.Operator.close ());
+  }
+
+let cursor_schema c = c.c_schema
+
+let cursor_fetch c n =
+  let acc = ref [] in
+  let rec loop i =
+    if i < n then
+      match c.c_next () with
+      | Some e ->
+          acc := e :: !acc;
+          loop (i + 1)
+      | None -> ()
+  in
+  loop 0;
+  List.rev !acc
+
+let cursor_close c = c.c_close ()

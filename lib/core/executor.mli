@@ -83,3 +83,50 @@ val run :
     measured as a diff of the catalog's counters around the run. When
     [interrupt] is supplied it is checked at every operator's [next]
     boundary; a [true] result aborts the run with {!Interrupted}. *)
+
+(** {2 Cursors}
+
+    A cursor keeps a compiled plan {e open} between fetches, so a ranked
+    statement can stream answers past its original [k] without
+    re-executing. Unlike {!run} — which opens, pulls and closes — the
+    operator tree is opened exactly once; callers must {!cursor_close}.
+
+    The stream is normalized for deterministic enumeration: rows with NaN
+    scores are dropped, and equal-score tie groups are buffered and
+    re-emitted in canonical column order (columns sorted by
+    [(relation, name)]), so every resumable plan shape of a query yields
+    the same tuple sequence as the enumeration oracle. *)
+
+type cursor
+
+val strip_topk : Plan.t -> Plan.t
+(** The plan below the root Top-k sink(s) — what a cursor executes. *)
+
+val canonical_perm : Schema.t -> int array
+(** Column positions sorted by [(relation, name)] — the tie-break and
+    cross-plan comparison projection. *)
+
+val canonical_compare : int array -> Tuple.t -> Tuple.t -> int
+
+val open_cursor :
+  ?hints:Propagate.annotation ->
+  ?interrupt:(unit -> bool) ->
+  ?pool:Rkutil.Task_pool.t ->
+  ?degree:int ->
+  Storage.Catalog.t ->
+  Plan.t ->
+  cursor
+(** Strip the root Top-k, compile, open. The caller is responsible for
+    only opening cursors over resumable plans (see {!Enumerate}). The
+    [interrupt] predicate is re-checked on every pull {e and} inside the
+    anyK build loops, so a deadline can fire mid-fetch; update whatever
+    state it reads before each fetch. *)
+
+val cursor_schema : cursor -> Schema.t
+
+val cursor_fetch : cursor -> int -> (Tuple.t * float) list
+(** The next (up to) [n] answers in non-increasing score order. Fewer than
+    [n] results mean the enumeration is exhausted; subsequent fetches
+    return [[]] without re-polling the (already drained) inputs. *)
+
+val cursor_close : cursor -> unit

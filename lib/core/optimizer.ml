@@ -12,6 +12,7 @@ type planned = {
   interesting : Interesting_orders.interesting_order list;
   env : Cost_model.env;
   k_validity : k_interval;
+  enumerable : bool;
 }
 
 let unbounded_validity = { k_lo = 1; k_hi = None }
@@ -148,6 +149,7 @@ let optimize ?(config = Enumerator.default_config) ?env catalog query =
           interesting = result.Enumerator.interesting;
           env;
           k_validity;
+          enumerable = Enumerate.eligible query plan;
         }
       in
       !planned_hook p;
@@ -226,6 +228,8 @@ let explain planned =
   (if Logical.is_ranking planned.query then
      Format.fprintf fmt "Plan valid for k in %a@." pp_k_interval
        planned.k_validity);
+  if planned.enumerable then
+    Format.fprintf fmt "Enumerable: cursor-resumable past k@.";
   Format.fprintf fmt "Plan:@.%a" Plan.pp planned.plan;
   (match planned.query.Logical.k with
   | Some k when Plan.has_rank_join planned.plan ->

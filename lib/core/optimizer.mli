@@ -21,6 +21,11 @@ type planned = {
   k_validity : k_interval;
       (** Range of [k] on which [plan] remains the optimizer's choice —
           the plan cache's reuse condition for rebinding [k]. *)
+  enumerable : bool;
+      (** The Enumerate plan property: the root is a Top-k over a
+          resumable stream (see {!Enumerate.eligible}), so the statement
+          can back a cursor and keep streaming ranked answers past [k].
+          Invariant under {!rebind_k} (only the Top-k limit changes). *)
 }
 
 val planned_hook : (planned -> unit) ref

@@ -20,7 +20,8 @@ let rec has_exchange = function
       has_exchange input
   | Plan.Exchange _ -> true
   | Plan.Join { left; right; _ } -> has_exchange left || has_exchange right
-  | Plan.Nary_rank_join { inputs; _ } -> List.exists has_exchange inputs
+  | Plan.Nary_rank_join { inputs; _ } | Plan.Any_k { inputs; _ } ->
+      List.exists has_exchange inputs
 
 let serial_ok p = not (Plan.has_rank_join p) && not (has_exchange p)
 
@@ -44,7 +45,7 @@ let rec off_spine = function
       off_spine input
   | Plan.Join { left; right; _ } -> right :: off_spine left
   | Plan.Exchange { input; _ } -> off_spine input
-  | Plan.Nary_rank_join _ -> []
+  | Plan.Nary_rank_join _ | Plan.Any_k _ -> []
 
 (* Push an exchange below a Top_k-over-Sort pair so the executor can run
    the sort as per-worker local top-k heaps merged at the gather (the

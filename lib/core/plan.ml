@@ -31,6 +31,12 @@ type t =
       key : string;
       tables : string list;
     }
+  | Any_k of {
+      inputs : t list;
+      scores : Expr.t list;
+      keys : (int * Expr.t * Expr.t) list;
+      shape : [ `Path | `Star ];
+    }
 
 let order_equal a b = a.direction = b.direction && Expr.equal a.expr b.expr
 
@@ -70,7 +76,7 @@ let rec order_of = function
   | Join { algo = Nested_loops; _ } -> None
   | Top_k { input; _ } -> order_of input
   | Exchange { input; _ } -> order_of input
-  | Nary_rank_join { scores; _ } ->
+  | Nary_rank_join { scores; _ } | Any_k { scores; _ } ->
       Some
         {
           expr =
@@ -93,6 +99,8 @@ let rec pipelined = function
      whole morsels, so it breaks the pipeline property *)
   | Exchange _ -> false
   | Nary_rank_join { inputs; _ } -> List.for_all pipelined inputs
+  (* anyK materializes and indexes its inputs before the first answer *)
+  | Any_k _ -> false
 
 let rec relations = function
   | Table_scan { table } -> [ table ]
@@ -101,7 +109,8 @@ let rec relations = function
   | Exchange { input; _ } ->
       relations input
   | Join { left; right; _ } -> relations left @ relations right
-  | Nary_rank_join { inputs; _ } -> List.concat_map relations inputs
+  | Nary_rank_join { inputs; _ } | Any_k { inputs; _ } ->
+      List.concat_map relations inputs
 
 (* Degree of parallelism: the widest exchange in the tree (1 = serial).
    A plan property like order and pipelining: stored in the memo, audited
@@ -112,7 +121,7 @@ let rec dop = function
       dop input
   | Exchange { dop = d; input } -> max d (dop input)
   | Join { left; right; _ } -> max (dop left) (dop right)
-  | Nary_rank_join { inputs; _ } ->
+  | Nary_rank_join { inputs; _ } | Any_k { inputs; _ } ->
       List.fold_left (fun acc i -> max acc (dop i)) 1 inputs
 
 let rec has_rank_join = function
@@ -122,7 +131,7 @@ let rec has_rank_join = function
       has_rank_join input
   | Join { algo = Hrjn | Nrjn; _ } -> true
   | Join { left; right; _ } -> has_rank_join left || has_rank_join right
-  | Nary_rank_join _ -> true
+  | Nary_rank_join _ | Any_k _ -> true
 
 let rec join_count = function
   | Table_scan _ | Index_scan _ -> 0
@@ -130,7 +139,7 @@ let rec join_count = function
   | Exchange { input; _ } ->
       join_count input
   | Join { left; right; _ } -> 1 + join_count left + join_count right
-  | Nary_rank_join { inputs; _ } ->
+  | Nary_rank_join { inputs; _ } | Any_k { inputs; _ } ->
       List.length inputs - 1 + List.fold_left (fun acc i -> acc + join_count i) 0 inputs
 
 let rec schema_of catalog = function
@@ -141,7 +150,7 @@ let rec schema_of catalog = function
       schema_of catalog input
   | Join { left; right; _ } ->
       Schema.concat (schema_of catalog left) (schema_of catalog right)
-  | Nary_rank_join { inputs; _ } -> (
+  | Nary_rank_join { inputs; _ } | Any_k { inputs; _ } -> (
       match inputs with
       | first :: rest ->
           List.fold_left
@@ -168,6 +177,10 @@ let rec describe = function
   | Exchange { dop; input } -> Printf.sprintf "Ex%d(%s)" dop (describe input)
   | Nary_rank_join { inputs; _ } ->
       Printf.sprintf "HRJN*(%s)" (String.concat "," (List.map describe inputs))
+  | Any_k { inputs; shape; _ } ->
+      Printf.sprintf "AnyK%s(%s)"
+        (match shape with `Path -> "path" | `Star -> "star")
+        (String.concat "," (List.map describe inputs))
 
 let dir_name = function Interesting_orders.Asc -> "ASC" | Interesting_orders.Desc -> "DESC"
 
@@ -206,6 +219,14 @@ let pp fmt plan =
         go (indent + 2) input
     | Nary_rank_join { inputs; key; scores; _ } ->
         Format.fprintf fmt "%sHRJN* on shared key %s  [rank: %a]@." pad key
+          Expr.pp
+          (List.fold_left
+             (fun acc e -> Expr.Add (acc, e))
+             (List.hd scores) (List.tl scores));
+        List.iter (go (indent + 2)) inputs
+    | Any_k { inputs; scores; shape; _ } ->
+        Format.fprintf fmt "%sAnyK %s enumeration  [rank: %a]@." pad
+          (match shape with `Path -> "path" | `Star -> "star")
           Expr.pp
           (List.fold_left
              (fun acc e -> Expr.Add (acc, e))

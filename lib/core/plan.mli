@@ -52,6 +52,22 @@ type t =
     }
       (** Flat m-way rank join on one shared key (star queries): one
           threshold over all inputs instead of a binary pipeline. *)
+  | Any_k of {
+      inputs : t list;
+          (** Per-relation access plans in join-tree DFS order: input 0 is
+              the root; every later input joins an earlier one. *)
+      scores : Expr.t list;  (** Per-input weighted partial score. *)
+      keys : (int * Expr.t * Expr.t) list;
+          (** For input [i >= 1], entry [i-1] is
+              [(parent, parent_key, child_key)]: the equi-join binding
+              input [i] to input [parent < i]. *)
+      shape : [ `Path | `Star ];
+    }
+      (** Ranked-enumeration operator (anyK-style dynamic programming over
+          an acyclic path/star join tree). Materializes and indexes its
+          inputs, then streams {e every} join answer in non-increasing
+          score order with bounded per-result delay — the resumable sink
+          behind cursor-style [FETCH NEXT]. *)
 
 val order_equal : order -> order -> bool
 

@@ -95,6 +95,20 @@ let rec annotate env plan required =
         depths = None;
         children = List.map (fun input -> annotate env input d) inputs;
       }
+  | Plan.Any_k { inputs; _ } ->
+      (* The anyK build phase materializes every input in full before the
+         first answer; required depth never propagates below it. *)
+      {
+        node = plan;
+        required;
+        depths = None;
+        children =
+          List.map
+            (fun input ->
+              let est = Cost_model.estimate env input in
+              annotate env input est.Cost_model.rows)
+            inputs;
+      }
 
 let run env ~k plan = annotate env plan (float_of_int (max 1 k))
 
@@ -124,6 +138,8 @@ let pp fmt ann =
       | Plan.Exchange { dop; _ } -> Printf.sprintf "Exchange dop=%d" dop
       | Plan.Nary_rank_join { inputs; _ } ->
           Printf.sprintf "HRJN* (%d-way)" (List.length inputs)
+      | Plan.Any_k { inputs; _ } ->
+          Printf.sprintf "AnyK (%d-way)" (List.length inputs)
     in
     (match a.depths with
     | Some d ->

@@ -1,0 +1,225 @@
+(* anyK-style ranked enumeration over an acyclic (path/star) join tree.
+
+   The operator materializes each input, prunes dangling tuples with one
+   bottom-up dynamic-programming pass (every surviving tuple knows the best
+   total score of any join answer rooted in its subtree), and then
+   enumerates complete join answers in non-increasing score order with a
+   Lawler-style candidate heap: each emitted answer spawns at most m
+   successor candidates, so the per-result delay after the build phase is
+   O(m log(candidates)).
+
+   Join-tree encoding: input 0 is the root; input i >= 1 joins an earlier
+   input parent(i) < i on an equi-key. Children therefore always carry a
+   larger index than their parent, which makes a reverse index sweep a
+   valid bottom-up order. *)
+
+open Relalg
+
+module Vtbl = Hashtbl.Make (Value)
+
+type input = { i_op : Operator.t; i_score : Tuple.t -> float }
+
+(* A surviving tuple of one node: its own partial score and the best
+   total achievable by its whole subtree (own score + best child buckets). *)
+type entry = { e_tuple : Tuple.t; e_score : float; e_best : float }
+
+type cand = {
+  total : float;  (* exact total score of this fully resolved answer *)
+  idx : int array;  (* per-node choice index into its (sorted) bucket *)
+  tuples : Tuple.t array;
+  own : float array;  (* per-node partial score of the chosen tuple *)
+  branch : int;  (* Lawler rule: successors may bump coordinates >= branch *)
+}
+
+let desc_by_best a b = Float.compare b.e_best a.e_best
+
+let enumerate ?(tick = fun () -> ()) ~schema ~inputs
+    ~(keys : (int * (Tuple.t -> Value.t) * (Tuple.t -> Value.t)) list) () =
+  let inputs = Array.of_list inputs in
+  let m = Array.length inputs in
+  if m = 0 then invalid_arg "Any_k.enumerate: no inputs";
+  let keys = Array.of_list keys in
+  if Array.length keys <> m - 1 then
+    invalid_arg "Any_k.enumerate: need one key binding per non-root input";
+  let parent i =
+    let p, _, _ = keys.(i - 1) in
+    p
+  in
+  let parent_key i t =
+    let _, pk, _ = keys.(i - 1) in
+    pk t
+  in
+  let child_key i t =
+    let _, _, ck = keys.(i - 1) in
+    ck t
+  in
+  Array.iteri
+    (fun j (p, _, _) ->
+      if p < 0 || p > j then
+        invalid_arg "Any_k.enumerate: parent must precede child")
+    keys;
+  let children = Array.make m [] in
+  for i = m - 1 downto 1 do
+    children.(parent i) <- i :: children.(parent i)
+  done;
+  (* Mutable run state, rebuilt by s_open. *)
+  let buckets : entry array Vtbl.t array = Array.make m (Vtbl.create 1) in
+  let roots = ref [||] in
+  let heap =
+    Rkutil.Heap.create ~cmp:(fun a b -> Float.compare b.total a.total)
+  in
+  let started = ref false in
+  let materialize i =
+    let op = inputs.(i).i_op in
+    let acc = ref [] in
+    let n = ref 0 in
+    op.Operator.open_ ();
+    let rec loop () =
+      match op.Operator.next () with
+      | Some tu ->
+          incr n;
+          if !n land 255 = 0 then tick ();
+          acc := tu :: !acc;
+          loop ()
+      | None -> ()
+    in
+    loop ();
+    op.Operator.close ();
+    !acc
+  in
+  (* Best completion of node [c]'s subtree for a parent tuple [t], i.e. the
+     head of c's bucket under t's join key; None when t dangles. *)
+  let child_best c t =
+    match Vtbl.find_opt buckets.(c) (parent_key c t) with
+    | Some arr when Array.length arr > 0 -> Some arr.(0).e_best
+    | _ -> None
+  in
+  let build () =
+    Rkutil.Heap.clear heap;
+    for i = m - 1 downto 0 do
+      let score = inputs.(i).i_score in
+      let entries =
+        List.filter_map
+          (fun tu ->
+            tick ();
+            let s = score tu in
+            if Float.is_nan s then None
+            else
+              let rec total acc = function
+                | [] -> Some acc
+                | c :: rest -> (
+                    match child_best c tu with
+                    | Some b -> total (acc +. b) rest
+                    | None -> None)
+              in
+              match total s children.(i) with
+              | Some best when not (Float.is_nan best) ->
+                  Some { e_tuple = tu; e_score = s; e_best = best }
+              | _ -> None)
+          (materialize i)
+      in
+      if i = 0 then begin
+        let arr = Array.of_list entries in
+        Array.sort desc_by_best arr;
+        roots := arr
+      end
+      else begin
+        let tbl = Vtbl.create 64 in
+        List.iter
+          (fun e ->
+            let key = child_key i e.e_tuple in
+            Vtbl.replace tbl key
+              (e :: (try Vtbl.find tbl key with Not_found -> [])))
+          entries;
+        let sorted = Vtbl.create (Vtbl.length tbl) in
+        Vtbl.iter
+          (fun key es ->
+            let arr = Array.of_list es in
+            Array.sort desc_by_best arr;
+            Vtbl.replace sorted key arr)
+          tbl;
+        buckets.(i) <- sorted
+      end
+    done
+  in
+  (* The bucket coordinate [t] draws from, given resolved ancestors. *)
+  let bucket_of tuples t =
+    if t = 0 then !roots
+    else
+      match Vtbl.find_opt buckets.(t) (parent_key t tuples.(parent t)) with
+      | Some arr -> arr
+      | None -> [||]  (* unreachable: ancestors are alive *)
+  in
+  (* Resolve coordinates [from..m-1] greedily (index 0 of each bucket).
+     Returns false when a bucket is empty (only possible for the initial
+     candidate of an empty result). *)
+  let resolve idx tuples own from =
+    let ok = ref true in
+    for u = from to m - 1 do
+      if !ok then begin
+        let arr = bucket_of tuples u in
+        if Array.length arr = 0 then ok := false
+        else begin
+          idx.(u) <- 0;
+          tuples.(u) <- arr.(0).e_tuple;
+          own.(u) <- arr.(0).e_score
+        end
+      end
+    done;
+    !ok
+  in
+  let total_of own = Array.fold_left ( +. ) 0.0 own in
+  let seed () =
+    if Array.length !roots > 0 then begin
+      let idx = Array.make m 0 in
+      let tuples = Array.make m [||] in
+      let own = Array.make m 0.0 in
+      tuples.(0) <- !roots.(0).e_tuple;
+      own.(0) <- !roots.(0).e_score;
+      if resolve idx tuples own 1 then
+        Rkutil.Heap.push heap
+          { total = total_of own; idx; tuples; own; branch = 0 }
+    end
+  in
+  let successors c =
+    for t = c.branch to m - 1 do
+      tick ();
+      let arr = bucket_of c.tuples t in
+      let j = c.idx.(t) + 1 in
+      if j < Array.length arr then begin
+        let idx = Array.copy c.idx in
+        let tuples = Array.copy c.tuples in
+        let own = Array.copy c.own in
+        idx.(t) <- j;
+        tuples.(t) <- arr.(j).e_tuple;
+        own.(t) <- arr.(j).e_score;
+        if resolve idx tuples own (t + 1) then
+          Rkutil.Heap.push heap
+            { total = total_of own; idx; tuples; own; branch = t }
+      end
+    done
+  in
+  {
+    Operator.s_schema = schema;
+    s_open =
+      (fun () ->
+        build ();
+        seed ();
+        started := true);
+    s_next =
+      (fun () ->
+        tick ();
+        if not !started then None
+        else
+          match Rkutil.Heap.pop heap with
+          | None -> None
+          | Some c ->
+              successors c;
+              Some (Array.concat (Array.to_list c.tuples), c.total));
+    s_close =
+      (fun () ->
+        started := false;
+        Rkutil.Heap.clear heap;
+        Array.iteri (fun i _ -> buckets.(i) <- Vtbl.create 1) buckets;
+        roots := [||]);
+  }

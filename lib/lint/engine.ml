@@ -50,7 +50,8 @@ let lint_planned (p : Core.Optimizer.planned) =
     (structural ~query:p.Core.Optimizer.query env.Cost_model.catalog
        p.Core.Optimizer.plan
     @ estimate_rules env p.Core.Optimizer.plan
-    @ Rules.topk_rule p)
+    @ Rules.topk_rule p
+    @ Rules.enumerate_rule p)
 
 let lint_prepared ~key ~epoch (prepared : Sqlfront.Sql.prepared) =
   Diag.sort

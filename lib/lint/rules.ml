@@ -20,6 +20,7 @@ let catalog =
     ("PL09-topk", "a ranking plan is one Top-k over a justified scoring order; k-interval is sane");
     ("PL10-cache", "plan-cache keys are canonical and bound k lies in the variant's interval");
     ("PL11-exchange", "exchanges sit on morselizable spines with a parallel degree; DOP bits match");
+    ("PL12-enum", "the Enumerate bit matches recomputed cursor-resumability; anyK shapes are sound");
   ]
 
 let d rule ?hint path fmt = Printf.ksprintf (fun m -> Diag.make ~rule ?hint ~path m) fmt
@@ -165,6 +166,47 @@ let schema_node catalog (f : Walk.facts) =
                    ~what:(Printf.sprintf "N-ary score %d" i)
                    `Num schema score)
              (List.combine scores tables))
+  | Plan.Any_k { inputs; scores; keys; _ } ->
+      if List.length inputs < 2 then
+        [ d rule01 path "anyK needs >= 2 inputs" ]
+      else if
+        List.length inputs <> List.length scores
+        || List.length keys <> List.length inputs - 1
+      then [ d rule01 path "anyK arity mismatch (scores or key bindings)" ]
+      else
+        List.concat
+          (List.mapi
+             (fun i score ->
+               check_bound_typed ~path
+                 ~what:(Printf.sprintf "anyK score %d" i)
+                 `Num (child_schema i) score)
+             scores)
+        @ List.concat
+            (List.mapi
+               (fun j (p, pk, ck) ->
+                 let i = j + 1 in
+                 if p < 0 || p >= i then
+                   [
+                     d rule01 path
+                       "anyK key %d: parent %d does not precede input %d" j p i;
+                   ]
+                 else
+                   (match child_schema p with
+                   | Some s when not (Expr.bound_by s pk) ->
+                       [
+                         d rule01 path "anyK key %d: parent key %s unbound" j
+                           (Expr.to_string pk);
+                       ]
+                   | _ -> [])
+                   @
+                   match child_schema i with
+                   | Some s when not (Expr.bound_by s ck) ->
+                       [
+                         d rule01 path "anyK key %d: child key %s unbound" j
+                           (Expr.to_string ck);
+                       ]
+                   | _ -> [])
+               keys)
 
 let schema_rule catalog facts =
   Walk.fold (fun acc f -> acc @ schema_node catalog f) [] facts
@@ -273,6 +315,13 @@ let applied_of facts =
       | Plan.Join { cond; _ } -> { acc with join_conds = cond :: acc.join_conds }
       | Plan.Nary_rank_join { key; tables; _ } ->
           { acc with nary = (key, tables) :: acc.nary }
+      | Plan.Any_k { keys; _ } ->
+          (* each key binding enforces parent_key = child_key, the same
+             conjunct shape a residual filter would carry *)
+          let eqs =
+            List.map (fun (_, pk, ck) -> Expr.Cmp (Expr.Eq, pk, ck)) keys
+          in
+          { acc with filters = eqs @ acc.filters }
       | _ -> acc)
     { filters = []; join_conds = []; nary = [] }
     facts
@@ -502,7 +551,7 @@ let depth_rule env plan =
            | Plan.Exchange { input; _ } ->
                [ (input, "input") ]
            | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
-           | Plan.Nary_rank_join { inputs; _ } ->
+           | Plan.Nary_rank_join { inputs; _ } | Plan.Any_k { inputs; _ } ->
                List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs))
   in
   go "plan:root" plan
@@ -632,6 +681,15 @@ let cost_rule env plan =
                 e.Cost_model.rows cross;
             ]
       | Plan.Nary_rank_join _ -> check_estimate ~path e
+      | Plan.Any_k { inputs; _ } ->
+          (* the build phase consumes every input in full, so the inputs'
+             serial totals are a sound floor on the anyK estimate *)
+          let floor =
+            List.fold_left
+              (fun acc i -> acc +. (est i).Cost_model.total_cost)
+              0.0 inputs
+          in
+          check_estimate ~path ~child_floor:floor e
     in
     here
     @ List.concat
@@ -645,7 +703,7 @@ let cost_rule env plan =
            | Plan.Exchange { input; _ } ->
                [ (input, "input") ]
            | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
-           | Plan.Nary_rank_join { inputs; _ } ->
+           | Plan.Nary_rank_join { inputs; _ } | Plan.Any_k { inputs; _ } ->
                List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs))
   in
   go "plan:root" plan
@@ -784,7 +842,7 @@ let rec count_topk = function
       count_topk input
   | Plan.Top_k { input; _ } -> 1 + count_topk input
   | Plan.Join { left; right; _ } -> count_topk left + count_topk right
-  | Plan.Nary_rank_join { inputs; _ } ->
+  | Plan.Nary_rank_join { inputs; _ } | Plan.Any_k { inputs; _ } ->
       List.fold_left (fun acc i -> acc + count_topk i) 0 inputs
 
 let topk_rule (p : Core.Optimizer.planned) =
@@ -1005,3 +1063,99 @@ let exchange_rule ?dop facts =
           (Plan.dop facts.Walk.plan);
       ]
   | _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* PL12-enum *)
+
+let rule12 = "PL12-enum"
+
+(* Structural sanity of an anyK node: the shape bit must describe the key
+   bindings' parent pointers (path: parent i-1; star: parent 0). PL01
+   covers arity and binding; this covers the join-tree topology claim. *)
+let any_k_shape_node (f : Walk.facts) =
+  let path = f.Walk.path in
+  match f.Walk.plan with
+  | Plan.Any_k { keys; shape; _ } ->
+      let expected i =
+        match shape with `Path -> i - 1 | `Star -> 0
+      in
+      List.concat
+        (List.mapi
+           (fun j (p, _, _) ->
+             if p = expected (j + 1) then []
+             else
+               [
+                 d rule12 path
+                   "anyK %s shape claims parent %d for input %d, keys say %d"
+                   (Core.Enumerate.shape_name shape)
+                   (expected (j + 1))
+                   (j + 1) p;
+               ])
+           keys)
+  | _ -> []
+
+let check_enumerate_bit ~path ~query ~recomputed bit =
+  if bit = recomputed then []
+  else if bit then
+    [
+      d rule12 path
+        ~hint:
+          "a cursor over this statement would resume a non-resumable sink \
+           (exchange, nested Top-k, or an unjustified scoring order)"
+        "Enumerate bit set but the plan is not cursor-resumable";
+    ]
+  else
+    [
+      d rule12 path
+        ~hint:
+          (Printf.sprintf "query %s plans to a resumable Top-k stream"
+             (Format.asprintf "%a" Logical.pp query))
+        "plan is cursor-resumable but the Enumerate bit is unset";
+    ]
+
+let enumerate_rule (p : Core.Optimizer.planned) =
+  let path = "plan:root" in
+  let query = p.Core.Optimizer.query in
+  let plan = p.Core.Optimizer.plan in
+  let catalog = p.Core.Optimizer.env.Cost_model.catalog in
+  let bit_check =
+    check_enumerate_bit ~path ~query
+      ~recomputed:(Core.Enumerate.eligible query plan)
+      p.Core.Optimizer.enumerable
+  in
+  (* Independent justification: when the bit is set, the stream under the
+     root Top-k must produce the scoring order by the walker's own
+     derivation (not Plan.order_of, which the Enumerate recomputation
+     already trusts) and must be exchange- and Top-k-free. *)
+  let sink_check =
+    if not p.Core.Optimizer.enumerable then []
+    else
+      match plan with
+      | Plan.Top_k { input; _ } ->
+          (if not (Core.Parallel.has_exchange input) then []
+           else [ d rule12 path "Enumerate over an exchange (morsel drain)" ])
+          @ (if count_topk input = 0 then []
+             else [ d rule12 path "Enumerate over a nested Top-k" ])
+          @
+          let produced = (Walk.derive catalog input).Walk.produced in
+          (match (Logical.scoring_expr query, produced) with
+          | Some score, Some o
+            when o.Plan.direction = Io.Desc && Expr.equal o.Plan.expr score ->
+              []
+          | Some score, _ ->
+              [
+                d rule12 path
+                  "Enumerate sink does not justifiably produce %s DESC"
+                  (Expr.to_string score);
+              ]
+          | None, _ ->
+              [ d rule12 path "Enumerate bit set on an unranked statement" ])
+      | _ -> [ d rule12 path "Enumerate bit set but the root is not Top-k" ]
+  in
+  let shape_checks =
+    Walk.fold
+      (fun acc f -> acc @ any_k_shape_node f)
+      []
+      (Walk.derive catalog plan)
+  in
+  bit_check @ sink_check @ shape_checks

@@ -126,3 +126,21 @@ val exchange_rule : ?dop:int -> Walk.facts -> Diag.t list
     exchange, never run inside one) and no nested exchange. When a stored
     [dop] property bit is supplied (memo/cache) it must equal
     {!Core.Plan.dop} of the plan. *)
+
+(** {2 PL12-enum — Enumerate-bit / cursor-resumability consistency} *)
+
+val check_enumerate_bit :
+  path:string ->
+  query:Core.Logical.t ->
+  recomputed:bool ->
+  bool ->
+  Diag.t list
+(** Pure checker: the stored Enumerate property bit equals the recomputed
+    {!Core.Enumerate.eligible} verdict. *)
+
+val enumerate_rule : Core.Optimizer.planned -> Diag.t list
+(** Driver: the planned statement's Enumerate bit matches recomputation;
+    when set, the stream under the root Top-k is independently verified
+    resumable (no exchange, no nested Top-k, walker-justified scoring
+    order) — no cursor may be kept open over a non-resumable sink. Every
+    anyK node's shape bit must describe its key bindings' parents. *)

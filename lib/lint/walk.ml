@@ -111,6 +111,20 @@ let produced_order plan child_orders =
             direction = Io.Desc;
           }
       else None
+  | Plan.Any_k { scores; inputs; _ } ->
+      (* anyK materializes and indexes its inputs itself, so — unlike the
+         rank joins — its descending total-score order needs no input
+         order justification, only a sane score list *)
+      if scores <> [] && List.length scores = List.length inputs then
+        Some
+          {
+            Plan.expr =
+              List.fold_left
+                (fun acc e -> Expr.Add (acc, e))
+                (List.hd scores) (List.tl scores);
+            direction = Io.Desc;
+          }
+      else None
 
 (* ------------------------------------------------------------------ *)
 (* Streaming recomputation: does the node deliver first rows without a
@@ -135,6 +149,8 @@ let streaming_of plan child_streams =
   | Plan.Join { algo = Plan.Nrjn; _ } -> child 0
   | Plan.Nary_rank_join { inputs; _ } ->
       List.mapi (fun i _ -> child i) inputs |> List.for_all Fun.id
+  (* the build phase drains every input before the first answer *)
+  | Plan.Any_k _ -> false
 
 (* ------------------------------------------------------------------ *)
 
@@ -146,7 +162,7 @@ let children_of = function
   | Plan.Exchange { input; _ } ->
       [ (input, "input") ]
   | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
-  | Plan.Nary_rank_join { inputs; _ } ->
+  | Plan.Nary_rank_join { inputs; _ } | Plan.Any_k { inputs; _ } ->
       List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs
 
 let derive catalog plan =
@@ -164,7 +180,7 @@ let derive catalog plan =
           match children with
           | [ l; r ] -> concat_opt l.schema r.schema
           | _ -> None)
-      | Plan.Nary_rank_join _ -> (
+      | Plan.Nary_rank_join _ | Plan.Any_k _ -> (
           match children with
           | [] -> None
           | first :: rest ->

@@ -35,6 +35,14 @@ let dispatch svc session cmd =
       match Service.execute_prepared session ?k name with
       | Ok reply -> (Protocol.render_reply reply, `Keep)
       | Error e -> (err_of e, `Keep))
+  | Protocol.Fetch { name; n } -> (
+      match Service.fetch session ~name n with
+      | Ok reply -> (Protocol.render_reply reply, `Keep)
+      | Error e -> (err_of e, `Keep))
+  | Protocol.Close name -> (
+      match Service.close_cursor session name with
+      | Ok () -> (Protocol.ok_response ~fields:[ ("closed", name) ] [], `Keep)
+      | Error e -> (err_of e, `Keep))
   | Protocol.Query sql -> (
       match Service.query session sql with
       | Ok reply -> (Protocol.render_reply reply, `Keep)

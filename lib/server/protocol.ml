@@ -2,6 +2,8 @@ type command =
   | Ping
   | Prepare of { name : string; sql : string }
   | Execute of { name : string; k : int option }
+  | Fetch of { name : string; n : int }
+  | Close of string
   | Query of string
   | Explain of string
   | Stats of [ `Server | `Session ]
@@ -45,6 +47,23 @@ let parse_command line =
             match int_of_string_opt karg with
             | Some k -> Ok (Execute { name; k = Some k })
             | None -> Error (Printf.sprintf "EXECUTE: invalid k %S" karg)))
+  | "FETCH" -> (
+      (* FETCH <name> NEXT <n> — cursor-style continuation of an executed
+         statement; FETCH <name> NEXT defaults to one row. *)
+      let name, rest = split_word rest in
+      let next_kw, narg = split_word rest in
+      if name = "" || String.uppercase_ascii next_kw <> "NEXT" then
+        Error "usage: FETCH <name> NEXT [n]"
+      else
+        match narg with
+        | "" -> Ok (Fetch { name; n = 1 })
+        | narg -> (
+            match int_of_string_opt narg with
+            | Some n -> Ok (Fetch { name; n })
+            | None -> Error (Printf.sprintf "FETCH: invalid count %S" narg)))
+  | "CLOSE" ->
+      if rest = "" then Error "usage: CLOSE <name>"
+      else Ok (Close rest)
   | "STATS" -> (
       match String.uppercase_ascii rest with
       | "" -> Ok (Stats `Server)

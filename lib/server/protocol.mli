@@ -6,6 +6,8 @@
     PING
     PREPARE <name> <sql>
     EXECUTE <name> [k]
+    FETCH <name> NEXT [n]
+    CLOSE <name>
     QUERY <sql>
     EXPLAIN <sql>
     STATS [SESSION]
@@ -28,6 +30,10 @@ type command =
   | Ping
   | Prepare of { name : string; sql : string }
   | Execute of { name : string; k : int option }
+  | Fetch of { name : string; n : int }
+      (** Cursor continuation of an executed statement: the next [n]
+          ranked answers ([NEXT] without a count fetches one). *)
+  | Close of string  (** Drop the cursor under this statement name. *)
   | Query of string
   | Explain of string
   | Stats of [ `Server | `Session ]

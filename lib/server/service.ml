@@ -23,6 +23,8 @@ type error =
   | Timeout
   | Queue_full
   | Unknown_prepared of string
+  | Unknown_cursor of string
+  | Cursor_stale
   | Shutting_down
 
 let error_code = function
@@ -33,6 +35,8 @@ let error_code = function
   | Timeout -> "TIMEOUT"
   | Queue_full -> "QUEUE_FULL"
   | Unknown_prepared _ -> "UNKNOWN_PREPARED"
+  | Unknown_cursor _ -> "UNKNOWN_CURSOR"
+  | Cursor_stale -> "CURSOR_STALE"
   | Shutting_down -> "SHUTDOWN"
 
 let error_message = function
@@ -40,6 +44,9 @@ let error_message = function
   | Timeout -> "statement exceeded its deadline"
   | Queue_full -> "worker queue full; statement shed"
   | Unknown_prepared n -> Printf.sprintf "no prepared statement named %S" n
+  | Unknown_cursor n -> Printf.sprintf "no open cursor named %S" n
+  | Cursor_stale ->
+      "cursor invalidated: catalog statistics changed since EXECUTE"
   | Shutting_down -> "server is shutting down"
 
 type reply = {
@@ -88,9 +95,22 @@ type t = {
   active_sessions : int Atomic.t;
 }
 
+(* An open cursor: a suspended enumerable statement. The deadline ref is
+   the state the cursor's interrupt closure reads — each FETCH writes its
+   own deadline there before pulling, so one slow fetch cannot consume a
+   later fetch's budget. The epoch pins the statistics state the plan was
+   built against: any DML bump invalidates the cursor (its materialized
+   anyK state would be stale). *)
+type open_cursor = {
+  oc_cursor : Sqlfront.Sql.cursor;
+  oc_epoch : int;
+  oc_deadline : float ref;
+}
+
 type session = {
   svc : t;
   stmts : (string, Sqlfront.Sql.template) Hashtbl.t;
+  cursors : (string, open_cursor) Hashtbl.t;
   slock : Mutex.t;
   smetrics : Metrics.t;
 }
@@ -120,13 +140,40 @@ let open_session t =
   {
     svc = t;
     stmts = Hashtbl.create 8;
+    cursors = Hashtbl.create 4;
     slock = Mutex.create ();
     smetrics = Metrics.create ();
   }
 
+let close_cursor_entry oc =
+  try Sqlfront.Sql.cursor_close oc.oc_cursor with _ -> ()
+
+(* Remove and return the cursor under [name], if any. *)
+let take_cursor sess name =
+  Mutex.protect sess.slock (fun () ->
+      match Hashtbl.find_opt sess.cursors name with
+      | Some oc ->
+          Hashtbl.remove sess.cursors name;
+          Some oc
+      | None -> None)
+
+let drop_cursor sess name =
+  match take_cursor sess name with
+  | Some oc ->
+      close_cursor_entry oc;
+      true
+  | None -> false
+
 let close_session s =
   Atomic.decr s.svc.active_sessions;
-  Mutex.protect s.slock (fun () -> Hashtbl.reset s.stmts)
+  let cursors =
+    Mutex.protect s.slock (fun () ->
+        let cs = Hashtbl.fold (fun _ oc acc -> oc :: acc) s.cursors [] in
+        Hashtbl.reset s.cursors;
+        Hashtbl.reset s.stmts;
+        cs)
+  in
+  List.iter close_cursor_entry cursors
 
 (* Hand [f] to a pool worker; block until it completes, the deadline
    cancels it, or admission control sheds it. The queued counter tracks
@@ -172,8 +219,21 @@ let record_outcome t s ~latency_s = function
       Metrics.record_error s.smetrics
 
 (* The cached SELECT path: plan-cache lookup on (template, epoch, k);
-   hits rebind k in place, misses (re-)optimize and store the variant. *)
-let run_template sess ?timeout_s ?k (tpl : Sqlfront.Sql.template) =
+   hits rebind k in place, misses (re-)optimize and store the variant.
+
+   When [cursor_name] is supplied (the EXECUTE path) and the prepared
+   statement is cursor-eligible, the first k answers are pulled through a
+   cursor which is then parked in the session under that name, so later
+   FETCH NEXT calls resume the same suspended enumeration — the prefix the
+   EXECUTE returned plus all fetch continuations are tuple-identical to a
+   one-shot execution at a larger k. A non-eligible EXECUTE (or plain
+   QUERY) runs one-shot; either way any previous cursor under the name is
+   dropped first, never silently resumed across re-executions.
+
+   The k bind value is validated before the plan cache is consulted:
+   k <= 0 must neither execute nor poison the cache with a variant whose
+   Top-k can never be rebound (Optimizer.rebind_k requires k >= 1). *)
+let run_template sess ?timeout_s ?k ?cursor_name (tpl : Sqlfront.Sql.template) =
   let t = sess.svc in
   let timeout = Option.value timeout_s ~default:t.config.default_timeout_s in
   let start = Unix.gettimeofday () in
@@ -182,37 +242,77 @@ let run_template sess ?timeout_s ?k (tpl : Sqlfront.Sql.template) =
     match k with Some _ -> k | None -> tpl.Sqlfront.Sql.tpl_inline_k
   in
   let epoch = Storage.Catalog.stats_epoch t.cat in
+  (match cursor_name with
+  | Some name -> ignore (drop_cursor sess name)
+  | None -> ());
   let result =
-    submit t ~deadline (fun () ->
-        let interrupt () = Unix.gettimeofday () > deadline in
-        let exec prepared ~cached ~reoptimized =
-          Rwlock.with_read t.lock (fun () ->
-              match
-                Sqlfront.Sql.run_prepared ~interrupt ~pool:t.pool t.cat
-                  prepared
-              with
-              | Ok ans -> Ok (ans, cached, reoptimized)
-              | Error e -> Error (Exec_error e))
-        in
-        match
-          Plan_cache.find t.cache ~key:tpl.Sqlfront.Sql.tpl_text ~epoch ~k:eff_k
-        with
-        | Plan_cache.Hit p -> exec p ~cached:true ~reoptimized:false
-        | (Plan_cache.Stale | Plan_cache.Interval_miss | Plan_cache.Absent) as
-          miss -> (
-            match Sqlfront.Sql.instantiate tpl ?k () with
-            | Error e -> Error (Bind_error e)
-            | Ok ast -> (
-                match
+    match eff_k with
+    | Some bad when bad < 1 ->
+        Error
+          (Bind_error (Printf.sprintf "bind error: k must be >= 1, got %d" bad))
+    | _ ->
+        submit t ~deadline (fun () ->
+            let interrupt () = Unix.gettimeofday () > deadline in
+            let exec prepared ~cached ~reoptimized =
+              match (cursor_name, eff_k) with
+              | Some name, Some fetch_k
+                when Sqlfront.Sql.cursor_eligible prepared ->
                   Rwlock.with_read t.lock (fun () ->
-                      Sqlfront.Sql.prepare_ast ~dop:t.config.dop t.cat ast)
-                with
-                | Error e -> Error (Plan_error e)
-                | Ok p ->
-                    Plan_cache.store t.cache ~key:tpl.Sqlfront.Sql.tpl_text
-                      ~epoch p;
-                    exec p ~cached:false
-                      ~reoptimized:(miss <> Plan_cache.Absent))))
+                      let oc_deadline = ref deadline in
+                      let cur =
+                        Sqlfront.Sql.open_cursor
+                          ~interrupt:(fun () ->
+                            Unix.gettimeofday () > !oc_deadline)
+                          ~pool:t.pool t.cat prepared
+                      in
+                      match Sqlfront.Sql.cursor_fetch cur fetch_k with
+                      | rows, scores ->
+                          let ans =
+                            {
+                              Sqlfront.Sql.columns =
+                                Sqlfront.Sql.cursor_columns cur;
+                              rows;
+                              scores;
+                              planned =
+                                prepared.Sqlfront.Sql.planned;
+                            }
+                          in
+                          Mutex.protect sess.slock (fun () ->
+                              Hashtbl.replace sess.cursors name
+                                { oc_cursor = cur; oc_epoch = epoch; oc_deadline });
+                          Ok (ans, cached, reoptimized)
+                      | exception e ->
+                          Sqlfront.Sql.cursor_close cur;
+                          raise e)
+              | _ ->
+                  Rwlock.with_read t.lock (fun () ->
+                      match
+                        Sqlfront.Sql.run_prepared ~interrupt ~pool:t.pool t.cat
+                          prepared
+                      with
+                      | Ok ans -> Ok (ans, cached, reoptimized)
+                      | Error e -> Error (Exec_error e))
+            in
+            match
+              Plan_cache.find t.cache ~key:tpl.Sqlfront.Sql.tpl_text ~epoch
+                ~k:eff_k
+            with
+            | Plan_cache.Hit p -> exec p ~cached:true ~reoptimized:false
+            | (Plan_cache.Stale | Plan_cache.Interval_miss | Plan_cache.Absent)
+              as miss -> (
+                match Sqlfront.Sql.instantiate tpl ?k () with
+                | Error e -> Error (Bind_error e)
+                | Ok ast -> (
+                    match
+                      Rwlock.with_read t.lock (fun () ->
+                          Sqlfront.Sql.prepare_ast ~dop:t.config.dop t.cat ast)
+                    with
+                    | Error e -> Error (Plan_error e)
+                    | Ok p ->
+                        Plan_cache.store t.cache ~key:tpl.Sqlfront.Sql.tpl_text
+                          ~epoch p;
+                        exec p ~cached:false
+                          ~reoptimized:(miss <> Plan_cache.Absent))))
   in
   let latency_s = Unix.gettimeofday () -. start in
   record_outcome t sess ~latency_s result;
@@ -242,7 +342,61 @@ let prepare sess ~name sql =
 let execute_prepared sess ?timeout_s ?k name =
   match Mutex.protect sess.slock (fun () -> Hashtbl.find_opt sess.stmts name) with
   | None -> Error (Unknown_prepared name)
-  | Some tpl -> run_template sess ?timeout_s ?k tpl
+  | Some tpl -> run_template sess ?timeout_s ?k ~cursor_name:name tpl
+
+(* Resume a parked cursor: re-arm its deadline, verify the statistics
+   epoch it was planned under still holds (DML in between leaves its
+   materialized state stale — close it and report CURSOR_STALE), and pull
+   the next [n] ranked answers under the catalog read lock. *)
+let fetch sess ?timeout_s ~name n =
+  let t = sess.svc in
+  let timeout = Option.value timeout_s ~default:t.config.default_timeout_s in
+  let start = Unix.gettimeofday () in
+  let deadline = start +. timeout in
+  let result =
+    if n < 1 then
+      Error
+        (Bind_error (Printf.sprintf "bind error: fetch count must be >= 1, got %d" n))
+    else
+      match
+        Mutex.protect sess.slock (fun () -> Hashtbl.find_opt sess.cursors name)
+      with
+      | None -> Error (Unknown_cursor name)
+      | Some oc ->
+          submit t ~deadline (fun () ->
+              if Storage.Catalog.stats_epoch t.cat <> oc.oc_epoch then begin
+                ignore (drop_cursor sess name);
+                Error Cursor_stale
+              end
+              else begin
+                oc.oc_deadline := deadline;
+                Rwlock.with_read t.lock (fun () ->
+                    let rows, scores =
+                      Sqlfront.Sql.cursor_fetch oc.oc_cursor n
+                    in
+                    Ok
+                      ( Sqlfront.Sql.cursor_columns oc.oc_cursor,
+                        rows,
+                        scores ))
+              end)
+  in
+  let latency_s = Unix.gettimeofday () -. start in
+  record_outcome t sess ~latency_s result;
+  Result.map
+    (fun (columns, rows, scores) ->
+      {
+        columns;
+        rows;
+        scores;
+        affected = None;
+        cached = true;
+        reoptimized = false;
+        latency_s;
+      })
+    result
+
+let close_cursor sess name =
+  if drop_cursor sess name then Ok () else Error (Unknown_cursor name)
 
 (* Peek at the leading keyword to route DML to the write-locked path. *)
 let is_dml text =
@@ -339,4 +493,7 @@ let session_stats s =
       ( "prepared",
         string_of_int
           (Mutex.protect s.slock (fun () -> Hashtbl.length s.stmts)) );
+      ( "cursors",
+        string_of_int
+          (Mutex.protect s.slock (fun () -> Hashtbl.length s.cursors)) );
     ]

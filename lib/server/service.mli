@@ -44,6 +44,11 @@ type error =
   | Timeout
   | Queue_full
   | Unknown_prepared of string
+  | Unknown_cursor of string
+  | Cursor_stale
+      (** The catalog's statistics epoch moved (DML ran) since the cursor
+          was opened: its materialized enumeration state is stale. The
+          cursor is closed; re-EXECUTE to re-plan. *)
   | Shutting_down
 
 val error_code : error -> string
@@ -84,7 +89,25 @@ val prepare :
 
 val execute_prepared :
   session -> ?timeout_s:float -> ?k:int -> string -> (reply, error) result
-(** Execute a prepared statement, binding [k] if given. *)
+(** Execute a prepared statement, binding [k] if given. A [k < 1] is a
+    {!Bind_error} rejected before the plan cache is touched. When the
+    chosen plan is cursor-eligible ({!Sqlfront.Sql.cursor_eligible}) the
+    first k answers are served through a cursor that stays open under the
+    statement's name for {!fetch} continuations; any cursor previously
+    open under that name is dropped first. *)
+
+val fetch :
+  session -> ?timeout_s:float -> name:string -> int -> (reply, error) result
+(** [FETCH NEXT n]: the next [n] ranked answers of the cursor opened by
+    {!execute_prepared}, in non-increasing score order, tuple-identical
+    to the continuation of a one-shot execution at a larger k. Fewer than
+    [n] rows mean the enumeration is exhausted. Each fetch runs as its
+    own pool job with its own deadline and re-validates the catalog stats
+    epoch — on mismatch the cursor is closed and {!Cursor_stale}
+    returned. [n < 1] is a {!Bind_error}. *)
+
+val close_cursor : session -> string -> (unit, error) result
+(** Close and drop the session's cursor under this name. *)
 
 val query :
   session -> ?timeout_s:float -> ?k:int -> string -> (reply, error) result

@@ -158,6 +158,74 @@ let run_prepared ?interrupt ?pool ?degree catalog { bound; planned } =
       planned;
     }
 
+(* -------------------------------------------------------------------- *)
+(* Cursors: keep an enumerable statement's plan open between fetches.
+
+   A statement qualifies when its plan carries the Enumerate property
+   (Top-k over a resumable stream) and nothing downstream of the executor
+   re-orders or truncates rows: no aggregation, no post-sort. The
+   projection (including the running rank() index) is applied per fetch
+   with an absolute row offset so EXECUTE + repeated FETCH NEXT produce
+   exactly the rows a one-shot execution at a larger k would. *)
+
+type cursor = {
+  cur_prepared : prepared;
+  cur_exec : Core.Executor.cursor;
+  cur_columns : string list;
+  cur_project : (int -> Tuple.t -> Value.t) list option;
+  mutable cur_pos : int;  (* absolute rank of the next row, 0-based *)
+}
+
+let cursor_eligible { bound; planned } =
+  planned.Core.Optimizer.enumerable
+  && Option.is_none bound.Binder.aggregation
+  && Option.is_none bound.Binder.post_sort
+
+let open_cursor ?interrupt ?pool ?degree catalog ({ bound; planned } as p) =
+  let cur_exec =
+    Core.Executor.open_cursor ?interrupt ?pool ?degree catalog
+      planned.Core.Optimizer.plan
+  in
+  let schema = Core.Executor.cursor_schema cur_exec in
+  let cur_columns, cur_project =
+    match bound.Binder.projection with
+    | None ->
+        (List.map Schema.column_name (Schema.columns schema), None)
+    | Some targets ->
+        let fns =
+          List.map
+            (fun (oc, _) ->
+              match oc with
+              | Binder.Col e ->
+                  let f = Expr.compile schema e in
+                  fun _i tu -> f tu
+              | Binder.Rank -> fun i _tu -> Value.Int (i + 1))
+            targets
+        in
+        (List.map snd targets, Some fns)
+  in
+  { cur_prepared = p; cur_exec; cur_columns; cur_project; cur_pos = 0 }
+
+let cursor_columns cur = cur.cur_columns
+let cursor_prepared cur = cur.cur_prepared
+let cursor_position cur = cur.cur_pos
+
+let cursor_fetch cur n =
+  let raw = Core.Executor.cursor_fetch cur.cur_exec n in
+  let rows =
+    match cur.cur_project with
+    | None -> List.map fst raw
+    | Some fns ->
+        List.mapi
+          (fun i (tu, _) ->
+            Array.of_list (List.map (fun f -> f (cur.cur_pos + i) tu) fns))
+          raw
+  in
+  cur.cur_pos <- cur.cur_pos + List.length raw;
+  (rows, List.map snd raw)
+
+let cursor_close cur = Core.Executor.cursor_close cur.cur_exec
+
 let query ?config ?dop ?pool catalog text =
   let* bound, planned = plan_of ?config ?dop catalog text in
   run_prepared ?pool catalog { bound; planned }

@@ -93,6 +93,48 @@ val run_prepared :
     server maps it to a timeout error. [pool]/[degree] control exchange
     execution (see {!Core.Executor.compile}). *)
 
+(** {2 Cursors}
+
+    Cursor-style ranked enumeration: an {e enumerable} prepared statement
+    (its plan carries the Enumerate property — see
+    {!Core.Optimizer.planned.enumerable}) can be kept open between
+    fetches, streaming answers in score order past the original [k]
+    without re-executing. The projection — including the running [rank()]
+    column — is applied with an absolute row offset, so the concatenation
+    of all fetches equals a one-shot execution at a larger k. *)
+
+type cursor
+
+val cursor_eligible : prepared -> bool
+(** The plan is Enumerate-eligible and nothing runs after the executor
+    that would re-order or truncate rows (no aggregation, no post-sort). *)
+
+val open_cursor :
+  ?interrupt:(unit -> bool) ->
+  ?pool:Rkutil.Task_pool.t ->
+  ?degree:int ->
+  Storage.Catalog.t ->
+  prepared ->
+  cursor
+(** Compile and open the statement's stream (root Top-k stripped). Only
+    call on a {!cursor_eligible} statement; the caller must
+    {!cursor_close}. [interrupt] is re-read on every fetch — update the
+    state it consults before each {!cursor_fetch} to give each fetch its
+    own deadline. *)
+
+val cursor_columns : cursor -> string list
+val cursor_prepared : cursor -> prepared
+
+val cursor_position : cursor -> int
+(** Absolute 0-based rank of the next row the cursor will emit. *)
+
+val cursor_fetch : cursor -> int -> Relalg.Tuple.t list * float list
+(** The next (up to) [n] projected rows with their scores, in
+    non-increasing score order. Fewer than [n] rows mean the enumeration
+    is exhausted; later calls return [([], [])]. *)
+
+val cursor_close : cursor -> unit
+
 val explain : ?config:Core.Enumerator.config -> Storage.Catalog.t -> string -> (string, string) result
 (** The optimizer's plan description for a SQL string, without executing. *)
 

@@ -1,0 +1,209 @@
+(* Any-k ranked-enumeration operator tests: full-stream order against the
+   join-then-sort oracle, resumption past an initial prefix, exhaustion
+   behaviour under repeated pulls, NaN pruning, and cooperative ticks. *)
+
+open Relalg
+open Exec
+
+let key_of tu = Tuple.get tu 1
+let score_of tu = Value.to_float (Tuple.get tu 2)
+
+let input ?(weight = 1.0) rel =
+  {
+    Any_k.i_op = Operator.of_list (Relation.schema rel) (Relation.tuples rel);
+    i_score = (fun tu -> weight *. score_of tu);
+  }
+
+let concat_schema rels =
+  List.fold_left
+    (fun acc r -> Schema.concat acc (Relation.schema r))
+    (Relation.schema (List.hd rels))
+    (List.tl rels)
+
+(* Input 0 is the root; keys entry i-1 binds input i to its parent:
+   the previous input for a path, input 0 for a star. *)
+let mk_stream ?tick ?(weights = []) shape rels =
+  let weight i =
+    match List.nth_opt weights i with Some w -> w | None -> 1.0
+  in
+  let inputs = List.mapi (fun i r -> input ~weight:(weight i) r) rels in
+  let keys =
+    List.init
+      (List.length rels - 1)
+      (fun i ->
+        let parent = match shape with `Path -> i | `Star -> 0 in
+        (parent, key_of, key_of))
+  in
+  Any_k.enumerate ?tick ~schema:(concat_schema rels) ~inputs ~keys ()
+
+let jeq a b = Expr.(col ~relation:a "key" = col ~relation:b "key")
+
+let oracle_full ?(weights = []) shape rels =
+  let weight i =
+    match List.nth_opt weights i with Some w -> w | None -> 1.0
+  in
+  let names =
+    List.map
+      (fun r ->
+        match (Schema.columns (Relation.schema r) : Schema.column list) with
+        | { relation = Some n; _ } :: _ -> n
+        | _ -> assert false)
+      rels
+  in
+  let joined =
+    match rels, names with
+    | [ a; b ], [ na; nb ] -> Relation.join ~on:(jeq na nb) a b
+    | [ a; b; c ], [ na; nb; nc ] ->
+        let anchor = match shape with `Path -> nb | `Star -> na in
+        Relation.join ~on:(jeq anchor nc) (Relation.join ~on:(jeq na nb) a b) c
+    | _ -> assert false
+  in
+  let score =
+    Expr.weighted_sum
+      (List.mapi (fun i n -> (weight i, Expr.col ~relation:n "score")) names)
+  in
+  Relation.top_k ~score ~k:max_int joined
+
+let drain_via_next s =
+  let rec go acc =
+    match s.Operator.s_next () with
+    | Some r -> go (r :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let take_via_next s n =
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match s.Operator.s_next () with
+      | Some r -> go (r :: acc) (n - 1)
+      | None -> List.rev acc
+  in
+  go [] n
+
+let check_against_oracle msg stream oracle =
+  let got = Operator.scored_to_list stream in
+  Test_util.check_score_multiset msg (List.map snd oracle) (List.map snd got);
+  Test_util.check_non_increasing (msg ^ " ordered") (List.map snd got)
+
+let test_path_two () =
+  let a = Test_util.scored_relation "A" ~n:30 ~domain:4 ~seed:3 in
+  let b = Test_util.scored_relation "B" ~n:25 ~domain:4 ~seed:4 in
+  check_against_oracle "anyk path-2" (mk_stream `Path [ a; b ])
+    (oracle_full `Path [ a; b ])
+
+let test_path_three () =
+  let a = Test_util.scored_relation "A" ~n:18 ~domain:3 ~seed:5 in
+  let b = Test_util.scored_relation "B" ~n:16 ~domain:3 ~seed:6 in
+  let c = Test_util.scored_relation "C" ~n:14 ~domain:3 ~seed:7 in
+  check_against_oracle "anyk path-3" (mk_stream `Path [ a; b; c ])
+    (oracle_full `Path [ a; b; c ])
+
+let test_star_three () =
+  let a = Test_util.scored_relation "A" ~n:18 ~domain:3 ~seed:8 in
+  let b = Test_util.scored_relation "B" ~n:16 ~domain:3 ~seed:9 in
+  let c = Test_util.scored_relation "C" ~n:14 ~domain:3 ~seed:10 in
+  check_against_oracle "anyk star-3" (mk_stream `Star [ a; b; c ])
+    (oracle_full `Star [ a; b; c ])
+
+let test_weighted () =
+  let a = Test_util.scored_relation "A" ~n:22 ~domain:4 ~seed:11 in
+  let b = Test_util.scored_relation "B" ~n:22 ~domain:4 ~seed:12 in
+  let weights = [ 0.25; 0.75 ] in
+  check_against_oracle "anyk weighted"
+    (mk_stream ~weights `Path [ a; b ])
+    (oracle_full ~weights `Path [ a; b ])
+
+(* The cursor contract: a stream paused after k answers resumes exactly
+   where it stopped — the concatenation equals one uninterrupted drain. *)
+let test_resumes_midway () =
+  let a = Test_util.scored_relation "A" ~n:25 ~domain:3 ~seed:13 in
+  let b = Test_util.scored_relation "B" ~n:25 ~domain:3 ~seed:14 in
+  let full =
+    let s = mk_stream `Path [ a; b ] in
+    s.Operator.s_open ();
+    let r = drain_via_next s in
+    s.Operator.s_close ();
+    r
+  in
+  let s = mk_stream `Path [ a; b ] in
+  s.Operator.s_open ();
+  let first = take_via_next s 7 in
+  let rest = drain_via_next s in
+  s.Operator.s_close ();
+  Alcotest.(check bool) "resumed = uninterrupted" true
+    (List.equal
+       (fun (t1, s1) (t2, s2) -> Tuple.equal t1 t2 && Float.equal s1 s2)
+       full (first @ rest))
+
+let test_exhausted_stays_exhausted () =
+  let a = Test_util.scored_relation "A" ~n:12 ~domain:2 ~seed:15 in
+  let b = Test_util.scored_relation "B" ~n:12 ~domain:2 ~seed:16 in
+  let s = mk_stream `Path [ a; b ] in
+  s.Operator.s_open ();
+  let all = drain_via_next s in
+  Alcotest.(check int) "full join size"
+    (List.length (oracle_full `Path [ a; b ]))
+    (List.length all);
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "still exhausted" true
+      (Option.is_none (s.Operator.s_next ()))
+  done;
+  s.Operator.s_close ()
+
+let test_nan_pruned () =
+  let sch = Test_util.scored_schema "A" in
+  let rows =
+    [
+      [| Value.Int 0; Value.Int 1; Value.Float 0.9 |];
+      [| Value.Int 1; Value.Int 1; Value.Float Float.nan |];
+      [| Value.Int 2; Value.Int 2; Value.Float 0.4 |];
+    ]
+  in
+  let a = Relation.create sch rows in
+  let b = Test_util.scored_relation "B" ~n:10 ~domain:2 ~seed:17 in
+  let got = Operator.scored_to_list (mk_stream `Path [ a; b ]) in
+  (* Only the two non-NaN A-rows can appear in answers, and no emitted
+     total may be NaN. *)
+  Alcotest.(check bool) "no NaN totals" true
+    (List.for_all (fun (_, s) -> not (Float.is_nan s)) got);
+  let clean = Relation.create sch (List.filteri (fun i _ -> i <> 1) rows) in
+  Alcotest.(check int) "NaN row contributes nothing"
+    (List.length (oracle_full `Path [ clean; b ]))
+    (List.length got)
+
+(* The build phase must call [tick] so a deadline can fire mid-build. *)
+exception Interrupted_by_test
+
+let test_tick_interrupts_build () =
+  let a = Test_util.scored_relation "A" ~n:2000 ~domain:10 ~seed:18 in
+  let b = Test_util.scored_relation "B" ~n:2000 ~domain:10 ~seed:19 in
+  let calls = ref 0 in
+  let tick () =
+    incr calls;
+    if !calls > 3 then raise Interrupted_by_test
+  in
+  let s = mk_stream ~tick `Path [ a; b ] in
+  Alcotest.check_raises "tick escapes from the build" Interrupted_by_test
+    (fun () ->
+      s.Operator.s_open ();
+      ignore (drain_via_next s));
+  Alcotest.(check bool) "tick was polled" true (!calls > 3)
+
+let suites =
+  [
+    ( "exec.any_k",
+      [
+        Alcotest.test_case "path-2 matches oracle" `Quick test_path_two;
+        Alcotest.test_case "path-3 matches oracle" `Quick test_path_three;
+        Alcotest.test_case "star-3 matches oracle" `Quick test_star_three;
+        Alcotest.test_case "weighted scores" `Quick test_weighted;
+        Alcotest.test_case "resumes midway" `Quick test_resumes_midway;
+        Alcotest.test_case "exhaustion is sticky" `Quick
+          test_exhausted_stays_exhausted;
+        Alcotest.test_case "NaN rows pruned" `Quick test_nan_pruned;
+        Alcotest.test_case "tick interrupts build" `Quick
+          test_tick_interrupts_build;
+      ] );
+  ]

@@ -182,6 +182,39 @@ let test_mutation_pl10 () =
        ~key:"select A.id from A order by A.score desc limit ?" ~epoch:(-1)
        prepared)
 
+(* PL12: the stored Enumerate (cursor-resumability) bit flipped either
+   way, plus the pure bit checker. *)
+let test_mutation_pl12 () =
+  let cat = setup () in
+  let query = ab_query () in
+  let planned = Optimizer.optimize cat query in
+  Alcotest.(check bool)
+    "ranking join statement is cursor-resumable" true
+    planned.Optimizer.enumerable;
+  expect_only "PL12-enum"
+    (Lint.Rules.enumerate_rule { planned with Optimizer.enumerable = false });
+  (* The opposite flip: claiming resumability for a non-ranking plan. *)
+  let flat =
+    Logical.make
+      ~relations:[ Logical.base "A"; Logical.base "B" ]
+      ~joins:[ Logical.equijoin ("A", "key") ("B", "key") ]
+      ()
+  in
+  let fplanned = Optimizer.optimize cat flat in
+  Alcotest.(check bool)
+    "flat join is not resumable" false fplanned.Optimizer.enumerable;
+  expect_only "PL12-enum"
+    (Lint.Rules.enumerate_rule { fplanned with Optimizer.enumerable = true });
+  (* The pure checker: disagreement fires, agreement is silent. *)
+  expect_only "PL12-enum"
+    (Lint.Rules.check_enumerate_bit ~path:"plan:root" ~query ~recomputed:true
+       false);
+  Alcotest.(check int)
+    "agreement lints clean" 0
+    (List.length
+       (Lint.Rules.check_enumerate_bit ~path:"plan:root" ~query
+          ~recomputed:false false))
+
 (* --- zero false positives ------------------------------------------- *)
 
 let test_optimizer_output_clean () =
@@ -232,7 +265,7 @@ let test_fuzz_corpus_clean () =
 
 let test_catalog_complete () =
   let ids = List.map fst Lint.Rules.catalog in
-  Alcotest.(check int) "eleven rules" 11 (List.length ids);
+  Alcotest.(check int) "twelve rules" 12 (List.length ids);
   Alcotest.(check bool)
     "distinct ids" true
     (List.length (List.sort_uniq String.compare ids) = List.length ids)
@@ -265,6 +298,7 @@ let suites =
         Alcotest.test_case "PL08 property-bit drift" `Quick test_mutation_pl08;
         Alcotest.test_case "PL09 tampered Top-k" `Quick test_mutation_pl09;
         Alcotest.test_case "PL10 bad cache entry" `Quick test_mutation_pl10;
+        Alcotest.test_case "PL12 Enumerate-bit flip" `Quick test_mutation_pl12;
       ] );
     ( "lint.clean",
       [

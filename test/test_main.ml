@@ -9,6 +9,7 @@ let () =
          Test_exec.suites;
          Test_metrics.suites;
          Test_rank_join.suites;
+         Test_any_k.suites;
          Test_ranking.suites;
          Test_workload.suites;
          Test_core_model.suites;

@@ -225,6 +225,7 @@ let rec plan_has_nary = function
   | Core.Plan.Exchange { input; _ } ->
       plan_has_nary input
   | Core.Plan.Join { left; right; _ } -> plan_has_nary left || plan_has_nary right
+  | Core.Plan.Any_k { inputs; _ } -> List.exists plan_has_nary inputs
 
 let test_enumerator_generates_nary () =
   let cat = star_catalog () in

@@ -204,6 +204,128 @@ let test_weighted_combine () =
   Test_util.check_score_multiset "weighted top-10" (List.map snd oracle)
     (List.map snd results)
 
+(* Resumption regressions (the cursor contract): a stream paused mid-way
+   must continue exactly where it stopped, and a drained stream must stay
+   exhausted — repeated s_next past exhaustion returns None without
+   re-reading the (already exhausted) inputs. *)
+
+let drain_via_next s =
+  let rec go acc =
+    match s.Operator.s_next () with
+    | Some r -> go (r :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let take_via_next s n =
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match s.Operator.s_next () with
+      | Some r -> go (r :: acc) (n - 1)
+      | None -> List.rev acc
+  in
+  go [] n
+
+let test_hrjn_resume_midway () =
+  let ra, rb = make_pair ~na:30 ~nb:30 ~domain:3 ~seed:51 () in
+  let full =
+    let stream, _ =
+      Rank_join.hrjn ~combine ~left:(rank_input ra) ~right:(rank_input rb) ()
+    in
+    Operator.scored_to_list stream
+  in
+  let stream, _ =
+    Rank_join.hrjn ~combine ~left:(rank_input ra) ~right:(rank_input rb) ()
+  in
+  stream.Operator.s_open ();
+  let first = take_via_next stream 5 in
+  let rest = drain_via_next stream in
+  stream.Operator.s_close ();
+  Alcotest.(check bool) "paused + resumed = uninterrupted" true
+    (List.equal (fun (_, a) (_, b) -> Float.equal a b) full (first @ rest))
+
+let test_hrjn_exhausted_stays_exhausted () =
+  let ra, rb = make_pair ~na:25 ~nb:25 ~domain:3 ~seed:53 () in
+  let stream, stats =
+    Rank_join.hrjn ~combine ~left:(rank_input ra) ~right:(rank_input rb) ()
+  in
+  stream.Operator.s_open ();
+  let all = drain_via_next stream in
+  Alcotest.(check int) "full join drained"
+    (List.length (oracle_topk ra rb max_int))
+    (List.length all);
+  let dl = Exec_stats.left_depth stats in
+  let dr = Exec_stats.right_depth stats in
+  for _ = 1 to 5 do
+    Alcotest.(check bool) "still exhausted" true
+      (Option.is_none (stream.Operator.s_next ()))
+  done;
+  Alcotest.(check int) "left depth frozen past exhaustion" dl
+    (Exec_stats.left_depth stats);
+  Alcotest.(check int) "right depth frozen past exhaustion" dr
+    (Exec_stats.right_depth stats);
+  stream.Operator.s_close ()
+
+let test_hrjn_exhausted_empty_side_stays_stopped () =
+  let empty = Relation.create (Test_util.scored_schema "A") [] in
+  let rb = Test_util.scored_relation "B" ~n:100 ~domain:4 ~seed:55 in
+  let stream, stats =
+    Rank_join.hrjn ~combine ~left:(rank_input empty) ~right:(rank_input rb) ()
+  in
+  stream.Operator.s_open ();
+  Alcotest.(check bool) "empty join" true
+    (Option.is_none (stream.Operator.s_next ()));
+  for _ = 1 to 10 do
+    ignore (stream.Operator.s_next ())
+  done;
+  Alcotest.(check bool) "live side not re-read past exhaustion" true
+    (Exec_stats.right_depth stats <= 2);
+  stream.Operator.s_close ()
+
+let test_nrjn_resume_midway () =
+  let ra, rb = make_pair ~na:30 ~nb:30 ~domain:3 ~seed:57 () in
+  let mk () =
+    let pred = Expr.(col ~relation:"A" "key" = col ~relation:"B" "key") in
+    let inner = Operator.of_list (Relation.schema rb) (Relation.tuples rb) in
+    let inner_score tu = Value.to_float (Tuple.get tu score_idx) in
+    Rank_join.nrjn ~combine ~pred ~outer:(scored_stream ra) ~inner ~inner_score
+      ()
+  in
+  let full =
+    let stream, _ = mk () in
+    Operator.scored_to_list stream
+  in
+  let stream, _ = mk () in
+  stream.Operator.s_open ();
+  let first = take_via_next stream 5 in
+  let rest = drain_via_next stream in
+  stream.Operator.s_close ();
+  Alcotest.(check bool) "paused + resumed = uninterrupted" true
+    (List.equal (fun (_, a) (_, b) -> Float.equal a b) full (first @ rest))
+
+let test_nrjn_exhausted_stays_exhausted () =
+  let ra = Test_util.scored_relation "A" ~n:40 ~domain:3 ~seed:59 in
+  let empty = Relation.create (Test_util.scored_schema "B") [] in
+  let pred = Expr.(col ~relation:"A" "key" = col ~relation:"B" "key") in
+  let inner = Operator.of_list (Relation.schema empty) [] in
+  let inner_score tu = Value.to_float (Tuple.get tu score_idx) in
+  let stream, stats =
+    Rank_join.nrjn ~combine ~pred ~outer:(scored_stream ra) ~inner ~inner_score
+      ()
+  in
+  stream.Operator.s_open ();
+  Alcotest.(check bool) "empty join" true
+    (Option.is_none (stream.Operator.s_next ()));
+  let d = Exec_stats.left_depth stats in
+  for _ = 1 to 10 do
+    Alcotest.(check bool) "still exhausted" true
+      (Option.is_none (stream.Operator.s_next ()))
+  done;
+  Alcotest.(check int) "outer depth frozen past exhaustion" d
+    (Exec_stats.left_depth stats);
+  stream.Operator.s_close ()
+
 let prop_hrjn_equals_oracle =
   QCheck.Test.make ~name:"hrjn: top-k = join-then-sort (random workloads)"
     ~count:60
@@ -263,6 +385,11 @@ let suites =
         Alcotest.test_case "depths grow with k" `Quick test_hrjn_depths_grow_with_k;
         Alcotest.test_case "buffer tracked" `Quick test_hrjn_buffer_tracked;
         Alcotest.test_case "weighted combine" `Quick test_weighted_combine;
+        Alcotest.test_case "resume midway" `Quick test_hrjn_resume_midway;
+        Alcotest.test_case "exhaustion is sticky" `Quick
+          test_hrjn_exhausted_stays_exhausted;
+        Alcotest.test_case "exhausted-empty side stays stopped" `Quick
+          test_hrjn_exhausted_empty_side_stays_stopped;
         QCheck_alcotest.to_alcotest prop_hrjn_equals_oracle;
         QCheck_alcotest.to_alcotest prop_hrjn_never_emits_below_later;
       ] );
@@ -272,6 +399,9 @@ let suites =
         Alcotest.test_case "empty inner" `Quick test_nrjn_empty_inner;
         Alcotest.test_case "empty inner depth" `Quick test_nrjn_empty_inner_depth;
         Alcotest.test_case "depth instrumentation" `Quick test_nrjn_depth_instrumentation;
+        Alcotest.test_case "resume midway" `Quick test_nrjn_resume_midway;
+        Alcotest.test_case "exhaustion is sticky" `Quick
+          test_nrjn_exhausted_stays_exhausted;
         QCheck_alcotest.to_alcotest prop_nrjn_equals_oracle;
       ] );
   ]

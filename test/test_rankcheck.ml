@@ -175,6 +175,52 @@ let test_empty_input_regression () =
   | Ok plans -> Alcotest.(check bool) "plans checked" true (plans > 0)
   | Error (reason, _) -> Alcotest.failf "counterexample regressed: %s" reason
 
+(* Enumeration-mode slice: EXECUTE-then-FETCH prefixes through the query
+   service must be tuple-exact (ties, NaN drops and all) against the full
+   ranked-list oracle. The open-ended sweep is `rankopt fuzz --enum`. *)
+let test_enum_fixed_seed_sweep () =
+  let outcome = Rankcheck.run_enum ~seed:0 ~cases:40 () in
+  (match outcome.Rankcheck.o_failures with f :: _ -> fail_on f | [] -> ());
+  Alcotest.(check int) "cases" 40 outcome.Rankcheck.o_cases;
+  Alcotest.(check bool)
+    "prefixes checked" true
+    (outcome.Rankcheck.o_plans > 100)
+
+(* Enum cases must keep the replay contract and actually exercise the
+   corners the mode exists for: exact tied totals and NaN-scored rows. *)
+let test_enum_case_coverage () =
+  List.iter
+    (fun seed ->
+      let a = Rankcheck.enum_case seed in
+      let b = Rankcheck.enum_case seed in
+      Alcotest.(check bool) "enum_case deterministic" true
+        (a.Rankcheck.c_seed = b.Rankcheck.c_seed
+        && a.Rankcheck.c_query = b.Rankcheck.c_query
+        && List.for_all2
+             (fun (x : Rankcheck.table_spec) (y : Rankcheck.table_spec) ->
+               List.for_all2
+                 (fun (i1, k1, s1) (i2, k2, s2) ->
+                   i1 = i2 && k1 = k2
+                   && (Float.equal s1 s2
+                      || (Float.is_nan s1 && Float.is_nan s2)))
+                 x.Rankcheck.t_rows y.Rankcheck.t_rows)
+             a.Rankcheck.c_tables b.Rankcheck.c_tables))
+    [ 0; 3; 42; 512 ];
+  let cases = List.init 80 Rankcheck.enum_case in
+  let rows c =
+    List.concat_map (fun t -> t.Rankcheck.t_rows) c.Rankcheck.c_tables
+  in
+  let has_nan =
+    List.exists
+      (fun c -> List.exists (fun (_, _, s) -> Float.is_nan s) (rows c))
+      cases
+  in
+  let on_grid s = Float.is_nan s || Float.equal (Float.round (s *. 8.0) /. 8.0) s in
+  Alcotest.(check bool) "injects NaN scores" true has_nan;
+  Alcotest.(check bool) "all scores on the exact 1/8 grid" true
+    (List.for_all (fun c -> List.for_all (fun (_, _, s) -> on_grid s) (rows c))
+       cases)
+
 (* Shrinking preserves failure. We can't ship a live engine bug to shrink,
    so check the mechanics on the generator side: shrinking a passing case
    is the identity (nothing to minimize), and shrunk output of any case
@@ -198,6 +244,9 @@ let suites =
           test_inlj_filter_regression;
         Alcotest.test_case "regression: empty-input over-read" `Quick
           test_empty_input_regression;
+        Alcotest.test_case "enum-mode sweep (0..39)" `Slow
+          test_enum_fixed_seed_sweep;
+        Alcotest.test_case "enum-case coverage" `Quick test_enum_case_coverage;
         Alcotest.test_case "shrink well-formed" `Quick test_shrink_wellformed;
       ] );
   ]

@@ -386,6 +386,184 @@ let test_service_stats_fields () =
   Server.Service.close_session s
 
 (* ------------------------------------------------------------------ *)
+(* Cursors: FETCH NEXT, bind validation, staleness, deadlines          *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_fetch_parse () =
+  let ok = function Ok c -> c | Error e -> Alcotest.fail e in
+  (match ok (Server.Protocol.parse_command "FETCH q NEXT 10") with
+  | Server.Protocol.Fetch { name = "q"; n = 10 } -> ()
+  | _ -> Alcotest.fail "expected Fetch q 10");
+  (match ok (Server.Protocol.parse_command "fetch q next") with
+  | Server.Protocol.Fetch { name = "q"; n = 1 } -> ()
+  | _ -> Alcotest.fail "FETCH without a count should default to 1");
+  (match ok (Server.Protocol.parse_command "CLOSE q") with
+  | Server.Protocol.Close "q" -> ()
+  | _ -> Alcotest.fail "expected Close q");
+  Alcotest.(check bool)
+    "FETCH without NEXT rejected" true
+    (Result.is_error (Server.Protocol.parse_command "FETCH q 10"));
+  Alcotest.(check bool)
+    "FETCH with junk count rejected" true
+    (Result.is_error (Server.Protocol.parse_command "FETCH q NEXT ten"));
+  Alcotest.(check bool)
+    "bare CLOSE rejected" true
+    (Result.is_error (Server.Protocol.parse_command "CLOSE"))
+
+(* k = 0 / negative / FETCH n < 1 must be protocol-level bind errors — and
+   crucially must be rejected *before* the plan cache is touched, so a bad
+   bind can never poison the cache with a k=0 variant (the regression: a
+   cached Top-k(0) plan would crash every later rebind). *)
+let test_bind_validation_no_cache_poison () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  (match Server.Service.prepare s ~name:"q" join_sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  (match Server.Service.execute_prepared s ~k:0 "q" with
+  | Error (Server.Service.Bind_error _) -> ()
+  | Ok _ -> Alcotest.fail "k=0 must be rejected"
+  | Error e -> Alcotest.fail ("k=0: " ^ Server.Service.error_code e));
+  (match Server.Service.execute_prepared s ~k:(-7) "q" with
+  | Error (Server.Service.Bind_error _) -> ()
+  | _ -> Alcotest.fail "negative k must be a bind error");
+  let cs = Server.Service.cache_stats svc in
+  Alcotest.(check int) "bad binds never reached the cache" 0
+    (cs.Server.Plan_cache.hits + cs.Server.Plan_cache.misses);
+  Alcotest.(check int) "nothing cached" 0 cs.Server.Plan_cache.entries;
+  (* The statement is unharmed: a valid bind plans, executes, and caches. *)
+  let r1 = get_reply (Server.Service.execute_prepared s ~k:3 "q") in
+  Alcotest.(check int) "k=3 rows after bad binds" 3
+    (List.length r1.Server.Service.rows);
+  let r2 = get_reply (Server.Service.execute_prepared s ~k:3 "q") in
+  Alcotest.(check bool) "replay hits the cache" true r2.Server.Service.cached;
+  (match Server.Service.fetch s ~name:"q" 0 with
+  | Error (Server.Service.Bind_error _) -> ()
+  | _ -> Alcotest.fail "FETCH n=0 must be a bind error");
+  (match Server.Service.fetch s ~name:"q" (-2) with
+  | Error (Server.Service.Bind_error _) -> ()
+  | _ -> Alcotest.fail "FETCH n<0 must be a bind error");
+  Server.Service.close_session s
+
+(* The cursor contract end to end: EXECUTE k then FETCH NEXT repeatedly
+   must reproduce, tuple for tuple, a one-shot execution at the combined
+   k. *)
+let test_cursor_fetch_prefix () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  (match Server.Service.prepare s ~name:"cur" join_sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  (match Server.Service.prepare s ~name:"oneshot" join_sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  let r0 = get_reply (Server.Service.execute_prepared s ~k:5 "cur") in
+  Alcotest.(check int) "EXECUTE k=5" 5 (List.length r0.Server.Service.rows);
+  Alcotest.(check (option string))
+    "session counts the open cursor" (Some "1")
+    (List.assoc_opt "cursors" (Server.Service.session_stats s));
+  let f1 = get_reply (Server.Service.fetch s ~name:"cur" 4) in
+  let f2 = get_reply (Server.Service.fetch s ~name:"cur" 6) in
+  Alcotest.(check int) "first fetch" 4 (List.length f1.Server.Service.rows);
+  Alcotest.(check int) "second fetch" 6 (List.length f2.Server.Service.rows);
+  let got =
+    r0.Server.Service.rows @ f1.Server.Service.rows @ f2.Server.Service.rows
+  in
+  let got_scores =
+    r0.Server.Service.scores @ f1.Server.Service.scores
+    @ f2.Server.Service.scores
+  in
+  let one = get_reply (Server.Service.execute_prepared s ~k:15 "oneshot") in
+  Alcotest.(check int) "one-shot size" 15 (List.length one.Server.Service.rows);
+  Alcotest.(check bool) "prefix rows tuple-identical" true
+    (List.equal Relalg.Tuple.equal one.Server.Service.rows got);
+  Alcotest.(check (list (float 1e-12)))
+    "prefix scores identical" one.Server.Service.scores got_scores;
+  (match Server.Service.close_cursor s "cur" with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_code e));
+  (match Server.Service.fetch s ~name:"cur" 1 with
+  | Error (Server.Service.Unknown_cursor _) -> ()
+  | _ -> Alcotest.fail "FETCH after CLOSE must be UNKNOWN_CURSOR");
+  (match Server.Service.fetch s ~name:"never" 1 with
+  | Error (Server.Service.Unknown_cursor _) -> ()
+  | _ -> Alcotest.fail "FETCH on an unknown name must be UNKNOWN_CURSOR");
+  Server.Service.close_session s
+
+let test_cursor_stale_after_dml () =
+  let cat = mk_catalog [ "A"; "B" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  (match Server.Service.prepare s ~name:"q" join_sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  ignore (get_reply (Server.Service.execute_prepared s ~k:3 "q"));
+  ignore (get_reply (Server.Service.query s "INSERT INTO A VALUES (9999, 1, 0.5)"));
+  (match Server.Service.fetch s ~name:"q" 2 with
+  | Error Server.Service.Cursor_stale -> ()
+  | Ok _ -> Alcotest.fail "FETCH across a stats-epoch bump must be stale"
+  | Error e -> Alcotest.fail ("stale: " ^ Server.Service.error_code e));
+  (* The stale cursor is dropped, not wedged: re-EXECUTE re-plans and
+     fetching resumes. *)
+  (match Server.Service.fetch s ~name:"q" 2 with
+  | Error (Server.Service.Unknown_cursor _) -> ()
+  | _ -> Alcotest.fail "stale cursor must have been dropped");
+  ignore (get_reply (Server.Service.execute_prepared s ~k:3 "q"));
+  let f = get_reply (Server.Service.fetch s ~name:"q" 2) in
+  Alcotest.(check int) "fetch after re-EXECUTE" 2
+    (List.length f.Server.Service.rows);
+  Server.Service.close_session s
+
+(* Satellite hammer: deadlines firing mid-FETCH (and pre-expired ones)
+   must surface as TIMEOUT without wedging the worker pool — afterwards
+   the same service must still plan, execute, and fetch normally. *)
+let test_cursor_deadline_hammer () =
+  let cat = mk_catalog ~n:1500 ~domain:4 [ "A"; "B" ] in
+  let config = { Server.Service.default_config with workers = 2 } in
+  with_service ~config cat @@ fun svc ->
+  let timeouts = Atomic.make 0 in
+  let wedged = Atomic.make 0 in
+  let hammer i () =
+    let s = Server.Service.open_session svc in
+    (match Server.Service.prepare s ~name:"h" join_sql with
+    | Ok _ -> ()
+    | Error _ -> Atomic.incr wedged);
+    for round = 1 to 4 do
+      (match Server.Service.execute_prepared s ~k:3 "h" with
+      | Ok _ | Error Server.Service.Timeout -> ()
+      | Error _ -> Atomic.incr wedged);
+      (* Alternate pre-expired and near-instant deadlines so some fetches
+         are cancelled in the queue and some are interrupted mid-pull. *)
+      let timeout_s = if (i + round) mod 2 = 0 then -1.0 else 1e-6 in
+      (match Server.Service.fetch s ~timeout_s ~name:"h" 500 with
+      | Error Server.Service.Timeout -> Atomic.incr timeouts
+      | Ok _ -> ()
+      | Error (Server.Service.Unknown_cursor _) -> ()
+      | Error _ -> Atomic.incr wedged)
+    done;
+    Server.Service.close_session s
+  in
+  let threads = List.init 4 (fun i -> Thread.create (hammer i) ()) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no unexpected errors" 0 (Atomic.get wedged);
+  Alcotest.(check bool) "some deadlines fired mid-fetch" true
+    (Atomic.get timeouts > 0);
+  (* The pool survived: a fresh statement still runs end to end. *)
+  let s = Server.Service.open_session svc in
+  (match Server.Service.prepare s ~name:"q" join_sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  let r = get_reply (Server.Service.execute_prepared s ~k:4 "q") in
+  Alcotest.(check int) "service alive after hammer" 4
+    (List.length r.Server.Service.rows);
+  let f = get_reply (Server.Service.fetch s ~name:"q" 4) in
+  Alcotest.(check int) "fetch alive after hammer" 4
+    (List.length f.Server.Service.rows);
+  Server.Service.close_session s
+
+(* ------------------------------------------------------------------ *)
 (* Server-mode fuzzer slice                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -427,6 +605,18 @@ let suites =
           test_service_queue_full;
         Alcotest.test_case "stats and explain surfaces" `Quick
           test_service_stats_fields;
+      ] );
+    ( "cursors",
+      [
+        Alcotest.test_case "FETCH/CLOSE parse" `Quick test_protocol_fetch_parse;
+        Alcotest.test_case "bind validation cannot poison the cache" `Quick
+          test_bind_validation_no_cache_poison;
+        Alcotest.test_case "EXECUTE + FETCH prefixes = one-shot" `Quick
+          test_cursor_fetch_prefix;
+        Alcotest.test_case "stats-epoch bump stales the cursor" `Quick
+          test_cursor_stale_after_dml;
+        Alcotest.test_case "deadline mid-FETCH does not wedge the pool" `Slow
+          test_cursor_deadline_hammer;
       ] );
     ( "server rankcheck",
       [
