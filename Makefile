@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-perf bench-anyk bench-smoke fuzz lint serve-smoke ci clean
+.PHONY: all build test bench bench-perf bench-anyk bench-leaderboard bench-smoke fuzz lint serve-smoke ci clean
 
 all: build
 
@@ -36,12 +36,19 @@ bench-perf: build
 bench-anyk: build
 	dune exec bench/main.exe -- anyk
 
+# Leaderboard workload over the order-statistic rank index: by-rank page
+# latency (counted descent vs drain-sort-slice) across table sizes, plus
+# a mixed serving loop of pages / RANK probes / score UPDATEs through the
+# live service. Appends one JSON row to BENCH_RANKOPT.json.
+bench-leaderboard: build
+	dune exec bench/main.exe -- leaderboard
+
 # Reduced-size subset (<30s): prints the rows but does NOT append, so
 # `make ci` stays clean-tree.
 bench-smoke: build
-	dune exec bench/main.exe -- perf-smoke anyk-smoke
+	dune exec bench/main.exe -- perf-smoke anyk-smoke leaderboard-smoke
 
-# Static plan analysis (planlint): run the rule catalog (PL01..PL10) over
+# Static plan analysis (planlint): run the rule catalog (PL01..PL13) over
 # the example query corpus and over a fixed slice of the fuzz corpus,
 # linting the optimizer's chosen plan and every MEMO-retained subplan.
 # Exits nonzero on any error-severity diagnostic. Open-ended sweeps:

@@ -32,6 +32,8 @@ let experiments =
     ("perf-smoke", fun () -> Perf.run ~smoke:true ());
     ("anyk", fun () -> Anyk_bench.run ());
     ("anyk-smoke", fun () -> Anyk_bench.run ~smoke:true ());
+    ("leaderboard", fun () -> Leaderboard_bench.run ());
+    ("leaderboard-smoke", fun () -> Leaderboard_bench.run ~smoke:true ());
   ]
 
 let usage () =

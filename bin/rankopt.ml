@@ -351,7 +351,7 @@ let client_cmd =
     Term.(ret (const run $ socket_arg $ port_arg $ host_arg $ commands_arg))
 
 let fuzz_cmd =
-  let run seed cases server_mode enum_mode degree =
+  let run seed cases server_mode enum_mode rank_mode degree =
     let t0 = Unix.gettimeofday () in
     let progress i =
       if cases > 20 && i > 0 && i mod 50 = 0 then
@@ -381,7 +381,9 @@ let fuzz_cmd =
                 ];
             } )
       | None ->
-          if enum_mode then
+          if rank_mode then
+            (" (rank mode)", Check.Rankcheck.run_rank ~progress ~seed ~cases ())
+          else if enum_mode then
             (" (enum mode)", Check.Rankcheck.run_enum ~progress ~seed ~cases ())
           else if server_mode then
             (" (server mode)", Check.Rankcheck.run_server ~progress ~seed ~cases ())
@@ -397,7 +399,8 @@ let fuzz_cmd =
       mode outcome.Check.Rankcheck.o_cases seed
       (seed + cases - 1)
       outcome.Check.Rankcheck.o_plans
-      (if enum_mode && degree = None then "fetch prefixes"
+      (if rank_mode && degree = None then "window executions"
+       else if enum_mode && degree = None then "fetch prefixes"
        else if server_mode && degree = None then "server executions"
        else if degree <> None then "degree executions"
        else "plans")
@@ -428,6 +431,16 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "enum" ] ~doc)
   in
+  let rank_arg =
+    let doc =
+      "By-rank window sweep: execute both physical variants of each \
+       generated rank() BETWEEN window (counted order-statistic descent \
+       and drain-sort-slice) plus the full SQL path against a \
+       sort-everything oracle, requiring tuple-exact windows (ties, NaN \
+       drops, clamping included)."
+    in
+    Arg.(value & flag & info [ "rank" ] ~doc)
+  in
   let degree_arg =
     let doc =
       "Parallel-determinism sweep: plan each case with intra-query \
@@ -444,13 +457,16 @@ let fuzz_cmd =
      a naive sort-based oracle, and check rank-join depth bounds. Failures \
      are shrunk and print a replay command. With --server, replay through \
      the query service instead; with --enum, sweep cursor-style ranked \
-     enumeration against a full-list oracle; with --degree, sweep \
+     enumeration against a full-list oracle; with --rank, sweep by-rank \
+     windows against a sort-everything oracle; with --degree, sweep \
      parallel-execution determinism."
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
-      ret (const run $ seed_arg $ cases_arg $ server_arg $ enum_arg $ degree_arg))
+      ret
+        (const run $ seed_arg $ cases_arg $ server_arg $ enum_arg $ rank_arg
+       $ degree_arg))
 
 (* -- lint: the planlint static analyzer --------------------------------- *)
 

@@ -1,0 +1,21 @@
+-- By-rank windows over the order-statistic score index: rank() BETWEEN
+-- selects leaderboard positions lo..hi (1-based, rank 1 = best score,
+-- competition ranking on ties). PL13 checks the window bounds, the score
+-- expression, and that any named index is keyed on exactly that score.
+
+SELECT A.id, A.score FROM A WHERE rank() BETWEEN 1 AND 10
+ORDER BY A.score DESC;
+
+-- A deep page: the counted descent skips the first 499 entries in
+-- O(log n) instead of draining them.
+SELECT A.id FROM A WHERE rank() BETWEEN 500 AND 520
+ORDER BY A.score DESC;
+
+-- Residual predicate: the window is computed over the whole table, then
+-- the filter prunes within it.
+SELECT B.id, B.score FROM B WHERE rank() BETWEEN 1 AND 50 AND B.key >= 10
+ORDER BY B.score DESC;
+
+-- rank() AS r projects the 1-based leaderboard position itself.
+SELECT rank() AS r, C.id FROM C WHERE rank() BETWEEN 3 AND 7
+ORDER BY C.score DESC;

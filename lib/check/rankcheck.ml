@@ -143,6 +143,7 @@ let gen_case seed =
       select = [ Star ];
       from = names;
       where = joins @ filters;
+      rank_between = None;
       group_by = [];
       order_by = Some (order_expr, Desc);
       limit = Some k;
@@ -473,7 +474,9 @@ let depth_bounds catalog plan =
         walk max_int input
     (* a gather drains its spine regardless of the consumer's demand *)
     | Core.Plan.Exchange { input; _ } -> walk max_int input
-    | Core.Plan.Table_scan _ | Core.Plan.Index_scan _ -> ()
+    | Core.Plan.Table_scan _ | Core.Plan.Index_scan _
+    | Core.Plan.Rank_index_scan _ ->
+        ()
     | Core.Plan.Join
         {
           algo = (Core.Plan.Hrjn | Core.Plan.Nrjn) as algo;
@@ -1501,3 +1504,239 @@ let run_enum ?(progress = fun _ -> ()) ~seed ~cases () =
     | Error f -> failures := f :: !failures
   done;
   { o_cases = cases; o_plans = !prefixes; o_failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+(* Rank mode: by-rank windows vs a sort-everything oracle              *)
+(* ------------------------------------------------------------------ *)
+
+(* A rank case is a single scored table (snapped to the 1/8 grid so tie
+   blocks are common, a sixteenth of the rows NaN-scored) plus a
+   WHERE rank() BETWEEN window, sometimes with an extra filter conjunct
+   and sometimes overshooting the table's cardinality — both clamping
+   paths must agree with the oracle. *)
+let rank_case seed =
+  let prng = Rkutil.Prng.create (seed lxor 0x3ad76b21) in
+  let ts = gen_table prng "T0" in
+  let ts =
+    {
+      ts with
+      t_rows =
+        List.map
+          (fun (i, k, s) ->
+            if Rkutil.Prng.int prng 16 = 0 then (i, k, Float.nan)
+            else (i, k, Float.round (s *. 8.0) /. 8.0))
+          ts.t_rows;
+    }
+  in
+  let n = List.length ts.t_rows in
+  let lo = 1 + Rkutil.Prng.int prng (n + 2) in
+  let hi = lo + Rkutil.Prng.int prng 8 in
+  let open Sqlfront.Ast in
+  let where =
+    if Rkutil.Prng.int prng 3 = 0 then
+      [
+        Compare
+          ( Le,
+            Column { table = Some "T0"; name = "key" },
+            Number (float_of_int (Rkutil.Prng.int prng ts.t_key_domain)) );
+      ]
+    else []
+  in
+  let query =
+    {
+      select = [ Star ];
+      from = [ "T0" ];
+      where;
+      rank_between = Some (lo, hi);
+      group_by = [];
+      order_by =
+        Some (Column { table = Some "T0"; name = "score" }, Desc);
+      limit = None;
+      limit_param = false;
+    }
+  in
+  { c_seed = seed; c_tables = [ ts ]; c_query = query }
+
+(* The oracle: sort every non-NaN row score-descending with the canonical
+   tie order, slice ranks lo..hi, then apply any residual filter — the
+   window is computed over the whole table, filters prune within it. *)
+let oracle_rank catalog (query : Core.Logical.t) lo hi =
+  let base =
+    match query.Core.Logical.relations with
+    | [ b ] -> b
+    | _ -> invalid_arg "oracle_rank: single relation expected"
+  in
+  let info = Storage.Catalog.table catalog base.Core.Logical.name in
+  let schema = info.Storage.Catalog.tb_schema in
+  let score =
+    match Core.Logical.scoring_expr query with
+    | Some e -> e
+    | None -> invalid_arg "oracle_rank: scored relation expected"
+  in
+  let scoref = Expr.compile_float schema score in
+  let perm = Core.Executor.canonical_perm schema in
+  let ranked =
+    Storage.Heap_file.to_list info.Storage.Catalog.tb_heap
+    |> List.filter_map (fun tu ->
+           let s = scoref tu in
+           if Float.is_nan s then None else Some (tu, s))
+    |> List.sort (fun (t1, s1) (t2, s2) ->
+           match Float.compare s2 s1 with
+           | 0 -> Core.Executor.canonical_compare perm t1 t2
+           | c -> c)
+  in
+  let lo = max 1 lo in
+  let window =
+    if hi < lo then []
+    else
+      List.filteri (fun i _ -> i >= lo - 1 && i <= hi - 1) ranked
+  in
+  match base.Core.Logical.filter with
+  | None -> window
+  | Some pred ->
+      let predf = Expr.compile schema pred in
+      List.filter
+        (fun (tu, _) ->
+          match predf tu with Value.Bool b -> b | _ -> false)
+        window
+
+let tuple_ids rows =
+  List.map
+    (fun (tu, _) ->
+      match Tuple.get tu 0 with Value.Int i -> i | _ -> -1)
+    rows
+
+(* Execute both physical variants of the window — counted index descent
+   and drain-sort-slice — against the oracle, then the full SQL path
+   (parser, binder, optimizer's cost arbitration) on the printed query.
+   Every row list must be tuple-exact: same ids, same scores, same
+   order. *)
+let check_case_rank case : (int, string * string option) result =
+  let catalog = build_catalog case in
+  match Sqlfront.Binder.bind_result catalog case.c_query with
+  | Error e -> Error (e, None)
+  | exception e -> Error ("bind raised: " ^ Printexc.to_string e, None)
+  | Ok bound -> (
+      let query = bound.Sqlfront.Binder.logical in
+      let lo, hi =
+        match query.Core.Logical.rank_range with
+        | Some w -> w
+        | None -> (1, 0)
+      in
+      match oracle_rank catalog query lo hi with
+      | exception e -> Error ("oracle raised: " ^ Printexc.to_string e, None)
+      | expected -> (
+          let score =
+            match Core.Logical.scoring_expr query with
+            | Some s -> s
+            | None -> assert false
+          in
+          let env = Core.Cost_model.default_env catalog query in
+          let base = List.hd query.Core.Logical.relations in
+          let wrap access =
+            match base.Core.Logical.filter with
+            | Some pred -> Core.Plan.Filter { pred; input = access }
+            | None -> access
+          in
+          let variants =
+            [
+              wrap
+                (Core.Plan.Rank_index_scan
+                   { table = "T0"; index = Some "T0_score"; score; lo; hi });
+              wrap
+                (Core.Plan.Rank_index_scan
+                   { table = "T0"; index = None; score; lo; hi });
+            ]
+          in
+          let expected_ids = tuple_ids expected in
+          let expected_scores = List.map snd expected in
+          let compare_rows desc rows =
+            if tuple_ids rows <> expected_ids then
+              Error
+                ( Printf.sprintf "window rows diverge: oracle [%s], got [%s]"
+                    (String.concat ";" (List.map string_of_int expected_ids))
+                    (String.concat ";"
+                       (List.map string_of_int (tuple_ids rows))),
+                  desc )
+            else if
+              not (List.for_all2 scores_close expected_scores (List.map snd rows))
+            then Error ("window scores diverge from oracle", desc)
+            else Ok ()
+          in
+          let rec check_plans n = function
+            | [] -> Ok n
+            | plan :: rest -> (
+                let desc = Some (Core.Plan.describe plan) in
+                match
+                  Lint.Engine.errors
+                    (Lint.Engine.lint_plan ~query ~env catalog plan)
+                with
+                | d :: _ -> Error ("planlint: " ^ Lint.Diag.to_string d, desc)
+                | exception e ->
+                    Error ("planlint raised: " ^ Printexc.to_string e, desc)
+                | [] -> (
+                    match Core.Executor.run catalog plan with
+                    | exception e ->
+                        Error ("execution raised: " ^ Printexc.to_string e, desc)
+                    | res -> (
+                        match compare_rows desc res.Core.Executor.rows with
+                        | Error e -> Error e
+                        | Ok () -> check_plans (n + 1) rest)))
+          in
+          match check_plans 0 variants with
+          | Error e -> Error e
+          | Ok n -> (
+              (* End to end: the printed query re-enters through the parser
+                 and the optimizer's own access-path choice. *)
+              let sql = Format.asprintf "%a" Sqlfront.Ast.pp_query case.c_query in
+              match Sqlfront.Sql.query catalog sql with
+              | Error e -> Error ("sql path: " ^ e, None)
+              | exception e ->
+                  Error ("sql path raised: " ^ Printexc.to_string e, None)
+              | Ok ans ->
+                  let desc =
+                    Some
+                      (Core.Plan.describe
+                         ans.Sqlfront.Sql.planned.Core.Optimizer.plan)
+                  in
+                  let ids =
+                    List.map
+                      (fun tu ->
+                        match Tuple.get tu 0 with Value.Int i -> i | _ -> -1)
+                      ans.Sqlfront.Sql.rows
+                  in
+                  if ids <> expected_ids then
+                    Error
+                      ( Printf.sprintf
+                          "sql path rows diverge: oracle [%s], got [%s]"
+                          (String.concat ";"
+                             (List.map string_of_int expected_ids))
+                          (String.concat ";" (List.map string_of_int ids)),
+                        desc )
+                  else Ok (n + 1))))
+
+let run_case_rank seed =
+  let case = rank_case seed in
+  match check_case_rank case with
+  | Ok n -> Ok n
+  | Error (reason, plan) ->
+      Error
+        {
+          f_seed = seed;
+          f_reason = "rank-mode: " ^ reason;
+          f_plan = plan;
+          f_case = case;
+          f_replay =
+            Printf.sprintf "rankopt fuzz --rank --seed %d --cases 1" seed;
+        }
+
+let run_rank ?(progress = fun _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  let windows = ref 0 in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case_rank (seed + i) with
+    | Ok n -> windows := !windows + n
+    | Error f -> failures := f :: !failures
+  done;
+  { o_cases = cases; o_plans = !windows; o_failures = List.rev !failures }

@@ -156,3 +156,28 @@ val run_case_enum : int -> (int, failure) result
 
 val run_enum : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
 (** Like {!run}, but [o_plans] counts prefix checks. *)
+
+(** {2 Rank mode}
+
+    By-rank window differential check for the order-statistic access
+    paths: each case is a single scored table (1/8-grid scores forcing tie
+    blocks, a sixteenth NaN-scored) with a [WHERE rank() BETWEEN lo AND hi]
+    window, occasionally with a residual filter and windows overshooting
+    the cardinality. Both physical variants — counted index descent and
+    drain-sort-slice — are linted and executed against a sort-everything
+    oracle (NaN dropped, competition ranking, canonical tie order), then
+    the printed query re-enters through the parser and the optimizer's own
+    cost arbitration. Every result must be tuple-exact. This is what
+    [rankopt fuzz --rank] drives. *)
+
+val rank_case : int -> case
+(** Deterministic single-table by-rank window case for a seed. *)
+
+val check_case_rank : case -> (int, string * string option) result
+(** [Ok n]: [n] window executions (both variants plus the SQL path)
+    matched the oracle exactly. *)
+
+val run_case_rank : int -> (int, failure) result
+
+val run_rank : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
+(** Like {!run}, but [o_plans] counts window executions compared. *)

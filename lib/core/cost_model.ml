@@ -195,6 +195,56 @@ let rec estimate env plan =
         end
       in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = false }
+  | Plan.Rank_index_scan { table; index; lo; hi; _ } -> (
+      let info = table_info env table in
+      let card = float_of_int info.Storage.Catalog.tb_stats.Storage.Catalog.ts_cardinality in
+      let pages = float_of_int info.Storage.Catalog.tb_stats.Storage.Catalog.ts_pages in
+      let window = float_of_int (max 0 (hi - lo + 1)) in
+      let rows = Float.min window card in
+      let leaf_cap = tuples_per_page env in
+      match index with
+      | Some nm ->
+          (* Counted descent: one root-to-leaf walk positions the window,
+             then the leaf chain yields window entries — O(log n + window),
+             independent of lo. Unclustered leaves add per-entry heap
+             fetches (Cardenas, as for Index_scan). *)
+          let height = Float.max 1.0 (log (Float.max 2.0 card) /. log leaf_cap) in
+          let clustered =
+            match
+              List.find_opt
+                (fun ix -> String.equal ix.Storage.Catalog.ix_name nm)
+                info.Storage.Catalog.tb_indexes
+            with
+            | Some ix -> ix.Storage.Catalog.ix_clustered
+            | None -> true
+          in
+          let frames =
+            float_of_int (Storage.Buffer_pool.frames (Storage.Catalog.pool env.catalog))
+          in
+          let cost_at x =
+            let x = Float.min x rows in
+            let heap_io =
+              if clustered then 0.0
+              else begin
+                let touched =
+                  if pages <= 0.0 then 0.0 else pages *. (1.0 -. exp (-.x /. pages))
+                in
+                if frames >= pages then touched
+                else Float.max touched (x *. (1.0 -. (frames /. Float.max 1.0 pages)))
+              end
+            in
+            height +. (x /. leaf_cap) +. heap_io +. (env.cpu_factor *. x)
+          in
+          { rows; total_cost = cost_at rows; cost_at; k_dependent = false }
+      | None ->
+          (* No order-statistic index: drain the heap, sort by score, slice
+             the window. Blocking, so flat in x. *)
+          let scan = pages +. (env.cpu_factor *. card) in
+          let sort_cpu =
+            env.cpu_factor *. card *. log (Float.max 2.0 card) /. log 2.0
+          in
+          let total = scan +. sort_cpu +. (env.cpu_factor *. rows) in
+          { rows; total_cost = total; cost_at = (fun _ -> total); k_dependent = false })
   | Plan.Filter { pred; input } ->
       let i = estimate env input in
       let sel = filter_selectivity env pred in

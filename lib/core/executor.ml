@@ -48,6 +48,33 @@ let sort_budget catalog =
     ~tuples_per_page:(Storage.Catalog.tuples_per_page catalog)
     (Storage.Catalog.pool catalog)
 
+(* Canonical column permutation: positions sorted by (relation, name).
+   Different join orders permute a plan's output columns; sorting ties by
+   the canonical projection makes every plan's enumeration — and the
+   oracle's — tuple-identical. Shared by the cursor layer and the by-rank
+   window operators (their tie order must agree). *)
+let canonical_perm schema =
+  let cols = List.mapi (fun i c -> (i, c)) (Schema.columns schema) in
+  let sorted =
+    List.sort
+      (fun ((_, a) : _ * Schema.column) ((_, b) : _ * Schema.column) ->
+        match compare a.Schema.relation b.Schema.relation with
+        | 0 -> String.compare a.Schema.name b.Schema.name
+        | c -> c)
+      cols
+  in
+  Array.of_list (List.map fst sorted)
+
+let canonical_compare perm a b =
+  let rec go i =
+    if i >= Array.length perm then 0
+    else
+      match Value.compare a.(perm.(i)) b.(perm.(i)) with
+      | 0 -> go (i + 1)
+      | c -> c
+  in
+  go 0
+
 (* One-line operator name for EXPLAIN ANALYZE rows (unlike [Plan.describe],
    not recursive — the tree rendering supplies the structure). *)
 let node_label = function
@@ -55,6 +82,9 @@ let node_label = function
   | Plan.Index_scan { table; index; desc; _ } ->
       Printf.sprintf "IndexScan %s.%s %s" table index
         (if desc then "DESC" else "ASC")
+  | Plan.Rank_index_scan { table; index; lo; hi; _ } ->
+      Printf.sprintf "RankIndexScan %s %d..%d%s" table lo hi
+        (match index with Some nm -> " via " ^ nm | None -> " via sort")
   | Plan.Filter _ -> "Filter"
   | Plan.Sort { order; _ } ->
       Printf.sprintf "Sort %s"
@@ -126,6 +156,20 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
         let op =
           if desc then Exec.Scan.index_desc ~stats catalog ix
           else Exec.Scan.index_asc ~stats catalog ix
+        in
+        instrument plan stats op []
+    | Plan.Rank_index_scan { table; index; score; lo; hi } ->
+        let stats = Exec.Exec_stats.create 0 in
+        let info = Storage.Catalog.table catalog table in
+        let perm = canonical_perm info.Storage.Catalog.tb_schema in
+        let tie_cmp a b = canonical_compare perm a b in
+        let op =
+          match index with
+          | Some nm ->
+              let ix = find_index catalog table nm in
+              Exec.Scan.rank_window ~stats catalog ix ~lo ~hi ~tie_cmp
+          | None ->
+              Exec.Scan.rank_window_sort ~stats info ~score ~lo ~hi ~tie_cmp
         in
         instrument plan stats op []
     | Plan.Filter { pred; input } ->
@@ -269,7 +313,7 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
               | Plan.Sort_merge | Plan.Hrjn | Plan.Nrjn ->
                   invalid_arg "Executor: join not morselizable under Exchange")
           | Plan.Sort _ | Plan.Top_k _ | Plan.Exchange _ | Plan.Nary_rank_join _
-          | Plan.Any_k _ ->
+          | Plan.Any_k _ | Plan.Rank_index_scan _ ->
               invalid_arg "Executor: operator not morselizable under Exchange"
         in
         let source sp =
@@ -538,32 +582,6 @@ type cursor = {
 let rec strip_topk = function
   | Plan.Top_k { input; _ } -> strip_topk input
   | p -> p
-
-(* Canonical column permutation: positions sorted by (relation, name).
-   Different join orders permute a plan's output columns; sorting ties by
-   the canonical projection makes every plan's enumeration — and the
-   oracle's — tuple-identical. *)
-let canonical_perm schema =
-  let cols = List.mapi (fun i c -> (i, c)) (Schema.columns schema) in
-  let sorted =
-    List.sort
-      (fun ((_, a) : _ * Schema.column) ((_, b) : _ * Schema.column) ->
-        match compare a.Schema.relation b.Schema.relation with
-        | 0 -> String.compare a.Schema.name b.Schema.name
-        | c -> c)
-      cols
-  in
-  Array.of_list (List.map fst sorted)
-
-let canonical_compare perm a b =
-  let rec go i =
-    if i >= Array.length perm then 0
-    else
-      match Value.compare a.(perm.(i)) b.(perm.(i)) with
-      | 0 -> go (i + 1)
-      | c -> c
-  in
-  go 0
 
 let open_cursor ?hints ?interrupt ?pool ?degree catalog plan =
   let plan = strip_topk plan in

@@ -18,6 +18,7 @@ type t = {
   relations : base list;
   joins : join_pred list;
   k : int option;
+  rank_range : (int * int) option;
 }
 
 let base ?filter ?score ?weight name =
@@ -56,7 +57,7 @@ let connected_set relations joins names =
       visit first;
       List.for_all (Hashtbl.mem visited) names
 
-let make ~relations ~joins ?k () =
+let make ~relations ~joins ?k ?rank_range () =
   let names = List.map (fun b -> b.name) relations in
   let seen = Hashtbl.create 8 in
   List.iter
@@ -74,7 +75,16 @@ let make ~relations ~joins ?k () =
     joins;
   if not (connected_set relations joins names) then
     invalid_arg "Logical.make: disconnected join graph";
-  { relations; joins; k }
+  (match rank_range with
+  | Some (lo, hi) ->
+      if lo < 1 || hi < lo then
+        invalid_arg "Logical.make: rank range must satisfy 1 <= lo <= hi";
+      if List.length relations <> 1 then
+        invalid_arg "Logical.make: rank range requires a single relation";
+      if k <> None then
+        invalid_arg "Logical.make: rank range and LIMIT are exclusive"
+  | None -> ());
+  { relations; joins; k; rank_range }
 
 let find_relation t name =
   match List.find_opt (fun b -> String.equal b.name name) t.relations with
@@ -136,6 +146,9 @@ let pp fmt t =
        ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " AND ")
        pp_join)
     t.joins;
+  (match t.rank_range with
+  | Some (lo, hi) -> Format.fprintf fmt " RANK BETWEEN %d AND %d" lo hi
+  | None -> ());
   (match scoring_expr t with
   | Some e -> Format.fprintf fmt " ORDER BY %a DESC" Expr.pp e
   | None -> ());

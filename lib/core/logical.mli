@@ -27,6 +27,12 @@ type t = {
   relations : base list;
   joins : join_pred list;
   k : int option;  (** [None] for a plain (unranked) join query. *)
+  rank_range : (int * int) option;
+      (** [WHERE rank() BETWEEN lo AND hi] — a by-rank window over a scored
+          single-table query. Mutually exclusive with [k] (a rank-range
+          query is not a top-k query: it has no Top_k root, so
+          {!is_ranking} stays false and the rank-join enumerator is
+          bypassed). Ranks are 1-based; rank 1 = best score. *)
 }
 
 val base : ?filter:Expr.t -> ?score:Expr.t -> ?weight:float -> string -> base
@@ -34,9 +40,16 @@ val base : ?filter:Expr.t -> ?score:Expr.t -> ?weight:float -> string -> base
 
 val equijoin : string * string -> string * string -> join_pred
 
-val make : relations:base list -> joins:join_pred list -> ?k:int -> unit -> t
+val make :
+  relations:base list ->
+  joins:join_pred list ->
+  ?k:int ->
+  ?rank_range:int * int ->
+  unit ->
+  t
 (** @raise Invalid_argument on duplicate relation names, joins over unknown
-    relations, or a disconnected join graph with ≥ 2 relations. *)
+    relations, a disconnected join graph with ≥ 2 relations, or an invalid
+    rank range (must be [1 <= lo <= hi], single relation, no [k]). *)
 
 val find_relation : t -> string -> base
 (** @raise Not_found for unknown names. *)

@@ -109,6 +109,94 @@ let k_validity_of env (result : Enumerator.result) (chosen : Memo.subplan) =
    planning. The planlint emit-time assertion mode registers here. *)
 let planned_hook : (planned -> unit) ref = ref (fun _ -> ())
 
+(* Rank-range queries bypass the join enumerator entirely: a single scored
+   relation, no joins, no Top_k root. The only access-path decision is
+   count-guided by-rank descent (when an order-statistic index keyed on the
+   score exists) versus the drain-sort-slice fallback — arbitrated by cost,
+   the window analogue of the k* rule. The plan is k-independent, so its
+   validity interval is unbounded. *)
+let plan_rank_range env query lo hi =
+  let catalog = env.Cost_model.catalog in
+  let base =
+    match query.Logical.relations with
+    | [ b ] -> b
+    | _ -> failwith "Optimizer: rank range requires a single relation"
+  in
+  let table = base.Logical.name in
+  let score =
+    match Logical.scoring_expr query with
+    | Some e -> e
+    | None -> failwith "Optimizer: rank range requires a scored relation"
+  in
+  (* Exact key match only: by-rank descent and rank probes read the index's
+     subtree counts, so the index must be keyed on precisely the claimed
+     score (PL13's justification rule). *)
+  let rank_index =
+    List.find_opt
+      (fun ix -> Relalg.Expr.equal ix.Storage.Catalog.ix_key score)
+      (Storage.Catalog.indexes_on catalog table)
+  in
+  let wrap access =
+    match base.Logical.filter with
+    | Some pred -> Plan.Filter { pred; input = access }
+    | None -> access
+  in
+  let fallback =
+    wrap (Plan.Rank_index_scan { table; index = None; score; lo; hi })
+  in
+  let candidates =
+    match rank_index with
+    | Some ix ->
+        [
+          wrap
+            (Plan.Rank_index_scan
+               {
+                 table;
+                 index = Some ix.Storage.Catalog.ix_name;
+                 score;
+                 lo;
+                 hi;
+               });
+          fallback;
+        ]
+    | None -> [ fallback ]
+  in
+  let scored = List.map (fun p -> (p, Cost_model.estimate env p)) candidates in
+  let plan, est =
+    List.fold_left
+      (fun ((_, be) as b) ((_, e) as c) ->
+        if e.Cost_model.total_cost < be.Cost_model.total_cost then c else b)
+      (List.hd scored) (List.tl scored)
+  in
+  Log.info (fun m ->
+      m "rank window %d..%d on %s: chose %s (cost %.1f of %s)" lo hi table
+        (Plan.describe plan) est.Cost_model.total_cost
+        (String.concat " | "
+           (List.map
+              (fun (p, e) ->
+                Printf.sprintf "%s=%.1f" (Plan.describe p)
+                  e.Cost_model.total_cost)
+              scored)));
+  let p =
+    {
+      query;
+      plan;
+      est;
+      stats =
+        {
+          Enumerator.entries = 1;
+          retained = 1;
+          generated = List.length scored;
+        };
+      interesting = [];
+      env;
+      k_validity = unbounded_validity;
+      enumerable = false;
+    }
+  in
+  !planned_hook p;
+  p
+
 let optimize ?(config = Enumerator.default_config) ?env catalog query =
   let env =
     match env with
@@ -118,6 +206,9 @@ let optimize ?(config = Enumerator.default_config) ?env catalog query =
           ~k_min:(Option.value ~default:1 query.Logical.k)
           catalog query
   in
+  match query.Logical.rank_range with
+  | Some (lo, hi) -> plan_rank_range env query lo hi
+  | None ->
   let result = Enumerator.run ~config env in
   Log.debug (fun m ->
       m "enumerated %s: %d generated, %d retained over %d MEMO entries"

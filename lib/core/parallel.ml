@@ -14,7 +14,7 @@
    worker keeps a local top-k merged at the gather. *)
 
 let rec has_exchange = function
-  | Plan.Table_scan _ | Plan.Index_scan _ -> false
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> false
   | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Top_k { input; _ }
     ->
       has_exchange input
@@ -39,7 +39,9 @@ let eligible = function
   | p -> spine_ok p
 
 let rec off_spine = function
-  | Plan.Table_scan _ | Plan.Index_scan _ -> []
+  (* a by-rank window is never morselized (spine_ok rejects it), so it can
+     only appear as shared off-spine state *)
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> []
   | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Top_k { input; _ }
     ->
       off_spine input

@@ -13,6 +13,17 @@ type join_algo =
 type t =
   | Table_scan of { table : string }
   | Index_scan of { table : string; index : string; key : Expr.t; desc : bool }
+  (* By-rank window over a scored base table: the rows ranked [lo..hi]
+     (1-based, rank 1 = best score), best first. [index = Some nm] walks the
+     order-statistic B+-tree [nm] (O(log n + window)); [index = None] is the
+     drain-sort-slice fallback used when no score index exists. *)
+  | Rank_index_scan of {
+      table : string;
+      index : string option;
+      score : Expr.t;
+      lo : int;
+      hi : int;
+    }
   | Filter of { pred : Expr.t; input : t }
   | Sort of { order : order; input : t }
   | Join of {
@@ -60,6 +71,8 @@ let rec order_of = function
           expr = key;
           direction = (if desc then Interesting_orders.Desc else Interesting_orders.Asc);
         }
+  | Rank_index_scan { score; _ } ->
+      Some { expr = score; direction = Interesting_orders.Desc }
   | Filter { input; _ } -> order_of input
   | Sort { order; _ } -> Some order
   | Join { algo = Hrjn | Nrjn; left_score; right_score; _ } ->
@@ -88,6 +101,9 @@ let rec order_of = function
 
 let rec pipelined = function
   | Table_scan _ | Index_scan _ -> true
+  (* the counted descent reaches the first ranked row in O(log n); the
+     index-less fallback drains and sorts the table first *)
+  | Rank_index_scan { index; _ } -> index <> None
   | Filter { input; _ } -> pipelined input
   | Sort _ -> false
   | Join { algo = Nested_loops | Index_nl | Hash; left; _ } -> pipelined left
@@ -104,7 +120,7 @@ let rec pipelined = function
 
 let rec relations = function
   | Table_scan { table } -> [ table ]
-  | Index_scan { table; _ } -> [ table ]
+  | Index_scan { table; _ } | Rank_index_scan { table; _ } -> [ table ]
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
   | Exchange { input; _ } ->
       relations input
@@ -116,7 +132,7 @@ let rec relations = function
    A plan property like order and pipelining: stored in the memo, audited
    by planlint (PL11). *)
 let rec dop = function
-  | Table_scan _ | Index_scan _ -> 1
+  | Table_scan _ | Index_scan _ | Rank_index_scan _ -> 1
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
       dop input
   | Exchange { dop = d; input } -> max d (dop input)
@@ -125,7 +141,7 @@ let rec dop = function
       List.fold_left (fun acc i -> max acc (dop i)) 1 inputs
 
 let rec has_rank_join = function
-  | Table_scan _ | Index_scan _ -> false
+  | Table_scan _ | Index_scan _ | Rank_index_scan _ -> false
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
   | Exchange { input; _ } ->
       has_rank_join input
@@ -134,7 +150,7 @@ let rec has_rank_join = function
   | Nary_rank_join _ | Any_k _ -> true
 
 let rec join_count = function
-  | Table_scan _ | Index_scan _ -> 0
+  | Table_scan _ | Index_scan _ | Rank_index_scan _ -> 0
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
   | Exchange { input; _ } ->
       join_count input
@@ -143,7 +159,8 @@ let rec join_count = function
       List.length inputs - 1 + List.fold_left (fun acc i -> acc + join_count i) 0 inputs
 
 let rec schema_of catalog = function
-  | Table_scan { table } | Index_scan { table; _ } ->
+  | Table_scan { table } | Index_scan { table; _ } | Rank_index_scan { table; _ }
+    ->
       (Storage.Catalog.table catalog table).Storage.Catalog.tb_schema
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
   | Exchange { input; _ } ->
@@ -169,6 +186,9 @@ let algo_name = function
 let rec describe = function
   | Table_scan { table } -> table
   | Index_scan { table; desc; _ } -> Printf.sprintf "%s[ix%s]" table (if desc then "↓" else "↑")
+  | Rank_index_scan { table; index; lo; hi; _ } ->
+      Printf.sprintf "%s[rank %d..%d%s]" table lo hi
+        (match index with Some _ -> "" | None -> "/sort")
   | Filter { input; _ } -> Printf.sprintf "σ(%s)" (describe input)
   | Sort { input; _ } -> Printf.sprintf "Sort(%s)" (describe input)
   | Join { algo; left; right; _ } ->
@@ -193,6 +213,12 @@ let pp fmt plan =
         Format.fprintf fmt "%sIndexScan %s using %s on %a %s@." pad table index
           Expr.pp key
           (if desc then "DESC" else "ASC")
+    | Rank_index_scan { table; index; score; lo; hi } ->
+        Format.fprintf fmt "%sRankIndexScan %s ranks %d..%d on %a %s@." pad
+          table lo hi Expr.pp score
+          (match index with
+          | Some nm -> "using " ^ nm
+          | None -> "via sort (no rank index)")
     | Filter { pred; input } ->
         Format.fprintf fmt "%sFilter %a@." pad Expr.pp pred;
         go (indent + 2) input

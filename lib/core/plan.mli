@@ -21,6 +21,19 @@ type join_algo =
 type t =
   | Table_scan of { table : string }
   | Index_scan of { table : string; index : string; key : Expr.t; desc : bool }
+  | Rank_index_scan of {
+      table : string;
+      index : string option;
+      score : Expr.t;
+      lo : int;
+      hi : int;
+    }
+      (** By-rank window over a scored base table: the rows ranked
+          [lo..hi] (1-based, rank 1 = best score), best first, duplicate
+          scores broken by the canonical tuple order. [index = Some nm]
+          walks the order-statistic B+-tree [nm] in O(log n + window);
+          [index = None] is the drain-sort-slice fallback used when no
+          score index exists (blocking). *)
   | Filter of { pred : Expr.t; input : t }
   | Sort of { order : order; input : t }
       (** Blocking sort enforcer gluing an interesting order onto a subplan. *)

@@ -7,7 +7,7 @@ type annotation = {
 
 let rec annotate env plan required =
   match plan with
-  | Plan.Table_scan _ | Plan.Index_scan _ ->
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ ->
       { node = plan; required; depths = None; children = [] }
   | Plan.Top_k { k; input } ->
       let r = Float.min required (float_of_int k) in
@@ -131,6 +131,8 @@ let pp fmt ann =
       match a.node with
       | Plan.Table_scan { table } -> "TableScan " ^ table
       | Plan.Index_scan { table; _ } -> "IndexScan " ^ table
+      | Plan.Rank_index_scan { table; lo; hi; _ } ->
+          Printf.sprintf "RankIndexScan %s %d..%d" table lo hi
       | Plan.Filter _ -> "Filter"
       | Plan.Sort _ -> "Sort"
       | Plan.Join { algo; _ } -> Plan.algo_name algo

@@ -77,3 +77,79 @@ let index_desc_scored ?stats catalog (ix : Catalog.index_info) : Operator.scored
   Operator.with_score score op
 
 let index_probe catalog ix key = Catalog.index_lookup catalog ix key
+
+(* -- By-rank windows (leaderboard access paths) ------------------------- *)
+
+let rank_window ?stats catalog (ix : Catalog.index_info) ~lo ~hi ~tie_cmp :
+    Operator.t =
+  let stats = stats_or stats in
+  let info = Catalog.table catalog ix.Catalog.ix_table in
+  let window = ref [] in
+  {
+    schema = info.tb_schema;
+    open_ =
+      (fun () ->
+        Exec_stats.reset stats;
+        window :=
+          Rank_index.select_rank ix.ix_btree ~lo ~hi
+            ~resolve:(Catalog.index_payload_to_tuple catalog ix)
+            ~tie_cmp);
+    next =
+      (fun () ->
+        match !window with
+        | (tu, _) :: rest ->
+            window := rest;
+            Exec_stats.bump_emitted stats;
+            Some tu
+        | [] -> None);
+    close = (fun () -> window := []);
+  }
+
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+let rec drop n l =
+  match l with _ :: rest when n > 0 -> drop (n - 1) rest | _ -> l
+
+(* Index-less fallback: drain the heap, sort by score descending with the
+   canonical tie order, slice the requested rank window. Blocking, but it
+   computes the same ranks (NaN scores dropped) as the counted descent. *)
+let rank_window_sort ?stats (info : Catalog.table_info) ~score ~lo ~hi
+    ~tie_cmp : Operator.t =
+  let stats = stats_or stats in
+  let scoref = Expr.compile_float info.tb_schema score in
+  let window = ref [] in
+  {
+    schema = info.tb_schema;
+    open_ =
+      (fun () ->
+        Exec_stats.reset stats;
+        let scored =
+          List.filter_map
+            (fun tu ->
+              let s = scoref tu in
+              if Float.is_nan s then None else Some (tu, s))
+            (Heap_file.to_list info.tb_heap)
+        in
+        let sorted =
+          List.stable_sort
+            (fun (t1, s1) (t2, s2) ->
+              match Float.compare s2 s1 with 0 -> tie_cmp t1 t2 | c -> c)
+            scored
+        in
+        let lo = max 1 lo in
+        window := if hi < lo then [] else sorted |> drop (lo - 1) |> take (hi - lo + 1));
+    next =
+      (fun () ->
+        match !window with
+        | (tu, _) :: rest ->
+            window := rest;
+            Exec_stats.bump_emitted stats;
+            Some tu
+        | [] -> None);
+    close = (fun () -> window := []);
+  }

@@ -29,3 +29,28 @@ val index_desc_scored :
 
 val index_probe : Catalog.t -> Catalog.index_info -> Value.t -> Tuple.t list
 (** Point lookup (random access). *)
+
+val rank_window :
+  ?stats:Exec_stats.t ->
+  Catalog.t ->
+  Catalog.index_info ->
+  lo:int ->
+  hi:int ->
+  tie_cmp:(Tuple.t -> Tuple.t -> int) ->
+  Operator.t
+(** Rows ranked [lo..hi] (1-based, rank 1 = best score, best first) via the
+    order-statistic index: one counted descent plus a window-sized walk of
+    the leaf chain, O(log n + window). Duplicate scores share the block's
+    minimum rank; [tie_cmp] orders block members canonically. NaN-scored
+    rows are never ranked. *)
+
+val rank_window_sort :
+  ?stats:Exec_stats.t ->
+  Catalog.table_info ->
+  score:Expr.t ->
+  lo:int ->
+  hi:int ->
+  tie_cmp:(Tuple.t -> Tuple.t -> int) ->
+  Operator.t
+(** Same window semantics without an index: drain the heap, sort by [score]
+    descending (ties by [tie_cmp], NaN dropped), slice. Blocking. *)

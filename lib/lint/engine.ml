@@ -8,6 +8,7 @@ let structural ?query ?dop catalog plan =
   @ Rules.order_rule facts
   @ Rules.pipeline_rule facts
   @ Rules.exchange_rule ?dop facts
+  @ Rules.rank_rule catalog facts
   @ match query with None -> [] | Some q -> Rules.filter_rule ~query:q facts
 
 let estimate_rules env plan =

@@ -21,6 +21,7 @@ let catalog =
     ("PL10-cache", "plan-cache keys are canonical and bound k lies in the variant's interval");
     ("PL11-exchange", "exchanges sit on morselizable spines with a parallel degree; DOP bits match");
     ("PL12-enum", "the Enumerate bit matches recomputed cursor-resumability; anyK shapes are sound");
+    ("PL13-rank", "a by-rank scan's window is sane and its claimed order is justified by an order-statistic index on the scored column");
   ]
 
 let d rule ?hint path fmt = Printf.ksprintf (fun m -> Diag.make ~rule ?hint ~path m) fmt
@@ -79,6 +80,11 @@ let schema_node catalog (f : Walk.facts) =
                     index (Expr.to_string key)
                     (Expr.to_string ix.Storage.Catalog.ix_key);
                 ]))
+  | Plan.Rank_index_scan { table; _ } -> (
+      (* index existence and key agreement are PL13's finding *)
+      match Storage.Catalog.find_table catalog table with
+      | Some _ -> []
+      | None -> [ d rule01 path "unknown table %s" table ])
   | Plan.Filter { pred; _ } ->
       check_bound_typed ~path ~what:"filter predicate" `Pred (child_schema 0) pred
   | Plan.Sort { order; _ } -> (
@@ -544,7 +550,8 @@ let depth_rule env plan =
         (List.map
            (fun (c, seg) -> go (path ^ "/" ^ seg) c)
            (match plan with
-           | Plan.Table_scan _ | Plan.Index_scan _ -> []
+           | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ ->
+               []
            | Plan.Filter { input; _ }
            | Plan.Sort { input; _ }
            | Plan.Top_k { input; _ }
@@ -644,7 +651,8 @@ let cost_rule env plan =
     in
     let here =
       match plan with
-      | Plan.Table_scan _ | Plan.Index_scan _ -> check_estimate ~path e
+      | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ ->
+          check_estimate ~path e
       | Plan.Filter { input; _ } ->
           check_estimate ~path
             ~child_floor:(est input).Cost_model.total_cost e
@@ -696,7 +704,8 @@ let cost_rule env plan =
         (List.map
            (fun (c, seg) -> go (path ^ "/" ^ seg) c)
            (match plan with
-           | Plan.Table_scan _ | Plan.Index_scan _ -> []
+           | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ ->
+               []
            | Plan.Filter { input; _ }
            | Plan.Sort { input; _ }
            | Plan.Top_k { input; _ }
@@ -836,7 +845,7 @@ let memo_rule env memo =
 let rule09 = "PL09-topk"
 
 let rec count_topk = function
-  | Plan.Table_scan _ | Plan.Index_scan _ -> 0
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> 0
   | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Exchange { input; _ }
     ->
       count_topk input
@@ -1159,3 +1168,75 @@ let enumerate_rule (p : Core.Optimizer.planned) =
       (Walk.derive catalog plan)
   in
   bit_check @ sink_check @ shape_checks
+
+(* ------------------------------------------------------------------ *)
+(* PL13-rank *)
+
+let rule13 = "PL13-rank"
+
+(* A by-rank window claims two strong properties: it emits descending score
+   order, and it emits at most (hi - lo + 1) rows. Both are only justified
+   when the window bounds are sane and — for the indexed variant — the named
+   index really is an order-statistic B+-tree keyed on the claimed score
+   column. The index-less fallback justifies the order by sorting, but its
+   score expression must still be numeric over the base table's schema. *)
+let rank_node catalog (f : Walk.facts) =
+  let path = f.Walk.path in
+  match f.Walk.plan with
+  | Plan.Rank_index_scan { table; index; score; lo; hi } ->
+      let bounds =
+        (if lo >= 1 then []
+         else
+           [
+             d rule13 path
+               ~hint:"ranks are 1-based: rank 1 is the best score"
+               "by-rank window lower bound %d is below 1" lo;
+           ])
+        @
+        if hi >= lo then []
+        else [ d rule13 path "by-rank window %d..%d is empty" lo hi ]
+      in
+      let score_typed =
+        match Walk.table_schema catalog table with
+        | None -> [] (* unknown table: PL01's finding *)
+        | Some s -> (
+            match Walk.check_numeric s score with
+            | Ok () -> []
+            | Error msg -> [ d rule13 path "by-rank score: %s" msg ])
+      in
+      let justification =
+        match index with
+        | None -> [] (* fallback sorts internally: order needs no index *)
+        | Some nm -> (
+            match
+              List.find_opt
+                (fun ix -> String.equal ix.Storage.Catalog.ix_name nm)
+                (Storage.Catalog.indexes_on catalog table)
+            with
+            | None ->
+                [
+                  d rule13 path
+                    ~hint:
+                      "the counted descent needs an order-statistic index; \
+                       without one the plan must use the sort fallback"
+                    "by-rank scan names unknown index %s on %s" nm table;
+                ]
+            | Some ix ->
+                if Expr.equal ix.Storage.Catalog.ix_key score then []
+                else
+                  [
+                    d rule13 path
+                      ~hint:
+                        "ranks computed over a different key do not justify \
+                         this plan's claimed score order"
+                      "by-rank scan claims score %s but index %s is keyed on \
+                       %s"
+                      (Expr.to_string score) nm
+                      (Expr.to_string ix.Storage.Catalog.ix_key);
+                  ])
+      in
+      bounds @ score_typed @ justification
+  | _ -> []
+
+let rank_rule catalog facts =
+  Walk.fold (fun acc f -> acc @ rank_node catalog f) [] facts

@@ -1,4 +1,4 @@
-(** The planlint rule catalog (PL01–PL11).
+(** The planlint rule catalog (PL01–PL13).
 
     Each rule checks one optimizer invariant and reports violations as
     {!Diag.t} values. Rules come in two layers: pure checkers over plain
@@ -144,3 +144,17 @@ val enumerate_rule : Core.Optimizer.planned -> Diag.t list
     resumable (no exchange, no nested Top-k, walker-justified scoring
     order) — no cursor may be kept open over a non-resumable sink. Every
     anyK node's shape bit must describe its key bindings' parents. *)
+
+(** {2 PL13-rank — by-rank access-path justification} *)
+
+val rank_node : Storage.Catalog.t -> Walk.facts -> Diag.t list
+(** Pure per-node checker (mutation tests feed it hand-corrupted plans):
+    a [Rank_index_scan]'s window is sane ([1 <= lo <= hi]), its score
+    expression is numeric over the base table's schema, and — for the
+    indexed variant — the named index exists on the scanned table and is
+    keyed on exactly the claimed score expression (a by-rank plan's
+    descending-order and bounded-cardinality claims are otherwise
+    unjustified). The index-less fallback needs no index: it sorts. *)
+
+val rank_rule : Storage.Catalog.t -> Walk.facts -> Diag.t list
+(** Driver: applies {!rank_node} at every node of the walked plan. *)

@@ -59,6 +59,12 @@ let produced_order plan child_orders =
       (* a B+-tree scan emits its key order; whether the named index really
          has this key expression is PL01's finding, not re-derived here *)
       Some { Plan.expr = key; direction = (if desc then Io.Desc else Io.Asc) }
+  | Plan.Rank_index_scan { score; _ } ->
+      (* a by-rank window emits descending score whichever way it is
+         produced: the counted descent walks the score index backwards, the
+         fallback sorts internally. Whether the named order-statistic index
+         really exists on this score column is PL13's finding. *)
+      Some { Plan.expr = score; direction = Io.Desc }
   | Plan.Filter _ | Plan.Top_k _ -> child 0
   (* the gather drains slots in morsel-index order, so the exchange
      passes its input's order through unchanged *)
@@ -139,6 +145,9 @@ let streaming_of plan child_streams =
   let child i = match List.nth_opt child_streams i with Some b -> b | None -> false in
   match plan with
   | Plan.Table_scan _ | Plan.Index_scan _ -> true
+  (* indexed windows stream off the leaf chain after one descent; the
+     index-less fallback sorts the whole table first *)
+  | Plan.Rank_index_scan { index; _ } -> index <> None
   | Plan.Filter _ | Plan.Top_k _ -> child 0
   (* first results wait on whole morsels: not streaming *)
   | Plan.Exchange _ -> false
@@ -155,7 +164,7 @@ let streaming_of plan child_streams =
 (* ------------------------------------------------------------------ *)
 
 let children_of = function
-  | Plan.Table_scan _ | Plan.Index_scan _ -> []
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> []
   | Plan.Filter { input; _ }
   | Plan.Sort { input; _ }
   | Plan.Top_k { input; _ }
@@ -172,7 +181,9 @@ let derive catalog plan =
     in
     let schema =
       match plan with
-      | Plan.Table_scan { table } | Plan.Index_scan { table; _ } ->
+      | Plan.Table_scan { table }
+      | Plan.Index_scan { table; _ }
+      | Plan.Rank_index_scan { table; _ } ->
           table_schema catalog table
       | Plan.Filter _ | Plan.Sort _ | Plan.Top_k _ | Plan.Exchange _ ->
           (match children with [ c ] -> c.schema | _ -> None)

@@ -29,6 +29,10 @@ type facts = {
 
 val derive : Storage.Catalog.t -> Core.Plan.t -> facts
 
+val table_schema : Storage.Catalog.t -> string -> Schema.t option
+(** The catalog schema of a base table; [None] for unknown tables (never
+    raises — the schema rule reports the root cause). *)
+
 val iter : (facts -> unit) -> facts -> unit
 (** Pre-order traversal of the annotated tree. *)
 

@@ -56,6 +56,17 @@ let dispatch svc session cmd =
           in
           (Protocol.ok_response lines, `Keep)
       | Error e -> (err_of e, `Keep))
+  | Protocol.Rank { table; column; value } -> (
+      match Service.rank_probe session ~table ~column value with
+      | Ok (rank, total) ->
+          let fields =
+            (match rank with
+            | Some r -> [ ("rank", string_of_int r) ]
+            | None -> [ ("rank", "none") ])
+            @ [ ("of", string_of_int total) ]
+          in
+          (Protocol.ok_response ~fields [], `Keep)
+      | Error e -> (err_of e, `Keep))
   | Protocol.Stats scope ->
       let fields =
         match scope with

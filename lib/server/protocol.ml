@@ -6,6 +6,7 @@ type command =
   | Close of string
   | Query of string
   | Explain of string
+  | Rank of { table : string; column : string; value : float }
   | Stats of [ `Server | `Session ]
   | Quit
   | Shutdown
@@ -64,6 +65,27 @@ let parse_command line =
   | "CLOSE" ->
       if rest = "" then Error "usage: CLOSE <name>"
       else Ok (Close rest)
+  | "RANK" -> (
+      (* RANK <table>.<column> OF <value> — the minimum rank a row scoring
+         <value> holds (or would hold) on the order-statistic index. *)
+      let target, rest = split_word rest in
+      let of_kw, varg = split_word rest in
+      let dotted =
+        match String.index_opt target '.' with
+        | Some i when i > 0 && i < String.length target - 1 ->
+            Some
+              ( String.sub target 0 i,
+                String.sub target (i + 1) (String.length target - i - 1) )
+        | _ -> None
+      in
+      match dotted with
+      | _ when String.uppercase_ascii of_kw <> "OF" || varg = "" ->
+          Error "usage: RANK <table>.<column> OF <value>"
+      | None -> Error "usage: RANK <table>.<column> OF <value>"
+      | Some (table, column) -> (
+          match float_of_string_opt varg with
+          | Some value -> Ok (Rank { table; column; value })
+          | None -> Error (Printf.sprintf "RANK: invalid value %S" varg)))
   | "STATS" -> (
       match String.uppercase_ascii rest with
       | "" -> Ok (Stats `Server)

@@ -10,6 +10,7 @@
     CLOSE <name>
     QUERY <sql>
     EXPLAIN <sql>
+    RANK <table>.<column> OF <value>
     STATS [SESSION]
     QUIT
     SHUTDOWN
@@ -36,6 +37,10 @@ type command =
   | Close of string  (** Drop the cursor under this statement name. *)
   | Query of string
   | Explain of string
+  | Rank of { table : string; column : string; value : float }
+      (** [RANK <table>.<column> OF <value>] — probe the order-statistic
+          index for the minimum 1-based rank a row scoring [value] holds
+          (or would hold); rank 1 = highest score. *)
   | Stats of [ `Server | `Session ]
   | Quit
   | Shutdown

@@ -46,7 +46,7 @@ let error_message = function
   | Unknown_prepared n -> Printf.sprintf "no prepared statement named %S" n
   | Unknown_cursor n -> Printf.sprintf "no open cursor named %S" n
   | Cursor_stale ->
-      "cursor invalidated: catalog statistics changed since EXECUTE"
+      "cursor invalidated: statistics of its tables changed since EXECUTE"
   | Shutting_down -> "server is shutting down"
 
 type reply = {
@@ -103,6 +103,7 @@ type t = {
    anyK state would be stale). *)
 type open_cursor = {
   oc_cursor : Sqlfront.Sql.cursor;
+  oc_tables : string list;  (* the statement's FROM tables *)
   oc_epoch : int;
   oc_deadline : float ref;
 }
@@ -241,7 +242,11 @@ let run_template sess ?timeout_s ?k ?cursor_name (tpl : Sqlfront.Sql.template) =
   let eff_k =
     match k with Some _ -> k | None -> tpl.Sqlfront.Sql.tpl_inline_k
   in
-  let epoch = Storage.Catalog.stats_epoch t.cat in
+  (* Per-table epoch: the statement reads exactly its FROM tables, so its
+     cache entries and cursors only go stale when one of *those* tables'
+     statistics move — DML on unrelated tables is invisible here. *)
+  let tables = tpl.Sqlfront.Sql.tpl_ast.Sqlfront.Ast.from in
+  let epoch = Storage.Catalog.epoch_of_tables t.cat tables in
   (match cursor_name with
   | Some name -> ignore (drop_cursor sess name)
   | None -> ());
@@ -279,7 +284,12 @@ let run_template sess ?timeout_s ?k ?cursor_name (tpl : Sqlfront.Sql.template) =
                           in
                           Mutex.protect sess.slock (fun () ->
                               Hashtbl.replace sess.cursors name
-                                { oc_cursor = cur; oc_epoch = epoch; oc_deadline });
+                                {
+                                  oc_cursor = cur;
+                                  oc_tables = tables;
+                                  oc_epoch = epoch;
+                                  oc_deadline;
+                                });
                           Ok (ans, cached, reoptimized)
                       | exception e ->
                           Sqlfront.Sql.cursor_close cur;
@@ -364,7 +374,10 @@ let fetch sess ?timeout_s ~name n =
       | None -> Error (Unknown_cursor name)
       | Some oc ->
           submit t ~deadline (fun () ->
-              if Storage.Catalog.stats_epoch t.cat <> oc.oc_epoch then begin
+              if
+                Storage.Catalog.epoch_of_tables t.cat oc.oc_tables
+                <> oc.oc_epoch
+              then begin
                 ignore (drop_cursor sess name);
                 Error Cursor_stale
               end
@@ -409,7 +422,7 @@ let is_dml text =
     else i
   in
   match String.lowercase_ascii (String.sub text 0 (word_end 0)) with
-  | "insert" | "delete" -> true
+  | "insert" | "delete" | "update" -> true
   | _ -> false
 
 let run_dml sess ?timeout_s text =
@@ -456,6 +469,31 @@ let explain sess text =
   match Rwlock.with_read t.lock (fun () -> Sqlfront.Sql.explain t.cat text) with
   | Ok s -> Ok s
   | Error e -> Error (Plan_error e)
+
+(* RANK <table>.<column> OF <value>: an O(log n) prefix-count probe of the
+   order-statistic index keyed on that column. Runs inline under the read
+   lock (no worker round-trip — it touches O(height) pages). *)
+let rank_probe sess ~table ~column value =
+  let t = sess.svc in
+  Rwlock.with_read t.lock (fun () ->
+      match Storage.Catalog.find_table t.cat table with
+      | None -> Error (Bind_error (Printf.sprintf "unknown table %s" table))
+      | Some _ -> (
+          let key = Relalg.Expr.col ~relation:table column in
+          match
+            List.find_opt
+              (fun ix -> Relalg.Expr.equal ix.Storage.Catalog.ix_key key)
+              (Storage.Catalog.indexes_on t.cat table)
+          with
+          | None ->
+              Error
+                (Plan_error
+                   (Printf.sprintf "no rank index on %s.%s" table column))
+          | Some ix ->
+              let bt = ix.Storage.Catalog.ix_btree in
+              Ok
+                ( Storage.Rank_index.rank_of_value bt value,
+                  Storage.Rank_index.total bt )))
 
 let queue_depth t = Atomic.get t.queued
 

@@ -46,9 +46,11 @@ type error =
   | Unknown_prepared of string
   | Unknown_cursor of string
   | Cursor_stale
-      (** The catalog's statistics epoch moved (DML ran) since the cursor
-          was opened: its materialized enumeration state is stale. The
-          cursor is closed; re-EXECUTE to re-plan. *)
+      (** The statistics epoch of one of the cursor's own tables moved
+          (DML ran against them) since the cursor was opened: its
+          materialized enumeration state is stale. The cursor is closed;
+          re-EXECUTE to re-plan. DML on unrelated tables does {e not}
+          invalidate the cursor. *)
   | Shutting_down
 
 val error_code : error -> string
@@ -102,9 +104,9 @@ val fetch :
     {!execute_prepared}, in non-increasing score order, tuple-identical
     to the continuation of a one-shot execution at a larger k. Fewer than
     [n] rows mean the enumeration is exhausted. Each fetch runs as its
-    own pool job with its own deadline and re-validates the catalog stats
-    epoch — on mismatch the cursor is closed and {!Cursor_stale}
-    returned. [n < 1] is a {!Bind_error}. *)
+    own pool job with its own deadline and re-validates the per-table
+    stats epoch of the cursor's FROM tables — on mismatch the cursor is
+    closed and {!Cursor_stale} returned. [n < 1] is a {!Bind_error}. *)
 
 val close_cursor : session -> string -> (unit, error) result
 (** Close and drop the session's cursor under this name. *)
@@ -117,6 +119,18 @@ val query :
 val explain : session -> string -> (string, error) result
 (** Optimizer plan description (includes the plan's k-validity interval
     and the catalog stats epoch); runs inline, not on a worker. *)
+
+val rank_probe :
+  session ->
+  table:string ->
+  column:string ->
+  float ->
+  (int option * int, error) result
+(** [RANK t.c OF v]: the minimum 1-based rank a row scoring [v] on the
+    order-statistic index keyed on [t.c] holds (or would hold), and the
+    total ranked (non-NaN) entry count. [None] for a NaN probe value.
+    Requires an index keyed on exactly that column ({!Plan_error}
+    otherwise); runs inline under the read lock — O(log n) node visits. *)
 
 val stats : t -> (string * string) list
 (** Server-wide fields: query/error/timeout/shed counters, p50/p95

@@ -25,6 +25,9 @@ type query = {
   select : select_item list;
   from : string list;
   where : condition list;
+  rank_between : (int * int) option;
+      (* WHERE rank() BETWEEN lo AND hi — a by-rank window over the scored
+         single-table query (ranks are 1-based, rank 1 = best score). *)
   group_by : expr list;
   order_by : (expr * order_direction) option;
   limit : int option;
@@ -86,16 +89,24 @@ let pp_query fmt q =
        pp_item)
     q.select
     (String.concat ", " q.from);
-  (match q.where with
-  | [] -> ()
-  | conds ->
-      let pp_cond fmt (Compare (op, a, b)) =
-        Format.fprintf fmt "%a %s %a" pp_expr a (cmpop_symbol op) pp_expr b
+  (* canonical conjunct order: the rank window (if any) prints first *)
+  (match (q.rank_between, q.where) with
+  | None, [] -> ()
+  | rb, conds ->
+      Format.fprintf fmt " WHERE ";
+      let first = ref true in
+      let sep () =
+        if !first then first := false else Format.pp_print_string fmt " AND "
       in
-      Format.fprintf fmt " WHERE %a"
-        (Format.pp_print_list
-           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " AND ")
-           pp_cond)
+      (match rb with
+      | Some (lo, hi) ->
+          sep ();
+          Format.fprintf fmt "rank() BETWEEN %d AND %d" lo hi
+      | None -> ());
+      List.iter
+        (fun (Compare (op, a, b)) ->
+          sep ();
+          Format.fprintf fmt "%a %s %a" pp_expr a (cmpop_symbol op) pp_expr b)
         conds);
   (match q.group_by with
   | [] -> ()

@@ -42,6 +42,14 @@ type query = {
   select : select_item list;
   from : string list;
   where : condition list;  (** Conjunction. *)
+  rank_between : (int * int) option;
+      (** [WHERE rank() BETWEEN lo AND hi] — a by-rank window over the
+          scored single-table query. Ranks are 1-based, rank 1 = best
+          (highest) score under the query's ORDER BY; ties share the
+          minimum rank of their block (competition ranking) and rows with
+          NaN scores are never ranked. {!pp_query} prints the rank window
+          first among the WHERE conjuncts, making the canonical form
+          stable for plan-cache keys. *)
   group_by : expr list;
   order_by : (expr * order_direction) option;
   limit : int option;

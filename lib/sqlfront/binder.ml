@@ -209,6 +209,61 @@ let bind catalog (q : Ast.query) =
   let aggregation =
     if is_aggregate_query q then Some (build_aggregation catalog q) else None
   in
+  (* rank() BETWEEN: a by-rank window over a scored single-table query.
+     Not a top-k query — it carries no [k] (the plan has no Top_k root);
+     the window lives in [Logical.rank_range] and the ORDER BY expression
+     becomes the relation's score. *)
+  match q.Ast.rank_between with
+  | Some (lo, hi) ->
+      if aggregation <> None then
+        fail "rank() BETWEEN cannot be combined with GROUP BY/aggregates";
+      let table =
+        match q.Ast.from with
+        | [ t ] -> t
+        | _ -> fail "rank() BETWEEN requires a single-table FROM"
+      in
+      let score =
+        match q.Ast.order_by with
+        | Some (e, Ast.Desc) -> to_expr catalog q.Ast.from e
+        | Some (_, Ast.Asc) ->
+            fail "rank() BETWEEN ranks by ORDER BY ... DESC (rank 1 = best)"
+        | None -> fail "rank() BETWEEN requires ORDER BY <score> DESC"
+      in
+      let relations =
+        [ Core.Logical.base ?filter:(filter_for table) ~score ~weight:1.0 table ]
+      in
+      let logical =
+        try Core.Logical.make ~relations ~joins:[] ~rank_range:(lo, hi) ()
+        with Invalid_argument msg -> fail "%s" msg
+      in
+      let projection =
+        if List.exists (fun i -> i = Ast.Star) q.Ast.select then None
+        else
+          Some
+            (List.mapi
+               (fun i item ->
+                 match item with
+                 | Ast.Star | Ast.Aggregate _ -> assert false
+                 | Ast.Rank_of_row { alias } -> (Rank, alias)
+                 | Ast.Item { expr; alias } ->
+                     let e = to_expr catalog q.Ast.from expr in
+                     let name =
+                       match alias, expr with
+                       | Some a, _ -> a
+                       | None, Ast.Column { name; _ } -> name
+                       | None, _ -> Printf.sprintf "col%d" (i + 1)
+                     in
+                     (Col e, name))
+               q.Ast.select)
+      in
+      {
+        logical;
+        projection;
+        aggregation = None;
+        post_sort = None;
+        post_limit = q.Ast.limit;
+      }
+  | None ->
   (* Ranking: ORDER BY ... DESC over a non-negative weighted sum drives the
      rank-aware machinery; anything else becomes a post-execution sort. *)
   let unranked = List.map (fun t -> (t, None)) q.Ast.from in

@@ -10,7 +10,8 @@ exception Lex_error of string
 
 let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "AND"; "ORDER"; "BY"; "LIMIT"; "AS"; "DESC";
-    "ASC"; "GROUP"; "WITH"; "OVER"; "INSERT"; "INTO"; "VALUES"; "DELETE"; "UPDATE"; "SET" ]
+    "ASC"; "GROUP"; "WITH"; "OVER"; "INSERT"; "INTO"; "VALUES"; "DELETE";
+    "UPDATE"; "SET"; "BETWEEN" ]
 
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 

@@ -159,6 +159,19 @@ let parse_select_item st =
       | _, None -> fail "an argument expression (only COUNT accepts *)" st
       | _, Some _ -> ());
       Ast.Aggregate { fn; arg; alias = parse_alias st }
+  | Lexer.Tident r
+    when String.lowercase_ascii r = "rank"
+         && (match st.tokens with
+            | _ :: Lexer.Tsymbol "(" :: Lexer.Tsymbol ")" :: rest -> (
+                (* Bare rank() projects the output row's 1-based rank; the
+                   OVER form belongs to the WITH desugaring, not here. *)
+                match rest with Lexer.Tkeyword "OVER" :: _ -> false | _ -> true)
+            | _ -> false) ->
+      advance st;
+      eat_symbol st "(";
+      eat_symbol st ")";
+      let alias = Option.value ~default:"rank" (parse_alias st) in
+      Ast.Rank_of_row { alias }
   | _ -> (
       let expr = parse_expr st in
       match parse_alias st with
@@ -298,6 +311,7 @@ let parse_with_query st =
     Ast.select;
     from;
     where;
+    rank_between = None;
     group_by = [];
     order_by = Some (rank_expr, rank_dir);
     limit = Some k;
@@ -309,17 +323,50 @@ let parse_plain_query st =
   let select = comma_separated st parse_select_item in
   eat_keyword st "FROM";
   let from = comma_separated st ident in
+  let rank_between = ref None in
+  (* rank() BETWEEN i AND j — a by-rank window conjunct; the ranks must be
+     positive integer literals with i <= j *)
+  let parse_rank_between () =
+    advance st;
+    (* rank *)
+    eat_symbol st "(";
+    eat_symbol st ")";
+    eat_keyword st "BETWEEN";
+    let bound what =
+      match peek st with
+      | Lexer.Tnumber f when Float.is_integer f && f >= 1.0 ->
+          advance st;
+          int_of_float f
+      | _ -> fail (what ^ " rank (positive integer)") st
+    in
+    let lo = bound "lower" in
+    eat_keyword st "AND";
+    let hi = bound "upper" in
+    if hi < lo then fail "a non-empty rank window (lo <= hi)" st;
+    if !rank_between <> None then fail "at most one rank() window" st;
+    rank_between := Some (lo, hi)
+  in
   let where =
     match peek st with
     | Lexer.Tkeyword "WHERE" ->
         advance st;
         let rec conjuncts () =
-          let c = parse_condition st in
-          match peek st with
-          | Lexer.Tkeyword "AND" ->
-              advance st;
-              c :: conjuncts ()
-          | _ -> [ c ]
+          match st.tokens with
+          | Lexer.Tident r :: Lexer.Tsymbol "(" :: Lexer.Tsymbol ")" :: _
+            when String.equal (String.lowercase_ascii r) "rank" -> (
+              parse_rank_between ();
+              match peek st with
+              | Lexer.Tkeyword "AND" ->
+                  advance st;
+                  conjuncts ()
+              | _ -> [])
+          | _ -> (
+              let c = parse_condition st in
+              match peek st with
+              | Lexer.Tkeyword "AND" ->
+                  advance st;
+                  c :: conjuncts ()
+              | _ -> [ c ])
         in
         conjuncts ()
     | _ -> []
@@ -368,7 +415,16 @@ let parse_plain_query st =
   (match peek st with
   | Lexer.Teof -> ()
   | _ -> fail "end of query" st);
-  { Ast.select; from; where; group_by; order_by; limit; limit_param }
+  {
+    Ast.select;
+    from;
+    where;
+    rank_between = !rank_between;
+    group_by;
+    order_by;
+    limit;
+    limit_param;
+  }
 
 let parse_query st =
   match peek st with

@@ -124,12 +124,20 @@ let run_prepared ?interrupt ?pool ?degree catalog { bound; planned } =
     | None -> sorted_rows
     | Some k -> List.filteri (fun i _ -> i < k) sorted_rows
   in
+  let rank_range =
+    planned.Core.Optimizer.query.Core.Logical.rank_range
+  in
   let columns, rows =
     match bound.Binder.projection with
     | None ->
         ( List.map Schema.column_name (Schema.columns schema),
           List.map fst result_rows )
     | Some targets ->
+        (* rank() positions are absolute: a window starting at rank [lo]
+           numbers its first row [lo], not 1. *)
+        let rank_base =
+          match rank_range with Some (lo, _) -> lo - 1 | None -> 0
+        in
         let fns =
           List.map
             (fun (oc, _) ->
@@ -142,7 +150,8 @@ let run_prepared ?interrupt ?pool ?degree catalog { bound; planned } =
         in
         ( List.map snd targets,
           List.mapi
-            (fun i (tu, _) -> Array.of_list (List.map (fun f -> f i tu) fns))
+            (fun i (tu, _) ->
+              Array.of_list (List.map (fun f -> f (rank_base + i) tu) fns))
             result_rows )
   in
   Ok
@@ -153,6 +162,7 @@ let run_prepared ?interrupt ?pool ?degree catalog { bound; planned } =
         (if
            Core.Logical.is_ranking planned.Core.Optimizer.query
            || Option.is_some bound.Binder.post_sort
+           || Option.is_some rank_range
          then List.map snd result_rows
          else []);
       planned;
@@ -291,6 +301,7 @@ let single_table_predicate catalog table where =
       Ast.select = [ Ast.Star ];
       from = [ table ];
       where;
+      rank_between = None;
       group_by = [];
       order_by = None;
       limit = None;

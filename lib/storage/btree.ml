@@ -13,10 +13,14 @@ and leaf = {
 }
 
 (* Invariant: [keys] holds the minimal key of each child except the first,
-   so [Array.length keys = Array.length children - 1]. *)
+   so [Array.length keys = Array.length children - 1]. [counts] is aligned
+   with [children] and holds each child's subtree entry count — the
+   order-statistic augmentation that makes by-rank descents and
+   rank-of-value probes O(log n). *)
 and internal = {
   mutable keys : Value.t array;
   mutable children : node array;
+  mutable counts : int array;
 }
 
 type t = {
@@ -42,6 +46,10 @@ let height t =
     | Internal n -> 1 + go n.children.(0)
   in
   go t.root
+
+let subtree_count = function
+  | Leaf lf -> Array.length lf.entries
+  | Internal nd -> Array.fold_left ( + ) 0 nd.counts
 
 (* Position of the child to follow for [key]: the last child whose minimal
    key is <= key. Used for inserts (duplicates go rightmost) and descending
@@ -109,10 +117,14 @@ let rec insert_into t node e : split =
   | Internal nd -> (
       let ci = child_index nd.keys e.key in
       match insert_into t nd.children.(ci) e with
-      | No_split -> No_split
+      | No_split ->
+          nd.counts.(ci) <- nd.counts.(ci) + 1;
+          No_split
       | Split (sep, right) ->
           nd.keys <- array_insert nd.keys ci sep;
+          nd.counts.(ci) <- subtree_count nd.children.(ci);
           nd.children <- array_insert nd.children (ci + 1) right;
+          nd.counts <- array_insert nd.counts (ci + 1) (subtree_count right);
           if Array.length nd.children <= t.fanout then No_split
           else begin
             let nc = Array.length nd.children in
@@ -123,10 +135,12 @@ let rec insert_into t node e : split =
               {
                 keys = Array.sub nd.keys mid (Array.length nd.keys - mid);
                 children = Array.sub nd.children mid (nc - mid);
+                counts = Array.sub nd.counts mid (nc - mid);
               }
             in
             nd.keys <- Array.sub nd.keys 0 (mid - 1);
             nd.children <- Array.sub nd.children 0 mid;
+            nd.counts <- Array.sub nd.counts 0 mid;
             Split (promoted, Internal right_node)
           end)
 
@@ -135,7 +149,13 @@ let insert t key tuple =
   (match insert_into t t.root { key; tuple } with
   | No_split -> ()
   | Split (sep, right) ->
-      t.root <- Internal { keys = [| sep |]; children = [| t.root; right |] });
+      t.root <-
+        Internal
+          {
+            keys = [| sep |];
+            children = [| t.root; right |];
+            counts = [| subtree_count t.root; subtree_count right |];
+          });
   t.count <- t.count + 1
 
 let bulk_load ?(fanout = 64) io entries =
@@ -186,7 +206,8 @@ let bulk_load ?(fanout = 64) io entries =
               let len = min per_node (Array.length level - off) in
               let children = Array.sub level off len in
               let keys = Array.init (len - 1) (fun j -> min_key children.(j + 1)) in
-              Internal { keys; children })
+              let counts = Array.map subtree_count children in
+              Internal { keys; children; counts })
         in
         build next_level
       end
@@ -389,32 +410,161 @@ let range ?(lo_incl = true) ?(hi_incl = true) t ~lo ~hi =
   Io_stats.add_tuples_read t.io (List.length !acc);
   List.rev !acc
 
+(* -- Deletion ------------------------------------------------------------ *)
+
+let node_is_empty = function
+  | Leaf lf -> Array.length lf.entries = 0
+  | Internal nd -> Array.length nd.children = 0
+
+(* Drop child [ci] from an internal node: unlink a leaf from the sibling
+   chain so scans never traverse it, and remove the corresponding separator
+   (dropping child 0 makes the old keys.(0) the new first child's implicit
+   minimum). *)
+let remove_child nd ci =
+  (match nd.children.(ci) with
+  | Leaf lf ->
+      (match lf.prev with Some p -> p.next <- lf.next | None -> ());
+      (match lf.next with Some nx -> nx.prev <- lf.prev | None -> ())
+  | Internal _ -> ());
+  nd.children <- array_remove nd.children ci;
+  nd.counts <- array_remove nd.counts ci;
+  if Array.length nd.keys > 0 then
+    nd.keys <- array_remove nd.keys (if ci = 0 then 0 else ci - 1)
+
 let delete t key tuple =
   Io_stats.add_index_probe t.io;
-  let lf = find_leaf_left t t.root key in
-  let rec try_leaf lf =
-    let found = ref (-1) in
-    Array.iteri
-      (fun i e ->
-        if !found < 0 && Value.compare e.key key = 0 && Tuple.equal e.tuple tuple
-        then found := i)
-      lf.entries;
-    if !found >= 0 then begin
-      lf.entries <- array_remove lf.entries !found;
-      t.count <- t.count - 1;
-      true
-    end
-    else
-      (* Duplicates may continue in the next leaf. *)
-      match lf.next with
-      | Some nx
-        when Array.length nx.entries > 0
-             && Value.compare nx.entries.(0).key key <= 0 ->
-          touch t;
-          try_leaf nx
-      | _ -> false
+  (* Path descent instead of a leaf-chain walk: duplicates of [key] can only
+     live under the children between child_index_left and child_index, so
+     trying those candidates in order finds the entry while keeping every
+     visited node on the root-to-leaf paths whose counts must be patched. *)
+  let rec del node =
+    touch t;
+    match node with
+    | Leaf lf ->
+        let found = ref (-1) in
+        Array.iteri
+          (fun i e ->
+            if
+              !found < 0
+              && Value.compare e.key key = 0
+              && Tuple.equal e.tuple tuple
+            then found := i)
+          lf.entries;
+        if !found >= 0 then begin
+          lf.entries <- array_remove lf.entries !found;
+          true
+        end
+        else false
+    | Internal nd ->
+        let lo = child_index_left nd.keys key in
+        let hi = child_index nd.keys key in
+        let rec try_child ci =
+          if ci > hi || ci >= Array.length nd.children then false
+          else if del nd.children.(ci) then begin
+            nd.counts.(ci) <- nd.counts.(ci) - 1;
+            if node_is_empty nd.children.(ci) then remove_child nd ci;
+            true
+          end
+          else try_child (ci + 1)
+        in
+        try_child lo
   in
-  try_leaf lf
+  if del t.root then begin
+    t.count <- t.count - 1;
+    (* A root that lost all but one child no longer earns its level: collapse
+       so [height] reflects the live tree. A fully-empty tree keeps a single
+       empty leaf as its root. *)
+    let rec collapse () =
+      match t.root with
+      | Internal nd when Array.length nd.children = 1 ->
+          t.root <- nd.children.(0);
+          collapse ()
+      | _ -> ()
+    in
+    collapse ();
+    true
+  end
+  else false
+
+(* -- Order-statistic primitives ------------------------------------------ *)
+
+(* Count entries with key < [key] (strict) or <= [key]: one root-to-leaf
+   descent summing the skipped siblings' subtree counts. *)
+let count_below ~strict t key =
+  Io_stats.add_index_probe t.io;
+  let keep c = if strict then c < 0 else c <= 0 in
+  let rec go node =
+    touch t;
+    match node with
+    | Leaf lf ->
+        let n = Array.length lf.entries in
+        let lo = ref 0 and hi = ref n in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if keep (Value.compare lf.entries.(mid).key key) then lo := mid + 1
+          else hi := mid
+        done;
+        !lo
+    | Internal nd ->
+        let ci =
+          if strict then child_index_left nd.keys key
+          else child_index nd.keys key
+        in
+        let skipped = ref 0 in
+        for i = 0 to ci - 1 do
+          skipped := !skipped + nd.counts.(i)
+        done;
+        !skipped + go nd.children.(ci)
+  in
+  go t.root
+
+let count_lt t key = count_below ~strict:true t key
+let count_le t key = count_below ~strict:false t key
+
+(* Count-guided descent to the leaf holding ascending position [pos]
+   (0-based); returns the leaf and the offset within it. *)
+let leaf_at t pos =
+  let rec go node pos =
+    touch t;
+    match node with
+    | Leaf lf -> (lf, pos)
+    | Internal nd ->
+        let rec pick i pos =
+          if i = Array.length nd.children - 1 || pos < nd.counts.(i) then
+            (i, pos)
+          else pick (i + 1) (pos - nd.counts.(i))
+        in
+        let i, pos = pick 0 pos in
+        go nd.children.(i) pos
+  in
+  go t.root pos
+
+let select_pos t ~pos ~len =
+  Io_stats.add_index_probe t.io;
+  let pos = max 0 pos in
+  if len <= 0 || pos >= t.count then []
+  else begin
+    let len = min len (t.count - pos) in
+    let lf, off = leaf_at t pos in
+    let acc = ref [] in
+    let rec collect lf off remaining =
+      if remaining > 0 then
+        if off < Array.length lf.entries then begin
+          let e = lf.entries.(off) in
+          acc := (e.key, e.tuple) :: !acc;
+          collect lf (off + 1) (remaining - 1)
+        end
+        else
+          match lf.next with
+          | Some nx ->
+              touch t;
+              collect nx 0 remaining
+          | None -> ()
+    in
+    collect lf off len;
+    Io_stats.add_tuples_read t.io (List.length !acc);
+    List.rev !acc
+  end
 
 let to_list_asc t =
   let lf = ref (Some (leftmost_leaf t t.root)) in
@@ -430,6 +580,13 @@ let to_list_asc t =
   loop ();
   List.rev !acc
 
+let n_leaves t =
+  let rec go acc = function
+    | None -> acc
+    | Some (lf : leaf) -> go (acc + 1) lf.next
+  in
+  go 0 (Some (leftmost_leaf t t.root))
+
 let check_invariants t =
   let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
   let rec min_key = function
@@ -437,21 +594,41 @@ let check_invariants t =
         if Array.length lf.entries = 0 then None else Some lf.entries.(0).key
     | Internal nd -> min_key nd.children.(0)
   in
-  let rec check node : (unit, string) result =
+  let rec real_size = function
+    | Leaf lf -> Array.length lf.entries
+    | Internal nd ->
+        Array.fold_left (fun acc c -> acc + real_size c) 0 nd.children
+  in
+  let rec check ~is_root node : (unit, string) result =
     match node with
     | Leaf lf ->
-        let ok = ref (Ok ()) in
-        for i = 0 to Array.length lf.entries - 2 do
-          if Value.compare lf.entries.(i).key lf.entries.(i + 1).key > 0 then
-            ok := err "leaf entries out of order at %d" i
-        done;
-        !ok
+        if (not is_root) && Array.length lf.entries = 0 then
+          err "empty non-root leaf left on the tree"
+        else begin
+          let ok = ref (Ok ()) in
+          for i = 0 to Array.length lf.entries - 2 do
+            if Value.compare lf.entries.(i).key lf.entries.(i + 1).key > 0 then
+              ok := err "leaf entries out of order at %d" i
+          done;
+          !ok
+        end
     | Internal nd ->
         if Array.length nd.keys <> Array.length nd.children - 1 then
           err "internal node: %d keys, %d children" (Array.length nd.keys)
             (Array.length nd.children)
+        else if Array.length nd.counts <> Array.length nd.children then
+          err "internal node: %d counts, %d children" (Array.length nd.counts)
+            (Array.length nd.children)
         else begin
           let result = ref (Ok ()) in
+          Array.iteri
+            (fun i c ->
+              let real = real_size c in
+              if nd.counts.(i) <> real then
+                result :=
+                  err "subtree count %d recorded for child %d, actual %d"
+                    nd.counts.(i) i real)
+            nd.children;
           Array.iteri
             (fun i sep ->
               match min_key nd.children.(i + 1) with
@@ -462,13 +639,13 @@ let check_invariants t =
           Array.iter
             (fun c ->
               match !result with
-              | Ok () -> result := check c
+              | Ok () -> result := check ~is_root:false c
               | Error _ -> ())
             nd.children;
           !result
         end
   in
-  match check t.root with
+  match check ~is_root:true t.root with
   | Error _ as e -> e
   | Ok () ->
       (* Leaf chain covers all entries in order. *)

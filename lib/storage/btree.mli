@@ -1,11 +1,15 @@
-(** B+-tree index, index-organized (leaves store whole tuples).
+(** Order-statistic B+-tree index, index-organized (leaves store whole
+    tuples).
 
     This is the access path that makes ranking orders available "naturally":
     a descending scan over a score-keyed tree is exactly the {e sorted
     access} a rank-join input needs, while point probes provide the
     {e random access} used by index-nested-loops joins and the TA
-    rank-aggregation algorithm. Duplicate keys are allowed. Node visits are
-    charged to the supplied {!Io_stats.t}. *)
+    rank-aggregation algorithm. Internal nodes additionally carry subtree
+    entry counts, maintained along the root-to-leaf path of every insert and
+    delete, so positional access ({!select_pos}) and rank probes
+    ({!count_lt}/{!count_le}) cost one O(log n) descent. Duplicate keys are
+    allowed. Node visits are charged to the supplied {!Io_stats.t}. *)
 
 open Relalg
 
@@ -21,7 +25,9 @@ val bulk_load : ?fanout:int -> Io_stats.t -> (Value.t * Tuple.t) list -> t
 
 val delete : t -> Value.t -> Tuple.t -> bool
 (** Remove one entry matching both key and tuple; [false] when absent.
-    (Lazy deletion: leaves may underflow; the tree stays correct.) *)
+    Leaves may underflow, but a leaf that empties is unlinked from the
+    sibling chain (and its subtree removed), so scans never traverse dead
+    leaves and a root left with one child collapses a level. *)
 
 val length : t -> int
 (** Number of entries. *)
@@ -51,8 +57,27 @@ val scan_desc : ?from:Value.t -> t -> unit -> Tuple.t option
 (** Cursor over entries with key ≤ [from] (or all), descending key order —
     the sorted access used by rank-join inputs. *)
 
+val count_lt : t -> Value.t -> int
+(** Entries with key strictly below the probe key: one counted descent
+    (charges a probe plus [height] node visits). *)
+
+val count_le : t -> Value.t -> int
+(** Entries with key at or below the probe key. Duplicates of the probe key
+    are counted as a block, matching {!range}'s bound semantics. *)
+
+val select_pos : t -> pos:int -> len:int -> (Value.t * Tuple.t) list
+(** The [len] entries starting at ascending 0-based position [pos]: a
+    count-guided descent to the first entry, then a leaf-chain walk —
+    O(log n + len). Clamped to the live entries; out-of-range windows
+    return the empty list. *)
+
+val n_leaves : t -> int
+(** Leaves on the sibling chain (uncharged; used by tests to relate scan
+    cost to live structure). *)
+
 val to_list_asc : t -> (Value.t * Tuple.t) list
 
 val check_invariants : t -> (unit, string) result
-(** Structural check used by tests: sorted leaves, correct separators,
-    consistent leaf chaining and entry count. *)
+(** Structural check used by tests: sorted leaves, correct separators and
+    subtree counts, no empty non-root leaves, consistent leaf chaining and
+    entry count. *)

@@ -40,6 +40,11 @@ type t = {
      access paths changes. Cached plans are keyed on it, so a stats refresh
      invalidates every plan chosen under the old statistics. *)
   mutable stats_epoch : int;
+  (* Per-table slices of the same counter: every bump names the table whose
+     statistics changed, so a statement's effective epoch is the sum over
+     the tables it actually reads — DML on table A no longer invalidates
+     plans and cursors that only touch table B. *)
+  table_epochs : (string, int) Hashtbl.t;
 }
 
 let create ?(pool_frames = 256) ?(tuples_per_page = 50) () =
@@ -50,11 +55,23 @@ let create ?(pool_frames = 256) ?(tuples_per_page = 50) () =
     tuples_per_page;
     tables = Hashtbl.create 16;
     stats_epoch = 0;
+    table_epochs = Hashtbl.create 16;
   }
 
 let stats_epoch t = t.stats_epoch
 
-let bump_stats_epoch t = t.stats_epoch <- t.stats_epoch + 1
+let table_epoch t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.table_epochs name)
+
+(* Sum of the per-table epochs: each is monotone, so the sum is monotone
+   and an equality check on it is a sound staleness test for a statement
+   reading exactly [names]. *)
+let epoch_of_tables t names =
+  List.fold_left (fun acc name -> acc + table_epoch t name) 0 names
+
+let bump_stats_epoch t tname =
+  t.stats_epoch <- t.stats_epoch + 1;
+  Hashtbl.replace t.table_epochs tname (table_epoch t tname + 1)
 
 let io t = t.io
 
@@ -115,7 +132,7 @@ let create_table t name schema tuples =
     }
   in
   Hashtbl.replace t.tables name info;
-  bump_stats_epoch t;
+  bump_stats_epoch t name;
   info
 
 let table t name =
@@ -152,7 +169,7 @@ let create_index t ?(clustered = true) ~name ~table:tname ~key () =
       ix_clustered = clustered }
   in
   Hashtbl.replace t.tables tname { info with tb_indexes = ix :: info.tb_indexes };
-  bump_stats_epoch t;
+  bump_stats_epoch t tname;
   ix
 
 let insert_into t ~table:tname tuples =
@@ -226,7 +243,7 @@ let analyze t tname =
   let tuples = Heap_file.to_list info.tb_heap in
   let refreshed = { info with tb_stats = compute_stats info.tb_schema tuples info.tb_heap } in
   Hashtbl.replace t.tables tname refreshed;
-  bump_stats_epoch t;
+  bump_stats_epoch t tname;
   refreshed
 
 let index_payload_to_tuple t ix payload =

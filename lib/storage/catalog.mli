@@ -52,6 +52,15 @@ val stats_epoch : t -> int
     operations that change what the optimizer sees); plan caches key on it
     so a stats refresh invalidates stale plans. *)
 
+val table_epoch : t -> string -> int
+(** The slice of {!stats_epoch} attributable to one table (0 for unknown
+    tables). Monotone. *)
+
+val epoch_of_tables : t -> string list -> int
+(** Sum of {!table_epoch} over [names] — the effective epoch of a statement
+    reading exactly those tables. Each summand is monotone, so equality is
+    a sound staleness check that ignores DML on unrelated tables. *)
+
 val pool : t -> Buffer_pool.t
 
 val tuples_per_page : t -> int

@@ -1,0 +1,80 @@
+open Relalg
+
+(* Leaderboard semantics over a score-keyed order-statistic B+-tree.
+
+   Ranks are 1-based and descending: rank 1 is the highest score. NaN
+   scores sort below every real float (Value.compare delegates to
+   Float.compare), so NaN-keyed entries occupy the ascending front of the
+   tree; every rank computation works over the non-NaN suffix, matching the
+   executor's Top-N and cursor layers, which drop NaN scores outright.
+
+   Duplicate scores form a tie block sharing the block's minimum rank
+   (standard competition ranking), and by-rank windows order the block's
+   members with the caller-supplied canonical comparator so a window's
+   contents never depend on insertion order or plan shape. *)
+
+let nan_count bt = Btree.count_le bt (Value.Float Float.nan)
+
+let total bt = Btree.length bt - nan_count bt
+
+let rank_of_value bt score =
+  if Float.is_nan score then None
+  else
+    (* Entries strictly above [score] = everything minus (NaN block +
+       non-NaN entries <= score); count_le counts both subtrahends. On a
+       tie block this is the block's minimum rank. *)
+    Some (Btree.length bt - Btree.count_le bt (Value.Float score) + 1)
+
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+let rec drop n l =
+  match l with _ :: rest when n > 0 -> drop (n - 1) rest | _ -> l
+
+(* Group an ascending (key, x) run into maximal equal-key blocks. *)
+let group_ties entries =
+  List.fold_left
+    (fun groups ((k, _) as e) ->
+      match groups with
+      | ((k0, _) :: _ as g) :: rest when Value.compare k k0 = 0 ->
+          (e :: g) :: rest
+      | _ -> [ e ] :: groups)
+    [] entries
+  |> List.rev_map List.rev
+
+let select_rank bt ~lo ~hi ~resolve ~tie_cmp =
+  let len = Btree.length bt in
+  let nans = nan_count bt in
+  let total = len - nans in
+  let lo = max 1 lo in
+  if total = 0 || hi < lo || lo > total then []
+  else begin
+    let hi = min hi total in
+    (* Descending rank r lives at ascending 0-based position len - r. *)
+    let a = len - hi and b = len - lo in
+    let key_at i =
+      match Btree.select_pos bt ~pos:i ~len:1 with
+      | [ (k, _) ] -> k
+      | _ -> invalid_arg "Rank_index.select_rank: position out of range"
+    in
+    (* Widen both endpoints to whole tie blocks so the canonical tie order
+       decides which members fall inside the requested window. *)
+    let a' = Btree.count_lt bt (key_at a) in
+    let b' = Btree.count_le bt (key_at b) - 1 in
+    let entries = Btree.select_pos bt ~pos:a' ~len:(b' - a' + 1) in
+    let resolved = List.map (fun (k, payload) -> (k, resolve payload)) entries in
+    let descending =
+      group_ties resolved |> List.rev
+      |> List.concat_map (fun block ->
+             List.stable_sort (fun (_, t1) (_, t2) -> tie_cmp t1 t2) block)
+    in
+    (* The widened block's best entry holds rank len - b'. *)
+    descending
+    |> drop (lo - (len - b'))
+    |> take (hi - lo + 1)
+    |> List.map (fun (k, tuple) -> (tuple, Value.to_float k))
+  end

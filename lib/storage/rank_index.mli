@@ -1,0 +1,36 @@
+(** Leaderboard (by-rank) access over a score-keyed order-statistic
+    {!Btree}.
+
+    Ranks are 1-based and descending: rank 1 is the highest score. NaN
+    scores are excluded from every rank computation (they sort below all
+    real floats and the engine's ranked operators drop them). Duplicate
+    scores share the tie block's minimum rank, and by-rank windows order
+    tie-block members with the supplied canonical comparator so a window is
+    independent of insertion order and plan shape. All operations charge
+    the tree's {!Io_stats.t}: one probe plus O(log n) node visits, plus
+    O(window + tie spill) leaf entries for {!select_rank}. *)
+
+open Relalg
+
+val total : Btree.t -> int
+(** Ranked (non-NaN) entries. *)
+
+val nan_count : Btree.t -> int
+(** Entries keyed by NaN, held at the ascending front of the tree. *)
+
+val rank_of_value : Btree.t -> float -> int option
+(** Minimum rank an entry with this score holds (or would hold): one more
+    than the number of strictly greater ranked entries. [None] for NaN. *)
+
+val select_rank :
+  Btree.t ->
+  lo:int ->
+  hi:int ->
+  resolve:(Tuple.t -> Tuple.t) ->
+  tie_cmp:(Tuple.t -> Tuple.t -> int) ->
+  (Tuple.t * float) list
+(** The entries ranked [lo..hi] inclusive (best first), each with its
+    score. [resolve] maps a stored leaf payload to the base tuple
+    (identity for clustered indexes, a heap fetch for unclustered rid
+    payloads); [tie_cmp] orders equal-score entries canonically. Bounds are
+    clamped to [1..total]; an empty or inverted window returns []. *)

@@ -232,6 +232,43 @@ let prop_model_based =
       in
       keys_match && invariants && lookups_ok)
 
+(* Regression for the empty-leaf unlink bug: a delete-heavy workload must
+   leave no dead leaves on the sibling chain, so the node visits charged by
+   a full scan are exactly the descent plus one hop per live leaf. Before
+   the fix, emptied leaves stayed linked and a scan paid a visit for every
+   leaf that had ever existed. *)
+let prop_delete_scan_visits =
+  QCheck.Test.make ~name:"btree: scan visits match live leaves after deletes"
+    ~count:80
+    QCheck.(pair (int_range 0 1_000_000) (int_range 20 250))
+    (fun (seed, n) ->
+      let io = Io_stats.create () in
+      let t = Btree.create ~fanout:4 io () in
+      let prng = Rkutil.Prng.create seed in
+      let entries =
+        Array.init n (fun i -> (float_of_int (Rkutil.Prng.int prng 40), i))
+      in
+      Array.iter (fun (k, i) -> Btree.insert t (vf k) (tu i)) entries;
+      (* Delete whole key ranges so entire leaves empty out. *)
+      Array.iter
+        (fun (k, i) ->
+          if k < 34.0 then assert (Btree.delete t (vf k) (tu i)))
+        entries;
+      (match Btree.check_invariants t with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      Io_stats.reset io;
+      let next = Btree.scan_asc t in
+      let rec drain acc =
+        match next () with Some _ -> drain (acc + 1) | None -> acc
+      in
+      let drained = drain 0 in
+      let snap = Io_stats.snapshot io in
+      drained = Btree.length t
+      && snap.Io_stats.index_node_reads
+         = Btree.height t + (Btree.n_leaves t - 1)
+      && snap.Io_stats.tuples_read = drained)
+
 let prop_scan_desc_is_reverse_asc =
   QCheck.Test.make ~name:"btree: desc scan = reverse asc scan" ~count:100
     QCheck.(list_of_size (QCheck.Gen.int_range 0 200) (QCheck.int_range 0 50))
@@ -253,6 +290,91 @@ let prop_scan_desc_is_reverse_asc =
       let key_of i = List.nth keys i in
       List.map key_of asc = List.rev (List.map key_of desc))
 
+(* --- Rank semantics over the order-statistic tree ---------------------
+
+   The single place duplicate-score and NaN semantics are pinned down:
+   ties share the tie block's minimum rank (competition ranking), windows
+   order tie-block members with the canonical comparator, and NaN scores
+   are never ranked. *)
+
+let id_of tuple = Value.to_int (Tuple.get tuple 0)
+let id_cmp t1 t2 = compare (id_of t1) (id_of t2)
+
+let rank_tree scores =
+  let t = fresh ~fanout:4 () in
+  List.iteri (fun i s -> Btree.insert t (vf s) (tu i)) scores;
+  t
+
+let window t ~lo ~hi =
+  Rank_index.select_rank t ~lo ~hi ~resolve:Fun.id ~tie_cmp:id_cmp
+  |> List.map (fun (tuple, _) -> id_of tuple)
+
+let test_rank_of_value_ties () =
+  (* ids 0,1,2 tie at 0.9; id 3 at 0.7; ids 4,5 tie at 0.5; id 6 at 0.3. *)
+  let t = rank_tree [ 0.9; 0.9; 0.9; 0.7; 0.5; 0.5; 0.3 ] in
+  Alcotest.(check int) "total" 7 (Rank_index.total t);
+  let rank v = Rank_index.rank_of_value t v in
+  Alcotest.(check (option int)) "tie block min rank" (Some 1) (rank 0.9);
+  Alcotest.(check (option int)) "after a 3-way tie" (Some 4) (rank 0.7);
+  Alcotest.(check (option int)) "second tie block" (Some 5) (rank 0.5);
+  Alcotest.(check (option int)) "worst" (Some 7) (rank 0.3);
+  Alcotest.(check (option int)) "would-be rank of absent value" (Some 8)
+    (rank 0.1);
+  Alcotest.(check (option int)) "would-be best" (Some 1) (rank 2.0);
+  Alcotest.(check (option int)) "NaN never ranked" None (rank Float.nan)
+
+let test_rank_nan_excluded () =
+  let t = rank_tree [ Float.nan; 0.8; Float.nan; 0.6 ] in
+  Alcotest.(check int) "nan_count" 2 (Rank_index.nan_count t);
+  Alcotest.(check int) "total excludes NaN" 2 (Rank_index.total t);
+  Alcotest.(check (option int)) "probe below all reals" (Some 3)
+    (Rank_index.rank_of_value t 0.1);
+  let w = Rank_index.select_rank t ~lo:1 ~hi:10 ~resolve:Fun.id ~tie_cmp:id_cmp in
+  Alcotest.(check (list int)) "window skips NaN entries" [ 1; 3 ]
+    (List.map (fun (tuple, _) -> id_of tuple) w);
+  List.iter
+    (fun (_, s) ->
+      Alcotest.(check bool) "window scores are real" false (Float.is_nan s))
+    w
+
+let test_select_rank_canonical_ties () =
+  (* Insertion order scrambled; descending canonical order is
+     0.9:{1,5}  0.7:{3}  0.5:{0,2,4}. *)
+  let t = rank_tree [ 0.5; 0.9; 0.5; 0.7; 0.5; 0.9 ] in
+  Alcotest.(check (list int)) "full window in canonical tie order"
+    [ 1; 5; 3; 0; 2; 4 ] (window t ~lo:1 ~hi:6);
+  Alcotest.(check (list int)) "window splitting a tie block is deterministic"
+    [ 0; 2 ] (window t ~lo:4 ~hi:5);
+  Alcotest.(check (list int)) "bounds clamp to the live entries"
+    [ 1; 5; 3; 0; 2; 4 ] (window t ~lo:0 ~hi:100);
+  Alcotest.(check (list int)) "inverted window" [] (window t ~lo:5 ~hi:4);
+  Alcotest.(check (list int)) "window past the end" [] (window t ~lo:7 ~hi:9)
+
+let prop_select_rank_matches_oracle =
+  QCheck.Test.make
+    ~name:"rank_index: window = sorted-slice oracle" ~count:120
+    QCheck.(
+      triple (int_range 0 10_000) (int_range 0 60)
+        (pair (int_range 1 20) (int_range 0 10)))
+    (fun (seed, n, (lo, span)) ->
+      let prng = Rkutil.Prng.create seed in
+      (* Quantized scores force plenty of tie blocks. *)
+      let scores =
+        List.init n (fun _ -> float_of_int (Rkutil.Prng.int prng 8) /. 4.0)
+      in
+      let t = rank_tree scores in
+      let hi = lo + span in
+      let want =
+        List.mapi (fun i s -> (i, s)) scores
+        |> List.sort (fun (i1, s1) (i2, s2) ->
+               match Float.compare s2 s1 with 0 -> compare i1 i2 | c -> c)
+        |> List.filteri (fun i _ -> i >= lo - 1 && i <= hi - 1)
+        |> List.map fst
+      in
+      window t ~lo ~hi = want
+      && Rank_index.rank_of_value t 0.5
+         = Some (1 + List.length (List.filter (fun s -> s > 0.5) scores)))
+
 let suites =
   [
     ( "storage.btree",
@@ -271,5 +393,16 @@ let suites =
         Alcotest.test_case "io charged" `Quick test_io_charged;
         QCheck_alcotest.to_alcotest prop_model_based;
         QCheck_alcotest.to_alcotest prop_scan_desc_is_reverse_asc;
+        QCheck_alcotest.to_alcotest prop_delete_scan_visits;
+      ] );
+    ( "storage.rank_index",
+      [
+        Alcotest.test_case "rank_of_value on tie blocks" `Quick
+          test_rank_of_value_ties;
+        Alcotest.test_case "NaN excluded from ranks" `Quick
+          test_rank_nan_excluded;
+        Alcotest.test_case "canonical tie order in windows" `Quick
+          test_select_rank_canonical_ties;
+        QCheck_alcotest.to_alcotest prop_select_rank_matches_oracle;
       ] );
   ]

@@ -215,6 +215,34 @@ let test_mutation_pl12 () =
        (Lint.Rules.check_enumerate_bit ~path:"plan:root" ~query
           ~recomputed:false false))
 
+(* PL13: a by-rank scan's window and index justification. *)
+let test_mutation_pl13 () =
+  let cat = setup () in
+  let rank ?(lo = 1) ?(hi = 10) index =
+    Plan.Rank_index_scan { table = "A"; index; score = score "A"; lo; hi }
+  in
+  let lint p = Lint.Rules.rank_rule cat (Lint.Walk.derive cat p) in
+  expect_only "PL13-rank" (lint (rank ~lo:0 (Some "A_score")));
+  expect_only "PL13-rank" (lint (rank ~lo:8 ~hi:3 None));
+  expect_only "PL13-rank" (lint (rank (Some "A_missing")));
+  (* A real index on the right table, keyed on A.key instead of the
+     claimed score. *)
+  expect_only "PL13-rank" (lint (rank (Some "A_key")));
+  Alcotest.(check int)
+    "counted descent lints clean" 0
+    (List.length (lint (rank (Some "A_score"))));
+  Alcotest.(check int)
+    "sort fallback needs no index" 0
+    (List.length (lint (rank None)));
+  (* The optimizer's own rank-range output is clean under the full catalog. *)
+  let query =
+    Logical.make
+      ~relations:[ Logical.base ~score:(score "A") "A" ]
+      ~joins:[] ~rank_range:(2, 9) ()
+  in
+  expect_clean "rank-range planned statement"
+    (Lint.Engine.lint_planned (Optimizer.optimize cat query))
+
 (* --- zero false positives ------------------------------------------- *)
 
 let test_optimizer_output_clean () =
@@ -265,7 +293,7 @@ let test_fuzz_corpus_clean () =
 
 let test_catalog_complete () =
   let ids = List.map fst Lint.Rules.catalog in
-  Alcotest.(check int) "twelve rules" 12 (List.length ids);
+  Alcotest.(check int) "thirteen rules" 13 (List.length ids);
   Alcotest.(check bool)
     "distinct ids" true
     (List.length (List.sort_uniq String.compare ids) = List.length ids)
@@ -299,6 +327,8 @@ let suites =
         Alcotest.test_case "PL09 tampered Top-k" `Quick test_mutation_pl09;
         Alcotest.test_case "PL10 bad cache entry" `Quick test_mutation_pl10;
         Alcotest.test_case "PL12 Enumerate-bit flip" `Quick test_mutation_pl12;
+        Alcotest.test_case "PL13 by-rank justification" `Quick
+          test_mutation_pl13;
       ] );
     ( "lint.clean",
       [

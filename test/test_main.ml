@@ -16,7 +16,8 @@ let () =
          Test_core_optimizer.suites;
          Test_sqlfront.suites
          @ [ Test_sqlfront.group_by_suite; Test_sqlfront.with_form_suite;
-             Test_sqlfront.dml_suite; Test_sqlfront.update_suite ];
+             Test_sqlfront.dml_suite; Test_sqlfront.update_suite;
+             Test_sqlfront.rank_window_suite ];
          Test_unclustered.suites;
          Test_aggregate.suites;
          Test_baselines.suites;

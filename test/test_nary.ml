@@ -218,7 +218,9 @@ let star_query ?(k = 10) () =
 
 let rec plan_has_nary = function
   | Core.Plan.Nary_rank_join _ -> true
-  | Core.Plan.Table_scan _ | Core.Plan.Index_scan _ -> false
+  | Core.Plan.Table_scan _ | Core.Plan.Index_scan _ | Core.Plan.Rank_index_scan _
+    ->
+      false
   | Core.Plan.Filter { input; _ }
   | Core.Plan.Sort { input; _ }
   | Core.Plan.Top_k { input; _ }

@@ -114,6 +114,7 @@ let inlj_filter_case =
             Compare (Eq, col "T0" "key", col "T1" "key");
             Compare (Ge, col "T0" "score", Number 0.25);
           ];
+        rank_between = None;
         group_by = [];
         order_by =
           Some
@@ -162,6 +163,7 @@ let empty_input_case =
         select = [ Star ];
         from = [ "T0"; "T1" ];
         where = [ Compare (Eq, col "T0" "key", col "T1" "key") ];
+        rank_between = None;
         group_by = [];
         order_by =
           Some (Binop (Add, col "T0" "score", col "T1" "score"), Desc);
@@ -225,6 +227,47 @@ let test_enum_case_coverage () =
    so check the mechanics on the generator side: shrinking a passing case
    is the identity (nothing to minimize), and shrunk output of any case
    stays well-formed. *)
+let test_rank_fixed_seed_sweep () =
+  let outcome = Rankcheck.run_rank ~seed:0 ~cases:50 () in
+  (match outcome.Rankcheck.o_failures with f :: _ -> fail_on f | [] -> ());
+  Alcotest.(check int) "cases" 50 outcome.Rankcheck.o_cases;
+  (* Both physical variants plus the SQL path per case. *)
+  Alcotest.(check int) "window executions" 150 outcome.Rankcheck.o_plans
+
+(* Rank cases must exercise the corners the mode exists for: tie blocks
+   (1/8-grid scores), NaN rows, residual filters, and windows overshooting
+   the table. *)
+let test_rank_case_coverage () =
+  let cases = List.init 80 Rankcheck.rank_case in
+  let has pred = List.exists pred cases in
+  let rows c =
+    List.concat_map (fun t -> t.Rankcheck.t_rows) c.Rankcheck.c_tables
+  in
+  Alcotest.(check bool) "single scored table" true
+    (List.for_all (fun c -> List.length c.Rankcheck.c_tables = 1) cases);
+  Alcotest.(check bool) "every case carries a window" true
+    (List.for_all
+       (fun c -> c.Rankcheck.c_query.Sqlfront.Ast.rank_between <> None)
+       cases);
+  Alcotest.(check bool) "some NaN-scored rows" true
+    (has (fun c -> List.exists (fun (_, _, s) -> Float.is_nan s) (rows c)));
+  Alcotest.(check bool) "some tie blocks" true
+    (has (fun c ->
+         let scores =
+           List.filter_map
+             (fun (_, _, s) -> if Float.is_nan s then None else Some s)
+             (rows c)
+         in
+         List.length (List.sort_uniq Float.compare scores)
+         < List.length scores));
+  Alcotest.(check bool) "some residual filters" true
+    (has (fun c -> c.Rankcheck.c_query.Sqlfront.Ast.where <> []));
+  Alcotest.(check bool) "some windows overshoot the table" true
+    (has (fun c ->
+         match c.Rankcheck.c_query.Sqlfront.Ast.rank_between with
+         | Some (_, hi) -> hi > List.length (rows c)
+         | None -> false))
+
 let test_shrink_wellformed () =
   let case = Rankcheck.gen_case 42 in
   let shrunk = Rankcheck.shrink case in
@@ -247,6 +290,9 @@ let suites =
         Alcotest.test_case "enum-mode sweep (0..39)" `Slow
           test_enum_fixed_seed_sweep;
         Alcotest.test_case "enum-case coverage" `Quick test_enum_case_coverage;
+        Alcotest.test_case "rank-mode sweep (0..49)" `Slow
+          test_rank_fixed_seed_sweep;
+        Alcotest.test_case "rank-case coverage" `Quick test_rank_case_coverage;
         Alcotest.test_case "shrink well-formed" `Quick test_shrink_wellformed;
       ] );
   ]

@@ -516,6 +516,75 @@ let test_cursor_stale_after_dml () =
     (List.length f.Server.Service.rows);
   Server.Service.close_session s
 
+(* Per-table epochs: DML against a table a statement never reads must not
+   stale its cursor or invalidate its cached plan. Regression for the
+   catalog-wide epoch, under which any write anywhere killed every open
+   cursor and cached plan. *)
+let test_per_table_epoch_isolation () =
+  let cat = mk_catalog [ "A"; "B"; "C" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  (match Server.Service.prepare s ~name:"q" join_sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  ignore (get_reply (Server.Service.execute_prepared s ~k:3 "q"));
+  (* Writes to C — not among the statement's FROM tables. *)
+  ignore (get_reply (Server.Service.query s "INSERT INTO C VALUES (9999, 1, 0.5)"));
+  let f = get_reply (Server.Service.fetch s ~name:"q" 2) in
+  Alcotest.(check int) "cursor survives unrelated DML" 2
+    (List.length f.Server.Service.rows);
+  let r = get_reply (Server.Service.execute_prepared s ~k:3 "q") in
+  Alcotest.(check bool) "cached plan survives unrelated DML" true
+    r.Server.Service.cached;
+  (* Writes to A — one of its own tables — must still invalidate both. *)
+  ignore (get_reply (Server.Service.query s "INSERT INTO A VALUES (9998, 1, 0.5)"));
+  (match Server.Service.fetch s ~name:"q" 2 with
+  | Error Server.Service.Cursor_stale -> ()
+  | Ok _ -> Alcotest.fail "DML on the cursor's own table must stale it"
+  | Error e -> Alcotest.fail ("own-table DML: " ^ Server.Service.error_code e));
+  let r = get_reply (Server.Service.execute_prepared s ~k:3 "q") in
+  Alcotest.(check bool) "own-table DML invalidates the cached plan" false
+    r.Server.Service.cached;
+  Server.Service.close_session s
+
+(* RANK <table>.<column> OF <value>: protocol parse plus the inline
+   order-statistic probe. *)
+let test_rank_probe () =
+  (match Server.Protocol.parse_command "RANK A.score OF 0.5" with
+  | Ok (Server.Protocol.Rank { table = "A"; column = "score"; value }) ->
+      Alcotest.(check (float 0.0)) "value" 0.5 value
+  | Ok _ -> Alcotest.fail "expected Rank"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool)
+    "RANK without OF rejected" true
+    (Result.is_error (Server.Protocol.parse_command "RANK A.score 0.5"));
+  Alcotest.(check bool)
+    "RANK without a dotted column rejected" true
+    (Result.is_error (Server.Protocol.parse_command "RANK A OF 0.5"));
+  let cat = mk_catalog ~n:50 [ "A" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  let probe v = Server.Service.rank_probe s ~table:"A" ~column:"score" v in
+  (match probe 2.0 with
+  | Ok (rank, total) ->
+      Alcotest.(check (option int)) "above every score" (Some 1) rank;
+      Alcotest.(check int) "total counts ranked entries" 50 total
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  (match probe (-1.0) with
+  | Ok (rank, _) ->
+      Alcotest.(check (option int)) "below every score" (Some 51) rank
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  (match probe Float.nan with
+  | Ok (rank, _) -> Alcotest.(check (option int)) "NaN probe" None rank
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  (match Server.Service.rank_probe s ~table:"Z" ~column:"score" 0.5 with
+  | Error (Server.Service.Bind_error _) -> ()
+  | _ -> Alcotest.fail "unknown table must be a bind error");
+  (match Server.Service.rank_probe s ~table:"A" ~column:"id" 0.5 with
+  | Error (Server.Service.Plan_error _) -> ()
+  | _ -> Alcotest.fail "column without a rank index must be a plan error");
+  Server.Service.close_session s
+
 (* Satellite hammer: deadlines firing mid-FETCH (and pre-expired ones)
    must surface as TIMEOUT without wedging the worker pool — afterwards
    the same service must still plan, execute, and fetch normally. *)
@@ -615,6 +684,10 @@ let suites =
           test_cursor_fetch_prefix;
         Alcotest.test_case "stats-epoch bump stales the cursor" `Quick
           test_cursor_stale_after_dml;
+        Alcotest.test_case "per-table epochs isolate unrelated DML" `Quick
+          test_per_table_epoch_isolation;
+        Alcotest.test_case "RANK probe: parse + order-statistic descent"
+          `Quick test_rank_probe;
         Alcotest.test_case "deadline mid-FETCH does not wedge the pool" `Slow
           test_cursor_deadline_hammer;
       ] );

@@ -762,6 +762,123 @@ let prop_dml_matches_model =
       in
       List.sort compare actual = List.sort compare !model)
 
+(* --- rank() BETWEEN windows --- *)
+
+let test_parse_rank_window () =
+  let q =
+    Sqlfront.Parser.parse
+      "SELECT * FROM A WHERE A.key >= 3 AND rank() BETWEEN 2 AND 9 ORDER BY \
+       A.score DESC"
+  in
+  Alcotest.(check (option (pair int int)))
+    "window" (Some (2, 9)) q.Sqlfront.Ast.rank_between;
+  Alcotest.(check int) "residual conjunct survives" 1
+    (List.length q.Sqlfront.Ast.where);
+  (* The canonical print puts the window first among the WHERE conjuncts
+     (plan-cache keys depend on it) and is a re-parse fixed point. *)
+  let printed = Format.asprintf "%a" Sqlfront.Ast.pp_query q in
+  let q2 = Sqlfront.Parser.parse printed in
+  Alcotest.(check (option (pair int int)))
+    "window round-trips" (Some (2, 9)) q2.Sqlfront.Ast.rank_between;
+  Alcotest.(check int) "conjunct round-trips" 1
+    (List.length q2.Sqlfront.Ast.where);
+  Alcotest.(check string) "canonical print is a fixed point" printed
+    (Format.asprintf "%a" Sqlfront.Ast.pp_query q2)
+
+let test_parse_rank_window_errors () =
+  List.iter
+    (fun sql ->
+      match Sqlfront.Parser.parse_result sql with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected parse failure: %s" sql)
+    [
+      (* Inverted and 0-based windows are rejected at parse time. *)
+      "SELECT * FROM A WHERE rank() BETWEEN 9 AND 2 ORDER BY A.score DESC";
+      "SELECT * FROM A WHERE rank() BETWEEN 0 AND 3 ORDER BY A.score DESC";
+      "SELECT * FROM A WHERE rank() BETWEEN 1.5 AND 3 ORDER BY A.score DESC";
+      "SELECT * FROM A WHERE rank() BETWEEN 1 AND 3 AND rank() BETWEEN 2 \
+       AND 4 ORDER BY A.score DESC";
+      "SELECT * FROM A WHERE rank() BETWEEN 1 ORDER BY A.score DESC";
+    ]
+
+let test_bind_rank_window_errors () =
+  let cat = setup () in
+  List.iter
+    (fun sql ->
+      match Sqlfront.Sql.query cat sql with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "expected bind failure: %s" sql)
+    [
+      "SELECT * FROM A, B WHERE A.key = B.key AND rank() BETWEEN 1 AND 5 \
+       ORDER BY A.score DESC";
+      "SELECT * FROM A WHERE rank() BETWEEN 1 AND 5 ORDER BY A.score ASC";
+      "SELECT * FROM A WHERE rank() BETWEEN 1 AND 5";
+      "SELECT COUNT(*) AS n FROM A WHERE rank() BETWEEN 1 AND 5 ORDER BY \
+       A.score DESC";
+    ]
+
+(* The window must be exactly rows lo..hi of the full descending order,
+   and a projected rank() must number from lo. *)
+let test_sql_rank_window_end_to_end () =
+  let cat = setup () in
+  let full_ids =
+    match
+      Sqlfront.Sql.query cat "SELECT id FROM A ORDER BY A.score DESC LIMIT 8"
+    with
+    | Ok ans ->
+        List.map (fun tu -> Value.to_int (Tuple.get tu 0)) ans.Sqlfront.Sql.rows
+    | Error e -> Alcotest.failf "full scan failed: %s" e
+  in
+  match
+    Sqlfront.Sql.query cat
+      "SELECT rank() AS r, A.id FROM A WHERE rank() BETWEEN 4 AND 8 ORDER BY \
+       A.score DESC"
+  with
+  | Error e -> Alcotest.failf "rank window failed: %s" e
+  | Ok ans ->
+      Alcotest.(check (list string)) "columns" [ "r"; "id" ]
+        ans.Sqlfront.Sql.columns;
+      Test_util.check_non_increasing "window ordered" ans.Sqlfront.Sql.scores;
+      Alcotest.(check (list int))
+        "rank() numbers from lo" [ 4; 5; 6; 7; 8 ]
+        (List.map (fun tu -> Value.to_int (Tuple.get tu 0)) ans.Sqlfront.Sql.rows);
+      Alcotest.(check (list int))
+        "window = slice 4..8 of the full descending order"
+        (List.filteri (fun i _ -> i >= 3) full_ids)
+        (List.map (fun tu -> Value.to_int (Tuple.get tu 1)) ans.Sqlfront.Sql.rows)
+
+let test_sql_rank_window_residual_filter () =
+  let cat = setup () in
+  (* The window is computed over the whole table; the residual predicate
+     prunes within it, so row counts can only shrink. *)
+  match
+    Sqlfront.Sql.query cat
+      "SELECT A.id, A.key FROM A WHERE rank() BETWEEN 1 AND 20 AND A.key <= \
+       5 ORDER BY A.score DESC"
+  with
+  | Error e -> Alcotest.failf "filtered window failed: %s" e
+  | Ok ans ->
+      Alcotest.(check bool) "at most the window" true
+        (List.length ans.Sqlfront.Sql.rows <= 20);
+      List.iter
+        (fun tu ->
+          Alcotest.(check bool) "filter applied" true
+            (Value.to_int (Tuple.get tu 1) <= 5))
+        ans.Sqlfront.Sql.rows
+
+let rank_window_suite =
+  ( "sqlfront.rank_window",
+    [
+      Alcotest.test_case "parse + canonical round-trip" `Quick
+        test_parse_rank_window;
+      Alcotest.test_case "parse errors" `Quick test_parse_rank_window_errors;
+      Alcotest.test_case "bind errors" `Quick test_bind_rank_window_errors;
+      Alcotest.test_case "window = slice of full order" `Quick
+        test_sql_rank_window_end_to_end;
+      Alcotest.test_case "residual filter prunes within window" `Quick
+        test_sql_rank_window_residual_filter;
+    ] )
+
 let update_suite =
   ( "sqlfront.update",
     [
