@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-perf bench-anyk bench-leaderboard bench-smoke fuzz lint serve-smoke ci clean
+.PHONY: all build test bench bench-perf bench-anyk bench-leaderboard bench-shard bench-smoke fuzz lint serve-smoke shard-smoke ci clean
 
 all: build
 
@@ -43,10 +43,19 @@ bench-anyk: build
 bench-leaderboard: build
 	dune exec bench/main.exe -- leaderboard
 
+# Distributed top-k over an in-process shard cluster: coordinator
+# scatter/gather wall time vs single-node, plus per-shard observed depth
+# against the pushed k' bound (threshold-style early termination must pull
+# strictly fewer rows than draining every shard to k'). Appends one JSON
+# row to BENCH_RANKOPT.json.
+bench-shard: build
+	dune exec bench/main.exe -- shard
+
 # Reduced-size subset (<30s): prints the rows but does NOT append, so
 # `make ci` stays clean-tree.
 bench-smoke: build
-	dune exec bench/main.exe -- perf-smoke anyk-smoke leaderboard-smoke
+	dune exec bench/main.exe -- perf-smoke anyk-smoke leaderboard-smoke \
+	  shard-smoke
 
 # Static plan analysis (planlint): run the rule catalog (PL01..PL13) over
 # the example query corpus and over a fixed slice of the fuzz corpus,
@@ -69,13 +78,23 @@ lint: build
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
+# End-to-end smoke test of the sharded coordinator: `rankopt serve
+# --shards 2`, a scripted client session (scattered top-k with per-shard
+# depths, rank window, SHARD LIST, routed INSERT + re-query, SHARD ADD
+# repartition) and assertions on the protocol replies.
+shard-smoke: build
+	sh scripts/shard_smoke.sh
+
 # What CI runs: a full build + test pass, the static plan lint, the
-# server smoke test, the perf smoke subset, and a short 2-domain
-# degree-sweep hammer (parallel execution must match serial exactly),
-# then verify the working tree is clean (catches build artifacts or
-# generated files accidentally committed, and formatter/codegen drift).
-ci: build test lint serve-smoke bench-smoke
+# server and shard-coordinator smoke tests, the perf smoke subset, a
+# short 2-domain degree-sweep hammer (parallel execution must match
+# serial exactly) and a short sharded differential sweep (scattered
+# execution must match single-node tuple-exactly), then verify the
+# working tree is clean (catches build artifacts or generated files
+# accidentally committed, and formatter/codegen drift).
+ci: build test lint serve-smoke shard-smoke bench-smoke
 	dune exec bin/rankopt.exe -- fuzz --degree 2 --seed 0 --cases 200
+	dune exec bin/rankopt.exe -- fuzz --shard 4 --seed 0 --cases 50
 	@status=$$(git status --porcelain); \
 	if [ -n "$$status" ]; then \
 	  echo "ci: working tree not clean after build+test:"; \

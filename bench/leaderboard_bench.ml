@@ -58,10 +58,11 @@ let measure_windows cat ~n ~windows prng =
     let hi = lo + page - 1 in
     let by_rank =
       Core.Plan.Rank_index_scan
-        { table = "L"; index = Some "L_score"; score; lo; hi }
+        { table = "L"; index = Some "L_score"; score; lo; hi; dense = false }
     in
     let by_sort =
-      Core.Plan.Rank_index_scan { table = "L"; index = None; score; lo; hi }
+      Core.Plan.Rank_index_scan
+        { table = "L"; index = None; score; lo; hi; dense = false }
     in
     let ti, rows_i = wall (fun () -> run by_rank) in
     let ts, rows_s = wall (fun () -> run by_sort) in

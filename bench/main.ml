@@ -34,6 +34,8 @@ let experiments =
     ("anyk-smoke", fun () -> Anyk_bench.run ~smoke:true ());
     ("leaderboard", fun () -> Leaderboard_bench.run ());
     ("leaderboard-smoke", fun () -> Leaderboard_bench.run ~smoke:true ());
+    ("shard", fun () -> Shard_bench.run ());
+    ("shard-smoke", fun () -> Shard_bench.run ~smoke:true ());
   ]
 
 let usage () =

@@ -1,0 +1,128 @@
+(* Distributed top-k: coordinator scatter/gather vs single-node execution.
+
+   The early-out regime the sharded coordinator exists for: a ranked join
+   over tables hash-co-partitioned on the join key, answered by scattering
+   a bounded per-shard subquery (k' = k under hash partitioning — any one
+   shard could hold every winner) and merging the shard streams with a
+   threshold-style bound. The coordinator pulls batches of roughly k/N + 8
+   rows per shard and never fetches again from a shard whose stream upper
+   bound has fallen out of the merge race, so the per-shard observed depth
+   stays near k/N while the pushed bound — the full drain a naive gather
+   would pay — is k on every shard.
+
+   Reported:
+   - single-node wall time for the same statement over an identical
+     (unpartitioned) catalog — the no-cluster baseline;
+   - coordinator wall time (Unix-socket links, WIRE HEX rows) with the
+     scatter plan warm in the cache;
+   - per-shard observed depth vs the pushed k' bound, and the total rows
+     pulled vs the shards*k a drain-every-shard gather would fetch.
+
+   Correctness gate: the merged score sequence must match the single-node
+   answer to within float association jitter. Appends one JSON row to
+   BENCH_RANKOPT.json (smoke mode prints without appending, so `make ci`
+   stays clean-tree). *)
+
+let bench_file = "BENCH_RANKOPT.json"
+
+let sql_of_k k =
+  Printf.sprintf
+    "SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.5*A.score + \
+     0.5*B.score DESC LIMIT %d"
+    k
+
+let ok_or what = function
+  | Ok r -> r
+  | Error e -> failwith (what ^ ": " ^ Server.Service.error_message e)
+
+let scores_close a b =
+  Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+
+let run ?(smoke = false) () =
+  Bench_util.section "shard: distributed top-k scatter/gather early-out";
+  let n = if smoke then 2000 else 16000 in
+  let shards = 4 in
+  let k = if smoke then 20 else 100 in
+  let iters = if smoke then 3 else 20 in
+  let domain = 200 in
+  let sql = sql_of_k k in
+  (* Two catalogs built from the same seeds: one becomes the cluster's
+     mirror (and is fanned out to the shards), the other stays whole for
+     the single-node baseline. *)
+  let mirror = Bench_util.two_table_catalog ~n ~domain ~seed:42 () in
+  let whole = Bench_util.two_table_catalog ~n ~domain ~seed:42 () in
+  (* Warm the whole-catalog side, then time it. *)
+  let single_ans =
+    match Sqlfront.Sql.query whole sql with
+    | Ok a -> a
+    | Error e -> failwith ("shard bench single-node: " ^ e)
+  in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    match Sqlfront.Sql.query whole sql with
+    | Ok _ -> ()
+    | Error e -> failwith ("shard bench single-node: " ^ e)
+  done;
+  let single_s = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  let config = { Server.Service.default_config with workers = 1 } in
+  let cluster = Shard.Cluster.start ~config ~n:shards mirror in
+  Fun.protect ~finally:(fun () -> Shard.Cluster.stop cluster) @@ fun () ->
+  let coord = Shard.Cluster.coordinator cluster in
+  let ses = Shard.Coordinator.open_session coord in
+  Fun.protect ~finally:(fun () -> Shard.Coordinator.close_session ses)
+  @@ fun () ->
+  (* Warm the scatter-plan cache, then time the steady state. *)
+  let reply = ok_or "coordinator query" (Shard.Coordinator.query ses sql) in
+  if not reply.Shard.Coordinator.scattered then
+    failwith "shard bench: statement was not scattered";
+  let t0 = Unix.gettimeofday () in
+  let last = ref reply in
+  for _ = 1 to iters do
+    last := ok_or "coordinator query" (Shard.Coordinator.query ses sql)
+  done;
+  let coord_s = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+  let reply = !last in
+  let depths = reply.Shard.Coordinator.depths in
+  let depth_sum = Array.fold_left ( + ) 0 depths in
+  let depth_max = Array.fold_left max 0 depths in
+  let naive_pull = shards * k in
+  let early_out = depth_max < k && depth_sum < naive_pull in
+  let correct =
+    List.length reply.Shard.Coordinator.scores = List.length single_ans.scores
+    && List.for_all2 scores_close reply.Shard.Coordinator.scores
+         single_ans.scores
+  in
+  Bench_util.row "%-28s %12s %12s\n" "" "single-node" "coordinator";
+  Bench_util.row "%-28s %11.4fs %11.4fs\n" "statement wall time" single_s
+    coord_s;
+  Array.iteri
+    (fun i d ->
+      Bench_util.row "%-28s %12s %7d / %d\n"
+        (Printf.sprintf "shard %d observed depth" i)
+        "" d k)
+    depths;
+  Bench_util.row
+    "total rows pulled %d of %d a full per-shard drain would fetch%s%s\n"
+    depth_sum naive_pull
+    (if early_out then "" else "  [NO EARLY-OUT]")
+    (if correct then "" else "  [SCORES DIVERGE]");
+  let row =
+    Printf.sprintf
+      "{\"bench\":\"shard\",\"n\":%d,\"k\":%d,\"shards\":%d,\"cores\":%d,\
+       \"scattered\":true,\"depths\":[%s],\"depth_sum\":%d,\"depth_max\":%d,\
+       \"pushed_k\":%d,\"naive_pull\":%d,\"early_out\":%b,\
+       \"single_s\":%.4f,\"coord_s\":%.4f,\"correct\":%b}"
+      n k shards
+      (Domain.recommended_domain_count ())
+      (String.concat ","
+         (Array.to_list (Array.map string_of_int depths)))
+      depth_sum depth_max k naive_pull early_out single_s coord_s correct
+  in
+  print_endline row;
+  if not smoke then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 bench_file in
+    output_string oc row;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(1 row appended to %s)\n" bench_file
+  end

@@ -245,7 +245,7 @@ let endpoint_of socket port host =
 
 let serve_cmd =
   let run verbose tables seed pool from_dir socket port host workers queue
-      cache timeout dop =
+      cache timeout dop shards partition =
     setup_logs verbose;
     let catalog = build_catalog ?from_dir tables seed pool in
     let config =
@@ -258,12 +258,28 @@ let serve_cmd =
       }
     in
     let endpoint = endpoint_of socket port host in
-    let listener = Server.Listener.start ~config endpoint catalog in
-    Format.printf "rankopt serve: listening on %a (%d worker domain(s))@."
-      Server.Listener.pp_endpoint endpoint workers;
-    Server.Listener.wait listener;
-    Format.printf "rankopt serve: shut down@.";
-    `Ok ()
+    if shards >= 2 then begin
+      let cluster = Shard.Cluster.start ~config ?spec:partition ~n:shards catalog in
+      let frontend = Shard.Frontend.start cluster endpoint in
+      let part = Shard.Coordinator.part (Shard.Cluster.coordinator cluster) in
+      Format.printf
+        "rankopt serve: coordinating %d shard(s) on %a (%s partitioning)@."
+        (Shard.Cluster.n_shards cluster)
+        Server.Listener.pp_endpoint endpoint
+        (Shard.Partition.describe part);
+      Shard.Frontend.wait frontend;
+      Shard.Cluster.stop cluster;
+      Format.printf "rankopt serve: shut down@.";
+      `Ok ()
+    end
+    else begin
+      let listener = Server.Listener.start ~config endpoint catalog in
+      Format.printf "rankopt serve: listening on %a (%d worker domain(s))@."
+        Server.Listener.pp_endpoint endpoint workers;
+      Server.Listener.wait listener;
+      Format.printf "rankopt serve: shut down@.";
+      `Ok ()
+    end
   in
   let workers_arg =
     let doc = "Worker domains executing queries." in
@@ -289,11 +305,33 @@ let serve_cmd =
     in
     Arg.(value & opt int 1 & info [ "dop" ] ~docv:"N" ~doc)
   in
+  let shards_arg =
+    let doc =
+      "Coordinator mode: partition the catalog across N in-process engine \
+       shards (each its own service behind a private socket) and serve \
+       through the rank-aware scatter/gather coordinator. Ranked \
+       statements are pushed to the shards with a per-shard bound k' and \
+       merged with threshold-style early termination; replies carry \
+       scattered=1 and per-shard observed depths. SHARD LIST / SHARD ADD \
+       become live."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let partition_arg =
+    let doc =
+      "Partitioning spec for --shards: 'hash' (stable hash of each \
+       table's key column), 'hash:COL', or 'range:COL' (equi-depth \
+       score ranges)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "partition" ] ~docv:"SPEC" ~doc)
+  in
   let doc =
     "Run the multi-session query service: a line protocol (PREPARE / \
      EXECUTE k / QUERY / EXPLAIN / STATS / SHUTDOWN) over a Unix or TCP \
      socket, executing on a pool of worker domains behind a rank-aware \
-     (k-interval) plan cache."
+     (k-interval) plan cache. With --shards N, run as a distributed \
+     top-k coordinator over N partitioned engine shards instead."
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
@@ -301,7 +339,7 @@ let serve_cmd =
       ret
         (const run $ verbose_arg $ tables_arg $ seed_arg $ pool_arg $ from_arg
        $ socket_arg $ port_arg $ host_arg $ workers_arg $ queue_arg $ cache_arg
-       $ timeout_arg $ dop_arg))
+       $ timeout_arg $ dop_arg $ shards_arg $ partition_arg))
 
 let client_cmd =
   let run socket port host commands =
@@ -351,13 +389,36 @@ let client_cmd =
     Term.(ret (const run $ socket_arg $ port_arg $ host_arg $ commands_arg))
 
 let fuzz_cmd =
-  let run seed cases server_mode enum_mode rank_mode degree =
+  let run seed cases server_mode enum_mode rank_mode degree shard =
     let t0 = Unix.gettimeofday () in
     let progress i =
       if cases > 20 && i > 0 && i mod 50 = 0 then
         Printf.eprintf "rankcheck: %d/%d cases...\n%!" i cases
     in
     let mode, outcome =
+      match shard with
+      | Some n when n >= 2 ->
+          ( Printf.sprintf " (shard mode, %d shards)" n,
+            Check.Rankcheck.run_shard ~progress ~seed ~cases ~shards:n () )
+      | Some n ->
+          ( "",
+            {
+              Check.Rankcheck.o_cases = 0;
+              o_plans = 0;
+              o_failures =
+                [
+                  {
+                    Check.Rankcheck.f_seed = seed;
+                    f_reason =
+                      Printf.sprintf "--shard %d: shard count must be >= 2" n;
+                    f_plan = None;
+                    f_case = Check.Rankcheck.gen_case seed;
+                    f_replay =
+                      Printf.sprintf "rankopt fuzz --shard 2 --seed %d" seed;
+                  };
+                ];
+            } )
+      | None -> (
       match degree with
       | Some d when d >= 2 ->
           ( Printf.sprintf " (degree %d)" d,
@@ -387,7 +448,7 @@ let fuzz_cmd =
             (" (enum mode)", Check.Rankcheck.run_enum ~progress ~seed ~cases ())
           else if server_mode then
             (" (server mode)", Check.Rankcheck.run_server ~progress ~seed ~cases ())
-          else ("", Check.Rankcheck.run ~progress ~seed ~cases ())
+          else ("", Check.Rankcheck.run ~progress ~seed ~cases ()))
     in
     let dt = Unix.gettimeofday () -. t0 in
     List.iter
@@ -399,7 +460,8 @@ let fuzz_cmd =
       mode outcome.Check.Rankcheck.o_cases seed
       (seed + cases - 1)
       outcome.Check.Rankcheck.o_plans
-      (if rank_mode && degree = None then "window executions"
+      (if shard <> None then "sharded statements"
+       else if rank_mode && degree = None then "window executions"
        else if enum_mode && degree = None then "fetch prefixes"
        else if server_mode && degree = None then "server executions"
        else if degree <> None then "degree executions"
@@ -451,6 +513,18 @@ let fuzz_cmd =
     in
     Arg.(value & opt (some int) None & info [ "degree" ] ~docv:"N" ~doc)
   in
+  let shard_arg =
+    let doc =
+      "Distributed-coordinator sweep: run each generated top-k join both \
+       on a single node and through an in-process cluster of N engine \
+       shards hash-partitioned on the join key (scatter with a per-shard \
+       bound, threshold-style gather merge), requiring the single-node \
+       score sequence and tuple-exact rows (boundary ties may resolve to \
+       any member of the k-th-score group); a routed INSERT through the \
+       coordinator then re-checks the query against the mutated data."
+    in
+    Arg.(value & opt (some int) None & info [ "shard" ] ~docv:"N" ~doc)
+  in
   let doc =
     "Differential fuzzing: for each seed, generate random tables and a \
      random top-k query, compare every plan the optimizer can emit against \
@@ -459,14 +533,15 @@ let fuzz_cmd =
      the query service instead; with --enum, sweep cursor-style ranked \
      enumeration against a full-list oracle; with --rank, sweep by-rank \
      windows against a sort-everything oracle; with --degree, sweep \
-     parallel-execution determinism."
+     parallel-execution determinism; with --shard, sweep single-node vs \
+     sharded-coordinator equivalence."
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
       ret
         (const run $ seed_arg $ cases_arg $ server_arg $ enum_arg $ rank_arg
-       $ degree_arg))
+       $ degree_arg $ shard_arg))
 
 (* -- lint: the planlint static analyzer --------------------------------- *)
 

@@ -144,6 +144,7 @@ let gen_case seed =
       from = names;
       where = joins @ filters;
       rank_between = None;
+      rank_dense = false;
       group_by = [];
       order_by = Some (order_expr, Desc);
       limit = Some k;
@@ -475,8 +476,11 @@ let depth_bounds catalog plan =
     (* a gather drains its spine regardless of the consumer's demand *)
     | Core.Plan.Exchange { input; _ } -> walk max_int input
     | Core.Plan.Table_scan _ | Core.Plan.Index_scan _
-    | Core.Plan.Rank_index_scan _ ->
+    | Core.Plan.Rank_index_scan _ | Core.Plan.Remote_scan _ ->
         ()
+    (* distributed nodes never reach the local depth checker: the shard
+       harness compares coordinator output tuple-by-tuple instead *)
+    | Core.Plan.Gather_merge { inputs; _ } -> List.iter (walk max_int) inputs
     | Core.Plan.Join
         {
           algo = (Core.Plan.Hrjn | Core.Plan.Nrjn) as algo;
@@ -1548,6 +1552,9 @@ let rank_case seed =
       from = [ "T0" ];
       where;
       rank_between = Some (lo, hi);
+      (* a third of the corpus exercises dense numbering; the snapped
+         score grid guarantees tie blocks for it to differ on *)
+      rank_dense = Rkutil.Prng.int prng 3 = 0;
       group_by = [];
       order_by =
         Some (Column { table = Some "T0"; name = "score" }, Desc);
@@ -1588,8 +1595,24 @@ let oracle_rank catalog (query : Core.Logical.t) lo hi =
   let lo = max 1 lo in
   let window =
     if hi < lo then []
-    else
+    else if not query.Core.Logical.rank_dense then
       List.filteri (fun i _ -> i >= lo - 1 && i <= hi - 1) ranked
+    else begin
+      (* dense numbering, derived independently of the engine: walk the
+         descending run counting distinct scores *)
+      let _, _, rev =
+        List.fold_left
+          (fun (d, prev, acc) ((_, s) as e) ->
+            let d =
+              match prev with
+              | Some p when Float.compare p s = 0 -> d
+              | _ -> d + 1
+            in
+            (d, Some s, if d >= lo && d <= hi then e :: acc else acc))
+          (0, None, []) ranked
+      in
+      List.rev rev
+    end
   in
   match base.Core.Logical.filter with
   | None -> window
@@ -1638,14 +1661,15 @@ let check_case_rank case : (int, string * string option) result =
             | Some pred -> Core.Plan.Filter { pred; input = access }
             | None -> access
           in
+          let dense = query.Core.Logical.rank_dense in
           let variants =
             [
               wrap
                 (Core.Plan.Rank_index_scan
-                   { table = "T0"; index = Some "T0_score"; score; lo; hi });
+                   { table = "T0"; index = Some "T0_score"; score; lo; hi; dense });
               wrap
                 (Core.Plan.Rank_index_scan
-                   { table = "T0"; index = None; score; lo; hi });
+                   { table = "T0"; index = None; score; lo; hi; dense });
             ]
           in
           let expected_ids = tuple_ids expected in
@@ -1740,3 +1764,219 @@ let run_rank ?(progress = fun _ -> ()) ~seed ~cases () =
     | Error f -> failures := f :: !failures
   done;
   { o_cases = cases; o_plans = !windows; o_failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+(* Shard mode: sharded coordinator vs single node                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Differential check for the scatter/gather coordinator. Each case's
+   top-k join runs once on a single node and once through an in-process
+   cluster of [shards] engine shards hash-partitioned on [key] (the
+   generated queries join exclusively on [key], so every case is
+   co-partitioned and must scatter). The sharded answer must match the
+   full single-node ranked list: score sequence equal to within float
+   association jitter (plan shapes associate the weighted sum
+   differently), tuple-exact rows above the k-th score, and boundary rows drawn
+   from the oracle's k-th-score tie group — the one set where any
+   member is a correct answer on a single node too (Top-N keeps an
+   arbitrary subset of a boundary tie). A routed INSERT then goes
+   through the coordinator and the query re-runs, so mis-routed DML,
+   stale scatter caches and epoch bugs all surface as divergence. *)
+
+let check_case_shard ~shards case : (int, string) result =
+  let catalog = build_catalog case in
+  let tpl = Sqlfront.Sql.template_of_ast case.c_query in
+  let k = Option.value ~default:1 case.c_query.Sqlfront.Ast.limit in
+  let sql = Format.asprintf "%a" Sqlfront.Ast.pp_query case.c_query in
+  (* Single-node oracle: the full ranked list (k larger than any join),
+     from which the expected prefix and boundary tie group are read. *)
+  let direct_full () =
+    match Sqlfront.Sql.instantiate tpl ~k:1_000_000 () with
+    | Error e -> Error ("instantiate: " ^ e)
+    | Ok ast -> (
+        match Sqlfront.Sql.prepare_ast catalog ast with
+        | Error e -> Error ("direct prepare: " ^ e)
+        | Ok p -> (
+            match Sqlfront.Sql.run_prepared catalog p with
+            | Error e -> Error ("direct run: " ^ e)
+            | Ok ans ->
+                if
+                  List.length ans.Sqlfront.Sql.scores
+                  <> List.length ans.Sqlfront.Sql.rows
+                then Error "direct: row/score arity mismatch"
+                else
+                  Ok
+                    ( ans.Sqlfront.Sql.columns,
+                      List.map2
+                        (fun r s -> (r, s))
+                        ans.Sqlfront.Sql.rows ans.Sqlfront.Sql.scores )))
+  in
+  (* [SELECT *] output column order follows the chosen join order, which
+     the two sides may pick differently; compare rows under a
+     name-sorted column permutation. *)
+  let name_perm columns =
+    let cols = List.mapi (fun i c -> (i, c)) columns in
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> String.compare a b) cols
+    in
+    Array.of_list (List.map fst sorted)
+  in
+  let permute perm (tu : Tuple.t) = Array.map (fun i -> tu.(i)) perm in
+  let config = { Server.Service.default_config with workers = 1 } in
+  let cluster = Shard.Cluster.start ~config ~n:shards catalog in
+  Fun.protect ~finally:(fun () -> Shard.Cluster.stop cluster) @@ fun () ->
+  let ses = Shard.Coordinator.open_session (Shard.Cluster.coordinator cluster) in
+  Fun.protect ~finally:(fun () -> Shard.Coordinator.close_session ses)
+  @@ fun () ->
+  let ( let* ) = Result.bind in
+  let tuple_cmp (a, _) (b, _) = Tuple.compare a b in
+  let compare_round label =
+    let* dcols, full = direct_full () in
+    match Shard.Coordinator.query ses sql with
+    | Error e ->
+        Error
+          (Printf.sprintf "%s: coordinator: %s" label
+             (Server.Service.error_message e))
+    | Ok reply ->
+        let fail fmt = Printf.ksprintf (fun m -> Error (label ^ ": " ^ m)) fmt in
+        if not reply.Shard.Coordinator.scattered then
+          fail "co-partitioned top-k did not scatter"
+        else if
+          List.length reply.Shard.Coordinator.scores
+          <> List.length reply.Shard.Coordinator.rows
+        then fail "coordinator row/score arity mismatch"
+        else if
+          List.sort String.compare dcols
+          <> List.sort String.compare reply.Shard.Coordinator.columns
+        then
+          fail "column sets diverge (single node [%s], sharded [%s])"
+            (String.concat "; " dcols)
+            (String.concat "; " reply.Shard.Coordinator.columns)
+        else begin
+          let perm_e = name_perm dcols in
+          let perm_g = name_perm reply.Shard.Coordinator.columns in
+          let got =
+            List.map2
+              (fun r s -> (permute perm_g r, s))
+              reply.Shard.Coordinator.rows reply.Shard.Coordinator.scores
+          in
+          let full = List.map (fun (r, s) -> (permute perm_e r, s)) full in
+          let kk = min k (List.length full) in
+          let expected = List.filteri (fun i _ -> i < kk) full in
+          let rec is_sorted = function
+            | (_, a) :: ((_, b) :: _ as rest) ->
+                Float.compare a b >= 0 && is_sorted rest
+            | _ -> true
+          in
+          if List.length got <> kk then
+            fail "size mismatch: single node %d rows, sharded %d" kk
+              (List.length got)
+          else if not (is_sorted got) then
+            fail "sharded rows not in non-increasing score order"
+          else if
+            (* Different plan shapes associate the weighted score sum
+               differently (rank-join accumulation vs one expression
+               evaluation), so scores agree only to within float
+               association jitter — exactly like the plan-level modes. *)
+            not (List.for_all2 (fun (_, a) (_, b) -> scores_close a b) expected got)
+          then
+            fail "score sequence diverges (single node [%s], sharded [%s])"
+              (String.concat "; "
+                 (List.map
+                    (fun (r, s) -> Printf.sprintf "%s@%h" (Tuple.to_string r) s)
+                    expected))
+              (String.concat "; "
+                 (List.map
+                    (fun (r, s) -> Printf.sprintf "%s@%h" (Tuple.to_string r) s)
+                    got))
+          else begin
+            (* Rows are classified against the k-th score with the same
+               tolerance: strictly-above rows are uniquely determined and
+               must match as a multiset; rows in the boundary band may
+               resolve to any member of the oracle's boundary tie group
+               (single-node Top-N keeps an arbitrary subset of a tie). *)
+            let boundary =
+              match List.rev expected with [] -> None | (_, s) :: _ -> Some s
+            in
+            let strict l =
+              match boundary with
+              | None -> l
+              | Some b ->
+                  List.filter
+                    (fun (_, s) -> s > b && not (scores_close s b)) l
+            in
+            let exp_strict = List.sort tuple_cmp (strict expected) in
+            let got_strict = List.sort tuple_cmp (strict got) in
+            if
+              List.length exp_strict <> List.length got_strict
+              || not
+                   (List.for_all2
+                      (fun (a, _) (b, _) -> Tuple.equal a b)
+                      exp_strict got_strict)
+            then
+              fail "rows above the boundary tie group diverge (single node [%s], sharded [%s])"
+                (String.concat "; "
+                   (List.map (fun (r, _) -> Tuple.to_string r) exp_strict))
+                (String.concat "; "
+                   (List.map (fun (r, _) -> Tuple.to_string r) got_strict))
+            else begin
+              let at_boundary l =
+                match boundary with
+                | None -> []
+                | Some b -> List.filter (fun (_, s) -> scores_close s b) l
+              in
+              let tie_group = at_boundary full in
+              if
+                List.for_all
+                  (fun (r, _) ->
+                    List.exists (fun (r', _) -> Tuple.equal r r') tie_group)
+                  (at_boundary got)
+              then Ok ()
+              else fail "a sharded boundary row is not in the oracle tie group"
+            end
+          end
+        end
+  in
+  try
+    let* () = compare_round "initial" in
+    (* Route an INSERT through the coordinator (mirror first, then the
+       owning shard); key 0 always exists in every join's key domain. *)
+    let* () =
+      match
+        Shard.Coordinator.query ses "INSERT INTO T0 VALUES (100001, 0, 1.75)"
+      with
+      | Error e -> Error ("routed INSERT: " ^ Server.Service.error_message e)
+      | Ok r when r.Shard.Coordinator.affected <> Some 1 ->
+          Error "routed INSERT: expected affected=1"
+      | Ok _ -> Ok ()
+    in
+    let* () = compare_round "after routed INSERT" in
+    Ok 3
+  with e -> Error ("shard-mode raised: " ^ Printexc.to_string e)
+
+let run_case_shard ~shards seed =
+  let case = gen_case seed in
+  match check_case_shard ~shards case with
+  | Ok n -> Ok n
+  | Error reason ->
+      Error
+        {
+          f_seed = seed;
+          f_reason = Printf.sprintf "shard-mode (%d shards): %s" shards reason;
+          f_plan = None;
+          f_case = case;
+          f_replay =
+            Printf.sprintf "rankopt fuzz --shard %d --seed %d --cases 1" shards
+              seed;
+        }
+
+let run_shard ?(progress = fun _ -> ()) ~seed ~cases ~shards () =
+  let failures = ref [] in
+  let checked = ref 0 in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case_shard ~shards (seed + i) with
+    | Ok n -> checked := !checked + n
+    | Error f -> failures := f :: !failures
+  done;
+  { o_cases = cases; o_plans = !checked; o_failures = List.rev !failures }

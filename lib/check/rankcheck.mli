@@ -181,3 +181,26 @@ val run_case_rank : int -> (int, failure) result
 
 val run_rank : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
 (** Like {!run}, but [o_plans] counts window executions compared. *)
+
+(** {2 Shard mode}
+
+    Differential check for the distributed scatter/gather coordinator:
+    each case's top-k join runs on a single node and through an
+    in-process cluster of [shards] engine shards hash-partitioned on
+    [key] (generated joins are always on [key], so every case must
+    scatter). The sharded answer must carry the single-node score
+    sequence (to within float association jitter across plan shapes),
+    tuple-exact rows above the k-th score, and boundary rows
+    drawn from the oracle's k-th-score tie group; a routed [INSERT]
+    through the coordinator followed by a re-query checks DML routing,
+    scatter-cache invalidation and partitioning epochs. This is what
+    [rankopt fuzz --shard N] drives. *)
+
+val check_case_shard : shards:int -> case -> (int, string) result
+(** [Ok n]: [n] sharded statements matched the single-node oracle. *)
+
+val run_case_shard : shards:int -> int -> (int, failure) result
+
+val run_shard :
+  ?progress:(int -> unit) -> seed:int -> cases:int -> shards:int -> unit -> outcome
+(** Like {!run}, but [o_plans] counts sharded statements checked. *)

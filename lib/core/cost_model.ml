@@ -11,11 +11,14 @@ type env = {
   depth_mode : [ `Average | `Worst ];
   dop : int;
   exchange_startup : float;
+  remote_startup : float;
+  remote_row : float;
 }
 
 let default_env ?(k_min = 1) ?(cpu_factor = 0.002) ?(memory_tuples = 10_000)
     ?(sort_fan_in = 8) ?(nl_block_tuples = 1000) ?(depth_mode = `Worst)
-    ?(dop = 1) ?(exchange_startup = 2.0) catalog query =
+    ?(dop = 1) ?(exchange_startup = 2.0) ?(remote_startup = 5.0)
+    ?(remote_row = 0.01) catalog query =
   {
     catalog;
     query;
@@ -27,6 +30,8 @@ let default_env ?(k_min = 1) ?(cpu_factor = 0.002) ?(memory_tuples = 10_000)
     depth_mode;
     dop = max 1 dop;
     exchange_startup = Float.max 0.0 exchange_startup;
+    remote_startup = Float.max 0.0 remote_startup;
+    remote_row = Float.max 0.0 remote_row;
   }
 
 type estimate = {
@@ -245,6 +250,58 @@ let rec estimate env plan =
           in
           let total = scan +. sort_cpu +. (env.cpu_factor *. rows) in
           { rows; total_cost = total; cost_at = (fun _ -> total); k_dependent = false })
+  | Plan.Remote_scan { tables; k_bound; score; _ } ->
+      (* One shard's pushed subquery, seen from the coordinator: a startup
+         round-trip plus per-row transfer. The shard serves its stream
+         incrementally (rank index / HRJN on its side), so the coordinator's
+         view is linear in the rows actually pulled — that linearity is what
+         the gather's threshold exploits. Shard-local cardinality is the
+         coordinator's full-table estimate; k' caps the contribution. *)
+      let card =
+        List.fold_left (fun acc t -> acc *. base_cardinality env t) 1.0 tables
+      in
+      let rows =
+        match k_bound with
+        | Some k -> Float.min (float_of_int k) card
+        | None -> card
+      in
+      let cost_at x =
+        let x = Float.min x rows in
+        env.remote_startup +. ((env.remote_row +. env.cpu_factor) *. x)
+      in
+      {
+        rows;
+        total_cost = cost_at rows;
+        cost_at;
+        k_dependent = Option.is_some score;
+      }
+  | Plan.Gather_merge { inputs; k; score } ->
+      let ests = List.map (estimate env) inputs in
+      let n = float_of_int (max 1 (List.length inputs)) in
+      let sum_rows = List.fold_left (fun acc e -> acc +. e.rows) 0.0 ests in
+      let rows =
+        match k with
+        | Some k -> Float.min (float_of_int k) sum_rows
+        | None -> sum_rows
+      in
+      let cost_at x =
+        let x = Float.min x rows in
+        (* Threshold merge: with homogeneously distributed scores each shard
+           is drained to ~x/N plus one batch of slack before its bound drops
+           below the global k-th candidate; skewed shards cost less, so this
+           is the flat-prior estimate. The heap hand-off is log N per row. *)
+        let per_shard = (x /. n) +. 8.0 in
+        List.fold_left
+          (fun acc e -> acc +. e.cost_at (Float.min per_shard e.rows))
+          (env.cpu_factor *. x *. (log (Float.max 2.0 n) /. log 2.0))
+          ests
+      in
+      {
+        rows;
+        total_cost = cost_at rows;
+        cost_at;
+        k_dependent = Option.is_some score;
+      }
   | Plan.Filter { pred; input } ->
       let i = estimate env input in
       let sel = filter_selectivity env pred in

@@ -28,6 +28,12 @@ type env = {
   exchange_startup : float;
       (** Fixed I/O-unit charge per exchange (pump scheduling, slot
           setup): keeps small inputs serial. *)
+  remote_startup : float;
+      (** Fixed I/O-unit charge per remote shard touched by a gather
+          (connection round-trip, shard-side prepare). *)
+  remote_row : float;
+      (** Per-row transfer charge on a remote stream (wire encode /
+          decode), on top of [cpu_factor]. *)
 }
 
 val default_env :
@@ -39,6 +45,8 @@ val default_env :
   ?depth_mode:[ `Average | `Worst ] ->
   ?dop:int ->
   ?exchange_startup:float ->
+  ?remote_startup:float ->
+  ?remote_row:float ->
   Storage.Catalog.t ->
   Logical.t ->
   env

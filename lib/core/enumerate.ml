@@ -146,7 +146,9 @@ let any_k_plan (query : Logical.t) : Plan.t option =
       end
 
 let rec has_topk = function
-  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> false
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+  | Plan.Remote_scan _ | Plan.Gather_merge _ ->
+      false
   | Plan.Top_k _ -> true
   | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Exchange { input; _ }
     ->

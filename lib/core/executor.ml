@@ -82,9 +82,14 @@ let node_label = function
   | Plan.Index_scan { table; index; desc; _ } ->
       Printf.sprintf "IndexScan %s.%s %s" table index
         (if desc then "DESC" else "ASC")
-  | Plan.Rank_index_scan { table; index; lo; hi; _ } ->
-      Printf.sprintf "RankIndexScan %s %d..%d%s" table lo hi
+  | Plan.Rank_index_scan { table; index; lo; hi; dense; _ } ->
+      Printf.sprintf "RankIndexScan %s %s%d..%d%s" table
+        (if dense then "dense " else "")
+        lo hi
         (match index with Some nm -> " via " ^ nm | None -> " via sort")
+  | Plan.Remote_scan { shard; _ } -> Printf.sprintf "RemoteScan shard=%d" shard
+  | Plan.Gather_merge { inputs; _ } ->
+      Printf.sprintf "GatherRemote[%d]" (List.length inputs)
   | Plan.Filter _ -> "Filter"
   | Plan.Sort { order; _ } ->
       Printf.sprintf "Sort %s"
@@ -158,7 +163,7 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
           else Exec.Scan.index_asc ~stats catalog ix
         in
         instrument plan stats op []
-    | Plan.Rank_index_scan { table; index; score; lo; hi } ->
+    | Plan.Rank_index_scan { table; index; score; lo; hi; dense } ->
         let stats = Exec.Exec_stats.create 0 in
         let info = Storage.Catalog.table catalog table in
         let perm = canonical_perm info.Storage.Catalog.tb_schema in
@@ -167,11 +172,17 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
           match index with
           | Some nm ->
               let ix = find_index catalog table nm in
-              Exec.Scan.rank_window ~stats catalog ix ~lo ~hi ~tie_cmp
+              Exec.Scan.rank_window ~stats ~dense catalog ix ~lo ~hi ~tie_cmp
           | None ->
-              Exec.Scan.rank_window_sort ~stats info ~score ~lo ~hi ~tie_cmp
+              Exec.Scan.rank_window_sort ~stats ~dense info ~score ~lo ~hi
+                ~tie_cmp
         in
         instrument plan stats op []
+    | Plan.Remote_scan _ | Plan.Gather_merge _ ->
+        (* Distributed nodes execute in the shard coordinator, which drives
+           remote sessions over the line protocol; they never reach the
+           local compiler. *)
+        invalid_arg "Executor: distributed plan requires a shard coordinator"
     | Plan.Filter { pred; input } ->
         let stats = Exec.Exec_stats.create 1 in
         let child, prof = go (child_ann ann 0) input in
@@ -313,7 +324,8 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
               | Plan.Sort_merge | Plan.Hrjn | Plan.Nrjn ->
                   invalid_arg "Executor: join not morselizable under Exchange")
           | Plan.Sort _ | Plan.Top_k _ | Plan.Exchange _ | Plan.Nary_rank_join _
-          | Plan.Any_k _ | Plan.Rank_index_scan _ ->
+          | Plan.Any_k _ | Plan.Rank_index_scan _ | Plan.Remote_scan _
+          | Plan.Gather_merge _ ->
               invalid_arg "Executor: operator not morselizable under Exchange"
         in
         let source sp =

@@ -19,6 +19,7 @@ type t = {
   joins : join_pred list;
   k : int option;
   rank_range : (int * int) option;
+  rank_dense : bool;
 }
 
 let base ?filter ?score ?weight name =
@@ -57,7 +58,7 @@ let connected_set relations joins names =
       visit first;
       List.for_all (Hashtbl.mem visited) names
 
-let make ~relations ~joins ?k ?rank_range () =
+let make ~relations ~joins ?k ?rank_range ?(rank_dense = false) () =
   let names = List.map (fun b -> b.name) relations in
   let seen = Hashtbl.create 8 in
   List.iter
@@ -83,8 +84,10 @@ let make ~relations ~joins ?k ?rank_range () =
         invalid_arg "Logical.make: rank range requires a single relation";
       if k <> None then
         invalid_arg "Logical.make: rank range and LIMIT are exclusive"
-  | None -> ());
-  { relations; joins; k; rank_range }
+  | None ->
+      if rank_dense then
+        invalid_arg "Logical.make: dense ranking requires a rank range");
+  { relations; joins; k; rank_range; rank_dense }
 
 let find_relation t name =
   match List.find_opt (fun b -> String.equal b.name name) t.relations with
@@ -147,7 +150,10 @@ let pp fmt t =
        pp_join)
     t.joins;
   (match t.rank_range with
-  | Some (lo, hi) -> Format.fprintf fmt " RANK BETWEEN %d AND %d" lo hi
+  | Some (lo, hi) ->
+      Format.fprintf fmt " %s BETWEEN %d AND %d"
+        (if t.rank_dense then "DENSE_RANK" else "RANK")
+        lo hi
   | None -> ());
   (match scoring_expr t with
   | Some e -> Format.fprintf fmt " ORDER BY %a DESC" Expr.pp e

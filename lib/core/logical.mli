@@ -33,6 +33,10 @@ type t = {
           query is not a top-k query: it has no Top_k root, so
           {!is_ranking} stays false and the rank-join enumerator is
           bypassed). Ranks are 1-based; rank 1 = best score. *)
+  rank_dense : bool;
+      (** [true] when the window is [dense_rank() BETWEEN ...]: distinct
+          scores are numbered consecutively and the window keeps whole tie
+          blocks. Only meaningful with [rank_range = Some _]. *)
 }
 
 val base : ?filter:Expr.t -> ?score:Expr.t -> ?weight:float -> string -> base
@@ -45,11 +49,13 @@ val make :
   joins:join_pred list ->
   ?k:int ->
   ?rank_range:int * int ->
+  ?rank_dense:bool ->
   unit ->
   t
 (** @raise Invalid_argument on duplicate relation names, joins over unknown
-    relations, a disconnected join graph with ≥ 2 relations, or an invalid
-    rank range (must be [1 <= lo <= hi], single relation, no [k]). *)
+    relations, a disconnected join graph with ≥ 2 relations, an invalid
+    rank range (must be [1 <= lo <= hi], single relation, no [k]), or
+    [rank_dense] without a rank range. [rank_dense] defaults to [false]. *)
 
 val find_relation : t -> string -> base
 (** @raise Not_found for unknown names. *)

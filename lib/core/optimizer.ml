@@ -141,8 +141,9 @@ let plan_rank_range env query lo hi =
     | Some pred -> Plan.Filter { pred; input = access }
     | None -> access
   in
+  let dense = query.Logical.rank_dense in
   let fallback =
-    wrap (Plan.Rank_index_scan { table; index = None; score; lo; hi })
+    wrap (Plan.Rank_index_scan { table; index = None; score; lo; hi; dense })
   in
   let candidates =
     match rank_index with
@@ -156,6 +157,7 @@ let plan_rank_range env query lo hi =
                  score;
                  lo;
                  hi;
+                 dense;
                });
           fallback;
         ]

@@ -14,7 +14,10 @@
    worker keeps a local top-k merged at the gather. *)
 
 let rec has_exchange = function
-  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> false
+  (* a gather's shards parallelize across processes, not via Exchange *)
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+  | Plan.Remote_scan _ | Plan.Gather_merge _ ->
+      false
   | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Top_k { input; _ }
     ->
       has_exchange input
@@ -41,7 +44,9 @@ let eligible = function
 let rec off_spine = function
   (* a by-rank window is never morselized (spine_ok rejects it), so it can
      only appear as shared off-spine state *)
-  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> []
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+  | Plan.Remote_scan _ | Plan.Gather_merge _ ->
+      []
   | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Top_k { input; _ }
     ->
       off_spine input

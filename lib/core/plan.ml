@@ -16,14 +16,37 @@ type t =
   (* By-rank window over a scored base table: the rows ranked [lo..hi]
      (1-based, rank 1 = best score), best first. [index = Some nm] walks the
      order-statistic B+-tree [nm] (O(log n + window)); [index = None] is the
-     drain-sort-slice fallback used when no score index exists. *)
+     drain-sort-slice fallback used when no score index exists. [dense]
+     switches from competition ranking (tie block shares its minimum rank)
+     to dense ranking (distinct scores numbered consecutively, windows keep
+     whole tie blocks). *)
   | Rank_index_scan of {
       table : string;
       index : string option;
       score : Expr.t;
       lo : int;
       hi : int;
+      dense : bool;
     }
+  (* One shard's half of a scatter/gather: the pushed-down subquery [sql]
+     executed remotely over [endpoint], streaming rows in canonical column
+     order. [k_bound] is the Propagate-style per-shard k' the coordinator
+     derived (each hash shard contributes at most the global k). A ranked
+     remote scan ([score = Some _]) streams best-first, which is what lets
+     the gather's threshold bound terminate it early. *)
+  | Remote_scan of {
+      shard : int;
+      endpoint : string;
+      sql : string;
+      tables : string list;
+      score : Expr.t option;
+      k_bound : int option;
+    }
+  (* Coordinator-side streaming merge of per-shard sorted streams: emits
+     globally best-first using the canonical tie comparator, stopping after
+     [k] rows (threshold-style: a shard is only pulled while its last
+     streamed score could still beat the current global candidate). *)
+  | Gather_merge of { inputs : t list; score : Expr.t option; k : int option }
   | Filter of { pred : Expr.t; input : t }
   | Sort of { order : order; input : t }
   | Join of {
@@ -73,6 +96,10 @@ let rec order_of = function
         }
   | Rank_index_scan { score; _ } ->
       Some { expr = score; direction = Interesting_orders.Desc }
+  | Remote_scan { score; _ } | Gather_merge { score; _ } ->
+      Option.map
+        (fun e -> { expr = e; direction = Interesting_orders.Desc })
+        score
   | Filter { input; _ } -> order_of input
   | Sort { order; _ } -> Some order
   | Join { algo = Hrjn | Nrjn; left_score; right_score; _ } ->
@@ -104,6 +131,10 @@ let rec pipelined = function
   (* the counted descent reaches the first ranked row in O(log n); the
      index-less fallback drains and sorts the table first *)
   | Rank_index_scan { index; _ } -> index <> None
+  (* a remote stream yields as the shard produces; the gather emits as soon
+     as the threshold bound proves a candidate globally best *)
+  | Remote_scan _ -> true
+  | Gather_merge { inputs; _ } -> List.for_all pipelined inputs
   | Filter { input; _ } -> pipelined input
   | Sort _ -> false
   | Join { algo = Nested_loops | Index_nl | Hash; left; _ } -> pipelined left
@@ -121,6 +152,10 @@ let rec pipelined = function
 let rec relations = function
   | Table_scan { table } -> [ table ]
   | Index_scan { table; _ } | Rank_index_scan { table; _ } -> [ table ]
+  | Remote_scan { tables; _ } -> tables
+  (* every shard serves the same relations; report one copy *)
+  | Gather_merge { inputs; _ } -> (
+      match inputs with first :: _ -> relations first | [] -> [])
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
   | Exchange { input; _ } ->
       relations input
@@ -132,7 +167,11 @@ let rec relations = function
    A plan property like order and pipelining: stored in the memo, audited
    by planlint (PL11). *)
 let rec dop = function
-  | Table_scan _ | Index_scan _ | Rank_index_scan _ -> 1
+  (* inter-shard parallelism is not an Exchange: dop tracks intra-shard
+     morsel width, the gather's fan-out is its own axis *)
+  | Table_scan _ | Index_scan _ | Rank_index_scan _ | Remote_scan _
+  | Gather_merge _ ->
+      1
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ } ->
       dop input
   | Exchange { dop = d; input } -> max d (dop input)
@@ -141,7 +180,9 @@ let rec dop = function
       List.fold_left (fun acc i -> max acc (dop i)) 1 inputs
 
 let rec has_rank_join = function
-  | Table_scan _ | Index_scan _ | Rank_index_scan _ -> false
+  | Table_scan _ | Index_scan _ | Rank_index_scan _ | Remote_scan _
+  | Gather_merge _ ->
+      false
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
   | Exchange { input; _ } ->
       has_rank_join input
@@ -150,7 +191,10 @@ let rec has_rank_join = function
   | Nary_rank_join _ | Any_k _ -> true
 
 let rec join_count = function
-  | Table_scan _ | Index_scan _ | Rank_index_scan _ -> 0
+  (* a remote scan's pushed subquery may itself join; locally it is a leaf *)
+  | Table_scan _ | Index_scan _ | Rank_index_scan _ | Remote_scan _
+  | Gather_merge _ ->
+      0
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
   | Exchange { input; _ } ->
       join_count input
@@ -158,10 +202,35 @@ let rec join_count = function
   | Nary_rank_join { inputs; _ } | Any_k { inputs; _ } ->
       List.length inputs - 1 + List.fold_left (fun acc i -> acc + join_count i) 0 inputs
 
+let canonical_schema schema =
+  Schema.columns schema
+  |> List.stable_sort (fun a b ->
+         match compare a.Schema.relation b.Schema.relation with
+         | 0 -> compare a.Schema.name b.Schema.name
+         | c -> c)
+  |> Schema.of_columns
+
 let rec schema_of catalog = function
   | Table_scan { table } | Index_scan { table; _ } | Rank_index_scan { table; _ }
     ->
       (Storage.Catalog.table catalog table).Storage.Catalog.tb_schema
+  (* shards stream SELECT * rows permuted into canonical (relation, name)
+     column order so the merge's tie comparator is plan-shape independent *)
+  | Remote_scan { tables; _ } -> (
+      match tables with
+      | first :: rest ->
+          List.fold_left
+            (fun acc t ->
+              Schema.concat acc
+                (Storage.Catalog.table catalog t).Storage.Catalog.tb_schema)
+            (Storage.Catalog.table catalog first).Storage.Catalog.tb_schema
+            rest
+          |> canonical_schema
+      | [] -> invalid_arg "Plan.schema_of: remote scan over no tables")
+  | Gather_merge { inputs; _ } -> (
+      match inputs with
+      | first :: _ -> schema_of catalog first
+      | [] -> invalid_arg "Plan.schema_of: empty gather")
   | Filter { input; _ } | Sort { input; _ } | Top_k { input; _ }
   | Exchange { input; _ } ->
       schema_of catalog input
@@ -186,9 +255,19 @@ let algo_name = function
 let rec describe = function
   | Table_scan { table } -> table
   | Index_scan { table; desc; _ } -> Printf.sprintf "%s[ix%s]" table (if desc then "↓" else "↑")
-  | Rank_index_scan { table; index; lo; hi; _ } ->
-      Printf.sprintf "%s[rank %d..%d%s]" table lo hi
+  | Rank_index_scan { table; index; lo; hi; dense; _ } ->
+      Printf.sprintf "%s[%srank %d..%d%s]" table
+        (if dense then "dense " else "")
+        lo hi
         (match index with Some _ -> "" | None -> "/sort")
+  | Remote_scan { shard; tables; k_bound; _ } ->
+      Printf.sprintf "Remote%d(%s%s)" shard
+        (String.concat "," tables)
+        (match k_bound with Some k -> Printf.sprintf " k'=%d" k | None -> "")
+  | Gather_merge { inputs; k; _ } ->
+      Printf.sprintf "Gather%s(%s)"
+        (match k with Some k -> Printf.sprintf "[k=%d]" k | None -> "")
+        (String.concat "," (List.map describe inputs))
   | Filter { input; _ } -> Printf.sprintf "σ(%s)" (describe input)
   | Sort { input; _ } -> Printf.sprintf "Sort(%s)" (describe input)
   | Join { algo; left; right; _ } ->
@@ -213,12 +292,30 @@ let pp fmt plan =
         Format.fprintf fmt "%sIndexScan %s using %s on %a %s@." pad table index
           Expr.pp key
           (if desc then "DESC" else "ASC")
-    | Rank_index_scan { table; index; score; lo; hi } ->
-        Format.fprintf fmt "%sRankIndexScan %s ranks %d..%d on %a %s@." pad
-          table lo hi Expr.pp score
+    | Rank_index_scan { table; index; score; lo; hi; dense } ->
+        Format.fprintf fmt "%sRankIndexScan %s %sranks %d..%d on %a %s@." pad
+          table
+          (if dense then "dense " else "")
+          lo hi Expr.pp score
           (match index with
           | Some nm -> "using " ^ nm
           | None -> "via sort (no rank index)")
+    | Remote_scan { shard; endpoint; sql; k_bound; _ } ->
+        Format.fprintf fmt "%sRemoteScan shard=%d %s%s  [%s]@." pad shard
+          endpoint
+          (match k_bound with
+          | Some k -> Printf.sprintf " k'=%d" k
+          | None -> "")
+          sql
+    | Gather_merge { inputs; score; k } ->
+        Format.fprintf fmt "%sGatherMerge shards=%d%s%t@." pad
+          (List.length inputs)
+          (match k with Some k -> Printf.sprintf " k=%d" k | None -> "")
+          (fun fmt ->
+            match score with
+            | Some e -> Format.fprintf fmt "  [rank: %a]" Expr.pp e
+            | None -> ());
+        List.iter (go (indent + 2)) inputs
     | Filter { pred; input } ->
         Format.fprintf fmt "%sFilter %a@." pad Expr.pp pred;
         go (indent + 2) input

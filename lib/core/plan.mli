@@ -27,13 +27,38 @@ type t =
       score : Expr.t;
       lo : int;
       hi : int;
+      dense : bool;
     }
       (** By-rank window over a scored base table: the rows ranked
           [lo..hi] (1-based, rank 1 = best score), best first, duplicate
           scores broken by the canonical tuple order. [index = Some nm]
           walks the order-statistic B+-tree [nm] in O(log n + window);
           [index = None] is the drain-sort-slice fallback used when no
-          score index exists (blocking). *)
+          score index exists (blocking). [dense] numbers distinct scores
+          consecutively (DENSE_RANK) instead of competition ranking; a
+          dense window keeps whole tie blocks. *)
+  | Remote_scan of {
+      shard : int;
+      endpoint : string;
+      sql : string;
+      tables : string list;
+      score : Expr.t option;
+      k_bound : int option;
+    }
+      (** One shard's half of a scatter/gather: the pushed-down subquery
+          [sql] executed remotely over [endpoint], streaming full rows in
+          canonical (relation, name) column order. [score = Some _] means
+          the stream is non-increasing in that score, the property the
+          gather's threshold bound relies on; [k_bound] is the
+          Propagate-style per-shard k' the coordinator derived (under hash
+          partitioning each shard contributes at most the global k). *)
+  | Gather_merge of { inputs : t list; score : Expr.t option; k : int option }
+      (** Coordinator-side streaming merge of per-shard sorted streams:
+          emits globally best-first using the canonical tie comparator and
+          stops after [k] rows. Threshold-style early termination: a shard
+          is pulled only while its last streamed score could still beat the
+          current best buffered candidate, so cold shards are never
+          drained. *)
   | Filter of { pred : Expr.t; input : t }
   | Sort of { order : order; input : t }
       (** Blocking sort enforcer gluing an interesting order onto a subplan. *)

@@ -7,8 +7,21 @@ type annotation = {
 
 let rec annotate env plan required =
   match plan with
-  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ ->
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+  | Plan.Remote_scan _ ->
       { node = plan; required; depths = None; children = [] }
+  | Plan.Gather_merge { inputs; _ } ->
+      (* Threshold merge: under a flat score prior each shard owes about an
+         equal split of the requirement, plus one batch of slack before its
+         bound falls below the global k-th candidate. *)
+      let n = float_of_int (max 1 (List.length inputs)) in
+      let per_shard = (required /. n) +. 8.0 in
+      {
+        node = plan;
+        required;
+        depths = None;
+        children = List.map (fun input -> annotate env input per_shard) inputs;
+      }
   | Plan.Top_k { k; input } ->
       let r = Float.min required (float_of_int k) in
       { node = plan; required = r; depths = None; children = [ annotate env input r ] }
@@ -142,6 +155,9 @@ let pp fmt ann =
           Printf.sprintf "HRJN* (%d-way)" (List.length inputs)
       | Plan.Any_k { inputs; _ } ->
           Printf.sprintf "AnyK (%d-way)" (List.length inputs)
+      | Plan.Remote_scan { shard; _ } -> Printf.sprintf "RemoteScan shard=%d" shard
+      | Plan.Gather_merge { inputs; _ } ->
+          Printf.sprintf "GatherMerge (%d shards)" (List.length inputs)
     in
     (match a.depths with
     | Some d ->

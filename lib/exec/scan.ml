@@ -80,8 +80,8 @@ let index_probe catalog ix key = Catalog.index_lookup catalog ix key
 
 (* -- By-rank windows (leaderboard access paths) ------------------------- *)
 
-let rank_window ?stats catalog (ix : Catalog.index_info) ~lo ~hi ~tie_cmp :
-    Operator.t =
+let rank_window ?stats ?(dense = false) catalog (ix : Catalog.index_info) ~lo
+    ~hi ~tie_cmp : Operator.t =
   let stats = stats_or stats in
   let info = Catalog.table catalog ix.Catalog.ix_table in
   let window = ref [] in
@@ -90,8 +90,11 @@ let rank_window ?stats catalog (ix : Catalog.index_info) ~lo ~hi ~tie_cmp :
     open_ =
       (fun () ->
         Exec_stats.reset stats;
+        let select =
+          if dense then Rank_index.select_dense_rank else Rank_index.select_rank
+        in
         window :=
-          Rank_index.select_rank ix.ix_btree ~lo ~hi
+          select ix.ix_btree ~lo ~hi
             ~resolve:(Catalog.index_payload_to_tuple catalog ix)
             ~tie_cmp);
     next =
@@ -118,8 +121,8 @@ let rec drop n l =
 (* Index-less fallback: drain the heap, sort by score descending with the
    canonical tie order, slice the requested rank window. Blocking, but it
    computes the same ranks (NaN scores dropped) as the counted descent. *)
-let rank_window_sort ?stats (info : Catalog.table_info) ~score ~lo ~hi
-    ~tie_cmp : Operator.t =
+let rank_window_sort ?stats ?(dense = false) (info : Catalog.table_info) ~score
+    ~lo ~hi ~tie_cmp : Operator.t =
   let stats = stats_or stats in
   let scoref = Expr.compile_float info.tb_schema score in
   let window = ref [] in
@@ -142,7 +145,27 @@ let rank_window_sort ?stats (info : Catalog.table_info) ~score ~lo ~hi
             scored
         in
         let lo = max 1 lo in
-        window := if hi < lo then [] else sorted |> drop (lo - 1) |> take (hi - lo + 1));
+        window :=
+          if hi < lo then []
+          else if not dense then
+            sorted |> drop (lo - 1) |> take (hi - lo + 1)
+          else begin
+            (* Dense slicing: block i of the descending distinct-score run
+               has dense rank i; the window keeps whole blocks. *)
+            let _, _, rev =
+              List.fold_left
+                (fun (d, prev, acc) ((_, s) as e) ->
+                  let d =
+                    match prev with
+                    | Some p when Float.compare p s = 0 -> d
+                    | _ -> d + 1
+                  in
+                  let acc = if d >= lo && d <= hi then e :: acc else acc in
+                  (d, Some s, acc))
+                (0, None, []) sorted
+            in
+            List.rev rev
+          end);
     next =
       (fun () ->
         match !window with

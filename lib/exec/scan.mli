@@ -32,6 +32,7 @@ val index_probe : Catalog.t -> Catalog.index_info -> Value.t -> Tuple.t list
 
 val rank_window :
   ?stats:Exec_stats.t ->
+  ?dense:bool ->
   Catalog.t ->
   Catalog.index_info ->
   lo:int ->
@@ -42,10 +43,13 @@ val rank_window :
     order-statistic index: one counted descent plus a window-sized walk of
     the leaf chain, O(log n + window). Duplicate scores share the block's
     minimum rank; [tie_cmp] orders block members canonically. NaN-scored
-    rows are never ranked. *)
+    rows are never ranked. [dense] (default false) switches to dense
+    ranking: distinct scores numbered consecutively, whole tie blocks kept
+    (O(hi log n + output) block walk, see {!Storage.Rank_index}). *)
 
 val rank_window_sort :
   ?stats:Exec_stats.t ->
+  ?dense:bool ->
   Catalog.table_info ->
   score:Expr.t ->
   lo:int ->
@@ -53,4 +57,5 @@ val rank_window_sort :
   tie_cmp:(Tuple.t -> Tuple.t -> int) ->
   Operator.t
 (** Same window semantics without an index: drain the heap, sort by [score]
-    descending (ties by [tie_cmp], NaN dropped), slice. Blocking. *)
+    descending (ties by [tie_cmp], NaN dropped), slice — competition or
+    dense per [dense]. Blocking. *)

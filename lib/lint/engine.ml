@@ -9,6 +9,7 @@ let structural ?query ?dop catalog plan =
   @ Rules.pipeline_rule facts
   @ Rules.exchange_rule ?dop facts
   @ Rules.rank_rule catalog facts
+  @ Rules.shard_rule facts
   @ match query with None -> [] | Some q -> Rules.filter_rule ~query:q facts
 
 let estimate_rules env plan =

@@ -22,6 +22,7 @@ let catalog =
     ("PL11-exchange", "exchanges sit on morselizable spines with a parallel degree; DOP bits match");
     ("PL12-enum", "the Enumerate bit matches recomputed cursor-resumability; anyK shapes are sound");
     ("PL13-rank", "a by-rank scan's window is sane and its claimed order is justified by an order-statistic index on the scored column");
+    ("PL14-shard", "a gather-merge sits over distinct same-score remote shard streams, each bounded at k' >= the gather's k");
   ]
 
 let d rule ?hint path fmt = Printf.ksprintf (fun m -> Diag.make ~rule ?hint ~path m) fmt
@@ -85,6 +86,16 @@ let schema_node catalog (f : Walk.facts) =
       match Storage.Catalog.find_table catalog table with
       | Some _ -> []
       | None -> [ d rule01 path "unknown table %s" table ])
+  | Plan.Remote_scan { tables; _ } ->
+      (* k' soundness and merge-order justification are PL14's findings *)
+      List.concat_map
+        (fun table ->
+          match Storage.Catalog.find_table catalog table with
+          | Some _ -> []
+          | None -> [ d rule01 path "unknown table %s" table ])
+        tables
+  | Plan.Gather_merge { inputs; _ } ->
+      if inputs = [] then [ d rule01 path "gather over zero shards" ] else []
   | Plan.Filter { pred; _ } ->
       check_bound_typed ~path ~what:"filter predicate" `Pred (child_schema 0) pred
   | Plan.Sort { order; _ } -> (
@@ -550,7 +561,8 @@ let depth_rule env plan =
         (List.map
            (fun (c, seg) -> go (path ^ "/" ^ seg) c)
            (match plan with
-           | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ ->
+           | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+           | Plan.Remote_scan _ ->
                []
            | Plan.Filter { input; _ }
            | Plan.Sort { input; _ }
@@ -559,7 +571,9 @@ let depth_rule env plan =
                [ (input, "input") ]
            | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
            | Plan.Nary_rank_join { inputs; _ } | Plan.Any_k { inputs; _ } ->
-               List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs))
+               List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs
+           | Plan.Gather_merge { inputs; _ } ->
+               List.mapi (fun i p -> (p, Printf.sprintf "shard%d" i)) inputs))
   in
   go "plan:root" plan
 
@@ -651,8 +665,25 @@ let cost_rule env plan =
     in
     let here =
       match plan with
-      | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ ->
+      | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+      | Plan.Remote_scan _ ->
           check_estimate ~path e
+      | Plan.Gather_merge { inputs; _ } ->
+          (* no child floor: the threshold merge legitimately stops shards
+             early, so the gather undercuts the shards' serial totals *)
+          check_estimate ~path e
+          @
+          let sum =
+            List.fold_left (fun acc i -> acc +. (est i).Cost_model.rows) 0.0
+              inputs
+          in
+          if ge (sum *. (1.0 +. 1e-9)) e.Cost_model.rows then []
+          else
+            [
+              d rule07 path
+                "gather emits %g rows, more than its shards' combined %g"
+                e.Cost_model.rows sum;
+            ]
       | Plan.Filter { input; _ } ->
           check_estimate ~path
             ~child_floor:(est input).Cost_model.total_cost e
@@ -704,7 +735,8 @@ let cost_rule env plan =
         (List.map
            (fun (c, seg) -> go (path ^ "/" ^ seg) c)
            (match plan with
-           | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ ->
+           | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+           | Plan.Remote_scan _ ->
                []
            | Plan.Filter { input; _ }
            | Plan.Sort { input; _ }
@@ -713,7 +745,9 @@ let cost_rule env plan =
                [ (input, "input") ]
            | Plan.Join { left; right; _ } -> [ (left, "left"); (right, "right") ]
            | Plan.Nary_rank_join { inputs; _ } | Plan.Any_k { inputs; _ } ->
-               List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs))
+               List.mapi (fun i p -> (p, Printf.sprintf "in%d" i)) inputs
+           | Plan.Gather_merge { inputs; _ } ->
+               List.mapi (fun i p -> (p, Printf.sprintf "shard%d" i)) inputs))
   in
   go "plan:root" plan
 
@@ -845,7 +879,11 @@ let memo_rule env memo =
 let rule09 = "PL09-topk"
 
 let rec count_topk = function
-  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> 0
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+  | Plan.Remote_scan _ ->
+      0
+  | Plan.Gather_merge { inputs; _ } ->
+      List.fold_left (fun acc i -> acc + count_topk i) 0 inputs
   | Plan.Filter { input; _ } | Plan.Sort { input; _ } | Plan.Exchange { input; _ }
     ->
       count_topk input
@@ -1183,7 +1221,7 @@ let rule13 = "PL13-rank"
 let rank_node catalog (f : Walk.facts) =
   let path = f.Walk.path in
   match f.Walk.plan with
-  | Plan.Rank_index_scan { table; index; score; lo; hi } ->
+  | Plan.Rank_index_scan { table; index; score; lo; hi; dense = _ } ->
       let bounds =
         (if lo >= 1 then []
          else
@@ -1240,3 +1278,132 @@ let rank_node catalog (f : Walk.facts) =
 
 let rank_rule catalog facts =
   Walk.fold (fun acc f -> acc @ rank_node catalog f) [] facts
+
+(* ------------------------------------------------------------------ *)
+(* PL14-shard *)
+
+let rule14 = "PL14-shard"
+
+(* Scatter/gather soundness. A gather-merge claims a globally best-first
+   stream cut at k; that claim rests on three properties of its inputs:
+   every input is a remote shard stream (anything local would not be
+   deduplicated by partitioning), every shard was pushed a bound k' >= k
+   (under hash partitioning any single shard can hold all k winners, so a
+   smaller k' can cut a winner), and every shard stream is sorted by the
+   same score the merge compares on (the threshold-style early cutoff
+   reads a shard's last streamed score as an upper bound for the rest of
+   that stream). Shards must also be pairwise distinct — merging one
+   shard twice duplicates rows. *)
+let shard_node (f : Walk.facts) =
+  let path = f.Walk.path in
+  match f.Walk.plan with
+  | Plan.Remote_scan { shard; endpoint; sql; k_bound; _ } ->
+      (if shard >= 0 then []
+       else [ d rule14 path "remote scan has negative shard index %d" shard ])
+      @ (if String.trim endpoint <> "" then []
+         else [ d rule14 path "remote scan has an empty endpoint" ])
+      @ (if String.trim sql <> "" then []
+         else [ d rule14 path "remote scan has an empty pushed subquery" ])
+      @ (match k_bound with
+        | Some k' when k' < 1 ->
+            [ d rule14 path "remote scan per-shard bound k'=%d is below 1" k' ]
+        | _ -> [])
+  | Plan.Gather_merge { inputs; score; k } ->
+      let empty =
+        if inputs <> [] then []
+        else [ d rule14 path "gather-merge has no shard inputs" ]
+      in
+      let shape =
+        List.concat_map
+          (fun input ->
+            match input with
+            | Plan.Remote_scan _ -> []
+            | p ->
+                [
+                  d rule14 path
+                    ~hint:
+                      "partitioning only deduplicates rows across remote \
+                       shard streams"
+                    "gather-merge input is not a remote scan: %s"
+                    (Plan.describe p);
+                ])
+          inputs
+      in
+      let shards =
+        List.filter_map
+          (function Plan.Remote_scan { shard; _ } -> Some shard | _ -> None)
+          inputs
+      in
+      let distinct =
+        if List.length (List.sort_uniq compare shards) = List.length shards
+        then []
+        else
+          [
+            d rule14 path
+              ~hint:"merging one shard twice duplicates its rows"
+              "gather-merge inputs repeat a shard index";
+          ]
+      in
+      let bounds =
+        match k with
+        | None -> []
+        | Some kv ->
+            (if kv >= 1 then []
+             else [ d rule14 path "gather-merge cutoff k=%d is below 1" kv ])
+            @ List.concat_map
+                (function
+                  | Plan.Remote_scan { shard; k_bound = None; _ } ->
+                      [
+                        d rule14 path
+                          ~hint:
+                            "a bounded gather needs a per-shard bound: \
+                             unbounded shard streams defeat Propagate-style \
+                             pushdown"
+                          "gather-merge cuts at k=%d but shard %d has no k'"
+                          kv shard;
+                      ]
+                  | Plan.Remote_scan { shard; k_bound = Some k'; _ }
+                    when k' < kv ->
+                      [
+                        d rule14 path
+                          ~hint:
+                            "under hash partitioning one shard can hold all \
+                             k winners, so k' < k can cut a winner"
+                          "gather-merge needs k=%d rows but shard %d was \
+                           bounded at k'=%d"
+                          kv shard k';
+                      ]
+                  | _ -> [])
+                inputs
+      in
+      let order =
+        match score with
+        | None -> []
+        | Some sc ->
+            List.concat_map
+              (function
+                | Plan.Remote_scan { shard; score = Some sc'; _ }
+                  when not (Expr.equal sc sc') ->
+                    [
+                      d rule14 path
+                        ~hint:
+                          "threshold early termination reads a shard's last \
+                           score as an upper bound for that stream, which \
+                           only holds if the shard sorts by the merge score"
+                        "gather-merge orders by %s but shard %d streams by %s"
+                        (Expr.to_string sc) shard (Expr.to_string sc');
+                    ]
+                | Plan.Remote_scan { shard; score = None; _ } ->
+                    [
+                      d rule14 path
+                        "gather-merge claims a merge order but shard %d \
+                         stream is unordered"
+                        shard;
+                    ]
+                | _ -> [])
+              inputs
+      in
+      empty @ shape @ distinct @ bounds @ order
+  | _ -> []
+
+let shard_rule facts = Walk.fold (fun acc f -> acc @ shard_node f) [] facts

@@ -158,3 +158,16 @@ val rank_node : Storage.Catalog.t -> Walk.facts -> Diag.t list
 
 val rank_rule : Storage.Catalog.t -> Walk.facts -> Diag.t list
 (** Driver: applies {!rank_node} at every node of the walked plan. *)
+
+(** {2 PL14-shard — scatter/gather soundness}
+
+    A gather-merge must sit over pairwise-distinct remote shard streams;
+    when it cuts at [k], every shard needs a pushed bound [k' >= k]
+    (under hash partitioning a single shard can hold all [k] winners);
+    when it claims a merge order, every shard stream must be sorted by
+    the same score (the threshold-style cutoff reads a shard's last
+    streamed score as an upper bound for the rest of that stream). *)
+
+val shard_node : Walk.facts -> Diag.t list
+
+val shard_rule : Walk.facts -> Diag.t list

@@ -65,6 +65,20 @@ let produced_order plan child_orders =
          fallback sorts internally. Whether the named order-statistic index
          really exists on this score column is PL13's finding. *)
       Some { Plan.expr = score; direction = Io.Desc }
+  | Plan.Remote_scan { score; _ } ->
+      (* a ranked shard stream claims descending score; whether the pushed
+         subquery really orders by it is PL14's finding *)
+      Option.map (fun e -> { Plan.expr = e; direction = Io.Desc }) score
+  | Plan.Gather_merge { score; inputs; _ } ->
+      (* the merge emits descending score only when every shard stream
+         arrives already sorted on the same expression *)
+      (match score with
+      | Some e
+        when List.length inputs > 0
+             && List.mapi (fun i _ -> order_is (child i) Io.Desc e) inputs
+                |> List.for_all Fun.id ->
+          Some { Plan.expr = e; direction = Io.Desc }
+      | _ -> None)
   | Plan.Filter _ | Plan.Top_k _ -> child 0
   (* the gather drains slots in morsel-index order, so the exchange
      passes its input's order through unchanged *)
@@ -148,6 +162,11 @@ let streaming_of plan child_streams =
   (* indexed windows stream off the leaf chain after one descent; the
      index-less fallback sorts the whole table first *)
   | Plan.Rank_index_scan { index; _ } -> index <> None
+  (* a shard stream yields as the shard produces; the threshold merge
+     emits as soon as a candidate is proven globally best *)
+  | Plan.Remote_scan _ -> true
+  | Plan.Gather_merge { inputs; _ } ->
+      List.mapi (fun i _ -> child i) inputs |> List.for_all Fun.id
   | Plan.Filter _ | Plan.Top_k _ -> child 0
   (* first results wait on whole morsels: not streaming *)
   | Plan.Exchange _ -> false
@@ -164,7 +183,11 @@ let streaming_of plan child_streams =
 (* ------------------------------------------------------------------ *)
 
 let children_of = function
-  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> []
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+  | Plan.Remote_scan _ ->
+      []
+  | Plan.Gather_merge { inputs; _ } ->
+      List.mapi (fun i p -> (p, Printf.sprintf "shard%d" i)) inputs
   | Plan.Filter { input; _ }
   | Plan.Sort { input; _ }
   | Plan.Top_k { input; _ }
@@ -185,6 +208,28 @@ let derive catalog plan =
       | Plan.Index_scan { table; _ }
       | Plan.Rank_index_scan { table; _ } ->
           table_schema catalog table
+      | Plan.Remote_scan { tables; _ } -> (
+          (* shards stream SELECT * rows permuted into canonical
+             (relation, name) column order — same derivation, None-safe *)
+          let base =
+            List.fold_left
+              (fun acc t -> concat_opt acc (table_schema catalog t))
+              (Some (Schema.of_columns []))
+              tables
+          in
+          match base with
+          | Some s when tables <> [] ->
+              Some
+                (Schema.of_columns
+                   (List.stable_sort
+                      (fun a b ->
+                        match compare a.Schema.relation b.Schema.relation with
+                        | 0 -> compare a.Schema.name b.Schema.name
+                        | c -> c)
+                      (Schema.columns s)))
+          | _ -> None)
+      | Plan.Gather_merge _ -> (
+          match children with c :: _ -> c.schema | [] -> None)
       | Plan.Filter _ | Plan.Sort _ | Plan.Top_k _ | Plan.Exchange _ ->
           (match children with [ c ] -> c.schema | _ -> None)
       | Plan.Join _ -> (

@@ -18,9 +18,39 @@ type t = {
 let err_of e =
   Protocol.err_response ~code:(Service.error_code e) (Service.error_message e)
 
+let max_line_bytes = 65536
+
+(* Read one newline-terminated command of at most [max_line_bytes] bytes.
+   An overlong line is drained through its newline and reported as
+   [`Overflow] — the connection survives and stays framed, it just loses
+   that one command. Unbounded [input_line] would instead buffer whatever
+   a hostile client cares to send. *)
+let read_line_bounded ic =
+  let buf = Buffer.create 256 in
+  let rec drain () =
+    match input_char ic with
+    | exception End_of_file -> `Overflow
+    | '\n' -> `Overflow
+    | _ -> drain ()
+  in
+  let rec go n =
+    match input_char ic with
+    | exception End_of_file ->
+        if Buffer.length buf = 0 then `Eof else `Line (Buffer.contents buf)
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+        if n >= max_line_bytes then drain ()
+        else begin
+          Buffer.add_char buf c;
+          go (n + 1)
+        end
+  in
+  go 0
+
 (* Commands return the response plus a post-action for the connection
-   loop: keep going, hang up, or stop the whole server. *)
-let dispatch svc session cmd =
+   loop: keep going, hang up, or stop the whole server. [codec] is the
+   connection's row-rendering codec (the WIRE verb flips it). *)
+let dispatch svc session ~codec cmd =
   match cmd with
   | Protocol.Ping -> (Protocol.ok_response ~fields:[ ("pong", "1") ] [], `Keep)
   | Protocol.Prepare { name; sql } -> (
@@ -33,11 +63,11 @@ let dispatch svc session cmd =
       | Error e -> (err_of e, `Keep))
   | Protocol.Execute { name; k } -> (
       match Service.execute_prepared session ?k name with
-      | Ok reply -> (Protocol.render_reply reply, `Keep)
+      | Ok reply -> (Protocol.render_reply ~codec:!codec reply, `Keep)
       | Error e -> (err_of e, `Keep))
   | Protocol.Fetch { name; n } -> (
       match Service.fetch session ~name n with
-      | Ok reply -> (Protocol.render_reply reply, `Keep)
+      | Ok reply -> (Protocol.render_reply ~codec:!codec reply, `Keep)
       | Error e -> (err_of e, `Keep))
   | Protocol.Close name -> (
       match Service.close_cursor session name with
@@ -45,7 +75,7 @@ let dispatch svc session cmd =
       | Error e -> (err_of e, `Keep))
   | Protocol.Query sql -> (
       match Service.query session sql with
-      | Ok reply -> (Protocol.render_reply reply, `Keep)
+      | Ok reply -> (Protocol.render_reply ~codec:!codec reply, `Keep)
       | Error e -> (err_of e, `Keep))
   | Protocol.Explain sql -> (
       match Service.explain session sql with
@@ -56,14 +86,15 @@ let dispatch svc session cmd =
           in
           (Protocol.ok_response lines, `Keep)
       | Error e -> (err_of e, `Keep))
-  | Protocol.Rank { table; column; value } -> (
-      match Service.rank_probe session ~table ~column value with
+  | Protocol.Rank { table; column; value; dense } -> (
+      match Service.rank_probe session ~dense ~table ~column value with
       | Ok (rank, total) ->
           let fields =
             (match rank with
             | Some r -> [ ("rank", string_of_int r) ]
             | None -> [ ("rank", "none") ])
             @ [ ("of", string_of_int total) ]
+            @ (if dense then [ ("dense", "1") ] else [])
           in
           (Protocol.ok_response ~fields [], `Keep)
       | Error e -> (err_of e, `Keep))
@@ -75,6 +106,20 @@ let dispatch svc session cmd =
       in
       let lines = List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) fields in
       (Protocol.ok_response lines, `Keep)
+  | Protocol.Wire c ->
+      codec := c;
+      ( Protocol.ok_response
+          ~fields:[ ("wire", match c with `Text -> "text" | `Hex -> "hex") ]
+          [],
+        `Keep )
+  | Protocol.Timeout t ->
+      Service.set_timeout session t;
+      let v = match t with None -> "default" | Some s -> Printf.sprintf "%g" s in
+      (Protocol.ok_response ~fields:[ ("timeout", v) ] [], `Keep)
+  | Protocol.Shard_add _ | Protocol.Shard_list ->
+      ( Protocol.err_response ~code:"SHARD"
+          "not a coordinator: SHARD verbs need rankopt serve --shards",
+        `Keep )
   | Protocol.Quit -> (Protocol.ok_response ~fields:[ ("bye", "1") ] [], `Close)
   | Protocol.Shutdown ->
       (Protocol.ok_response ~fields:[ ("shutdown", "1") ] [], `Shutdown)
@@ -122,20 +167,25 @@ let rec stop t =
 
 and handle_conn t fd =
   let session = Service.open_session t.svc in
+  let codec = ref `Text in
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let shutdown_requested = ref false in
   (try
      let quit = ref false in
      while not !quit do
-       match input_line ic with
-       | exception End_of_file -> quit := true
-       | line when String.trim line = "" -> ()
-       | line -> (
+       match read_line_bounded ic with
+       | `Eof -> quit := true
+       | `Overflow ->
+           send oc
+             (Protocol.err_response ~code:"PROTOCOL"
+                (Printf.sprintf "command exceeds %d bytes" max_line_bytes))
+       | `Line line when String.trim line = "" -> ()
+       | `Line line -> (
            match Protocol.parse_command line with
            | Error msg -> send oc (Protocol.err_response ~code:"PROTOCOL" msg)
            | Ok cmd -> (
-               let response, action = dispatch t.svc session cmd in
+               let response, action = dispatch t.svc session ~codec cmd in
                send oc response;
                match action with
                | `Keep -> ()

@@ -15,6 +15,17 @@ type endpoint =
 
 val pp_endpoint : Format.formatter -> endpoint -> unit
 
+val max_line_bytes : int
+(** Per-command line limit (bytes, newline excluded). A longer line is
+    answered with [ERR PROTOCOL] and discarded; the connection remains
+    usable. *)
+
+val read_line_bounded : in_channel -> [ `Eof | `Overflow | `Line of string ]
+(** Read one newline-terminated command of at most {!max_line_bytes}
+    bytes; an overlong line is drained through its newline and reported
+    as [`Overflow], keeping the stream framed. Shared with the shard
+    coordinator's front end. *)
+
 type t
 
 val start : ?config:Service.config -> endpoint -> Storage.Catalog.t -> t

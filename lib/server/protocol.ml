@@ -6,8 +6,12 @@ type command =
   | Close of string
   | Query of string
   | Explain of string
-  | Rank of { table : string; column : string; value : float }
+  | Rank of { table : string; column : string; value : float; dense : bool }
   | Stats of [ `Server | `Session ]
+  | Wire of [ `Text | `Hex ]
+  | Timeout of float option
+  | Shard_add of string
+  | Shard_list
   | Quit
   | Shutdown
 
@@ -66,10 +70,12 @@ let parse_command line =
       if rest = "" then Error "usage: CLOSE <name>"
       else Ok (Close rest)
   | "RANK" -> (
-      (* RANK <table>.<column> OF <value> — the minimum rank a row scoring
-         <value> holds (or would hold) on the order-statistic index. *)
+      (* RANK <table>.<column> OF <value> [DENSE] — the minimum rank a row
+         scoring <value> holds (or would hold) on the order-statistic
+         index; DENSE numbers distinct scores consecutively instead. *)
       let target, rest = split_word rest in
-      let of_kw, varg = split_word rest in
+      let of_kw, rest = split_word rest in
+      let varg, dense_kw = split_word rest in
       let dotted =
         match String.index_opt target '.' with
         | Some i when i > 0 && i < String.length target - 1 ->
@@ -79,13 +85,49 @@ let parse_command line =
         | _ -> None
       in
       match dotted with
-      | _ when String.uppercase_ascii of_kw <> "OF" || varg = "" ->
-          Error "usage: RANK <table>.<column> OF <value>"
-      | None -> Error "usage: RANK <table>.<column> OF <value>"
+      | _
+        when String.uppercase_ascii of_kw <> "OF"
+             || varg = ""
+             || not
+                  (dense_kw = ""
+                  || String.uppercase_ascii dense_kw = "DENSE") ->
+          Error "usage: RANK <table>.<column> OF <value> [DENSE]"
+      | None -> Error "usage: RANK <table>.<column> OF <value> [DENSE]"
       | Some (table, column) -> (
           match float_of_string_opt varg with
-          | Some value -> Ok (Rank { table; column; value })
+          | Some value ->
+              Ok
+                (Rank
+                   {
+                     table;
+                     column;
+                     value;
+                     dense = String.uppercase_ascii dense_kw = "DENSE";
+                   })
           | None -> Error (Printf.sprintf "RANK: invalid value %S" varg)))
+  | "WIRE" -> (
+      (* WIRE TEXT|HEX — row rendering for this connection. HEX encodes
+         cells with the persist codec (floats as %h), making the stream
+         bit-exact; the coordinator always switches its shard links to
+         HEX before scattering. *)
+      match String.uppercase_ascii rest with
+      | "TEXT" -> Ok (Wire `Text)
+      | "HEX" -> Ok (Wire `Hex)
+      | _ -> Error "usage: WIRE TEXT|HEX")
+  | "TIMEOUT" -> (
+      (* TIMEOUT <seconds>|DEFAULT — session statement deadline. *)
+      match String.uppercase_ascii rest with
+      | "DEFAULT" -> Ok (Timeout None)
+      | _ -> (
+          match float_of_string_opt rest with
+          | Some s when s > 0.0 -> Ok (Timeout (Some s))
+          | _ -> Error "usage: TIMEOUT <seconds>|DEFAULT"))
+  | "SHARD" -> (
+      let sub, arg = split_word rest in
+      match String.uppercase_ascii sub with
+      | "LIST" when arg = "" -> Ok Shard_list
+      | "ADD" when arg <> "" -> Ok (Shard_add arg)
+      | _ -> Error "usage: SHARD LIST | SHARD ADD <unix-socket-path>")
   | "STATS" -> (
       match String.uppercase_ascii rest with
       | "" -> Ok (Stats `Server)
@@ -150,7 +192,25 @@ let parse_header header =
         }
   | _ -> Error (Printf.sprintf "malformed response header %S" header)
 
-let render_reply (r : Service.reply) =
+let render_cell = function
+  | `Text -> Relalg.Value.to_string
+  | `Hex -> Storage.Persist.value_encode
+
+let render_score codec s =
+  match codec with
+  | `Text -> Printf.sprintf "score=%.6f" s
+  | `Hex -> Printf.sprintf "score=%h" s
+
+let parse_score codec s =
+  let n = String.length s in
+  if n > 6 && String.sub s 0 6 = "score=" then
+    let payload = String.sub s 6 (n - 6) in
+    match (codec, float_of_string_opt payload) with
+    | _, Some f -> Some f
+    | _, None -> None
+  else None
+
+let render_reply ?(codec = `Text) (r : Service.reply) =
   let fields =
     [
       ("cached", if r.Service.cached then "1" else "0");
@@ -173,13 +233,11 @@ let render_reply (r : Service.reply) =
       let rows =
         List.map2
           (fun row score ->
-            let cells =
-              Array.to_list (Array.map Relalg.Value.to_string row)
-            in
+            let cells = Array.to_list (Array.map (render_cell codec) row) in
             let cells =
               match score with
               | None -> cells
-              | Some s -> cells @ [ Printf.sprintf "score=%.6f" s ]
+              | Some s -> cells @ [ render_score codec s ]
             in
             String.concat "\t" cells)
           r.Service.rows scores

@@ -10,8 +10,11 @@
     CLOSE <name>
     QUERY <sql>
     EXPLAIN <sql>
-    RANK <table>.<column> OF <value>
+    RANK <table>.<column> OF <value> [DENSE]
     STATS [SESSION]
+    WIRE TEXT|HEX
+    TIMEOUT <seconds>|DEFAULT
+    SHARD LIST | SHARD ADD <path>
     QUIT
     SHUTDOWN
     v}
@@ -37,11 +40,23 @@ type command =
   | Close of string  (** Drop the cursor under this statement name. *)
   | Query of string
   | Explain of string
-  | Rank of { table : string; column : string; value : float }
+  | Rank of { table : string; column : string; value : float; dense : bool }
       (** [RANK <table>.<column> OF <value>] — probe the order-statistic
           index for the minimum 1-based rank a row scoring [value] holds
           (or would hold); rank 1 = highest score. *)
   | Stats of [ `Server | `Session ]
+  | Wire of [ `Text | `Hex ]
+      (** Per-connection row codec. [`Hex] renders cells with the persist
+          codec (floats in [%h]) so the stream round-trips bit-exactly —
+          the shard coordinator relies on it. *)
+  | Timeout of float option
+      (** Session default statement deadline; [None] restores the server
+          default. Coordinators propagate their remaining deadline to
+          shards with this before scattering. *)
+  | Shard_add of string
+      (** Coordinator-only: attach a new in-process shard and repartition
+          (the plain listener answers [ERR SHARD]). *)
+  | Shard_list  (** Coordinator-only: one payload line per shard. *)
   | Quit
   | Shutdown
 
@@ -70,7 +85,15 @@ val payload_count : string -> int
 (** Number of payload lines announced by an [OK] header line (0 for
     [ERR]). *)
 
-val render_reply : Service.reply -> response
+val render_reply : ?codec:[ `Text | `Hex ] -> Service.reply -> response
 (** Rows as tab-separated values (scores appended as [score=..] fields),
     with [cached] / [reoptimized] / [latency_ms] / [affected] header
-    fields. *)
+    fields. [`Hex] (default [`Text]) encodes cells with
+    {!Storage.Persist.value_encode} and scores as [%h]. *)
+
+val render_cell : [ `Text | `Hex ] -> Relalg.Value.t -> string
+
+val render_score : [ `Text | `Hex ] -> float -> string
+
+val parse_score : [ `Text | `Hex ] -> string -> float option
+(** Recognize a [score=<f>] trailer cell (either codec). *)

@@ -21,10 +21,10 @@ type error =
   | Plan_error of string
   | Exec_error of string
   | Timeout
-  | Queue_full
+  | Queue_full of string
   | Unknown_prepared of string
   | Unknown_cursor of string
-  | Cursor_stale
+  | Cursor_stale of string
   | Shutting_down
 
 let error_code = function
@@ -33,20 +33,23 @@ let error_code = function
   | Plan_error _ -> "PLAN"
   | Exec_error _ -> "EXEC"
   | Timeout -> "TIMEOUT"
-  | Queue_full -> "QUEUE_FULL"
+  | Queue_full _ -> "QUEUE_FULL"
   | Unknown_prepared _ -> "UNKNOWN_PREPARED"
   | Unknown_cursor _ -> "UNKNOWN_CURSOR"
-  | Cursor_stale -> "CURSOR_STALE"
+  | Cursor_stale _ -> "CURSOR_STALE"
   | Shutting_down -> "SHUTDOWN"
 
 let error_message = function
   | Parse_error m | Bind_error m | Plan_error m | Exec_error m -> m
   | Timeout -> "statement exceeded its deadline"
-  | Queue_full -> "worker queue full; statement shed"
+  | Queue_full who ->
+      Printf.sprintf "worker queue full; statement %S shed" who
   | Unknown_prepared n -> Printf.sprintf "no prepared statement named %S" n
   | Unknown_cursor n -> Printf.sprintf "no open cursor named %S" n
-  | Cursor_stale ->
-      "cursor invalidated: statistics of its tables changed since EXECUTE"
+  | Cursor_stale name ->
+      Printf.sprintf
+        "cursor %S invalidated: statistics of its tables changed since EXECUTE"
+        name
   | Shutting_down -> "server is shutting down"
 
 type reply = {
@@ -114,6 +117,9 @@ type session = {
   cursors : (string, open_cursor) Hashtbl.t;
   slock : Mutex.t;
   smetrics : Metrics.t;
+  mutable stimeout : float option;
+      (* session default deadline override (TIMEOUT verb); a per-call
+         [?timeout_s] still wins *)
 }
 
 let create ?(config = default_config) cat =
@@ -144,6 +150,7 @@ let open_session t =
     cursors = Hashtbl.create 4;
     slock = Mutex.create ();
     smetrics = Metrics.create ();
+      stimeout = None;
   }
 
 let close_cursor_entry oc =
@@ -180,12 +187,13 @@ let close_session s =
    cancels it, or admission control sheds it. The queued counter tracks
    statements only — morsel pump jobs the statements themselves submit to
    the same pool never count against admission. *)
-let submit t ~deadline (f : unit -> ('a, error) result) : ('a, error) result =
+let submit t ~label ~deadline (f : unit -> ('a, error) result) :
+    ('a, error) result =
   let iv = Ivar.create () in
   if Atomic.get t.stopping then Error Shutting_down
   else if Atomic.get t.queued >= t.config.queue_capacity then begin
     Metrics.record_shed t.metrics;
-    Error Queue_full
+    Error (Queue_full label)
   end
   else begin
     Atomic.incr t.queued;
@@ -214,7 +222,7 @@ let record_outcome t s ~latency_s = function
   | Error Timeout ->
       Metrics.record_timeout t.metrics;
       Metrics.record_timeout s.smetrics
-  | Error Queue_full -> Metrics.record_shed s.smetrics  (* server side counted at shed *)
+  | Error (Queue_full _) -> Metrics.record_shed s.smetrics  (* server side counted at shed *)
   | Error _ ->
       Metrics.record_error t.metrics;
       Metrics.record_error s.smetrics
@@ -236,7 +244,12 @@ let record_outcome t s ~latency_s = function
    Top-k can never be rebound (Optimizer.rebind_k requires k >= 1). *)
 let run_template sess ?timeout_s ?k ?cursor_name (tpl : Sqlfront.Sql.template) =
   let t = sess.svc in
-  let timeout = Option.value timeout_s ~default:t.config.default_timeout_s in
+  let timeout =
+    match timeout_s with
+    | Some x -> x
+    | None ->
+        Option.value sess.stimeout ~default:t.config.default_timeout_s
+  in
   let start = Unix.gettimeofday () in
   let deadline = start +. timeout in
   let eff_k =
@@ -256,7 +269,12 @@ let run_template sess ?timeout_s ?k ?cursor_name (tpl : Sqlfront.Sql.template) =
         Error
           (Bind_error (Printf.sprintf "bind error: k must be >= 1, got %d" bad))
     | _ ->
-        submit t ~deadline (fun () ->
+        let label =
+          match cursor_name with
+          | Some name -> name
+          | None -> tpl.Sqlfront.Sql.tpl_text
+        in
+        submit t ~label ~deadline (fun () ->
             let interrupt () = Unix.gettimeofday () > deadline in
             let exec prepared ~cached ~reoptimized =
               match (cursor_name, eff_k) with
@@ -360,7 +378,12 @@ let execute_prepared sess ?timeout_s ?k name =
    the next [n] ranked answers under the catalog read lock. *)
 let fetch sess ?timeout_s ~name n =
   let t = sess.svc in
-  let timeout = Option.value timeout_s ~default:t.config.default_timeout_s in
+  let timeout =
+    match timeout_s with
+    | Some x -> x
+    | None ->
+        Option.value sess.stimeout ~default:t.config.default_timeout_s
+  in
   let start = Unix.gettimeofday () in
   let deadline = start +. timeout in
   let result =
@@ -373,13 +396,13 @@ let fetch sess ?timeout_s ~name n =
       with
       | None -> Error (Unknown_cursor name)
       | Some oc ->
-          submit t ~deadline (fun () ->
+          submit t ~label:name ~deadline (fun () ->
               if
                 Storage.Catalog.epoch_of_tables t.cat oc.oc_tables
                 <> oc.oc_epoch
               then begin
                 ignore (drop_cursor sess name);
-                Error Cursor_stale
+                Error (Cursor_stale name)
               end
               else begin
                 oc.oc_deadline := deadline;
@@ -427,11 +450,16 @@ let is_dml text =
 
 let run_dml sess ?timeout_s text =
   let t = sess.svc in
-  let timeout = Option.value timeout_s ~default:t.config.default_timeout_s in
+  let timeout =
+    match timeout_s with
+    | Some x -> x
+    | None ->
+        Option.value sess.stimeout ~default:t.config.default_timeout_s
+  in
   let start = Unix.gettimeofday () in
   let deadline = start +. timeout in
   let result =
-    submit t ~deadline (fun () ->
+    submit t ~label:text ~deadline (fun () ->
         Rwlock.with_write t.lock (fun () ->
             match Sqlfront.Sql.execute t.cat text with
             | Ok (Sqlfront.Sql.Affected n) -> Ok n
@@ -473,7 +501,7 @@ let explain sess text =
 (* RANK <table>.<column> OF <value>: an O(log n) prefix-count probe of the
    order-statistic index keyed on that column. Runs inline under the read
    lock (no worker round-trip — it touches O(height) pages). *)
-let rank_probe sess ~table ~column value =
+let rank_probe sess ?(dense = false) ~table ~column value =
   let t = sess.svc in
   Rwlock.with_read t.lock (fun () ->
       match Storage.Catalog.find_table t.cat table with
@@ -491,9 +519,16 @@ let rank_probe sess ~table ~column value =
                    (Printf.sprintf "no rank index on %s.%s" table column))
           | Some ix ->
               let bt = ix.Storage.Catalog.ix_btree in
-              Ok
-                ( Storage.Rank_index.rank_of_value bt value,
-                  Storage.Rank_index.total bt )))
+              if dense then
+                Ok
+                  ( Storage.Rank_index.dense_rank_of_value bt value,
+                    Storage.Rank_index.dense_total bt )
+              else
+                Ok
+                  ( Storage.Rank_index.rank_of_value bt value,
+                    Storage.Rank_index.total bt )))
+
+let set_timeout sess timeout_s = sess.stimeout <- timeout_s
 
 let queue_depth t = Atomic.get t.queued
 

@@ -42,11 +42,16 @@ type error =
   | Plan_error of string
   | Exec_error of string
   | Timeout
-  | Queue_full
+  | Queue_full of string
+      (** Shed by admission control; carries the identifier of the shed
+          statement — the prepared/cursor name when one exists, the SQL
+          text otherwise — so clients can tell {e which} in-flight
+          statement was refused. *)
   | Unknown_prepared of string
   | Unknown_cursor of string
-  | Cursor_stale
-      (** The statistics epoch of one of the cursor's own tables moved
+  | Cursor_stale of string
+      (** Carries the cursor's name. The statistics epoch of one of the
+          cursor's own tables moved
           (DML ran against them) since the cursor was opened: its
           materialized enumeration state is stale. The cursor is closed;
           re-EXECUTE to re-plan. DML on unrelated tables does {e not}
@@ -82,6 +87,12 @@ val shutdown : t -> unit
 
 val open_session : t -> session
 val close_session : session -> unit
+
+val set_timeout : session -> float option -> unit
+(** Override this session's default statement deadline ([None] restores
+    the server config default). An explicit per-call [?timeout_s] still
+    wins. The coordinator uses this to propagate its remaining deadline
+    to shard sessions before scattering. *)
 
 val prepare :
   session -> name:string -> string -> (Sqlfront.Sql.template, error) result
@@ -122,13 +133,17 @@ val explain : session -> string -> (string, error) result
 
 val rank_probe :
   session ->
+  ?dense:bool ->
   table:string ->
   column:string ->
   float ->
   (int option * int, error) result
 (** [RANK t.c OF v]: the minimum 1-based rank a row scoring [v] on the
     order-statistic index keyed on [t.c] holds (or would hold), and the
-    total ranked (non-NaN) entry count. [None] for a NaN probe value.
+    total ranked (non-NaN) entry count. With [~dense:true] both numbers
+    count {e distinct} scores instead ([DENSE_RANK] semantics: tie blocks
+    share one number, so the total is the number of distinct scores).
+    [None] for a NaN probe value.
     Requires an index keyed on exactly that column ({!Plan_error}
     otherwise); runs inline under the read lock — O(log n) node visits. *)
 

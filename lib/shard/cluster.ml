@@ -1,0 +1,115 @@
+type t = {
+  cl_config : Server.Service.config;
+  cl_spec : string option;
+  cl_dir : string;
+  cl_mirror : Storage.Catalog.t;
+  mutable cl_coord : Coordinator.t option;
+  mutable cl_listeners : Server.Listener.t list;
+  mutable cl_paths : string list;
+  mutable cl_n : int;
+  mutable cl_gen : int;  (* Socket-name generation counter. *)
+  mutable cl_stopped : bool;
+}
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    let d =
+      Filename.concat base
+        (Printf.sprintf "rankopt_cluster_%d_%d" (Unix.getpid ()) i)
+    in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (i + 1)
+  in
+  go 0
+
+(* Spawn one listener per partition slice. Generation-suffixed socket
+   names keep an old and a new shard set from colliding on a path during
+   a repartition. *)
+let spawn_shards cl part =
+  let slices = Partition.split part cl.cl_mirror in
+  Array.to_list
+    (Array.mapi
+       (fun i cat ->
+         cl.cl_gen <- cl.cl_gen + 1;
+         let path =
+           Filename.concat cl.cl_dir
+             (Printf.sprintf "shard%d_g%d.sock" i cl.cl_gen)
+         in
+         let listener =
+           Server.Listener.start ~config:cl.cl_config
+             (Server.Listener.Unix_socket path) cat
+         in
+         (listener, path))
+       slices)
+
+let endpoints_of paths = List.map (fun p -> Server.Listener.Unix_socket p) paths
+
+let coordinator cl =
+  match cl.cl_coord with Some c -> c | None -> invalid_arg "Cluster: stopped"
+
+let add_shard cl (_path : string) =
+  if cl.cl_stopped then Error "cluster is stopped"
+  else begin
+    let n = cl.cl_n + 1 in
+    let part = Partition.derive ?spec:cl.cl_spec ~n cl.cl_mirror in
+    let spawned = spawn_shards cl part in
+    let listeners = List.map fst spawned in
+    let paths = List.map snd spawned in
+    let old = cl.cl_listeners in
+    let old_paths = cl.cl_paths in
+    Coordinator.reconfigure (coordinator cl) ~part
+      ~endpoints:(endpoints_of paths);
+    cl.cl_listeners <- listeners;
+    cl.cl_paths <- paths;
+    cl.cl_n <- n;
+    List.iter (fun l -> try Server.Listener.stop l with _ -> ()) old;
+    List.iter (fun p -> try Sys.remove p with _ -> ()) old_paths;
+    Ok ()
+  end
+
+let start ?(config = Server.Service.default_config) ?spec ?dir ~n catalog =
+  let n = max 1 n in
+  let dir = match dir with Some d -> d | None -> fresh_dir () in
+  let part = Partition.derive ?spec ~n catalog in
+  let cl =
+    {
+      cl_config = config;
+      cl_spec = spec;
+      cl_dir = dir;
+      cl_mirror = catalog;
+      cl_coord = None;
+      cl_listeners = [];
+      cl_paths = [];
+      cl_n = n;
+      cl_gen = 0;
+      cl_stopped = false;
+    }
+  in
+  let spawned = spawn_shards cl part in
+  cl.cl_listeners <- List.map fst spawned;
+  cl.cl_paths <- List.map snd spawned;
+  let coord =
+    Coordinator.create ~config ~mirror:catalog ~part
+      ~endpoints:(endpoints_of cl.cl_paths) ()
+  in
+  cl.cl_coord <- Some coord;
+  Coordinator.set_reshard coord (fun _ path -> add_shard cl path);
+  cl
+
+let n_shards cl = cl.cl_n
+let socket_paths cl = cl.cl_paths
+
+let stop cl =
+  if not cl.cl_stopped then begin
+    cl.cl_stopped <- true;
+    (match cl.cl_coord with
+    | Some c -> ( try Coordinator.shutdown c with _ -> ())
+    | None -> ());
+    List.iter
+      (fun l -> try Server.Listener.stop l with _ -> ())
+      cl.cl_listeners;
+    List.iter (fun p -> try Sys.remove p with _ -> ()) cl.cl_paths;
+    try Unix.rmdir cl.cl_dir with _ -> ()
+  end

@@ -1,0 +1,40 @@
+(** In-process shard cluster: N {!Server.Listener}s over {!Partition}
+    slices of one catalog, fronted by a {!Coordinator}.
+
+    Each shard is a full [rankopt serve] stack (service, plan cache,
+    worker domains, Unix-socket listener) over its slice; the coordinator
+    keeps the original catalog as its mirror. [SHARD ADD] is wired to
+    {!add_shard}: re-split the mirror over n+1 shards, start the new
+    listeners, swap the coordinator's links (bumping the partitioning
+    epoch) and stop the old generation. *)
+
+type t
+
+val start :
+  ?config:Server.Service.config ->
+  ?spec:string ->
+  ?dir:string ->
+  n:int ->
+  Storage.Catalog.t ->
+  t
+(** Split [catalog] with [Partition.derive ?spec ~n], serve every slice
+    on its own Unix socket under [dir] (a fresh temp directory when
+    omitted), and install the reshard hook. The catalog itself becomes
+    the coordinator's mirror — do not mutate it behind the cluster's
+    back. *)
+
+val coordinator : t -> Coordinator.t
+
+val n_shards : t -> int
+
+val socket_paths : t -> string list
+
+val add_shard : t -> string -> (unit, string) result
+(** Grow the cluster by one shard ([path] names its socket; [""] or
+    ["auto"] picks one under the cluster directory) and repartition from
+    the mirror. Open scatter plans and gather cursors are invalidated via
+    the partitioning epoch. *)
+
+val stop : t -> unit
+(** Stop the coordinator's local service, every shard listener, and
+    remove the socket files. Idempotent. *)

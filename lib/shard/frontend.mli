@@ -1,0 +1,18 @@
+(** Socket front end for the {!Coordinator} — the coordinator-mode
+    [rankopt serve].
+
+    Speaks the same {!Server.Protocol} line protocol as the single-node
+    listener, with the coordinator behind every verb: ranked statements
+    scatter/gather across the cluster (replies gain a
+    [depths=d0,d1,...] header field reporting each shard's observed
+    depth and [scattered=1]), DML routes through the mirror, and the
+    [SHARD ADD]/[SHARD LIST] verbs are live. *)
+
+type t
+
+val start : Cluster.t -> Server.Listener.endpoint -> t
+(** Bind and accept. Raises [Unix.Unix_error] if the endpoint cannot be
+    bound. Stopping the front end does {e not} stop the cluster. *)
+
+val stop : t -> unit
+val wait : t -> unit

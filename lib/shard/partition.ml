@@ -1,0 +1,176 @@
+open Relalg
+
+type scheme =
+  | Hash of string
+  | Score_range of { column : string; cuts : float array }
+
+type t = {
+  n : int;
+  schemes : (string * scheme) list;
+}
+
+let scheme_of t table = List.assoc_opt table t.schemes
+
+let partition_column = function
+  | Hash c -> c
+  | Score_range { column; _ } -> column
+
+(* Hash the persist encoding, not the in-memory value: Hashtbl.hash on a
+   string is stable across processes, so an external shard started with
+   --shard-of agrees with the coordinator about row placement. *)
+let hash_value v = Hashtbl.hash (Storage.Persist.value_encode v) land max_int
+
+let range_bucket cuts x =
+  if Float.is_nan x then 0
+  else begin
+    (* First cut strictly above x; cuts ascending, length n-1. *)
+    let n = Array.length cuts in
+    let rec go i = if i >= n then n else if x <= cuts.(i) then i else go (i + 1) in
+    go 0
+  end
+
+let assign t ~table schema tu =
+  if t.n <= 1 then 0
+  else
+    match scheme_of t table with
+    | None -> 0
+    | Some scheme -> (
+        let column = partition_column scheme in
+        match Schema.index_of schema ~relation:table column with
+        | None -> 0
+        | Some i -> (
+            let v = Tuple.get tu i in
+            match scheme with
+            | Hash _ -> hash_value v mod t.n
+            | Score_range { cuts; _ } -> range_bucket cuts (Value.to_float v)))
+
+let default_column schema =
+  let cols = Schema.columns schema in
+  let name c = c.Schema.name in
+  match List.find_opt (fun c -> name c = "key") cols with
+  | Some c -> name c
+  | None -> ( match cols with c :: _ -> name c | [] -> "key")
+
+let equi_depth_cuts values n =
+  let sorted = List.sort Float.compare (List.filter (fun v -> not (Float.is_nan v)) values) in
+  let arr = Array.of_list sorted in
+  let len = Array.length arr in
+  Array.init (n - 1) (fun i ->
+      if len = 0 then float_of_int i
+      else arr.(min (len - 1) ((i + 1) * len / n)))
+
+let derive ?(spec = "hash") ~n cat =
+  let n = max 1 n in
+  let scheme_for (info : Storage.Catalog.table_info) =
+    let table = info.Storage.Catalog.tb_name in
+    let schema = info.Storage.Catalog.tb_schema in
+    let has col = Schema.mem schema ~relation:table col in
+    match String.split_on_char ':' spec with
+    | [ "hash" ] -> Hash (default_column schema)
+    | [ "hash"; col ] when has col -> Hash col
+    | [ "hash"; _ ] -> Hash (default_column schema)
+    | [ "range"; col ] when has col ->
+        let i = Schema.index_of_exn schema ~relation:table col in
+        let values =
+          List.map
+            (fun tu -> Value.to_float (Tuple.get tu i))
+            (Storage.Heap_file.to_list info.Storage.Catalog.tb_heap)
+        in
+        Score_range { column = col; cuts = equi_depth_cuts values n }
+    | [ "range"; _ ] -> Hash (default_column schema)
+    | _ -> invalid_arg (Printf.sprintf "Partition.derive: bad spec %S" spec)
+  in
+  {
+    n;
+    schemes =
+      List.map
+        (fun info -> (info.Storage.Catalog.tb_name, scheme_for info))
+        (Storage.Catalog.tables cat);
+  }
+
+let split t cat =
+  let shards =
+    Array.init t.n (fun _ ->
+        Storage.Catalog.create ~tuples_per_page:(Storage.Catalog.tuples_per_page cat) ())
+  in
+  List.iter
+    (fun (info : Storage.Catalog.table_info) ->
+      let table = info.Storage.Catalog.tb_name in
+      let schema = info.Storage.Catalog.tb_schema in
+      let buckets = Array.make t.n [] in
+      List.iter
+        (fun tu ->
+          let s = assign t ~table schema tu in
+          buckets.(s) <- tu :: buckets.(s))
+        (Storage.Heap_file.to_list info.Storage.Catalog.tb_heap);
+      Array.iteri
+        (fun s rows ->
+          ignore (Storage.Catalog.create_table shards.(s) table schema (List.rev rows));
+          List.iter
+            (fun (ix : Storage.Catalog.index_info) ->
+              ignore
+                (Storage.Catalog.create_index shards.(s)
+                   ~clustered:ix.Storage.Catalog.ix_clustered
+                   ~name:ix.Storage.Catalog.ix_name ~table
+                   ~key:ix.Storage.Catalog.ix_key ()))
+            (Storage.Catalog.indexes_on cat table))
+        buckets)
+    (Storage.Catalog.tables cat);
+  shards
+
+(* Union-find over (table, column) pairs connected by equi-join
+   conjuncts; co-partitioning requires all partition columns in one
+   class, so equal partition keys imply equal shard assignment and every
+   join pair is shard-local. *)
+let co_partitioned t ~tables ~joins =
+  match tables with
+  | [] -> false
+  | [ _ ] -> true
+  | _ ->
+      let all_hash =
+        List.for_all
+          (fun tbl ->
+            match scheme_of t tbl with Some (Hash _) -> true | _ -> false)
+          tables
+      in
+      all_hash
+      &&
+      let parent = Hashtbl.create 16 in
+      let rec find x =
+        match Hashtbl.find_opt parent x with
+        | None | Some None -> x
+        | Some (Some p) ->
+            let r = find p in
+            Hashtbl.replace parent x (Some r);
+            r
+      in
+      let union a b =
+        let ra = find a and rb = find b in
+        if ra <> rb then Hashtbl.replace parent ra (Some rb)
+      in
+      List.iter (fun (t1, c1, t2, c2) -> union (t1, c1) (t2, c2)) joins;
+      let part_cols =
+        List.map
+          (fun tbl ->
+            match scheme_of t tbl with
+            | Some (Hash c) -> (tbl, c)
+            | _ -> assert false)
+          tables
+      in
+      match part_cols with
+      | [] -> false
+      | first :: rest ->
+          let root = find first in
+          List.for_all (fun pc -> find pc = root) rest
+
+let describe t =
+  let scheme_str = function
+    | Hash c -> Printf.sprintf "hash(%s)" c
+    | Score_range { column; cuts } ->
+        Printf.sprintf "range(%s, %d cut(s))" column (Array.length cuts)
+  in
+  match
+    List.sort_uniq compare (List.map (fun (_, s) -> scheme_str s) t.schemes)
+  with
+  | [] -> Printf.sprintf "%d shard(s)" t.n
+  | descs -> Printf.sprintf "%d shard(s), %s" t.n (String.concat "; " descs)

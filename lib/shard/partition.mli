@@ -1,0 +1,59 @@
+(** Table partitioning for the sharded coordinator.
+
+    Every table is assigned to exactly one scheme; a row's shard is a pure
+    function of the row, the scheme and the shard count, so the
+    coordinator can route single-row DML without consulting the shards.
+
+    [Hash] is the default: rows spread by a stable hash of the partition
+    column, so a top-k over any score expression draws its answers
+    uniformly from all shards and a per-shard bound of [k' = k] is both
+    sound and tight (every shard could in principle hold all k winners).
+    [Score_range] splits a score column into contiguous ranges — the
+    best-range shard usually answers alone, but the bound stays [k' = k]
+    because residual filters can empty any prefix of a range. *)
+
+type scheme =
+  | Hash of string  (** Partition column (stable hash mod shard count). *)
+  | Score_range of { column : string; cuts : float array }
+      (** [cuts] are ascending boundaries; shard [i] holds values in
+          [(cuts.(i-1), cuts.(i)]], shard 0 the bottom, shard [n-1] the
+          top. NaNs go to shard 0. *)
+
+type t = {
+  n : int;  (** Shard count (>= 1). *)
+  schemes : (string * scheme) list;  (** Per-table scheme. *)
+}
+
+val scheme_of : t -> string -> scheme option
+
+val partition_column : scheme -> string
+
+val hash_value : Relalg.Value.t -> int
+(** Stable across processes (hashes the persist encoding). *)
+
+val assign : t -> table:string -> Relalg.Schema.t -> Relalg.Tuple.t -> int
+(** Shard index of one row. Tables without a scheme go to shard 0
+    (unpartitioned singleton tables stay consistent that way). *)
+
+val derive : ?spec:string -> n:int -> Storage.Catalog.t -> t
+(** Build a partitioning for every table of the catalog. [spec] is the
+    CLI string: ["hash"] (default — hash on the table's [key] column when
+    present, else its first column), ["hash:<col>"], or ["range:<col>"]
+    (equi-depth cuts computed from the current data; tables without the
+    column fall back to hash). *)
+
+val split : t -> Storage.Catalog.t -> Storage.Catalog.t array
+(** Materialize the shard catalogs: each table's rows fanned out by
+    {!assign}, schemas and secondary indexes replicated on every shard. *)
+
+val co_partitioned :
+  t -> tables:string list -> joins:(string * string * string * string) list ->
+  bool
+(** Can a multi-table ranked query be answered shard-locally? True when
+    every table is [Hash]-partitioned and the equi-join conjuncts
+    [(t1, c1, t2, c2)] connect all partition columns into one equivalence
+    class — co-located rows then join only within their shard. Single
+    tables are trivially co-partitioned. *)
+
+val describe : t -> string
+(** One-line human summary of the partitioning ("3 shards, hash(key)"). *)

@@ -28,6 +28,9 @@ type query = {
   rank_between : (int * int) option;
       (* WHERE rank() BETWEEN lo AND hi — a by-rank window over the scored
          single-table query (ranks are 1-based, rank 1 = best score). *)
+  rank_dense : bool;
+      (* the window is dense_rank() BETWEEN: distinct scores numbered
+         consecutively, whole tie blocks kept *)
   group_by : expr list;
   order_by : (expr * order_direction) option;
   limit : int option;
@@ -101,7 +104,9 @@ let pp_query fmt q =
       (match rb with
       | Some (lo, hi) ->
           sep ();
-          Format.fprintf fmt "rank() BETWEEN %d AND %d" lo hi
+          Format.fprintf fmt "%s() BETWEEN %d AND %d"
+            (if q.rank_dense then "dense_rank" else "rank")
+            lo hi
       | None -> ());
       List.iter
         (fun (Compare (op, a, b)) ->

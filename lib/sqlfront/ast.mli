@@ -50,6 +50,10 @@ type query = {
           NaN scores are never ranked. {!pp_query} prints the rank window
           first among the WHERE conjuncts, making the canonical form
           stable for plan-cache keys. *)
+  rank_dense : bool;
+      (** The window is [dense_rank() BETWEEN lo AND hi]: distinct scores
+          numbered consecutively (no rank gaps after ties) and the window
+          keeps whole tie blocks. Only meaningful with [rank_between]. *)
   group_by : expr list;
   order_by : (expr * order_direction) option;
   limit : int option;

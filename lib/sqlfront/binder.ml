@@ -233,7 +233,9 @@ let bind catalog (q : Ast.query) =
         [ Core.Logical.base ?filter:(filter_for table) ~score ~weight:1.0 table ]
       in
       let logical =
-        try Core.Logical.make ~relations ~joins:[] ~rank_range:(lo, hi) ()
+        try
+          Core.Logical.make ~relations ~joins:[]
+            ~rank_range:(lo, hi) ~rank_dense:q.Ast.rank_dense ()
         with Invalid_argument msg -> fail "%s" msg
       in
       let projection =

@@ -312,6 +312,7 @@ let parse_with_query st =
     from;
     where;
     rank_between = None;
+    rank_dense = false;
     group_by = [];
     order_by = Some (rank_expr, rank_dir);
     limit = Some k;
@@ -324,11 +325,13 @@ let parse_plain_query st =
   eat_keyword st "FROM";
   let from = comma_separated st ident in
   let rank_between = ref None in
-  (* rank() BETWEEN i AND j — a by-rank window conjunct; the ranks must be
-     positive integer literals with i <= j *)
-  let parse_rank_between () =
+  let rank_dense = ref false in
+  (* rank() BETWEEN i AND j (or dense_rank() BETWEEN i AND j) — a by-rank
+     window conjunct; the ranks must be positive integer literals with
+     i <= j *)
+  let parse_rank_between ~dense =
     advance st;
-    (* rank *)
+    (* rank / dense_rank *)
     eat_symbol st "(";
     eat_symbol st ")";
     eat_keyword st "BETWEEN";
@@ -344,7 +347,8 @@ let parse_plain_query st =
     let hi = bound "upper" in
     if hi < lo then fail "a non-empty rank window (lo <= hi)" st;
     if !rank_between <> None then fail "at most one rank() window" st;
-    rank_between := Some (lo, hi)
+    rank_between := Some (lo, hi);
+    rank_dense := dense
   in
   let where =
     match peek st with
@@ -353,8 +357,10 @@ let parse_plain_query st =
         let rec conjuncts () =
           match st.tokens with
           | Lexer.Tident r :: Lexer.Tsymbol "(" :: Lexer.Tsymbol ")" :: _
-            when String.equal (String.lowercase_ascii r) "rank" -> (
-              parse_rank_between ();
+            when String.equal (String.lowercase_ascii r) "rank"
+                 || String.equal (String.lowercase_ascii r) "dense_rank" -> (
+              parse_rank_between
+                ~dense:(String.equal (String.lowercase_ascii r) "dense_rank");
               match peek st with
               | Lexer.Tkeyword "AND" ->
                   advance st;
@@ -420,6 +426,7 @@ let parse_plain_query st =
     from;
     where;
     rank_between = !rank_between;
+    rank_dense = !rank_dense;
     group_by;
     order_by;
     limit;

@@ -80,6 +80,71 @@ let plan_of ?config ?dop catalog text =
   let* p = prepare_ast ?config ?dop catalog ast in
   Ok (p.bound, p.planned)
 
+(* Post-executor answer assembly: projection (including the absolute
+   rank() numbering, dense on dense windows) and the per-row scores. The
+   shard coordinator calls this on gathered rows so a scattered execution
+   is cell-identical to a single-node one; [schema] is the executed
+   plan's output schema, [result_rows] its (tuple, score) stream after
+   any post-sort/limit. Aggregation answers never come through here. *)
+let project_rows ({ bound; planned } : prepared) schema result_rows =
+  let rank_range =
+    planned.Core.Optimizer.query.Core.Logical.rank_range
+  in
+  let columns, rows =
+    match bound.Binder.projection with
+    | None ->
+        ( List.map Schema.column_name (Schema.columns schema),
+          List.map fst result_rows )
+    | Some targets ->
+        (* rank() positions are absolute: a window starting at rank [lo]
+           numbers its first row [lo], not 1. On a dense window the number
+           advances only when the score changes, so tie blocks share it. *)
+        let rank_base =
+          match rank_range with Some (lo, _) -> lo - 1 | None -> 0
+        in
+        let rank_at =
+          if planned.Core.Optimizer.query.Core.Logical.rank_dense then (
+            let scores = Array.of_list (List.map snd result_rows) in
+            let nums = Array.make (max 1 (Array.length scores)) rank_base in
+            Array.iteri
+              (fun i s ->
+                if i > 0 then
+                  nums.(i) <-
+                    (if Float.compare scores.(i - 1) s = 0 then nums.(i - 1)
+                     else nums.(i - 1) + 1))
+              scores;
+            fun i -> nums.(i))
+          else fun i -> rank_base + i
+        in
+        let fns =
+          List.map
+            (fun (oc, _) ->
+              match oc with
+              | Binder.Col e ->
+                  let f = Expr.compile schema e in
+                  fun _i tu -> f tu
+              | Binder.Rank -> fun i _tu -> Value.Int (i + 1))
+            targets
+        in
+        ( List.map snd targets,
+          List.mapi
+            (fun i (tu, _) ->
+              Array.of_list (List.map (fun f -> f (rank_at i) tu) fns))
+            result_rows )
+  in
+  {
+    columns;
+    rows;
+    scores =
+      (if
+         Core.Logical.is_ranking planned.Core.Optimizer.query
+         || Option.is_some bound.Binder.post_sort
+         || Option.is_some rank_range
+       then List.map snd result_rows
+       else []);
+    planned;
+  }
+
 let run_prepared ?interrupt ?pool ?degree catalog { bound; planned } =
   let result = Core.Optimizer.execute ?interrupt ?pool ?degree catalog planned in
   match bound.Binder.aggregation with
@@ -124,49 +189,7 @@ let run_prepared ?interrupt ?pool ?degree catalog { bound; planned } =
     | None -> sorted_rows
     | Some k -> List.filteri (fun i _ -> i < k) sorted_rows
   in
-  let rank_range =
-    planned.Core.Optimizer.query.Core.Logical.rank_range
-  in
-  let columns, rows =
-    match bound.Binder.projection with
-    | None ->
-        ( List.map Schema.column_name (Schema.columns schema),
-          List.map fst result_rows )
-    | Some targets ->
-        (* rank() positions are absolute: a window starting at rank [lo]
-           numbers its first row [lo], not 1. *)
-        let rank_base =
-          match rank_range with Some (lo, _) -> lo - 1 | None -> 0
-        in
-        let fns =
-          List.map
-            (fun (oc, _) ->
-              match oc with
-              | Binder.Col e ->
-                  let f = Expr.compile schema e in
-                  fun _i tu -> f tu
-              | Binder.Rank -> fun i _tu -> Value.Int (i + 1))
-            targets
-        in
-        ( List.map snd targets,
-          List.mapi
-            (fun i (tu, _) ->
-              Array.of_list (List.map (fun f -> f (rank_base + i) tu) fns))
-            result_rows )
-  in
-  Ok
-    {
-      columns;
-      rows;
-      scores =
-        (if
-           Core.Logical.is_ranking planned.Core.Optimizer.query
-           || Option.is_some bound.Binder.post_sort
-           || Option.is_some rank_range
-         then List.map snd result_rows
-         else []);
-      planned;
-    }
+  Ok (project_rows { bound; planned } schema result_rows)
 
 (* -------------------------------------------------------------------- *)
 (* Cursors: keep an enumerable statement's plan open between fetches.
@@ -302,6 +325,7 @@ let single_table_predicate catalog table where =
       from = [ table ];
       where;
       rank_between = None;
+      rank_dense = false;
       group_by = [];
       order_by = None;
       limit = None;

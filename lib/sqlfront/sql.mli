@@ -80,6 +80,14 @@ val rebind_k : prepared -> int -> prepared
     are updated; the plan shape is reused. The caller should check
     {!Core.Optimizer.k_in_validity} first. *)
 
+val project_rows :
+  prepared -> Relalg.Schema.t -> (Relalg.Tuple.t * float) list -> answer
+(** Post-executor answer assembly — projection (with the absolute,
+    possibly dense, [rank()] numbering) and per-row scores — over an
+    explicit (tuple, score) stream in the plan's output [schema]. The
+    shard coordinator runs this on gathered rows so scattered answers are
+    cell-identical to single-node ones. Not for aggregation queries. *)
+
 val run_prepared :
   ?interrupt:(unit -> bool) ->
   ?pool:Rkutil.Task_pool.t ->
@@ -142,6 +150,12 @@ val analyze : ?config:Core.Enumerator.config -> Storage.Catalog.t -> string -> (
 (** [EXPLAIN ANALYZE]: run the query under a metrics registry and render the
     annotated plan tree — per-operator observed depths (vs the depth model's
     predictions for rank joins) and actual vs estimated I/O. *)
+
+val constant_value : Value.dtype -> Ast.expr -> Value.t
+(** Evaluate one INSERT VALUES constant expression and coerce it to the
+    target column type — exactly the lowering {!execute} applies, exported
+    so the shard coordinator can route a row to its owning shard using the
+    very tuple the mirror stores. @raise Failure on column references. *)
 
 type exec_result =
   | Rows of answer  (** A SELECT (or WITH) query's result. *)

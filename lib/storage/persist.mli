@@ -11,6 +11,15 @@
     statistics are recomputed. This is an offline snapshot facility, not a
     transactional store. *)
 
+val value_encode : Relalg.Value.t -> string
+(** One cell as [<tag>:<payload>] with floats in hex ([%h]) — exact
+    round-trip. Strings are escaped, so the result never contains a tab
+    or newline; doubles as the server's [WIRE HEX] row codec. *)
+
+val value_decode : string -> Relalg.Value.t
+(** Inverse of {!value_encode}.
+    @raise Failure on malformed input. *)
+
 val save : Catalog.t -> dir:string -> unit
 (** Write the catalog. The directory is created if absent; existing files
     for the same tables are overwritten.

@@ -46,6 +46,81 @@ let group_ties entries =
     [] entries
   |> List.rev_map List.rev
 
+(* Dense ranking: tie blocks are numbered consecutively (block i of the
+   descending distinct-score sequence has dense rank i), so unlike
+   competition ranking a block never "uses up" ranks for its extra members.
+   The tree keeps no distinct-count augmentation; dense probes walk the
+   distinct blocks from the best score downward, one O(log n) prefix count
+   per block — O(d log n) for an answer (or window bound) of d blocks,
+   still exponentially below a drain-and-sort for leaderboard-page d. *)
+
+(* Ascending 0-based position of a block's *first* entry, given any key in
+   the block. *)
+let block_start bt key = Btree.count_lt bt key
+
+let key_at bt i =
+  match Btree.select_pos bt ~pos:i ~len:1 with
+  | [ (k, _) ] -> k
+  | _ -> invalid_arg "Rank_index: position out of range"
+
+(* Fold [f] over the descending distinct-score blocks, threading an
+   accumulator; stops when [f] returns [None] or the ranked entries are
+   exhausted. [f acc dense_rank ~start ~stop key] sees the block's inclusive
+   ascending position range [start..stop]. *)
+let fold_blocks bt f init =
+  let nans = nan_count bt in
+  let len = Btree.length bt in
+  let rec go acc dense stop =
+    if stop < nans then acc
+    else
+      let k = key_at bt stop in
+      let start = block_start bt k in
+      match f acc dense ~start ~stop k with
+      | None -> acc
+      | Some acc -> go acc (dense + 1) (start - 1)
+  in
+  go init 1 (len - 1)
+
+let dense_rank_of_value bt score =
+  if Float.is_nan score then None
+  else
+    let target = Value.Float score in
+    (* Walk blocks strictly above [score]; the answer is one past them. *)
+    let seen_above =
+      fold_blocks bt
+        (fun acc _dense ~start:_ ~stop:_ k ->
+          if Value.compare k target > 0 then Some (acc + 1) else None)
+        0
+    in
+    Some (seen_above + 1)
+
+let dense_total bt =
+  fold_blocks bt (fun acc _dense ~start:_ ~stop:_ _k -> Some (acc + 1)) 0
+
+let select_dense_rank bt ~lo ~hi ~resolve ~tie_cmp =
+  let lo = max 1 lo in
+  if hi < lo then []
+  else
+    (* Blocks are whole dense-rank units: the window never cuts a tie block,
+       [tie_cmp] only fixes the emission order inside each one. Collected
+       best block first. *)
+    let blocks =
+      fold_blocks bt
+        (fun acc dense ~start ~stop _k ->
+          if dense > hi then None
+          else if dense < lo then Some acc
+          else
+            let entries = Btree.select_pos bt ~pos:start ~len:(stop - start + 1) in
+            let members =
+              List.map (fun (k, payload) -> (k, resolve payload)) entries
+              |> List.stable_sort (fun (_, t1) (_, t2) -> tie_cmp t1 t2)
+            in
+            Some (members :: acc))
+        []
+    in
+    List.rev blocks |> List.concat
+    |> List.map (fun (k, tuple) -> (tuple, Value.to_float k))
+
 let select_rank bt ~lo ~hi ~resolve ~tie_cmp =
   let len = Btree.length bt in
   let nans = nan_count bt in

@@ -22,6 +22,27 @@ val rank_of_value : Btree.t -> float -> int option
 (** Minimum rank an entry with this score holds (or would hold): one more
     than the number of strictly greater ranked entries. [None] for NaN. *)
 
+val dense_rank_of_value : Btree.t -> float -> int option
+(** Dense rank an entry with this score holds (or would hold): one more than
+    the number of {e distinct} strictly greater ranked scores. [None] for
+    NaN. Costs O(d log n) node visits for an answer of [d] — the tree keeps
+    no distinct-count augmentation, so the probe walks the tie blocks above
+    the score. *)
+
+val dense_total : Btree.t -> int
+(** Number of distinct ranked scores (= the largest dense rank); O(d log n). *)
+
+val select_dense_rank :
+  Btree.t ->
+  lo:int ->
+  hi:int ->
+  resolve:(Tuple.t -> Tuple.t) ->
+  tie_cmp:(Tuple.t -> Tuple.t -> int) ->
+  (Tuple.t * float) list
+(** The members of the dense-rank blocks [lo..hi] inclusive (best block
+    first). A dense window always contains whole tie blocks; [tie_cmp] only
+    orders members within each block. Costs O(hi · log n + output). *)
+
 val select_rank :
   Btree.t ->
   lo:int ->

@@ -1,0 +1,95 @@
+#!/bin/sh
+# Smoke test for the sharded coordinator: start `rankopt serve --shards 2`
+# on a private Unix socket, drive a scripted client session through the
+# line protocol — a scattered top-k join (per-shard depths reported), a
+# rank window, SHARD LIST, a routed INSERT followed by a re-query that
+# must surface the new row first, and SHARD ADD (repartition + epoch
+# bump) followed by a three-way scatter — then shut the cluster down.
+set -eu
+
+RANKOPT=${RANKOPT:-_build/default/bin/rankopt.exe}
+SOCK=$(mktemp -u /tmp/rankopt-shard-XXXXXX.sock)
+LOG=$(mktemp /tmp/rankopt-shard-XXXXXX.log)
+OUT=$(mktemp /tmp/rankopt-shard-XXXXXX.out)
+
+cleanup() {
+    [ -n "${SERVER_PID:-}" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -f "$SOCK" "$LOG" "$OUT"
+}
+trap cleanup EXIT INT TERM
+
+"$RANKOPT" serve --socket "$SOCK" --shards 2 --workers 1 \
+    --table A:1000:100 --table B:1000:100 >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the coordinator socket to appear.
+i=0
+while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "shard-smoke: coordinator did not come up; log:" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+"$RANKOPT" client --socket "$SOCK" >"$OUT" <<'EOF'
+PING
+QUERY SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER BY 0.5*A.score + 0.5*B.score DESC LIMIT 5
+QUERY SELECT A.id, rank() FROM A WHERE rank() BETWEEN 4 AND 11 ORDER BY A.score DESC
+SHARD LIST
+QUERY INSERT INTO A VALUES (99001, 7, 99.5)
+QUERY SELECT A.id, A.score FROM A ORDER BY A.score DESC LIMIT 3
+SHARD ADD auto
+QUERY SELECT A.id, A.score FROM A ORDER BY A.score DESC LIMIT 3
+STATS
+EOF
+
+"$RANKOPT" client --socket "$SOCK" SHUTDOWN >>"$OUT"
+
+# The coordinator must exit on SHUTDOWN (bounded wait).
+i=0
+while kill -0 "$SERVER_PID" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "shard-smoke: coordinator still running after SHUTDOWN" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+SERVER_PID=
+
+fail() {
+    echo "shard-smoke: $1" >&2
+    echo "--- session transcript:" >&2
+    cat "$OUT" >&2
+    echo "--- server log:" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+grep -q "coordinating 2 shard" "$LOG" || fail "serve did not report shard mode"
+grep -q "pong=1" "$OUT" || fail "no PING reply"
+# The top-k join must scatter and report a per-shard depth vector.
+grep -q "rows=5 scattered=1" "$OUT" || fail "top-k join was not scattered"
+grep -Eq "depths=[0-9]+,[0-9]+" "$OUT" || fail "no per-shard depths reported"
+# The rank window (ranks 4..11) scatters too.
+grep -q "rows=8 scattered=1" "$OUT" || fail "rank window was not scattered"
+# SHARD LIST names both shards with per-table row counts.
+grep -q "^shard 0 .*A=" "$OUT" || fail "SHARD LIST missing shard 0"
+grep -q "^shard 1 .*A=" "$OUT" || fail "SHARD LIST missing shard 1"
+# Routed DML: applied to the mirror and the owning shard...
+grep -q "affected=1" "$OUT" || fail "routed INSERT not applied"
+# ...and the scattered re-query sees the unbeatable new row first.
+grep -q "^99001" "$OUT" || fail "re-query after INSERT missed the new row"
+# SHARD ADD repartitions to three shards and bumps the epoch...
+grep -q "shards=3 part_epoch=" "$OUT" || fail "SHARD ADD did not repartition"
+# ...after which scatters fan out over three streams.
+grep -Eq "depths=[0-9]+,[0-9]+,[0-9]+" "$OUT" \
+    || fail "no three-way scatter after SHARD ADD"
+grep -q "^shards=3" "$OUT" || fail "STATS missing cluster shard count"
+grep -q "shutdown=1" "$OUT" || fail "SHUTDOWN not acknowledged"
+if grep -q "^ERR" "$OUT"; then fail "session contained an ERR reply"; fi
+
+echo "shard-smoke: OK"

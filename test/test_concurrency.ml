@@ -113,6 +113,117 @@ let test_catalog_stats_epoch () =
   let e2 = Catalog.stats_epoch cat in
   Alcotest.(check bool) "analyze bumps epoch" true (e2 > e1)
 
+(* ------------------------------------------------------------------ *)
+(* Wire-protocol framing under adversarial and concurrent clients      *)
+(* ------------------------------------------------------------------ *)
+
+let with_listener f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rankopt-frame-%d.sock" (Unix.getpid ()))
+  in
+  let cat = Catalog.create () in
+  ignore
+    (Workload.Generator.load_scored_table cat
+       (Rkutil.Prng.create 7)
+       ~name:"A" ~n:120 ~key_domain:10 ());
+  let srv = Server.Listener.start (Server.Listener.Unix_socket path) cat in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Listener.stop srv;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f (Server.Listener.Unix_socket path))
+
+(* An overlong command must be answered with ERR PROTOCOL and consumed;
+   the connection stays framed and usable afterwards. *)
+let test_oversized_line () =
+  with_listener @@ fun ep ->
+  let c = Server.Client.connect ep in
+  let big =
+    "QUERY " ^ String.make (Server.Listener.max_line_bytes + 100) 'x'
+  in
+  (match Server.Client.request c big with
+  | Ok r ->
+      Alcotest.(check bool) "rejected" false r.Server.Protocol.ok;
+      Alcotest.(check string) "protocol error" "PROTOCOL"
+        r.Server.Protocol.code
+  | Error e -> Alcotest.fail e);
+  (match Server.Client.request c "PING" with
+  | Ok r -> Alcotest.(check bool) "connection survives" true r.Server.Protocol.ok
+  | Error e -> Alcotest.fail e);
+  Server.Client.close c
+
+(* A command split into single-byte writes must still parse as one line,
+   and two commands sent in one write must yield two framed responses. *)
+let test_partial_and_batched_writes () =
+  with_listener @@ fun ep ->
+  let path = match ep with Server.Listener.Unix_socket p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let line = "PING\n" in
+  String.iter
+    (fun ch ->
+      ignore (Unix.write_substring fd (String.make 1 ch) 0 1);
+      Thread.yield ())
+    line;
+  let header = input_line ic in
+  Alcotest.(check bool) "byte-at-a-time command answered" true
+    (String.length header >= 2 && String.sub header 0 2 = "OK");
+  let batch = "PING\nPING\n" in
+  ignore (Unix.write_substring fd batch 0 (String.length batch));
+  let h1 = input_line ic and h2 = input_line ic in
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "pipelined command answered" true
+        (String.length h >= 2 && String.sub h 0 2 = "OK"))
+    [ h1; h2 ];
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Concurrent sessions hammering EXECUTE / FETCH / CLOSE interleavings:
+   every reply must stay well-formed — OK, or an ERR whose code is one
+   the cursor lifecycle can legally produce — and the server must still
+   answer a fresh connection afterwards. *)
+let test_fetch_close_hammer () =
+  with_listener @@ fun ep ->
+  let errors = Atomic.make 0 in
+  let hammer tid =
+    let c = Server.Client.connect ep in
+    let req line =
+      match Server.Client.request c line with
+      | Error _ -> Atomic.incr errors
+      | Ok r ->
+          if
+            (not r.Server.Protocol.ok)
+            && not
+                 (List.mem r.Server.Protocol.code
+                    [ "UNKNOWN_CURSOR"; "UNKNOWN_PREPARED"; "CURSOR_STALE" ])
+          then Atomic.incr errors
+    in
+    req
+      (Printf.sprintf
+         "PREPARE q%d SELECT id FROM A ORDER BY A.score DESC LIMIT ?" tid);
+    let prng = Rkutil.Prng.create (100 + tid) in
+    for _ = 1 to 40 do
+      match Rkutil.Prng.int prng 4 with
+      | 0 -> req (Printf.sprintf "EXECUTE q%d 3" tid)
+      | 1 -> req (Printf.sprintf "FETCH q%d NEXT 2" tid)
+      | 2 -> req (Printf.sprintf "CLOSE q%d" tid)
+      | _ -> req "PING"
+    done;
+    Server.Client.close c
+  in
+  let threads = List.init 6 (fun i -> Thread.create hammer i) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no malformed or unexpected replies" 0
+    (Atomic.get errors);
+  let c = Server.Client.connect ep in
+  (match Server.Client.request c "PING" with
+  | Ok r -> Alcotest.(check bool) "server alive" true r.Server.Protocol.ok
+  | Error e -> Alcotest.fail e);
+  Server.Client.close c
+
 let suites =
   [
     ( "concurrency",
@@ -125,5 +236,11 @@ let suites =
           test_pool_concurrent_dirty;
         Alcotest.test_case "catalog: stats epoch monotone" `Quick
           test_catalog_stats_epoch;
+        Alcotest.test_case "protocol: oversized line is shed, not fatal"
+          `Quick test_oversized_line;
+        Alcotest.test_case "protocol: partial and pipelined writes" `Quick
+          test_partial_and_batched_writes;
+        Alcotest.test_case "protocol: FETCH/CLOSE interleaving hammer" `Slow
+          test_fetch_close_hammer;
       ] );
   ]

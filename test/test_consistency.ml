@@ -52,7 +52,10 @@ let prop_best_is_cheapest_retained =
       | _ -> false)
 
 let plan_children = function
-  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _ -> []
+  | Plan.Table_scan _ | Plan.Index_scan _ | Plan.Rank_index_scan _
+  | Plan.Remote_scan _ ->
+      []
+  | Plan.Gather_merge { inputs; _ } -> inputs
   | Plan.Filter { input; _ }
   | Plan.Sort { input; _ }
   | Plan.Top_k { input; _ }

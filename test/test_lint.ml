@@ -219,7 +219,8 @@ let test_mutation_pl12 () =
 let test_mutation_pl13 () =
   let cat = setup () in
   let rank ?(lo = 1) ?(hi = 10) index =
-    Plan.Rank_index_scan { table = "A"; index; score = score "A"; lo; hi }
+    Plan.Rank_index_scan
+      { table = "A"; index; score = score "A"; lo; hi; dense = false }
   in
   let lint p = Lint.Rules.rank_rule cat (Lint.Walk.derive cat p) in
   expect_only "PL13-rank" (lint (rank ~lo:0 (Some "A_score")));
@@ -242,6 +243,45 @@ let test_mutation_pl13 () =
   in
   expect_clean "rank-range planned statement"
     (Lint.Engine.lint_planned (Optimizer.optimize cat query))
+
+(* PL14: scatter/gather soundness — shard bounds, merge-order
+   justification, distinct shards, remote-only inputs. *)
+let test_mutation_pl14 () =
+  let cat = setup () in
+  let rscan ?(shard = 0) ?(sc = Some (score "A")) ?(k' = Some 5) () =
+    Plan.Remote_scan
+      {
+        shard;
+        endpoint = Printf.sprintf "shard%d.sock" shard;
+        sql = "SELECT * FROM A ORDER BY A.score DESC LIMIT ?";
+        tables = [ "A" ];
+        score = sc;
+        k_bound = k';
+      }
+  in
+  let gather ?(sc = Some (score "A")) ?(k = Some 5) inputs =
+    Plan.Gather_merge { inputs; score = sc; k }
+  in
+  let lint p = Lint.Rules.shard_rule (Lint.Walk.derive cat p) in
+  Alcotest.(check int)
+    "two-shard gather lints clean" 0
+    (List.length (lint (gather [ rscan (); rscan ~shard:1 () ])));
+  (* no shard inputs at all *)
+  expect_only "PL14-shard" (lint (gather []));
+  (* the same shard merged twice *)
+  expect_only "PL14-shard" (lint (gather [ rscan (); rscan () ]));
+  (* per-shard bound below the gather's k: a shard can hold all winners *)
+  expect_only "PL14-shard" (lint (gather [ rscan ~k':(Some 3) () ]));
+  (* bounded gather over an unbounded shard stream *)
+  expect_only "PL14-shard" (lint (gather [ rscan ~k':None () ]));
+  (* merge order claimed over an unordered shard stream *)
+  expect_only "PL14-shard" (lint (gather [ rscan ~sc:None () ]));
+  (* shard sorted by a different score than the merge compares on *)
+  expect_only "PL14-shard"
+    (lint (gather [ rscan ~sc:(Some (score "B")) () ]));
+  (* a local (non-remote) input under the gather *)
+  expect_only "PL14-shard"
+    (lint (gather ~sc:None ~k:None [ Plan.Table_scan { table = "A" } ]))
 
 (* --- zero false positives ------------------------------------------- *)
 
@@ -293,7 +333,7 @@ let test_fuzz_corpus_clean () =
 
 let test_catalog_complete () =
   let ids = List.map fst Lint.Rules.catalog in
-  Alcotest.(check int) "thirteen rules" 13 (List.length ids);
+  Alcotest.(check int) "fourteen rules" 14 (List.length ids);
   Alcotest.(check bool)
     "distinct ids" true
     (List.length (List.sort_uniq String.compare ids) = List.length ids)
@@ -329,6 +369,8 @@ let suites =
         Alcotest.test_case "PL12 Enumerate-bit flip" `Quick test_mutation_pl12;
         Alcotest.test_case "PL13 by-rank justification" `Quick
           test_mutation_pl13;
+        Alcotest.test_case "PL14 scatter/gather soundness" `Quick
+          test_mutation_pl14;
       ] );
     ( "lint.clean",
       [

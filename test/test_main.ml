@@ -36,4 +36,5 @@ let () =
          Test_concurrency.suites;
          Test_parallel.suites;
          Test_server.suites;
+         Test_shard.suites;
        ])

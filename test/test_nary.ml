@@ -219,8 +219,9 @@ let star_query ?(k = 10) () =
 let rec plan_has_nary = function
   | Core.Plan.Nary_rank_join _ -> true
   | Core.Plan.Table_scan _ | Core.Plan.Index_scan _ | Core.Plan.Rank_index_scan _
-    ->
+  | Core.Plan.Remote_scan _ ->
       false
+  | Core.Plan.Gather_merge { inputs; _ } -> List.exists plan_has_nary inputs
   | Core.Plan.Filter { input; _ }
   | Core.Plan.Sort { input; _ }
   | Core.Plan.Top_k { input; _ }

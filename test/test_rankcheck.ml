@@ -115,6 +115,7 @@ let inlj_filter_case =
             Compare (Ge, col "T0" "score", Number 0.25);
           ];
         rank_between = None;
+        rank_dense = false;
         group_by = [];
         order_by =
           Some
@@ -164,6 +165,7 @@ let empty_input_case =
         from = [ "T0"; "T1" ];
         where = [ Compare (Eq, col "T0" "key", col "T1" "key") ];
         rank_between = None;
+        rank_dense = false;
         group_by = [];
         order_by =
           Some (Binop (Add, col "T0" "score", col "T1" "score"), Desc);

@@ -332,7 +332,7 @@ let test_service_queue_full () =
   let shed, completed =
     Array.fold_left
       (fun (shed, completed) -> function
-        | Error Server.Service.Queue_full -> (shed + 1, completed)
+        | Error (Server.Service.Queue_full _) -> (shed + 1, completed)
         | Ok _ -> (shed, completed + 1)
         | Error e -> Alcotest.fail (Server.Service.error_code e))
       (0, 0) outcomes
@@ -502,7 +502,7 @@ let test_cursor_stale_after_dml () =
   ignore (get_reply (Server.Service.execute_prepared s ~k:3 "q"));
   ignore (get_reply (Server.Service.query s "INSERT INTO A VALUES (9999, 1, 0.5)"));
   (match Server.Service.fetch s ~name:"q" 2 with
-  | Error Server.Service.Cursor_stale -> ()
+  | Error (Server.Service.Cursor_stale _) -> ()
   | Ok _ -> Alcotest.fail "FETCH across a stats-epoch bump must be stale"
   | Error e -> Alcotest.fail ("stale: " ^ Server.Service.error_code e));
   (* The stale cursor is dropped, not wedged: re-EXECUTE re-plans and
@@ -539,7 +539,7 @@ let test_per_table_epoch_isolation () =
   (* Writes to A — one of its own tables — must still invalidate both. *)
   ignore (get_reply (Server.Service.query s "INSERT INTO A VALUES (9998, 1, 0.5)"));
   (match Server.Service.fetch s ~name:"q" 2 with
-  | Error Server.Service.Cursor_stale -> ()
+  | Error (Server.Service.Cursor_stale _) -> ()
   | Ok _ -> Alcotest.fail "DML on the cursor's own table must stale it"
   | Error e -> Alcotest.fail ("own-table DML: " ^ Server.Service.error_code e));
   let r = get_reply (Server.Service.execute_prepared s ~k:3 "q") in
@@ -551,10 +551,19 @@ let test_per_table_epoch_isolation () =
    order-statistic probe. *)
 let test_rank_probe () =
   (match Server.Protocol.parse_command "RANK A.score OF 0.5" with
-  | Ok (Server.Protocol.Rank { table = "A"; column = "score"; value }) ->
-      Alcotest.(check (float 0.0)) "value" 0.5 value
+  | Ok (Server.Protocol.Rank { table = "A"; column = "score"; value; dense }) ->
+      Alcotest.(check (float 0.0)) "value" 0.5 value;
+      Alcotest.(check bool) "sparse by default" false dense
   | Ok _ -> Alcotest.fail "expected Rank"
   | Error e -> Alcotest.fail e);
+  (match Server.Protocol.parse_command "RANK A.score OF 0.5 DENSE" with
+  | Ok (Server.Protocol.Rank { dense; _ }) ->
+      Alcotest.(check bool) "DENSE suffix parsed" true dense
+  | Ok _ -> Alcotest.fail "expected Rank"
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool)
+    "RANK with a junk suffix rejected" true
+    (Result.is_error (Server.Protocol.parse_command "RANK A.score OF 0.5 NOPE"));
   Alcotest.(check bool)
     "RANK without OF rejected" true
     (Result.is_error (Server.Protocol.parse_command "RANK A.score 0.5"));
@@ -632,6 +641,89 @@ let test_cursor_deadline_hammer () =
     (List.length f.Server.Service.rows);
   Server.Service.close_session s
 
+(* RANK ... DENSE: dense numbering counts distinct scores, so a tied
+   table separates it from the sparse probe. *)
+let test_dense_rank_probe () =
+  let cat = Storage.Catalog.create () in
+  let schema =
+    Relalg.Schema.of_columns
+      [
+        Relalg.Schema.column "id" Relalg.Value.Tint;
+        Relalg.Schema.column "score" Relalg.Value.Tfloat;
+      ]
+  in
+  let tuples =
+    List.mapi
+      (fun i s -> [| Relalg.Value.Int (i + 1); Relalg.Value.Float s |])
+      [ 0.9; 0.9; 0.8; 0.7; 0.7; 0.7; 0.6; 0.5 ]
+  in
+  ignore (Storage.Catalog.create_table cat "D" schema tuples);
+  ignore
+    (Storage.Catalog.create_index cat ~name:"d_score" ~table:"D"
+       ~key:(Relalg.Expr.col ~relation:"D" "score")
+       ());
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  let dense v = Server.Service.rank_probe s ~dense:true ~table:"D" ~column:"score" v in
+  let sparse v = Server.Service.rank_probe s ~table:"D" ~column:"score" v in
+  (match (sparse 0.7, dense 0.7) with
+  | Ok (Some r, total), Ok (Some d, dtotal) ->
+      Alcotest.(check int) "sparse rank of 0.7" 4 r;
+      Alcotest.(check int) "sparse total" 8 total;
+      Alcotest.(check int) "dense rank of 0.7" 3 d;
+      Alcotest.(check int) "dense total = distinct scores" 5 dtotal
+  | _ -> Alcotest.fail "probe failed");
+  (match dense 0.75 with
+  | Ok (Some d, _) ->
+      Alcotest.(check int) "absent value would open block 3" 3 d
+  | _ -> Alcotest.fail "absent-value dense probe failed");
+  (match dense Float.nan with
+  | Ok (rank, _) -> Alcotest.(check (option int)) "NaN dense probe" None rank
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  Server.Service.close_session s
+
+(* Satellite regression: ERR CURSOR_STALE and ERR QUEUE_FULL replies
+   must identify the cursor/statement they refer to, so a client
+   multiplexing statements can tell which one failed. *)
+let test_error_identifiers () =
+  let contains hay needle =
+    let n = String.length needle in
+    let rec scan i =
+      i + n <= String.length hay
+      && (String.sub hay i n = needle || scan (i + 1))
+    in
+    scan 0
+  in
+  (* Rendered ERR lines carry the identifier in the message. *)
+  let stale = Server.Service.Cursor_stale "cur42" in
+  Alcotest.(check string) "stale code" "CURSOR_STALE"
+    (Server.Service.error_code stale);
+  Alcotest.(check bool) "stale message names the cursor" true
+    (contains (Server.Service.error_message stale) "cur42");
+  let shed = Server.Service.Queue_full "stmt7" in
+  Alcotest.(check string) "shed code" "QUEUE_FULL"
+    (Server.Service.error_code shed);
+  Alcotest.(check bool) "shed message names the statement" true
+    (contains (Server.Service.error_message shed) "stmt7");
+  (* End to end: a fetch against a DML-staled cursor reports its name. *)
+  let cat = mk_catalog ~n:60 [ "A"; "B" ] in
+  with_service cat @@ fun svc ->
+  let s = Server.Service.open_session svc in
+  (match Server.Service.prepare s ~name:"mycur" join_sql with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  ignore (get_reply (Server.Service.execute_prepared s ~k:2 "mycur"));
+  (match Server.Service.query s "DELETE FROM A WHERE A.id <= 1" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  (match Server.Service.fetch s ~name:"mycur" 2 with
+  | Error (Server.Service.Cursor_stale name) ->
+      Alcotest.(check string) "stale error carries the cursor name" "mycur"
+        name
+  | Ok _ -> Alcotest.fail "expected CURSOR_STALE"
+  | Error e -> Alcotest.fail (Server.Service.error_message e));
+  Server.Service.close_session s
+
 (* ------------------------------------------------------------------ *)
 (* Server-mode fuzzer slice                                            *)
 (* ------------------------------------------------------------------ *)
@@ -688,6 +780,10 @@ let suites =
           test_per_table_epoch_isolation;
         Alcotest.test_case "RANK probe: parse + order-statistic descent"
           `Quick test_rank_probe;
+        Alcotest.test_case "RANK probe: DENSE counts distinct scores" `Quick
+          test_dense_rank_probe;
+        Alcotest.test_case "ERR replies carry cursor/statement identifiers"
+          `Quick test_error_identifiers;
         Alcotest.test_case "deadline mid-FETCH does not wedge the pool" `Slow
           test_cursor_deadline_hammer;
       ] );

@@ -866,6 +866,101 @@ let test_sql_rank_window_residual_filter () =
             (Value.to_int (Tuple.get tu 1) <= 5))
         ans.Sqlfront.Sql.rows
 
+(* --- dense_rank() BETWEEN windows --- *)
+
+(* A tiny table with a known tie structure: scores 0.9 0.9 0.8 0.7 0.7
+   0.7 0.6 0.5 give dense blocks 1={1,2} 2={3} 3={4,5,6} 4={7} 5={8}. *)
+let setup_dense () =
+  let cat = Storage.Catalog.create () in
+  let schema =
+    Schema.of_columns
+      [ Schema.column "id" Value.Tint; Schema.column "score" Value.Tfloat ]
+  in
+  let tuples =
+    List.mapi
+      (fun i s -> [| Value.Int (i + 1); Value.Float s |])
+      [ 0.9; 0.9; 0.8; 0.7; 0.7; 0.7; 0.6; 0.5 ]
+  in
+  ignore (Storage.Catalog.create_table cat "D" schema tuples);
+  ignore
+    (Storage.Catalog.create_index cat ~name:"d_score" ~table:"D"
+       ~key:(Relalg.Expr.col ~relation:"D" "score")
+       ());
+  cat
+
+let test_parse_dense_rank_window () =
+  let q =
+    Sqlfront.Parser.parse
+      "SELECT * FROM D WHERE dense_rank() BETWEEN 2 AND 4 ORDER BY D.score \
+       DESC"
+  in
+  Alcotest.(check (option (pair int int)))
+    "window" (Some (2, 4)) q.Sqlfront.Ast.rank_between;
+  Alcotest.(check bool) "dense flag" true q.Sqlfront.Ast.rank_dense;
+  let printed = Format.asprintf "%a" Sqlfront.Ast.pp_query q in
+  Alcotest.(check bool) "canonical print keeps DENSE" true
+    (let re = "dense_rank() BETWEEN" in
+     let n = String.length re in
+     let rec scan i =
+       i + n <= String.length printed
+       && (String.sub printed i n = re || scan (i + 1))
+     in
+     scan 0);
+  let q2 = Sqlfront.Parser.parse printed in
+  Alcotest.(check bool) "dense round-trips" true q2.Sqlfront.Ast.rank_dense;
+  Alcotest.(check string) "canonical print is a fixed point" printed
+    (Format.asprintf "%a" Sqlfront.Ast.pp_query q2)
+
+(* Dense windows keep whole tie blocks and a projected rank() emits the
+   dense number, so ties share it. *)
+let test_sql_dense_rank_window_end_to_end () =
+  let cat = setup_dense () in
+  match
+    Sqlfront.Sql.query cat
+      "SELECT rank() AS r, D.id FROM D WHERE dense_rank() BETWEEN 2 AND 4 \
+       ORDER BY D.score DESC"
+  with
+  | Error e -> Alcotest.failf "dense window failed: %s" e
+  | Ok ans ->
+      Test_util.check_non_increasing "window ordered" ans.Sqlfront.Sql.scores;
+      Alcotest.(check (list int))
+        "whole tie blocks 2..4" [ 3; 4; 5; 6; 7 ]
+        (List.map
+           (fun tu -> Value.to_int (Tuple.get tu 1))
+           ans.Sqlfront.Sql.rows);
+      Alcotest.(check (list int))
+        "rank() emits dense numbers" [ 2; 3; 3; 3; 4 ]
+        (List.map
+           (fun tu -> Value.to_int (Tuple.get tu 0))
+           ans.Sqlfront.Sql.rows)
+
+(* Same window, index dropped: the sort fallback must slice by dense
+   block too. A fresh catalog without d_score forces it. *)
+let test_sql_dense_rank_window_sort_fallback () =
+  let cat = Storage.Catalog.create () in
+  let schema =
+    Schema.of_columns
+      [ Schema.column "id" Value.Tint; Schema.column "score" Value.Tfloat ]
+  in
+  let tuples =
+    List.mapi
+      (fun i s -> [| Value.Int (i + 1); Value.Float s |])
+      [ 0.9; 0.9; 0.8; 0.7; 0.7; 0.7; 0.6; 0.5 ]
+  in
+  ignore (Storage.Catalog.create_table cat "D" schema tuples);
+  match
+    Sqlfront.Sql.query cat
+      "SELECT D.id FROM D WHERE dense_rank() BETWEEN 3 AND 3 ORDER BY \
+       D.score DESC"
+  with
+  | Error e -> Alcotest.failf "dense window (no index) failed: %s" e
+  | Ok ans ->
+      Alcotest.(check (list int))
+        "block 3 is the 0.7 tie block" [ 4; 5; 6 ]
+        (List.map
+           (fun tu -> Value.to_int (Tuple.get tu 0))
+           ans.Sqlfront.Sql.rows)
+
 let rank_window_suite =
   ( "sqlfront.rank_window",
     [
@@ -877,6 +972,12 @@ let rank_window_suite =
         test_sql_rank_window_end_to_end;
       Alcotest.test_case "residual filter prunes within window" `Quick
         test_sql_rank_window_residual_filter;
+      Alcotest.test_case "dense parse + round-trip" `Quick
+        test_parse_dense_rank_window;
+      Alcotest.test_case "dense window keeps tie blocks" `Quick
+        test_sql_dense_rank_window_end_to_end;
+      Alcotest.test_case "dense sort fallback" `Quick
+        test_sql_dense_rank_window_sort_fallback;
     ] )
 
 let update_suite =
