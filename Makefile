@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-perf bench-anyk bench-leaderboard bench-shard bench-smoke fuzz lint serve-smoke shard-smoke ci clean
+.PHONY: all build test bench bench-perf bench-anyk bench-leaderboard bench-shard bench-sanitize bench-smoke fuzz lint sanitize serve-smoke shard-smoke ci clean
 
 all: build
 
@@ -51,11 +51,18 @@ bench-leaderboard: build
 bench-shard: build
 	dune exec bench/main.exe -- shard
 
+# Lockcheck instrumentation overhead on the serve mix: the same workload
+# with hooks uninstalled vs installed (interleaved best-of-5), reporting
+# the relative slowdown and asserting zero diagnostics. Appends one JSON
+# row to BENCH_RANKOPT.json.
+bench-sanitize: build
+	dune exec bench/main.exe -- sanitize
+
 # Reduced-size subset (<30s): prints the rows but does NOT append, so
 # `make ci` stays clean-tree.
 bench-smoke: build
 	dune exec bench/main.exe -- perf-smoke anyk-smoke leaderboard-smoke \
-	  shard-smoke
+	  shard-smoke sanitize-smoke
 
 # Static plan analysis (planlint): run the rule catalog (PL01..PL13) over
 # the example query corpus and over a fixed slice of the fuzz corpus,
@@ -70,6 +77,18 @@ lint: build
 	  --dir examples/queries
 	dune exec bin/rankopt.exe -- lint --fuzz-seed $(LINT_SEED) \
 	  --fuzz-cases $(LINT_CASES)
+
+# Concurrency-discipline sweep (lockcheck): replay the hammer / serve /
+# fuzz workloads with the Latch instrumentation installed and check the
+# LK01..LK08 rules (lock-order cycles and rank inversions, blocking under
+# a Short latch, guard bypass, read->write upgrade, leaks at quiesce
+# points, release pairing, hold-time outliers). Exits nonzero on any
+# diagnostic. Open-ended sweeps:  make sanitize SAN_SEED=7 SAN_CASES=200
+SAN_SEED ?= 42
+SAN_CASES ?= 25
+sanitize: build
+	dune exec bin/rankopt.exe -- sanitize --seed $(SAN_SEED) \
+	  --cases $(SAN_CASES)
 
 # End-to-end smoke test of the query service: start `rankopt serve` on a
 # private Unix socket, run a scripted client session (prepare / bind k /
@@ -86,13 +105,14 @@ shard-smoke: build
 	sh scripts/shard_smoke.sh
 
 # What CI runs: a full build + test pass, the static plan lint, the
-# server and shard-coordinator smoke tests, the perf smoke subset, a
-# short 2-domain degree-sweep hammer (parallel execution must match
-# serial exactly) and a short sharded differential sweep (scattered
-# execution must match single-node tuple-exactly), then verify the
-# working tree is clean (catches build artifacts or generated files
-# accidentally committed, and formatter/codegen drift).
-ci: build test lint serve-smoke shard-smoke bench-smoke
+# fixed-seed concurrency-discipline sweep, the server and
+# shard-coordinator smoke tests, the perf smoke subset, a short 2-domain
+# degree-sweep hammer (parallel execution must match serial exactly) and
+# a short sharded differential sweep (scattered execution must match
+# single-node tuple-exactly), then verify the working tree is clean
+# (catches build artifacts or generated files accidentally committed,
+# and formatter/codegen drift).
+ci: build test lint sanitize serve-smoke shard-smoke bench-smoke
 	dune exec bin/rankopt.exe -- fuzz --degree 2 --seed 0 --cases 200
 	dune exec bin/rankopt.exe -- fuzz --shard 4 --seed 0 --cases 50
 	@status=$$(git status --porcelain); \

@@ -36,6 +36,8 @@ let experiments =
     ("leaderboard-smoke", fun () -> Leaderboard_bench.run ~smoke:true ());
     ("shard", fun () -> Shard_bench.run ());
     ("shard-smoke", fun () -> Shard_bench.run ~smoke:true ());
+    ("sanitize", fun () -> Sanitize_bench.run ());
+    ("sanitize-smoke", fun () -> Sanitize_bench.run ~smoke:true ());
   ]
 
 let usage () =

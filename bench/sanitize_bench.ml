@@ -1,0 +1,80 @@
+(* Lockcheck instrumentation overhead on the serve mix.
+
+   Runs Serve_bench's closed-loop client/worker workload twice over the
+   same catalog — hooks uninstalled (production configuration: every latch
+   op is one ref read and a branch) and hooks installed (full per-thread
+   acquire/release tracing with the online LK rules) — and reports the
+   relative slowdown. The sanitize CI gate targets <= 10% so the
+   instrumented replay stays cheap enough to run on every merge.
+
+   The instrumented side must also report zero diagnostics: the bench
+   doubles as a discipline sweep over the serve path. Appends one JSON row
+   to BENCH_RANKOPT.json (smoke mode prints without appending). *)
+
+let bench_file = "BENCH_RANKOPT.json"
+
+let run ?(smoke = false) () =
+  Bench_util.section "sanitize: lockcheck instrumentation overhead (serve mix)";
+  let catalog = Bench_util.two_table_catalog ~n:5000 ~domain:200 ~seed:42 () in
+  let n = if smoke then 400 else 2000 in
+  let reps = if smoke then 1 else 5 in
+  (* Same configuration as [Serve_bench.run] so the overhead row is an
+     apples-to-apples companion of the serve throughput row. *)
+  let workers = 4 and clients = 4 in
+  (* Warm the buffer pool and the code paths once, uninstrumented. *)
+  ignore (Serve_bench.run_service catalog ~workers ~clients n);
+  let errors = ref 0 in
+  let plain () =
+    let dt, _, _, errs = Serve_bench.run_service catalog ~workers ~clients n in
+    errors := !errors + errs;
+    dt
+  in
+  let events = ref 0 and diags = ref [] in
+  let traced () =
+    let dt, su, ds =
+      Sanitize.Engine.checked (fun () ->
+          let dt, _, _, errs =
+            Serve_bench.run_service catalog ~workers ~clients n
+          in
+          errors := !errors + errs;
+          dt)
+    in
+    events := su.Sanitize.Trace.su_events;
+    diags := !diags @ ds;
+    dt
+  in
+  (* Interleave the two sides rep by rep and take each side's best: load
+     drift on a shared container spans seconds, so back-to-back pairs see
+     the same conditions where sequential blocks would not. *)
+  let off_s = ref infinity and on_s = ref infinity in
+  for _ = 1 to reps do
+    off_s := Float.min !off_s (plain ());
+    on_s := Float.min !on_s (traced ())
+  done;
+  let off_s = !off_s and on_s = !on_s in
+  let overhead = (on_s -. off_s) /. off_s in
+  List.iter
+    (fun d -> print_endline ("  " ^ Lint.Diag.to_string d))
+    !diags;
+  Bench_util.row "%-28s %12s %12s\n" "" "hooks off" "hooks on";
+  Bench_util.row "%-28s %11.4fs %11.4fs\n" "serve mix wall time" off_s on_s;
+  Bench_util.row "%-28s %12s %11.1f%%\n" "overhead" "" (100.0 *. overhead);
+  Bench_util.row "%-28s %12s %12d\n" "events traced" "" !events;
+  Bench_util.row "%-28s %12s %12d\n" "diagnostics" "" (List.length !diags);
+  let row =
+    Printf.sprintf
+      "{\"bench\":\"sanitize\",\"statements\":%d,\"workers\":%d,\
+       \"clients\":%d,\"cores\":%d,\"off_s\":%.4f,\"on_s\":%.4f,\
+       \"overhead\":%.4f,\"events\":%d,\"diags\":%d,\"errors\":%d}"
+      n workers clients
+      (Domain.recommended_domain_count ())
+      off_s on_s overhead !events (List.length !diags) !errors
+  in
+  print_endline row;
+  if not smoke then begin
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 bench_file in
+    output_string oc row;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "(1 row appended to %s)\n" bench_file
+  end

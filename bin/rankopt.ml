@@ -733,13 +733,194 @@ let lint_cmd =
        $ traditional_arg $ from_arg $ files_arg $ dirs_arg $ fuzz_seed_arg
        $ fuzz_cases_arg $ json_arg $ sqls_arg))
 
+(* -- sanitize: the lockcheck concurrency-discipline analyzer ------------ *)
+
+(* A 4-domain hammer over the sharded buffer pool: concurrent faults,
+   hits, dirtying and flushes exercise the shard latches and the
+   page-fault blocking marker. *)
+let sanitize_hammer ~seed =
+  let io = Storage.Io_stats.create () in
+  let pool = Storage.Buffer_pool.create ~frames:8 io in
+  let pages = 32 in
+  let ids =
+    Array.init pages (fun _ ->
+        Storage.Page.id (Storage.Buffer_pool.alloc_page pool ~capacity:4))
+  in
+  Storage.Buffer_pool.flush pool;
+  let ds =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let prng = Rkutil.Prng.create (seed + d) in
+            for _ = 1 to 2_000 do
+              let id = ids.(Rkutil.Prng.int prng pages) in
+              ignore (Storage.Buffer_pool.get pool id);
+              if Rkutil.Prng.int prng 4 = 0 then
+                Storage.Buffer_pool.mark_dirty pool id
+            done))
+  in
+  List.iter Domain.join ds;
+  Storage.Buffer_pool.flush pool
+
+(* A socket serve mix: concurrent client threads over a live listener
+   running cached top-k, cursor FETCH/CLOSE interleavings and DML, ended
+   by a protocol SHUTDOWN (the graceful-drain path). Returns the number
+   of malformed/unexpected replies. *)
+let sanitize_serve ~seed =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "rankopt-sanitize-%d.sock" (Unix.getpid ()))
+  in
+  let cat = Storage.Catalog.create () in
+  ignore
+    (Workload.Generator.load_scored_table cat
+       (Rkutil.Prng.create seed)
+       ~name:"A" ~n:300 ~key_domain:20 ());
+  ignore
+    (Workload.Generator.load_scored_table cat
+       (Rkutil.Prng.create (seed + 1))
+       ~name:"B" ~n:300 ~key_domain:20 ());
+  let ep = Server.Listener.Unix_socket path in
+  let config =
+    { Server.Service.default_config with workers = 2; dop = 2 }
+  in
+  let srv = Server.Listener.start ~config ep cat in
+  let errors = Atomic.make 0 in
+  let client tid =
+    let c = Server.Client.connect ep in
+    let req line =
+      match Server.Client.request c line with
+      | Error _ -> Atomic.incr errors
+      | Ok r ->
+          if
+            (not r.Server.Protocol.ok)
+            && not
+                 (List.mem r.Server.Protocol.code
+                    [ "UNKNOWN_CURSOR"; "UNKNOWN_PREPARED"; "CURSOR_STALE" ])
+          then Atomic.incr errors
+    in
+    req
+      (Printf.sprintf
+         "PREPARE q%d SELECT A.id, B.id FROM A, B WHERE A.key = B.key ORDER \
+          BY 0.5*A.score + 0.5*B.score DESC LIMIT ?"
+         tid);
+    let prng = Rkutil.Prng.create (seed + 40 + tid) in
+    for i = 1 to 30 do
+      match Rkutil.Prng.int prng 6 with
+      | 0 -> req (Printf.sprintf "EXECUTE q%d 5" tid)
+      | 1 -> req (Printf.sprintf "FETCH q%d NEXT 3" tid)
+      | 2 -> req (Printf.sprintf "CLOSE q%d" tid)
+      | 3 -> req "QUERY SELECT A.id FROM A ORDER BY A.score DESC LIMIT 4"
+      | 4 ->
+          req
+            (Printf.sprintf "QUERY INSERT INTO B VALUES (%d, %d, 0.25)"
+               (9000 + (100 * tid) + i)
+               (Rkutil.Prng.int prng 20))
+      | _ -> req "STATS"
+    done;
+    Server.Client.close c
+  in
+  let threads = List.init 4 (fun i -> Thread.create client i) in
+  List.iter Thread.join threads;
+  let c = Server.Client.connect ep in
+  (match Server.Client.request c "SHUTDOWN" with
+  | Ok r -> if not r.Server.Protocol.ok then Atomic.incr errors
+  | Error _ -> Atomic.incr errors);
+  Server.Client.close c;
+  Server.Listener.wait srv;
+  (try Sys.remove path with Sys_error _ -> ());
+  Atomic.get errors
+
+let sanitize_cmd =
+  let run seed cases shards json =
+    let t0 = Unix.gettimeofday () in
+    let failures = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+    let sweep name outcome =
+      if outcome.Check.Rankcheck.o_failures <> [] then begin
+        List.iter
+          (fun f -> Format.eprintf "%a@.@." Check.Rankcheck.pp_failure f)
+          outcome.Check.Rankcheck.o_failures;
+        fail "%s: %d divergence(s)" name
+          (List.length outcome.Check.Rankcheck.o_failures)
+      end
+    in
+    let (), su, diags =
+      Sanitize.Engine.checked (fun () ->
+          sanitize_hammer ~seed;
+          let serve_errors = sanitize_serve ~seed in
+          if serve_errors > 0 then
+            fail "serve mix: %d malformed replies" serve_errors;
+          sweep "fuzz --server" (Check.Rankcheck.run_server ~seed ~cases ());
+          sweep "fuzz --degree 2"
+            (Check.Rankcheck.run_degree ~seed ~cases ~degree:2 ());
+          sweep
+            (Printf.sprintf "fuzz --shard %d" shards)
+            (Check.Rankcheck.run_shard ~seed
+               ~cases:(max 1 (cases / 4))
+               ~shards ()))
+    in
+    if su.Sanitize.Trace.su_events = 0 then
+      fail "instrumentation recorded no events (hooks not installed?)";
+    let dt = Unix.gettimeofday () -. t0 in
+    if json then
+      Printf.printf
+        "{\"sanitize\": {\"seed\": %d, \"cases\": %d, \"threads\": %d, \
+         \"events\": %d, \"sites\": %d, \"edges\": %d, \"workload_failures\": \
+         %d, \"diags\": %s}}\n"
+        seed cases su.Sanitize.Trace.su_threads su.Sanitize.Trace.su_events
+        (List.length su.Sanitize.Trace.su_sites)
+        (List.length su.Sanitize.Trace.su_edges)
+        (List.length !failures)
+        (Lint.Diag.list_to_json diags)
+    else begin
+      List.iter (fun d -> print_endline (Lint.Diag.to_string d)) diags;
+      List.iter (fun f -> Printf.printf "workload failure: %s\n" f) !failures;
+      Printf.printf
+        "lockcheck: hammer + serve + fuzz sweeps under instrumentation — %d \
+         threads, %d events, %d sites, %d lock-order edges, %d diagnostic(s) \
+         [%.1fs]\n"
+        su.Sanitize.Trace.su_threads su.Sanitize.Trace.su_events
+        (List.length su.Sanitize.Trace.su_sites)
+        (List.length su.Sanitize.Trace.su_edges)
+        (List.length diags) dt
+    end;
+    if diags = [] && !failures = [] then `Ok ()
+    else `Error (false, "lockcheck reported diagnostics (see above)")
+  in
+  let cases_arg =
+    let doc = "Fuzz cases per sweep (the shard sweep runs a quarter)." in
+    Arg.(value & opt int 25 & info [ "cases" ] ~docv:"N" ~doc)
+  in
+  let shards_arg =
+    let doc = "Shard count for the coordinator sweep." in
+    Arg.(value & opt int 3 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let json_arg =
+    let doc = "Emit one machine-readable JSON object instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let doc =
+    "Replay concurrency-heavy workloads (buffer-pool domain hammer, socket \
+     serve mix with graceful SHUTDOWN, fuzz --server/--degree/--shard \
+     slices) with every latch instrumented, and audit the traces against \
+     the declared concurrency discipline: lock-order-graph acyclicity and \
+     declared ranks (LK01/LK02), blocking-under-latch (LK03), guarded-state \
+     access (LK04), read->write upgrades (LK05), leaks at quiesce points \
+     (LK06), release pairing (LK07) and hold-time outliers (LK08). Exits \
+     nonzero on any diagnostic or workload divergence."
+  in
+  Cmd.v
+    (Cmd.info "sanitize" ~doc)
+    Term.(ret (const run $ seed_arg $ cases_arg $ shards_arg $ json_arg))
+
 let main_cmd =
   let doc = "rank-aware top-k query engine (SIGMOD 2004 reproduction)" in
   let info = Cmd.info "rankopt" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       query_cmd; explain_cmd; analyze_cmd; repl_cmd; serve_cmd; client_cmd;
-      fuzz_cmd; lint_cmd;
+      fuzz_cmd; lint_cmd; sanitize_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

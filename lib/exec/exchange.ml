@@ -56,7 +56,7 @@ type 'a gather = {
   g_cancelled : bool Atomic.t;
   mutable g_failure : exn option;
   mutable g_live_pumps : int;
-  g_lock : Mutex.t;
+  g_lock : Rkutil.Latch.t;
   g_slot_ready : Condition.t;  (* slot filled, pump exited, or cancel *)
   g_window_open : Condition.t;  (* consumer advanced, or cancel *)
   g_stats : Exec_stats.t;  (* inputs 0..dop-1 = pumps, dop = consumer *)
@@ -85,11 +85,11 @@ let fail g e =
   Condition.broadcast g.g_window_open
 
 let rec pump g w =
-  Mutex.lock g.g_lock;
+  Rkutil.Latch.lock g.g_lock;
   let rec claim () =
     if cancelled g || g.g_next_claim >= g.g_n then None
     else if g.g_next_claim >= g.g_consumed + g.g_window then begin
-      Condition.wait g.g_window_open g.g_lock;
+      Rkutil.Latch.wait g.g_window_open g.g_lock;
       claim ()
     end
     else begin
@@ -102,18 +102,13 @@ let rec pump g w =
   | None ->
       g.g_live_pumps <- g.g_live_pumps - 1;
       Condition.broadcast g.g_slot_ready;
-      Mutex.unlock g.g_lock
+      Rkutil.Latch.unlock g.g_lock
   | Some i ->
-      Mutex.unlock g.g_lock;
+      Rkutil.Latch.unlock g.g_lock;
       (match g.g_run i with
       | payload ->
-          Mutex.lock g.g_lock;
-          fill g ~worker:w i payload;
-          Mutex.unlock g.g_lock
-      | exception e ->
-          Mutex.lock g.g_lock;
-          fail g e;
-          Mutex.unlock g.g_lock);
+          Rkutil.Latch.protect g.g_lock (fun () -> fill g ~worker:w i payload)
+      | exception e -> Rkutil.Latch.protect g.g_lock (fun () -> fail g e));
       pump g w
 
 let start ?pool ~dop ~window ~stats ~weight ~n ~run ~cancel_flag () =
@@ -130,7 +125,7 @@ let start ?pool ~dop ~window ~stats ~weight ~n ~run ~cancel_flag () =
       g_cancelled = cancel_flag;
       g_failure = None;
       g_live_pumps = 0;
-      g_lock = Mutex.create ();
+      g_lock = Rkutil.Latch.create ~name:"exec.exchange.gather" ~rank:65 ();
       g_slot_ready = Condition.create ();
       g_window_open = Condition.create ();
       g_stats = stats;
@@ -146,28 +141,30 @@ let start ?pool ~dop ~window ~stats ~weight ~n ~run ~cancel_flag () =
            may be queued behind the very consumer that would wait). *)
         ignore
           (Rkutil.Task_pool.submit pool (fun () ->
-               Mutex.lock g.g_lock;
-               if cancelled g then Mutex.unlock g.g_lock
-               else begin
-                 g.g_live_pumps <- g.g_live_pumps + 1;
-                 Mutex.unlock g.g_lock;
-                 pump g w
-               end))
+               let live =
+                 Rkutil.Latch.protect g.g_lock (fun () ->
+                     if cancelled g then false
+                     else begin
+                       g.g_live_pumps <- g.g_live_pumps + 1;
+                       true
+                     end)
+               in
+               if live then pump g w))
       done);
   g
 
 (* Next morsel payload in morsel-index order; the consumer helps run
    unclaimed morsels rather than wait on pool scheduling. *)
 let rec take g =
-  Mutex.lock g.g_lock;
+  Rkutil.Latch.lock g.g_lock;
   let rec loop () =
     match g.g_failure with
     | Some e ->
-        Mutex.unlock g.g_lock;
+        Rkutil.Latch.unlock g.g_lock;
         raise e
     | None ->
         if g.g_consumed >= g.g_n then begin
-          Mutex.unlock g.g_lock;
+          Rkutil.Latch.unlock g.g_lock;
           None
         end
         else begin
@@ -177,11 +174,11 @@ let rec take g =
               g.g_filled <- g.g_filled - 1;
               g.g_consumed <- g.g_consumed + 1;
               Condition.broadcast g.g_window_open;
-              Mutex.unlock g.g_lock;
+              Rkutil.Latch.unlock g.g_lock;
               Some payload
           | None ->
               if cancelled g then begin
-                Mutex.unlock g.g_lock;
+                Rkutil.Latch.unlock g.g_lock;
                 None
               end
               else if
@@ -190,22 +187,19 @@ let rec take g =
               then begin
                 let i = g.g_next_claim in
                 g.g_next_claim <- i + 1;
-                Mutex.unlock g.g_lock;
+                Rkutil.Latch.unlock g.g_lock;
                 (match g.g_run i with
                 | payload ->
-                    Mutex.lock g.g_lock;
-                    fill g ~worker:g.g_dop i payload;
-                    Mutex.unlock g.g_lock
+                    Rkutil.Latch.protect g.g_lock (fun () ->
+                        fill g ~worker:g.g_dop i payload)
                 | exception e ->
-                    Mutex.lock g.g_lock;
-                    fail g e;
-                    Mutex.unlock g.g_lock);
+                    Rkutil.Latch.protect g.g_lock (fun () -> fail g e));
                 take g
               end
               else begin
                 (* the slot we need was claimed by a pump that is running
                    it right now — it will fill the slot or report failure *)
-                Condition.wait g.g_slot_ready g.g_lock;
+                Rkutil.Latch.wait g.g_slot_ready g.g_lock;
                 loop ()
               end
         end
@@ -217,13 +211,13 @@ let rec take g =
    cancel flag and exit without registering. Idempotent. *)
 let stop g =
   Atomic.set g.g_cancelled true;
-  Mutex.lock g.g_lock;
+  Rkutil.Latch.lock g.g_lock;
   Condition.broadcast g.g_window_open;
   Condition.broadcast g.g_slot_ready;
   while g.g_live_pumps > 0 do
-    Condition.wait g.g_slot_ready g.g_lock
+    Rkutil.Latch.wait g.g_slot_ready g.g_lock
   done;
-  Mutex.unlock g.g_lock
+  Rkutil.Latch.unlock g.g_lock
 
 (* ------------------------------------------------------------------ *)
 (* The streaming exchange: parallel producers, ordered gather.         *)

@@ -1,0 +1,121 @@
+(** Instrumented synchronization primitives for the lockcheck sanitizer.
+
+    Every mutex and rwlock in the engine is a [Latch.t] (or [Latch.Rw.t])
+    created with a declared {e site name}, a {e rank} in the global
+    lock-order table, and a {e class} ([Short] for page/cache latches that
+    must never be held across blocking operations, [Long] for coarse locks
+    that serialize I/O or whole statements by design).
+
+    In normal builds the wrappers cost one [ref] read and a branch per
+    operation: [hooks] is [None] and every call degrades to the raw
+    [Mutex]/[Condition] primitive. When sanitize mode is linked
+    (see [Sanitize.Engine]) it installs [hooks] and receives
+    acquire/release events, blocking-operation markers, guarded-state
+    access markers, and quiesce points, from which the LK01–LK08 rules are
+    checked. This is the same zero-cost-when-unlinked pattern as planlint's
+    [Core.Enumerator.retain_hook]. *)
+
+type cls =
+  | Short  (** latch: bounded critical sections, no blocking while held *)
+  | Long  (** lock: may be held across blocking I/O / whole statements *)
+
+type mode = Shared | Exclusive
+
+type t
+
+val create : name:string -> rank:int -> ?cls:cls -> unit -> t
+(** Create a latch registered at lock-order [rank] (lower ranks are
+    acquired first; acquiring a latch whose rank is [<=] the highest held
+    rank is an LK02 ordering violation). [cls] defaults to [Short].
+    Latches sharing [name] (e.g. buffer-pool shards) share a rank but get
+    distinct instance ids. *)
+
+val name : t -> string
+val rank : t -> int
+val cls : t -> cls
+
+val instance : t -> int
+(** Process-unique instance id (two shards of the same site are different
+    instances; re-acquiring the same instance is self-deadlock). *)
+
+val lock : t -> unit
+val unlock : t -> unit
+
+val protect : t -> (unit -> 'a) -> 'a
+(** [protect t f] runs [f] holding [t]; exception-safe (the latch is
+    released on any unwind, including [Executor.Interrupted]). *)
+
+val wait : Condition.t -> t -> unit
+(** [wait c t] waits on [c] with [t] held. The wait {e releases} the
+    underlying mutex, so the instrumentation sees a release before the
+    wait and a re-acquire after — an idle worker parked on a condition
+    does not count as holding its latch. *)
+
+(** Writer-preferring read/write lock over an instrumented site.
+
+    Readers share the lock ([Shared] mode); a waiting writer blocks new
+    readers so writers cannot starve. The internal mutex and conditions
+    are raw (invisible to the sanitizer); only the {e logical} read/write
+    acquisitions are instrumented. *)
+module Rw : sig
+  type rw
+
+  val create : name:string -> rank:int -> ?cls:cls -> unit -> rw
+
+  val lock_read : rw -> unit
+  val unlock_read : rw -> unit
+  val lock_write : rw -> unit
+  val unlock_write : rw -> unit
+
+  val with_read : rw -> (unit -> 'a) -> 'a
+  (** Run under a shared (read) lock; exception-safe. *)
+
+  val with_write : rw -> (unit -> 'a) -> 'a
+  (** Run under the exclusive (write) lock; exception-safe. *)
+end
+
+(** {1 Sanitize hooks} *)
+
+type hooks = {
+  h_acquire : t -> mode -> unit;
+      (** Before blocking on the primitive: rank/upgrade checks and
+          lock-order edges are taken against the calling thread's
+          held-set, then the latch is pushed onto it. Running before the
+          block means an ordering violation is reported even if the
+          acquisition then deadlocks; the push being a moment early only
+          affects the acquiring thread's own view. *)
+  h_release : t -> mode -> unit;
+      (** Just before the primitive is dropped: pairing (LK07) and
+          hold-time (LK08) checks. *)
+  h_blocking : t option -> string -> unit;
+      (** A potentially blocking operation [what] is about to run; [Some
+          self] exempts one latch that legitimately covers the operation
+          (the buffer-pool fault marker fires under its own shard latch). *)
+  h_guarded : t -> string -> unit;
+      (** Structure [what] is being touched; its guard latch must be
+          held by the calling thread (LK04). *)
+  h_quiesce : string -> unit;
+      (** A point where the calling thread must hold nothing (end of a
+          pool job, between protocol commands, ...): any held latch is an
+          LK06 leak. *)
+}
+
+val hooks : hooks option ref
+(** [None] (the default) means uninstrumented: every wrapper degrades to
+    the raw primitive. Installed by [Sanitize.Engine] only. *)
+
+val blocking : ?self:t -> string -> unit
+(** Marker: a blocking operation (socket read/write, [Domain.join],
+    page-fault I/O, condition-free sleeps) is about to run. *)
+
+val blocking_self : t -> string -> unit
+(** [blocking_self l what] = [blocking ~self:l what], but the option is
+    built only when hooks are installed — use on hot paths so the
+    uninstrumented call allocates nothing. *)
+
+val guarded : t -> string -> unit
+(** Marker: shared structure [what] is being accessed; latch [l] (its
+    registered guard) must be held by the calling thread. *)
+
+val quiesce : string -> unit
+(** Marker: the calling thread should hold no latch here. *)

@@ -1,5 +1,5 @@
 type t = {
-  lock : Mutex.t;
+  lock : Latch.t;
   wake : Condition.t;
   jobs : (unit -> unit) Queue.t;
   mutable stopping : bool;
@@ -9,19 +9,19 @@ type t = {
 
 let rec worker t =
   let job =
-    Mutex.lock t.lock;
+    Latch.lock t.lock;
     let rec take () =
       match Queue.take_opt t.jobs with
       | Some j -> Some j
       | None ->
           if t.stopping then None
           else begin
-            Condition.wait t.wake t.lock;
+            Latch.wait t.wake t.lock;
             take ()
           end
     in
     let j = take () in
-    Mutex.unlock t.lock;
+    Latch.unlock t.lock;
     j
   in
   match job with
@@ -31,13 +31,16 @@ let rec worker t =
          submitter's business (tasks that care thread results through their
          own channels). *)
       (try j () with _ -> ());
+      (* Every job must release everything it took: a latch still held
+         here leaked across the job boundary (LK06). *)
+      Latch.quiesce "task_pool.job";
       worker t
 
 let create ~domains =
   let size = max 0 domains in
   let t =
     {
-      lock = Mutex.create ();
+      lock = Latch.create ~name:"rkutil.task_pool" ~rank:60 ();
       wake = Condition.create ();
       jobs = Queue.create ();
       stopping = false;
@@ -51,31 +54,32 @@ let create ~domains =
 let size t = t.size
 
 let submit t job =
-  Mutex.lock t.lock;
+  Latch.lock t.lock;
   (* No workers means an enqueued job would never run: reject so the
      caller runs it (exchange consumers help-drain their own morsels). *)
   if t.stopping || t.size = 0 then begin
-    Mutex.unlock t.lock;
+    Latch.unlock t.lock;
     false
   end
   else begin
     Queue.push job t.jobs;
     Condition.signal t.wake;
-    Mutex.unlock t.lock;
+    Latch.unlock t.lock;
     true
   end
 
 let pending t =
-  Mutex.lock t.lock;
+  Latch.lock t.lock;
   let n = Queue.length t.jobs in
-  Mutex.unlock t.lock;
+  Latch.unlock t.lock;
   n
 
 let shutdown t =
-  Mutex.lock t.lock;
+  Latch.lock t.lock;
   let ds = t.domains in
   t.stopping <- true;
   t.domains <- [];
   Condition.broadcast t.wake;
-  Mutex.unlock t.lock;
+  Latch.unlock t.lock;
+  Latch.blocking "task_pool.join";
   List.iter Domain.join ds

@@ -1,0 +1,241 @@
+module Latch = Rkutil.Latch
+module Diag = Lint.Diag
+
+(* Hold-time stamps come from a coarse clock: a ticker thread updates
+   [coarse_now] every few milliseconds and the hot path reads it for the
+   price of a load. LK08's limits are 1s/60s, so millisecond granularity
+   is three orders of magnitude of headroom — while two [gettimeofday]
+   calls per lock/unlock pair were the single largest instrumentation
+   cost. *)
+let coarse_now = Atomic.make 0.0
+let ticker : Thread.t option ref = ref None
+let ticker_stop = Atomic.make false
+
+let start_ticker () =
+  Atomic.set coarse_now (Unix.gettimeofday ());
+  Atomic.set ticker_stop false;
+  ticker :=
+    Some
+      (Thread.create
+         (fun () ->
+           while not (Atomic.get ticker_stop) do
+             Atomic.set coarse_now (Unix.gettimeofday ());
+             Unix.sleepf 0.005
+           done)
+         ())
+
+let stop_ticker () =
+  Atomic.set ticker_stop true;
+  match !ticker with
+  | None -> ()
+  | Some th ->
+      ticker := None;
+      Thread.join th
+
+let now () = Atomic.get coarse_now
+
+(* Allocation-free scans over the held-stack (top-level recursions, no
+   closures), mirroring the clean cases of the corresponding rules. *)
+
+let rec acquire_clean st inst rank idx =
+  idx >= st.Trace.st_held_n
+  ||
+  let h = st.Trace.st_held_arr.(idx) in
+  h.Rules.ho_inst <> inst
+  && h.Rules.ho_rank < rank
+  && acquire_clean st inst rank (idx + 1)
+
+let rec blocking_clean st selfinst idx =
+  idx >= st.Trace.st_held_n
+  ||
+  let h = st.Trace.st_held_arr.(idx) in
+  (h.Rules.ho_cls = Latch.Long || h.Rules.ho_inst = selfinst)
+  && blocking_clean st selfinst (idx + 1)
+
+let h_acquire l mode =
+  let st = Trace.get () in
+  let name = Latch.name l in
+  let inst = Latch.instance l in
+  let rank = Latch.rank l in
+  if not (Trace.seen st inst) then
+    Trace.register_site st inst (name, rank, Latch.cls l);
+  if st.Trace.st_held_n > 0 then begin
+    (* Mirror of [Rules.check_acquire]'s clean case — no same instance
+       held and every held rank strictly below the new one — as one
+       allocation-free scan. A statement-long lock (the catalog read
+       lock) makes almost every acquire nest, so this is hot; the rule
+       itself (with its diag formatting) runs only on a violation. *)
+    if not (acquire_clean st inst rank 0) then
+      Trace.add_diags st
+        (Rules.check_acquire ~where:st.Trace.st_where
+           ~held:(Trace.held_list st) ~name ~inst ~rank ~mode);
+    (* Lock-order edge held -> new — also on violating acquires: LK01
+       needs the back edge of a cycle, which LK02 already flags. Same-
+       site nesting (two buffer-pool shards) stays out of the graph so
+       one mistake does not double-report as a self-cycle. *)
+    for i = 0 to st.Trace.st_held_n - 1 do
+      let hn = st.Trace.st_held_arr.(i).Rules.ho_name in
+      if
+        hn <> name
+        && not (hn == st.Trace.st_edge_src && name == st.Trace.st_edge_dst)
+      then begin
+        if not (Hashtbl.mem st.Trace.st_edges (hn, name)) then
+          Hashtbl.add st.Trace.st_edges (hn, name) ();
+        st.Trace.st_edge_src <- hn;
+        st.Trace.st_edge_dst <- name
+      end
+    done
+  end;
+  Trace.held_push st ~name ~inst ~rank ~cls:(Latch.cls l) ~mode
+    ~since:(now ());
+  Trace.bump st
+
+let h_release l mode =
+  let st = Trace.get () in
+  let inst = Latch.instance l in
+  let n = st.Trace.st_held_n in
+  (if
+     n > 0
+     &&
+     let h = st.Trace.st_held_arr.(n - 1) in
+     h.Rules.ho_inst = inst && h.Rules.ho_mode = mode
+   then begin
+     (* LIFO release of the top holder: no LK07 diagnostic is possible,
+        so just pop (this is nearly every release). *)
+     let h = st.Trace.st_held_arr.(n - 1) in
+     st.Trace.st_held_n <- n - 1;
+     (* Compare unboxed; recompute in the rare (> coarse tick) case so
+        the common path never boxes the difference. *)
+     if now () -. h.Rules.ho_since > 0.0 then
+       Trace.note_hold st inst (now () -. h.Rules.ho_since)
+   end
+   else begin
+     let held', diags, popped =
+       Rules.check_release ~where:st.Trace.st_where
+         ~held:(Trace.held_list st) ~name:(Latch.name l) ~inst ~mode
+     in
+     Trace.held_write_back st held';
+     Trace.add_diags st diags;
+     match popped with
+     | None -> ()
+     | Some h ->
+         Trace.note_hold st h.Rules.ho_inst (now () -. h.Rules.ho_since)
+   end);
+  Trace.bump st
+
+let h_blocking self what =
+  let st = Trace.get () in
+  (if st.Trace.st_held_n > 0 then
+     (* Clean iff every holder is Long-class or the self-exempt latch
+        (the page-fault marker runs under its shard latch, under the
+        statement's Long catalog lock): scan without building lists.
+        Instances are non-negative, so -1 never matches. *)
+     let selfinst =
+       match self with Some l -> Latch.instance l | None -> -1
+     in
+     if not (blocking_clean st selfinst 0) then
+       Trace.add_diags st
+         (Rules.check_blocking ~where:st.Trace.st_where
+            ~held:(Trace.held_list st)
+            ~self:(match self with Some l -> Some (Latch.instance l) | None -> None)
+            ~what));
+  Trace.bump st
+
+let guard_map : (string, string list) Hashtbl.t =
+  let h = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace h k v) Model.guards;
+  h
+
+(* One-entry lookup cache keyed by physical equality: call sites pass a
+   literal, so repeat accesses from the same site (the buffer pool emits
+   tens of thousands) skip the string hash. Racing writers just replace
+   the cached pair; a miss falls back to the table. *)
+let guard_cache : (string * string list) ref = ref ("\000none", [])
+
+let lookup_guard what =
+  let w, a = !guard_cache in
+  if w == what then Some a
+  else
+    match Hashtbl.find_opt guard_map what with
+    | Some a ->
+        guard_cache := (what, a);
+        Some a
+    | None -> None
+
+(* Manual scan (top-level recursion, no closure): does the thread hold
+   instance [i]? *)
+let rec holds_inst st i idx =
+  idx < st.Trace.st_held_n
+  && (st.Trace.st_held_arr.(idx).Rules.ho_inst = i
+     || holds_inst st i (idx + 1))
+
+let h_guarded l what =
+  let st = Trace.get () in
+  match lookup_guard what with
+  | None ->
+      Trace.add_diags st
+        [
+          Diag.make ~rule:"LK04-guard"
+            ~path:(Printf.sprintf "lock:%s/thread:%s" what st.Trace.st_where)
+            ~hint:"register the structure in Sanitize.Model.guards"
+            (Printf.sprintf "guarded structure %s is not in the guard map"
+               what);
+        ]
+  | Some allowed ->
+      if List.mem (Latch.name l) allowed then begin
+        (* Success — the guard instance is held — allocates nothing. *)
+        let i = Latch.instance l in
+        if not (holds_inst st i 0) then
+          Trace.add_diags st
+            (Rules.check_guard ~where:st.Trace.st_where
+               ~held:(Trace.held_list st) ~guards:[ i ] ~what)
+      end
+      else
+        (* The latch at the call site is not a registered guard for this
+           structure: same registration bug as an empty guard set. *)
+        Trace.add_diags st
+          (Rules.check_guard ~where:st.Trace.st_where
+             ~held:(Trace.held_list st) ~guards:[] ~what)
+
+let h_quiesce label =
+  let st = Trace.get () in
+  if st.Trace.st_held_n > 0 then
+    Trace.add_diags st
+      (Rules.check_quiesce ~where:st.Trace.st_where
+         ~held:(Trace.held_list st) ~label);
+  Trace.bump st
+
+let hooks : Latch.hooks =
+  { h_acquire; h_release; h_blocking; h_guarded; h_quiesce }
+
+let install () =
+  Trace.reset ();
+  start_ticker ();
+  Latch.hooks := Some hooks
+
+let uninstall () =
+  Latch.hooks := None;
+  stop_ticker ()
+
+let enabled () = Option.is_some !Latch.hooks
+
+let report () =
+  let su = Trace.collect () in
+  let diags =
+    su.Trace.su_diags
+    @ Rules.cycle_rule ~edges:su.Trace.su_edges
+    @ Rules.table_rule ~declared:Model.table ~observed:su.Trace.su_sites
+    @ Rules.hold_rule ~holds:su.Trace.su_holds
+  in
+  (su, Diag.sort diags)
+
+let checked f =
+  install ();
+  match f () with
+  | v ->
+      uninstall ();
+      let su, diags = report () in
+      (v, su, diags)
+  | exception e ->
+      uninstall ();
+      raise e

@@ -1,0 +1,23 @@
+(** The lockcheck engine: installs the [Rkutil.Latch] hooks, maintains
+    per-thread trace state, and runs the LK01–LK08 rules.
+
+    When this module is not linked (or [install] was never called) the
+    latch wrappers cost one [ref] read and a branch — the planlint
+    [retain_hook] pattern. *)
+
+val install : unit -> unit
+(** Reset the trace and start recording: every latch acquire/release,
+    blocking marker, guarded access, and quiesce point is checked online.
+    Create the workload's services {e after} installing, so no lock is
+    acquired untraced and released traced. *)
+
+val uninstall : unit -> unit
+val enabled : unit -> bool
+
+val report : unit -> Trace.summary * Lint.Diag.t list
+(** Merge all thread traces and run the collect-time rules (LK01 cycle
+    detection, LK02 table consistency, LK08 hold times) on top of the
+    online diagnostics. Call after the workload has quiesced. *)
+
+val checked : (unit -> 'a) -> 'a * Trace.summary * Lint.Diag.t list
+(** [checked f] = install, run [f], uninstall, report. *)

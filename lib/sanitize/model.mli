@@ -1,0 +1,20 @@
+(** The declared concurrency-discipline model: the lock-order table
+    (site name, rank, class), the guard map, and hold-time limits.
+    This file is the specification the sanitizer audits traces against —
+    and the document the MVCC refactor will be diffed against. *)
+
+type cls = Rkutil.Latch.cls = Short | Long
+
+val table : (string * int * cls) list
+(** [(site, rank, class)]: lower ranks are acquired first. *)
+
+val guards : (string * string list) list
+(** [(structure, guard sites)]: touching [structure] requires holding one
+    of the listed sites (LK04). *)
+
+val declared : string -> (int * cls) option
+(** Rank and class declared for a site name, if any. *)
+
+val short_hold_limit_s : float
+val long_hold_limit_s : float
+val limit_for : cls -> float

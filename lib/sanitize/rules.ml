@@ -1,0 +1,247 @@
+module Diag = Lint.Diag
+
+(* One held lock, as seen by the thread holding it. The checkers below are
+   pure functions of held-sets / edge-sets, so mutation tests can corrupt
+   a record by hand and prove a rule fires — the same pattern planlint
+   uses for its plan checkers. *)
+(* Fields are mutable so the tracer can recycle holder records in a
+   per-thread stack (zero allocation per acquire); the checkers only
+   read. *)
+type holder = {
+  mutable ho_name : string;
+  mutable ho_inst : int;
+  mutable ho_rank : int;
+  mutable ho_cls : Rkutil.Latch.cls;
+  mutable ho_mode : Rkutil.Latch.mode;
+  mutable ho_since : float;
+}
+
+let holder ?(cls = Rkutil.Latch.Short) ?(mode = Rkutil.Latch.Exclusive)
+    ?(since = 0.0) ~name ~inst ~rank () =
+  { ho_name = name; ho_inst = inst; ho_rank = rank; ho_cls = cls; ho_mode = mode; ho_since = since }
+
+let path ~where name = Printf.sprintf "lock:%s/thread:%s" name where
+
+let mode_name = function
+  | Rkutil.Latch.Shared -> "shared"
+  | Rkutil.Latch.Exclusive -> "exclusive"
+
+(* LK02 (ordering, online part) + LK05 (upgrade): checked against the
+   calling thread's held-set at every acquire attempt. *)
+let check_acquire ~where ~held ~name ~inst ~rank ~mode =
+  match List.find_opt (fun h -> h.ho_inst = inst) held with
+  | Some h
+    when h.ho_mode = Rkutil.Latch.Shared && mode = Rkutil.Latch.Exclusive ->
+      [
+        Diag.make ~rule:"LK05-upgrade" ~path:(path ~where name)
+          ~hint:"release the read lock and retake in write mode"
+          (Printf.sprintf
+             "read->write upgrade attempt on %s: thread already holds it \
+              shared (writer-preferring rwlocks self-deadlock here)"
+             name);
+      ]
+  | Some _ ->
+      [
+        Diag.make ~rule:"LK02-order" ~path:(path ~where name)
+          ~hint:"re-entrant acquisition self-deadlocks a plain mutex"
+          (Printf.sprintf "%s (instance %d) acquired while already held" name
+             inst);
+      ]
+  | None -> (
+      match
+        List.fold_left
+          (fun acc h ->
+            match acc with
+            | Some top when top.ho_rank >= h.ho_rank -> acc
+            | _ -> Some h)
+          None held
+      with
+      | Some top when top.ho_rank >= rank ->
+          [
+            Diag.make ~rule:"LK02-order" ~path:(path ~where name)
+              ~hint:"acquire sites in increasing declared rank"
+              (Printf.sprintf
+                 "%s (rank %d) acquired while holding %s (rank %d): violates \
+                  the declared lock order"
+                 name rank top.ho_name top.ho_rank);
+          ]
+      | _ -> [])
+
+(* LK07: release must pair with an acquisition by the same thread in the
+   same mode. Non-LIFO release is legal (rwlock readers). Returns the
+   remaining held-set. *)
+let check_release ~where ~held ~name ~inst ~mode =
+  let rec take acc = function
+    | [] -> None
+    | h :: tl when h.ho_inst = inst && h.ho_mode = mode ->
+        Some (h, List.rev_append acc tl)
+    | h :: tl -> take (h :: acc) tl
+  in
+  match take [] held with
+  | Some (h, rest) -> (rest, [], Some h)
+  | None ->
+      ( held,
+        [
+          Diag.make ~rule:"LK07-release" ~path:(path ~where name)
+            ~hint:"double release, or release from a thread that never acquired"
+            (Printf.sprintf "%s released %s by a thread not holding it" name
+               (mode_name mode));
+        ],
+        None )
+
+(* LK03: a blocking operation (socket I/O, pool join, page-fault I/O,
+   drain sleeps) must not run while a Short-class latch is held. [self]
+   exempts the one latch that legitimately covers the operation. *)
+let check_blocking ~where ~held ~self ~what =
+  List.filter_map
+    (fun h ->
+      if h.ho_cls = Rkutil.Latch.Long then None
+      else if self = Some h.ho_inst then None
+      else
+        Some
+          (Diag.make ~rule:"LK03-blocking" ~path:(path ~where h.ho_name)
+             ~hint:"move the blocking call outside the critical section"
+             (Printf.sprintf "blocking operation %s while holding latch %s"
+                what h.ho_name)))
+    held
+
+(* LK04: a registered shared structure touched without any of its
+   declared guards held. [guards] is the instance set of acceptable
+   guards at this site ([] means the structure has no registered guard —
+   treated as a registration bug). *)
+let check_guard ~where ~held ~guards ~what =
+  match guards with
+  | [] ->
+      [
+        Diag.make ~rule:"LK04-guard" ~path:(path ~where what)
+          ~hint:"register the structure's guard in Sanitize.Model.guards"
+          (Printf.sprintf "guarded access to %s lists no guard latches" what);
+      ]
+  | insts ->
+      if List.exists (fun h -> List.mem h.ho_inst insts) held then []
+      else
+        [
+          Diag.make ~rule:"LK04-guard" ~path:(path ~where what)
+            ~hint:"take the guard latch before touching the structure"
+            (Printf.sprintf "%s accessed without its guard latch held" what);
+        ]
+
+(* LK06: at a quiesce point (end of a pool job, between protocol
+   commands, public coordinator entry exit) the thread must hold
+   nothing — anything held leaked across an unwind. *)
+let check_quiesce ~where ~held ~label =
+  List.map
+    (fun h ->
+      Diag.make ~rule:"LK06-leak" ~path:(path ~where h.ho_name)
+        ~hint:"wrap the critical section in Latch.protect (Fun.protect)"
+        (Printf.sprintf "latch %s still held at quiesce point %s (leaked \
+                         across an exception unwind?)" h.ho_name label))
+    held
+
+(* LK01: the observed lock-order graph (edge a->b when b was acquired
+   while a was held, by any thread) must be acyclic. A cycle is a
+   potential deadlock even if no execution deadlocked yet. *)
+let cycle_rule ~edges =
+  let adj : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let cur = Option.value (Hashtbl.find_opt adj a) ~default:[] in
+      if not (List.mem b cur) then Hashtbl.replace adj a (b :: cur);
+      if not (Hashtbl.mem adj b) then Hashtbl.replace adj b [])
+    edges;
+  let color = Hashtbl.create 16 in
+  let seen_cycles = Hashtbl.create 4 in
+  let diags = ref [] in
+  let report cyc =
+    (* canonical rotation so the same cycle found from different roots
+       reports once *)
+    let least =
+      List.fold_left (fun a b -> if b < a then b else a) (List.hd cyc) cyc
+    in
+    let rec rotate = function
+      | x :: _ as l when x = least -> l
+      | x :: tl -> rotate (tl @ [ x ])
+      | [] -> []
+    in
+    let cyc = rotate cyc in
+    let key = String.concat "->" cyc in
+    if not (Hashtbl.mem seen_cycles key) then begin
+      Hashtbl.replace seen_cycles key ();
+      diags :=
+        Diag.make ~rule:"LK01-cycle"
+          ~path:(Printf.sprintf "lock:%s" (List.hd cyc))
+          ~hint:"break the cycle by ranking one site below the other"
+          (Printf.sprintf "lock-order cycle (potential deadlock): %s -> %s"
+             key (List.hd cyc))
+        :: !diags
+    end
+  in
+  let rec dfs path u =
+    match Hashtbl.find_opt color u with
+    | Some `Grey ->
+        (* [path] is most-recent-first and ends (conceptually) at [u]:
+           the cycle is the prefix of [path] back to [u]. *)
+        let rec cut acc = function
+          | [] -> []
+          | x :: _ when x = u -> List.rev (x :: acc)
+          | x :: tl -> cut (x :: acc) tl
+        in
+        report (cut [] path)
+    | Some `Black -> ()
+    | _ ->
+        Hashtbl.replace color u `Grey;
+        List.iter (dfs (u :: path))
+          (Option.value (Hashtbl.find_opt adj u) ~default:[]);
+        Hashtbl.replace color u `Black
+  in
+  Hashtbl.iter (fun u _ -> dfs [] u) adj;
+  !diags
+
+(* LK02 (table part): every observed site must be declared, with the
+   declared rank and class. *)
+let table_rule ~declared ~observed =
+  List.concat_map
+    (fun (name, rank, cls) ->
+      match
+        List.find_map
+          (fun (n, r, c) -> if n = name then Some (r, c) else None)
+          declared
+      with
+      | None ->
+          [
+            Diag.make ~rule:"LK02-order" ~path:(Printf.sprintf "lock:%s" name)
+              ~hint:"declare the site in Sanitize.Model.table"
+              (Printf.sprintf "lock site %s is not in the declared lock-order \
+                               table" name);
+          ]
+      | Some (r, c) when r <> rank || c <> cls ->
+          [
+            Diag.make ~rule:"LK02-order" ~path:(Printf.sprintf "lock:%s" name)
+              ~hint:"make Latch.create agree with Sanitize.Model.table"
+              (Printf.sprintf
+                 "lock site %s observed with rank %d/%s but declared rank \
+                  %d/%s"
+                 name rank
+                 (match cls with Rkutil.Latch.Short -> "latch" | _ -> "lock")
+                 r
+                 (match c with Rkutil.Latch.Short -> "latch" | _ -> "lock"));
+          ]
+      | Some _ -> [])
+    observed
+
+(* LK08: hold-time outliers vs the declared class limit. *)
+let hold_rule ~holds =
+  List.filter_map
+    (fun (name, cls, max_hold_s) ->
+      let limit = Model.limit_for cls in
+      if max_hold_s > limit then
+        Some
+          (Diag.make ~rule:"LK08-holdtime" ~severity:Diag.Warning
+             ~path:(Printf.sprintf "lock:%s" name)
+             ~hint:"demote the site to Long class or shrink the critical \
+                    section"
+             (Printf.sprintf
+                "%s held for %.3fs, over the %.1fs limit of its class" name
+                max_hold_s limit))
+      else None)
+    holds

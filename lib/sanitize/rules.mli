@@ -1,0 +1,89 @@
+(** The lockcheck rule catalog (LK01–LK08), as pure checkers.
+
+    Online rules take the calling thread's held-set plus the event and
+    return diagnostics; collect-time rules take the merged edge/site/hold
+    summaries. Pureness is the point: mutation tests hand-build corrupted
+    held-sets and edge lists and prove each rule fires exactly, without
+    having to construct a real deadlock. *)
+
+type holder = {
+  mutable ho_name : string;
+  mutable ho_inst : int;
+  mutable ho_rank : int;
+  mutable ho_cls : Rkutil.Latch.cls;
+  mutable ho_mode : Rkutil.Latch.mode;
+  mutable ho_since : float;  (** [Unix.gettimeofday] at acquisition *)
+}
+(** One held lock. Mutable so the tracer can recycle records in its
+    per-thread held-stack; the checkers never write. *)
+
+val holder :
+  ?cls:Rkutil.Latch.cls ->
+  ?mode:Rkutil.Latch.mode ->
+  ?since:float ->
+  name:string ->
+  inst:int ->
+  rank:int ->
+  unit ->
+  holder
+(** Convenience constructor ([cls] defaults to [Short], [mode] to
+    [Exclusive]). *)
+
+val check_acquire :
+  where:string ->
+  held:holder list ->
+  name:string ->
+  inst:int ->
+  rank:int ->
+  mode:Rkutil.Latch.mode ->
+  Lint.Diag.t list
+(** LK02 (rank ordering, re-entrancy) and LK05 (read→write upgrade). *)
+
+val check_release :
+  where:string ->
+  held:holder list ->
+  name:string ->
+  inst:int ->
+  mode:Rkutil.Latch.mode ->
+  holder list * Lint.Diag.t list * holder option
+(** LK07 (double/foreign release). Returns the held-set with the matching
+    holder removed, diagnostics, and the removed holder (for hold-time
+    accounting). *)
+
+val check_blocking :
+  where:string ->
+  held:holder list ->
+  self:int option ->
+  what:string ->
+  Lint.Diag.t list
+(** LK03 (blocking operation under a Short-class latch); [self] exempts
+    one latch instance that legitimately covers the operation. *)
+
+val check_guard :
+  where:string ->
+  held:holder list ->
+  guards:int list ->
+  what:string ->
+  Lint.Diag.t list
+(** LK04 (guarded-structure access without any listed guard instance
+    held). *)
+
+val check_quiesce :
+  where:string -> held:holder list -> label:string -> Lint.Diag.t list
+(** LK06 (latch still held at a point where the thread must hold
+    nothing). *)
+
+val cycle_rule : edges:(string * string) list -> Lint.Diag.t list
+(** LK01 (lock-order-graph acyclicity over observed acquired-while-held
+    edges). *)
+
+val table_rule :
+  declared:(string * int * Rkutil.Latch.cls) list ->
+  observed:(string * int * Rkutil.Latch.cls) list ->
+  Lint.Diag.t list
+(** LK02 (observed sites must match the declared lock-order table). *)
+
+val hold_rule :
+  holds:(string * Rkutil.Latch.cls * float) list -> Lint.Diag.t list
+(** LK08 (max observed hold time per site vs its class limit; warning
+    severity). *)

@@ -1,0 +1,243 @@
+(* Per-thread trace state.
+
+   Each (domain, thread) gets its own state record: held-set, lock-order
+   edges, per-site stats, and diagnostics found online.
+   The hot path (every latch operation) touches only the calling thread's
+   record — no shared lock, no atomics — which is what keeps sanitize-mode
+   overhead in budget. The only synchronized step is registering a fresh
+   thread's record in the global list, which happens once per thread.
+
+   Lookup is via a [Domain.DLS] key holding the domain's thread-id ->
+   state association. Threads of one domain never run in parallel (the
+   per-domain runtime lock), and the assoc list is only replaced under the
+   registration mutex, so readers racing a registration see either the old
+   or the new list — both correct. *)
+
+type st = {
+  st_gen : int;  (* states from an older reset are ignored *)
+  st_dom : int;
+  st_tid : int;
+  st_where : string;
+  (* Held-set as a stack of recycled mutable holder records: pushes
+     overwrite fields in place, so steady-state tracing allocates
+     nothing. Slots at index >= st_held_n are garbage kept for reuse. *)
+  mutable st_held_arr : Rules.holder array;
+  mutable st_held_n : int;
+  mutable st_events : int;  (* total events recorded by this thread *)
+  st_edges : (string * string, unit) Hashtbl.t;
+  (* Last lock-order edge this thread recorded, compared physically: site
+     names are shared literals, so the one repeating nesting of a tight
+     loop (statement lock -> buffer-pool shard) skips the tuple hash. *)
+  mutable st_edge_src : string;
+  mutable st_edge_dst : string;
+  (* Sites are keyed by latch {e instance}; [collect] re-keys by name.
+     The hot path never hashes: [st_seen] answers "already registered?"
+     with one byte load and [st_hold_max] accumulates per-instance hold
+     maxima in a flat float array (instances are small dense ints). *)
+  st_sites : (int, string * int * Rkutil.Latch.cls) Hashtbl.t;
+  mutable st_seen : Bytes.t;
+  mutable st_hold_max : float array;
+  mutable st_diags : Lint.Diag.t list;
+}
+
+let dummy_holder =
+  {
+    Rules.ho_name = "";
+    ho_inst = -1;
+    ho_rank = 0;
+    ho_cls = Rkutil.Latch.Short;
+    ho_mode = Rkutil.Latch.Exclusive;
+    ho_since = 0.0;
+  }
+
+let generation = Atomic.make 0
+let reg_m = Mutex.create ()
+let states : st list ref = ref []
+
+(* Keyed by the [Thread.t] handle, compared physically: the runtime hands
+   back the same descriptor object on every [Thread.self] call, and that
+   one C call is the whole identity cost — [Thread.id] (a second C call)
+   is only needed for the diagnostic label at registration. *)
+let dls_key : (Thread.t * st) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let fresh ~gen ~dom ~tid =
+  {
+    st_gen = gen;
+    st_dom = dom;
+    st_tid = tid;
+    st_where = Printf.sprintf "d%d.t%d" dom tid;
+    st_held_arr = Array.make 8 dummy_holder;
+    st_held_n = 0;
+    st_events = 0;
+    st_edges = Hashtbl.create 16;
+    st_edge_src = "";
+    st_edge_dst = "";
+    st_sites = Hashtbl.create 16;
+    st_seen = Bytes.make 256 '\000';
+    st_hold_max = Array.make 256 0.0;
+    st_diags = [];
+  }
+
+let seen st inst =
+  inst < Bytes.length st.st_seen && Bytes.unsafe_get st.st_seen inst <> '\000'
+
+let register_site st inst site =
+  if inst >= Bytes.length st.st_seen then begin
+    let n = max (2 * Bytes.length st.st_seen) (inst + 1) in
+    let b = Bytes.make n '\000' in
+    Bytes.blit st.st_seen 0 b 0 (Bytes.length st.st_seen);
+    st.st_seen <- b
+  end;
+  Bytes.set st.st_seen inst '\001';
+  Hashtbl.replace st.st_sites inst site
+
+let note_hold st inst hold =
+  if hold > 0.0 then begin
+    if inst >= Array.length st.st_hold_max then begin
+      let n = max (2 * Array.length st.st_hold_max) (inst + 1) in
+      let a = Array.make n 0.0 in
+      Array.blit st.st_hold_max 0 a 0 (Array.length st.st_hold_max);
+      st.st_hold_max <- a
+    end;
+    if hold > st.st_hold_max.(inst) then st.st_hold_max.(inst) <- hold
+  end
+
+(* Zero-allocation lookup: a top-level recursion (no closure) that raises
+   on miss (no option box). The hot path runs this once per hook call, so
+   any allocation here turns straight into minor-GC pressure. *)
+let rec find tbl self gen =
+  match tbl with
+  | [] -> raise_notrace Not_found
+  | (th, st) :: tl ->
+      if th == self && st.st_gen = gen then st else find tl self gen
+
+let register tbl self gen =
+  (* Registration is rare (once per thread per run): serialize it so two
+     same-domain threads interleaving their list updates cannot drop each
+     other's record. *)
+  Mutex.protect reg_m (fun () ->
+      match find !tbl self gen with
+      | st -> st
+      | exception Not_found ->
+          let dom = (Domain.self () :> int) in
+          let st = fresh ~gen ~dom ~tid:(Thread.id self) in
+          tbl := (self, st) :: List.filter (fun (th, _) -> th != self) !tbl;
+          states := st :: !states;
+          st)
+
+let get () =
+  let gen = Atomic.get generation in
+  let tbl = Domain.DLS.get dls_key in
+  let self = Thread.self () in
+  match find !tbl self gen with
+  | st -> st
+  | exception Not_found -> register tbl self gen
+
+let reset () =
+  Mutex.protect reg_m (fun () ->
+      Atomic.incr generation;
+      states := [])
+
+let bump st = st.st_events <- st.st_events + 1
+
+let held_push st ~name ~inst ~rank ~cls ~mode ~since =
+  let n = st.st_held_n in
+  if n >= Array.length st.st_held_arr then begin
+    let a = Array.make (2 * Array.length st.st_held_arr) dummy_holder in
+    Array.blit st.st_held_arr 0 a 0 n;
+    st.st_held_arr <- a
+  end;
+  let h = st.st_held_arr.(n) in
+  if h == dummy_holder then
+    (* First use of this slot by this thread: allocate its record once;
+       every later push at this depth recycles it. *)
+    st.st_held_arr.(n) <-
+      {
+        Rules.ho_name = name;
+        ho_inst = inst;
+        ho_rank = rank;
+        ho_cls = cls;
+        ho_mode = mode;
+        ho_since = since;
+      }
+  else begin
+    h.Rules.ho_name <- name;
+    h.Rules.ho_inst <- inst;
+    h.Rules.ho_rank <- rank;
+    h.Rules.ho_cls <- cls;
+    h.Rules.ho_mode <- mode;
+    h.Rules.ho_since <- since
+  end;
+  st.st_held_n <- n + 1
+
+let held_list st =
+  (* Fresh copies, most-recent-first: the checkers may sit on these past
+     the next push, which would mutate the stack's own records. *)
+  let rec go i acc =
+    if i >= st.st_held_n then acc
+    else
+      let h = st.st_held_arr.(i) in
+      go (i + 1) ({ h with Rules.ho_name = h.Rules.ho_name } :: acc)
+  in
+  go 0 []
+
+let held_write_back st held =
+  (* Replace the stack with the given held-set (most-recent-first), used
+     after a slow-path release removed an element from the middle. *)
+  let n = List.length held in
+  let rec put i = function
+    | [] -> ()
+    | h :: tl ->
+        st.st_held_arr.(i) <- h;
+        put (i - 1) tl
+  in
+  put (n - 1) held;
+  st.st_held_n <- n
+
+let add_diags st ds = if ds <> [] then st.st_diags <- ds @ st.st_diags
+
+type summary = {
+  su_threads : int;
+  su_events : int;
+  su_edges : (string * string) list;
+  su_sites : (string * int * Rkutil.Latch.cls) list;
+  su_holds : (string * Rkutil.Latch.cls * float) list;
+  su_diags : Lint.Diag.t list;
+}
+
+let collect () =
+  let sts = Mutex.protect reg_m (fun () -> !states) in
+  let edges = Hashtbl.create 32 in
+  let sites = Hashtbl.create 32 in
+  let holds = Hashtbl.create 32 in
+  let events = ref 0 in
+  let diags = ref [] in
+  List.iter
+    (fun st ->
+      events := !events + st.st_events;
+      Hashtbl.iter (fun e () -> Hashtbl.replace edges e ()) st.st_edges;
+      Hashtbl.iter
+        (fun inst (n, rank, cls) ->
+          Hashtbl.replace sites n (rank, cls);
+          let hold =
+            if inst < Array.length st.st_hold_max then st.st_hold_max.(inst)
+            else 0.0
+          in
+          if hold > 0.0 then
+            match Hashtbl.find_opt holds n with
+            | Some (_, prev) when prev >= hold -> ()
+            | _ -> Hashtbl.replace holds n (cls, hold))
+        st.st_sites;
+      diags := st.st_diags @ !diags)
+    sts;
+  {
+    su_threads = List.length sts;
+    su_events = !events;
+    su_edges = Hashtbl.fold (fun e () acc -> e :: acc) edges [];
+    su_sites =
+      Hashtbl.fold (fun n (r, c) acc -> (n, r, c) :: acc) sites [];
+    su_holds =
+      Hashtbl.fold (fun n (c, h) acc -> (n, c, h) :: acc) holds [];
+    su_diags = !diags;
+  }

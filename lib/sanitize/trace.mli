@@ -1,0 +1,95 @@
+(** Per-thread lock-event trace state.
+
+    One record per (domain, thread); the hot path mutates only the
+    calling thread's record, so tracing adds no shared-state contention.
+    [collect] merges every registered thread's edges, sites, hold times,
+    and online diagnostics into one summary for the collect-time rules. *)
+
+type st = {
+  st_gen : int;
+  st_dom : int;
+  st_tid : int;
+  st_where : string;  (** e.g. ["d0.t5"], used in diagnostic paths *)
+  mutable st_held_arr : Rules.holder array;
+      (** held-set as a stack of recycled records; slots at index >=
+          [st_held_n] are garbage kept for reuse *)
+  mutable st_held_n : int;
+  mutable st_events : int;
+  st_edges : (string * string, unit) Hashtbl.t;
+  mutable st_edge_src : string;
+      (** last recorded edge, compared physically to skip the tuple
+          hash in tight nesting loops *)
+  mutable st_edge_dst : string;
+  st_sites : (int, string * int * Rkutil.Latch.cls) Hashtbl.t;
+      (** instance -> (name, rank, cls); [collect] re-keys by name *)
+  mutable st_seen : Bytes.t;
+      (** byte per instance: nonzero iff the site is in [st_sites], so
+          the hot path answers "registered?" without hashing *)
+  mutable st_hold_max : float array;
+      (** max observed hold seconds per instance (0 = none observed) *)
+  mutable st_diags : Lint.Diag.t list;
+}
+
+val get : unit -> st
+(** The calling thread's state (registered on first use). *)
+
+val reset : unit -> unit
+(** Start a fresh trace: previously registered states are dropped and
+    stale thread-local records are superseded on next use. *)
+
+val bump : st -> unit
+(** Count one latch event against the thread (one store: the hot path
+    keeps no per-event log, only the held-set and the aggregates). *)
+
+val held_push :
+  st ->
+  name:string ->
+  inst:int ->
+  rank:int ->
+  cls:Rkutil.Latch.cls ->
+  mode:Rkutil.Latch.mode ->
+  since:float ->
+  unit
+(** Push onto the held-stack, recycling the slot's record: zero
+    allocation once a depth has been reached before. *)
+
+val held_list : st -> Rules.holder list
+(** The held-set as fresh holder copies, most-recent-first — safe to
+    hand to the (pure) rule checkers; the stack's own records are
+    mutated by later pushes. *)
+
+val held_write_back : st -> Rules.holder list -> unit
+(** Replace the held-stack with the given held-set (most-recent-first);
+    slow-path releases use this after removing a middle element. *)
+
+val add_diags : st -> Lint.Diag.t list -> unit
+
+val seen : st -> int -> bool
+(** [seen st inst] is true iff [register_site] ran for [inst]: one
+    bounds check and a byte load. *)
+
+val register_site :
+  st -> int -> string * int * Rkutil.Latch.cls -> unit
+(** Register a site the first time the thread touches its latch
+    (growing the fast-path tables as needed). *)
+
+val note_hold : st -> int -> float -> unit
+(** [note_hold st inst seconds] folds one observed hold time into the
+    per-instance maximum; zero-length holds (below the coarse clock's
+    resolution) are dropped. *)
+
+type summary = {
+  su_threads : int;
+  su_events : int;
+  su_edges : (string * string) list;
+      (** acquired-while-held edges, deduplicated *)
+  su_sites : (string * int * Rkutil.Latch.cls) list;
+      (** observed sites with their registered rank/class *)
+  su_holds : (string * Rkutil.Latch.cls * float) list;
+      (** max observed hold seconds per site *)
+  su_diags : Lint.Diag.t list;  (** diagnostics found online *)
+}
+
+val collect : unit -> summary
+(** Merge all registered thread states. Call after the traced workload
+    has quiesced. *)

@@ -16,6 +16,9 @@ let connect endpoint =
   { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
 
 let request t line =
+  (* Round-trip over a socket: must never run while a Short-class latch
+     is held (the coordinator's Long-class lock legitimately covers it). *)
+  Rkutil.Latch.blocking "client.rpc";
   match
     output_string t.oc line;
     output_char t.oc '\n';

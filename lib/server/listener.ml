@@ -8,8 +8,12 @@ type t = {
   svc : Service.t;
   listener : Unix.file_descr;
   endpoint : endpoint;
-  m : Mutex.t;
+  m : Rkutil.Latch.t;
   stopped_cond : Condition.t;
+  dispatching : int Atomic.t;
+      (* connection threads currently inside a command (dispatch + reply
+         send); graceful stop waits for this to reach zero so replies in
+         flight reach the socket before it is severed *)
   mutable stopped : bool;
   mutable conns : Unix.file_descr list;
   mutable accept_thread : Thread.t option;
@@ -125,6 +129,8 @@ let dispatch svc session ~codec cmd =
       (Protocol.ok_response ~fields:[ ("shutdown", "1") ] [], `Shutdown)
 
 let send oc response =
+  (* Socket writes can block on a slow client: never under a latch. *)
+  Rkutil.Latch.blocking "listener.send";
   List.iter
     (fun line ->
       output_string oc line;
@@ -133,37 +139,65 @@ let send oc response =
   flush oc
 
 let remove_conn t fd =
-  Mutex.protect t.m (fun () ->
+  Rkutil.Latch.protect t.m (fun () ->
       t.conns <- List.filter (fun c -> c != fd) t.conns)
 
+(* Graceful stop: no new connections, no new statements, but everything
+   already admitted delivers its reply before the sockets are severed.
+
+   1. close the listening socket (accept loop exits);
+   2. [Service.begin_drain]: later statements answer ERR SHUTDOWN while
+      admitted ones keep their workers;
+   3. wait until no statement is in flight and no connection thread is
+      mid-command (reply bytes reach the socket);
+   4. sever the now-idle connections so their handler threads unwind and
+      close their sessions (parked cursors are closed there);
+   5. wait for the sessions to close, then stop the worker pool. *)
 let rec stop t =
-  let to_close =
-    Mutex.protect t.m (fun () ->
-        if t.stopped then None
+  let proceed =
+    Rkutil.Latch.protect t.m (fun () ->
+        if t.stopped then false
         else begin
           t.stopped <- true;
-          let conns = t.conns in
-          t.conns <- [];
-          Some conns
+          true
         end)
   in
-  match to_close with
-  | None -> ()
-  | Some conns ->
-      (* shutdown(2) before close: close alone does not wake the accept
-         thread blocked in accept(2). *)
-      (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
-       with Unix.Unix_error _ -> ());
-      (try Unix.close t.listener with Unix.Unix_error _ -> ());
-      List.iter
-        (fun fd ->
-          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-        conns;
-      Service.shutdown t.svc;
-      (match t.endpoint with
-      | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-      | Tcp _ -> ());
-      Mutex.protect t.m (fun () -> Condition.broadcast t.stopped_cond)
+  if proceed then begin
+    (* shutdown(2) before close: close alone does not wake the accept
+       thread blocked in accept(2). *)
+    (try Unix.shutdown t.listener Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (try Unix.close t.listener with Unix.Unix_error _ -> ());
+    Service.begin_drain t.svc;
+    ignore (Service.drain ~timeout_s:5.0 t.svc);
+    Rkutil.Latch.blocking "listener.drain";
+    let grace = Unix.gettimeofday () +. 5.0 in
+    while
+      (Atomic.get t.dispatching > 0 || Service.inflight t.svc > 0)
+      && Unix.gettimeofday () < grace
+    do
+      Unix.sleepf 0.002
+    done;
+    let conns =
+      Rkutil.Latch.protect t.m (fun () ->
+          let conns = t.conns in
+          t.conns <- [];
+          conns)
+    in
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns;
+    let grace = Unix.gettimeofday () +. 2.0 in
+    while Service.sessions t.svc > 0 && Unix.gettimeofday () < grace do
+      Unix.sleepf 0.002
+    done;
+    Service.shutdown t.svc;
+    (match t.endpoint with
+    | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ());
+    Rkutil.Latch.protect t.m (fun () -> Condition.broadcast t.stopped_cond)
+  end
 
 and handle_conn t fd =
   let session = Service.open_session t.svc in
@@ -185,8 +219,18 @@ and handle_conn t fd =
            match Protocol.parse_command line with
            | Error msg -> send oc (Protocol.err_response ~code:"PROTOCOL" msg)
            | Ok cmd -> (
-               let response, action = dispatch t.svc session ~codec cmd in
-               send oc response;
+               Atomic.incr t.dispatching;
+               let response, action =
+                 Fun.protect
+                   ~finally:(fun () -> Atomic.decr t.dispatching)
+                   (fun () ->
+                     let r = dispatch t.svc session ~codec cmd in
+                     send oc (fst r);
+                     r)
+               in
+               ignore (response : Protocol.response);
+               (* Between commands a connection thread holds nothing. *)
+               Rkutil.Latch.quiesce "listener.command";
                match action with
                | `Keep -> ()
                | `Close -> quit := true
@@ -207,7 +251,7 @@ let accept_loop t =
     | exception Sys_error _ -> ()
     | fd, _addr ->
         let admitted =
-          Mutex.protect t.m (fun () ->
+          Rkutil.Latch.protect t.m (fun () ->
               if t.stopped then false
               else begin
                 t.conns <- fd :: t.conns;
@@ -242,8 +286,9 @@ let start ?config endpoint cat =
       svc = Service.create ?config cat;
       listener;
       endpoint;
-      m = Mutex.create ();
+      m = Rkutil.Latch.create ~name:"server.listener" ~rank:12 ();
       stopped_cond = Condition.create ();
+      dispatching = Atomic.make 0;
       stopped = false;
       conns = [];
       accept_thread = None;
@@ -255,8 +300,9 @@ let start ?config endpoint cat =
 let service t = t.svc
 
 let wait t =
-  Mutex.protect t.m (fun () ->
-      while not t.stopped do
-        Condition.wait t.stopped_cond t.m
-      done);
+  Rkutil.Latch.lock t.m;
+  while not t.stopped do
+    Rkutil.Latch.wait t.stopped_cond t.m
+  done;
+  Rkutil.Latch.unlock t.m;
   match t.accept_thread with None -> () | Some th -> Thread.join th

@@ -1,5 +1,5 @@
 type t = {
-  lock : Mutex.t;
+  lock : Rkutil.Latch.t;
   mutable queries : int;
   mutable errors : int;
   mutable timeouts : int;
@@ -11,7 +11,7 @@ type t = {
 
 let create ?(ring_size = 4096) () =
   {
-    lock = Mutex.create ();
+    lock = Rkutil.Latch.create ~name:"server.metrics" ~rank:50 ();
     queries = 0;
     errors = 0;
     timeouts = 0;
@@ -22,19 +22,19 @@ let create ?(ring_size = 4096) () =
   }
 
 let record_query t ~latency_s =
-  Mutex.protect t.lock (fun () ->
+  Rkutil.Latch.protect t.lock (fun () ->
       t.queries <- t.queries + 1;
       let n = Array.length t.ring in
       t.ring.(t.ring_next) <- latency_s;
       t.ring_next <- (t.ring_next + 1) mod n;
       if t.ring_len < n then t.ring_len <- t.ring_len + 1)
 
-let record_error t = Mutex.protect t.lock (fun () -> t.errors <- t.errors + 1)
+let record_error t = Rkutil.Latch.protect t.lock (fun () -> t.errors <- t.errors + 1)
 
 let record_timeout t =
-  Mutex.protect t.lock (fun () -> t.timeouts <- t.timeouts + 1)
+  Rkutil.Latch.protect t.lock (fun () -> t.timeouts <- t.timeouts + 1)
 
-let record_shed t = Mutex.protect t.lock (fun () -> t.shed <- t.shed + 1)
+let record_shed t = Rkutil.Latch.protect t.lock (fun () -> t.shed <- t.shed + 1)
 
 type snapshot = {
   queries : int;
@@ -53,7 +53,7 @@ let percentile sorted q =
     sorted.(max 0 (min (n - 1) idx))
 
 let snapshot t =
-  Mutex.protect t.lock (fun () ->
+  Rkutil.Latch.protect t.lock (fun () ->
       let samples = Array.sub t.ring 0 t.ring_len in
       Array.sort compare samples;
       {

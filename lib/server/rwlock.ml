@@ -1,55 +1,14 @@
-type t = {
-  m : Mutex.t;
-  readers_done : Condition.t;  (* signalled when the last reader leaves *)
-  turn : Condition.t;  (* signalled when a writer leaves *)
-  mutable readers : int;
-  mutable writer : bool;
-  mutable waiting_writers : int;
-}
+(* The writer-preferring implementation lives in [Rkutil.Latch.Rw] so the
+   sanitizer sees the logical Shared/Exclusive acquisitions of the catalog
+   lock site; this module keeps the service-facing API. The site is
+   Long-class: it is held across whole statements (including page-fault
+   I/O under execution) by design. *)
+
+type t = Rkutil.Latch.Rw.rw
 
 let create () =
-  {
-    m = Mutex.create ();
-    readers_done = Condition.create ();
-    turn = Condition.create ();
-    readers = 0;
-    writer = false;
-    waiting_writers = 0;
-  }
+  Rkutil.Latch.Rw.create ~name:"server.catalog.rwlock" ~rank:20
+    ~cls:Rkutil.Latch.Long ()
 
-let lock_read t =
-  Mutex.protect t.m (fun () ->
-      while t.writer || t.waiting_writers > 0 do
-        Condition.wait t.turn t.m
-      done;
-      t.readers <- t.readers + 1)
-
-let unlock_read t =
-  Mutex.protect t.m (fun () ->
-      t.readers <- t.readers - 1;
-      if t.readers = 0 then Condition.signal t.readers_done)
-
-let lock_write t =
-  Mutex.protect t.m (fun () ->
-      t.waiting_writers <- t.waiting_writers + 1;
-      while t.writer do
-        Condition.wait t.turn t.m
-      done;
-      t.writer <- true;
-      t.waiting_writers <- t.waiting_writers - 1;
-      while t.readers > 0 do
-        Condition.wait t.readers_done t.m
-      done)
-
-let unlock_write t =
-  Mutex.protect t.m (fun () ->
-      t.writer <- false;
-      Condition.broadcast t.turn)
-
-let with_read t f =
-  lock_read t;
-  Fun.protect ~finally:(fun () -> unlock_read t) f
-
-let with_write t f =
-  lock_write t;
-  Fun.protect ~finally:(fun () -> unlock_write t) f
+let with_read t f = Rkutil.Latch.Rw.with_read t f
+let with_write t f = Rkutil.Latch.Rw.with_write t f

@@ -65,19 +65,27 @@ type reply = {
 (* A one-shot synchronization cell: the worker fills it, the submitting
    connection thread blocks reading it. *)
 module Ivar = struct
-  type 'a t = { m : Mutex.t; c : Condition.t; mutable v : 'a option }
+  type 'a t = { m : Rkutil.Latch.t; c : Condition.t; mutable v : 'a option }
 
-  let create () = { m = Mutex.create (); c = Condition.create (); v = None }
+  let create () =
+    {
+      m = Rkutil.Latch.create ~name:"server.ivar" ~rank:55 ();
+      c = Condition.create ();
+      v = None;
+    }
 
   let fill iv v =
-    Mutex.protect iv.m (fun () ->
+    Rkutil.Latch.protect iv.m (fun () ->
         iv.v <- Some v;
         Condition.broadcast iv.c)
 
   let read iv =
-    Mutex.protect iv.m (fun () ->
+    (* Waiting for a worker is a blocking operation: doing it while
+       holding any Short-class latch would be an LK03 hazard. *)
+    Rkutil.Latch.blocking "service.await";
+    Rkutil.Latch.protect iv.m (fun () ->
         while Option.is_none iv.v do
-          Condition.wait iv.c iv.m
+          Rkutil.Latch.wait iv.c iv.m
         done;
         Option.get iv.v)
 end
@@ -94,6 +102,9 @@ type t = {
          blocks on the *scheduling* of another — exchange consumers help-run
          unclaimed morsels themselves (see Exec.Exchange). *)
   queued : int Atomic.t;  (* statements admitted but not yet started *)
+  inflight : int Atomic.t;
+      (* statements admitted whose reply has not been filled yet; the
+         graceful-shutdown drain waits for this to reach zero *)
   stopping : bool Atomic.t;
   active_sessions : int Atomic.t;
 }
@@ -115,7 +126,7 @@ type session = {
   svc : t;
   stmts : (string, Sqlfront.Sql.template) Hashtbl.t;
   cursors : (string, open_cursor) Hashtbl.t;
-  slock : Mutex.t;
+  slock : Rkutil.Latch.t;
   smetrics : Metrics.t;
   mutable stimeout : float option;
       (* session default deadline override (TIMEOUT verb); a per-call
@@ -134,6 +145,7 @@ let create ?(config = default_config) cat =
     metrics = Metrics.create ();
     pool = Rkutil.Task_pool.create ~domains:config.workers;
     queued = Atomic.make 0;
+    inflight = Atomic.make 0;
     stopping = Atomic.make false;
     active_sessions = Atomic.make 0;
   }
@@ -142,13 +154,32 @@ let shutdown t =
   Atomic.set t.stopping true;
   Rkutil.Task_pool.shutdown t.pool
 
+(* Graceful shutdown, phase one: reject new statements ([submit] answers
+   [Shutting_down]) while statements already admitted keep their workers
+   and deliver their replies. *)
+let begin_drain t = Atomic.set t.stopping true
+
+(* Phase two: wait (bounded) until every in-flight statement has filled
+   its reply. Returns [true] if the service fully drained. *)
+let drain ?(timeout_s = 5.0) t =
+  Rkutil.Latch.blocking "service.drain";
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  while Atomic.get t.inflight > 0 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.002
+  done;
+  Atomic.get t.inflight = 0
+
+let inflight t = Atomic.get t.inflight
+
+let sessions t = Atomic.get t.active_sessions
+
 let open_session t =
   Atomic.incr t.active_sessions;
   {
     svc = t;
     stmts = Hashtbl.create 8;
     cursors = Hashtbl.create 4;
-    slock = Mutex.create ();
+    slock = Rkutil.Latch.create ~name:"server.session" ~rank:30 ();
     smetrics = Metrics.create ();
       stimeout = None;
   }
@@ -158,7 +189,7 @@ let close_cursor_entry oc =
 
 (* Remove and return the cursor under [name], if any. *)
 let take_cursor sess name =
-  Mutex.protect sess.slock (fun () ->
+  Rkutil.Latch.protect sess.slock (fun () ->
       match Hashtbl.find_opt sess.cursors name with
       | Some oc ->
           Hashtbl.remove sess.cursors name;
@@ -175,7 +206,7 @@ let drop_cursor sess name =
 let close_session s =
   Atomic.decr s.svc.active_sessions;
   let cursors =
-    Mutex.protect s.slock (fun () ->
+    Rkutil.Latch.protect s.slock (fun () ->
         let cs = Hashtbl.fold (fun _ oc acc -> oc :: acc) s.cursors [] in
         Hashtbl.reset s.cursors;
         Hashtbl.reset s.stmts;
@@ -197,20 +228,24 @@ let submit t ~label ~deadline (f : unit -> ('a, error) result) :
   end
   else begin
     Atomic.incr t.queued;
+    Atomic.incr t.inflight;
     let job () =
       Atomic.decr t.queued;
-      if Unix.gettimeofday () > deadline then Ivar.fill iv (Error Timeout)
-      else
-        let r =
-          try f () with
-          | Core.Executor.Interrupted -> Error Timeout
-          | exn -> Error (Exec_error (Printexc.to_string exn))
-        in
-        Ivar.fill iv r
+      (if Unix.gettimeofday () > deadline then Ivar.fill iv (Error Timeout)
+       else
+         let r =
+           try f () with
+           | Core.Executor.Interrupted -> Error Timeout
+           | exn -> Error (Exec_error (Printexc.to_string exn))
+         in
+         Ivar.fill iv r);
+      (* The reply is delivered: this statement no longer blocks a drain. *)
+      Atomic.decr t.inflight
     in
     if Rkutil.Task_pool.submit t.pool job then Ivar.read iv
     else begin
       Atomic.decr t.queued;
+      Atomic.decr t.inflight;
       Error Shutting_down
     end
   end
@@ -300,7 +335,7 @@ let run_template sess ?timeout_s ?k ?cursor_name (tpl : Sqlfront.Sql.template) =
                                 prepared.Sqlfront.Sql.planned;
                             }
                           in
-                          Mutex.protect sess.slock (fun () ->
+                          Rkutil.Latch.protect sess.slock (fun () ->
                               Hashtbl.replace sess.cursors name
                                 {
                                   oc_cursor = cur;
@@ -364,11 +399,11 @@ let prepare sess ~name sql =
       Metrics.record_error sess.smetrics;
       Error (Parse_error e)
   | Ok tpl ->
-      Mutex.protect sess.slock (fun () -> Hashtbl.replace sess.stmts name tpl);
+      Rkutil.Latch.protect sess.slock (fun () -> Hashtbl.replace sess.stmts name tpl);
       Ok tpl
 
 let execute_prepared sess ?timeout_s ?k name =
-  match Mutex.protect sess.slock (fun () -> Hashtbl.find_opt sess.stmts name) with
+  match Rkutil.Latch.protect sess.slock (fun () -> Hashtbl.find_opt sess.stmts name) with
   | None -> Error (Unknown_prepared name)
   | Some tpl -> run_template sess ?timeout_s ?k ~cursor_name:name tpl
 
@@ -392,7 +427,7 @@ let fetch sess ?timeout_s ~name n =
         (Bind_error (Printf.sprintf "bind error: fetch count must be >= 1, got %d" n))
     else
       match
-        Mutex.protect sess.slock (fun () -> Hashtbl.find_opt sess.cursors name)
+        Rkutil.Latch.protect sess.slock (fun () -> Hashtbl.find_opt sess.cursors name)
       with
       | None -> Error (Unknown_cursor name)
       | Some oc ->
@@ -565,8 +600,8 @@ let session_stats s =
   @ [
       ( "prepared",
         string_of_int
-          (Mutex.protect s.slock (fun () -> Hashtbl.length s.stmts)) );
+          (Rkutil.Latch.protect s.slock (fun () -> Hashtbl.length s.stmts)) );
       ( "cursors",
         string_of_int
-          (Mutex.protect s.slock (fun () -> Hashtbl.length s.cursors)) );
+          (Rkutil.Latch.protect s.slock (fun () -> Hashtbl.length s.cursors)) );
     ]

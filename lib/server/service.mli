@@ -85,6 +85,21 @@ val shutdown : t -> unit
 (** Stop accepting work, drain queued jobs, join the worker domains.
     Idempotent. *)
 
+val begin_drain : t -> unit
+(** Graceful shutdown, phase one: new statements are rejected with
+    [Shutting_down] while statements already admitted keep running and
+    deliver their replies. *)
+
+val drain : ?timeout_s:float -> t -> bool
+(** Phase two: block until every in-flight statement has delivered its
+    reply (or [timeout_s] elapses). Returns [true] if fully drained. *)
+
+val inflight : t -> int
+(** Statements admitted whose reply has not been delivered yet. *)
+
+val sessions : t -> int
+(** Currently open sessions. *)
+
 val open_session : t -> session
 val close_session : session -> unit
 

@@ -63,7 +63,9 @@ type t = {
   co_mirror : Storage.Catalog.t;
   co_local : Svc.t;
   co_config : Svc.config;
-  co_lock : Mutex.t;  (* Serializes all shard I/O and link state. *)
+  co_lock : Rkutil.Latch.t;
+      (* Serializes all shard I/O and link state. Long-class by design:
+         RPC round-trips run under it. *)
   mutable co_part : Partition.t;
   mutable co_links : link array;
   mutable co_epoch : int;
@@ -81,8 +83,9 @@ type session = {
 }
 
 let with_lock t f =
-  Mutex.lock t.co_lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.co_lock) f
+  Rkutil.Latch.protect t.co_lock (fun () ->
+      Rkutil.Latch.guarded t.co_lock "coordinator.links";
+      f ())
 
 let endpoint_string ep = Format.asprintf "%a" Server.Listener.pp_endpoint ep
 
@@ -720,7 +723,9 @@ let create ?(config = Svc.default_config) ~mirror ~part ~endpoints () =
     co_mirror = mirror;
     co_local = Svc.create ~config mirror;
     co_config = config;
-    co_lock = Mutex.create ();
+    co_lock =
+      Rkutil.Latch.create ~name:"shard.coordinator" ~rank:10
+        ~cls:Rkutil.Latch.Long ();
     co_part = part;
     co_links =
       Array.of_list
@@ -798,7 +803,11 @@ let deadline_of ses timeout_s =
          (Option.value ses.ss_timeout
             ~default:ses.ss_t.co_config.Svc.default_timeout_s)
 
-let guard f = try f () with Err e -> Error e
+let guard f =
+  let r = try f () with Err e -> Error e in
+  (* Every public entry point releases everything it took. *)
+  Rkutil.Latch.quiesce "coordinator.entry";
+  r
 
 let service_reply ~start (r : Svc.reply) =
   {

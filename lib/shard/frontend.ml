@@ -5,7 +5,7 @@ type t = {
   fr_cluster : Cluster.t;
   fr_listener : Unix.file_descr;
   fr_endpoint : L.endpoint;
-  fr_m : Mutex.t;
+  fr_m : Rkutil.Latch.t;
   fr_stopped_cond : Condition.t;
   mutable fr_stopped : bool;
   mutable fr_conns : Unix.file_descr list;
@@ -159,12 +159,12 @@ let send oc response =
   flush oc
 
 let remove_conn t fd =
-  Mutex.protect t.fr_m (fun () ->
+  Rkutil.Latch.protect t.fr_m (fun () ->
       t.fr_conns <- List.filter (fun c -> c != fd) t.fr_conns)
 
 let rec stop t =
   let to_close =
-    Mutex.protect t.fr_m (fun () ->
+    Rkutil.Latch.protect t.fr_m (fun () ->
         if t.fr_stopped then None
         else begin
           t.fr_stopped <- true;
@@ -187,7 +187,7 @@ let rec stop t =
       | L.Unix_socket path -> (
           try Unix.unlink path with Unix.Unix_error _ -> ())
       | L.Tcp _ -> ());
-      Mutex.protect t.fr_m (fun () -> Condition.broadcast t.fr_stopped_cond)
+      Rkutil.Latch.protect t.fr_m (fun () -> Condition.broadcast t.fr_stopped_cond)
 
 and handle_conn t fd =
   let session = Coordinator.open_session (Cluster.coordinator t.fr_cluster) in
@@ -231,7 +231,7 @@ let accept_loop t =
     | exception Sys_error _ -> ()
     | fd, _addr ->
         let admitted =
-          Mutex.protect t.fr_m (fun () ->
+          Rkutil.Latch.protect t.fr_m (fun () ->
               if t.fr_stopped then false
               else begin
                 t.fr_conns <- fd :: t.fr_conns;
@@ -265,7 +265,7 @@ let start cluster endpoint =
       fr_cluster = cluster;
       fr_listener = listener;
       fr_endpoint = endpoint;
-      fr_m = Mutex.create ();
+      fr_m = Rkutil.Latch.create ~name:"shard.frontend" ~rank:14 ();
       fr_stopped_cond = Condition.create ();
       fr_stopped = false;
       fr_conns = [];
@@ -276,8 +276,9 @@ let start cluster endpoint =
   t
 
 let wait t =
-  Mutex.protect t.fr_m (fun () ->
-      while not t.fr_stopped do
-        Condition.wait t.fr_stopped_cond t.fr_m
-      done);
+  Rkutil.Latch.lock t.fr_m;
+  while not t.fr_stopped do
+    Rkutil.Latch.wait t.fr_stopped_cond t.fr_m
+  done;
+  Rkutil.Latch.unlock t.fr_m;
   match t.fr_accept with None -> () | Some th -> Thread.join th

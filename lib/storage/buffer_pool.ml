@@ -26,7 +26,7 @@ type shard = {
   s_cache : (int, frame) Hashtbl.t;
   mutable s_head : frame option;
   mutable s_tail : frame option;
-  s_lock : Mutex.t;
+  s_lock : Rkutil.Latch.t;
 }
 
 type t = {
@@ -52,7 +52,8 @@ let create ?(frames = 64) io =
             s_cache = Hashtbl.create 16;
             s_head = None;
             s_tail = None;
-            s_lock = Mutex.create ();
+            s_lock =
+              Rkutil.Latch.create ~name:"storage.bufpool.shard" ~rank:70 ();
           });
     next_id = Atomic.make 0;
   }
@@ -63,7 +64,14 @@ let stats t = t.io
 
 let shard_of t pid = t.shards.(pid mod Array.length t.shards)
 
-let locked s f = Mutex.protect s.s_lock f
+(* Exception-safe: [Latch.protect] releases on any unwind, so a deadline
+   interrupt raised inside a critical section cannot leak the shard latch
+   (the LK06 hazard). The [guarded] marker lets the sanitizer verify every
+   cache/LRU access really runs under this shard's latch. *)
+let locked s f =
+  Rkutil.Latch.protect s.s_lock (fun () ->
+      Rkutil.Latch.guarded s.s_lock "bufpool.shard.state";
+      f ())
 
 (* Recency-list surgery; all callers hold the shard latch. *)
 let unlink s fr =
@@ -129,6 +137,10 @@ let get t pid =
           | None ->
               invalid_arg (Printf.sprintf "Buffer_pool.get: unknown page %d" pid)
           | Some page ->
+              (* Simulated page-fault I/O: legitimately happens under this
+                 shard's own latch (hence [~self]), but under no other
+                 Short-class latch. *)
+              Rkutil.Latch.blocking_self s.s_lock "bufpool.page_fault";
               Io_stats.add_page_read t.io;
               insert_frame t s page ~dirty:false;
               page))
@@ -148,6 +160,7 @@ let mark_dirty t pid =
               invalid_arg
                 (Printf.sprintf "Buffer_pool.mark_dirty: unknown page %d" pid)
           | Some page ->
+              Rkutil.Latch.blocking_self s.s_lock "bufpool.page_fault";
               Io_stats.add_page_read t.io;
               insert_frame t s page ~dirty:true))
 

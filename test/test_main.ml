@@ -37,4 +37,5 @@ let () =
          Test_parallel.suites;
          Test_server.suites;
          Test_shard.suites;
+         Test_sanitize.suites;
        ])
