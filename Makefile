@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-perf bench-anyk bench-leaderboard bench-shard bench-sanitize bench-smoke fuzz lint sanitize serve-smoke shard-smoke ci clean
+.PHONY: all build test bench bench-perf bench-anyk bench-leaderboard bench-shard bench-sanitize bench-vector bench-smoke fuzz lint sanitize serve-smoke shard-smoke ci clean
 
 all: build
 
@@ -58,13 +58,20 @@ bench-shard: build
 bench-sanitize: build
 	dune exec bench/main.exe -- sanitize
 
+# Vectorized-execution trajectory: ns/tuple for the scan-filter-top-k
+# drain, batch-at-a-time vs tuple-at-a-time, at n in {16k, 64k}, with the
+# two runs checked row-identical before timing. Appends one JSON row per
+# size to BENCH_RANKOPT.json.
+bench-vector: build
+	dune exec bench/main.exe -- vector
+
 # Reduced-size subset (<30s): prints the rows but does NOT append, so
 # `make ci` stays clean-tree.
 bench-smoke: build
 	dune exec bench/main.exe -- perf-smoke anyk-smoke leaderboard-smoke \
-	  shard-smoke sanitize-smoke
+	  shard-smoke sanitize-smoke vector-smoke
 
-# Static plan analysis (planlint): run the rule catalog (PL01..PL13) over
+# Static plan analysis (planlint): run the rule catalog (PL01..PL15) over
 # the example query corpus and over a fixed slice of the fuzz corpus,
 # linting the optimizer's chosen plan and every MEMO-retained subplan.
 # Exits nonzero on any error-severity diagnostic. Open-ended sweeps:
@@ -107,14 +114,16 @@ shard-smoke: build
 # What CI runs: a full build + test pass, the static plan lint, the
 # fixed-seed concurrency-discipline sweep, the server and
 # shard-coordinator smoke tests, the perf smoke subset, a short 2-domain
-# degree-sweep hammer (parallel execution must match serial exactly) and
-# a short sharded differential sweep (scattered execution must match
-# single-node tuple-exactly), then verify the working tree is clean
-# (catches build artifacts or generated files accidentally committed,
-# and formatter/codegen drift).
+# degree-sweep hammer (parallel execution must match serial exactly), a
+# short sharded differential sweep (scattered execution must match
+# single-node tuple-exactly) and a vectorized-execution sweep (batched
+# plans must match tuple-at-a-time bit-exactly, depth counters included),
+# then verify the working tree is clean (catches build artifacts or
+# generated files accidentally committed, and formatter/codegen drift).
 ci: build test lint sanitize serve-smoke shard-smoke bench-smoke
 	dune exec bin/rankopt.exe -- fuzz --degree 2 --seed 0 --cases 200
 	dune exec bin/rankopt.exe -- fuzz --shard 4 --seed 0 --cases 50
+	dune exec bin/rankopt.exe -- fuzz --vector --seed 0 --cases 400
 	@status=$$(git status --porcelain); \
 	if [ -n "$$status" ]; then \
 	  echo "ci: working tree not clean after build+test:"; \

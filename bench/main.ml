@@ -38,6 +38,8 @@ let experiments =
     ("shard-smoke", fun () -> Shard_bench.run ~smoke:true ());
     ("sanitize", fun () -> Sanitize_bench.run ());
     ("sanitize-smoke", fun () -> Sanitize_bench.run ~smoke:true ());
+    ("vector", fun () -> Vector_bench.run ());
+    ("vector-smoke", fun () -> Vector_bench.run ~smoke:true ());
   ]
 
 let usage () =

@@ -1,0 +1,87 @@
+(* Vectorized-execution trajectory: ns/tuple for the scan-filter-top-k
+   drain — the plan shape the batched spine exists for — executed
+   tuple-at-a-time ([~vectorized:false], the pre-batching interpreter) and
+   batch-at-a-time (the default), at n in {16k, 64k}. The two runs are
+   checked row-identical before timing, so a speedup row can never hide a
+   semantics change. Appends one JSON row per size to BENCH_RANKOPT.json
+   (smoke mode prints a reduced subset without appending). *)
+
+open Relalg
+
+let score_a = Expr.col ~relation:"A" "score"
+
+let drain_plan ~k =
+  Core.Plan.Top_k
+    {
+      k;
+      input =
+        Core.Plan.Sort
+          {
+            order =
+              { Core.Plan.expr = score_a;
+                direction = Core.Interesting_orders.Desc };
+            input =
+              Core.Plan.Filter
+                {
+                  (* ~80% selectivity: the filter kernel does real work but
+                     the drain stays scan-dominated *)
+                  pred = Expr.(Cmp (Ge, score_a, cfloat 0.2));
+                  input = Core.Plan.Table_scan { table = "A" };
+                };
+          };
+    }
+
+let rows_identical a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (t1, s1) (t2, s2) -> Tuple.equal t1 t2 && Float.compare s1 s2 = 0)
+       a b
+
+let run ?(smoke = false) () =
+  Bench_util.section
+    "vector: scan-filter-top-k drain, vectorized vs tuple-at-a-time";
+  let sizes = if smoke then [ 16_000 ] else [ 16_000; 64_000 ] in
+  let repeats = if smoke then 3 else 5 in
+  let rows =
+    List.map
+      (fun n ->
+        let cat = Storage.Catalog.create ~pool_frames:512 () in
+        ignore
+          (Workload.Generator.load_scored_table cat (Rkutil.Prng.create 7)
+             ~name:"A" ~n ~key_domain:(n / 8) ());
+        let k = 100 in
+        let plan = drain_plan ~k in
+        let serial_res = Core.Executor.run ~vectorized:false cat plan in
+        let vec_res = Core.Executor.run ~vectorized:true cat plan in
+        let ok =
+          rows_identical serial_res.Core.Executor.rows
+            vec_res.Core.Executor.rows
+        in
+        let serial_dt =
+          Perf.time_best ~repeats (fun () ->
+              ignore (Core.Executor.run ~vectorized:false cat plan))
+        in
+        let vec_dt =
+          Perf.time_best ~repeats (fun () ->
+              ignore (Core.Executor.run ~vectorized:true cat plan))
+        in
+        let per_tuple dt = dt /. float_of_int n *. 1e9 in
+        let speedup = serial_dt /. vec_dt in
+        Bench_util.row
+          "n=%-6d  tuple-at-a-time %8.1f ns/tuple   vectorized %8.1f \
+           ns/tuple   %5.2fx%s\n"
+          n (per_tuple serial_dt) (per_tuple vec_dt) speedup
+          (if ok then "" else "  [ROWS DIVERGE]");
+        Printf.sprintf
+          "{\"bench\":\"vector\",\"n\":%d,\"k\":%d,\"cores\":%d,\
+           \"serial_ns_per_tuple\":%.1f,\"vector_ns_per_tuple\":%.1f,\
+           \"serial_s\":%.5f,\"vector_s\":%.5f,\"speedup\":%.3f,\
+           \"correct\":%b}"
+          n k (Perf.cores ()) (per_tuple serial_dt) (per_tuple vec_dt)
+          serial_dt vec_dt speedup ok)
+      sizes
+  in
+  Bench_util.section
+    (if smoke then "vector rows (smoke: not appended)"
+     else "vector rows appended to " ^ Perf.bench_file);
+  Perf.emit ~append:(not smoke) rows

@@ -389,7 +389,7 @@ let client_cmd =
     Term.(ret (const run $ socket_arg $ port_arg $ host_arg $ commands_arg))
 
 let fuzz_cmd =
-  let run seed cases server_mode enum_mode rank_mode degree shard =
+  let run seed cases server_mode enum_mode rank_mode vector_mode degree shard =
     let t0 = Unix.gettimeofday () in
     let progress i =
       if cases > 20 && i > 0 && i mod 50 = 0 then
@@ -442,7 +442,10 @@ let fuzz_cmd =
                 ];
             } )
       | None ->
-          if rank_mode then
+          if vector_mode then
+            ( " (vector mode)",
+              Check.Rankcheck.run_vector ~progress ~seed ~cases () )
+          else if rank_mode then
             (" (rank mode)", Check.Rankcheck.run_rank ~progress ~seed ~cases ())
           else if enum_mode then
             (" (enum mode)", Check.Rankcheck.run_enum ~progress ~seed ~cases ())
@@ -461,6 +464,7 @@ let fuzz_cmd =
       (seed + cases - 1)
       outcome.Check.Rankcheck.o_plans
       (if shard <> None then "sharded statements"
+       else if vector_mode && degree = None then "vectorized plan pairs"
        else if rank_mode && degree = None then "window executions"
        else if enum_mode && degree = None then "fetch prefixes"
        else if server_mode && degree = None then "server executions"
@@ -503,6 +507,16 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "rank" ] ~doc)
   in
+  let vector_arg =
+    let doc =
+      "Batched-execution sweep: execute every MEMO-retained plan of each \
+       case twice — tuple-at-a-time and with the vectorized spines enabled \
+       (the default executor mode) — requiring bit-identical rows, scores \
+       and order plus identical rank-join depth and emitted counters \
+       across the two runs."
+    in
+    Arg.(value & flag & info [ "vector" ] ~doc)
+  in
   let degree_arg =
     let doc =
       "Parallel-determinism sweep: plan each case with intra-query \
@@ -532,16 +546,17 @@ let fuzz_cmd =
      are shrunk and print a replay command. With --server, replay through \
      the query service instead; with --enum, sweep cursor-style ranked \
      enumeration against a full-list oracle; with --rank, sweep by-rank \
-     windows against a sort-everything oracle; with --degree, sweep \
-     parallel-execution determinism; with --shard, sweep single-node vs \
-     sharded-coordinator equivalence."
+     windows against a sort-everything oracle; with --vector, sweep \
+     vectorized vs tuple-at-a-time execution of every retained plan; with \
+     --degree, sweep parallel-execution determinism; with --shard, sweep \
+     single-node vs sharded-coordinator equivalence."
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc)
     Term.(
       ret
         (const run $ seed_arg $ cases_arg $ server_arg $ enum_arg $ rank_arg
-       $ degree_arg $ shard_arg))
+       $ vector_arg $ degree_arg $ shard_arg))
 
 (* -- lint: the planlint static analyzer --------------------------------- *)
 

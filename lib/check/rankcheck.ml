@@ -1232,6 +1232,175 @@ let run_degree ?(progress = fun _ -> ()) ~seed ~cases ~degree () =
   { o_cases = cases; o_plans = !executions; o_failures = List.rev !failures }
 
 (* ------------------------------------------------------------------ *)
+(* Vector mode: batched execution vs the tuple-at-a-time reference     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every MEMO-retained plan is executed twice — once with the executor's
+   vectorized spines disabled ([~vectorized:false], the pre-batching
+   tuple-at-a-time interpreter) and once batch-at-a-time (the default) —
+   and the two runs must be *bit identical*: same tuples, same scores,
+   same order. The batch kernels replicate the scalar expression
+   interpreter exactly (Null propagation, NaN ordering, constant folding
+   in the Value domain), so no tolerance is allowed. Rank joins stay
+   streaming sinks under vectorization; their per-input depth counters
+   and emitted counts must also match exactly, proving the batching
+   boundary never changes how far a rank join reads (Theorem 1/2
+   accounting is untouched). *)
+
+let vector_stats_divergence kind label a b =
+  let da = Exec.Exec_stats.depths a and db = Exec.Exec_stats.depths b in
+  let show d =
+    String.concat ";" (List.map string_of_int (Array.to_list d))
+  in
+  if da <> db then
+    Some
+      (Printf.sprintf
+         "%s %s: input depths [%s] (serial) vs [%s] (vectorized)" kind label
+         (show da) (show db))
+  else if Exec.Exec_stats.emitted a <> Exec.Exec_stats.emitted b then
+    Some
+      (Printf.sprintf "%s %s: emitted %d (serial) vs %d (vectorized)" kind
+         label
+         (Exec.Exec_stats.emitted a)
+         (Exec.Exec_stats.emitted b))
+  else None
+
+(* Rank-node stats are reported in plan pre-order by both runs of the same
+   plan, so position-wise pairing is exact. *)
+let vector_counters_diverge (serial : Core.Executor.run_result)
+    (vec : Core.Executor.run_result) =
+  let pair_binary () =
+    if
+      List.length serial.Core.Executor.rank_nodes
+      <> List.length vec.Core.Executor.rank_nodes
+    then
+      Some
+        (Printf.sprintf "rank-join node count %d (serial) vs %d (vectorized)"
+           (List.length serial.Core.Executor.rank_nodes)
+           (List.length vec.Core.Executor.rank_nodes))
+    else
+      List.find_map
+        (fun ((a : Core.Executor.rank_node_stats),
+              (b : Core.Executor.rank_node_stats)) ->
+          if not (String.equal a.Core.Executor.label b.Core.Executor.label)
+          then
+            Some
+              (Printf.sprintf "rank-join node pairing: %s vs %s"
+                 a.Core.Executor.label b.Core.Executor.label)
+          else
+            vector_stats_divergence "rank join" a.Core.Executor.label
+              a.Core.Executor.stats b.Core.Executor.stats)
+        (List.combine serial.Core.Executor.rank_nodes
+           vec.Core.Executor.rank_nodes)
+  in
+  let pair_nary () =
+    if
+      List.length serial.Core.Executor.nary_nodes
+      <> List.length vec.Core.Executor.nary_nodes
+    then
+      Some
+        (Printf.sprintf
+           "n-ary rank-join node count %d (serial) vs %d (vectorized)"
+           (List.length serial.Core.Executor.nary_nodes)
+           (List.length vec.Core.Executor.nary_nodes))
+    else
+      List.find_map
+        (fun ((a : Core.Executor.nary_node_stats),
+              (b : Core.Executor.nary_node_stats)) ->
+          if
+            not
+              (String.equal a.Core.Executor.nary_label
+                 b.Core.Executor.nary_label)
+          then
+            Some
+              (Printf.sprintf "n-ary rank-join node pairing: %s vs %s"
+                 a.Core.Executor.nary_label b.Core.Executor.nary_label)
+          else
+            vector_stats_divergence "n-ary rank join"
+              a.Core.Executor.nary_label a.Core.Executor.nary_stats
+              b.Core.Executor.nary_stats)
+        (List.combine serial.Core.Executor.nary_nodes
+           vec.Core.Executor.nary_nodes)
+  in
+  match pair_binary () with Some m -> Some m | None -> pair_nary ()
+
+let check_case_vector case : (int, string * string option) result =
+  let catalog = build_catalog case in
+  match Sqlfront.Binder.bind_result catalog case.c_query with
+  | Error e -> Error (e, None)
+  | exception e -> Error ("bind raised: " ^ Printexc.to_string e, None)
+  | Ok bound -> (
+      let query = bound.Sqlfront.Binder.logical in
+      let k = Option.value ~default:1 query.Core.Logical.k in
+      let env = Core.Cost_model.default_env ~k_min:(min k 1000) catalog query in
+      match enumerate_plans env query with
+      | exception e ->
+          Error ("enumeration raised: " ^ Printexc.to_string e, None)
+      | plans ->
+          let rec check_all n = function
+            | [] -> Ok n
+            | plan :: rest -> (
+                let desc = Some (Core.Plan.describe plan) in
+                match Core.Executor.run ~vectorized:false catalog plan with
+                | exception e ->
+                    Error
+                      ( "tuple-at-a-time execution raised: "
+                        ^ Printexc.to_string e,
+                        desc )
+                | serial -> (
+                    match Core.Executor.run ~vectorized:true catalog plan with
+                    | exception e ->
+                        Error
+                          ( "vectorized execution raised: "
+                            ^ Printexc.to_string e,
+                            desc )
+                    | vec ->
+                        if
+                          not
+                            (rows_identical serial.Core.Executor.rows
+                               vec.Core.Executor.rows)
+                        then
+                          Error
+                            ( Printf.sprintf
+                                "vectorized run diverges from tuple-at-a-time: \
+                                 rows %d vs %d, or tuple order/scores differ"
+                                (List.length vec.Core.Executor.rows)
+                                (List.length serial.Core.Executor.rows),
+                              desc )
+                        else
+                          match vector_counters_diverge serial vec with
+                          | Some msg -> Error (msg, desc)
+                          | None -> check_all (n + 1) rest))
+          in
+          check_all 0 plans)
+
+let run_case_vector seed =
+  let case = gen_case seed in
+  match check_case_vector case with
+  | Ok n -> Ok n
+  | Error (reason, plan) ->
+      Error
+        {
+          f_seed = seed;
+          f_reason = "vector-mode: " ^ reason;
+          f_plan = plan;
+          f_case = case;
+          f_replay =
+            Printf.sprintf "rankopt fuzz --vector --seed %d --cases 1" seed;
+        }
+
+let run_vector ?(progress = fun _ -> ()) ~seed ~cases () =
+  let failures = ref [] in
+  let executions = ref 0 in
+  for i = 0 to cases - 1 do
+    progress i;
+    match run_case_vector (seed + i) with
+    | Ok n -> executions := !executions + n
+    | Error f -> failures := f :: !failures
+  done;
+  { o_cases = cases; o_plans = !executions; o_failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
 (* Enumeration mode: cursor FETCH prefixes vs a full ranked-list oracle *)
 (* ------------------------------------------------------------------ *)
 

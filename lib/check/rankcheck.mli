@@ -129,6 +129,30 @@ val run_degree :
   ?progress:(int -> unit) -> seed:int -> cases:int -> degree:int -> unit -> outcome
 (** Like {!run}, but [o_plans] counts degree executions compared. *)
 
+(** {2 Vector mode}
+
+    Batched-execution differential check: every MEMO-retained plan of each
+    case is executed twice — tuple-at-a-time ([Executor.run
+    ~vectorized:false], the pre-batching interpreter) and batch-at-a-time
+    (the default) — and the two runs must be {e bit identical}: same
+    tuples, same scores, same order, no tolerance (the batch kernels
+    replicate the scalar expression interpreter exactly, including Null
+    propagation and NaN ordering). Rank-join nodes must additionally
+    report identical per-input depth counters and emitted counts across
+    the two runs, proving the vectorized spines never change how far a
+    streaming rank join reads. This is what [rankopt fuzz --vector]
+    drives. *)
+
+val check_case_vector : case -> (int, string * string option) result
+(** [Ok n]: [n] plans executed identically under both modes, counters
+    included. *)
+
+val run_case_vector : int -> (int, failure) result
+
+val run_vector : ?progress:(int -> unit) -> seed:int -> cases:int -> unit -> outcome
+(** Like {!run}, but [o_plans] counts vectorized/serial plan pairs
+    compared. *)
+
 (** {2 Enumeration mode}
 
     Ranked-enumeration differential check for the cursor path: each case's

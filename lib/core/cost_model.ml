@@ -13,12 +13,13 @@ type env = {
   exchange_startup : float;
   remote_startup : float;
   remote_row : float;
+  vector_cpu : float;
 }
 
 let default_env ?(k_min = 1) ?(cpu_factor = 0.002) ?(memory_tuples = 10_000)
     ?(sort_fan_in = 8) ?(nl_block_tuples = 1000) ?(depth_mode = `Worst)
     ?(dop = 1) ?(exchange_startup = 2.0) ?(remote_startup = 5.0)
-    ?(remote_row = 0.01) catalog query =
+    ?(remote_row = 0.01) ?(vector_cpu = 1.0) catalog query =
   {
     catalog;
     query;
@@ -32,6 +33,7 @@ let default_env ?(k_min = 1) ?(cpu_factor = 0.002) ?(memory_tuples = 10_000)
     exchange_startup = Float.max 0.0 exchange_startup;
     remote_startup = Float.max 0.0 remote_startup;
     remote_row = Float.max 0.0 remote_row;
+    vector_cpu = Float.max 0.0 vector_cpu;
   }
 
 type estimate = {
@@ -155,15 +157,22 @@ let side_slab env score_expr ~rows =
 
 let frac rows x = if rows <= 0.0 then 1.0 else Rkutil.Mathx.clamp ~lo:0.0 ~hi:1.0 (x /. rows)
 
-let rec estimate env plan =
+(* [est bulk env plan]: [bulk] mirrors the executor's compilation context
+   (see [Vectorize.any]) — when true and the plan is a vector spine, its
+   per-tuple CPU term is discounted by [vector_cpu]. The default multiplier
+   of 1.0 keeps the model's choices identical to the tuple-at-a-time
+   model; a measured discount can be supplied per deployment. *)
+let rec est bulk env plan =
   match plan with
   | Plan.Table_scan { table } ->
       let info = table_info env table in
       let rows = float_of_int info.Storage.Catalog.tb_stats.Storage.Catalog.ts_cardinality in
       let pages = float_of_int info.Storage.Catalog.tb_stats.Storage.Catalog.ts_pages in
+      (* A bare Table_scan is always a vector spine in a bulk context. *)
+      let cpu = if bulk then env.cpu_factor *. env.vector_cpu else env.cpu_factor in
       let cost_at x =
         let x = Float.min x rows in
-        (pages *. frac rows x) +. (env.cpu_factor *. x)
+        (pages *. frac rows x) +. (cpu *. x)
       in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = false }
   | Plan.Index_scan { table; index; _ } ->
@@ -276,7 +285,7 @@ let rec estimate env plan =
         k_dependent = Option.is_some score;
       }
   | Plan.Gather_merge { inputs; k; score } ->
-      let ests = List.map (estimate env) inputs in
+      let ests = List.map (est false env) inputs in
       let n = float_of_int (max 1 (List.length inputs)) in
       let sum_rows = List.fold_left (fun acc e -> acc +. e.rows) 0.0 ests in
       let rows =
@@ -303,17 +312,22 @@ let rec estimate env plan =
         k_dependent = Option.is_some score;
       }
   | Plan.Filter { pred; input } ->
-      let i = estimate env input in
+      let i = est bulk env input in
       let sel = filter_selectivity env pred in
       let rows = i.rows *. sel in
+      let cpu =
+        if bulk && Vectorize.spine_ok plan then env.cpu_factor *. env.vector_cpu
+        else env.cpu_factor
+      in
       let cost_at x =
         let x = Float.min x rows in
         let need = if sel <= 0.0 then i.rows else Float.min i.rows (x /. sel) in
-        i.cost_at need +. (env.cpu_factor *. need)
+        i.cost_at need +. (cpu *. need)
       in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = i.k_dependent }
   | Plan.Sort { input; _ } ->
-      let i = estimate env input in
+      (* A sort drains its input: always a bulk context below. *)
+      let i = est true env input in
       let rows = i.rows in
       let pages = rows /. tuples_per_page env in
       let extra_io =
@@ -330,14 +344,17 @@ let rec estimate env plan =
       let total = i.total_cost +. extra_io +. cpu in
       { rows; total_cost = total; cost_at = (fun _ -> total); k_dependent = false }
   | Plan.Top_k { k; input } ->
-      let i = estimate env input in
+      let child_bulk = match input with Plan.Sort _ -> bulk | _ -> false in
+      let i = est child_bulk env input in
       let kf = float_of_int k in
       let rows = Float.min kf i.rows in
       let cost_at x = i.cost_at (Float.min x rows) in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = i.k_dependent }
-  | Plan.Join { algo; cond; left; right; _ } -> estimate_join env plan algo cond left right
+  | Plan.Join { algo; cond; left; right; _ } ->
+      estimate_join bulk env plan algo cond left right
   | Plan.Exchange { dop; input } ->
-      let i = estimate env input in
+      (* Exchange workers compile their morsels tuple-at-a-time. *)
+      let i = est false env input in
       let d = float_of_int (max 1 dop) in
       (* Off-spine subtrees (hash build sides, NL inners, INL probe paths)
          are built once, by one worker; only the driving spine's work
@@ -345,7 +362,7 @@ let rec estimate env plan =
          per-tuple term charges the slot/merge hand-off at the gather. *)
       let serial =
         List.fold_left
-          (fun acc p -> acc +. (estimate env p).total_cost)
+          (fun acc p -> acc +. (est false env p).total_cost)
           0.0
           (Parallel.off_spine input)
       in
@@ -365,7 +382,7 @@ let rec estimate env plan =
         k_dependent = false;
       }
   | Plan.Nary_rank_join { inputs; key; tables; _ } ->
-      let ests = List.map (estimate env) inputs in
+      let ests = List.map (est false env) inputs in
       let m = List.length inputs in
       (* Pairwise selectivity from the first adjacent pair (shared key, so
          all pairs estimate alike). *)
@@ -393,7 +410,7 @@ let rec estimate env plan =
       in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = true }
   | Plan.Any_k { inputs; keys; _ } ->
-      let ests = List.map (estimate env) inputs in
+      let ests = List.map (est false env) inputs in
       let m = List.length inputs in
       (* One selectivity per join-tree edge; the acyclic output cardinality
          is the product of input cardinalities and edge selectivities. *)
@@ -434,8 +451,19 @@ let rec estimate env plan =
       in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = true }
 
-and estimate_join env plan algo cond left right =
-  let l = estimate env left and r = estimate env right in
+and estimate_join bulk env plan algo cond left right =
+  (* Child contexts mirror the executor: hash joins drain both sides; a
+     block-NL join materializes its right; merge and INL joins inherit;
+     rank joins pull both sides incrementally. *)
+  let lbulk, rbulk =
+    match algo with
+    | Plan.Hash -> (true, true)
+    | Plan.Nested_loops -> (bulk, true)
+    | Plan.Sort_merge -> (bulk, bulk)
+    | Plan.Index_nl -> (bulk, false)
+    | Plan.Hrjn | Plan.Nrjn -> (false, false)
+  in
+  let l = est lbulk env left and r = est rbulk env right in
   let s = Rkutil.Mathx.clamp ~lo:1e-12 ~hi:1.0 (join_selectivity env cond) in
   let rows = l.rows *. r.rows *. s in
   let cpu = env.cpu_factor in
@@ -575,6 +603,8 @@ and estimate_join env plan algo cond left right =
       in
       { rows; total_cost = cost_at rows; cost_at; k_dependent = true }
   [@@warning "-27"]
+
+let estimate env plan = est true env plan
 
 let rank_join_depths env plan ~k ~cond ~left ~right =
   let l = estimate env left and r = estimate env right in

@@ -34,6 +34,14 @@ type env = {
   remote_row : float;
       (** Per-row transfer charge on a remote stream (wire encode /
           decode), on top of [cpu_factor]. *)
+  vector_cpu : float;
+      (** Multiplier on [cpu_factor] where the executor vectorizes
+          ({!Vectorize.spine_ok} subplans in bulk contexts: scans and
+          filter stacks feeding sorts, hash joins and the fused top-k
+          sink). The default 1.0 is behaviourally neutral — plan choices
+          match the tuple-at-a-time model; a measured per-deployment
+          discount (e.g. 0.25) makes spine-heavy plans proportionally
+          cheaper. *)
 }
 
 val default_env :
@@ -47,6 +55,7 @@ val default_env :
   ?exchange_startup:float ->
   ?remote_startup:float ->
   ?remote_row:float ->
+  ?vector_cpu:float ->
   Storage.Catalog.t ->
   Logical.t ->
   env

@@ -104,7 +104,8 @@ let node_label = function
 
 exception Interrupted
 
-let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
+let rec compile ?hints ?metrics ?interrupt ?pool ?degree ?(vectorized = true)
+    catalog plan =
   let rank_nodes = ref [] in
   let nary_nodes = ref [] in
   (* Cooperative cancellation: when an interrupt predicate is supplied
@@ -149,7 +150,117 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
               p_children = List.filter_map Fun.id child_profiles;
             } )
   in
-  let rec go ann plan : Exec.Operator.t * profile option =
+  let vguard (v : Exec.Vector.t) =
+    match interrupt with
+    | None -> v
+    | Some should_stop ->
+        let next = v.Exec.Vector.v_next in
+        {
+          v with
+          Exec.Vector.v_next =
+            (fun () -> if should_stop () then raise Interrupted else next ());
+        }
+  in
+  let vinstrument plan stats (v : Exec.Vector.t) child_profiles =
+    let v = vguard v in
+    match metrics with
+    | None -> (v, None)
+    | Some m ->
+        let node =
+          Exec.Metrics.attach m ~stats ~label:(node_label plan)
+            ~inputs:(Exec.Exec_stats.inputs stats) ()
+        in
+        ( Exec.Vector.scope m node v,
+          Some
+            {
+              p_plan = plan;
+              p_node = node;
+              p_children = List.filter_map Fun.id child_profiles;
+            } )
+  in
+  (* [go ctx ann plan]: [ctx] says whether the parent drains this subplan
+     completely ([`Bulk] — sorts, hash-join sides, the root drain) or pulls
+     it incrementally ([`Streaming] — rank joins, top-k heaps over ranked
+     inputs, cursors). Vectorized spines only engage in bulk contexts:
+     batching a stream an early-out consumer may abandon would over-read.
+     The context rules here are mirrored by [Vectorize.vectorized]
+     (planlint PL15 cross-checks the stored property bit against it). *)
+  let rec go ctx ann plan : Exec.Operator.t * profile option =
+    match plan with
+    (* Fused vectorized top-k sink: Top_k over Sort over a vector spine
+       becomes one bounded-heap drain — same rows, order, and stats totals
+       as the sort + limit pair it replaces, which is why both metric nodes
+       are still attached. *)
+    | Plan.Top_k { k; input = Plan.Sort { order; input = sp } as sort_plan }
+      when vectorized && Vectorize.spine_ok sp ->
+        let sort_stats = Exec.Exec_stats.create 1 in
+        let topk_stats = Exec.Exec_stats.create 1 in
+        let desc = order.Plan.direction = Interesting_orders.Desc in
+        let sort_ann = child_ann ann 0 in
+        let v, vprof = govec (child_ann sort_ann 0) sp in
+        let op =
+          guard
+            (Exec.Vector.fused_top_k ~sort_stats ~topk_stats
+               (sort_budget catalog) ~desc ~k order.Plan.expr v)
+        in
+        (match metrics with
+        | None -> (op, None)
+        | Some m ->
+            let snode =
+              Exec.Metrics.attach m ~stats:sort_stats
+                ~label:(node_label sort_plan) ~inputs:1 ()
+            in
+            let tnode =
+              Exec.Metrics.attach m ~stats:topk_stats ~label:(node_label plan)
+                ~inputs:1 ()
+            in
+            (* Inner scope wins: the drain I/O lands on the sort node, as it
+               does when the serial limit pulls from the serial sort. *)
+            ( Exec.Metrics.scope m tnode (Exec.Metrics.scope m snode op),
+              Some
+                {
+                  p_plan = plan;
+                  p_node = tnode;
+                  p_children =
+                    [
+                      {
+                        p_plan = sort_plan;
+                        p_node = snode;
+                        p_children = List.filter_map Fun.id [ vprof ];
+                      };
+                    ];
+                } ))
+    | _ when vectorized && ctx = `Bulk && Vectorize.spine_ok plan ->
+        let v, prof = govec ann plan in
+        (guard (Exec.Vector.to_operator v), prof)
+    | _ -> go_serial ctx ann plan
+  (* The vector spine compiler: only the [Vectorize.spine_ok] shapes. *)
+  and govec ann plan : Exec.Vector.t * profile option =
+    match plan with
+    | Plan.Table_scan { table } ->
+        let stats = Exec.Exec_stats.create 0 in
+        let v =
+          Exec.Vector.heap_scan ~stats (Storage.Catalog.table catalog table)
+        in
+        vinstrument plan stats v []
+    | Plan.Filter { pred; input } ->
+        let stats = Exec.Exec_stats.create 1 in
+        let child, prof = govec (child_ann ann 0) input in
+        vinstrument plan stats (Exec.Vector.filter ~stats pred child) [ prof ]
+    | Plan.Join { algo = Plan.Hash; cond; left; right; _ } ->
+        let stats = Exec.Exec_stats.create 2 in
+        let lt = cond.Logical.left_table and lc = cond.Logical.left_column in
+        let rt = cond.Logical.right_table and rc = cond.Logical.right_column in
+        let lchild, lprof = govec (child_ann ann 0) left in
+        let rchild, rprof = go `Bulk (child_ann ann 1) right in
+        vinstrument plan stats
+          (Exec.Vector.hash_join ~stats
+             ~left_key:(Expr.col ~relation:lt lc)
+             ~right_key:(Expr.col ~relation:rt rc)
+             (sort_budget catalog) lchild rchild)
+          [ lprof; rprof ]
+    | _ -> invalid_arg "Executor: plan is not a vector spine"
+  and go_serial ctx ann plan : Exec.Operator.t * profile option =
     match plan with
     | Plan.Table_scan { table } ->
         let stats = Exec.Exec_stats.create 0 in
@@ -185,12 +296,13 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
         invalid_arg "Executor: distributed plan requires a shard coordinator"
     | Plan.Filter { pred; input } ->
         let stats = Exec.Exec_stats.create 1 in
-        let child, prof = go (child_ann ann 0) input in
+        let child, prof = go ctx (child_ann ann 0) input in
         instrument plan stats (Exec.Basic_ops.filter ~stats pred child) [ prof ]
     | Plan.Sort { order; input } ->
         let stats = Exec.Exec_stats.create 1 in
         let desc = order.Plan.direction = Interesting_orders.Desc in
-        let child, prof = go (child_ann ann 0) input in
+        (* A sort drains its input at open: always a bulk context below. *)
+        let child, prof = go `Bulk (child_ann ann 0) input in
         let op =
           Exec.Sort.by_expr ~stats (sort_budget catalog) ~desc order.Plan.expr
             child
@@ -198,7 +310,13 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
         instrument plan stats op [ prof ]
     | Plan.Top_k { k; input } ->
         let stats = Exec.Exec_stats.create 1 in
-        let child, prof = go (child_ann ann 0) input in
+        (* Over a sort the limit's pull pattern is irrelevant (the sort
+           drains anyway); over a ranked streaming input the limit stops
+           early, so the input must stay tuple-at-a-time. *)
+        let child_ctx =
+          match input with Plan.Sort _ -> ctx | _ -> `Streaming
+        in
+        let child, prof = go child_ctx (child_ann ann 0) input in
         instrument plan stats (Exec.Basic_ops.limit ~stats k child) [ prof ]
     | Plan.Exchange { dop; input } ->
         let dop = match degree with Some d -> max 1 d | None -> max 1 dop in
@@ -209,7 +327,7 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
            inside this worker; compile them without metrics — the exchange
            reports as a single leaf node. *)
         let serial p =
-          let op, _, _, _ = compile ?interrupt catalog p in
+          let op, _, _, _ = compile ?interrupt ~vectorized:false catalog p in
           op
         in
         let drain op = Exec.Operator.to_list op in
@@ -363,7 +481,7 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
     | Plan.Nary_rank_join { inputs; scores; key; tables } ->
         let stats = Exec.Exec_stats.create (List.length inputs) in
         let compiled =
-          List.mapi (fun i input -> go (child_ann ann i) input) inputs
+          List.mapi (fun i input -> go `Streaming (child_ann ann i) input) inputs
         in
         let profs = List.map snd compiled in
         let nary_inputs =
@@ -385,7 +503,7 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
     | Plan.Any_k { inputs; scores; keys; _ } ->
         let stats = Exec.Exec_stats.create (List.length inputs) in
         let compiled =
-          List.mapi (fun i input -> go (child_ann ann i) input) inputs
+          List.mapi (fun i input -> go `Streaming (child_ann ann i) input) inputs
         in
         let profs = List.map snd compiled in
         let schemas =
@@ -433,16 +551,19 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
         let pred = Expr.(col ~relation:lt lc = col ~relation:rt rc) in
         match algo with
         | Plan.Nested_loops ->
-            let lchild, lprof = go (child_ann ann 0) left in
-            let rchild, rprof = go (child_ann ann 1) right in
+            let lchild, lprof = go ctx (child_ann ann 0) left in
+            let rchild, rprof = go `Bulk (child_ann ann 1) right in
             instrument plan stats
               (Exec.Join.nested_loops ~stats ~pred lchild rchild)
               [ lprof; rprof ]
         | Plan.Hash ->
             (* Memory-adaptive: degenerates to an in-memory hash join when
-               the build side fits, spills Grace partitions otherwise. *)
-            let lchild, lprof = go (child_ann ann 0) left in
-            let rchild, rprof = go (child_ann ann 1) right in
+               the build side fits, spills Grace partitions otherwise.
+               Both sides are fully drained, so both compile in a bulk
+               context (a spine-shaped left arrives batched through the
+               boundary adapter). *)
+            let lchild, lprof = go `Bulk (child_ann ann 0) left in
+            let rchild, rprof = go `Bulk (child_ann ann 1) right in
             instrument plan stats
               (Exec.Join.grace_hash ~stats
                  ~left_key:(Expr.col ~relation:lt lc)
@@ -450,8 +571,8 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
                  (sort_budget catalog) lchild rchild)
               [ lprof; rprof ]
         | Plan.Sort_merge ->
-            let lchild, lprof = go (child_ann ann 0) left in
-            let rchild, rprof = go (child_ann ann 1) right in
+            let lchild, lprof = go ctx (child_ann ann 0) left in
+            let rchild, rprof = go ctx (child_ann ann 1) right in
             instrument plan stats
               (Exec.Join.merge_only ~stats
                  ~left_key:(Expr.col ~relation:lt lc)
@@ -489,7 +610,7 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
                       (fun tu -> List.for_all (fun p -> p tu) keep)
                       (Exec.Scan.index_probe catalog ix key)
             in
-            let lchild, lprof = go (child_ann ann 0) left in
+            let lchild, lprof = go ctx (child_ann ann 0) left in
             instrument plan stats
               (Exec.Join.index_nested_loops ~stats
                  ~left_key:(Expr.col ~relation:lt lc)
@@ -498,8 +619,8 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
                  lchild)
               [ lprof ]
         | Plan.Hrjn ->
-            let lop, lprof = go (child_ann ann 0) left
-            and rop, rprof = go (child_ann ann 1) right in
+            let lop, lprof = go `Streaming (child_ann ann 0) left
+            and rop, rprof = go `Streaming (child_ann ann 1) right in
             let lschema = lop.Exec.Operator.schema
             and rschema = rop.Exec.Operator.schema in
             let left_input =
@@ -534,8 +655,8 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
               (Exec.Operator.scored_to_plain stream)
               [ lprof; rprof ]
         | Plan.Nrjn ->
-            let lop, lprof = go (child_ann ann 0) left
-            and rop, rprof = go (child_ann ann 1) right in
+            let lop, lprof = go `Streaming (child_ann ann 0) left
+            and rop, rprof = go `Streaming (child_ann ann 1) right in
             let lschema = lop.Exec.Operator.schema
             and rschema = rop.Exec.Operator.schema in
             let outer =
@@ -552,12 +673,13 @@ let rec compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan =
               (Exec.Operator.scored_to_plain stream)
               [ lprof; rprof ])
   in
-  let op, profile = go hints plan in
+  let op, profile = go `Bulk hints plan in
   (op, List.rev !rank_nodes, List.rev !nary_nodes, profile)
 
-let run ?hints ?metrics ?interrupt ?pool ?degree ?fetch_limit catalog plan =
+let run ?hints ?metrics ?interrupt ?pool ?degree ?vectorized ?fetch_limit
+    catalog plan =
   let op, rank_nodes, nary_nodes, profile =
-    compile ?hints ?metrics ?interrupt ?pool ?degree catalog plan
+    compile ?hints ?metrics ?interrupt ?pool ?degree ?vectorized catalog plan
   in
   let schema = op.Exec.Operator.schema in
   let score =
@@ -597,7 +719,11 @@ let rec strip_topk = function
 
 let open_cursor ?hints ?interrupt ?pool ?degree catalog plan =
   let plan = strip_topk plan in
-  let op, _, _, _ = compile ?hints ?interrupt ?pool ?degree catalog plan in
+  (* A cursor pulls incrementally and may never be drained: batching would
+     over-read, so the whole plan compiles tuple-at-a-time. *)
+  let op, _, _, _ =
+    compile ?hints ?interrupt ?pool ?degree ~vectorized:false catalog plan
+  in
   let schema = op.Exec.Operator.schema in
   let score =
     match Plan.order_of plan with

@@ -52,6 +52,7 @@ val compile :
   ?interrupt:(unit -> bool) ->
   ?pool:Rkutil.Task_pool.t ->
   ?degree:int ->
+  ?vectorized:bool ->
   Storage.Catalog.t ->
   Plan.t ->
   Exec.Operator.t * rank_node_stats list * nary_node_stats list * profile option
@@ -67,7 +68,17 @@ val compile :
     the exact parallel semantics at degree-of-one speed). [degree]
     overrides the planned degree of {e every} exchange in the plan —
     the determinism sweeps rely on the output being bit-identical across
-    overrides. *)
+    overrides.
+
+    [vectorized] (default [true]) runs the plan's {!Vectorize.spine_ok}
+    regions batch-at-a-time on columnar batches with selection vectors,
+    handing tuples back to streaming consumers at sink boundaries; rank
+    joins, sorts, top-k heaps and exchanges are untouched. Tuple-exact:
+    same rows, same order, same rank-join depths, same buffer-pool
+    charges; per-operator depth/emitted totals match at batch granularity
+    (identical after a full drain). [~vectorized:false] forces the classic
+    tuple-at-a-time compilation — the reference the [fuzz --vector]
+    differential harness compares against. *)
 
 val run :
   ?hints:Propagate.annotation ->
@@ -75,6 +86,7 @@ val run :
   ?interrupt:(unit -> bool) ->
   ?pool:Rkutil.Task_pool.t ->
   ?degree:int ->
+  ?vectorized:bool ->
   ?fetch_limit:int ->
   Storage.Catalog.t ->
   Plan.t ->

@@ -4,6 +4,7 @@ type subplan = {
   order : Plan.order option;
   pipelined : bool;
   dop : int;
+  vectorized : bool;
 }
 
 let subplan_of env plan =
@@ -13,6 +14,7 @@ let subplan_of env plan =
     order = Plan.order_of plan;
     pipelined = Plan.pipelined plan;
     dop = Plan.dop plan;
+    vectorized = Vectorize.vectorized plan;
   }
 
 type t = {

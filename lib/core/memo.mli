@@ -19,6 +19,11 @@ type subplan = {
   order : Plan.order option;
   pipelined : bool;
   dop : int;  (** Degree-of-parallelism property bit: [Plan.dop plan]. *)
+  vectorized : bool;
+      (** Vectorized-execution property bit: {!Vectorize.vectorized}
+          — whether the executor runs any of the plan batch-at-a-time.
+          Stored (like [dop]) so EXPLAIN, the plan cache and planlint's
+          PL15 see the property the plan was costed with. *)
 }
 
 val subplan_of : Cost_model.env -> Plan.t -> subplan

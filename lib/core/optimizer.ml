@@ -271,15 +271,16 @@ let propagation planned =
       Some (Propagate.run planned.env ~k planned.plan)
   | _ -> None
 
-let execute ?interrupt ?pool ?degree ?fetch_limit catalog planned =
+let execute ?interrupt ?pool ?degree ?vectorized ?fetch_limit catalog planned =
   Executor.run ?hints:(propagation planned) ?interrupt ?pool ?degree
-    ?fetch_limit catalog planned.plan
+    ?vectorized ?fetch_limit catalog planned.plan
 
-let execute_analyzed ?pool ?degree ?fetch_limit catalog planned =
+let execute_analyzed ?pool ?degree ?vectorized ?fetch_limit catalog planned =
   let hints = propagation planned in
   let metrics = Exec.Metrics.create (Storage.Catalog.io catalog) in
   let result =
-    Executor.run ?hints ~metrics ?pool ?degree ?fetch_limit catalog planned.plan
+    Executor.run ?hints ~metrics ?pool ?degree ?vectorized ?fetch_limit catalog
+      planned.plan
   in
   let profile =
     match result.Executor.profile with
@@ -288,8 +289,10 @@ let execute_analyzed ?pool ?degree ?fetch_limit catalog planned =
   in
   (Analyze.render ~env:planned.env ?hints profile, result)
 
-let explain_analyze ?pool ?degree ?fetch_limit catalog planned =
-  let tree, result = execute_analyzed ?pool ?degree ?fetch_limit catalog planned in
+let explain_analyze ?pool ?degree ?vectorized ?fetch_limit catalog planned =
+  let tree, result =
+    execute_analyzed ?pool ?degree ?vectorized ?fetch_limit catalog planned
+  in
   let buf = Buffer.create 512 in
   Buffer.add_string buf
     (Printf.sprintf "Query: %s\n" (Format.asprintf "%a" Logical.pp planned.query));
@@ -323,6 +326,8 @@ let explain planned =
        planned.k_validity);
   if planned.enumerable then
     Format.fprintf fmt "Enumerable: cursor-resumable past k@.";
+  if Vectorize.vectorized planned.plan then
+    Format.fprintf fmt "Vectorized: batched spine with selection vectors@.";
   Format.fprintf fmt "Plan:@.%a" Plan.pp planned.plan;
   (match planned.query.Logical.k with
   | Some k when Plan.has_rank_join planned.plan ->

@@ -60,6 +60,7 @@ val execute :
   ?interrupt:(unit -> bool) ->
   ?pool:Rkutil.Task_pool.t ->
   ?degree:int ->
+  ?vectorized:bool ->
   ?fetch_limit:int ->
   Storage.Catalog.t ->
   planned ->
@@ -67,7 +68,9 @@ val execute :
 (** Run the chosen plan. For ranking queries the plan already contains the
     Top-k limit. [interrupt] is the cooperative deadline hook, checked at
     operator [next()] boundaries (see {!Executor.run}). [pool] and
-    [degree] control exchange execution (see {!Executor.compile}). *)
+    [degree] control exchange execution; [vectorized] (default on)
+    selects batch-at-a-time execution of the plan's vector spines (see
+    {!Executor.compile}). *)
 
 val run_query :
   ?config:Enumerator.config ->
@@ -82,6 +85,7 @@ val explain : planned -> string
 val execute_analyzed :
   ?pool:Rkutil.Task_pool.t ->
   ?degree:int ->
+  ?vectorized:bool ->
   ?fetch_limit:int ->
   Storage.Catalog.t ->
   planned ->
@@ -93,6 +97,7 @@ val execute_analyzed :
 val explain_analyze :
   ?pool:Rkutil.Task_pool.t ->
   ?degree:int ->
+  ?vectorized:bool ->
   ?fetch_limit:int ->
   Storage.Catalog.t ->
   planned ->

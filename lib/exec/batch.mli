@@ -1,0 +1,54 @@
+(** Columnar tuple batches with selection vectors — the unit of work of the
+    vectorized executor.
+
+    A batch holds up to {!default_rows} physical rows plus a selection
+    vector; filters compact the selection in place, and per-column unboxed
+    [float array] views are materialized lazily for the vectorized kernels.
+    The kernels are bit-identical to the scalar interpreter
+    ({!Relalg.Expr.compile_bool} / [compile_float]): they only engage when
+    every referenced column is all-[Float] in the batch (the regime where
+    the scalar interpreter provably takes its float path, with the same
+    per-element operation order), and otherwise fall back to the scalar
+    closure applied in a tight per-row loop. NaN flows through arithmetic
+    unchanged and compares under [Float.compare] (total order), exactly as
+    in the scalar path. *)
+
+open Relalg
+
+val default_rows : int
+(** Rows per batch (1024). *)
+
+type t
+
+val of_rows : Schema.t -> Tuple.t array -> t
+(** Batch over [rows] with everything selected. The array is owned by the
+    batch afterwards. *)
+
+val of_list : Schema.t -> Tuple.t list -> t
+
+val schema : t -> Schema.t
+
+val length : t -> int
+(** Number of {e selected} rows. *)
+
+val get : t -> int -> Tuple.t
+(** [get b j] — the [j]-th selected row, [0 <= j < length b]. *)
+
+val iter : (Tuple.t -> unit) -> t -> unit
+(** Selected rows in selection order. *)
+
+val to_list : t -> Tuple.t list
+
+val float_view : t -> int -> float array option
+(** The lazily-built unboxed view of column [c]: [Some] iff every physical
+    value in the column is a [Value.Float]. Cached per batch. *)
+
+val pred_kernel : Schema.t -> Expr.t -> t -> unit
+(** [pred_kernel schema pred] compiles [pred] once into a kernel that
+    refines a batch's selection in place, keeping exactly the rows the
+    scalar [Expr.compile_bool schema pred] would keep. *)
+
+val score_kernel : Schema.t -> Expr.t -> t -> float array
+(** [score_kernel schema e] compiles [e] once into a kernel returning the
+    scores of the selected rows (dense, index-aligned with the selection),
+    bit-identical to [Expr.compile_float schema e] per row. *)

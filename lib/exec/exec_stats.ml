@@ -19,6 +19,8 @@ let add_depth t i n = t.per_input.(i) <- t.per_input.(i) + n
 
 let bump_emitted t = t.emitted <- t.emitted + 1
 
+let add_emitted t n = t.emitted <- t.emitted + n
+
 let note_buffer t n = if n > t.buffer_max then t.buffer_max <- n
 
 let depth t i = t.per_input.(i)

@@ -28,6 +28,11 @@ val add_depth : t -> int -> int -> unit
 
 val bump_emitted : t -> unit
 
+val add_emitted : t -> int -> unit
+(** [add_emitted t n]: count [n] emitted tuples in one step — bulk
+    accounting for batch-producing operators, so EXPLAIN ANALYZE still
+    reports exact tuple-level counts at batch granularity. *)
+
 val note_buffer : t -> int -> unit
 (** Record the current buffered-element count (keeps the maximum). *)
 

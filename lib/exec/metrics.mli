@@ -38,6 +38,12 @@ val attach : t -> ?stats:Exec_stats.t -> label:string -> inputs:int -> unit -> n
     record (rank joins); otherwise a fresh one with [inputs] inputs is
     created. *)
 
+val scoped : t -> node -> (unit -> 'a) -> 'a
+(** [scoped t node f] — run [f] with the registry's root I/O sink pointed at
+    [node]'s private counters (innermost scope wins). The building block for
+    wrapping non-[Operator.t] execution shapes (batched operators, fused
+    sinks) with the same attribution as {!scope}. *)
+
 val scope : t -> node -> Operator.t -> Operator.t
 (** Wrap an operator that already reports into its node's [stats]: only I/O
     sink-scoping is added. *)

@@ -12,6 +12,12 @@
 
 open Relalg
 
+val candidate_cmp : Tuple.t * float -> Tuple.t * float -> int
+(** The total order on candidates: score first ([Float.compare]), then the
+    tuple contents as a deterministic tie-break. Shared with the vectorized
+    top-n sink ({!Vector.top_n}) so both keep — and emit — exactly the same
+    candidates. *)
+
 val by_expr : ?stats:Exec_stats.t -> k:int -> Expr.t -> Operator.t -> Operator.scored
 (** The [k] highest values of the score expression, emitted in
     non-increasing score order (ties in ascending tuple order). [stats]

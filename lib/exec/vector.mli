@@ -1,0 +1,89 @@
+(** Vectorized (batch-at-a-time) physical operators.
+
+    The vectorized executor runs the {e spine} of a plan — table scans,
+    filters, and the probe side of in-memory hash joins — on columnar
+    {!Batch}es with selection vectors, and hands the stream back to the
+    tuple-at-a-time world at {e sink boundaries} (rank joins, sorts, top-k
+    heaps) through {!to_operator}. Every operator here is tuple-exact
+    against its serial counterpart: same rows, same order, same
+    {!Exec_stats} totals (depth/emitted counted at batch granularity, so a
+    full drain reports identical numbers), same buffer-pool charges. *)
+
+open Relalg
+
+type t = {
+  v_schema : Schema.t;
+  v_open : unit -> unit;  (** (Re)start the stream; may be called repeatedly. *)
+  v_next : unit -> Batch.t option;
+      (** The next non-empty batch, or [None] at end of stream. *)
+  v_close : unit -> unit;
+}
+
+val schema : t -> Schema.t
+
+val to_operator : t -> Operator.t
+(** Tuple-at-a-time view of a batched stream — the sink-boundary adapter.
+    Emits the selected rows of each batch in order. *)
+
+val of_operator : ?rows:int -> Operator.t -> t
+(** Batch up a tuple stream ([rows] per batch, default {!Batch.default_rows}).
+    Used at test boundaries and for feeding batched sinks from arbitrary
+    operators; carries no stats of its own. *)
+
+val heap_scan : ?stats:Exec_stats.t -> Storage.Catalog.table_info -> t
+(** Full scan of a table's heap file, reading whole pages at a time
+    ({!Storage.Heap_file.page_rows}) and packing them into batches of at
+    least {!Batch.default_rows} live tuples (the last batch may be short;
+    page-granular packing may overshoot by up to a page). Charges the same
+    page reads and [tuples_read] as the serial {!Scan.heap}. *)
+
+val filter : ?stats:Exec_stats.t -> Expr.t -> t -> t
+(** Selection-vector filter: refines each batch's selection in place with
+    {!Batch.pred_kernel} (bit-identical to [Expr.compile_bool]) and drops
+    empty batches. [stats] input 0 counts tuples consumed, [emitted] the
+    survivors. *)
+
+val hash_join :
+  ?stats:Exec_stats.t ->
+  ?residual:Expr.t ->
+  left_key:Expr.t ->
+  right_key:Expr.t ->
+  Sort.budget ->
+  t ->
+  Operator.t ->
+  t
+(** Hash join with a batched probe (left) side and a tuple build (right)
+    side, blocking at [v_open] like {!Join.grace_hash}: the build side is
+    probed up to [memory_tuples + 1]; if it fits, the join builds an
+    in-memory table (reverse-arrival chains, [Null] keys dropped on both
+    sides) and probes left batches in order; on overflow it delegates to
+    the serial grace hash join's spill path, preserving its partition I/O.
+    Output rows, order, and stats totals match the serial operator. *)
+
+val fused_top_k :
+  ?sort_stats:Exec_stats.t ->
+  ?topk_stats:Exec_stats.t ->
+  Sort.budget ->
+  desc:bool ->
+  k:int ->
+  Expr.t ->
+  t ->
+  Operator.t
+(** Fused sort + limit sink over a batched input: a bounded heap on
+    (score, arrival-seq) keeping exactly the first [k] rows of the stable
+    in-memory sort on [expr] — NaN sorts as the smallest score under
+    [Float.compare] (last when [desc], first otherwise) and is {e kept},
+    ties preserve arrival order. [sort_stats]/[topk_stats] receive the same
+    totals the serial [Sort.by_expr] + [Basic_ops.limit] pair reports on a
+    full drain (no spill I/O is charged: the heap never exceeds [k]
+    tuples). *)
+
+val top_n : ?stats:Exec_stats.t -> k:int -> Expr.t -> t -> Operator.scored
+(** Batched {!Top_n.by_expr}: scores each batch with
+    {!Batch.score_kernel}, drops NaN on entry, and keeps the [k] best under
+    {!Top_n.candidate_cmp} — the identical comparator, so the kept set and
+    emission order match the serial heap bit-for-bit. *)
+
+val scope : Metrics.t -> Metrics.node -> t -> t
+(** Sink-scope a batched operator's I/O into a metrics node (the batched
+    analogue of {!Metrics.scope}). *)

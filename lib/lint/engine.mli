@@ -11,16 +11,17 @@ val lint_plan :
   Storage.Catalog.t ->
   Core.Plan.t ->
   Diag.t list
-(** Structural rules (PL01 schema, PL02 order, PL03 pipelining) on any
-    physical plan. With [query], filter preservation (PL04) is checked too;
-    with [env], the estimate rules (PL05 propagation, PL06 depths,
-    PL07 cost) as well. Diagnostics come back sorted, errors first. *)
+(** Structural rules (PL01 schema, PL02 order, PL03 pipelining, PL15
+    batched-region boundaries) on any physical plan. With [query], filter
+    preservation (PL04) is checked too; with [env], the estimate rules
+    (PL05 propagation, PL06 depths, PL07 cost) as well. Diagnostics come
+    back sorted, errors first. *)
 
 val lint_subplan :
   Core.Cost_model.env -> ?key:int -> Core.Memo.subplan -> Diag.t list
 (** What the emit-time mode runs per retained plan: the structural rules
     plus filter preservation against [env]'s query and the property-bit
-    checks (PL03/PL08) against the stored subplan record. *)
+    checks (PL03/PL08/PL11/PL15) against the stored subplan record. *)
 
 val lint_memo : Core.Cost_model.env -> Core.Memo.t -> Diag.t list
 (** Every retained subplan of every entry, plus memo hygiene (PL08). *)

@@ -23,6 +23,7 @@ let catalog =
     ("PL12-enum", "the Enumerate bit matches recomputed cursor-resumability; anyK shapes are sound");
     ("PL13-rank", "a by-rank scan's window is sane and its claimed order is justified by an order-statistic index on the scored column");
     ("PL14-shard", "a gather-merge sits over distinct same-score remote shard streams, each bounded at k' >= the gather's k");
+    ("PL15-vector", "batched regions (vector spines, fused top-k sink) contain no rank join or exchange; the Vectorized bit matches recomputation");
   ]
 
 let d rule ?hint path fmt = Printf.ksprintf (fun m -> Diag.make ~rule ?hint ~path m) fmt
@@ -1407,3 +1408,76 @@ let shard_node (f : Walk.facts) =
   | _ -> []
 
 let shard_rule facts = Walk.fold (fun acc f -> acc @ shard_node f) [] facts
+
+(* ------------------------------------------------------------------ *)
+(* PL15-vector *)
+
+let rule15 = "PL15-vector"
+
+(* Batched/streaming boundary soundness. The executor runs a subplan
+   batch-at-a-time exactly when {!Core.Vectorize.spine_ok} holds (scans and
+   filter stacks, optionally stacked through hash-join probes) or when the
+   root is the fused sort+limit top-k sink. Both regions must be free of
+   rank joins and exchanges: a rank join inside a batched region would see
+   its incremental early-out (Theorem 1/2 depth accounting) quantized to
+   batch boundaries, and an exchange would morselize a spine the vector
+   operators already own. The predicates here are the claims; the
+   has-rank-join / has-exchange facts are recomputed independently, so a
+   future widening of [spine_ok] that swallows a streaming sink is caught
+   the moment any plan exercises it. *)
+let check_vector_spine ~path ~spine ~fused ~has_rank_join ~has_exchange =
+  let bad region what =
+    d rule15 path
+      ~hint:
+        "rank joins and exchanges must stay streaming: batching them would \
+         quantize rank-join early-out depths to batch boundaries"
+      "%s claims batched execution but contains %s" region what
+  in
+  (if spine && has_rank_join then [ bad "vector spine" "a rank join" ] else [])
+  @ (if spine && has_exchange then [ bad "vector spine" "an exchange" ] else [])
+  @ (if fused && has_rank_join then
+       [ bad "fused top-k sink" "a rank join" ]
+     else [])
+  @ if fused && has_exchange then [ bad "fused top-k sink" "an exchange" ]
+    else []
+
+let vector_node (f : Walk.facts) =
+  let plan = f.Walk.plan in
+  check_vector_spine ~path:f.Walk.path
+    ~spine:(Core.Vectorize.spine_ok plan)
+    ~fused:(Core.Vectorize.fused_sink plan)
+    ~has_rank_join:(Plan.has_rank_join plan)
+    ~has_exchange:(Core.Parallel.has_exchange plan)
+
+let check_vector_bit ~path ~recomputed bit =
+  if bit = recomputed then []
+  else if bit then
+    [
+      d rule15 path
+        ~hint:
+          "no vector spine or fused top-k sink exists: the executor would \
+           run this plan tuple-at-a-time, so costing it as batched is \
+           unsound"
+        "Vectorized bit set but no subplan is batch-executable";
+    ]
+  else
+    [
+      d rule15 path
+        ~hint:
+          "the executor will run part of this plan batch-at-a-time; the \
+           stored property must say so for EXPLAIN and the plan cache"
+        "plan has a batch-executable subplan but the Vectorized bit is unset";
+    ]
+
+let vector_rule ?vectorized facts =
+  let per_node = Walk.fold (fun acc f -> acc @ vector_node f) [] facts in
+  per_node
+  @
+  (* the memo/cache property bit must match a recomputation over the
+     retained plan shape *)
+  match vectorized with
+  | Some bit ->
+      check_vector_bit ~path:facts.Walk.path
+        ~recomputed:(Core.Vectorize.vectorized facts.Walk.plan)
+        bit
+  | None -> []

@@ -1,4 +1,4 @@
-(** The planlint rule catalog (PL01–PL13).
+(** The planlint rule catalog (PL01–PL15).
 
     Each rule checks one optimizer invariant and reports violations as
     {!Diag.t} values. Rules come in two layers: pure checkers over plain
@@ -171,3 +171,36 @@ val rank_rule : Storage.Catalog.t -> Walk.facts -> Diag.t list
 val shard_node : Walk.facts -> Diag.t list
 
 val shard_rule : Walk.facts -> Diag.t list
+
+(** {2 PL15-vector — batched/streaming boundary soundness}
+
+    The executor runs {!Core.Vectorize.spine_ok} subplans and the fused
+    sort+limit top-k sink batch-at-a-time; rank joins and exchanges must
+    never fall inside such a region (batching would quantize rank-join
+    early-out depths to batch boundaries), and the [Vectorized] property
+    bit stored in the MEMO must match recomputation over the plan
+    shape. *)
+
+val check_vector_spine :
+  path:string ->
+  spine:bool ->
+  fused:bool ->
+  has_rank_join:bool ->
+  has_exchange:bool ->
+  Diag.t list
+(** Pure checker over the claims and independently derived facts: a
+    claimed batched region ([spine] or [fused]) must not contain a rank
+    join or an exchange. *)
+
+val check_vector_bit : path:string -> recomputed:bool -> bool -> Diag.t list
+(** Pure checker: the stored Vectorized property bit equals the recomputed
+    {!Core.Vectorize.vectorized} verdict. *)
+
+val vector_node : Walk.facts -> Diag.t list
+(** {!check_vector_spine} with the claims and facts derived from the
+    node's plan. *)
+
+val vector_rule : ?vectorized:bool -> Walk.facts -> Diag.t list
+(** Driver: applies {!vector_node} at every node; when a stored
+    [vectorized] property bit is supplied (memo/cache) it must equal
+    {!Core.Vectorize.vectorized} of the plan. *)

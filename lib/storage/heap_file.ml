@@ -109,6 +109,25 @@ let scan_pages t ~lo ~hi =
   in
   next
 
+let page_rows t idx =
+  let pages = pages_in_order t in
+  if idx < 0 || idx >= Array.length pages then [||]
+  else begin
+    let page = Buffer_pool.get t.pool pages.(idx) in
+    let n = Page.count page in
+    let acc = ref [] in
+    let live = ref 0 in
+    for slot = n - 1 downto 0 do
+      if Page.is_live page slot then begin
+        acc := Page.get page slot :: !acc;
+        incr live
+      end
+    done;
+    (* Same total as the tuple-at-a-time cursor, charged once per page. *)
+    if !live > 0 then Io_stats.add_tuples_read (Buffer_pool.stats t.pool) !live;
+    Array.of_list !acc
+  end
+
 let scan t = scan_pages t ~lo:0 ~hi:(Array.length (pages_in_order t))
 
 let iter f t =

@@ -34,6 +34,13 @@ val tuples_per_page : t -> int
 val scan : t -> unit -> Tuple.t option
 (** A fresh full-scan cursor; every page access goes through the pool. *)
 
+val page_rows : t -> int -> Tuple.t array
+(** [page_rows t i] — the live tuples of the [i]-th page in storage order,
+    read through the pool in one batch. Charges the same [tuples_read]
+    total as pulling the page through a {!scan_pages} cursor, but with a
+    single bulk charge per page (the unit of a vectorized scan). Out-of-range
+    indices yield [[||]]. *)
+
 val scan_pages : t -> lo:int -> hi:int -> unit -> Tuple.t option
 (** Cursor over the page-index range [\[lo, hi)] of the file's pages in
     storage order — the unit of work ("morsel") for parallel scans.

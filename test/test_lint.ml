@@ -283,6 +283,74 @@ let test_mutation_pl14 () =
   expect_only "PL14-shard"
     (lint (gather ~sc:None ~k:None [ Plan.Table_scan { table = "A" } ]))
 
+(* PL15: batched/streaming boundary soundness and the stored Vectorized
+   property bit — the pure checkers under hand-corrupted claims, the
+   memo-bit flip both ways through the full subplan lint, and clean
+   agreement cases. *)
+let test_mutation_pl15 () =
+  let cat = setup () in
+  let path = "plan:root" in
+  (* Pure spine checker: a claimed batched region containing a streaming
+     sink or an exchange fires; a clean claim is silent. *)
+  expect_only "PL15-vector"
+    (Lint.Rules.check_vector_spine ~path ~spine:true ~fused:false
+       ~has_rank_join:true ~has_exchange:false);
+  expect_only "PL15-vector"
+    (Lint.Rules.check_vector_spine ~path ~spine:true ~fused:false
+       ~has_rank_join:false ~has_exchange:true);
+  expect_only "PL15-vector"
+    (Lint.Rules.check_vector_spine ~path ~spine:false ~fused:true
+       ~has_rank_join:true ~has_exchange:true);
+  Alcotest.(check int)
+    "sound batched region lints clean" 0
+    (List.length
+       (Lint.Rules.check_vector_spine ~path ~spine:true ~fused:false
+          ~has_rank_join:false ~has_exchange:false));
+  Alcotest.(check int)
+    "streaming region may hold rank joins" 0
+    (List.length
+       (Lint.Rules.check_vector_spine ~path ~spine:false ~fused:false
+          ~has_rank_join:true ~has_exchange:true));
+  (* Pure bit checker: disagreement fires both ways, agreement is silent. *)
+  expect_only "PL15-vector"
+    (Lint.Rules.check_vector_bit ~path ~recomputed:true false);
+  expect_only "PL15-vector"
+    (Lint.Rules.check_vector_bit ~path ~recomputed:false true);
+  Alcotest.(check int)
+    "bit agreement lints clean" 0
+    (List.length (Lint.Rules.check_vector_bit ~path ~recomputed:true true));
+  (* The driver with a stored bit, and the memo-bit flip through the full
+     subplan lint: a bare scan is batch-executable, so its recorded bit is
+     true and flipping it must fire exactly PL15. *)
+  let query = ab_query () in
+  let env = Cost_model.default_env ~k_min:5 cat query in
+  let scan = Plan.Table_scan { table = "A" } in
+  let sp = Memo.subplan_of env scan in
+  Alcotest.(check bool)
+    "scan subplan records the Vectorized bit" true sp.Memo.vectorized;
+  expect_only "PL15-vector"
+    (Lint.Engine.errors
+       (Lint.Engine.lint_subplan env { sp with Memo.vectorized = false }));
+  expect_only "PL15-vector"
+    (Lint.Rules.vector_rule ~vectorized:false (Lint.Walk.derive cat scan));
+  (* A rank join is never batch-executable: claiming so must fire. *)
+  let rank_plan =
+    Plan.Join
+      { algo = Plan.Hrjn; cond = ab_cond;
+        left = Plan.Index_scan
+            { table = "A"; index = "A_score"; key = score "A"; desc = true };
+        right = Plan.Index_scan
+            { table = "B"; index = "B_score"; key = score "B"; desc = true };
+        left_score = Some (score "A"); right_score = Some (score "B") }
+  in
+  expect_only "PL15-vector"
+    (Lint.Rules.vector_rule ~vectorized:true (Lint.Walk.derive cat rank_plan));
+  Alcotest.(check int)
+    "rank-join plan with an unset bit lints clean" 0
+    (List.length
+       (Lint.Rules.vector_rule ~vectorized:false
+          (Lint.Walk.derive cat rank_plan)))
+
 (* --- zero false positives ------------------------------------------- *)
 
 let test_optimizer_output_clean () =
@@ -333,7 +401,7 @@ let test_fuzz_corpus_clean () =
 
 let test_catalog_complete () =
   let ids = List.map fst Lint.Rules.catalog in
-  Alcotest.(check int) "fourteen rules" 14 (List.length ids);
+  Alcotest.(check int) "fifteen rules" 15 (List.length ids);
   Alcotest.(check bool)
     "distinct ids" true
     (List.length (List.sort_uniq String.compare ids) = List.length ids)
@@ -371,6 +439,8 @@ let suites =
           test_mutation_pl13;
         Alcotest.test_case "PL14 scatter/gather soundness" `Quick
           test_mutation_pl14;
+        Alcotest.test_case "PL15 batched-region soundness" `Quick
+          test_mutation_pl15;
       ] );
     ( "lint.clean",
       [

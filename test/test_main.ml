@@ -7,6 +7,7 @@ let () =
          Test_storage.suites;
          Test_btree.suites;
          Test_exec.suites;
+         Test_vector.suites;
          Test_metrics.suites;
          Test_rank_join.suites;
          Test_any_k.suites;

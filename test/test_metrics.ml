@@ -182,6 +182,121 @@ let test_node_json_shape () =
       Alcotest.(check bool) "json has io" true (contains j "\"page_reads\":"))
     (Exec.Metrics.nodes metrics)
 
+(* --- vectorized vs tuple-at-a-time profile parity ----------------------- *)
+
+(* The vectorized executor reports tuple-exact metrics: running the same
+   plan batch-at-a-time and tuple-at-a-time must produce the same profile
+   tree with the same per-node depths, emitted counts and buffer
+   high-water marks (inputs stay below sort memory, so no spill I/O is
+   involved). This pins the EXPLAIN ANALYZE contract: batching is an
+   execution detail, not an observability change. *)
+
+let profile_of ~vectorized cat plan =
+  let metrics = Exec.Metrics.create (Storage.Catalog.io cat) in
+  let result = Core.Executor.run ~metrics ~vectorized cat plan in
+  match result.Core.Executor.profile with
+  | Some p -> (result, p)
+  | None -> Alcotest.fail "metrics supplied but no profile returned"
+
+let rec check_profiles_equal path (a : Core.Executor.profile)
+    (b : Core.Executor.profile) =
+  let la = Core.Executor.node_label a.Core.Executor.p_plan in
+  let lb = Core.Executor.node_label b.Core.Executor.p_plan in
+  Alcotest.(check string) (path ^ ": operator") la lb;
+  let sa = a.Core.Executor.p_node.Exec.Metrics.stats in
+  let sb = b.Core.Executor.p_node.Exec.Metrics.stats in
+  Alcotest.(check (array int))
+    (path ^ "/" ^ la ^ ": depths")
+    (Exec.Exec_stats.depths sa) (Exec.Exec_stats.depths sb);
+  Alcotest.(check int)
+    (path ^ "/" ^ la ^ ": emitted")
+    (Exec.Exec_stats.emitted sa) (Exec.Exec_stats.emitted sb);
+  Alcotest.(check int)
+    (path ^ "/" ^ la ^ ": buffer high-water")
+    (Exec.Exec_stats.buffer_max sa)
+    (Exec.Exec_stats.buffer_max sb);
+  Alcotest.(check int)
+    (path ^ "/" ^ la ^ ": children")
+    (List.length a.Core.Executor.p_children)
+    (List.length b.Core.Executor.p_children);
+  List.iteri
+    (fun i (ca, cb) ->
+      check_profiles_equal (Printf.sprintf "%s/%s[%d]" path la i) ca cb)
+    (List.combine a.Core.Executor.p_children b.Core.Executor.p_children)
+
+let test_vectorized_profile_parity () =
+  let cat = setup_catalog () in
+  let order t =
+    { Core.Plan.expr = score_of t; direction = Core.Interesting_orders.Desc }
+  in
+  let scan_filter_topk =
+    Core.Plan.Top_k
+      {
+        k = 25;
+        input =
+          Core.Plan.Sort
+            {
+              order = order "A";
+              input =
+                Core.Plan.Filter
+                  {
+                    pred = Expr.(Cmp (Ge, score_of "A", cfloat 0.25));
+                    input = Core.Plan.Table_scan { table = "A" };
+                  };
+            };
+      }
+  in
+  let join_sort_topk =
+    Core.Plan.Top_k
+      {
+        k = 15;
+        input =
+          Core.Plan.Sort
+            {
+              order =
+                {
+                  Core.Plan.expr =
+                    Expr.(Add (score_of "A", score_of "B"));
+                  direction = Core.Interesting_orders.Desc;
+                };
+              input =
+                Core.Plan.Join
+                  {
+                    algo = Core.Plan.Hash;
+                    cond =
+                      {
+                        Core.Logical.left_table = "A";
+                        left_column = "key";
+                        right_table = "B";
+                        right_column = "key";
+                      };
+                    left = Core.Plan.Table_scan { table = "A" };
+                    right = Core.Plan.Table_scan { table = "B" };
+                    left_score = None;
+                    right_score = None;
+                  };
+            };
+      }
+  in
+  List.iter
+    (fun (name, plan) ->
+      let serial_res, serial = profile_of ~vectorized:false cat plan in
+      let vec_res, vec = profile_of ~vectorized:true cat plan in
+      Alcotest.(check int)
+        (name ^ ": same row count")
+        (List.length serial_res.Core.Executor.rows)
+        (List.length vec_res.Core.Executor.rows);
+      List.iter2
+        (fun (t1, s1) (t2, s2) ->
+          Alcotest.(check bool)
+            (name ^ ": identical rows")
+            true
+            (Relalg.Tuple.equal t1 t2 && Float.compare s1 s2 = 0))
+        serial_res.Core.Executor.rows vec_res.Core.Executor.rows;
+      check_profiles_equal name serial vec)
+    [ ("scan-filter-topk", scan_filter_topk);
+      ("hash-join-sort-topk", join_sort_topk) ]
+
 let test_sql_analyze () =
   let cat = setup_catalog () in
   match
@@ -205,6 +320,8 @@ let suites =
         Alcotest.test_case "io attribution partitions total" `Quick
           test_io_attribution_partitions_total;
         Alcotest.test_case "node json" `Quick test_node_json_shape;
+        Alcotest.test_case "vectorized profile parity" `Quick
+          test_vectorized_profile_parity;
         Alcotest.test_case "sql analyze" `Quick test_sql_analyze;
       ] );
   ]

@@ -179,6 +179,18 @@ let test_empty_input_regression () =
   | Ok plans -> Alcotest.(check bool) "plans checked" true (plans > 0)
   | Error (reason, _) -> Alcotest.failf "counterexample regressed: %s" reason
 
+(* Vector-mode slice: every MEMO-retained plan executed tuple-at-a-time
+   and batch-at-a-time must be bit identical — rows, scores, order, and
+   rank-join depth/emitted counters. The open-ended sweep is
+   `rankopt fuzz --vector`. *)
+let test_vector_fixed_seed_sweep () =
+  let outcome = Rankcheck.run_vector ~seed:0 ~cases:120 () in
+  (match outcome.Rankcheck.o_failures with f :: _ -> fail_on f | [] -> ());
+  Alcotest.(check int) "cases" 120 outcome.Rankcheck.o_cases;
+  Alcotest.(check bool)
+    "plan pairs compared" true
+    (outcome.Rankcheck.o_plans > 500)
+
 (* Enumeration-mode slice: EXECUTE-then-FETCH prefixes through the query
    service must be tuple-exact (ties, NaN drops and all) against the full
    ranked-list oracle. The open-ended sweep is `rankopt fuzz --enum`. *)
@@ -289,6 +301,8 @@ let suites =
           test_inlj_filter_regression;
         Alcotest.test_case "regression: empty-input over-read" `Quick
           test_empty_input_regression;
+        Alcotest.test_case "vector-mode sweep (0..119)" `Quick
+          test_vector_fixed_seed_sweep;
         Alcotest.test_case "enum-mode sweep (0..39)" `Slow
           test_enum_fixed_seed_sweep;
         Alcotest.test_case "enum-case coverage" `Quick test_enum_case_coverage;

@@ -1,0 +1,174 @@
+(* Property tests for the vectorized execution layer: the batch kernels
+   must be bit-identical to the scalar expression interpreter over
+   adversarial inputs (NaN, Null, Int-typed scores, 1/8-grid ties — both
+   the unboxed all-Float fast path and the scalar fallback), and the
+   batched top-k paths must drop NaN and tie-break exactly like their
+   tuple-at-a-time counterparts ([Exec.Top_n] and the stable sort+limit
+   pair). *)
+
+open Relalg
+open Exec
+
+let schema =
+  Schema.of_columns
+    [
+      Schema.column ~relation:"T" "id" Value.Tint;
+      Schema.column ~relation:"T" "key" Value.Tint;
+      Schema.column ~relation:"T" "score" Value.Tfloat;
+    ]
+
+let col_score = Expr.col ~relation:"T" "score"
+let col_key = Expr.col ~relation:"T" "key"
+
+(* Score cell variants: the 1/8 grid forces exact ties across rows, NaN
+   exercises the total-order comparator, and Null / Int cells knock the
+   column off the unboxed fast path into the scalar fallback. *)
+let mixed_cell (c, f) =
+  match c mod 10 with
+  | 0 -> Value.Null
+  | 1 -> Value.Float Float.nan
+  | 2 -> Value.Int (int_of_float (f *. 8.0))
+  | _ -> Value.Float (Float.round (f *. 8.0) /. 8.0)
+
+(* All-Float variant (NaN included): every batch over these rows takes the
+   vectorized fast path, where bit-equality is a theorem about the kernel
+   compiler rather than about a shared closure. *)
+let float_cell (c, f) =
+  if c mod 10 = 0 then Value.Float Float.nan
+  else Value.Float (Float.round (f *. 8.0) /. 8.0)
+
+let rows_of cell specs =
+  List.mapi
+    (fun i (c, f) ->
+      Tuple.make [ Value.Int i; Value.Int (c mod 4); cell (c, f) ])
+    specs
+
+let specs_gen = QCheck.(list_of_size Gen.(0 -- 80) (pair int (float_range (-2.0) 2.0)))
+
+let bits = Int64.bits_of_float
+
+(* Scalar reference for a predicate: the interpreter the kernels claim to
+   replicate. *)
+let scalar_filter pred rows =
+  let keep = Expr.compile_bool schema pred in
+  List.filter keep rows
+
+let preds =
+  [
+    Expr.(Cmp (Ge, col_score, cfloat 0.25));
+    Expr.(Cmp (Lt, col_score, cfloat (-0.5)));
+    Expr.(And (Cmp (Ge, col_score, cfloat (-1.0)), Not (Cmp (Eq, col_key, cint 3))));
+    (* NaN never satisfies an ordered comparison, in either path *)
+    Expr.(Cmp (Le, Add (col_score, cfloat 0.0), col_score));
+  ]
+
+let prop_pred_kernel cell name =
+  QCheck.Test.make ~name ~count:150 specs_gen (fun specs ->
+      let rows = rows_of cell specs in
+      List.for_all
+        (fun pred ->
+          let b = Batch.of_list schema rows in
+          Batch.pred_kernel schema pred b;
+          List.equal Tuple.equal (Batch.to_list b) (scalar_filter pred rows))
+        preds)
+
+let scores =
+  [
+    col_score;
+    Expr.(Add (Mul (cfloat 0.25, col_score), Mul (cfloat 0.5, col_key)));
+    Expr.(Div (col_score, Sub (col_score, cfloat 0.125)));
+    Expr.(Neg (Mul (col_score, col_score)));
+  ]
+
+let prop_score_kernel cell name =
+  QCheck.Test.make ~name ~count:150 specs_gen (fun specs ->
+      let rows = rows_of cell specs in
+      List.for_all
+        (fun e ->
+          let b = Batch.of_list schema rows in
+          let got = Batch.score_kernel schema e b in
+          let eval = Expr.compile_float schema e in
+          let want = Array.of_list (List.map eval rows) in
+          Array.length got = Array.length want
+          && Array.for_all2 (fun a b -> Int64.equal (bits a) (bits b)) got want)
+        scores)
+
+(* --- batched top-n vs Exec.Top_n ---------------------------------------- *)
+
+let scored_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun (t1, s1) (t2, s2) ->
+         Tuple.equal t1 t2 && Int64.equal (bits s1) (bits s2))
+       a b
+
+(* Same rows, same comparator, same k: the batched heap must keep the same
+   candidate set (NaN dropped on entry, ties broken by Tuple.compare) and
+   emit it in the same order, and report the same stats totals. *)
+let prop_top_n cell name =
+  QCheck.Test.make ~name ~count:120
+    QCheck.(pair (int_range 0 12) specs_gen)
+    (fun (k, specs) ->
+      let rows = rows_of cell specs in
+      List.for_all
+        (fun e ->
+          let serial_stats = Exec_stats.create 1 in
+          let vector_stats = Exec_stats.create 1 in
+          let serial =
+            Operator.scored_to_list
+              (Top_n.by_expr ~stats:serial_stats ~k e
+                 (Operator.of_list schema rows))
+          in
+          let vector =
+            Operator.scored_to_list
+              (Vector.top_n ~stats:vector_stats ~k e
+                 (Vector.of_operator (Operator.of_list schema rows)))
+          in
+          scored_equal serial vector
+          && Exec_stats.depths serial_stats = Exec_stats.depths vector_stats
+          && Exec_stats.emitted serial_stats = Exec_stats.emitted vector_stats
+          && Exec_stats.buffer_max serial_stats
+             = Exec_stats.buffer_max vector_stats)
+        scores)
+
+(* --- fused top-k sink vs stable sort + limit ----------------------------- *)
+
+(* The fused sink's contract: the first k rows of the stable in-memory
+   sort, NaN kept and ordered as the smallest score (last under desc,
+   first under asc), ties preserving arrival order. *)
+let prop_fused_top_k cell name =
+  let cat = Storage.Catalog.create () in
+  let budget = Sort.budget (Storage.Catalog.pool cat) in
+  QCheck.Test.make ~name ~count:120
+    QCheck.(triple bool (int_range 0 12) specs_gen)
+    (fun (desc, k, specs) ->
+      let rows = rows_of cell specs in
+      List.for_all
+        (fun e ->
+          let reference =
+            Operator.to_list
+              (Basic_ops.limit k
+                 (Sort.by_expr budget ~desc e (Operator.of_list schema rows)))
+          in
+          let fused =
+            Operator.to_list
+              (Vector.fused_top_k budget ~desc ~k e
+                 (Vector.of_operator (Operator.of_list schema rows)))
+          in
+          List.equal Tuple.equal reference fused)
+        scores)
+
+let props =
+  [
+    prop_pred_kernel mixed_cell "pred_kernel = compile_bool (mixed cells)";
+    prop_pred_kernel float_cell "pred_kernel = compile_bool (all-Float fast path)";
+    prop_score_kernel mixed_cell "score_kernel = compile_float (mixed cells)";
+    prop_score_kernel float_cell "score_kernel = compile_float (all-Float fast path)";
+    prop_top_n mixed_cell "Vector.top_n = Top_n.by_expr (mixed cells)";
+    prop_top_n float_cell "Vector.top_n = Top_n.by_expr (NaN/tie fast path)";
+    prop_fused_top_k mixed_cell "fused_top_k = sort+limit (mixed cells)";
+    prop_fused_top_k float_cell "fused_top_k = sort+limit (NaN/tie fast path)";
+  ]
+
+let suites =
+  [ ("exec.vector", List.map QCheck_alcotest.to_alcotest props) ]
